@@ -1,0 +1,156 @@
+//! Dual-sided click auditing (paper §1.1).
+//!
+//! "A possible solution is that both the online advertisers and
+//! publishers keep on auditing the click stream and reach an agreement on
+//! the determination of valid clicks." Because the detectors are
+//! deterministic one-pass algorithms, two parties running the *same*
+//! configuration over the *same* stream must produce identical verdict
+//! sequences — giving a cheap settlement protocol: compare digests, not
+//! click logs.
+//!
+//! The two auditors run on separate threads fed by broadcast channels
+//! (`crossbeam`), modeling independent advertiser-side and publisher-side
+//! pipelines.
+
+use cfd_stream::Click;
+use cfd_windows::{DuplicateDetector, Verdict};
+use crossbeam::channel;
+use serde::{Deserialize, Serialize};
+use std::thread;
+
+/// The result of a dual audit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditOutcome {
+    /// Clicks audited.
+    pub clicks: u64,
+    /// Valid clicks counted by the advertiser-side auditor.
+    pub advertiser_valid: u64,
+    /// Valid clicks counted by the publisher-side auditor.
+    pub publisher_valid: u64,
+    /// FNV-1a digest of the advertiser-side verdict sequence.
+    pub advertiser_digest: u64,
+    /// FNV-1a digest of the publisher-side verdict sequence.
+    pub publisher_digest: u64,
+}
+
+impl AuditOutcome {
+    /// `true` when both sides agree on every verdict.
+    #[must_use]
+    pub fn agreed(&self) -> bool {
+        self.advertiser_digest == self.publisher_digest
+            && self.advertiser_valid == self.publisher_valid
+    }
+}
+
+/// One auditor: a detector plus a rolling digest of its verdicts.
+fn audit_stream<D: DuplicateDetector>(
+    mut detector: D,
+    rx: channel::Receiver<Click>,
+) -> (u64, u64, u64) {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut digest = FNV_OFFSET;
+    let mut valid = 0u64;
+    let mut clicks = 0u64;
+    for click in rx {
+        clicks += 1;
+        let v = detector.observe(&click.key());
+        let byte = match v {
+            Verdict::Distinct => {
+                valid += 1;
+                1u8
+            }
+            Verdict::Duplicate => 0u8,
+        };
+        digest ^= u64::from(byte);
+        digest = digest.wrapping_mul(FNV_PRIME);
+    }
+    (clicks, valid, digest)
+}
+
+/// Runs the advertiser-side and publisher-side auditors concurrently
+/// over `clicks`, each with its own detector instance (built by
+/// `make_detector`, so both sides use identical configurations).
+///
+/// # Panics
+///
+/// Panics if an auditor thread panics.
+pub fn run_dual_audit<D, F>(clicks: &[Click], make_detector: F) -> AuditOutcome
+where
+    D: DuplicateDetector + Send,
+    F: Fn() -> D,
+{
+    let (tx_a, rx_a) = channel::bounded::<Click>(1024);
+    let (tx_p, rx_p) = channel::bounded::<Click>(1024);
+    let det_a = make_detector();
+    let det_p = make_detector();
+
+    let ((clicks_a, valid_a, digest_a), (clicks_p, valid_p, digest_p)) = thread::scope(|s| {
+        let ha = s.spawn(move || audit_stream(det_a, rx_a));
+        let hp = s.spawn(move || audit_stream(det_p, rx_p));
+        for c in clicks {
+            tx_a.send(*c).expect("advertiser auditor alive");
+            tx_p.send(*c).expect("publisher auditor alive");
+        }
+        drop((tx_a, tx_p));
+        (
+            ha.join().expect("advertiser auditor panicked"),
+            hp.join().expect("publisher auditor panicked"),
+        )
+    });
+
+    debug_assert_eq!(clicks_a, clicks_p);
+    AuditOutcome {
+        clicks: clicks_a,
+        advertiser_valid: valid_a,
+        publisher_valid: valid_p,
+        advertiser_digest: digest_a,
+        publisher_digest: digest_p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_core::{Tbf, TbfConfig};
+    use cfd_stream::{BotnetConfig, BotnetStream};
+    use cfd_windows::ExactSlidingDedup;
+
+    fn clicks(n: usize) -> Vec<Click> {
+        BotnetStream::new(BotnetConfig::default(), 4, 16)
+            .take(n)
+            .map(|c| c.click)
+            .collect()
+    }
+
+    #[test]
+    fn identical_configs_always_agree() {
+        let cs = clicks(10_000);
+        let outcome = run_dual_audit(&cs, || {
+            let cfg = TbfConfig::builder(1_024).entries(1 << 14).seed(5).build().unwrap();
+            Tbf::new(cfg).unwrap()
+        });
+        assert!(outcome.agreed(), "{outcome:?}");
+        assert_eq!(outcome.clicks, 10_000);
+        assert!(outcome.advertiser_valid < 10_000);
+    }
+
+    #[test]
+    fn different_configs_disagree_on_fraudulent_streams() {
+        let cs = clicks(10_000);
+        let a = run_dual_audit(&cs, || ExactSlidingDedup::new(512));
+        let b = run_dual_audit(&cs, || ExactSlidingDedup::new(4_096));
+        // Window sizes differ -> different duplicate determinations.
+        assert_ne!(a.advertiser_valid, b.advertiser_valid);
+        // But each side internally agrees.
+        assert!(a.agreed());
+        assert!(b.agreed());
+    }
+
+    #[test]
+    fn empty_stream_trivially_agrees() {
+        let outcome = run_dual_audit(&[], || ExactSlidingDedup::new(16));
+        assert!(outcome.agreed());
+        assert_eq!(outcome.clicks, 0);
+    }
+}

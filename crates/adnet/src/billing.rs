@@ -1,0 +1,198 @@
+//! The charging pipeline: detector verdict → billing outcome.
+
+use crate::entities::Registry;
+use cfd_stream::{Click, PublisherId};
+use cfd_windows::{DuplicateDetector, Verdict};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What happened to one click in the billing pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClickOutcome {
+    /// Valid click: the advertiser was charged `cpc_micros`.
+    Charged {
+        /// Amount charged, micro-units.
+        cpc_micros: u64,
+    },
+    /// Flagged duplicate within the detection window: not charged
+    /// (paper Definition 1).
+    DuplicateBlocked,
+    /// The advertiser's budget could not cover the click.
+    BudgetExhausted,
+    /// No campaign is registered for the clicked ad.
+    UnknownAd,
+}
+
+impl ClickOutcome {
+    /// `true` when the advertiser paid for this click.
+    #[must_use]
+    pub fn is_charged(&self) -> bool {
+        matches!(self, ClickOutcome::Charged { .. })
+    }
+}
+
+/// Per-publisher and global billing tallies.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ledger {
+    /// Clicks processed.
+    pub clicks: u64,
+    /// Clicks charged.
+    pub charged: u64,
+    /// Clicks blocked as duplicates.
+    pub duplicates_blocked: u64,
+    /// Clicks rejected for budget exhaustion.
+    pub budget_rejections: u64,
+    /// Clicks on unregistered ads.
+    pub unknown_ads: u64,
+    /// Total revenue (micro-units) credited to publishers.
+    pub revenue_micros: u64,
+    /// Revenue per publisher.
+    pub per_publisher_micros: HashMap<u32, u64>,
+}
+
+impl Ledger {
+    /// Revenue credited to one publisher.
+    #[must_use]
+    pub fn publisher_revenue(&self, p: PublisherId) -> u64 {
+        self.per_publisher_micros.get(&p.0).copied().unwrap_or(0)
+    }
+}
+
+/// Billing engine: detector + registry + ledger.
+///
+/// The detector is *pluggable* — exact oracle, GBF, TBF, or any other
+/// [`DuplicateDetector`] — which is what the comparison benches exploit.
+#[derive(Debug)]
+pub struct BillingEngine<D> {
+    detector: D,
+    ledger: Ledger,
+}
+
+impl<D: DuplicateDetector> BillingEngine<D> {
+    /// Creates an engine around a detector.
+    #[must_use]
+    pub fn new(detector: D) -> Self {
+        Self {
+            detector,
+            ledger: Ledger::default(),
+        }
+    }
+
+    /// Processes one click against `registry`, charging budgets and
+    /// crediting publisher revenue.
+    pub fn process(&mut self, click: &Click, registry: &mut Registry) -> ClickOutcome {
+        self.ledger.clicks += 1;
+        let Some(campaign) = registry.campaign(click.id.ad).copied() else {
+            self.ledger.unknown_ads += 1;
+            return ClickOutcome::UnknownAd;
+        };
+        // One pass over the stream: the detector sees every click for a
+        // registered ad, duplicates included, so its window semantics
+        // match the oracle definitions exactly.
+        let verdict = self.detector.observe(&click.key());
+        if verdict == Verdict::Duplicate {
+            self.ledger.duplicates_blocked += 1;
+            return ClickOutcome::DuplicateBlocked;
+        }
+        let advertiser = registry
+            .advertiser_mut(campaign.advertiser)
+            .expect("registry enforces advertiser existence");
+        if !advertiser.try_charge(campaign.cpc_micros) {
+            self.ledger.budget_rejections += 1;
+            return ClickOutcome::BudgetExhausted;
+        }
+        self.ledger.charged += 1;
+        self.ledger.revenue_micros += campaign.cpc_micros;
+        *self
+            .ledger
+            .per_publisher_micros
+            .entry(click.publisher.0)
+            .or_insert(0) += campaign.cpc_micros;
+        ClickOutcome::Charged {
+            cpc_micros: campaign.cpc_micros,
+        }
+    }
+
+    /// The running ledger.
+    #[must_use]
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The wrapped detector (e.g. for op-counter inspection).
+    #[must_use]
+    pub fn detector(&self) -> &D {
+        &self.detector
+    }
+
+    /// Mutable detector access (pipeline-internal).
+    pub(crate) fn detector_mut(&mut self) -> &mut D {
+        &mut self.detector
+    }
+
+    /// Consumes the engine, returning the final ledger.
+    #[must_use]
+    pub fn into_ledger(self) -> Ledger {
+        self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::{Advertiser, AdvertiserId, Campaign};
+    use cfd_stream::{AdId, Click, ClickId};
+    use cfd_windows::ExactSlidingDedup;
+
+    fn setup() -> (Registry, BillingEngine<ExactSlidingDedup>) {
+        let mut r = Registry::new();
+        r.add_advertiser(Advertiser::new(AdvertiserId(1), "acme", 1_000));
+        r.add_campaign(Campaign {
+            ad: AdId(7),
+            advertiser: AdvertiserId(1),
+            cpc_micros: 250,
+        })
+        .expect("advertiser registered");
+        (r, BillingEngine::new(ExactSlidingDedup::new(100)))
+    }
+
+    fn click(ip: u32) -> Click {
+        Click::new(ClickId::new(ip, 1, AdId(7)), 0, PublisherId(3), 250)
+    }
+
+    #[test]
+    fn distinct_clicks_charge_until_budget_runs_out() {
+        let (mut r, mut e) = setup();
+        for ip in 0..4 {
+            assert!(e.process(&click(ip), &mut r).is_charged());
+        }
+        // Budget 1000 / 250 cpc = 4 clicks.
+        assert_eq!(e.process(&click(99), &mut r), ClickOutcome::BudgetExhausted);
+        let l = e.ledger();
+        assert_eq!(l.charged, 4);
+        assert_eq!(l.revenue_micros, 1_000);
+        assert_eq!(l.publisher_revenue(PublisherId(3)), 1_000);
+        assert_eq!(l.budget_rejections, 1);
+    }
+
+    #[test]
+    fn duplicates_are_not_charged() {
+        let (mut r, mut e) = setup();
+        assert!(e.process(&click(5), &mut r).is_charged());
+        assert_eq!(e.process(&click(5), &mut r), ClickOutcome::DuplicateBlocked);
+        assert_eq!(e.ledger().duplicates_blocked, 1);
+        assert_eq!(
+            r.advertiser(AdvertiserId(1)).expect("exists").spent_micros,
+            250
+        );
+    }
+
+    #[test]
+    fn unknown_ads_are_ignored_by_detector_and_budget() {
+        let (mut r, mut e) = setup();
+        let stray = Click::new(ClickId::new(1, 1, AdId(999)), 0, PublisherId(3), 1);
+        assert_eq!(e.process(&stray, &mut r), ClickOutcome::UnknownAd);
+        assert_eq!(e.ledger().unknown_ads, 1);
+        assert_eq!(e.ledger().revenue_micros, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Advertisers, campaigns, and the registry binding ads to both.
+
+use cfd_stream::AdId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An advertiser account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AdvertiserId(pub u32);
+
+/// An advertiser with a spending budget.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Advertiser {
+    /// Account id.
+    pub id: AdvertiserId,
+    /// Display name.
+    pub name: String,
+    /// Total budget in micro-currency units.
+    pub budget_micros: u64,
+    /// Amount spent so far.
+    pub spent_micros: u64,
+}
+
+impl Advertiser {
+    /// Creates an advertiser with a budget.
+    #[must_use]
+    pub fn new(id: AdvertiserId, name: impl Into<String>, budget_micros: u64) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            budget_micros,
+            spent_micros: 0,
+        }
+    }
+
+    /// Remaining budget.
+    #[must_use]
+    pub fn remaining_micros(&self) -> u64 {
+        self.budget_micros.saturating_sub(self.spent_micros)
+    }
+
+    /// Attempts to charge `amount`; returns `false` (and charges nothing)
+    /// if the remaining budget is insufficient.
+    pub fn try_charge(&mut self, amount: u64) -> bool {
+        if self.remaining_micros() >= amount {
+            self.spent_micros += amount;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Refunds `amount` (capped at the amount spent), returning the
+    /// refunded value. Used by fraud-audit settlements (§1.1's
+    /// "credit refund to advertisers who claim click fraud").
+    pub fn refund(&mut self, amount: u64) -> u64 {
+        let refunded = amount.min(self.spent_micros);
+        self.spent_micros -= refunded;
+        refunded
+    }
+}
+
+/// A pay-per-click campaign: one ad link owned by one advertiser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// The ad link being bid on.
+    pub ad: AdId,
+    /// The advertiser paying for clicks.
+    pub advertiser: AdvertiserId,
+    /// Cost per (valid) click, micro-units.
+    pub cpc_micros: u64,
+}
+
+/// The network's directory of advertisers and campaigns.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Registry {
+    advertisers: HashMap<AdvertiserId, Advertiser>,
+    campaigns: HashMap<AdId, Campaign>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an advertiser, replacing any previous entry.
+    pub fn add_advertiser(&mut self, advertiser: Advertiser) {
+        self.advertisers.insert(advertiser.id, advertiser);
+    }
+
+    /// Registers a campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns the campaign if its advertiser is unknown.
+    pub fn add_campaign(&mut self, campaign: Campaign) -> Result<(), Campaign> {
+        if !self.advertisers.contains_key(&campaign.advertiser) {
+            return Err(campaign);
+        }
+        self.campaigns.insert(campaign.ad, campaign);
+        Ok(())
+    }
+
+    /// Looks up the campaign for an ad link.
+    #[must_use]
+    pub fn campaign(&self, ad: AdId) -> Option<&Campaign> {
+        self.campaigns.get(&ad)
+    }
+
+    /// Immutable advertiser access.
+    #[must_use]
+    pub fn advertiser(&self, id: AdvertiserId) -> Option<&Advertiser> {
+        self.advertisers.get(&id)
+    }
+
+    /// Mutable advertiser access (budget charging).
+    pub fn advertiser_mut(&mut self, id: AdvertiserId) -> Option<&mut Advertiser> {
+        self.advertisers.get_mut(&id)
+    }
+
+    /// Number of registered advertisers.
+    #[must_use]
+    pub fn advertiser_count(&self) -> usize {
+        self.advertisers.len()
+    }
+
+    /// Number of registered campaigns.
+    #[must_use]
+    pub fn campaign_count(&self) -> usize {
+        self.campaigns.len()
+    }
+
+    /// Iterates advertisers in unspecified order.
+    pub fn advertisers(&self) -> impl Iterator<Item = &Advertiser> {
+        self.advertisers.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charging_respects_budget() {
+        let mut a = Advertiser::new(AdvertiserId(1), "acme", 1_000);
+        assert!(a.try_charge(600));
+        assert!(!a.try_charge(600), "over-budget charge must fail");
+        assert_eq!(a.remaining_micros(), 400);
+        assert!(a.try_charge(400));
+        assert_eq!(a.remaining_micros(), 0);
+    }
+
+    #[test]
+    fn refund_caps_at_spent() {
+        let mut a = Advertiser::new(AdvertiserId(1), "acme", 1_000);
+        a.try_charge(300);
+        assert_eq!(a.refund(500), 300);
+        assert_eq!(a.spent_micros, 0);
+    }
+
+    #[test]
+    fn campaign_requires_known_advertiser() {
+        let mut r = Registry::new();
+        let c = Campaign {
+            ad: AdId(1),
+            advertiser: AdvertiserId(9),
+            cpc_micros: 100,
+        };
+        assert_eq!(r.add_campaign(c), Err(c));
+        r.add_advertiser(Advertiser::new(AdvertiserId(9), "n", 10));
+        assert!(r.add_campaign(c).is_ok());
+        assert_eq!(r.campaign(AdId(1)), Some(&c));
+        assert_eq!(r.campaign_count(), 1);
+        assert_eq!(r.advertiser_count(), 1);
+    }
+
+    #[test]
+    fn registry_lookup_misses_cleanly() {
+        let r = Registry::new();
+        assert!(r.campaign(AdId(5)).is_none());
+        assert!(r.advertiser(AdvertiserId(5)).is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! A pay-per-click advertising-network simulator.
+//!
+//! The paper's motivation (§1.1) is economic: duplicate clicks drain
+//! advertiser budgets, the publisher has little incentive to stop them,
+//! and the resulting distrust ends in lawsuits. This crate builds the
+//! laptop-scale substrate that turns the detectors of `cfd-core` into an
+//! end-to-end system a downstream user could adopt:
+//!
+//! * [`entities`] — advertisers, campaigns, budgets.
+//! * [`billing`] — the charging pipeline: every click runs through a
+//!   pluggable [`cfd_windows::DuplicateDetector`]; only
+//!   [`cfd_windows::Verdict::Distinct`] clicks are billed.
+//! * [`network`] — the [`network::AdNetwork`] orchestrator and its
+//!   [`report::NetworkReport`].
+//! * [`audit`] — the paper's settlement mechanism: "both the online
+//!   advertisers and publishers keep on auditing the click stream and
+//!   reach an agreement on the determination of valid clicks". Two
+//!   independent auditors replay the same stream concurrently and must
+//!   produce identical valid-click digests.
+//! * [`report`] — serde-serializable reports for the benches/examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod billing;
+pub mod entities;
+pub mod fraud;
+pub mod network;
+pub mod pipeline;
+pub mod report;
+
+pub use audit::{run_dual_audit, AuditOutcome};
+pub use billing::{BillingEngine, ClickOutcome};
+pub use entities::{Advertiser, AdvertiserId, Campaign, Registry};
+pub use fraud::{FraudScorer, PublisherScore};
+pub use network::AdNetwork;
+pub use pipeline::{run_pipeline, PipelineOutcome, PipelineProgress};
+pub use report::NetworkReport;

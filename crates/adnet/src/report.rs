@@ -1,0 +1,110 @@
+//! Serializable end-of-run reports.
+
+use crate::billing::Ledger;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one ad-network run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkReport {
+    /// Name of the duplicate detector that guarded billing.
+    pub detector: String,
+    /// Detector memory footprint, bits.
+    pub detector_memory_bits: usize,
+    /// Clicks processed.
+    pub clicks: u64,
+    /// Clicks charged to advertisers.
+    pub charged: u64,
+    /// Duplicates blocked (fraud savings).
+    pub duplicates_blocked: u64,
+    /// Clicks rejected because budgets ran dry.
+    pub budget_rejections: u64,
+    /// Clicks on unknown ads.
+    pub unknown_ads: u64,
+    /// Revenue credited to publishers, micro-units.
+    pub revenue_micros: u64,
+    /// Money **not** charged thanks to duplicate blocking, micro-units
+    /// (each blocked duplicate valued at its campaign's cpc).
+    pub savings_micros: u64,
+}
+
+impl NetworkReport {
+    /// Builds a report from a ledger.
+    #[must_use]
+    pub fn from_ledger(
+        detector: &str,
+        detector_memory_bits: usize,
+        ledger: &Ledger,
+        savings_micros: u64,
+    ) -> Self {
+        Self {
+            detector: detector.to_owned(),
+            detector_memory_bits,
+            clicks: ledger.clicks,
+            charged: ledger.charged,
+            duplicates_blocked: ledger.duplicates_blocked,
+            budget_rejections: ledger.budget_rejections,
+            unknown_ads: ledger.unknown_ads,
+            revenue_micros: ledger.revenue_micros,
+            savings_micros,
+        }
+    }
+
+    /// Fraction of clicks blocked as duplicates.
+    #[must_use]
+    pub fn blocked_rate(&self) -> f64 {
+        if self.clicks == 0 {
+            0.0
+        } else {
+            self.duplicates_blocked as f64 / self.clicks as f64
+        }
+    }
+
+    /// A compact human-readable table row.
+    #[must_use]
+    pub fn row(&self) -> String {
+        format!(
+            "{:<16} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            self.detector,
+            self.clicks,
+            self.charged,
+            self.duplicates_blocked,
+            self.revenue_micros,
+            self.savings_micros
+        )
+    }
+
+    /// The header matching [`NetworkReport::row`].
+    #[must_use]
+    pub fn header() -> String {
+        format!(
+            "{:<16} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            "detector", "clicks", "charged", "blocked", "revenue(µ)", "savings(µ)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_rows() {
+        let ledger = Ledger {
+            clicks: 100,
+            charged: 80,
+            duplicates_blocked: 20,
+            revenue_micros: 8_000,
+            ..Ledger::default()
+        };
+        let r = NetworkReport::from_ledger("tbf", 1024, &ledger, 2_000);
+        assert!((r.blocked_rate() - 0.2).abs() < 1e-12);
+        assert!(r.row().contains("tbf"));
+        assert_eq!(NetworkReport::header().split_whitespace().count(), 6);
+    }
+
+    #[test]
+    fn empty_report_rate_is_zero() {
+        let r = NetworkReport::from_ledger("x", 0, &Ledger::default(), 0);
+        assert_eq!(r.blocked_rate(), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Per-element cost models (Theorems 1.3 and 2.3).
+//!
+//! The paper states running time in memory operations per element; these
+//! functions compute the same quantities from the configuration, in the
+//! exact units `cfd_core::OpCounters` counts, so the benches can print
+//! *predicted vs. counted* side by side and the tests can assert they
+//! match.
+
+use serde::{Deserialize, Serialize};
+
+/// Predicted per-element memory-operation counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Words/entries read per probe.
+    pub probe_reads: f64,
+    /// Words/entries written per *distinct* element.
+    pub insert_writes: f64,
+    /// Words/entries processed by cleaning per element (reads for TBF,
+    /// writes for GBF).
+    pub clean_ops: f64,
+}
+
+impl CostModel {
+    /// Total predicted memory operations per element, assuming a
+    /// fraction `distinct` of elements insert.
+    #[must_use]
+    pub fn total(&self, distinct: f64) -> f64 {
+        self.probe_reads + self.insert_writes * distinct + self.clean_ops
+    }
+}
+
+/// Theorem 1 cost model for GBF with a `D = 64`-bit word
+/// (`lane_words = ⌈(Q+1)/64⌉` for the padded layout, 1 for the tight
+/// layout):
+///
+/// * probe: `k · lane_words` word reads,
+/// * insert: `k` word read-modify-writes,
+/// * cleaning: at most `⌈m / ⌈N/Q⌉⌉` word writes (the §3.1 quota),
+///   amortizing the `O(m)` wipe over one sub-window — the
+///   `O((Q/D)·(M/N))` term of the theorem.
+#[must_use]
+pub fn gbf_cost(m: usize, k: usize, n: usize, q: usize, lane_words: usize) -> CostModel {
+    assert!(q > 0 && n > 0, "window must be positive");
+    let sub_len = n.div_ceil(q);
+    CostModel {
+        probe_reads: (k * lane_words) as f64,
+        insert_writes: k as f64,
+        clean_ops: m.div_ceil(sub_len) as f64,
+    }
+}
+
+/// Theorem 2 cost model for TBF over a sliding window:
+///
+/// * probe: at most `k` entry reads (early exit on the first empty or
+///   expired entry),
+/// * insert: `k` entry writes,
+/// * cleaning: exactly `⌈m / (C+1)⌉` entry reads per element — the
+///   `O(M / (N log N))` term with the typical `C = N − 1`.
+#[must_use]
+pub fn tbf_cost(m: usize, k: usize, c: usize) -> CostModel {
+    CostModel {
+        probe_reads: k as f64,
+        insert_writes: k as f64,
+        clean_ops: m.div_ceil(c + 1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbf_cost_matches_theorem_shape() {
+        // Doubling Q with fixed total memory leaves the quota ~constant
+        // but the probe width grows once Q+1 crosses a word boundary.
+        let narrow = gbf_cost(1 << 20, 10, 1 << 20, 8, 1);
+        let wide = gbf_cost(1 << 20, 10, 1 << 20, 255, 4);
+        assert_eq!(narrow.probe_reads, 10.0);
+        assert_eq!(wide.probe_reads, 40.0);
+        assert!(wide.clean_ops > narrow.clean_ops);
+    }
+
+    #[test]
+    fn tbf_cost_flat_in_window_for_c_n_minus_1() {
+        // With C = N-1 and m proportional to N, the sweep quota is a
+        // constant number of entries per element.
+        for log_n in [14u32, 17, 20] {
+            let n = 1usize << log_n;
+            let cost = tbf_cost(n * 14, 10, n - 1);
+            assert!((cost.clean_ops - 14.0).abs() <= 1.0, "n=2^{log_n}");
+        }
+    }
+
+    #[test]
+    fn total_weights_inserts_by_distinct_fraction() {
+        let c = CostModel {
+            probe_reads: 10.0,
+            insert_writes: 10.0,
+            clean_ops: 14.0,
+        };
+        assert!((c.total(1.0) - 34.0).abs() < 1e-12);
+        assert!((c.total(0.0) - 24.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! False-positive model for GBF over jumping windows (Theorem 1).
+//!
+//! A GBF probe reports *duplicate* iff **any** of the `Q` active
+//! sub-window filters contains all `k` probe bits. With each full filter
+//! holding `n_sub = N/Q` elements in `m` bits,
+//!
+//! ```text
+//! f_sub(n)  = (1 − e^{−k·n/m})^k          (classical Bloom, §2.1)
+//! FP_probe  = 1 − (1 − f_full)^{Q−1} · (1 − f_cur)
+//! ```
+//!
+//! where `f_cur` depends on how full the current sub-window is. The
+//! *steady* model averages `f_cur` over a uniformly distributed fill
+//! level (what a long experiment measures); the *worst-case* model takes
+//! every filter full (an upper bound, slightly pessimistic).
+
+use cfd_bloom::params::fp_rate;
+
+/// Worst-case probe FP rate: all `q` filters at full load `n_sub`.
+///
+/// ```rust
+/// use cfd_analysis::gbf::fp_worst_case;
+/// let f = fp_worst_case(1_876_246, 10, 1 << 20, 8);
+/// assert!(f > 0.0 && f < 0.02);
+/// ```
+#[must_use]
+pub fn fp_worst_case(m: usize, k: usize, n: usize, q: usize) -> f64 {
+    assert!(q > 0, "q must be positive");
+    let n_sub = n.div_ceil(q);
+    let f_sub = fp_rate(m, k, n_sub);
+    union_fp(f_sub, q as u32)
+}
+
+/// Steady-state probe FP rate: `q − 1` full filters plus the current one
+/// averaged over its fill level (Simpson integration, 64 panels).
+#[must_use]
+pub fn fp_steady(m: usize, k: usize, n: usize, q: usize) -> f64 {
+    assert!(q > 0, "q must be positive");
+    let n_sub = n.div_ceil(q);
+    let f_full = fp_rate(m, k, n_sub);
+    let f_cur = average_fill_fp(m, k, n_sub);
+    1.0 - (1.0 - f_full).powi(q as i32 - 1) * (1.0 - f_cur)
+}
+
+/// `1 − (1 − f)^q`: probability at least one of `q` independent filters
+/// false-positives.
+#[must_use]
+pub fn union_fp(f_single: f64, q: u32) -> f64 {
+    1.0 - (1.0 - f_single).powi(q as i32)
+}
+
+/// Mean Bloom FP over a uniformly random fill `u ∈ [0, 1]` of `n_sub`
+/// elements (Simpson's rule).
+fn average_fill_fp(m: usize, k: usize, n_sub: usize) -> f64 {
+    const PANELS: usize = 64;
+    let h = 1.0 / PANELS as f64;
+    let f = |u: f64| fp_rate(m, k, (u * n_sub as f64) as usize);
+    let mut sum = f(0.0) + f(1.0);
+    for i in 1..PANELS {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        sum += w * f(i as f64 * h);
+    }
+    sum * h / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_below_worst_case() {
+        for (m, k, n, q) in [(1 << 20, 10, 1 << 18, 8), (1 << 16, 5, 1 << 14, 4)] {
+            let w = fp_worst_case(m, k, n, q);
+            let s = fp_steady(m, k, n, q);
+            assert!(s <= w + 1e-12, "steady {s} above worst {w}");
+            assert!(s > 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_single_subwindow_matches_classic() {
+        let m = 1 << 16;
+        let (k, n) = (5, 10_000);
+        let w = fp_worst_case(m, k, n, 1);
+        assert!((w - fp_rate(m, k, n)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fp_grows_with_window_size() {
+        let mut last = 0.0;
+        for n in [1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20] {
+            let f = fp_worst_case(1 << 20, 7, n, 31);
+            assert!(f >= last, "not monotone at n={n}");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn union_fp_bounds() {
+        assert_eq!(union_fp(0.0, 10), 0.0);
+        assert!((union_fp(1.0, 3) - 1.0).abs() < 1e-12);
+        // Small f: union ~ q*f.
+        let f = union_fp(1e-6, 31);
+        assert!((f / (31.0 * 1e-6) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_fig2a_operating_point_is_sub_one_percent() {
+        // N = 2^20, Q = 8, m = 1,876,246, k = 10 (the paper's setting).
+        let f = fp_worst_case(1_876_246, 10, 1 << 20, 8);
+        assert!(f > 1e-4 && f < 0.01, "f = {f}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Closed-form false-positive models for the paper's figures.
+//!
+//! The "theoretical result" curves of Fig. 1 and Figs. 2(a)/2(b) come
+//! from these models:
+//!
+//! * [`gbf`] — false-positive rate of a GBF probe over a jumping window
+//!   (union of `Q` sub-window Bloom filters, with an optional average
+//!   over the current sub-window's fill level).
+//! * [`counting_scheme`] — the Metwally et al. \[21\] main-filter model the
+//!   paper plots in Fig. 1 (§3.3): querying a combined filter that
+//!   effectively holds all `N` window elements.
+//! * [`tbf`] — false-positive rate of a TBF probe over a sliding window
+//!   (classical Bloom load at `n = N − 1` active elements; stale entries
+//!   fail the activity check and do not contribute).
+//! * [`sizing`] — inverse solvers: memory for a target FP rate under each
+//!   algorithm.
+//! * [`stats`] — small statistics helpers for the experiment harness
+//!   (means, Wilson confidence intervals for FP counts).
+//!
+//! Modeling assumptions are documented per function; EXPERIMENTS.md
+//! cross-checks every model against the measured rates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod counting_scheme;
+pub mod gbf;
+pub mod sizing;
+pub mod stats;
+pub mod tbf;
+
+pub use cfd_bloom::params::{bits_for_fp, fp_rate, fp_rate_exact, optimal_k};

@@ -1,0 +1,168 @@
+//! Inverse solvers: memory required for a target false-positive rate.
+
+use crate::{counting_scheme, gbf, tbf};
+use cfd_bloom::params::optimal_k;
+use serde::{Deserialize, Serialize};
+
+/// A sizing recommendation for one algorithm at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sizing {
+    /// Table size: bits per filter (GBF) or entries (TBF) or counters
+    /// (\[21\]).
+    pub m: usize,
+    /// Recommended hash count.
+    pub k: usize,
+    /// Predicted FP rate at that size.
+    pub predicted_fp: f64,
+    /// Total memory in bits, including structural overhead (the `Q+1`-th
+    /// GBF filter, TBF entry width, \[21\] counter width).
+    pub total_bits: usize,
+}
+
+/// Smallest per-filter `m` (bits) for a GBF over `(n, q)` to stay at or
+/// below `target_fp`, probing with the optimal `k` at each size.
+///
+/// # Panics
+///
+/// Panics if `target_fp` is not in `(0, 1)` or `q == 0`.
+#[must_use]
+pub fn gbf_sizing(n: usize, q: usize, target_fp: f64) -> Sizing {
+    assert!(q > 0, "q must be positive");
+    assert!((0.0..1.0).contains(&target_fp) && target_fp > 0.0, "bad target");
+    let n_sub = n.div_ceil(q);
+    let m = binary_search_m(|m| {
+        let k = optimal_k(m, n_sub);
+        gbf::fp_worst_case(m, k, n, q)
+    }, target_fp);
+    let k = optimal_k(m, n_sub);
+    Sizing {
+        m,
+        k,
+        predicted_fp: gbf::fp_worst_case(m, k, n, q),
+        total_bits: m * (q + 1),
+    }
+}
+
+/// Smallest entry count `m` for a sliding-window TBF over `n` to stay at
+/// or below `target_fp` (entry width for the default `C = N − 1`).
+///
+/// # Panics
+///
+/// Panics if `target_fp` is not in `(0, 1)` or `n < 2`.
+#[must_use]
+pub fn tbf_sizing(n: usize, target_fp: f64) -> Sizing {
+    assert!(n >= 2, "window too small");
+    assert!((0.0..1.0).contains(&target_fp) && target_fp > 0.0, "bad target");
+    let m = binary_search_m(|m| {
+        let k = optimal_k(m, n);
+        tbf::fp_sliding(m, k, n)
+    }, target_fp);
+    let k = optimal_k(m, n);
+    let entry_bits = 64 - (2 * n as u64 - 1).leading_zeros() as usize;
+    Sizing {
+        m,
+        k,
+        predicted_fp: tbf::fp_sliding(m, k, n),
+        total_bits: m * entry_bits,
+    }
+}
+
+/// Smallest counter count `m` for the \[21\] scheme over `(n, q)` to stay
+/// at or below `target_fp` (the answer explodes for small targets —
+/// that is Fig. 1's point).
+///
+/// # Panics
+///
+/// Panics if `target_fp` is not in `(0, 1)` or `q == 0`.
+#[must_use]
+pub fn counting_scheme_sizing(n: usize, q: usize, target_fp: f64) -> Sizing {
+    assert!(q > 0, "q must be positive");
+    assert!((0.0..1.0).contains(&target_fp) && target_fp > 0.0, "bad target");
+    let m = binary_search_m(|m| {
+        let k = optimal_k(m, n);
+        counting_scheme::fp_same_m(m, k, n)
+    }, target_fp);
+    let k = optimal_k(m, n);
+    // Worst-case-safe counter widths as in §3.3: log(N/Q) per sub-window
+    // counter (Q filters) + log(N) for the main filter.
+    let sub_bits = 64 - ((n.div_ceil(q)) as u64).leading_zeros() as usize;
+    let main_bits = 64 - (n as u64).leading_zeros() as usize;
+    Sizing {
+        m,
+        k,
+        predicted_fp: counting_scheme::fp_same_m(m, k, n),
+        total_bits: m * (q * sub_bits + main_bits),
+    }
+}
+
+/// Doubling + bisection search for the smallest `m` with
+/// `fp(m) <= target`.
+fn binary_search_m(fp: impl Fn(usize) -> f64, target: f64) -> usize {
+    let mut hi = 64usize;
+    while fp(hi) > target {
+        hi = hi.checked_mul(2).expect("sizing overflow");
+    }
+    let mut lo = hi / 2;
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fp(mid) <= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizings_meet_their_targets() {
+        let g = gbf_sizing(1 << 16, 8, 0.01);
+        assert!(g.predicted_fp <= 0.01);
+        let t = tbf_sizing(1 << 16, 0.01);
+        assert!(t.predicted_fp <= 0.01);
+        let c = counting_scheme_sizing(1 << 16, 8, 0.01);
+        assert!(c.predicted_fp <= 0.01);
+    }
+
+    #[test]
+    fn sizings_are_minimal_ish() {
+        let g = gbf_sizing(1 << 14, 4, 0.01);
+        let k = optimal_k(g.m / 2, (1 << 14) / 4);
+        assert!(
+            crate::gbf::fp_worst_case(g.m / 2, k, 1 << 14, 4) > 0.01,
+            "half the memory should miss the target"
+        );
+    }
+
+    #[test]
+    fn tighter_targets_cost_more_memory() {
+        let loose = tbf_sizing(1 << 14, 0.01);
+        let tight = tbf_sizing(1 << 14, 0.0001);
+        assert!(tight.m > loose.m);
+        assert!(tight.total_bits > loose.total_bits);
+    }
+
+    #[test]
+    fn counting_scheme_needs_more_memory_than_gbf() {
+        // Same window, same target: the [21] scheme pays for counters and
+        // a full-N main filter.
+        let g = gbf_sizing(1 << 16, 31, 0.001);
+        let c = counting_scheme_sizing(1 << 16, 31, 0.001);
+        assert!(
+            c.total_bits > g.total_bits,
+            "counting {} <= gbf {}",
+            c.total_bits,
+            g.total_bits
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad target")]
+    fn bad_target_panics() {
+        let _ = tbf_sizing(100, 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Statistics helpers for the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Sample mean of a slice (0 for an empty slice).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance (0 for fewer than two samples).
+#[must_use]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// A binomial proportion with its confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Proportion {
+    /// Point estimate `successes / trials`.
+    pub estimate: f64,
+    /// Lower bound of the Wilson 95% interval.
+    pub lo: f64,
+    /// Upper bound of the Wilson 95% interval.
+    pub hi: f64,
+}
+
+/// Wilson 95% score interval for `successes` out of `trials`.
+///
+/// Preferred over the normal approximation because false-positive counts
+/// are tiny relative to the trials (often zero), where Wald intervals
+/// collapse to a useless `[0, 0]`.
+///
+/// ```rust
+/// use cfd_analysis::stats::wilson_95;
+/// let p = wilson_95(0, 1_000_000);
+/// assert_eq!(p.estimate, 0.0);
+/// assert!(p.hi > 0.0); // zero observed still bounds the true rate away from "exactly 0"
+/// ```
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+#[must_use]
+pub fn wilson_95(successes: u64, trials: u64) -> Proportion {
+    assert!(trials > 0, "need at least one trial");
+    const Z: f64 = 1.959_964; // 97.5th normal percentile
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = Z * Z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (Z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    Proportion {
+        estimate: p,
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+    }
+}
+
+/// Geometric mean of positive values (0 if any value is non-positive or
+/// the slice is empty); used for summarizing speedup ratios.
+#[must_use]
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edges() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn wilson_contains_truth_for_typical_rates() {
+        // 50 successes in 1000 trials: interval must contain 0.05.
+        let p = wilson_95(50, 1000);
+        assert!(p.lo < 0.05 && 0.05 < p.hi);
+        assert!((p.estimate - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_zero_successes_has_positive_upper() {
+        let p = wilson_95(0, 10_000);
+        assert_eq!(p.lo, 0.0);
+        assert!(p.hi > 0.0 && p.hi < 0.001);
+    }
+
+    #[test]
+    fn wilson_all_successes_has_sub_one_lower() {
+        let p = wilson_95(100, 100);
+        assert!(p.lo < 1.0 && p.hi == 1.0);
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[1.0, -1.0]), 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! False-positive model for TBF over sliding windows (Theorem 2).
+//!
+//! A TBF probe false-positives iff all `k` probed entries are non-empty
+//! *and* hold active timestamps. At steady state the active content is
+//! the `N − 1` in-window valid elements, each having stamped (at most)
+//! `k` entries, so the probability one probed entry is active is the
+//! classical Bloom bit-set probability at load `N − 1`:
+//!
+//! ```text
+//! p_active = 1 − (1 − 1/m)^{k(N−1)} ≈ 1 − e^{−k(N−1)/m}
+//! FP       = p_active^k
+//! ```
+//!
+//! Expired-but-not-yet-swept entries do **not** contribute: they fail the
+//! activity check (their age is outside `[1, N−1]`); timestamp aliasing
+//! is prevented by the sweep schedule (see `cfd-core::tbf`). The model is
+//! therefore identical in form to a classical Bloom filter of `m` cells
+//! holding the live window.
+
+use cfd_bloom::params::{fp_rate, fp_rate_exact};
+
+/// Steady-state TBF probe FP rate (approximate form).
+///
+/// ```rust
+/// use cfd_analysis::tbf::fp_sliding;
+/// // The paper's Fig. 2(b) point: N = 2^20, m = 15,112,980, k = 10.
+/// let f = fp_sliding(15_112_980, 10, 1 << 20);
+/// assert!(f > 1e-5 && f < 1e-2);
+/// ```
+#[must_use]
+pub fn fp_sliding(m: usize, k: usize, n: usize) -> f64 {
+    fp_rate(m, k, n.saturating_sub(1))
+}
+
+/// Steady-state TBF probe FP rate (exact binomial form).
+#[must_use]
+pub fn fp_sliding_exact(m: usize, k: usize, n: usize) -> f64 {
+    fp_rate_exact(m, k, n.saturating_sub(1))
+}
+
+/// FP rate of TBF adapted to a jumping window of `q` sub-windows
+/// (elements of the current partial + `q − 1` full sub-windows are
+/// active; load is between `N − N/Q` and `N`).
+///
+/// Returns `(lower, upper)` bounds from the two load extremes.
+#[must_use]
+pub fn fp_jumping_bounds(m: usize, k: usize, n: usize, q: usize) -> (f64, f64) {
+    assert!(q > 0, "q must be positive");
+    let low_load = n - n.div_ceil(q);
+    (fp_rate(m, k, low_load), fp_rate(m, k, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approximate_tracks_exact() {
+        for (m, k, n) in [(1 << 20, 10, 1 << 16), (15_112_980, 10, 1 << 20)] {
+            let a = fp_sliding(m, k, n);
+            let e = fp_sliding_exact(m, k, n);
+            assert!((a - e).abs() < 1e-6, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn optimal_k_minimizes_the_model() {
+        let m = 15_112_980;
+        let n = 1 << 20;
+        let best = cfd_bloom::params::optimal_k(m, n);
+        let f_best = fp_sliding(m, best, n);
+        for k in [best - 3, best - 1, best + 1, best + 3] {
+            assert!(fp_sliding(m, k, n) >= f_best * 0.999, "k={k}");
+        }
+    }
+
+    #[test]
+    fn jumping_bounds_bracket_sliding() {
+        let (lo, hi) = fp_jumping_bounds(1 << 20, 8, 1 << 16, 8);
+        let mid = fp_sliding(1 << 20, 8, 1 << 16);
+        assert!(lo <= mid && mid <= hi, "{lo} {mid} {hi}");
+    }
+
+    #[test]
+    fn fp_is_monotone_in_n_and_m() {
+        assert!(fp_sliding(1 << 20, 8, 1 << 16) < fp_sliding(1 << 20, 8, 1 << 17));
+        assert!(fp_sliding(1 << 21, 8, 1 << 16) < fp_sliding(1 << 20, 8, 1 << 16));
+    }
+}

@@ -1,0 +1,159 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6.
+//!
+//! * `layout/*` — GBF's interleaved bit matrix vs. the naive separate
+//!   filters, at growing `Q` (the §3.1 motivation for group Bloom
+//!   filters).
+//! * `tbf_c/*` — the TBF cleaning/width trade-off: sweep the range
+//!   extension `C` (§4.1: "a smaller C means less space requirement and
+//!   larger operation time").
+//! * `hashing/*` — Kirsch–Mitzenmacher double hashing vs. `k`
+//!   independently seeded hashes.
+//!
+//! ```text
+//! cargo bench -p cfd-bench --bench ablations
+//! ```
+
+use cfd_bench::NaiveJumpingBloom;
+use cfd_core::{Gbf, GbfConfig, GbfLayout, Tbf, TbfConfig};
+use cfd_hash::{DoubleHashFamily, HashFamily, IndependentHashFamily, SipHashFamily};
+use cfd_stream::UniqueIdStream;
+use cfd_windows::DuplicateDetector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const N: usize = 1 << 16;
+const K: usize = 10;
+
+fn keys(count: usize, seed: u64) -> Vec<[u8; 8]> {
+    UniqueIdStream::new(seed)
+        .take(count)
+        .map(|id| id.to_le_bytes())
+        .collect()
+}
+
+fn layout_ablation(c: &mut Criterion) {
+    let ks = keys(N, 7);
+    let mut group = c.benchmark_group("layout");
+    group.throughput(Throughput::Elements(1)); // one observe per iteration
+    for q in [8usize, 31, 63, 255] {
+        let m = (N / q).max(1) * 14;
+        let mut gbf = Gbf::new(
+            GbfConfig::builder(N, q)
+                .filter_bits(m)
+                .hash_count(K)
+                .build()
+                .expect("cfg"),
+        )
+        .expect("detector");
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("interleaved", q), |b| {
+            b.iter(|| {
+                let key = &ks[i & (N - 1)];
+                i = i.wrapping_add(1);
+                gbf.observe(key)
+            })
+        });
+        let mut naive = NaiveJumpingBloom::new(N, q, m, K, 1);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("separate", q), |b| {
+            b.iter(|| {
+                let key = &ks[i & (N - 1)];
+                i = i.wrapping_add(1);
+                naive.observe(key)
+            })
+        });
+        if q < 32 {
+            let mut tight = Gbf::new(
+                GbfConfig::builder(N, q)
+                    .filter_bits(m)
+                    .hash_count(K)
+                    .layout(GbfLayout::Tight)
+                    .build()
+                    .expect("cfg"),
+            )
+            .expect("detector");
+            let mut i = 0usize;
+            group.bench_function(BenchmarkId::new("tight", q), |b| {
+                b.iter(|| {
+                    let key = &ks[i & (N - 1)];
+                    i = i.wrapping_add(1);
+                    tight.observe(key)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn tbf_c_sweep(c: &mut Criterion) {
+    let ks = keys(N, 8);
+    let mut group = c.benchmark_group("tbf_c");
+    group.throughput(Throughput::Elements(1)); // one observe per iteration
+    for (label, c_ext) in [("N/16", N / 16), ("N/4", N / 4), ("N-1", N - 1), ("4N", 4 * N)] {
+        let mut tbf = Tbf::new(
+            TbfConfig::builder(N)
+                .entries(N * 14 / 12)
+                .hash_count(K)
+                .range_extension(c_ext)
+                .build()
+                .expect("cfg"),
+        )
+        .expect("detector");
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("c", label), |b| {
+            b.iter(|| {
+                let key = &ks[i & (N - 1)];
+                i = i.wrapping_add(1);
+                tbf.observe(key)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn hash_family_ablation(c: &mut Criterion) {
+    let ks = keys(N, 9);
+    let mut group = c.benchmark_group("hashing");
+    group.throughput(Throughput::Elements(1)); // one observe per iteration
+    let double = DoubleHashFamily::new(1);
+    let independent = IndependentHashFamily::new(1);
+    let mut buf = [0usize; K];
+    let mut i = 0usize;
+    group.bench_function("double-hashing", |b| {
+        b.iter(|| {
+            let key = &ks[i & (N - 1)];
+            i = i.wrapping_add(1);
+            double.fill(key, 1 << 20, &mut buf);
+            buf[K - 1]
+        })
+    });
+    let mut i = 0usize;
+    group.bench_function("k-independent", |b| {
+        b.iter(|| {
+            let key = &ks[i & (N - 1)];
+            i = i.wrapping_add(1);
+            independent.fill(key, 1 << 20, &mut buf);
+            buf[K - 1]
+        })
+    });
+    let keyed = SipHashFamily::new(0xFEED, 0xBEEF);
+    let mut i = 0usize;
+    group.bench_function("siphash-keyed", |b| {
+        b.iter(|| {
+            let key = &ks[i & (N - 1)];
+            i = i.wrapping_add(1);
+            keyed.fill(key, 1 << 20, &mut buf);
+            buf[K - 1]
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(60);
+    targets = layout_ablation, tbf_c_sweep, hash_family_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Criterion throughput benches: per-element `observe` cost of every
+//! detector (the wall-clock side of Theorems 1 & 2).
+//!
+//! ```text
+//! cargo bench -p cfd-bench --bench detectors
+//! ```
+
+use cfd_bench::NaiveJumpingBloom;
+use cfd_bloom::metwally::{MetwallyConfig, MetwallyJumping};
+use cfd_bloom::stable::{StableBloomFilter, StableConfig};
+use cfd_core::tbf_jumping::{JumpingTbf, JumpingTbfConfig};
+use cfd_core::{Gbf, GbfConfig, Tbf, TbfConfig};
+use cfd_stream::UniqueIdStream;
+use cfd_windows::{DuplicateDetector, ExactSlidingDedup};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const N: usize = 1 << 16;
+const BITS_PER_ELEM: usize = 14;
+const K: usize = 10;
+
+fn keys(count: usize, seed: u64) -> Vec<[u8; 8]> {
+    UniqueIdStream::new(seed)
+        .take(count)
+        .map(|id| id.to_le_bytes())
+        .collect()
+}
+
+fn bench_detector<D: DuplicateDetector>(
+    c: &mut Criterion,
+    group_name: &str,
+    id: BenchmarkId,
+    mut detector: D,
+) {
+    let ks = keys(N, 99);
+    let mut group = c.benchmark_group(group_name);
+    group.throughput(Throughput::Elements(1)); // one observe per iteration
+    let mut i = 0usize;
+    group.bench_function(id, |b| {
+        b.iter(|| {
+            let key = &ks[i & (N - 1)];
+            i = i.wrapping_add(1);
+            detector.observe(key)
+        })
+    });
+    group.finish();
+}
+
+fn jumping_detectors(c: &mut Criterion) {
+    for q in [8usize, 31, 255] {
+        let m = (N / q).max(1) * BITS_PER_ELEM;
+        bench_detector(
+            c,
+            "jumping",
+            BenchmarkId::new("gbf", q),
+            Gbf::new(
+                GbfConfig::builder(N, q)
+                    .filter_bits(m)
+                    .hash_count(K)
+                    .build()
+                    .expect("cfg"),
+            )
+            .expect("detector"),
+        );
+        bench_detector(
+            c,
+            "jumping",
+            BenchmarkId::new("naive-separate", q),
+            NaiveJumpingBloom::new(N, q, m, K, 1),
+        );
+        bench_detector(
+            c,
+            "jumping",
+            BenchmarkId::new("metwally", q),
+            MetwallyJumping::new(MetwallyConfig {
+                n: N,
+                q,
+                m,
+                k: K,
+                seed: 1,
+            }),
+        );
+        bench_detector(
+            c,
+            "jumping",
+            BenchmarkId::new("jumping-tbf", q),
+            JumpingTbf::new(
+                JumpingTbfConfig::new(N, q, N * BITS_PER_ELEM / 12, K, 1).expect("cfg"),
+            )
+            .expect("detector"),
+        );
+    }
+}
+
+fn sliding_detectors(c: &mut Criterion) {
+    bench_detector(
+        c,
+        "sliding",
+        BenchmarkId::new("tbf", N),
+        Tbf::new(
+            TbfConfig::builder(N)
+                .entries(N * BITS_PER_ELEM / 12)
+                .hash_count(K)
+                .build()
+                .expect("cfg"),
+        )
+        .expect("detector"),
+    );
+    bench_detector(
+        c,
+        "sliding",
+        BenchmarkId::new("stable-bloom", N),
+        StableBloomFilter::new(StableConfig {
+            m: N * 2,
+            cell_bits: 3,
+            k: 6,
+            p: 26,
+            nominal_window: N,
+            seed: 1,
+        }),
+    );
+    bench_detector(
+        c,
+        "sliding",
+        BenchmarkId::new("exact-sliding", N),
+        ExactSlidingDedup::new(N),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(60);
+    targets = jumping_detectors, sliding_detectors
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Derived figure: the warm-up transient behind the §5 protocol.
+//!
+//! The paper counts false positives only "within the last 10·N clicks to
+//! make sure [the filter] has been stable". This binary shows *why*: it
+//! plots the FP rate of GBF and TBF in windows of N/2 clicks from a cold
+//! start. The rate climbs while the window fills, overshoots slightly as
+//! the first expiries and the cleaning sweep settle, then locks onto the
+//! steady state the analytic models predict.
+//!
+//! ```text
+//! cargo run --release -p cfd-bench --bin fig_warmup [--paper|--smoke]
+//! ```
+
+use cfd_bench::Scale;
+use cfd_core::{Gbf, GbfConfig, Tbf, TbfConfig};
+use cfd_stream::UniqueIdStream;
+use cfd_windows::DuplicateDetector;
+
+fn main() {
+    let scale = Scale::from_args();
+    let n = scale.n() / 4;
+    let q = 8usize;
+    let k = 10usize;
+    let gbf_m = scale.scaled(1_876_246) / 4;
+    let tbf_m = scale.scaled(15_112_980) / 4;
+
+    let mut gbf = Gbf::new(
+        GbfConfig::builder(n, q)
+            .filter_bits(gbf_m)
+            .hash_count(k)
+            .seed(0x77A8)
+            .build()
+            .expect("valid configuration"),
+    )
+    .expect("valid detector");
+    let mut tbf = Tbf::new(
+        TbfConfig::builder(n)
+            .entries(tbf_m)
+            .hash_count(k)
+            .seed(0x77A9)
+            .build()
+            .expect("valid configuration"),
+    )
+    .expect("valid detector");
+
+    let bucket = n / 2;
+    let buckets = 24usize;
+    println!("# Warm-up transient, {} (N = {n}, buckets of N/2 clicks)", scale.label());
+    println!(
+        "# theory steady state: gbf {:.3e}, tbf {:.3e}",
+        cfd_analysis::gbf::fp_steady(gbf_m, k, n, q),
+        cfd_analysis::tbf::fp_sliding(tbf_m, k, n)
+    );
+    println!("{:>8} {:>14} {:>14}", "bucket", "gbf-fp", "tbf-fp");
+
+    let mut ids = UniqueIdStream::new(0xACE);
+    for b in 0..buckets {
+        let mut gbf_fp = 0u64;
+        let mut tbf_fp = 0u64;
+        for _ in 0..bucket {
+            let id = ids.next().expect("infinite stream");
+            let key = id.to_le_bytes();
+            if gbf.observe(&key).is_duplicate() {
+                gbf_fp += 1;
+            }
+            if tbf.observe(&key).is_duplicate() {
+                tbf_fp += 1;
+            }
+        }
+        println!(
+            "{:>8} {:>14.6e} {:>14.6e}",
+            b,
+            gbf_fp as f64 / bucket as f64,
+            tbf_fp as f64 / bucket as f64
+        );
+    }
+    println!("# shape check: ~zero while the window fills (first 2 buckets),");
+    println!("# then a rapid climb to the steady state the models predict —");
+    println!("# the §5 protocol's 10N warm-up is comfortably past the knee.");
+}

@@ -1,0 +1,64 @@
+//! The §5 false-positive measurement protocol.
+//!
+//! "We generated `20·N` distinct click identifiers. We counted the false
+//! positives within the last `10·N` clicks to make sure that [the
+//! detector] has been stable."
+
+use cfd_analysis::stats::{wilson_95, Proportion};
+use cfd_stream::UniqueIdStream;
+use cfd_windows::DuplicateDetector;
+
+/// Result of one false-positive run.
+#[derive(Debug, Clone, Copy)]
+pub struct FpMeasurement {
+    /// False positives observed in the measurement phase.
+    pub false_positives: u64,
+    /// Clicks in the measurement phase.
+    pub trials: u64,
+    /// Point estimate + Wilson 95% interval.
+    pub rate: Proportion,
+}
+
+/// Runs the paper's protocol on `detector` over a window of `n`: feed
+/// `10·N` distinct ids to warm up, then count `Duplicate` verdicts over
+/// the next `10·N` distinct ids (every one is a false positive).
+pub fn measure_fp<D: DuplicateDetector + ?Sized>(
+    detector: &mut D,
+    n: usize,
+    seed: u64,
+) -> FpMeasurement {
+    let warm = 10 * n as u64;
+    let trials = 10 * n as u64;
+    let mut ids = UniqueIdStream::new(seed);
+    for _ in 0..warm {
+        let id = ids.next().expect("infinite stream");
+        detector.observe(&id.to_le_bytes());
+    }
+    let mut false_positives = 0u64;
+    for _ in 0..trials {
+        let id = ids.next().expect("infinite stream");
+        if detector.observe(&id.to_le_bytes()).is_duplicate() {
+            false_positives += 1;
+        }
+    }
+    FpMeasurement {
+        false_positives,
+        trials,
+        rate: wilson_95(false_positives, trials),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_windows::ExactSlidingDedup;
+
+    #[test]
+    fn exact_oracle_measures_zero() {
+        let mut d = ExactSlidingDedup::new(512);
+        let m = measure_fp(&mut d, 512, 1);
+        assert_eq!(m.false_positives, 0);
+        assert_eq!(m.trials, 5_120);
+        assert_eq!(m.rate.estimate, 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared harness for the figure/table binaries and Criterion benches.
+//!
+//! Every binary in `src/bin/` regenerates one figure or table of the
+//! paper (see DESIGN.md §3 for the full index):
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `fig1` | Fig. 1 — FP rate vs. window size, \[21\] scheme vs. GBF |
+//! | `fig2a` | Fig. 2(a) — GBF FP over jumping windows, theory vs. experiment |
+//! | `fig2b` | Fig. 2(b) — TBF FP over sliding windows, theory vs. experiment |
+//! | `table_ops` | Theorems 1 & 2 — per-element memory operations + throughput |
+//! | `table_fn` | Theorems 1.1 & 2.1 — zero-false-negative verification |
+//! | `table_adnet` | §1.1 — end-to-end fraud savings in the PPC simulator |
+//!
+//! All binaries accept `--paper` to run at the paper's full `N = 2^20`
+//! scale (minutes) instead of the quick default `N = 2^18` (seconds),
+//! and print tab-separated series suitable for plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fp;
+pub mod naive;
+pub mod scale;
+
+pub use fp::{measure_fp, FpMeasurement};
+pub use naive::NaiveJumpingBloom;
+pub use scale::Scale;

@@ -1,0 +1,180 @@
+//! The §3.1 strawman: separate per-sub-window Bloom filters.
+//!
+//! "We then have to check each of the `Q` active Bloom filters ... such a
+//! duplicate-checking procedure may cost about `Q × k` memory operations,
+//! which is very time consuming if `Q` is large."
+//!
+//! This detector exists as the ablation baseline for GBF's interleaved
+//! layout: identical window semantics and identical hash indices, but
+//! `Q` independent bit-vectors probed one after another. The
+//! `benches/ablations.rs` suite measures the layout speedup directly.
+
+use cfd_bits::BitVec;
+use cfd_hash::{DoubleHashFamily, HashFamily};
+use cfd_windows::{DuplicateDetector, JumpingClock, Verdict, WindowSpec};
+
+/// Jumping-window duplicate detection with `Q + 1` *separate* Bloom
+/// filters (the naive layout GBF improves upon).
+#[derive(Debug, Clone)]
+pub struct NaiveJumpingBloom {
+    n: usize,
+    q: usize,
+    m: usize,
+    k: usize,
+    filters: Vec<BitVec>,
+    active: Vec<bool>,
+    clock: JumpingClock,
+    family: DoubleHashFamily,
+    spare: Option<usize>,
+    clean_next: usize,
+    clean_quota: usize,
+    probe_buf: Vec<usize>,
+}
+
+impl NaiveJumpingBloom {
+    /// Creates the detector (same parameter meaning as `cfd_core::Gbf`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions, `q > n`, or `k` outside `1..=64`.
+    #[must_use]
+    pub fn new(n: usize, q: usize, m: usize, k: usize, seed: u64) -> Self {
+        assert!(n > 0 && q > 0 && q <= n && m > 0, "bad window/filter size");
+        assert!((1..=64).contains(&k), "k out of range");
+        let sub_len = n.div_ceil(q);
+        let mut active = vec![false; q + 1];
+        active[0] = true;
+        Self {
+            n,
+            q,
+            m,
+            k,
+            filters: vec![BitVec::new(m); q + 1],
+            active,
+            clock: JumpingClock::new(q, sub_len),
+            family: DoubleHashFamily::new(seed),
+            spare: None,
+            clean_next: 0,
+            clean_quota: m.div_ceil(sub_len),
+            probe_buf: vec![0; k],
+        }
+    }
+
+    fn clean_step(&mut self) {
+        if let Some(spare) = self.spare {
+            let end = (self.clean_next + self.clean_quota).min(self.m);
+            let word_start = self.clean_next / 64;
+            let word_end = end.div_ceil(64).min(self.filters[spare].word_len());
+            self.filters[spare].clear_word_range(word_start, word_end);
+            self.clean_next = end;
+            if self.clean_next >= self.m {
+                self.spare = None;
+                self.clean_next = 0;
+            }
+        }
+    }
+
+    fn clean_finish(&mut self) {
+        if let Some(spare) = self.spare {
+            self.filters[spare].clear_all();
+            self.spare = None;
+            self.clean_next = 0;
+        }
+    }
+}
+
+impl DuplicateDetector for NaiveJumpingBloom {
+    fn observe(&mut self, id: &[u8]) -> Verdict {
+        self.clean_step();
+        self.family.fill(id, self.m, &mut self.probe_buf);
+        // The naive probe: every active filter, bit by bit.
+        let mut duplicate = false;
+        for (slot, filter) in self.filters.iter().enumerate() {
+            if !self.active[slot] {
+                continue;
+            }
+            if self.probe_buf.iter().all(|&i| filter.get(i)) {
+                duplicate = true;
+                break;
+            }
+        }
+        let verdict = if duplicate {
+            Verdict::Duplicate
+        } else {
+            let cur = self.clock.slot();
+            for &i in &self.probe_buf {
+                self.filters[cur].set(i);
+            }
+            Verdict::Distinct
+        };
+        if let Some(rot) = self.clock.record_arrival() {
+            self.clean_finish();
+            self.active[rot.new_slot] = true;
+            if let Some(expired) = rot.expired_slot {
+                self.active[expired] = false;
+                self.spare = Some(expired);
+                self.clean_next = 0;
+            }
+        }
+        verdict
+    }
+
+    fn window(&self) -> WindowSpec {
+        WindowSpec::Jumping { n: self.n, q: self.q }
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.filters.iter().map(BitVec::memory_bits).sum()
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new(self.n, self.q, self.m, self.k, self.family.seed());
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-jumping-bloom"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_core::{Gbf, GbfConfig};
+
+    #[test]
+    fn agrees_with_gbf_verdict_for_verdict() {
+        // Same hash family, same sizes -> identical bit patterns, so the
+        // two layouts must agree on EVERY verdict, false positives
+        // included.
+        let (n, q, m, k, seed) = (1_024usize, 8usize, 4_096usize, 5usize, 3u64);
+        let mut naive = NaiveJumpingBloom::new(n, q, m, k, seed);
+        let mut gbf = Gbf::new(
+            GbfConfig::builder(n, q)
+                .filter_bits(m)
+                .hash_count(k)
+                .seed(seed)
+                .build()
+                .expect("cfg"),
+        )
+        .expect("detector");
+        for i in 0..100_000u64 {
+            let key = (i % 1_500).to_le_bytes();
+            assert_eq!(
+                naive.observe(&key),
+                gbf.observe(&key),
+                "layouts diverged at element {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_and_expires_like_a_jumping_window() {
+        let mut d = NaiveJumpingBloom::new(16, 4, 1 << 12, 5, 1);
+        assert_eq!(d.observe(b"x"), Verdict::Distinct);
+        assert_eq!(d.observe(b"x"), Verdict::Duplicate);
+        for i in 0..16u32 {
+            d.observe(&(i + 100).to_le_bytes());
+        }
+        assert_eq!(d.observe(b"x"), Verdict::Distinct);
+    }
+}

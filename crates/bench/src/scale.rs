@@ -1,0 +1,78 @@
+//! Command-line scale selection shared by the figure binaries.
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Quick laptop scale: `N = 2^18`, parameters shrunk proportionally.
+    Quick,
+    /// The paper's exact scale: `N = 2^20`.
+    Paper,
+    /// Tiny smoke-test scale for CI: `N = 2^14`.
+    Smoke,
+}
+
+impl Scale {
+    /// Parses `--paper` / `--smoke` from the process arguments
+    /// (default: quick).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut scale = Scale::Quick;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--paper" => scale = Scale::Paper,
+                "--smoke" => scale = Scale::Smoke,
+                "--quick" => scale = Scale::Quick,
+                other => {
+                    eprintln!("warning: unrecognized argument `{other}` (accepted: --quick --paper --smoke)");
+                }
+            }
+        }
+        scale
+    }
+
+    /// The window size `N` at this scale.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        match self {
+            Scale::Paper => 1 << 20,
+            Scale::Quick => 1 << 18,
+            Scale::Smoke => 1 << 14,
+        }
+    }
+
+    /// Scales a paper-sized auxiliary quantity (like the Fig. 2 filter
+    /// sizes) by `n() / 2^20`, keeping the paper's ratios.
+    #[must_use]
+    pub fn scaled(&self, paper_value: usize) -> usize {
+        (paper_value * self.n() / (1 << 20)).max(1)
+    }
+
+    /// Human-readable label for output headers.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Paper => "paper (N = 2^20)",
+            Scale::Quick => "quick (N = 2^18, paper ratios)",
+            Scale::Smoke => "smoke (N = 2^14, paper ratios)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_preserves_ratio() {
+        assert_eq!(Scale::Paper.scaled(15_112_980), 15_112_980);
+        assert_eq!(Scale::Quick.scaled(1 << 20), 1 << 18);
+        assert_eq!(Scale::Smoke.scaled(64), 1);
+    }
+
+    #[test]
+    fn n_values() {
+        assert_eq!(Scale::Paper.n(), 1 << 20);
+        assert_eq!(Scale::Quick.n(), 1 << 18);
+        assert_eq!(Scale::Smoke.n(), 1 << 14);
+    }
+}

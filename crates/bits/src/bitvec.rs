@@ -1,0 +1,314 @@
+//! A fixed-size bit vector backed by `u64` words.
+
+use crate::words::{low_mask, split_index, words_for_bits, WORD_BITS};
+
+/// A fixed-size vector of bits, all initialized to 0.
+///
+/// The backing store for classical Bloom filters. Capacity is fixed at
+/// construction; out-of-range accesses panic (the Bloom layer always
+/// derives indices with `% m`, so a panic here indicates a logic bug, not
+/// bad user input).
+///
+/// ```rust
+/// use cfd_bits::BitVec;
+/// let mut v = BitVec::new(100);
+/// assert!(!v.set(42)); // returns the previous value
+/// assert!(v.get(42));
+/// assert_eq!(v.count_ones(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a bit vector of `len` zero bits.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; words_for_bits(len)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector has zero bits.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, b) = split_index(i);
+        (self.words[w] >> b) & 1 == 1
+    }
+
+    /// Sets bit `i` to 1, returning its previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, b) = split_index(i);
+        let prev = (self.words[w] >> b) & 1 == 1;
+        self.words[w] |= 1u64 << b;
+        prev
+    }
+
+    /// Clears bit `i` to 0, returning its previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, b) = split_index(i);
+        let prev = (self.words[w] >> b) & 1 == 1;
+        self.words[w] &= !(1u64 << b);
+        prev
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Clears the word-aligned range of bits `[word_start * 64, word_end * 64)`.
+    ///
+    /// Used for the paper's *incremental* cleaning of an expired Bloom
+    /// filter (§3.1): the caller wipes a few words per arriving element
+    /// instead of the whole filter at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_end` exceeds the word count or `word_start > word_end`.
+    pub fn clear_word_range(&mut self, word_start: usize, word_end: usize) {
+        assert!(word_start <= word_end && word_end <= self.words.len());
+        self.words[word_start..word_end].fill(0);
+    }
+
+    /// Number of words backing this vector.
+    #[inline]
+    #[must_use]
+    pub fn word_len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of set bits (`0.0` for an empty vector).
+    #[must_use]
+    pub fn fill_ratio(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Memory footprint of the payload in bits (excluding the struct).
+    #[inline]
+    #[must_use]
+    pub fn memory_bits(&self) -> usize {
+        self.words.len() * WORD_BITS
+    }
+
+    /// Bitwise OR of another vector of identical length into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn union_with(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `true` if every bit set in `self` is also set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        let mut v = BitVec::new(bits.len());
+        for (i, b) in bits.into_iter().enumerate() {
+            if b {
+                v.set(i);
+            }
+        }
+        v
+    }
+}
+
+/// Ensures trailing bits beyond `len` in the last word stay zero even
+/// after bulk operations (relevant for `count_ones`).
+impl BitVec {
+    #[allow(dead_code)]
+    fn debug_trailing_clear(&self) -> bool {
+        if self.len.is_multiple_of(WORD_BITS) || self.words.is_empty() {
+            return true;
+        }
+        let used = (self.len % WORD_BITS) as u32;
+        self.words[self.words.len() - 1] & !low_mask(used) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_is_all_zero() {
+        let v = BitVec::new(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), 0);
+        assert!((0..130).all(|i| !v.get(i)));
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut v = BitVec::new(200);
+        assert!(!v.set(0));
+        assert!(v.set(0));
+        assert!(!v.set(63));
+        assert!(!v.set(64));
+        assert!(!v.set(199));
+        assert_eq!(v.count_ones(), 4);
+        assert!(v.clear(63));
+        assert!(!v.clear(63));
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::new(10);
+        let _ = v.get(10);
+    }
+
+    #[test]
+    fn clear_word_range_wipes_only_that_range() {
+        let mut v = BitVec::new(256);
+        for i in 0..256 {
+            v.set(i);
+        }
+        v.clear_word_range(1, 3); // bits 64..192
+        for i in 0..256 {
+            assert_eq!(v.get(i), !(64..192).contains(&i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let mut a = BitVec::new(100);
+        let mut b = BitVec::new(100);
+        a.set(1);
+        b.set(1);
+        b.set(99);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        a.union_with(&b);
+        assert!(b.is_subset_of(&a));
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    fn iter_ones_yields_sorted_positions() {
+        let mut v = BitVec::new(300);
+        let positions = [0usize, 5, 63, 64, 128, 255, 299];
+        for &p in &positions {
+            v.set(p);
+        }
+        let got: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(got, positions);
+    }
+
+    #[test]
+    fn from_iterator_builds_expected() {
+        let v: BitVec = [true, false, true, true].into_iter().collect();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn fill_ratio_edges() {
+        assert_eq!(BitVec::new(0).fill_ratio(), 0.0);
+        let mut v = BitVec::new(4);
+        v.set(0);
+        v.set(1);
+        assert!((v.fill_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_model_hashset(ops in prop::collection::vec((0usize..512, any::<bool>()), 0..300)) {
+            let mut v = BitVec::new(512);
+            let mut model = std::collections::HashSet::new();
+            for (i, set) in ops {
+                if set {
+                    prop_assert_eq!(v.set(i), !model.insert(i));
+                } else {
+                    prop_assert_eq!(v.clear(i), model.remove(&i));
+                }
+            }
+            prop_assert_eq!(v.count_ones(), model.len());
+            for i in 0..512 {
+                prop_assert_eq!(v.get(i), model.contains(&i));
+            }
+            prop_assert!(v.debug_trailing_clear());
+        }
+    }
+}

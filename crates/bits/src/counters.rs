@@ -1,0 +1,301 @@
+//! Saturating packed counters — the counting-Bloom-filter substrate.
+//!
+//! Metwally et al. \[21\] (the baseline the paper compares against in §3.3)
+//! replace each Bloom bit with a small counter so expired sub-windows can
+//! be *subtracted* from a main filter. The paper's critique is that the
+//! counters must be wide enough to avoid saturation (worst case `N/Q` in a
+//! sub-window filter and `N` in the main filter) or the scheme produces
+//! both false negatives and false positives. This type therefore tracks
+//! saturation events explicitly so the benches can report them.
+
+use crate::packed::PackedIntVec;
+
+/// A fixed-size vector of saturating `b`-bit counters.
+///
+/// ```rust
+/// use cfd_bits::PackedCounterVec;
+/// let mut c = PackedCounterVec::new(8, 2); // 2-bit counters saturate at 3
+/// for _ in 0..5 { c.increment(0); }
+/// assert_eq!(c.get(0), 3);
+/// assert_eq!(c.saturations(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedCounterVec {
+    cells: PackedIntVec,
+    saturations: u64,
+    underflows: u64,
+}
+
+impl PackedCounterVec {
+    /// Creates `len` zeroed counters of `bits` width (1..=64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 64.
+    #[must_use]
+    pub fn new(len: usize, bits: u32) -> Self {
+        Self {
+            cells: PackedIntVec::new(len, bits),
+            saturations: 0,
+            underflows: 0,
+        }
+    }
+
+    /// Number of counters.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if there are zero counters.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Width of each counter in bits.
+    #[inline]
+    #[must_use]
+    pub fn counter_bits(&self) -> u32 {
+        self.cells.entry_bits()
+    }
+
+    /// Maximum counter value before saturation.
+    #[inline]
+    #[must_use]
+    pub fn max_value(&self) -> u64 {
+        self.cells.max_value()
+    }
+
+    /// Memory footprint of the payload in bits.
+    #[inline]
+    #[must_use]
+    pub fn memory_bits(&self) -> usize {
+        self.cells.memory_bits()
+    }
+
+    /// Reads counter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> u64 {
+        self.cells.get(i)
+    }
+
+    /// Increments counter `i`, saturating at the maximum.
+    ///
+    /// Returns the *new* value. Saturated increments are counted in
+    /// [`PackedCounterVec::saturations`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn increment(&mut self, i: usize) -> u64 {
+        let v = self.cells.get(i);
+        if v == self.cells.max_value() {
+            self.saturations += 1;
+            v
+        } else {
+            self.cells.set(i, v + 1);
+            v + 1
+        }
+    }
+
+    /// Decrements counter `i`, flooring at zero.
+    ///
+    /// Returns the *new* value. Decrements of an already-zero counter are
+    /// counted in [`PackedCounterVec::underflows`]; they indicate the
+    /// counting-filter invariant was already violated by saturation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn decrement(&mut self, i: usize) -> u64 {
+        let v = self.cells.get(i);
+        if v == 0 {
+            self.underflows += 1;
+            0
+        } else {
+            self.cells.set(i, v - 1);
+            v - 1
+        }
+    }
+
+    /// Adds counter vector `other` into `self` (saturating per cell).
+    ///
+    /// This is the \[21\] "combining two counting Bloom filters is performed
+    /// by adding the corresponding counters" operation.
+    ///
+    /// Counter widths may differ: values are compared numerically and
+    /// saturate at `self`'s maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn add_assign_saturating(&mut self, other: &Self) {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        let max = self.max_value();
+        for i in 0..self.len() {
+            let sum = self.cells.get(i) + other.cells.get(i);
+            if sum > max {
+                self.saturations += 1;
+                self.cells.set(i, max);
+            } else {
+                self.cells.set(i, sum);
+            }
+        }
+    }
+
+    /// Subtracts counter vector `other` from `self` (flooring per cell).
+    ///
+    /// The \[21\] "deleting an old counting Bloom filter is performed by
+    /// subtracting its counters from the main Bloom filter" operation.
+    /// This is the `O(m)` bulk step the paper's GBF avoids.
+    ///
+    /// Counter widths may differ (the Metwally main filter is wider than
+    /// its sub-window filters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn sub_assign_flooring(&mut self, other: &Self) {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        for i in 0..self.len() {
+            let a = self.cells.get(i);
+            let b = other.cells.get(i);
+            if b > a {
+                self.underflows += 1;
+                self.cells.set(i, 0);
+            } else {
+                self.cells.set(i, a - b);
+            }
+        }
+    }
+
+    /// Resets every counter to zero (keeps the event statistics).
+    pub fn clear_all(&mut self) {
+        self.cells.fill(0);
+    }
+
+    /// Total saturating-increment (or saturating-add) events so far.
+    #[inline]
+    #[must_use]
+    pub fn saturations(&self) -> u64 {
+        self.saturations
+    }
+
+    /// Total floored-decrement (or floored-subtract) events so far.
+    #[inline]
+    #[must_use]
+    pub fn underflows(&self) -> u64 {
+        self.underflows
+    }
+
+    /// Number of non-zero counters.
+    #[must_use]
+    pub fn count_nonzero(&self) -> usize {
+        self.cells.iter().filter(|&v| v != 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn increment_decrement_roundtrip() {
+        let mut c = PackedCounterVec::new(16, 4);
+        for _ in 0..7 {
+            c.increment(3);
+        }
+        assert_eq!(c.get(3), 7);
+        for _ in 0..7 {
+            c.decrement(3);
+        }
+        assert_eq!(c.get(3), 0);
+        assert_eq!(c.saturations(), 0);
+        assert_eq!(c.underflows(), 0);
+    }
+
+    #[test]
+    fn saturation_is_sticky_and_counted() {
+        let mut c = PackedCounterVec::new(4, 2);
+        for _ in 0..10 {
+            c.increment(1);
+        }
+        assert_eq!(c.get(1), 3);
+        assert_eq!(c.saturations(), 7);
+    }
+
+    #[test]
+    fn underflow_floors_and_is_counted() {
+        let mut c = PackedCounterVec::new(4, 4);
+        assert_eq!(c.decrement(0), 0);
+        assert_eq!(c.underflows(), 1);
+    }
+
+    #[test]
+    fn add_and_sub_vectors() {
+        let mut a = PackedCounterVec::new(8, 4);
+        let mut b = PackedCounterVec::new(8, 4);
+        for _ in 0..9 {
+            a.increment(0);
+        }
+        for _ in 0..8 {
+            b.increment(0);
+        }
+        b.increment(5);
+        a.add_assign_saturating(&b); // 9 + 8 saturates at 15
+        assert_eq!(a.get(0), 15);
+        assert_eq!(a.get(5), 1);
+        assert_eq!(a.saturations(), 1);
+        a.sub_assign_flooring(&b);
+        assert_eq!(a.get(0), 7); // 15 - 8: saturation already lost 2
+        assert_eq!(a.get(5), 0);
+    }
+
+    #[test]
+    fn count_nonzero_tracks_occupancy() {
+        let mut c = PackedCounterVec::new(10, 3);
+        c.increment(2);
+        c.increment(2);
+        c.increment(9);
+        assert_eq!(c.count_nonzero(), 2);
+        c.clear_all();
+        assert_eq!(c.count_nonzero(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::default())]
+        #[test]
+        #[allow(clippy::needless_range_loop)]
+        fn matches_saturating_model(
+            bits in 1u32..=8,
+            ops in prop::collection::vec((0usize..32, any::<bool>()), 0..500),
+        ) {
+            let mut c = PackedCounterVec::new(32, bits);
+            let max = c.max_value();
+            let mut model = vec![0u64; 32];
+            for (i, inc) in ops {
+                if inc {
+                    c.increment(i);
+                    model[i] = (model[i] + 1).min(max);
+                } else {
+                    c.decrement(i);
+                    model[i] = model[i].saturating_sub(1);
+                }
+            }
+            for i in 0..32 {
+                prop_assert_eq!(c.get(i), model[i]);
+            }
+        }
+    }
+}

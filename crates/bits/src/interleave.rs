@@ -1,0 +1,387 @@
+//! The group-Bloom-filter memory layout (paper §3.1).
+//!
+//! Instead of `Q + 1` separate Bloom filters, the bits with the same index
+//! in each filter are grouped into the same machine word(s): *group* `g`
+//! holds bit `g` of every filter (one *lane* per filter). A membership
+//! probe across all filters then reads `k × ⌈lanes/64⌉` words, ANDs them,
+//! masks the inactive lanes, and tests for non-zero — exactly the CPU-word
+//! trick the paper describes with its `Q = 31`, 32-bit-word example.
+
+use crate::words::WORD_BITS;
+
+/// A matrix of `groups × lanes` bits, stored group-major so that all the
+/// lanes of one group are adjacent in memory.
+///
+/// * `groups` = `m`, the per-filter size in bits.
+/// * `lanes`  = the number of filters sharing the layout (`Q + 1` for GBF:
+///   `Q` active sub-windows plus one spare being cleaned).
+///
+/// ```rust
+/// use cfd_bits::InterleavedBitMatrix;
+/// let mut mx = InterleavedBitMatrix::new(1024, 9);
+/// mx.set(17, 3);
+/// assert!(mx.get(17, 3));
+/// assert!(!mx.get(17, 4));
+/// // Probe: which lanes have bit 17 AND bit 40 set?
+/// let mut acc = mx.full_lane_mask();
+/// mx.and_group_into(17, &mut acc);
+/// mx.and_group_into(40, &mut acc);
+/// assert!(acc.iter().all(|&w| w == 0)); // bit 40 never set
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterleavedBitMatrix {
+    words: Vec<u64>,
+    groups: usize,
+    lanes: usize,
+    lane_words: usize,
+}
+
+impl InterleavedBitMatrix {
+    /// Creates an all-zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` or `lanes` is zero.
+    #[must_use]
+    pub fn new(groups: usize, lanes: usize) -> Self {
+        assert!(groups > 0, "groups must be positive");
+        assert!(lanes > 0, "lanes must be positive");
+        let lane_words = lanes.div_ceil(WORD_BITS);
+        Self {
+            words: vec![
+                0;
+                groups
+                    .checked_mul(lane_words)
+                    .expect("matrix size overflow")
+            ],
+            groups,
+            lanes,
+            lane_words,
+        }
+    }
+
+    /// Number of groups (`m`, the per-filter bit count).
+    #[inline]
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Number of lanes (filters).
+    #[inline]
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Words per group (`⌈lanes/64⌉`); the unit cost of one group access.
+    #[inline]
+    #[must_use]
+    pub fn lane_words(&self) -> usize {
+        self.lane_words
+    }
+
+    /// Memory footprint of the payload in bits.
+    #[inline]
+    #[must_use]
+    pub fn memory_bits(&self) -> usize {
+        self.words.len() * WORD_BITS
+    }
+
+    /// The raw backing words (for checkpointing).
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a matrix from raw words produced by
+    /// [`InterleavedBitMatrix::as_words`]. Returns `None` on a size
+    /// mismatch.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, groups: usize, lanes: usize) -> Option<Self> {
+        if groups == 0 || lanes == 0 {
+            return None;
+        }
+        let lane_words = lanes.div_ceil(crate::words::WORD_BITS);
+        if words.len() != groups.checked_mul(lane_words)? {
+            return None;
+        }
+        Some(Self {
+            words,
+            groups,
+            lanes,
+            lane_words,
+        })
+    }
+
+    #[inline]
+    fn base(&self, group: usize) -> usize {
+        debug_assert!(group < self.groups);
+        group * self.lane_words
+    }
+
+    /// Reads the bit at (`group`, `lane`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, group: usize, lane: usize) -> bool {
+        assert!(group < self.groups, "group {group} out of range");
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let w = self.base(group) + lane / WORD_BITS;
+        (self.words[w] >> (lane % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets the bit at (`group`, `lane`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn set(&mut self, group: usize, lane: usize) {
+        assert!(group < self.groups, "group {group} out of range");
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let w = self.base(group) + lane / WORD_BITS;
+        self.words[w] |= 1u64 << (lane % WORD_BITS);
+    }
+
+    /// Clears the bit at (`group`, `lane`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn clear(&mut self, group: usize, lane: usize) {
+        assert!(group < self.groups, "group {group} out of range");
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let w = self.base(group) + lane / WORD_BITS;
+        self.words[w] &= !(1u64 << (lane % WORD_BITS));
+    }
+
+    /// ANDs group `group`'s lane words into `acc`.
+    ///
+    /// This is the probe primitive: after ANDing the `k` hashed groups,
+    /// `acc` has a 1 exactly in the lanes whose filter contains all `k`
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range or `acc.len() != lane_words`.
+    #[inline]
+    pub fn and_group_into(&self, group: usize, acc: &mut [u64]) {
+        assert!(group < self.groups, "group {group} out of range");
+        assert_eq!(acc.len(), self.lane_words, "accumulator width mismatch");
+        let base = self.base(group);
+        for (a, w) in acc.iter_mut().zip(&self.words[base..base + self.lane_words]) {
+            *a &= w;
+        }
+    }
+
+    /// A lane mask with all `lanes` bits set (1s in every valid lane).
+    #[must_use]
+    pub fn full_lane_mask(&self) -> Vec<u64> {
+        let mut mask = vec![u64::MAX; self.lane_words];
+        let used = self.lanes % WORD_BITS;
+        if used != 0 {
+            *mask.last_mut().expect("lane_words >= 1") = (1u64 << used) - 1;
+        }
+        mask
+    }
+
+    /// A lane mask with a single lane bit set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    #[must_use]
+    pub fn single_lane_mask(&self, lane: usize) -> Vec<u64> {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let mut mask = vec![0u64; self.lane_words];
+        mask[lane / WORD_BITS] = 1u64 << (lane % WORD_BITS);
+        mask
+    }
+
+    /// Clears lane `lane` in `count` consecutive groups starting at
+    /// `group_start` (no wraparound; the caller splits a wrapping range).
+    ///
+    /// This is the incremental-cleaning primitive of §3.1: the expired
+    /// filter is wiped a few groups per arriving element instead of all
+    /// `m` at once. Returns the number of words touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the group count or `lane` is invalid.
+    pub fn clear_lane_range(&mut self, lane: usize, group_start: usize, count: usize) -> usize {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        assert!(
+            group_start + count <= self.groups,
+            "group range {group_start}+{count} exceeds {}",
+            self.groups
+        );
+        let lw = lane / WORD_BITS;
+        let mask = !(1u64 << (lane % WORD_BITS));
+        for g in group_start..group_start + count {
+            let w = g * self.lane_words + lw;
+            self.words[w] &= mask;
+        }
+        count
+    }
+
+    /// Clears lane `lane` in every group (`O(m)` — construction/reset only).
+    pub fn clear_lane_all(&mut self, lane: usize) {
+        self.clear_lane_range(lane, 0, self.groups);
+    }
+
+    /// Clears the whole matrix.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits in lane `lane` (diagnostics; `O(m)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    #[must_use]
+    pub fn count_ones_in_lane(&self, lane: usize) -> usize {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let lw = lane / WORD_BITS;
+        let bit = lane % WORD_BITS;
+        (0..self.groups)
+            .filter(|&g| (self.words[g * self.lane_words + lw] >> bit) & 1 == 1)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_clear_independent_lanes() {
+        let mut mx = InterleavedBitMatrix::new(100, 9);
+        mx.set(50, 0);
+        mx.set(50, 8);
+        assert!(mx.get(50, 0));
+        assert!(mx.get(50, 8));
+        assert!(!mx.get(50, 4));
+        assert!(!mx.get(49, 0));
+        mx.clear(50, 0);
+        assert!(!mx.get(50, 0));
+        assert!(mx.get(50, 8));
+    }
+
+    #[test]
+    fn lane_words_scale_past_64_lanes() {
+        let mx = InterleavedBitMatrix::new(10, 65);
+        assert_eq!(mx.lane_words(), 2);
+        let mut mx = mx;
+        mx.set(3, 64);
+        assert!(mx.get(3, 64));
+        assert!(!mx.get(3, 63));
+    }
+
+    #[test]
+    fn probe_semantics_via_and() {
+        let mut mx = InterleavedBitMatrix::new(64, 5);
+        // Lane 2 contains "element" hashing to groups {7, 9, 11}.
+        for g in [7, 9, 11] {
+            mx.set(g, 2);
+        }
+        // Lane 4 contains only groups {7, 9}.
+        for g in [7, 9] {
+            mx.set(g, 4);
+        }
+        let mut acc = mx.full_lane_mask();
+        for g in [7, 9, 11] {
+            mx.and_group_into(g, &mut acc);
+        }
+        assert_eq!(acc, vec![0b00100]); // only lane 2 has all three bits
+    }
+
+    #[test]
+    fn full_lane_mask_covers_exactly_lanes() {
+        let mx = InterleavedBitMatrix::new(4, 64);
+        assert_eq!(mx.full_lane_mask(), vec![u64::MAX]);
+        let mx = InterleavedBitMatrix::new(4, 9);
+        assert_eq!(mx.full_lane_mask(), vec![0x1FF]);
+        let mx = InterleavedBitMatrix::new(4, 70);
+        assert_eq!(mx.full_lane_mask(), vec![u64::MAX, 0x3F]);
+    }
+
+    #[test]
+    fn single_lane_mask_selects_one() {
+        let mx = InterleavedBitMatrix::new(4, 70);
+        assert_eq!(mx.single_lane_mask(0), vec![1, 0]);
+        assert_eq!(mx.single_lane_mask(69), vec![0, 1 << 5]);
+    }
+
+    #[test]
+    fn clear_lane_range_clears_only_that_lane_and_range() {
+        let mut mx = InterleavedBitMatrix::new(100, 3);
+        for g in 0..100 {
+            for l in 0..3 {
+                mx.set(g, l);
+            }
+        }
+        let touched = mx.clear_lane_range(1, 20, 30);
+        assert_eq!(touched, 30);
+        for g in 0..100 {
+            assert!(mx.get(g, 0));
+            assert!(mx.get(g, 2));
+            assert_eq!(mx.get(g, 1), !(20..50).contains(&g), "g={g}");
+        }
+        assert_eq!(mx.count_ones_in_lane(1), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn clear_lane_range_out_of_bounds_panics() {
+        let mut mx = InterleavedBitMatrix::new(10, 2);
+        mx.clear_lane_range(0, 5, 6);
+    }
+
+    #[test]
+    fn memory_bits_accounts_for_padding() {
+        let mx = InterleavedBitMatrix::new(1000, 9);
+        // 9 lanes round up to one word per group.
+        assert_eq!(mx.memory_bits(), 1000 * 64);
+    }
+
+    proptest! {
+        #[test]
+        #[allow(clippy::needless_range_loop)]
+        fn matches_dense_model(
+            lanes in 1usize..130,
+            ops in prop::collection::vec((0usize..64, 0usize..130, any::<bool>()), 0..300),
+        ) {
+            let mut mx = InterleavedBitMatrix::new(64, lanes);
+            let mut model = vec![vec![false; lanes]; 64];
+            for (g, l, on) in ops {
+                let l = l % lanes;
+                if on {
+                    mx.set(g, l);
+                } else {
+                    mx.clear(g, l);
+                }
+                model[g][l] = on;
+            }
+            for g in 0..64 {
+                for l in 0..lanes {
+                    prop_assert_eq!(mx.get(g, l), model[g][l], "g={} l={}", g, l);
+                }
+            }
+            // AND-probe agrees with the model for a random pair of groups.
+            let mut acc = mx.full_lane_mask();
+            mx.and_group_into(3, &mut acc);
+            mx.and_group_into(42, &mut acc);
+            for l in 0..lanes {
+                let bit = (acc[l / 64] >> (l % 64)) & 1 == 1;
+                prop_assert_eq!(bit, model[3][l] && model[42][l]);
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Bit-level storage substrate for the click-fraud detection suite.
+//!
+//! Everything the paper's data structures need to touch memory lives here:
+//!
+//! * [`bitvec::BitVec`] — a fixed-size bit vector (classical Bloom
+//!   filters).
+//! * [`interleave::InterleavedBitMatrix`] — the *group Bloom filter*
+//!   layout of §3: bit `j` of every sub-window filter shares a machine
+//!   word, so one membership probe across all sub-windows is `k` word
+//!   reads, an AND, and a mask.
+//! * [`packed::PackedIntVec`] — a vector of `b`-bit unsigned entries
+//!   (the `O(log N)`-bit timestamp cells of the timing Bloom filter, §4).
+//! * [`counters::PackedCounterVec`] — saturating `b`-bit counters (the
+//!   counting Bloom filter baseline of Metwally et al. \[21\]).
+//! * [`words`] — shared word-math helpers.
+//!
+//! All structures are `#![forbid(unsafe_code)]`, fixed-capacity after
+//! construction, and expose explicit word-operation accounting hooks so
+//! the benchmark harness can reproduce the paper's running-time claims
+//! (Theorems 1 and 2) in *memory operations*, not just wall-clock time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitvec;
+pub mod counters;
+pub mod interleave;
+pub mod packed;
+pub mod tight;
+pub mod words;
+
+pub use bitvec::BitVec;
+pub use counters::PackedCounterVec;
+pub use interleave::InterleavedBitMatrix;
+pub use packed::PackedIntVec;
+pub use tight::TightBitMatrix;

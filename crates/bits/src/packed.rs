@@ -1,0 +1,284 @@
+//! A fixed-size vector of `b`-bit unsigned integers.
+//!
+//! This is the storage for timing-Bloom-filter entries (§4): `m` cells of
+//! `O(log N)` bits each. Entries may straddle word boundaries; get/set are
+//! branch-light and constant-time.
+
+use crate::words::{low_mask, WORD_BITS};
+
+/// A fixed-size vector of `len` entries, each `bits` wide (1..=64).
+///
+/// ```rust
+/// use cfd_bits::PackedIntVec;
+/// let mut v = PackedIntVec::new(10, 21);
+/// v.set(3, 0x1F_FFFF);
+/// assert_eq!(v.get(3), 0x1F_FFFF);
+/// assert_eq!(v.get(2), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedIntVec {
+    words: Vec<u64>,
+    len: usize,
+    bits: u32,
+    max: u64,
+}
+
+impl PackedIntVec {
+    /// Creates a vector of `len` zero entries of `bits` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 64.
+    #[must_use]
+    pub fn new(len: usize, bits: u32) -> Self {
+        assert!((1..=64).contains(&bits), "entry width must be 1..=64 bits");
+        let total_bits = len
+            .checked_mul(bits as usize)
+            .expect("packed vector size overflow");
+        Self {
+            words: vec![0; total_bits.div_ceil(WORD_BITS)],
+            len,
+            bits,
+            max: low_mask(bits),
+        }
+    }
+
+    /// Creates a vector with every entry set to the all-ones pattern.
+    ///
+    /// The timing Bloom filter initializes "all bits in all entries ... to
+    /// bit 1" (§4.1), reserving all-ones as the *empty* marker.
+    #[must_use]
+    pub fn new_all_ones(len: usize, bits: u32) -> Self {
+        let mut v = Self::new(len, bits);
+        v.fill(v.max);
+        v
+    }
+
+    /// Number of entries.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector has zero entries.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Width of each entry in bits.
+    #[inline]
+    #[must_use]
+    pub fn entry_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Largest storable value (`2^bits − 1`), i.e. the all-ones pattern.
+    #[inline]
+    #[must_use]
+    pub fn max_value(&self) -> u64 {
+        self.max
+    }
+
+    /// Memory footprint of the payload in bits.
+    #[inline]
+    #[must_use]
+    pub fn memory_bits(&self) -> usize {
+        self.words.len() * WORD_BITS
+    }
+
+    /// Reads entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "entry index {i} out of range {}", self.len);
+        let bit = i * self.bits as usize;
+        let (w, off) = (bit / WORD_BITS, (bit % WORD_BITS) as u32);
+        let lo = self.words[w] >> off;
+        let have = WORD_BITS as u32 - off;
+        let val = if have >= self.bits {
+            lo
+        } else {
+            lo | (self.words[w + 1] << have)
+        };
+        val & self.max
+    }
+
+    /// Writes entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` or `value` does not fit in the entry width.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: u64) {
+        assert!(i < self.len, "entry index {i} out of range {}", self.len);
+        assert!(
+            value <= self.max,
+            "value {value} exceeds {}-bit entry",
+            self.bits
+        );
+        let bit = i * self.bits as usize;
+        let (w, off) = (bit / WORD_BITS, (bit % WORD_BITS) as u32);
+        self.words[w] = (self.words[w] & !(self.max << off)) | (value << off);
+        let have = WORD_BITS as u32 - off;
+        if have < self.bits {
+            let spill = self.bits - have;
+            let hi_mask = low_mask(spill);
+            self.words[w + 1] = (self.words[w + 1] & !hi_mask) | (value >> have);
+        }
+    }
+
+    /// Sets every entry to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the entry width.
+    pub fn fill(&mut self, value: u64) {
+        assert!(value <= self.max, "value {value} exceeds entry width");
+        // Entry-by-entry is O(len) but only used at construction/reset.
+        for i in 0..self.len {
+            self.set(i, value);
+        }
+    }
+
+    /// The raw backing words (for checkpointing).
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a vector from raw words produced by
+    /// [`PackedIntVec::as_words`]. Returns `None` when the word count
+    /// does not match `(len, bits)`.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, len: usize, bits: u32) -> Option<Self> {
+        if !(1..=64).contains(&bits) {
+            return None;
+        }
+        let total_bits = len.checked_mul(bits as usize)?;
+        if words.len() != total_bits.div_ceil(crate::words::WORD_BITS) {
+            return None;
+        }
+        Some(Self {
+            words,
+            len,
+            bits,
+            max: crate::words::low_mask(bits),
+        })
+    }
+
+    /// Iterates over all entries in index order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Number of entries equal to `value`.
+    #[must_use]
+    pub fn count_eq(&self, value: u64) -> usize {
+        self.iter().filter(|&v| v == value).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_initialized_and_sized() {
+        let v = PackedIntVec::new(100, 21);
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.entry_bits(), 21);
+        assert_eq!(v.max_value(), (1 << 21) - 1);
+        assert!(v.iter().all(|x| x == 0));
+        assert!(v.memory_bits() >= 2100);
+    }
+
+    #[test]
+    fn all_ones_constructor() {
+        let v = PackedIntVec::new_all_ones(50, 13);
+        assert!(v.iter().all(|x| x == (1 << 13) - 1));
+        assert_eq!(v.count_eq((1 << 13) - 1), 50);
+    }
+
+    #[test]
+    fn straddling_entries_roundtrip() {
+        // 21-bit entries straddle every third word boundary.
+        let mut v = PackedIntVec::new(64, 21);
+        for i in 0..64 {
+            v.set(i, (i as u64 * 0x1_0101) & v.max_value());
+        }
+        for i in 0..64 {
+            assert_eq!(v.get(i), (i as u64 * 0x1_0101) & v.max_value(), "i={i}");
+        }
+    }
+
+    #[test]
+    fn neighbors_are_not_disturbed() {
+        let mut v = PackedIntVec::new(10, 21);
+        v.fill(0x15_5555);
+        v.set(5, 0);
+        for i in 0..10 {
+            let want = if i == 5 { 0 } else { 0x15_5555 };
+            assert_eq!(v.get(i), want, "i={i}");
+        }
+    }
+
+    #[test]
+    fn full_width_64_bit_entries() {
+        let mut v = PackedIntVec::new(5, 64);
+        v.set(0, u64::MAX);
+        v.set(4, 0x0123_4567_89AB_CDEF);
+        assert_eq!(v.get(0), u64::MAX);
+        assert_eq!(v.get(4), 0x0123_4567_89AB_CDEF);
+        assert_eq!(v.get(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn overwide_value_panics() {
+        let mut v = PackedIntVec::new(4, 7);
+        v.set(0, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let v = PackedIntVec::new(4, 7);
+        let _ = v.get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry width")]
+    fn zero_width_panics() {
+        let _ = PackedIntVec::new(4, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::default())]
+        #[test]
+        #[allow(clippy::needless_range_loop)]
+        fn matches_vec_model(
+            bits in 1u32..=64,
+            writes in prop::collection::vec((0usize..200, any::<u64>()), 0..400),
+        ) {
+            let mut v = PackedIntVec::new(200, bits);
+            let mut model = vec![0u64; 200];
+            let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+            for (i, raw) in writes {
+                let val = raw & mask;
+                v.set(i, val);
+                model[i] = val;
+            }
+            for i in 0..200 {
+                prop_assert_eq!(v.get(i), model[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Tightly packed group-Bloom-filter layout for small lane counts.
+//!
+//! [`crate::InterleavedBitMatrix`] pads each group to whole 64-bit words,
+//! which wastes `64 − (Q+1)` bits per group when `Q + 1 < 64` — e.g. a
+//! `Q = 8` GBF spends 64 bits per group on 9 useful lanes. This layout
+//! packs `⌊64/lanes⌋` groups into each word instead, matching the
+//! paper's example where `Q + 1` exactly fills a machine word: one probe
+//! still reads one word per hash index and extracts the group's lanes
+//! with a shift and mask.
+//!
+//! Trade-off vs. the padded layout: ~`⌊64/lanes⌋`× less memory, one
+//! extra shift per probe, and lane-cleaning touches the same word as
+//! neighbouring groups (still a single read-modify-write per group).
+
+use crate::words::low_mask;
+
+/// A matrix of `groups × lanes` bits with several groups packed per
+/// 64-bit word. Lane count is limited to 32 so at least two groups share
+/// a word (use [`crate::InterleavedBitMatrix`] beyond that).
+///
+/// ```rust
+/// use cfd_bits::TightBitMatrix;
+/// let mut mx = TightBitMatrix::new(1000, 9); // 7 groups per word
+/// mx.set(123, 4);
+/// assert!(mx.get(123, 4));
+/// assert!(!mx.get(123, 5));
+/// assert_eq!(mx.read_group(123), 1 << 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TightBitMatrix {
+    words: Vec<u64>,
+    groups: usize,
+    lanes: usize,
+    groups_per_word: usize,
+    lane_mask: u64,
+}
+
+impl TightBitMatrix {
+    /// Creates an all-zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups == 0` or `lanes` is not in `1..=32`.
+    #[must_use]
+    pub fn new(groups: usize, lanes: usize) -> Self {
+        assert!(groups > 0, "groups must be positive");
+        assert!(
+            (1..=32).contains(&lanes),
+            "tight layout supports 1..=32 lanes (got {lanes}); use the padded layout beyond"
+        );
+        let groups_per_word = 64 / lanes;
+        Self {
+            words: vec![0; groups.div_ceil(groups_per_word)],
+            groups,
+            lanes,
+            groups_per_word,
+            lane_mask: low_mask(lanes as u32),
+        }
+    }
+
+    /// Number of groups (`m`).
+    #[inline]
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Number of lanes.
+    #[inline]
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Groups stored in each word.
+    #[inline]
+    #[must_use]
+    pub fn groups_per_word(&self) -> usize {
+        self.groups_per_word
+    }
+
+    /// Payload memory in bits.
+    #[inline]
+    #[must_use]
+    pub fn memory_bits(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// The raw backing words (for checkpointing).
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a matrix from raw words produced by
+    /// [`TightBitMatrix::as_words`]. Returns `None` on a size mismatch.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, groups: usize, lanes: usize) -> Option<Self> {
+        if groups == 0 || !(1..=32).contains(&lanes) {
+            return None;
+        }
+        let groups_per_word = 64 / lanes;
+        if words.len() != groups.div_ceil(groups_per_word) {
+            return None;
+        }
+        Some(Self {
+            words,
+            groups,
+            lanes,
+            groups_per_word,
+            lane_mask: low_mask(lanes as u32),
+        })
+    }
+
+    #[inline]
+    fn locate(&self, group: usize) -> (usize, u32) {
+        debug_assert!(group < self.groups);
+        (
+            group / self.groups_per_word,
+            ((group % self.groups_per_word) * self.lanes) as u32,
+        )
+    }
+
+    /// Reads all lanes of `group` into the low `lanes` bits of a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn read_group(&self, group: usize) -> u64 {
+        assert!(group < self.groups, "group {group} out of range");
+        let (w, off) = self.locate(group);
+        (self.words[w] >> off) & self.lane_mask
+    }
+
+    /// ANDs the lanes of `group` into `acc` (probe primitive).
+    #[inline]
+    pub fn and_group_into(&self, group: usize, acc: &mut u64) {
+        *acc &= self.read_group(group);
+    }
+
+    /// Reads the bit at (`group`, `lane`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, group: usize, lane: usize) -> bool {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        (self.read_group(group) >> lane) & 1 == 1
+    }
+
+    /// Sets the bit at (`group`, `lane`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn set(&mut self, group: usize, lane: usize) {
+        assert!(group < self.groups, "group {group} out of range");
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let (w, off) = self.locate(group);
+        self.words[w] |= 1u64 << (off + lane as u32);
+    }
+
+    /// Clears the bit at (`group`, `lane`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn clear(&mut self, group: usize, lane: usize) {
+        assert!(group < self.groups, "group {group} out of range");
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let (w, off) = self.locate(group);
+        self.words[w] &= !(1u64 << (off + lane as u32));
+    }
+
+    /// Clears lane `lane` in `count` consecutive groups starting at
+    /// `group_start` (the incremental-cleaning primitive). Returns the
+    /// number of groups touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the group count or `lane` is invalid.
+    pub fn clear_lane_range(&mut self, lane: usize, group_start: usize, count: usize) -> usize {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        assert!(
+            group_start + count <= self.groups,
+            "group range {group_start}+{count} exceeds {}",
+            self.groups
+        );
+        // Build a per-word mask clearing `lane` in every packed group,
+        // then apply it whole-word in the interior of the range.
+        let mut g = group_start;
+        let end = group_start + count;
+        while g < end {
+            let (w, _) = self.locate(g);
+            let word_first = w * self.groups_per_word;
+            let word_last = (word_first + self.groups_per_word).min(self.groups);
+            if g == word_first && end >= word_last {
+                // Whole word covered: clear the lane in all its groups.
+                let mut mask = 0u64;
+                for slot in 0..self.groups_per_word {
+                    mask |= 1u64 << (slot * self.lanes + lane);
+                }
+                self.words[w] &= !mask;
+                g = word_last;
+            } else {
+                let upto = end.min(word_last);
+                while g < upto {
+                    let (w2, off) = self.locate(g);
+                    self.words[w2] &= !(1u64 << (off + lane as u32));
+                    g += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Clears the whole matrix.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Set bits in lane `lane` (diagnostics, `O(m)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    #[must_use]
+    pub fn count_ones_in_lane(&self, lane: usize) -> usize {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        (0..self.groups).filter(|&g| self.get(g, lane)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interleave::InterleavedBitMatrix;
+    use proptest::prelude::*;
+
+    #[test]
+    fn packs_multiple_groups_per_word() {
+        let mx = TightBitMatrix::new(1000, 9);
+        assert_eq!(mx.groups_per_word(), 7);
+        assert_eq!(mx.memory_bits(), 1000_usize.div_ceil(7) * 64);
+        // Padded layout would spend 64 bits per group.
+        assert!(mx.memory_bits() * 6 < 1000 * 64);
+    }
+
+    #[test]
+    fn set_get_probe_roundtrip() {
+        let mut mx = TightBitMatrix::new(100, 9);
+        for g in [0usize, 6, 7, 55, 99] {
+            mx.set(g, 3);
+            mx.set(g, 8);
+        }
+        for g in [0usize, 6, 7, 55, 99] {
+            assert_eq!(mx.read_group(g), (1 << 3) | (1 << 8), "g={g}");
+            assert!(mx.get(g, 3) && mx.get(g, 8) && !mx.get(g, 0));
+        }
+        assert_eq!(mx.read_group(1), 0);
+        let mut acc = u64::MAX;
+        mx.and_group_into(0, &mut acc);
+        mx.and_group_into(6, &mut acc);
+        assert_eq!(acc, (1 << 3) | (1 << 8));
+    }
+
+    #[test]
+    fn clear_lane_range_spans_word_boundaries() {
+        let mut mx = TightBitMatrix::new(100, 9); // 7 groups/word
+        for g in 0..100 {
+            for l in 0..9 {
+                mx.set(g, l);
+            }
+        }
+        mx.clear_lane_range(4, 3, 50); // crosses several whole words
+        for g in 0..100 {
+            assert_eq!(mx.get(g, 4), !(3..53).contains(&g), "g={g}");
+            assert!(mx.get(g, 3), "other lanes untouched at g={g}");
+        }
+        assert_eq!(mx.count_ones_in_lane(4), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32 lanes")]
+    fn too_many_lanes_panics() {
+        let _ = TightBitMatrix::new(10, 33);
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_identically_to_padded_layout(
+            lanes in 1usize..=32,
+            ops in prop::collection::vec((0usize..200, 0usize..32, any::<bool>()), 0..400),
+            clean in prop::collection::vec((0usize..32, 0usize..200, 0usize..200), 0..10),
+        ) {
+            let mut tight = TightBitMatrix::new(200, lanes);
+            let mut padded = InterleavedBitMatrix::new(200, lanes);
+            for (g, l, on) in ops {
+                let l = l % lanes;
+                if on {
+                    tight.set(g, l);
+                    padded.set(g, l);
+                } else {
+                    tight.clear(g, l);
+                    padded.clear(g, l);
+                }
+            }
+            for (l, start, len) in clean {
+                let l = l % lanes;
+                let start = start.min(199);
+                let len = len.min(200 - start);
+                tight.clear_lane_range(l, start, len);
+                padded.clear_lane_range(l, start, len);
+            }
+            for g in 0..200 {
+                let mut acc_p = padded.full_lane_mask();
+                padded.and_group_into(g, &mut acc_p);
+                prop_assert_eq!(tight.read_group(g), acc_p[0], "group {}", g);
+            }
+        }
+    }
+}

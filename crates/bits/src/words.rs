@@ -1,0 +1,99 @@
+//! Word-math helpers shared by the bit containers.
+
+/// Bits per storage word.
+pub const WORD_BITS: usize = u64::BITS as usize;
+
+/// Number of `u64` words needed to store `bits` bits.
+///
+/// ```rust
+/// use cfd_bits::words::words_for_bits;
+/// assert_eq!(words_for_bits(0), 0);
+/// assert_eq!(words_for_bits(1), 1);
+/// assert_eq!(words_for_bits(64), 1);
+/// assert_eq!(words_for_bits(65), 2);
+/// ```
+#[inline]
+#[must_use]
+pub const fn words_for_bits(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+/// Splits a bit index into `(word, bit-in-word)`.
+#[inline]
+#[must_use]
+pub const fn split_index(bit: usize) -> (usize, u32) {
+    (bit / WORD_BITS, (bit % WORD_BITS) as u32)
+}
+
+/// A mask with the low `n` bits set (`n <= 64`).
+///
+/// # Panics
+///
+/// Panics in debug builds if `n > 64`.
+#[inline]
+#[must_use]
+pub const fn low_mask(n: u32) -> u64 {
+    debug_assert!(n <= 64);
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Number of bits required to represent every value in `0..=max_value`.
+///
+/// ```rust
+/// use cfd_bits::words::bits_for_value;
+/// assert_eq!(bits_for_value(0), 1);
+/// assert_eq!(bits_for_value(1), 1);
+/// assert_eq!(bits_for_value(2), 2);
+/// assert_eq!(bits_for_value(255), 8);
+/// assert_eq!(bits_for_value(256), 9);
+/// ```
+#[inline]
+#[must_use]
+pub const fn bits_for_value(max_value: u64) -> u32 {
+    if max_value == 0 {
+        1
+    } else {
+        64 - max_value.leading_zeros()
+    }
+}
+
+/// Integer ceiling division.
+#[inline]
+#[must_use]
+pub const fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_index_roundtrips() {
+        for bit in [0usize, 1, 63, 64, 65, 127, 128, 1_000_003] {
+            let (w, b) = split_index(bit);
+            assert_eq!(w * WORD_BITS + b as usize, bit);
+            assert!(b < 64);
+        }
+    }
+
+    #[test]
+    fn low_mask_edges() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(1), 1);
+        assert_eq!(low_mask(63), u64::MAX >> 1);
+        assert_eq!(low_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn bits_for_value_covers_powers_of_two() {
+        for b in 1..=63u32 {
+            assert_eq!(bits_for_value((1u64 << b) - 1), b);
+            assert_eq!(bits_for_value(1u64 << b), b + 1);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The classical Bloom filter (§2.1) and its landmark-window deployment.
+
+use crate::params::BloomParams;
+use cfd_bits::BitVec;
+use cfd_hash::{DoubleHashFamily, HashFamily, HashPair, IndexSequence};
+use cfd_windows::{DuplicateDetector, Verdict, WindowSpec};
+
+/// A classical Bloom filter: `m` bits, `k` hash functions.
+///
+/// ```rust
+/// use cfd_bloom::{BloomFilter, BloomParams};
+/// let params = BloomParams::new(1 << 16, 7).expect("valid params");
+/// let mut f = BloomFilter::new(params, 1);
+/// f.insert(b"click-1");
+/// assert!(f.contains(b"click-1"));
+/// assert_eq!(f.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: BitVec,
+    params: BloomParams,
+    family: DoubleHashFamily,
+    inserted: usize,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter with the given parameters and hash seed.
+    #[must_use]
+    pub fn new(params: BloomParams, seed: u64) -> Self {
+        Self {
+            bits: BitVec::new(params.m_bits),
+            params,
+            family: DoubleHashFamily::new(seed),
+            inserted: 0,
+        }
+    }
+
+    /// The filter's sizing parameters.
+    #[inline]
+    #[must_use]
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Number of `insert` calls so far (not distinct elements).
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inserted
+    }
+
+    /// `true` if nothing was inserted.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+
+    /// Payload memory in bits.
+    #[inline]
+    #[must_use]
+    pub fn memory_bits(&self) -> usize {
+        self.bits.memory_bits()
+    }
+
+    /// Fraction of set bits.
+    #[must_use]
+    pub fn fill_ratio(&self) -> f64 {
+        self.bits.fill_ratio()
+    }
+
+    /// The probe indices of `key` (shared hashing: one evaluation per key).
+    #[inline]
+    fn probes(&self, key: &[u8]) -> IndexSequence {
+        self.family.indices(key, self.params.k, self.params.m_bits)
+    }
+
+    /// The probe indices from a precomputed pair.
+    #[inline]
+    fn probes_of(&self, pair: HashPair) -> IndexSequence {
+        IndexSequence::new(pair, self.params.k, self.params.m_bits)
+    }
+
+    /// Hashes `key` once for reuse across [`BloomFilter::contains_pair`] /
+    /// [`BloomFilter::insert_pair`].
+    #[inline]
+    #[must_use]
+    pub fn hash(&self, key: &[u8]) -> HashPair {
+        self.family.pair(key)
+    }
+
+    /// Inserts `key`.
+    pub fn insert(&mut self, key: &[u8]) {
+        let pair = self.hash(key);
+        self.insert_pair(pair);
+    }
+
+    /// Inserts a pre-hashed key.
+    pub fn insert_pair(&mut self, pair: HashPair) {
+        for i in self.probes_of(pair) {
+            self.bits.set(i);
+        }
+        self.inserted += 1;
+    }
+
+    /// Membership query for `key` (may false-positive, never
+    /// false-negative).
+    #[must_use]
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.probes(key).all(|i| self.bits.get(i))
+    }
+
+    /// Membership query for a pre-hashed key.
+    #[must_use]
+    pub fn contains_pair(&self, pair: HashPair) -> bool {
+        self.probes_of(pair).all(|i| self.bits.get(i))
+    }
+
+    /// Inserts `key`, returning whether it was already present
+    /// (the combined check-then-insert used by duplicate detection).
+    pub fn insert_checked(&mut self, key: &[u8]) -> bool {
+        let pair = self.hash(key);
+        let present = self.contains_pair(pair);
+        if !present {
+            self.insert_pair(pair);
+        }
+        present
+    }
+
+    /// Clears the filter.
+    pub fn clear(&mut self) {
+        self.bits.clear_all();
+        self.inserted = 0;
+    }
+
+    /// Expected false-positive rate at the current load.
+    #[must_use]
+    pub fn expected_fp_rate(&self) -> f64 {
+        self.params.fp_rate(self.inserted)
+    }
+}
+
+/// The landmark-window duplicate detector of Metwally et al. \[21\]:
+/// a single Bloom filter, wiped at every landmark boundary.
+///
+/// "To detect duplicates in click streams over a landmark window, Bloom
+/// filters can be directly deployed" (§3.1).
+#[derive(Debug, Clone)]
+pub struct LandmarkBloom {
+    filter: BloomFilter,
+    n: usize,
+    filled: usize,
+}
+
+impl LandmarkBloom {
+    /// Creates a detector over landmark windows of `n` elements using an
+    /// `(m, k)` filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, params: BloomParams, seed: u64) -> Self {
+        assert!(n > 0, "window length must be positive");
+        Self {
+            filter: BloomFilter::new(params, seed),
+            n,
+            filled: 0,
+        }
+    }
+
+    /// Read access to the underlying filter.
+    #[must_use]
+    pub fn filter(&self) -> &BloomFilter {
+        &self.filter
+    }
+}
+
+impl DuplicateDetector for LandmarkBloom {
+    fn observe(&mut self, id: &[u8]) -> Verdict {
+        if self.filled == self.n {
+            self.filter.clear();
+            self.filled = 0;
+        }
+        self.filled += 1;
+        if self.filter.insert_checked(id) {
+            Verdict::Duplicate
+        } else {
+            Verdict::Distinct
+        }
+    }
+
+    fn window(&self) -> WindowSpec {
+        WindowSpec::Landmark { n: self.n }
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.filter.memory_bits()
+    }
+
+    fn reset(&mut self) {
+        self.filter.clear();
+        self.filled = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "landmark-bloom"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params(m: usize, k: usize) -> BloomParams {
+        BloomParams::new(m, k).expect("valid params")
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(params(1 << 14, 7), 3);
+        let keys: Vec<Vec<u8>> = (0..1000u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            assert!(f.contains(k), "false negative for {k:?}");
+        }
+    }
+
+    #[test]
+    fn empirical_fp_near_theory() {
+        // 10 bits/element, k = 7 -> theory ~ 0.008.
+        let n = 4_000;
+        let mut f = BloomFilter::new(params(n * 10, 7), 42);
+        for i in 0..n as u64 {
+            f.insert(&i.to_le_bytes());
+        }
+        let trials = 100_000u64;
+        let fps = (0..trials)
+            .filter(|t| f.contains(&(t + 1_000_000_000).to_le_bytes()))
+            .count() as f64;
+        let rate = fps / trials as f64;
+        let theory = f.expected_fp_rate();
+        assert!(
+            rate < theory * 2.0 + 0.002,
+            "empirical {rate} far above theory {theory}"
+        );
+    }
+
+    #[test]
+    fn insert_checked_detects_duplicates() {
+        let mut f = BloomFilter::new(params(1 << 12, 5), 0);
+        assert!(!f.insert_checked(b"x"));
+        assert!(f.insert_checked(b"x"));
+        assert_eq!(f.len(), 1, "duplicate must not re-insert");
+    }
+
+    #[test]
+    fn clear_empties_filter() {
+        let mut f = BloomFilter::new(params(1 << 10, 4), 0);
+        f.insert(b"k");
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.contains(b"k"));
+        assert_eq!(f.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn pair_api_matches_byte_api() {
+        let mut a = BloomFilter::new(params(1 << 12, 6), 9);
+        let mut b = BloomFilter::new(params(1 << 12, 6), 9);
+        for i in 0..100u64 {
+            let key = i.to_le_bytes();
+            a.insert(&key);
+            let pair = b.hash(&key);
+            b.insert_pair(pair);
+        }
+        for i in 0..200u64 {
+            let key = i.to_le_bytes();
+            assert_eq!(a.contains(&key), b.contains_pair(b.hash(&key)));
+        }
+    }
+
+    #[test]
+    fn landmark_detector_window_boundary() {
+        let mut d = LandmarkBloom::new(2, params(1 << 12, 5), 1);
+        assert_eq!(d.observe(b"a"), Verdict::Distinct);
+        assert_eq!(d.observe(b"a"), Verdict::Duplicate);
+        assert_eq!(d.observe(b"a"), Verdict::Distinct); // new landmark
+        assert_eq!(d.window(), WindowSpec::Landmark { n: 2 });
+    }
+
+    proptest! {
+        #[test]
+        fn inserted_keys_always_reported(keys in prop::collection::vec(any::<u64>(), 1..200)) {
+            let mut f = BloomFilter::new(params(1 << 13, 5), 7);
+            for k in &keys {
+                f.insert(&k.to_le_bytes());
+            }
+            for k in &keys {
+                prop_assert!(f.contains(&k.to_le_bytes()));
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The counting Bloom filter (Fan et al., "summary cache" \[12\]).
+//!
+//! Replaces each bit with a small counter so elements can be *deleted* —
+//! the property the Metwally et al. \[21\] jumping-window scheme builds on.
+//! The paper's §3.3 critique of that scheme hinges on counter behaviour
+//! (width vs. saturation), so saturation/underflow events are tracked
+//! explicitly (see [`cfd_bits::PackedCounterVec`]).
+
+use cfd_bits::PackedCounterVec;
+use cfd_hash::{DoubleHashFamily, HashFamily, HashPair, IndexSequence};
+
+/// A counting Bloom filter: `m` counters of `counter_bits` each, `k` hash
+/// functions.
+///
+/// ```rust
+/// use cfd_bloom::CountingBloomFilter;
+/// let mut f = CountingBloomFilter::new(1 << 12, 4, 5, 1);
+/// f.insert(b"x");
+/// assert!(f.contains(b"x"));
+/// f.remove(b"x");
+/// assert!(!f.contains(b"x"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingBloomFilter {
+    counters: PackedCounterVec,
+    k: usize,
+    family: DoubleHashFamily,
+    inserted: usize,
+}
+
+impl CountingBloomFilter {
+    /// Creates an empty filter with `m` counters of `counter_bits` bits
+    /// and `k` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, `k` is not in `1..=64`, or `counter_bits` is
+    /// not in `1..=64`.
+    #[must_use]
+    pub fn new(m: usize, counter_bits: u32, k: usize, seed: u64) -> Self {
+        assert!(m > 0, "counter count m must be positive");
+        assert!((1..=64).contains(&k), "hash count k must be 1..=64");
+        Self {
+            counters: PackedCounterVec::new(m, counter_bits),
+            k,
+            family: DoubleHashFamily::new(seed),
+            inserted: 0,
+        }
+    }
+
+    /// Number of counters (`m`).
+    #[inline]
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Number of hash functions (`k`).
+    #[inline]
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Counter width in bits.
+    #[inline]
+    #[must_use]
+    pub fn counter_bits(&self) -> u32 {
+        self.counters.counter_bits()
+    }
+
+    /// Payload memory in bits (`m × counter_bits`, word-padded).
+    #[inline]
+    #[must_use]
+    pub fn memory_bits(&self) -> usize {
+        self.counters.memory_bits()
+    }
+
+    /// Insert operations so far.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inserted
+    }
+
+    /// `true` if nothing was inserted.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+
+    /// Saturating-increment events (lost information; a \[21\] failure mode).
+    #[inline]
+    #[must_use]
+    pub fn saturations(&self) -> u64 {
+        self.counters.saturations()
+    }
+
+    /// Floored-decrement events (the symptom of earlier saturation).
+    #[inline]
+    #[must_use]
+    pub fn underflows(&self) -> u64 {
+        self.counters.underflows()
+    }
+
+    #[inline]
+    fn probes(&self, key: &[u8]) -> IndexSequence {
+        self.family.indices(key, self.k, self.m())
+    }
+
+    /// Hashes `key` once for the pair-based API.
+    #[inline]
+    #[must_use]
+    pub fn hash(&self, key: &[u8]) -> HashPair {
+        self.family.pair(key)
+    }
+
+    /// Inserts `key` (increments its `k` counters).
+    pub fn insert(&mut self, key: &[u8]) {
+        let pair = self.hash(key);
+        self.insert_pair(pair);
+    }
+
+    /// Inserts a pre-hashed key.
+    pub fn insert_pair(&mut self, pair: HashPair) {
+        for i in IndexSequence::new(pair, self.k, self.m()) {
+            self.counters.increment(i);
+        }
+        self.inserted += 1;
+    }
+
+    /// Removes `key` (decrements its `k` counters, flooring at zero).
+    ///
+    /// Removing a key that was never inserted corrupts the filter the
+    /// same way it does in every counting-filter design; callers must
+    /// only remove keys they inserted.
+    pub fn remove(&mut self, key: &[u8]) {
+        let pair = self.hash(key);
+        for i in IndexSequence::new(pair, self.k, self.m()) {
+            self.counters.decrement(i);
+        }
+        self.inserted = self.inserted.saturating_sub(1);
+    }
+
+    /// Membership query.
+    #[must_use]
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.probes(key).all(|i| self.counters.get(i) > 0)
+    }
+
+    /// Membership query with a precomputed pair.
+    #[must_use]
+    pub fn contains_pair(&self, pair: HashPair) -> bool {
+        IndexSequence::new(pair, self.k, self.m()).all(|i| self.counters.get(i) > 0)
+    }
+
+    /// Adds every counter of `other` into `self`, saturating.
+    ///
+    /// The \[21\] *combine* operation (cost `O(m)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes or widths differ.
+    pub fn add_assign(&mut self, other: &Self) {
+        self.counters.add_assign_saturating(&other.counters);
+        self.inserted += other.inserted;
+    }
+
+    /// Subtracts every counter of `other` from `self`, flooring.
+    ///
+    /// The \[21\] *expire* operation (cost `O(m)`) — the bulk step whose
+    /// latency GBF's incremental cleaning avoids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes or widths differ.
+    pub fn sub_assign(&mut self, other: &Self) {
+        self.counters.sub_assign_flooring(&other.counters);
+        self.inserted = self.inserted.saturating_sub(other.inserted);
+    }
+
+    /// Clears every counter.
+    pub fn clear(&mut self) {
+        self.counters.clear_all();
+        self.inserted = 0;
+    }
+
+    /// Fraction of non-zero counters.
+    #[must_use]
+    pub fn fill_ratio(&self) -> f64 {
+        self.counters.count_nonzero() as f64 / self.m() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut f = CountingBloomFilter::new(1 << 12, 4, 5, 0);
+        let keys: Vec<Vec<u8>> = (0..300u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            assert!(f.contains(k));
+        }
+        for k in &keys {
+            f.remove(k);
+        }
+        assert_eq!(f.saturations(), 0);
+        assert_eq!(f.underflows(), 0);
+        // With no saturation, removal restores a clean filter.
+        assert!((f.fill_ratio() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_then_subtract_is_identity_without_saturation() {
+        let mut main = CountingBloomFilter::new(1 << 10, 8, 4, 2);
+        let mut sub = CountingBloomFilter::new(1 << 10, 8, 4, 2);
+        for i in 0..50u64 {
+            sub.insert(&i.to_le_bytes());
+        }
+        main.add_assign(&sub);
+        for i in 0..50u64 {
+            assert!(main.contains(&i.to_le_bytes()));
+        }
+        main.sub_assign(&sub);
+        assert!((main.fill_ratio() - 0.0).abs() < 1e-12);
+        assert_eq!(main.len(), 0);
+    }
+
+    #[test]
+    fn narrow_counters_saturate_and_corrupt() {
+        // 1-bit counters with heavy collision load: saturation is counted
+        // and removal then underflows — the paper's §3.3 failure mode.
+        let mut f = CountingBloomFilter::new(8, 1, 4, 3);
+        for i in 0..20u64 {
+            f.insert(&i.to_le_bytes());
+        }
+        assert!(f.saturations() > 0);
+        for i in 0..20u64 {
+            f.remove(&i.to_le_bytes());
+        }
+        assert!(f.underflows() > 0);
+    }
+
+    #[test]
+    fn memory_is_counter_bits_times_m() {
+        let f = CountingBloomFilter::new(1024, 4, 3, 0);
+        assert_eq!(f.memory_bits(), 1024 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "hash count")]
+    fn zero_k_panics() {
+        let _ = CountingBloomFilter::new(8, 4, 0, 0);
+    }
+}

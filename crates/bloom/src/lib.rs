@@ -1,0 +1,33 @@
+//! Bloom-filter substrate and baseline duplicate detectors.
+//!
+//! * [`params`] — the classical false-positive math (§2.1): optimal `k`,
+//!   expected FP rate, memory sizing.
+//! * [`classic::BloomFilter`] — the textbook bit-vector Bloom filter,
+//!   directly deployable for landmark windows ([`classic::LandmarkBloom`],
+//!   the Metwally et al. \[21\] landmark scheme).
+//! * [`counting::CountingBloomFilter`] — counters instead of bits so
+//!   deletion is possible (Fan et al. "summary cache" style).
+//! * [`metwally::MetwallyJumping`] — the jumping-window baseline of \[21\]
+//!   that the paper compares GBF against in §3.3 / Fig. 1: per-sub-window
+//!   counting filters plus a combined *main* filter, expired sub-windows
+//!   subtracted in an `O(m)` bulk step.
+//! * [`stable::StableBloomFilter`] — Deng & Rafiei's \[10\] randomized-
+//!   eviction filter; the related-work baseline *with* false negatives.
+//!
+//! The GBF/TBF algorithms themselves live in `cfd-core`; this crate holds
+//! everything they are measured against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classic;
+pub mod counting;
+pub mod metwally;
+pub mod params;
+pub mod stable;
+
+pub use classic::{BloomFilter, LandmarkBloom};
+pub use counting::CountingBloomFilter;
+pub use metwally::MetwallyJumping;
+pub use params::BloomParams;
+pub use stable::StableBloomFilter;

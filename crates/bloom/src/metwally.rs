@@ -1,0 +1,223 @@
+//! The jumping-window baseline of Metwally, Agrawal & El Abbadi \[21\].
+//!
+//! "The authors proposed to maintain a counting Bloom filter for each
+//! sub-window, and a main Bloom filter which is a combination of all
+//! counting Bloom filters ... When a new sub-window is generated, the
+//! eldest window is expired and subtracted from the main Bloom filter"
+//! (paper §3.3). This is the scheme GBF is compared against in Fig. 1.
+//!
+//! The two drawbacks the paper identifies are both observable here:
+//!
+//! 1. Expiring a sub-window costs `O(m)` counter subtractions in one
+//!    burst (`expire_cost_counters` reports it).
+//! 2. Querying the *main* filter — which effectively holds all `N`
+//!    elements of the window — yields a much higher false-positive rate
+//!    than GBF's per-sub-window filters of `N/Q` elements each.
+
+use crate::counting::CountingBloomFilter;
+use cfd_bits::words::bits_for_value;
+use cfd_windows::{DuplicateDetector, JumpingClock, Verdict, WindowSpec};
+use std::collections::VecDeque;
+
+/// Configuration for [`MetwallyJumping`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetwallyConfig {
+    /// Jumping-window length `N` in elements.
+    pub n: usize,
+    /// Number of sub-windows `Q`.
+    pub q: usize,
+    /// Counters per filter (`m`).
+    pub m: usize,
+    /// Hash functions (`k`).
+    pub k: usize,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+/// The \[21\] duplicate detector over count-based jumping windows.
+#[derive(Debug, Clone)]
+pub struct MetwallyJumping {
+    cfg: MetwallyConfig,
+    clock: JumpingClock,
+    /// Per-sub-window counting filters, newest last (at most `q`).
+    subs: VecDeque<CountingBloomFilter>,
+    /// The combined filter representing the whole window.
+    main: CountingBloomFilter,
+    /// Counter width of sub-window filters.
+    sub_bits: u32,
+    /// Cumulative `O(m)` bulk-subtraction cost, in counter operations.
+    expire_cost: u64,
+}
+
+impl MetwallyJumping {
+    /// Creates the detector.
+    ///
+    /// Counter widths are sized for the worst case the paper describes:
+    /// `⌈log2(N/Q + 1)⌉` bits per sub-window counter and `⌈log2(N + 1)⌉`
+    /// bits per main-filter counter, so saturation cannot occur.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, `q > n`, or `k > 64`.
+    #[must_use]
+    pub fn new(cfg: MetwallyConfig) -> Self {
+        assert!(cfg.n > 0 && cfg.q > 0 && cfg.q <= cfg.n, "invalid window");
+        assert!(cfg.m > 0, "filter size must be positive");
+        assert!((1..=64).contains(&cfg.k), "k must be 1..=64");
+        let sub_len = cfg.n.div_ceil(cfg.q);
+        // One bit beyond the paper's N/Q (resp. N) worst case: with double
+        // hashing a single insert can probe the same counter twice, so the
+        // true per-counter maximum is slightly above the element count.
+        let sub_bits = bits_for_value(2 * sub_len as u64);
+        let main_bits = bits_for_value(2 * cfg.n as u64);
+        let mut subs = VecDeque::with_capacity(cfg.q);
+        subs.push_back(CountingBloomFilter::new(cfg.m, sub_bits, cfg.k, cfg.seed));
+        Self {
+            cfg,
+            clock: JumpingClock::new(cfg.q, sub_len),
+            subs,
+            main: CountingBloomFilter::new(cfg.m, main_bits, cfg.k, cfg.seed),
+            sub_bits,
+            expire_cost: 0,
+        }
+    }
+
+    /// Cumulative counter operations spent on `O(m)` bulk expiry.
+    #[must_use]
+    pub fn expire_cost_counters(&self) -> u64 {
+        self.expire_cost
+    }
+
+    /// Read access to the main (combined) filter.
+    #[must_use]
+    pub fn main_filter(&self) -> &CountingBloomFilter {
+        &self.main
+    }
+}
+
+impl DuplicateDetector for MetwallyJumping {
+    fn observe(&mut self, id: &[u8]) -> Verdict {
+        // One hash evaluation; the sub filters share the seed and size so
+        // the pair is valid for all of them.
+        let pair = self.main.hash(id);
+        let verdict = if self.main.contains_pair(pair) {
+            Verdict::Duplicate
+        } else {
+            self.subs
+                .back_mut()
+                .expect("at least one sub-window filter")
+                .insert_pair(pair);
+            self.main.insert_pair(pair);
+            Verdict::Distinct
+        };
+        if let Some(rot) = self.clock.record_arrival() {
+            if rot.expired_slot.is_some() {
+                let eldest = self.subs.pop_front().expect("window full implies q filters");
+                self.main.sub_assign(&eldest);
+                self.expire_cost += self.cfg.m as u64;
+            }
+            self.subs.push_back(CountingBloomFilter::new(
+                self.cfg.m,
+                self.sub_bits,
+                self.cfg.k,
+                self.cfg.seed,
+            ));
+        }
+        verdict
+    }
+
+    fn window(&self) -> WindowSpec {
+        WindowSpec::Jumping {
+            n: self.cfg.n,
+            q: self.cfg.q,
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.subs.iter().map(CountingBloomFilter::memory_bits).sum::<usize>()
+            + self.main.memory_bits()
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new(self.cfg);
+    }
+
+    fn name(&self) -> &'static str {
+        "metwally-jumping"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, q: usize, m: usize, k: usize) -> MetwallyConfig {
+        MetwallyConfig { n, q, m, k, seed: 7 }
+    }
+
+    #[test]
+    fn detects_in_window_duplicates() {
+        let mut d = MetwallyJumping::new(cfg(8, 2, 1 << 12, 5));
+        assert_eq!(d.observe(b"a"), Verdict::Distinct);
+        assert_eq!(d.observe(b"a"), Verdict::Duplicate);
+        assert_eq!(d.observe(b"b"), Verdict::Distinct);
+        assert_eq!(d.observe(b"a"), Verdict::Duplicate);
+    }
+
+    #[test]
+    fn expired_subwindow_forgets_its_elements() {
+        // n = 4, q = 2 -> sub-windows of 2 elements.
+        let mut d = MetwallyJumping::new(cfg(4, 2, 1 << 12, 5));
+        assert_eq!(d.observe(b"a"), Verdict::Distinct); // sub 0
+        assert_eq!(d.observe(b"b"), Verdict::Distinct); // sub 0 done
+        assert_eq!(d.observe(b"c"), Verdict::Distinct); // sub 1
+        assert_eq!(d.observe(b"d"), Verdict::Distinct); // sub 1 done; sub 0 expires
+        // a belonged to the expired sub-window: valid again (no FP with
+        // this sparse filter).
+        assert_eq!(d.observe(b"a"), Verdict::Distinct);
+        assert!(d.expire_cost_counters() >= (1 << 12));
+    }
+
+    #[test]
+    fn no_false_negatives_vs_exact_oracle() {
+        use cfd_windows::ExactJumpingDedup;
+        let mut d = MetwallyJumping::new(cfg(32, 4, 1 << 14, 6));
+        let mut oracle = ExactJumpingDedup::new(32, 4);
+        // A stream with engineered duplicates.
+        for i in 0..2_000u64 {
+            let key = (i % 40).to_le_bytes();
+            let got = d.observe(&key);
+            let want = oracle.observe(&key);
+            if want == Verdict::Duplicate {
+                assert_eq!(got, Verdict::Duplicate, "false negative at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn counters_never_saturate_with_sized_widths() {
+        let mut d = MetwallyJumping::new(cfg(64, 4, 64, 4));
+        for i in 0..5_000u64 {
+            d.observe(&(i % 16).to_le_bytes());
+        }
+        assert_eq!(d.main_filter().saturations(), 0);
+        assert_eq!(d.main_filter().underflows(), 0);
+    }
+
+    #[test]
+    fn memory_accounts_subs_plus_main() {
+        let d = MetwallyJumping::new(cfg(1024, 4, 4096, 5));
+        // One sub filter initially + main.
+        assert!(d.memory_bits() > 4096);
+        let spec = d.window();
+        assert_eq!(spec, WindowSpec::Jumping { n: 1024, q: 4 });
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut d = MetwallyJumping::new(cfg(8, 2, 1 << 10, 4));
+        d.observe(b"z");
+        d.reset();
+        assert_eq!(d.observe(b"z"), Verdict::Distinct);
+    }
+}

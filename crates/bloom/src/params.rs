@@ -1,0 +1,187 @@
+//! Classical Bloom-filter parameter math (paper §2.1).
+//!
+//! With `m` bits, `k` hash functions, and `n` inserted elements, the
+//! false-positive rate is
+//! `f = (1 − (1 − 1/m)^{kn})^k ≈ (1 − e^{−kn/m})^k`,
+//! minimized at `k = ln 2 · m/n`, giving `f ≈ 2^{−k} ≈ 0.6185^{m/n}`.
+
+use serde::{Deserialize, Serialize};
+
+/// Sizing parameters of one Bloom filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BloomParams {
+    /// Number of bits (`m`).
+    pub m_bits: usize,
+    /// Number of hash functions (`k`).
+    pub k: usize,
+}
+
+impl BloomParams {
+    /// Creates parameters after validating them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if `m_bits == 0`, `k == 0`, or `k` is
+    /// unreasonably large (> 64; no practical filter uses more).
+    pub fn new(m_bits: usize, k: usize) -> Result<Self, String> {
+        if m_bits == 0 {
+            return Err("filter size m must be positive".into());
+        }
+        if k == 0 {
+            return Err("hash count k must be positive".into());
+        }
+        if k > 64 {
+            return Err(format!("hash count k = {k} exceeds the supported 64"));
+        }
+        Ok(Self { m_bits, k })
+    }
+
+    /// Parameters with the optimal `k` for `n` expected elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures (e.g. `m_bits == 0`).
+    pub fn with_optimal_k(m_bits: usize, n: usize) -> Result<Self, String> {
+        Self::new(m_bits, optimal_k(m_bits, n))
+    }
+
+    /// Expected false-positive rate after inserting `n` elements.
+    #[must_use]
+    pub fn fp_rate(&self, n: usize) -> f64 {
+        fp_rate(self.m_bits, self.k, n)
+    }
+}
+
+/// The `k` minimizing the false-positive rate: `round(ln 2 · m/n)`,
+/// clamped to `[1, 64]`.
+///
+/// ```rust
+/// use cfd_bloom::params::optimal_k;
+/// // The paper's Fig. 2(a) setting: m = 1,876,246 bits per sub-window
+/// // filter, n = 2^20 / 8 elements -> k ~ 10.
+/// assert_eq!(optimal_k(1_876_246, (1 << 20) / 8), 10);
+/// ```
+#[must_use]
+pub fn optimal_k(m_bits: usize, n: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    let k = (std::f64::consts::LN_2 * m_bits as f64 / n as f64).round();
+    (k as usize).clamp(1, 64)
+}
+
+/// Expected false-positive rate of an `(m, k)` filter holding `n`
+/// elements: `(1 − e^{−kn/m})^k` (the standard approximation, §2.1).
+#[must_use]
+pub fn fp_rate(m_bits: usize, k: usize, n: usize) -> f64 {
+    if m_bits == 0 {
+        return 1.0;
+    }
+    if n == 0 || k == 0 {
+        return 0.0;
+    }
+    let exponent = -((k * n) as f64) / m_bits as f64;
+    (1.0 - exponent.exp()).powi(k as i32)
+}
+
+/// Exact (non-approximated) expected false-positive rate
+/// `(1 − (1 − 1/m)^{kn})^k`; used to validate the approximation in tests.
+#[must_use]
+pub fn fp_rate_exact(m_bits: usize, k: usize, n: usize) -> f64 {
+    if m_bits == 0 {
+        return 1.0;
+    }
+    if n == 0 || k == 0 {
+        return 0.0;
+    }
+    let one_bit_zero = (1.0 - 1.0 / m_bits as f64).powf((k * n) as f64);
+    (1.0 - one_bit_zero).powi(k as i32)
+}
+
+/// Bits required so that an optimally-tuned filter of `n` elements stays
+/// at or below `target_fp`: `m = −n · ln f / (ln 2)²`, rounded up.
+///
+/// # Panics
+///
+/// Panics if `target_fp` is not in `(0, 1)`.
+#[must_use]
+pub fn bits_for_fp(n: usize, target_fp: f64) -> usize {
+    assert!(
+        target_fp > 0.0 && target_fp < 1.0,
+        "target false-positive rate must be in (0, 1)"
+    );
+    let ln2sq = std::f64::consts::LN_2 * std::f64::consts::LN_2;
+    (-(n as f64) * target_fp.ln() / ln2sq).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_k_known_points() {
+        // m/n = 10 bits per element -> k = round(6.93) = 7.
+        assert_eq!(optimal_k(10_000, 1_000), 7);
+        // m/n ~ 14.4 (the paper's Fig. 2 settings) -> k = 10.
+        assert_eq!(optimal_k(15_112_980, 1 << 20), 10);
+        assert_eq!(optimal_k(100, 0), 1);
+        assert_eq!(optimal_k(1, 1_000_000), 1);
+    }
+
+    #[test]
+    fn fp_rate_matches_two_to_minus_k_at_optimum() {
+        let m = 1 << 20;
+        let n = m / 16; // 16 bits/element -> k_opt = 11
+        let k = optimal_k(m, n);
+        let f = fp_rate(m, k, n);
+        let ideal = 0.5f64.powi(k as i32);
+        assert!((f / ideal - 1.0).abs() < 0.15, "f={f} ideal={ideal}");
+    }
+
+    #[test]
+    fn fp_rate_monotone_in_n() {
+        let mut last = 0.0;
+        for n in [0usize, 10, 100, 1_000, 10_000, 100_000] {
+            let f = fp_rate(1 << 16, 5, n);
+            assert!(f >= last, "fp not monotone at n={n}");
+            last = f;
+        }
+        assert!(last < 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn approximation_close_to_exact_for_large_m() {
+        for (m, k, n) in [(1 << 20, 10, 1 << 16), (1 << 16, 4, 10_000)] {
+            let a = fp_rate(m, k, n);
+            let e = fp_rate_exact(m, k, n);
+            assert!((a - e).abs() < 1e-6, "m={m} k={k} n={n}: {a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn bits_for_fp_roundtrips_through_fp_rate() {
+        let n = 100_000;
+        for target in [0.01, 0.001, 0.0001] {
+            let m = bits_for_fp(n, target);
+            let k = optimal_k(m, n);
+            let achieved = fp_rate(m, k, n);
+            assert!(achieved <= target * 1.1, "target={target} achieved={achieved}");
+        }
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(BloomParams::new(0, 1).is_err());
+        assert!(BloomParams::new(1, 0).is_err());
+        assert!(BloomParams::new(1, 65).is_err());
+        let p = BloomParams::with_optimal_k(10_000, 1_000).unwrap();
+        assert_eq!(p.k, 7);
+        assert!(p.fp_rate(1_000) < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1)")]
+    fn bits_for_fp_rejects_bad_target() {
+        let _ = bits_for_fp(10, 1.5);
+    }
+}

@@ -1,0 +1,369 @@
+//! Detector state checkpointing.
+//!
+//! A billing gateway cannot afford to forget its detection window on
+//! restart: every in-window duplicate would be re-charged. This module
+//! serializes the complete state of the count-based detectors to a
+//! versioned binary format and restores them bit-for-bit, so a restored
+//! detector continues the stream with *identical* verdicts.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic "CFDS" | version u16 | kind u8 |
+//! config fields ... | dynamic state ... | payload words
+//! ```
+//!
+//! Only the count-based detectors ([`Tbf`], [`Gbf`]) are checkpointable;
+//! the time-based variants are reconstructed from the stream's own ticks
+//! after a restart (their windows are wall-clock defined, so a restart
+//! gap expires state exactly as a quiet period would).
+
+use crate::config::{GbfConfig, GbfLayout, TbfConfig};
+use crate::gbf::Gbf;
+use crate::tbf::Tbf;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"CFDS";
+const VERSION: u16 = 1;
+const KIND_TBF: u8 = 1;
+const KIND_GBF: u8 = 2;
+
+/// Error restoring a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Not a `CFDS` buffer.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The buffer holds a different detector kind.
+    WrongKind {
+        /// Kind tag found in the buffer.
+        found: u8,
+        /// Kind tag required by the caller.
+        expected: u8,
+    },
+    /// The buffer ended early or a field was out of range.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "buffer is not a CFDS checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::WrongKind { found, expected } => {
+                write!(f, "checkpoint holds kind {found}, expected {expected}")
+            }
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A minimal little-endian writer.
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn new(kind: u8) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(kind);
+        Self(buf)
+    }
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn words(&mut self, ws: &[u64]) {
+        self.usize(ws.len());
+        for &w in ws {
+            self.u64(w);
+        }
+    }
+}
+
+/// A minimal little-endian reader.
+struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn open(buf: &'a [u8], expected_kind: u8) -> Result<Self, CheckpointError> {
+        if buf.len() < 7 || &buf[..4] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = u16::from_le_bytes([buf[4], buf[5]]);
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let kind = buf[6];
+        if kind != expected_kind {
+            return Err(CheckpointError::WrongKind {
+                found: kind,
+                expected: expected_kind,
+            });
+        }
+        Ok(Self(&buf[7..]))
+    }
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        let (&b, rest) = self
+            .0
+            .split_first()
+            .ok_or(CheckpointError::Corrupt("unexpected end of buffer"))?;
+        self.0 = rest;
+        Ok(b)
+    }
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        if self.0.len() < 8 {
+            return Err(CheckpointError::Corrupt("unexpected end of buffer"));
+        }
+        let (head, rest) = self.0.split_at(8);
+        self.0 = rest;
+        Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+    }
+    fn usize(&mut self) -> Result<usize, CheckpointError> {
+        usize::try_from(self.u64()?).map_err(|_| CheckpointError::Corrupt("size overflow"))
+    }
+    fn words(&mut self) -> Result<Vec<u64>, CheckpointError> {
+        let len = self.usize()?;
+        if len > self.0.len() / 8 {
+            return Err(CheckpointError::Corrupt("word count beyond buffer"));
+        }
+        (0..len).map(|_| self.u64()).collect()
+    }
+    fn finish(self) -> Result<(), CheckpointError> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(CheckpointError::Corrupt("trailing bytes"))
+        }
+    }
+}
+
+impl Tbf {
+    /// Serializes the complete detector state.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let (cfg, state) = self.checkpoint_parts();
+        let mut w = Writer::new(KIND_TBF);
+        w.usize(cfg.n);
+        w.usize(cfg.m);
+        w.usize(cfg.k);
+        w.usize(cfg.c);
+        w.u64(cfg.seed);
+        w.u64(state.now);
+        w.usize(state.clean_next);
+        w.words(&state.entry_words);
+        w.0
+    }
+
+    /// Restores a detector from a [`Tbf::checkpoint`] buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on malformed input.
+    pub fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::open(buf, KIND_TBF)?;
+        let cfg = TbfConfig {
+            n: r.usize()?,
+            m: r.usize()?,
+            k: r.usize()?,
+            c: r.usize()?,
+            seed: r.u64()?,
+        };
+        let now = r.u64()?;
+        let clean_next = r.usize()?;
+        let entry_words = r.words()?;
+        r.finish()?;
+        Self::from_checkpoint_parts(cfg, now, clean_next, entry_words)
+            .ok_or(CheckpointError::Corrupt("inconsistent TBF state"))
+    }
+}
+
+impl Gbf {
+    /// Serializes the complete detector state.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let (cfg, state) = self.checkpoint_parts();
+        let mut w = Writer::new(KIND_GBF);
+        w.usize(cfg.n);
+        w.usize(cfg.q);
+        w.usize(cfg.m);
+        w.usize(cfg.k);
+        w.u64(cfg.seed);
+        w.u8(match cfg.layout {
+            GbfLayout::Padded => 0,
+            GbfLayout::Tight => 1,
+        });
+        w.usize(state.slot);
+        w.usize(state.filled);
+        w.u64(state.completed);
+        w.u64(state.spare.map_or(u64::MAX, |s| s as u64));
+        w.usize(state.clean_next);
+        w.words(&state.active_mask);
+        w.words(&state.matrix_words);
+        w.0
+    }
+
+    /// Restores a detector from a [`Gbf::checkpoint`] buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on malformed input.
+    pub fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::open(buf, KIND_GBF)?;
+        let n = r.usize()?;
+        let q = r.usize()?;
+        let m = r.usize()?;
+        let k = r.usize()?;
+        let seed = r.u64()?;
+        let layout = match r.u8()? {
+            0 => GbfLayout::Padded,
+            1 => GbfLayout::Tight,
+            _ => return Err(CheckpointError::Corrupt("unknown layout tag")),
+        };
+        let cfg = GbfConfig {
+            n,
+            q,
+            m,
+            k,
+            seed,
+            layout,
+        };
+        let slot = r.usize()?;
+        let filled = r.usize()?;
+        let completed = r.u64()?;
+        let spare = match r.u64()? {
+            u64::MAX => None,
+            s => Some(usize::try_from(s).map_err(|_| CheckpointError::Corrupt("spare"))?),
+        };
+        let clean_next = r.usize()?;
+        let active_mask = r.words()?;
+        let matrix_words = r.words()?;
+        r.finish()?;
+        Self::from_checkpoint_parts(
+            cfg,
+            slot,
+            filled,
+            completed,
+            spare,
+            clean_next,
+            active_mask,
+            matrix_words,
+        )
+        .ok_or(CheckpointError::Corrupt("inconsistent GBF state"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_windows::DuplicateDetector;
+
+    fn tbf() -> Tbf {
+        Tbf::new(
+            TbfConfig::builder(512)
+                .entries(2_048)
+                .hash_count(5)
+                .seed(7)
+                .build()
+                .expect("cfg"),
+        )
+        .expect("detector")
+    }
+
+    fn gbf(layout: GbfLayout) -> Gbf {
+        Gbf::new(
+            GbfConfig::builder(512, 8)
+                .filter_bits(1_024)
+                .hash_count(5)
+                .seed(7)
+                .layout(layout)
+                .build()
+                .expect("cfg"),
+        )
+        .expect("detector")
+    }
+
+    #[test]
+    fn tbf_roundtrip_preserves_every_future_verdict() {
+        let mut original = tbf();
+        for i in 0..5_000u64 {
+            original.observe(&(i % 700).to_le_bytes());
+        }
+        let buf = original.checkpoint();
+        let mut restored = Tbf::restore(&buf).expect("valid checkpoint");
+        for i in 5_000..15_000u64 {
+            let key = (i % 700).to_le_bytes();
+            assert_eq!(original.observe(&key), restored.observe(&key), "i={i}");
+        }
+    }
+
+    #[test]
+    fn gbf_roundtrip_preserves_every_future_verdict_both_layouts() {
+        for layout in [GbfLayout::Padded, GbfLayout::Tight] {
+            let mut original = gbf(layout);
+            for i in 0..5_000u64 {
+                original.observe(&(i % 700).to_le_bytes());
+            }
+            let buf = original.checkpoint();
+            let mut restored = Gbf::restore(&buf).expect("valid checkpoint");
+            for i in 5_000..15_000u64 {
+                let key = (i % 700).to_le_bytes();
+                assert_eq!(
+                    original.observe(&key),
+                    restored.observe(&key),
+                    "layout {layout:?}, i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_mid_cleaning_is_faithful() {
+        // Snapshot right after a rotation, while the spare lane wipe is
+        // in progress: the wipe pointer must survive the roundtrip.
+        let mut original = gbf(GbfLayout::Padded);
+        for i in 0..65u64 {
+            original.observe(&i.to_le_bytes()); // 64 = one sub-window
+        }
+        let buf = original.checkpoint();
+        let mut restored = Gbf::restore(&buf).expect("valid checkpoint");
+        for i in 65..3_000u64 {
+            let key = (i % 90).to_le_bytes();
+            assert_eq!(original.observe(&key), restored.observe(&key), "i={i}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_buffers() {
+        assert!(matches!(Tbf::restore(b"nope"), Err(CheckpointError::BadMagic)));
+        let mut buf = tbf().checkpoint();
+        buf[4] = 0xFF;
+        assert!(matches!(Tbf::restore(&buf), Err(CheckpointError::BadVersion(_))));
+        let buf = tbf().checkpoint();
+        assert!(matches!(
+            Gbf::restore(&buf),
+            Err(CheckpointError::WrongKind { .. })
+        ));
+        let mut buf = tbf().checkpoint();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(Tbf::restore(&buf), Err(CheckpointError::Corrupt(_))));
+        let mut buf = tbf().checkpoint();
+        buf.push(0);
+        assert!(matches!(Tbf::restore(&buf), Err(CheckpointError::Corrupt(_))));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(CheckpointError::BadMagic.to_string().contains("CFDS"));
+        assert!(CheckpointError::WrongKind { found: 2, expected: 1 }
+            .to_string()
+            .contains('2'));
+    }
+}

@@ -1,0 +1,522 @@
+//! Validated configurations for the GBF and TBF detectors.
+
+use cfd_bits::words::bits_for_value;
+use std::fmt;
+
+/// Memory layout of the GBF group matrix.
+///
+/// The paper's example packs `Q + 1 = 32` filters into one 32-bit word;
+/// [`GbfLayout::Tight`] generalizes that (several groups per 64-bit word,
+/// `⌊64/(Q+1)⌋`× less memory) while [`GbfLayout::Padded`] rounds each
+/// group up to whole words (simpler indexing, supports any `Q`).
+/// The two layouts are verdict-for-verdict identical; `cfd-bench`'s
+/// ablation suite measures the speed difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GbfLayout {
+    /// One-or-more whole 64-bit words per group (any `Q`).
+    #[default]
+    Padded,
+    /// Multiple groups per word; requires `Q + 1 <= 32`.
+    Tight,
+}
+
+/// Error returned when a detector configuration is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A required dimension was zero.
+    ZeroDimension(&'static str),
+    /// The sub-window count exceeds the window length.
+    TooManySubWindows {
+        /// Sub-windows requested.
+        q: usize,
+        /// Window length.
+        n: usize,
+    },
+    /// `k` outside the supported `1..=64`.
+    BadHashCount(usize),
+    /// The memory budget is too small to give each filter at least one
+    /// bit / entry.
+    MemoryTooSmall {
+        /// Bits provided.
+        provided: usize,
+        /// Minimum bits required.
+        required: usize,
+    },
+    /// Window too small for the sliding-window algorithm (`n >= 2`).
+    WindowTooSmall(usize),
+    /// The tight GBF layout only supports `Q + 1 <= 32` lanes.
+    LayoutTooWide {
+        /// Sub-windows requested.
+        q: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroDimension(what) => write!(f, "{what} must be positive"),
+            ConfigError::TooManySubWindows { q, n } => {
+                write!(f, "q = {q} sub-windows exceed the n = {n} element window")
+            }
+            ConfigError::BadHashCount(k) => write!(f, "hash count k = {k} outside 1..=64"),
+            ConfigError::MemoryTooSmall { provided, required } => {
+                write!(f, "memory budget {provided} bits below minimum {required}")
+            }
+            ConfigError::WindowTooSmall(n) => {
+                write!(f, "sliding window n = {n} below the minimum of 2")
+            }
+            ConfigError::LayoutTooWide { q } => {
+                write!(f, "tight layout supports Q + 1 <= 32 lanes, got Q = {q}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Configuration of a [`crate::Gbf`] detector.
+///
+/// Built with [`GbfConfig::builder`]; memory can be given either as a
+/// per-filter size `m` or as a total budget `M` split into `Q + 1` filters
+/// exactly as §3.1 prescribes (`m = M / (Q + 1)`).
+///
+/// ```rust
+/// use cfd_core::GbfConfig;
+/// let cfg = GbfConfig::builder(1 << 20, 8)
+///     .total_memory_bits(16 << 20)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(cfg.m, (16 << 20) / 9);
+/// assert!(cfg.k >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GbfConfig {
+    /// Jumping-window length `N` in elements.
+    pub n: usize,
+    /// Number of sub-windows `Q`.
+    pub q: usize,
+    /// Bits per sub-window Bloom filter (`m`).
+    pub m: usize,
+    /// Hash functions per element (`k`).
+    pub k: usize,
+    /// Hash seed.
+    pub seed: u64,
+    /// Group-matrix memory layout.
+    pub layout: GbfLayout,
+}
+
+impl GbfConfig {
+    /// Starts building a configuration for a window of `n` elements and
+    /// `q` sub-windows.
+    #[must_use]
+    pub fn builder(n: usize, q: usize) -> GbfConfigBuilder {
+        GbfConfigBuilder {
+            n,
+            q,
+            m: None,
+            total: None,
+            k: None,
+            seed: 0,
+            layout: GbfLayout::Padded,
+        }
+    }
+
+    /// Elements per sub-window (`⌈N/Q⌉`).
+    #[must_use]
+    pub fn sub_len(&self) -> usize {
+        self.n.div_ceil(self.q)
+    }
+
+    /// Groups that must be cleaned per arrival so the expired filter is
+    /// fully wiped within one sub-window (`⌈m / sub_len⌉`).
+    #[must_use]
+    pub fn clean_quota(&self) -> usize {
+        self.m.div_ceil(self.sub_len())
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.n == 0 {
+            return Err(ConfigError::ZeroDimension("window length n"));
+        }
+        if self.q == 0 {
+            return Err(ConfigError::ZeroDimension("sub-window count q"));
+        }
+        if self.q > self.n {
+            return Err(ConfigError::TooManySubWindows { q: self.q, n: self.n });
+        }
+        if self.m == 0 {
+            return Err(ConfigError::ZeroDimension("filter size m"));
+        }
+        if !(1..=64).contains(&self.k) {
+            return Err(ConfigError::BadHashCount(self.k));
+        }
+        if self.layout == GbfLayout::Tight && self.q + 1 > 32 {
+            return Err(ConfigError::LayoutTooWide { q: self.q });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`GbfConfig`].
+#[derive(Debug, Clone)]
+pub struct GbfConfigBuilder {
+    n: usize,
+    q: usize,
+    m: Option<usize>,
+    total: Option<usize>,
+    k: Option<usize>,
+    seed: u64,
+    layout: GbfLayout,
+}
+
+impl GbfConfigBuilder {
+    /// Sets the per-filter size `m` in bits.
+    #[must_use]
+    pub fn filter_bits(mut self, m: usize) -> Self {
+        self.m = Some(m);
+        self
+    }
+
+    /// Sets the total memory budget `M`; each of the `Q + 1` filters gets
+    /// `M / (Q + 1)` bits.
+    #[must_use]
+    pub fn total_memory_bits(mut self, total: usize) -> Self {
+        self.total = Some(total);
+        self
+    }
+
+    /// Sets the hash-function count `k` explicitly (otherwise the optimal
+    /// `k = ln 2 · m / (N/Q)` is used).
+    #[must_use]
+    pub fn hash_count(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Sets the hash seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the group-matrix layout (default [`GbfLayout::Padded`]).
+    #[must_use]
+    pub fn layout(mut self, layout: GbfLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Finalizes and validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when dimensions are inconsistent, memory is
+    /// insufficient, or `k` is out of range.
+    pub fn build(self) -> Result<GbfConfig, ConfigError> {
+        if self.q == 0 {
+            return Err(ConfigError::ZeroDimension("sub-window count q"));
+        }
+        let m = match (self.m, self.total) {
+            (Some(m), _) => m,
+            (None, Some(total)) => {
+                let m = total / (self.q + 1);
+                if m == 0 {
+                    return Err(ConfigError::MemoryTooSmall {
+                        provided: total,
+                        required: self.q + 1,
+                    });
+                }
+                m
+            }
+            (None, None) => return Err(ConfigError::ZeroDimension("memory (m or total)")),
+        };
+        let sub = if self.q > 0 { self.n.div_ceil(self.q).max(1) } else { 1 };
+        let k = self
+            .k
+            .unwrap_or_else(|| cfd_bloom_optimal_k(m, sub));
+        let cfg = GbfConfig {
+            n: self.n,
+            q: self.q,
+            m,
+            k,
+            seed: self.seed,
+            layout: self.layout,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// Configuration of a [`crate::Tbf`] detector.
+///
+/// ```rust
+/// use cfd_core::TbfConfig;
+/// let cfg = TbfConfig::builder(1 << 16).entries(1 << 20).build().expect("valid");
+/// assert_eq!(cfg.c, (1 << 16) - 1); // the paper's typical C = N − 1
+/// assert_eq!(cfg.entry_bits(), 17); // ⌈log2(N + C + 1)⌉
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbfConfig {
+    /// Sliding-window length `N` in elements.
+    pub n: usize,
+    /// Number of TBF entries (`m`).
+    pub m: usize,
+    /// Hash functions per element (`k`).
+    pub k: usize,
+    /// Timestamp-range extension `C` (§4.1); larger `C` = wider entries
+    /// but a lazier cleaning sweep.
+    pub c: usize,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl TbfConfig {
+    /// Starts building a configuration for a sliding window of `n`
+    /// elements.
+    #[must_use]
+    pub fn builder(n: usize) -> TbfConfigBuilder {
+        TbfConfigBuilder {
+            n,
+            m: None,
+            total: None,
+            k: None,
+            c: None,
+            seed: 0,
+        }
+    }
+
+    /// The wraparound timestamp range (`N + C`).
+    #[must_use]
+    pub fn range(&self) -> u64 {
+        self.n as u64 + self.c as u64
+    }
+
+    /// Bits per entry: enough for timestamps `0..N+C−1` plus the reserved
+    /// all-ones *empty* pattern (`⌈log2(N + C + 1)⌉`).
+    #[must_use]
+    pub fn entry_bits(&self) -> u32 {
+        bits_for_value(self.range())
+    }
+
+    /// Entries scanned by the cleaning sweep per arrival
+    /// (`⌈m / (C + 1)⌉`, §4.1).
+    #[must_use]
+    pub fn clean_quota(&self) -> usize {
+        self.m.div_ceil(self.c + 1)
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.n < 2 {
+            return Err(ConfigError::WindowTooSmall(self.n));
+        }
+        if self.m == 0 {
+            return Err(ConfigError::ZeroDimension("entry count m"));
+        }
+        if !(1..=64).contains(&self.k) {
+            return Err(ConfigError::BadHashCount(self.k));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`TbfConfig`].
+#[derive(Debug, Clone)]
+pub struct TbfConfigBuilder {
+    n: usize,
+    m: Option<usize>,
+    total: Option<usize>,
+    k: Option<usize>,
+    c: Option<usize>,
+    seed: u64,
+}
+
+impl TbfConfigBuilder {
+    /// Sets the entry count `m` directly.
+    #[must_use]
+    pub fn entries(mut self, m: usize) -> Self {
+        self.m = Some(m);
+        self
+    }
+
+    /// Sets a total memory budget in bits; the entry count becomes
+    /// `M / entry_bits` (Theorem 2's `m = M / O(log N)`).
+    #[must_use]
+    pub fn total_memory_bits(mut self, total: usize) -> Self {
+        self.total = Some(total);
+        self
+    }
+
+    /// Sets the hash-function count explicitly (otherwise optimal for
+    /// `n` elements in `m` entries).
+    #[must_use]
+    pub fn hash_count(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Sets the range extension `C` (default `N − 1`, the paper's typical
+    /// choice).
+    #[must_use]
+    pub fn range_extension(mut self, c: usize) -> Self {
+        self.c = Some(c);
+        self
+    }
+
+    /// Sets the hash seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Finalizes and validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on inconsistent dimensions, insufficient
+    /// memory, or out-of-range `k`.
+    pub fn build(self) -> Result<TbfConfig, ConfigError> {
+        if self.n < 2 {
+            return Err(ConfigError::WindowTooSmall(self.n));
+        }
+        let c = self.c.unwrap_or(self.n - 1);
+        let entry_bits = bits_for_value(self.n as u64 + c as u64) as usize;
+        let m = match (self.m, self.total) {
+            (Some(m), _) => m,
+            (None, Some(total)) => {
+                let m = total / entry_bits;
+                if m == 0 {
+                    return Err(ConfigError::MemoryTooSmall {
+                        provided: total,
+                        required: entry_bits,
+                    });
+                }
+                m
+            }
+            (None, None) => return Err(ConfigError::ZeroDimension("memory (entries or total)")),
+        };
+        let k = self.k.unwrap_or_else(|| cfd_bloom_optimal_k(m, self.n));
+        let cfg = TbfConfig {
+            n: self.n,
+            m,
+            k,
+            c,
+            seed: self.seed,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// Optimal `k = round(ln 2 · m/n)` clamped to `[1, 64]`.
+///
+/// Local duplicate of `cfd_bloom::params::optimal_k` to keep `cfd-core`'s
+/// dependency surface minimal (core must not depend on the baselines).
+fn cfd_bloom_optimal_k(m: usize, n: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    let k = (std::f64::consts::LN_2 * m as f64 / n as f64).round();
+    (k as usize).clamp(1, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbf_total_memory_split() {
+        let cfg = GbfConfig::builder(1 << 10, 7)
+            .total_memory_bits(8_000)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.m, 1_000);
+        assert_eq!(cfg.sub_len(), (1 << 10) / 7 + 1);
+    }
+
+    #[test]
+    fn gbf_auto_k_is_optimal_for_sub_window() {
+        // m = 14 bits per sub-window element -> k ~ 10.
+        let cfg = GbfConfig::builder(1 << 16, 8)
+            .filter_bits((1 << 16) / 8 * 14)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.k, 10);
+    }
+
+    #[test]
+    fn gbf_clean_quota_covers_filter_within_subwindow() {
+        let cfg = GbfConfig::builder(1000, 10).filter_bits(12_345).build().unwrap();
+        assert!(cfg.clean_quota() * cfg.sub_len() >= cfg.m);
+    }
+
+    #[test]
+    fn gbf_rejects_bad_dimensions() {
+        assert!(matches!(
+            GbfConfig::builder(0, 1).filter_bits(10).build(),
+            Err(ConfigError::ZeroDimension(_))
+        ));
+        assert!(matches!(
+            GbfConfig::builder(4, 9).filter_bits(10).build(),
+            Err(ConfigError::TooManySubWindows { .. })
+        ));
+        assert!(matches!(
+            GbfConfig::builder(10, 2).filter_bits(10).hash_count(0).build(),
+            Err(ConfigError::BadHashCount(0))
+        ));
+        assert!(matches!(
+            GbfConfig::builder(10, 2).total_memory_bits(2).build(),
+            Err(ConfigError::MemoryTooSmall { .. })
+        ));
+        assert!(GbfConfig::builder(10, 2).build().is_err());
+    }
+
+    #[test]
+    fn tbf_default_c_and_entry_bits() {
+        let cfg = TbfConfig::builder(1 << 20).entries(15_112_980).build().unwrap();
+        assert_eq!(cfg.c, (1 << 20) - 1);
+        // N + C = 2^21 - 1; need 21 bits for timestamps + all-ones free.
+        assert_eq!(cfg.entry_bits(), 21);
+        assert_eq!(cfg.k, 10); // 14.4 entries per element
+    }
+
+    #[test]
+    fn tbf_quota_sweeps_table_within_c_plus_one() {
+        let cfg = TbfConfig::builder(1_000)
+            .entries(7_777)
+            .range_extension(99)
+            .build()
+            .unwrap();
+        assert!(cfg.clean_quota() * (cfg.c + 1) >= cfg.m);
+    }
+
+    #[test]
+    fn tbf_total_memory_derives_entry_count() {
+        let n = 1 << 16;
+        let cfg = TbfConfig::builder(n).total_memory_bits(n * 2 * 17).build().unwrap();
+        // entry_bits = ceil(log2(2N)) = 17 for N = 2^16 with C = N-1.
+        assert_eq!(cfg.entry_bits(), 17);
+        assert_eq!(cfg.m, n * 2);
+    }
+
+    #[test]
+    fn tbf_rejects_degenerate_windows() {
+        assert!(matches!(
+            TbfConfig::builder(1).entries(10).build(),
+            Err(ConfigError::WindowTooSmall(1))
+        ));
+        assert!(matches!(
+            TbfConfig::builder(10).total_memory_bits(1).build(),
+            Err(ConfigError::MemoryTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display_reasonably() {
+        let e = ConfigError::TooManySubWindows { q: 9, n: 4 };
+        assert!(e.to_string().contains("9"));
+        let e = ConfigError::MemoryTooSmall { provided: 1, required: 17 };
+        assert!(e.to_string().contains("17"));
+    }
+}

@@ -1,0 +1,576 @@
+//! The GBF algorithm: group Bloom filters over jumping windows (§3).
+//!
+//! Memory is organized as an [`InterleavedBitMatrix`] of `m` groups ×
+//! `Q + 1` lanes. At any moment `Q` lanes are *active* (the current
+//! partial sub-window plus the `Q − 1` most recent full ones) and one
+//! lane is the *spare* — the most recently expired filter, wiped
+//! incrementally at `⌈m / (N/Q)⌉` groups per arriving element so the wipe
+//! finishes before the lane is needed again (§3.1's `Q + 1` pieces trick).
+//!
+//! Per element the algorithm performs:
+//!
+//! * one hash evaluation (`k` indices by double hashing),
+//! * `k × ⌈(Q+1)/64⌉` word reads + one AND-reduce + one mask for the
+//!   duplicate probe across **all** active sub-windows at once,
+//! * `k` word writes when the element is distinct,
+//! * `⌈m/(N/Q)⌉` word writes of incremental cleaning.
+//!
+//! This matches Theorem 1: zero false negatives, false-positive rate of a
+//! `Q`-filter union, and `O((Q/D) · (M/N))`-ish per-element cost in D-bit
+//! word operations.
+
+use crate::config::{ConfigError, GbfConfig, GbfLayout};
+use crate::ops::OpCounters;
+use cfd_bits::{InterleavedBitMatrix, TightBitMatrix};
+use cfd_hash::{DoubleHashFamily, HashFamily};
+use cfd_windows::{DuplicateDetector, JumpingClock, Verdict, WindowSpec};
+
+/// Dynamic GBF state captured by a checkpoint.
+pub(crate) struct GbfState {
+    pub slot: usize,
+    pub filled: usize,
+    pub completed: u64,
+    pub spare: Option<usize>,
+    pub clean_next: usize,
+    pub active_mask: Vec<u64>,
+    pub matrix_words: Vec<u64>,
+}
+
+/// The group matrix in either memory layout (verdict-identical; see
+/// [`GbfLayout`]).
+#[derive(Debug, Clone)]
+enum GroupMatrix {
+    Padded(InterleavedBitMatrix),
+    Tight(TightBitMatrix),
+}
+
+impl GroupMatrix {
+    fn new(groups: usize, lanes: usize, layout: GbfLayout) -> Self {
+        match layout {
+            GbfLayout::Padded => GroupMatrix::Padded(InterleavedBitMatrix::new(groups, lanes)),
+            GbfLayout::Tight => GroupMatrix::Tight(TightBitMatrix::new(groups, lanes)),
+        }
+    }
+
+    fn lane_words(&self) -> usize {
+        match self {
+            GroupMatrix::Padded(mx) => mx.lane_words(),
+            GroupMatrix::Tight(_) => 1,
+        }
+    }
+
+    fn set(&mut self, group: usize, lane: usize) {
+        match self {
+            GroupMatrix::Padded(mx) => mx.set(group, lane),
+            GroupMatrix::Tight(mx) => mx.set(group, lane),
+        }
+    }
+
+    fn clear_lane_range(&mut self, lane: usize, start: usize, count: usize) -> usize {
+        match self {
+            GroupMatrix::Padded(mx) => mx.clear_lane_range(lane, start, count),
+            GroupMatrix::Tight(mx) => mx.clear_lane_range(lane, start, count),
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        match self {
+            GroupMatrix::Padded(mx) => mx.memory_bits(),
+            GroupMatrix::Tight(mx) => mx.memory_bits(),
+        }
+    }
+
+    fn count_ones_in_lane(&self, lane: usize) -> usize {
+        match self {
+            GroupMatrix::Padded(mx) => mx.count_ones_in_lane(lane),
+            GroupMatrix::Tight(mx) => mx.count_ones_in_lane(lane),
+        }
+    }
+}
+
+/// Group-Bloom-filter duplicate detector over count-based jumping windows.
+///
+/// ```rust
+/// use cfd_core::{Gbf, GbfConfig};
+/// use cfd_windows::{DuplicateDetector, Verdict};
+///
+/// # fn main() -> Result<(), cfd_core::ConfigError> {
+/// let cfg = GbfConfig::builder(1 << 12, 8)
+///     .total_memory_bits(1 << 18)
+///     .build()?;
+/// let mut gbf = Gbf::new(cfg)?;
+/// assert_eq!(gbf.observe(b"203.0.113.9|c0ffee|ad-17"), Verdict::Distinct);
+/// assert_eq!(gbf.observe(b"203.0.113.9|c0ffee|ad-17"), Verdict::Duplicate);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gbf {
+    cfg: GbfConfig,
+    matrix: GroupMatrix,
+    clock: JumpingClock,
+    family: DoubleHashFamily,
+    /// Lane mask of the currently active (queryable) sub-window filters.
+    active_mask: Vec<u64>,
+    /// Lane being cleaned, if a wipe is in progress.
+    spare: Option<usize>,
+    /// Next group index the cleaning sweep will visit.
+    clean_next: usize,
+    clean_quota: usize,
+    ops: OpCounters,
+    probe_buf: Vec<usize>,
+    acc: Vec<u64>,
+}
+
+impl Gbf {
+    /// Creates a detector from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is internally
+    /// inconsistent (normally impossible after `GbfConfig::build`).
+    pub fn new(cfg: GbfConfig) -> Result<Self, ConfigError> {
+        if cfg.n == 0 || cfg.q == 0 || cfg.m == 0 {
+            return Err(ConfigError::ZeroDimension("GBF dimension"));
+        }
+        if !(1..=64).contains(&cfg.k) {
+            return Err(ConfigError::BadHashCount(cfg.k));
+        }
+        if cfg.layout == GbfLayout::Tight && cfg.q + 1 > 32 {
+            return Err(ConfigError::LayoutTooWide { q: cfg.q });
+        }
+        let matrix = GroupMatrix::new(cfg.m, cfg.q + 1, cfg.layout);
+        let mut active_mask = vec![0u64; matrix.lane_words()];
+        active_mask[0] |= 1; // slot 0 is current at stream start
+        Ok(Self {
+            clock: JumpingClock::new(cfg.q, cfg.sub_len()),
+            family: DoubleHashFamily::new(cfg.seed),
+            active_mask,
+            spare: None,
+            clean_next: 0,
+            clean_quota: cfg.clean_quota(),
+            ops: OpCounters::new(),
+            probe_buf: vec![0; cfg.k],
+            acc: vec![0; matrix.lane_words()],
+            matrix,
+            cfg,
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> GbfConfig {
+        self.cfg
+    }
+
+    /// Memory-operation counters (Theorem 1 accounting).
+    #[must_use]
+    pub fn ops(&self) -> OpCounters {
+        self.ops
+    }
+
+    /// Words per group access (`⌈(Q+1)/64⌉`, the `D`-bit-word factor).
+    #[must_use]
+    pub fn lane_words(&self) -> usize {
+        self.matrix.lane_words()
+    }
+
+    /// Fraction of set bits in the lane currently receiving insertions
+    /// (diagnostics).
+    #[must_use]
+    pub fn current_fill_ratio(&self) -> f64 {
+        self.matrix.count_ones_in_lane(self.clock.slot()) as f64 / self.cfg.m as f64
+    }
+
+    /// Internal state snapshot for checkpointing.
+    pub(crate) fn checkpoint_parts(&self) -> (GbfConfig, GbfState) {
+        let matrix_words = match &self.matrix {
+            GroupMatrix::Padded(mx) => mx.as_words().to_vec(),
+            GroupMatrix::Tight(mx) => mx.as_words().to_vec(),
+        };
+        (
+            self.cfg,
+            GbfState {
+                slot: self.clock.slot(),
+                filled: self.clock.filled(),
+                completed: self.clock.completed_subwindows(),
+                spare: self.spare,
+                clean_next: self.clean_next,
+                active_mask: self.active_mask.clone(),
+                matrix_words,
+            },
+        )
+    }
+
+    /// Rebuilds a detector from checkpoint parts; `None` if inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_checkpoint_parts(
+        cfg: GbfConfig,
+        slot: usize,
+        filled: usize,
+        completed: u64,
+        spare: Option<usize>,
+        clean_next: usize,
+        active_mask: Vec<u64>,
+        matrix_words: Vec<u64>,
+    ) -> Option<Self> {
+        // Size-check against the provided payload BEFORE allocating: a
+        // corrupt header could otherwise request an absurd matrix.
+        let lanes = cfg.q.checked_add(1)?;
+        let expected_words = match cfg.layout {
+            GbfLayout::Padded => cfg.m.checked_mul(lanes.div_ceil(64))?,
+            GbfLayout::Tight => {
+                if lanes > 32 {
+                    return None;
+                }
+                cfg.m.div_ceil(64 / lanes)
+            }
+        };
+        let expected_mask_words = lanes.div_ceil(64);
+        if matrix_words.len() != expected_words
+            || active_mask.len() != expected_mask_words
+            || clean_next > cfg.m
+        {
+            return None;
+        }
+        let mut d = Self::new(cfg).ok()?;
+        d.clock =
+            cfd_windows::JumpingClock::from_parts(cfg.q, cfg.sub_len(), slot, filled, completed)?;
+        if let Some(s) = spare {
+            if s > cfg.q {
+                return None;
+            }
+        }
+        d.active_mask = active_mask;
+        d.spare = spare;
+        d.clean_next = clean_next;
+        d.matrix = match cfg.layout {
+            GbfLayout::Padded => GroupMatrix::Padded(
+                cfd_bits::InterleavedBitMatrix::from_words(matrix_words, cfg.m, cfg.q + 1)?,
+            ),
+            GbfLayout::Tight => GroupMatrix::Tight(cfd_bits::TightBitMatrix::from_words(
+                matrix_words,
+                cfg.m,
+                cfg.q + 1,
+            )?),
+        };
+        Some(d)
+    }
+
+    #[inline]
+    fn mask_set(mask: &mut [u64], lane: usize) {
+        mask[lane / 64] |= 1u64 << (lane % 64);
+    }
+
+    #[inline]
+    fn mask_clear(mask: &mut [u64], lane: usize) {
+        mask[lane / 64] &= !(1u64 << (lane % 64));
+    }
+
+    /// Advances the incremental wipe of the spare lane.
+    fn clean_step(&mut self) {
+        if let Some(spare) = self.spare {
+            let remaining = self.cfg.m - self.clean_next;
+            let count = self.clean_quota.min(remaining);
+            let touched = self.matrix.clear_lane_range(spare, self.clean_next, count);
+            self.ops.clean_writes += touched as u64;
+            self.clean_next += count;
+            if self.clean_next == self.cfg.m {
+                self.spare = None;
+                self.clean_next = 0;
+            }
+        }
+    }
+
+    /// Finishes any in-progress wipe immediately (used at rotation as a
+    /// defensive fallback; the quota guarantees this is a no-op).
+    fn clean_finish(&mut self) {
+        if let Some(spare) = self.spare {
+            let remaining = self.cfg.m - self.clean_next;
+            if remaining > 0 {
+                let touched = self.matrix.clear_lane_range(spare, self.clean_next, remaining);
+                self.ops.clean_writes += touched as u64;
+            }
+            self.spare = None;
+            self.clean_next = 0;
+        }
+    }
+}
+
+impl DuplicateDetector for Gbf {
+    fn observe(&mut self, id: &[u8]) -> Verdict {
+        self.ops.elements += 1;
+
+        // Step 1 (§3.1): incremental cleaning of the expired filter.
+        self.clean_step();
+
+        // Step 2: probe all active sub-window filters with one AND-chain.
+        let pair = self.family.pair(id);
+        self.ops.hash_evals += 1;
+        cfd_hash::indices::fill_indices(pair, self.cfg.m, &mut self.probe_buf);
+        let duplicate = match &self.matrix {
+            GroupMatrix::Padded(mx) => {
+                self.acc.copy_from_slice(&self.active_mask);
+                for &g in &self.probe_buf {
+                    mx.and_group_into(g, &mut self.acc);
+                }
+                self.acc.iter().any(|&w| w != 0)
+            }
+            GroupMatrix::Tight(mx) => {
+                let mut acc = self.active_mask[0];
+                for &g in &self.probe_buf {
+                    acc &= mx.read_group(g);
+                }
+                acc != 0
+            }
+        };
+        self.ops.probe_reads += (self.probe_buf.len() * self.matrix.lane_words()) as u64;
+
+        let verdict = if duplicate {
+            Verdict::Duplicate
+        } else {
+            let cur = self.clock.slot();
+            for &g in &self.probe_buf {
+                self.matrix.set(g, cur);
+            }
+            self.ops.insert_writes += self.probe_buf.len() as u64;
+            Verdict::Distinct
+        };
+
+        // Step 3: sub-window bookkeeping.
+        if let Some(rot) = self.clock.record_arrival() {
+            // The new current slot must be fully clean; the quota
+            // guarantees the previous wipe already finished.
+            self.clean_finish();
+            Self::mask_set(&mut self.active_mask, rot.new_slot);
+            if let Some(expired) = rot.expired_slot {
+                Self::mask_clear(&mut self.active_mask, expired);
+                self.spare = Some(expired);
+                self.clean_next = 0;
+            }
+        }
+        verdict
+    }
+
+    fn window(&self) -> WindowSpec {
+        WindowSpec::Jumping {
+            n: self.cfg.n,
+            q: self.cfg.q,
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.matrix.memory_bits()
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new(self.cfg).expect("configuration was already validated");
+    }
+
+    fn name(&self) -> &'static str {
+        "gbf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_windows::ExactJumpingDedup;
+
+    fn gbf(n: usize, q: usize, m: usize, k: usize) -> Gbf {
+        Gbf::new(
+            GbfConfig::builder(n, q)
+                .filter_bits(m)
+                .hash_count(k)
+                .seed(42)
+                .build()
+                .expect("valid config"),
+        )
+        .expect("valid gbf")
+    }
+
+    #[test]
+    fn immediate_duplicate_detected() {
+        let mut d = gbf(64, 4, 1 << 12, 5);
+        assert_eq!(d.observe(b"x"), Verdict::Distinct);
+        assert_eq!(d.observe(b"x"), Verdict::Duplicate);
+        assert_eq!(d.observe(b"y"), Verdict::Distinct);
+    }
+
+    #[test]
+    fn duplicate_across_subwindows_detected() {
+        // n = 16, q = 4 -> sub-windows of 4.
+        let mut d = gbf(16, 4, 1 << 12, 5);
+        d.observe(b"early");
+        for i in 0..10u32 {
+            d.observe(&i.to_le_bytes());
+        }
+        // 11 arrivals later, still within the 16-element window.
+        assert_eq!(d.observe(b"early"), Verdict::Duplicate);
+    }
+
+    #[test]
+    fn expired_subwindow_is_forgotten() {
+        let mut d = gbf(16, 4, 1 << 14, 6);
+        d.observe(b"old"); // lands in sub-window 0
+        for i in 0..16u32 {
+            // Fill four full sub-windows: sub-window 0 expires.
+            d.observe(&(i + 1000).to_le_bytes());
+        }
+        assert_eq!(d.observe(b"old"), Verdict::Distinct, "remembered beyond window");
+    }
+
+    #[test]
+    fn zero_false_negatives_vs_exact_oracle() {
+        let (n, q) = (64, 4);
+        let mut d = gbf(n, q, 1 << 14, 6);
+        let mut oracle = ExactJumpingDedup::new(n, q);
+        for i in 0..10_000u64 {
+            // Heavy duplication: ids cycle within and beyond the window.
+            let key = (i % 97).to_le_bytes();
+            let got = d.observe(&key);
+            let want = oracle.observe(&key);
+            if want == Verdict::Duplicate {
+                assert_eq!(got, Verdict::Duplicate, "false negative at element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_with_adequate_memory() {
+        // 14 bits per sub-window element, k = 10 -> per-filter FP ~ 2^-10,
+        // union of q = 8 filters ~ 0.008.
+        let n = 1 << 12;
+        let q = 8;
+        let m = (n / q) * 14;
+        let mut d = gbf(n, q, m, 10);
+        let mut fps = 0u64;
+        let total = 20 * n as u64;
+        for i in 0..total {
+            if d.observe(&i.to_le_bytes()) == Verdict::Duplicate {
+                fps += 1; // stream is all-distinct: every Duplicate is an FP
+            }
+        }
+        let rate = fps as f64 / total as f64;
+        assert!(rate < 0.03, "fp rate {rate} too high");
+    }
+
+    #[test]
+    fn cleaning_completes_before_lane_reuse() {
+        // Tiny filter with awkward sizes: quota must still finish wipes.
+        let mut d = gbf(10, 5, 97, 3);
+        for i in 0..1_000u32 {
+            d.observe(&i.to_le_bytes());
+            if let Some(spare) = d.spare {
+                // The spare lane is never the current insertion lane.
+                assert_ne!(spare, d.clock.slot());
+            }
+        }
+        // After many rotations every lane has been wiped at least once and
+        // no stale bits leak: an all-distinct stream keeps fill bounded by
+        // the window content.
+        assert!(d.ops().clean_writes > 0);
+    }
+
+    #[test]
+    fn stale_bits_never_resurface_after_wrap() {
+        // Insert a key, let its lane expire, be cleaned, refilled and
+        // expire again several times; the key must never be reported
+        // duplicate once out of window.
+        let n = 32;
+        let mut d = gbf(n, 4, 1 << 13, 5);
+        for round in 0..50u32 {
+            let key = b"phoenix";
+            assert_eq!(
+                d.observe(key),
+                Verdict::Distinct,
+                "stale bit resurfaced in round {round}"
+            );
+            for i in 0..n as u32 {
+                d.observe(&(round * 1_000 + i).to_le_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn probe_reads_match_theorem_1_cost_model() {
+        let mut d = gbf(1 << 10, 8, 1 << 12, 7);
+        let elements = 5_000u64;
+        for i in 0..elements {
+            d.observe(&i.to_le_bytes());
+        }
+        let ops = d.ops();
+        assert_eq!(ops.elements, elements);
+        // k word-reads per element (lane_words = 1 for q + 1 = 9 lanes).
+        assert_eq!(d.lane_words(), 1);
+        assert_eq!(ops.probe_reads, elements * 7);
+        // Cleaning writes are bounded by quota per element.
+        let quota = d.config().clean_quota() as u64;
+        assert!(ops.clean_writes <= elements * quota);
+        assert_eq!(ops.hash_evals, elements);
+    }
+
+    #[test]
+    fn many_lanes_use_multiple_words() {
+        let d = gbf(1 << 10, 100, 1 << 10, 4);
+        assert_eq!(d.lane_words(), 2);
+        let mut d = d;
+        // Smoke: still detects duplicates with multi-word masks.
+        assert_eq!(d.observe(b"a"), Verdict::Distinct);
+        assert_eq!(d.observe(b"a"), Verdict::Duplicate);
+    }
+
+    #[test]
+    fn reset_restores_empty_state() {
+        let mut d = gbf(64, 4, 1 << 10, 4);
+        d.observe(b"k");
+        d.reset();
+        assert_eq!(d.observe(b"k"), Verdict::Distinct);
+        assert_eq!(d.ops().elements, 1);
+    }
+
+    #[test]
+    fn tight_layout_is_verdict_identical_and_smaller() {
+        use crate::config::GbfLayout;
+        let (n, q, m, k) = (2_048usize, 8usize, 10_000usize, 6usize);
+        let mut padded = Gbf::new(
+            GbfConfig::builder(n, q).filter_bits(m).hash_count(k).seed(9).build().unwrap(),
+        )
+        .unwrap();
+        let mut tight = Gbf::new(
+            GbfConfig::builder(n, q)
+                .filter_bits(m)
+                .hash_count(k)
+                .seed(9)
+                .layout(GbfLayout::Tight)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for i in 0..120_000u64 {
+            let key = (i % 3_000).to_le_bytes();
+            assert_eq!(padded.observe(&key), tight.observe(&key), "diverged at {i}");
+        }
+        // 9 lanes: tight packs 7 groups per word -> ~7x less memory.
+        assert!(tight.memory_bits() * 6 < padded.memory_bits());
+    }
+
+    #[test]
+    fn tight_layout_rejects_wide_q() {
+        use crate::config::{GbfLayout};
+        let err = GbfConfig::builder(1 << 12, 32)
+            .filter_bits(1 << 10)
+            .layout(GbfLayout::Tight)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::LayoutTooWide { q: 32 }));
+        assert!(err.to_string().contains("32"));
+    }
+
+    #[test]
+    fn memory_bits_reports_whole_matrix() {
+        let d = gbf(64, 4, 1000, 4);
+        // 5 lanes -> 1 word per group, 1000 groups.
+        assert_eq!(d.memory_bits(), 1000 * 64);
+    }
+}

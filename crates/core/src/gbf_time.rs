@@ -1,0 +1,424 @@
+//! GBF over *time-based* jumping windows (§3.1 extension).
+//!
+//! "Instead of dividing the entire jumping window equally by counting
+//! elements, the time-based jumping window is divided into `Q`
+//! sub-windows with the same time expansion. Then each sub-window is
+//! equally divided into `R` time units. In Step 1, the cleaning procedure
+//! executes once in each time unit, and scans `M/((Q+1)R)` entries."
+//!
+//! The per-unit cleaning daemon is replayed lazily (see
+//! [`crate::tbf_time`] for the same technique): when an observation
+//! advances the clock by several units, each skipped unit's wipe chunk —
+//! and any sub-window rotations — are executed in order before the
+//! element is processed.
+
+use crate::config::ConfigError;
+use crate::ops::OpCounters;
+use cfd_bits::InterleavedBitMatrix;
+use cfd_hash::{DoubleHashFamily, HashFamily};
+use cfd_windows::time::UnitClock;
+use cfd_windows::{TimedDuplicateDetector, Verdict, WindowSpec};
+
+/// Configuration of a [`TimeGbf`] detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeGbfConfig {
+    /// Number of sub-windows (`Q`).
+    pub q: usize,
+    /// Time units per sub-window (`R`).
+    pub sub_units: u64,
+    /// Ticks per time unit.
+    pub unit_ticks: u64,
+    /// Bits per sub-window Bloom filter (`m`).
+    pub m: usize,
+    /// Hash functions per element (`k`).
+    pub k: usize,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl TimeGbfConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on zero dimensions or bad `k`.
+    pub fn new(
+        q: usize,
+        sub_units: u64,
+        unit_ticks: u64,
+        m: usize,
+        k: usize,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        let cfg = Self {
+            q,
+            sub_units,
+            unit_ticks,
+            m,
+            k,
+            seed,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Window span in ticks (`Q × R × unit_ticks`).
+    #[must_use]
+    pub fn window_ticks(&self) -> u64 {
+        self.q as u64 * self.sub_units * self.unit_ticks
+    }
+
+    /// Groups wiped per time unit (`⌈m / R⌉`): the expired filter is
+    /// fully clean one sub-window after it expires, before its lane is
+    /// reused.
+    #[must_use]
+    pub fn clean_chunk(&self) -> usize {
+        self.m.div_ceil(self.sub_units as usize)
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.q == 0 {
+            return Err(ConfigError::ZeroDimension("sub-window count q"));
+        }
+        if self.sub_units == 0 || self.unit_ticks == 0 {
+            return Err(ConfigError::ZeroDimension("time granularity"));
+        }
+        if self.m == 0 {
+            return Err(ConfigError::ZeroDimension("filter size m"));
+        }
+        if !(1..=64).contains(&self.k) {
+            return Err(ConfigError::BadHashCount(self.k));
+        }
+        Ok(())
+    }
+}
+
+/// Group-Bloom-filter duplicate detector over time-based jumping windows.
+///
+/// ```rust
+/// use cfd_core::gbf_time::{TimeGbf, TimeGbfConfig};
+/// use cfd_windows::{TimedDuplicateDetector, Verdict};
+///
+/// # fn main() -> Result<(), cfd_core::ConfigError> {
+/// // 6 sub-windows of 10 units of 1000 ticks: a one-minute window.
+/// let cfg = TimeGbfConfig::new(6, 10, 1000, 1 << 16, 6, 0)?;
+/// let mut d = TimeGbf::new(cfg)?;
+/// assert_eq!(d.observe_at(b"ip|ad", 500), Verdict::Distinct);
+/// assert_eq!(d.observe_at(b"ip|ad", 30_000), Verdict::Duplicate);
+/// assert_eq!(d.observe_at(b"ip|ad", 200_000), Verdict::Distinct);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeGbf {
+    cfg: TimeGbfConfig,
+    matrix: InterleavedBitMatrix,
+    units: UnitClock,
+    /// Absolute unit of the last observation.
+    cur_unit: Option<u64>,
+    /// Current insertion lane.
+    slot: usize,
+    /// Completed sub-windows since the stream start.
+    completed: u64,
+    active_mask: Vec<u64>,
+    spare: Option<usize>,
+    clean_next: usize,
+    clean_chunk: usize,
+    ops: OpCounters,
+    probe_buf: Vec<usize>,
+    acc: Vec<u64>,
+}
+
+impl TimeGbf {
+    /// Creates a detector from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is inconsistent.
+    pub fn new(cfg: TimeGbfConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let matrix = InterleavedBitMatrix::new(cfg.m, cfg.q + 1);
+        let mut active_mask = vec![0u64; matrix.lane_words()];
+        active_mask[0] |= 1;
+        Ok(Self {
+            units: UnitClock::new(cfg.unit_ticks),
+            cur_unit: None,
+            slot: 0,
+            completed: 0,
+            active_mask,
+            spare: None,
+            clean_next: 0,
+            clean_chunk: cfg.clean_chunk(),
+            ops: OpCounters::new(),
+            probe_buf: vec![0; cfg.k],
+            acc: vec![0; matrix.lane_words()],
+            matrix,
+            cfg,
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> TimeGbfConfig {
+        self.cfg
+    }
+
+    /// Memory-operation counters.
+    #[must_use]
+    pub fn ops(&self) -> OpCounters {
+        self.ops
+    }
+
+    #[inline]
+    fn mask_set(mask: &mut [u64], lane: usize) {
+        mask[lane / 64] |= 1u64 << (lane % 64);
+    }
+
+    #[inline]
+    fn mask_clear(mask: &mut [u64], lane: usize) {
+        mask[lane / 64] &= !(1u64 << (lane % 64));
+    }
+
+    /// Wipes one unit's chunk of the spare lane.
+    fn wipe_chunk(&mut self) {
+        if let Some(spare) = self.spare {
+            let remaining = self.cfg.m - self.clean_next;
+            let count = self.clean_chunk.min(remaining);
+            if count > 0 {
+                let touched = self.matrix.clear_lane_range(spare, self.clean_next, count);
+                self.ops.clean_writes += touched as u64;
+                self.clean_next += count;
+            }
+            if self.clean_next == self.cfg.m {
+                self.spare = None;
+                self.clean_next = 0;
+            }
+        }
+    }
+
+    /// Finishes the in-progress wipe immediately.
+    fn wipe_finish(&mut self) {
+        if let Some(spare) = self.spare {
+            let remaining = self.cfg.m - self.clean_next;
+            if remaining > 0 {
+                let touched = self.matrix.clear_lane_range(spare, self.clean_next, remaining);
+                self.ops.clean_writes += touched as u64;
+            }
+            self.spare = None;
+            self.clean_next = 0;
+        }
+    }
+
+    /// One sub-window boundary: retire the oldest lane, move insertion to
+    /// the (already clean) next lane.
+    fn rotate(&mut self) {
+        self.wipe_finish();
+        let slots = self.cfg.q + 1;
+        self.slot = (self.slot + 1) % slots;
+        self.completed += 1;
+        Self::mask_set(&mut self.active_mask, self.slot);
+        if self.completed >= self.cfg.q as u64 {
+            let expired = (self.slot + 1) % slots;
+            Self::mask_clear(&mut self.active_mask, expired);
+            self.spare = Some(expired);
+            self.clean_next = 0;
+        }
+    }
+
+    /// Advances the lazy per-unit daemon to `unit`.
+    fn advance_to(&mut self, unit: u64) {
+        let last = match self.cur_unit {
+            None => {
+                self.cur_unit = Some(unit);
+                // Align the rotation phase with the first observation's
+                // sub-window so boundaries land on absolute multiples.
+                return;
+            }
+            Some(last) => last,
+        };
+        let unit = unit.max(last);
+        let crossed = unit - last;
+        let full_window_units = (self.cfg.q as u64 + 1) * self.cfg.sub_units;
+        if crossed >= full_window_units {
+            // Everything expired during the quiet gap.
+            self.matrix.clear_all();
+            self.ops.clean_writes += (self.cfg.m * self.matrix.lane_words()) as u64;
+            self.spare = None;
+            self.clean_next = 0;
+            // Keep the rotation phase consistent with absolute units.
+            let rotations = unit / self.cfg.sub_units - last / self.cfg.sub_units;
+            self.slot = (self.slot + (rotations % (self.cfg.q as u64 + 1)) as usize)
+                % (self.cfg.q + 1);
+            self.completed += rotations;
+            self.active_mask.iter_mut().for_each(|w| *w = 0);
+            Self::mask_set(&mut self.active_mask, self.slot);
+        } else {
+            for u in (last + 1)..=unit {
+                if u % self.cfg.sub_units == 0 {
+                    self.rotate();
+                } else {
+                    self.wipe_chunk();
+                }
+            }
+        }
+        self.cur_unit = Some(unit);
+    }
+}
+
+impl TimedDuplicateDetector for TimeGbf {
+    fn observe_at(&mut self, id: &[u8], tick: u64) -> Verdict {
+        self.ops.elements += 1;
+        self.advance_to(self.units.unit_of(tick));
+
+        let pair = self.family_pair(id);
+        cfd_hash::indices::fill_indices(pair, self.cfg.m, &mut self.probe_buf);
+        self.acc.copy_from_slice(&self.active_mask);
+        for &g in &self.probe_buf {
+            self.matrix.and_group_into(g, &mut self.acc);
+        }
+        self.ops.probe_reads += (self.probe_buf.len() * self.matrix.lane_words()) as u64;
+
+        if self.acc.iter().any(|&w| w != 0) {
+            Verdict::Duplicate
+        } else {
+            let cur = self.slot;
+            for &g in &self.probe_buf {
+                self.matrix.set(g, cur);
+            }
+            self.ops.insert_writes += self.probe_buf.len() as u64;
+            Verdict::Distinct
+        }
+    }
+
+    fn window(&self) -> WindowSpec {
+        WindowSpec::TimeJumping {
+            ticks: self.cfg.window_ticks(),
+            q: self.cfg.q,
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.matrix.memory_bits()
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new(self.cfg).expect("configuration was already validated");
+    }
+
+    fn name(&self) -> &'static str {
+        "time-gbf"
+    }
+}
+
+impl TimeGbf {
+    #[inline]
+    fn family_pair(&mut self, id: &[u8]) -> cfd_hash::HashPair {
+        self.ops.hash_evals += 1;
+        DoubleHashFamily::new(self.cfg.seed).pair(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tgbf(q: usize, sub_units: u64, unit_ticks: u64, m: usize, k: usize) -> TimeGbf {
+        TimeGbf::new(TimeGbfConfig::new(q, sub_units, unit_ticks, m, k, 13).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn duplicate_within_window() {
+        let mut d = tgbf(4, 10, 100, 1 << 14, 6);
+        assert_eq!(d.observe_at(b"x", 0), Verdict::Distinct);
+        assert_eq!(d.observe_at(b"x", 900), Verdict::Duplicate);
+        // Still inside the 4 x 10-unit window (units 0..40).
+        assert_eq!(d.observe_at(b"x", 3_500), Verdict::Duplicate);
+    }
+
+    #[test]
+    fn expires_after_window_passes() {
+        let mut d = tgbf(4, 10, 100, 1 << 14, 6);
+        d.observe_at(b"x", 0); // unit 0, sub-window 0
+        // Advance past 4 full sub-windows (unit 40+): x's filter expired.
+        assert_eq!(d.observe_at(b"x", 4_100), Verdict::Distinct);
+    }
+
+    #[test]
+    fn long_gap_clears_all_state() {
+        let mut d = tgbf(3, 4, 10, 1 << 12, 5);
+        d.observe_at(b"a", 0);
+        d.observe_at(b"b", 15);
+        // Gap far beyond (q+1) sub-windows.
+        assert_eq!(d.observe_at(b"a", 100_000), Verdict::Distinct);
+        assert_eq!(d.observe_at(b"b", 100_010), Verdict::Distinct);
+    }
+
+    #[test]
+    fn rotation_keeps_recent_subwindows_active() {
+        let mut d = tgbf(3, 5, 10, 1 << 13, 5);
+        d.observe_at(b"k", 0); // sub-window 0 (units 0..5)
+        // Move to sub-window 2 (units 10..15): window = subs 0,1,2.
+        assert_eq!(d.observe_at(b"k", 120), Verdict::Duplicate);
+        // Sub-window 3 (units 15..20): window = subs 1,2,3; k from sub 0 gone.
+        assert_eq!(d.observe_at(b"k", 160), Verdict::Distinct);
+    }
+
+    #[test]
+    fn stale_bits_do_not_resurface_across_lane_reuse() {
+        let mut d = tgbf(2, 3, 1, 4_096, 5);
+        let mut tick = 0u64;
+        for round in 0..100u64 {
+            // One observation per unit; the key reappears every 9 units,
+            // well past the 6-unit window.
+            assert_eq!(
+                d.observe_at(b"cycler", tick),
+                Verdict::Distinct,
+                "round {round}"
+            );
+            for j in 0..8 {
+                tick += 1;
+                d.observe_at(&(round * 100 + j).to_le_bytes(), tick);
+            }
+            tick += 1;
+        }
+    }
+
+    #[test]
+    fn dense_stream_no_false_negatives_within_coverage() {
+        // Jumping-window guarantee: anything valid within the last q-1
+        // FULL sub-windows plus the current one is flagged.
+        let mut d = tgbf(4, 10, 1, 1 << 14, 6);
+        for i in 0..5_000u64 {
+            let key = (i % 37).to_le_bytes();
+            let v = d.observe_at(&key, i);
+            // Re-observe immediately: must always be duplicate.
+            assert_eq!(d.observe_at(&key, i), Verdict::Duplicate, "i={i} v={v:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_order_ticks_clamped() {
+        let mut d = tgbf(4, 10, 100, 1 << 12, 5);
+        d.observe_at(b"a", 50_000);
+        assert_eq!(d.observe_at(b"a", 10), Verdict::Duplicate);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TimeGbfConfig::new(0, 1, 1, 8, 3, 0).is_err());
+        assert!(TimeGbfConfig::new(2, 0, 1, 8, 3, 0).is_err());
+        assert!(TimeGbfConfig::new(2, 1, 1, 0, 3, 0).is_err());
+        assert!(TimeGbfConfig::new(2, 1, 1, 8, 0, 0).is_err());
+        let cfg = TimeGbfConfig::new(6, 10, 1000, 1 << 10, 4, 0).unwrap();
+        assert_eq!(cfg.window_ticks(), 60_000);
+        assert_eq!(cfg.clean_chunk(), (1 << 10) / 10 + 1);
+    }
+
+    #[test]
+    fn reset_restores_empty_state() {
+        let mut d = tgbf(3, 5, 10, 1 << 10, 4);
+        d.observe_at(b"k", 0);
+        d.reset();
+        assert_eq!(d.observe_at(b"k", 0), Verdict::Distinct);
+    }
+}

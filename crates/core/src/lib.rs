@@ -1,0 +1,62 @@
+//! # Click-fraud duplicate detection: GBF and TBF
+//!
+//! This crate is the primary contribution of the reproduced paper,
+//! *Detecting Click Fraud in Pay-Per-Click Streams of Online Advertising
+//! Networks* (Zhang & Guan, ICDCS 2008): two one-pass, small-memory
+//! algorithms that detect duplicate clicks over decaying windows with
+//! **zero false negatives** and a low, bounded false-positive rate.
+//!
+//! * [`Gbf`] — *group Bloom filters* over count-based **jumping windows**
+//!   with a small number of sub-windows `Q` (§3). One probe checks all
+//!   `Q` sub-window filters with `k` word reads thanks to a
+//!   bit-interleaved layout, and expired filters are wiped incrementally.
+//! * [`Tbf`] — *timing Bloom filters* over count-based **sliding
+//!   windows** (§4). Bloom cells widen to `O(log N)`-bit wraparound
+//!   timestamps; an incremental sweep erases expired timestamps before
+//!   their values can be reused.
+//! * [`JumpingTbf`] — TBF adapted to jumping windows with *large* `Q`,
+//!   where GBF's `Q`-lane probe would be too wide (§4.1 extension).
+//! * [`TimeGbf`] / [`TimeTbf`] — the time-based-window extensions of
+//!   §3.1 / §4.1: windows measured in time units instead of elements.
+//!
+//! All detectors implement [`cfd_windows::DuplicateDetector`] (or the
+//! timed variant) and carry [`OpCounters`] so benchmarks can reproduce
+//! the paper's running-time theorems in memory operations.
+//!
+//! ## Quick start
+//!
+//! ```rust
+//! use cfd_core::{Tbf, TbfConfig};
+//! use cfd_windows::{DuplicateDetector, Verdict};
+//!
+//! # fn main() -> Result<(), cfd_core::ConfigError> {
+//! // A sliding window of the last 4096 clicks, ~14 entries per element.
+//! let cfg = TbfConfig::builder(4096).entries(4096 * 14).build()?;
+//! let mut detector = Tbf::new(cfg)?;
+//!
+//! assert_eq!(detector.observe(b"ip=203.0.113.9;ad=17"), Verdict::Distinct);
+//! assert_eq!(detector.observe(b"ip=203.0.113.9;ad=17"), Verdict::Duplicate);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod config;
+pub mod gbf;
+pub mod gbf_time;
+pub mod ops;
+pub mod tbf;
+pub mod tbf_jumping;
+pub mod tbf_time;
+
+pub use checkpoint::CheckpointError;
+pub use config::{ConfigError, GbfConfig, GbfConfigBuilder, GbfLayout, TbfConfig, TbfConfigBuilder};
+pub use gbf::Gbf;
+pub use gbf_time::TimeGbf;
+pub use ops::OpCounters;
+pub use tbf::Tbf;
+pub use tbf_jumping::JumpingTbf;
+pub use tbf_time::TimeTbf;

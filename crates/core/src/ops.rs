@@ -1,0 +1,106 @@
+//! Memory-operation accounting.
+//!
+//! Theorems 1 and 2 of the paper state per-element *running time* in
+//! memory operations (word reads/writes for GBF, entry reads/writes for
+//! TBF), not wall-clock time. These counters let the benchmark harness
+//! regenerate those claims exactly: every detector in `cfd-core`
+//! increments them on the same schedule as its memory accesses.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Cumulative memory-operation counts of one detector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounters {
+    /// Words (GBF) or entries (TBF) read while probing.
+    pub probe_reads: u64,
+    /// Words/entries written while inserting a distinct element.
+    pub insert_writes: u64,
+    /// Words/entries read by the incremental cleaning sweep.
+    pub clean_reads: u64,
+    /// Words/entries written (cleared) by the incremental cleaning sweep.
+    pub clean_writes: u64,
+    /// Full key-hash evaluations.
+    pub hash_evals: u64,
+    /// Elements processed.
+    pub elements: u64,
+}
+
+impl OpCounters {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total memory operations (reads + writes, probe + clean).
+    #[must_use]
+    pub fn total_mem_ops(&self) -> u64 {
+        self.probe_reads + self.insert_writes + self.clean_reads + self.clean_writes
+    }
+
+    /// Mean memory operations per processed element (0 when empty).
+    #[must_use]
+    pub fn mem_ops_per_element(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.total_mem_ops() as f64 / self.elements as f64
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl AddAssign for OpCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.probe_reads += rhs.probe_reads;
+        self.insert_writes += rhs.insert_writes;
+        self.clean_reads += rhs.clean_reads;
+        self.clean_writes += rhs.clean_writes;
+        self.hash_evals += rhs.hash_evals;
+        self.elements += rhs.elements;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_means() {
+        let mut c = OpCounters::new();
+        c.probe_reads = 10;
+        c.insert_writes = 5;
+        c.clean_reads = 3;
+        c.clean_writes = 2;
+        c.elements = 4;
+        assert_eq!(c.total_mem_ops(), 20);
+        assert!((c.mem_ops_per_element() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        assert_eq!(OpCounters::new().mem_ops_per_element(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = OpCounters {
+            probe_reads: 1,
+            insert_writes: 2,
+            clean_reads: 3,
+            clean_writes: 4,
+            hash_evals: 5,
+            elements: 6,
+        };
+        a += a;
+        assert_eq!(a.probe_reads, 2);
+        assert_eq!(a.elements, 12);
+        a.reset();
+        assert_eq!(a, OpCounters::default());
+    }
+}

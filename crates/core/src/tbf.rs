@@ -1,0 +1,425 @@
+//! The TBF algorithm: timing Bloom filters over sliding windows (§4).
+//!
+//! Each of the `m` cells of a classical Bloom filter is widened to an
+//! `O(log N)`-bit *entry* holding the wraparound timestamp of the last
+//! insertion that touched it (all-ones = empty). An element is a
+//! duplicate iff all its `k` entries are **present** (not empty) and
+//! **active** (timestamps within the last `N − 1` positions — the `N`-th
+//! position back is the element that just slid out).
+//!
+//! Timestamps live in a wraparound range of `N + C` values (§4.1). An
+//! incremental sweep of `⌈m / (C+1)⌉` entries per arrival erases expired
+//! timestamps before their values can be reused: an entry becomes
+//! sweepable at age `N` and its value aliases a fresh timestamp only at
+//! age `N + C`, giving the sweep `C + 1` arrivals of slack — exactly the
+//! schedule the paper prescribes.
+//!
+//! Per Theorem 2: zero false negatives, classical-Bloom false-positive
+//! rate at `n = N`, and `O(M / (N log N))` entry operations per element.
+
+use crate::config::{ConfigError, TbfConfig};
+use crate::ops::OpCounters;
+use cfd_bits::PackedIntVec;
+use cfd_hash::{DoubleHashFamily, HashFamily};
+use cfd_windows::{DuplicateDetector, Verdict, WindowSpec, WrapCounter};
+
+/// Dynamic TBF state captured by a checkpoint.
+pub(crate) struct TbfState {
+    pub now: u64,
+    pub clean_next: usize,
+    pub entry_words: Vec<u64>,
+}
+
+/// Timing-Bloom-filter duplicate detector over count-based sliding
+/// windows.
+///
+/// ```rust
+/// use cfd_core::{Tbf, TbfConfig};
+/// use cfd_windows::{DuplicateDetector, Verdict};
+///
+/// # fn main() -> Result<(), cfd_core::ConfigError> {
+/// let cfg = TbfConfig::builder(1 << 12).entries(1 << 16).build()?;
+/// let mut tbf = Tbf::new(cfg)?;
+/// assert_eq!(tbf.observe(b"198.51.100.4|beef|ad-3"), Verdict::Distinct);
+/// assert_eq!(tbf.observe(b"198.51.100.4|beef|ad-3"), Verdict::Duplicate);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tbf {
+    cfg: TbfConfig,
+    entries: PackedIntVec,
+    wrap: WrapCounter,
+    family: DoubleHashFamily,
+    clean_next: usize,
+    clean_quota: usize,
+    empty: u64,
+    ops: OpCounters,
+    probe_buf: Vec<usize>,
+}
+
+impl Tbf {
+    /// Creates a detector from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is internally
+    /// inconsistent (normally impossible after `TbfConfig::build`).
+    pub fn new(cfg: TbfConfig) -> Result<Self, ConfigError> {
+        if cfg.n < 2 {
+            return Err(ConfigError::WindowTooSmall(cfg.n));
+        }
+        if cfg.m == 0 {
+            return Err(ConfigError::ZeroDimension("entry count m"));
+        }
+        if !(1..=64).contains(&cfg.k) {
+            return Err(ConfigError::BadHashCount(cfg.k));
+        }
+        let entries = PackedIntVec::new_all_ones(cfg.m, cfg.entry_bits());
+        let empty = entries.max_value();
+        Ok(Self {
+            wrap: WrapCounter::new(cfg.range()),
+            family: DoubleHashFamily::new(cfg.seed),
+            clean_next: 0,
+            clean_quota: cfg.clean_quota(),
+            empty,
+            ops: OpCounters::new(),
+            probe_buf: vec![0; cfg.k],
+            entries,
+            cfg,
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> TbfConfig {
+        self.cfg
+    }
+
+    /// Memory-operation counters (Theorem 2 accounting).
+    #[must_use]
+    pub fn ops(&self) -> OpCounters {
+        self.ops
+    }
+
+    /// Number of non-empty entries (diagnostics; `O(m)`).
+    #[must_use]
+    pub fn occupied_entries(&self) -> usize {
+        self.cfg.m - self.entries.count_eq(self.empty)
+    }
+
+    /// The sliding window in elements (`N`).
+    #[must_use]
+    pub fn window_len(&self) -> usize {
+        self.cfg.n
+    }
+
+    /// Active means age in `[1, N−1]`: the arriving element is compared
+    /// against the `N − 1` elements still in the window after the oldest
+    /// slid out.
+    #[inline]
+    fn is_active(&self, t: u64) -> bool {
+        self.wrap.is_active(t, self.cfg.n as u64 - 1)
+    }
+
+    /// Internal state snapshot for checkpointing.
+    pub(crate) fn checkpoint_parts(&self) -> (TbfConfig, TbfState) {
+        (
+            self.cfg,
+            TbfState {
+                now: self.wrap.now(),
+                clean_next: self.clean_next,
+                entry_words: self.entries.as_words().to_vec(),
+            },
+        )
+    }
+
+    /// Rebuilds a detector from checkpoint parts; `None` if inconsistent.
+    pub(crate) fn from_checkpoint_parts(
+        cfg: TbfConfig,
+        now: u64,
+        clean_next: usize,
+        entry_words: Vec<u64>,
+    ) -> Option<Self> {
+        // Size-check against the provided payload BEFORE allocating: a
+        // corrupt header could otherwise request an absurd table.
+        let expected_words = cfg
+            .m
+            .checked_mul(cfg.entry_bits() as usize)?
+            .div_ceil(64);
+        if entry_words.len() != expected_words || clean_next >= cfg.m {
+            return None;
+        }
+        let mut d = Self::new(cfg).ok()?;
+        d.wrap = cfd_windows::WrapCounter::from_parts(cfg.range(), now)?;
+        d.clean_next = clean_next;
+        d.entries = cfd_bits::PackedIntVec::from_words(entry_words, cfg.m, cfg.entry_bits())?;
+        Some(d)
+    }
+
+    /// Step 1 (§4.1): sweep the next `⌈m/(C+1)⌉` entries, erasing expired
+    /// timestamps (age 0 — an alias about to be reused — or age ≥ N).
+    fn clean_step(&mut self) {
+        let m = self.cfg.m;
+        for _ in 0..self.clean_quota {
+            let i = self.clean_next;
+            self.clean_next += 1;
+            if self.clean_next == m {
+                self.clean_next = 0;
+            }
+            let e = self.entries.get(i);
+            self.ops.clean_reads += 1;
+            if e != self.empty && !self.is_active(e) {
+                self.entries.set(i, self.empty);
+                self.ops.clean_writes += 1;
+            }
+        }
+    }
+}
+
+impl DuplicateDetector for Tbf {
+    fn observe(&mut self, id: &[u8]) -> Verdict {
+        self.ops.elements += 1;
+
+        // Step 1: expire stale timestamps.
+        self.clean_step();
+
+        // Step 2: probe and (for distinct elements) insert.
+        let pair = self.family.pair(id);
+        self.ops.hash_evals += 1;
+        cfd_hash::indices::fill_indices(pair, self.cfg.m, &mut self.probe_buf);
+
+        let mut present_and_active = true;
+        for &i in &self.probe_buf {
+            let e = self.entries.get(i);
+            self.ops.probe_reads += 1;
+            if e == self.empty || !self.is_active(e) {
+                present_and_active = false;
+                break;
+            }
+        }
+
+        let verdict = if present_and_active {
+            // Duplicate: per Definition 1 it is not a valid click and must
+            // not refresh the stored timestamps.
+            Verdict::Duplicate
+        } else {
+            let t = self.wrap.now();
+            for &i in &self.probe_buf {
+                self.entries.set(i, t);
+            }
+            self.ops.insert_writes += self.probe_buf.len() as u64;
+            Verdict::Distinct
+        };
+        self.wrap.advance();
+        verdict
+    }
+
+    fn window(&self) -> WindowSpec {
+        WindowSpec::Sliding { n: self.cfg.n }
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.entries.memory_bits()
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new(self.cfg).expect("configuration was already validated");
+    }
+
+    fn name(&self) -> &'static str {
+        "tbf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_windows::ExactSlidingDedup;
+
+    fn tbf(n: usize, m: usize, k: usize) -> Tbf {
+        Tbf::new(
+            TbfConfig::builder(n)
+                .entries(m)
+                .hash_count(k)
+                .seed(77)
+                .build()
+                .expect("valid config"),
+        )
+        .expect("valid tbf")
+    }
+
+    #[test]
+    fn immediate_duplicate_detected() {
+        let mut d = tbf(16, 1 << 12, 5);
+        assert_eq!(d.observe(b"x"), Verdict::Distinct);
+        assert_eq!(d.observe(b"x"), Verdict::Duplicate);
+    }
+
+    #[test]
+    fn element_slides_out_after_n() {
+        let n = 8;
+        let mut d = tbf(n, 1 << 14, 6);
+        d.observe(b"first"); // position 0
+        for i in 0..n as u32 - 1 {
+            d.observe(&i.to_le_bytes()); // positions 1..=7
+        }
+        // Position 8: "first" is exactly N back -> out of window.
+        assert_eq!(d.observe(b"first"), Verdict::Distinct);
+    }
+
+    #[test]
+    fn element_still_in_window_at_n_minus_1() {
+        let n = 8;
+        let mut d = tbf(n, 1 << 14, 6);
+        d.observe(b"first"); // position 0
+        for i in 0..n as u32 - 2 {
+            d.observe(&i.to_le_bytes()); // positions 1..=6
+        }
+        // Position 7: "first" has age 7 = N-1 -> still inside.
+        assert_eq!(d.observe(b"first"), Verdict::Duplicate);
+    }
+
+    #[test]
+    fn duplicates_do_not_refresh_validity() {
+        let n = 4;
+        let mut d = tbf(n, 1 << 14, 6);
+        assert_eq!(d.observe(b"a"), Verdict::Distinct); // pos 0 (valid)
+        assert_eq!(d.observe(b"a"), Verdict::Duplicate); // pos 1
+        assert_eq!(d.observe(b"a"), Verdict::Duplicate); // pos 2
+        assert_eq!(d.observe(b"a"), Verdict::Duplicate); // pos 3
+        // pos 4: the valid a@0 slid out; duplicates never extended it.
+        assert_eq!(d.observe(b"a"), Verdict::Distinct);
+    }
+
+    #[test]
+    fn zero_false_negatives_vs_exact_oracle() {
+        let n = 64;
+        let mut d = tbf(n, 1 << 14, 6);
+        let mut oracle = ExactSlidingDedup::new(n);
+        for i in 0..20_000u64 {
+            let key = (i % 89).to_le_bytes();
+            let got = d.observe(&key);
+            let want = oracle.observe(&key);
+            if want == Verdict::Duplicate {
+                assert_eq!(got, Verdict::Duplicate, "false negative at element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_false_negatives_across_many_wraparounds() {
+        // Small range (N + C) forces many timestamp reuses.
+        let cfg = TbfConfig::builder(16)
+            .entries(1 << 12)
+            .hash_count(5)
+            .range_extension(3) // range 19: wraps every 19 elements
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut d = Tbf::new(cfg).unwrap();
+        let mut oracle = ExactSlidingDedup::new(16);
+        for i in 0..50_000u64 {
+            let key = (i % 23).to_le_bytes();
+            let got = d.observe(&key);
+            let want = oracle.observe(&key);
+            if want == Verdict::Duplicate {
+                assert_eq!(got, Verdict::Duplicate, "false negative at element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_with_adequate_memory() {
+        // ~14.6 entries per element, k = 10 -> FP ~ 1e-3 region.
+        let n = 1 << 12;
+        let m = n * 14 + n / 2;
+        let mut d = tbf(n, m, 10);
+        let mut fps = 0u64;
+        let total = 20 * n as u64;
+        for i in 0..total {
+            if d.observe(&i.to_le_bytes()) == Verdict::Duplicate {
+                fps += 1;
+            }
+        }
+        let rate = fps as f64 / total as f64;
+        assert!(rate < 0.01, "fp rate {rate} too high");
+    }
+
+    #[test]
+    fn stale_aliases_never_cause_false_negatives_nor_unbounded_fp() {
+        // Distinct stream with a tiny C: aliasing pressure is maximal.
+        let cfg = TbfConfig::builder(256)
+            .entries(8 * 1024)
+            .hash_count(6)
+            .range_extension(1)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut d = Tbf::new(cfg).unwrap();
+        let mut fps = 0u64;
+        let total = 100_000u64;
+        for i in 0..total {
+            if d.observe(&i.to_le_bytes()) == Verdict::Duplicate {
+                fps += 1;
+            }
+        }
+        assert!((fps as f64 / total as f64) < 0.05, "fp rate exploded: {fps}");
+    }
+
+    #[test]
+    fn cleaning_keeps_occupancy_near_window_content() {
+        let n = 512;
+        let m = n * 16;
+        let mut d = tbf(n, m, 8);
+        for i in 0..20_000u64 {
+            d.observe(&i.to_le_bytes());
+        }
+        // Non-empty entries were written within the last N + sweep-cycle
+        // arrivals (an entry expires at age N and is erased within one
+        // sweep cycle after that), so occupancy <= k * (N + cycle).
+        let cycle = m.div_ceil(d.config().clean_quota());
+        let upper = 8 * (n + cycle);
+        assert!(
+            d.occupied_entries() <= upper,
+            "occupancy {} above bound {upper}",
+            d.occupied_entries()
+        );
+        // And the sweep must actually be erasing things.
+        assert!(d.ops().clean_writes > 0);
+    }
+
+    #[test]
+    fn entry_ops_match_theorem_2_cost_model() {
+        let n = 1 << 10;
+        let mut d = tbf(n, 1 << 14, 7);
+        let elements = 5_000u64;
+        for i in 0..elements {
+            d.observe(&i.to_le_bytes());
+        }
+        let ops = d.ops();
+        assert_eq!(ops.elements, elements);
+        // Probe reads <= k per element (early exit allowed).
+        assert!(ops.probe_reads <= elements * 7);
+        // Clean reads = quota per element, exactly.
+        assert_eq!(ops.clean_reads, elements * d.config().clean_quota() as u64);
+        assert_eq!(ops.hash_evals, elements);
+    }
+
+    #[test]
+    fn reset_restores_empty_state() {
+        let mut d = tbf(16, 1 << 10, 4);
+        d.observe(b"k");
+        d.reset();
+        assert_eq!(d.observe(b"k"), Verdict::Distinct);
+        assert_eq!(d.occupied_entries(), 4_usize.min(d.config().m));
+    }
+
+    #[test]
+    fn memory_bits_scales_with_entry_width() {
+        let d = tbf(1 << 10, 1000, 4);
+        // C = N-1 -> range 2N-1 -> 11 bits per entry for N = 2^10.
+        assert_eq!(d.config().entry_bits(), 11);
+        assert!(d.memory_bits() >= 1000 * 11);
+    }
+}

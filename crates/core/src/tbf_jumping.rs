@@ -1,0 +1,360 @@
+//! TBF over jumping windows with a large number of sub-windows (§4.1).
+//!
+//! "TBF can also be easily extended to handle jumping windows. If TBF is
+//! utilized over a jumping window which is evenly divided into `Q`
+//! sub-windows, then all elements in the same sub-window will have the
+//! same timestamp, and they will be eliminated from TBF simultaneously.
+//! When `Q` is large, GBF cannot process the click stream efficiently,
+//! and TBF is a better choice."
+//!
+//! Entries store the *sub-window index* (wraparound range `Q + C_q`)
+//! instead of the element position, so entry width is `O(log Q)` — far
+//! below the sliding TBF's `O(log N)` — and the probe is `k` entry reads
+//! regardless of `Q`, where GBF would need `k × ⌈(Q+1)/64⌉` word reads.
+
+use crate::config::ConfigError;
+use crate::ops::OpCounters;
+use cfd_bits::words::bits_for_value;
+use cfd_bits::PackedIntVec;
+use cfd_hash::{DoubleHashFamily, HashFamily};
+use cfd_windows::{DuplicateDetector, JumpingClock, Verdict, WindowSpec, WrapCounter};
+
+/// Configuration of a [`JumpingTbf`] detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JumpingTbfConfig {
+    /// Jumping-window length `N` in elements.
+    pub n: usize,
+    /// Number of sub-windows `Q` (may be large — that is the point).
+    pub q: usize,
+    /// Number of TBF entries (`m`).
+    pub m: usize,
+    /// Hash functions per element (`k`).
+    pub k: usize,
+    /// Sub-window-index range extension `C_q` (default `Q`).
+    pub c_q: usize,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl JumpingTbfConfig {
+    /// Creates a validated configuration with the default `C_q = Q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on zero dimensions, `q > n`, or bad `k`.
+    pub fn new(n: usize, q: usize, m: usize, k: usize, seed: u64) -> Result<Self, ConfigError> {
+        let cfg = Self {
+            n,
+            q,
+            m,
+            k,
+            c_q: q,
+            seed,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// The wraparound sub-index range (`Q + C_q`).
+    #[must_use]
+    pub fn range(&self) -> u64 {
+        (self.q + self.c_q) as u64
+    }
+
+    /// Bits per entry (`⌈log2(Q + C_q + 1)⌉`, all-ones reserved as empty).
+    #[must_use]
+    pub fn entry_bits(&self) -> u32 {
+        bits_for_value(self.range())
+    }
+
+    /// Entries swept per arrival: the cleanable band of an entry spans
+    /// `C_q` sub-windows = `C_q × ⌈N/Q⌉` arrivals, so
+    /// `⌈m / (C_q · sub_len)⌉` keeps the sweep ahead of value reuse.
+    #[must_use]
+    pub fn clean_quota(&self) -> usize {
+        let band = self.c_q * self.n.div_ceil(self.q);
+        self.m.div_ceil(band.max(1))
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.n == 0 {
+            return Err(ConfigError::ZeroDimension("window length n"));
+        }
+        if self.q == 0 || self.c_q == 0 {
+            return Err(ConfigError::ZeroDimension("sub-window count q"));
+        }
+        if self.q > self.n {
+            return Err(ConfigError::TooManySubWindows { q: self.q, n: self.n });
+        }
+        if self.m == 0 {
+            return Err(ConfigError::ZeroDimension("entry count m"));
+        }
+        if !(1..=64).contains(&self.k) {
+            return Err(ConfigError::BadHashCount(self.k));
+        }
+        Ok(())
+    }
+}
+
+/// Timing-Bloom-filter duplicate detector over count-based jumping
+/// windows (the large-`Q` regime where [`crate::Gbf`] is too slow).
+///
+/// ```rust
+/// use cfd_core::tbf_jumping::{JumpingTbf, JumpingTbfConfig};
+/// use cfd_windows::{DuplicateDetector, Verdict};
+///
+/// # fn main() -> Result<(), cfd_core::ConfigError> {
+/// // 1024 sub-windows: GBF would need 17 words per probe group.
+/// let cfg = JumpingTbfConfig::new(1 << 14, 1 << 10, 1 << 18, 7, 0)?;
+/// let mut d = JumpingTbf::new(cfg)?;
+/// assert_eq!(d.observe(b"bot-17"), Verdict::Distinct);
+/// assert_eq!(d.observe(b"bot-17"), Verdict::Duplicate);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct JumpingTbf {
+    cfg: JumpingTbfConfig,
+    entries: PackedIntVec,
+    clock: JumpingClock,
+    /// Wraparound *sub-window* counter; `now()` is the current sub-index.
+    sub: WrapCounter,
+    family: DoubleHashFamily,
+    clean_next: usize,
+    clean_quota: usize,
+    empty: u64,
+    ops: OpCounters,
+    probe_buf: Vec<usize>,
+}
+
+impl JumpingTbf {
+    /// Creates a detector from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is inconsistent.
+    pub fn new(cfg: JumpingTbfConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let entries = PackedIntVec::new_all_ones(cfg.m, cfg.entry_bits());
+        let empty = entries.max_value();
+        Ok(Self {
+            clock: JumpingClock::new(cfg.q, cfg.n.div_ceil(cfg.q)),
+            sub: WrapCounter::new(cfg.range()),
+            family: DoubleHashFamily::new(cfg.seed),
+            clean_next: 0,
+            clean_quota: cfg.clean_quota(),
+            empty,
+            ops: OpCounters::new(),
+            probe_buf: vec![0; cfg.k],
+            entries,
+            cfg,
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> JumpingTbfConfig {
+        self.cfg
+    }
+
+    /// Memory-operation counters.
+    #[must_use]
+    pub fn ops(&self) -> OpCounters {
+        self.ops
+    }
+
+    /// Sub-index age: 0 = current sub-window. Active iff `< Q`.
+    #[inline]
+    fn sub_age(&self, e: u64) -> u64 {
+        let now = self.sub.now();
+        let range = self.cfg.range();
+        if now >= e {
+            now - e
+        } else {
+            range - e + now
+        }
+    }
+
+    #[inline]
+    fn is_active(&self, e: u64) -> bool {
+        self.sub_age(e) < self.cfg.q as u64
+    }
+
+    fn clean_step(&mut self) {
+        let m = self.cfg.m;
+        for _ in 0..self.clean_quota {
+            let i = self.clean_next;
+            self.clean_next += 1;
+            if self.clean_next == m {
+                self.clean_next = 0;
+            }
+            let e = self.entries.get(i);
+            self.ops.clean_reads += 1;
+            if e != self.empty && !self.is_active(e) {
+                self.entries.set(i, self.empty);
+                self.ops.clean_writes += 1;
+            }
+        }
+    }
+}
+
+impl DuplicateDetector for JumpingTbf {
+    fn observe(&mut self, id: &[u8]) -> Verdict {
+        self.ops.elements += 1;
+        self.clean_step();
+
+        let pair = self.family.pair(id);
+        self.ops.hash_evals += 1;
+        cfd_hash::indices::fill_indices(pair, self.cfg.m, &mut self.probe_buf);
+
+        let mut present_and_active = true;
+        for &i in &self.probe_buf {
+            let e = self.entries.get(i);
+            self.ops.probe_reads += 1;
+            if e == self.empty || !self.is_active(e) {
+                present_and_active = false;
+                break;
+            }
+        }
+
+        let verdict = if present_and_active {
+            Verdict::Duplicate
+        } else {
+            let t = self.sub.now();
+            for &i in &self.probe_buf {
+                self.entries.set(i, t);
+            }
+            self.ops.insert_writes += self.probe_buf.len() as u64;
+            Verdict::Distinct
+        };
+
+        if self.clock.record_arrival().is_some() {
+            // All elements of the finished sub-window share the expiring
+            // timestamp; advancing the sub-counter retires them together.
+            self.sub.advance();
+        }
+        verdict
+    }
+
+    fn window(&self) -> WindowSpec {
+        WindowSpec::Jumping {
+            n: self.cfg.n,
+            q: self.cfg.q,
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.entries.memory_bits()
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new(self.cfg).expect("configuration was already validated");
+    }
+
+    fn name(&self) -> &'static str {
+        "jumping-tbf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_windows::ExactJumpingDedup;
+
+    fn jtbf(n: usize, q: usize, m: usize, k: usize) -> JumpingTbf {
+        JumpingTbf::new(JumpingTbfConfig::new(n, q, m, k, 21).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn immediate_duplicate_detected() {
+        let mut d = jtbf(64, 16, 1 << 12, 5);
+        assert_eq!(d.observe(b"x"), Verdict::Distinct);
+        assert_eq!(d.observe(b"x"), Verdict::Duplicate);
+    }
+
+    #[test]
+    fn whole_subwindow_expires_together() {
+        // n = 8, q = 4 -> sub-windows of 2 elements, window = 4 subs.
+        let mut d = jtbf(8, 4, 1 << 12, 5);
+        d.observe(b"a"); // sub 0
+        d.observe(b"b"); // sub 0 done
+        for i in 0..6u32 {
+            d.observe(&i.to_le_bytes()); // subs 1..3 fill
+        }
+        // a and b were in sub 0, which left the window after 4 rotations.
+        assert_eq!(d.observe(b"a"), Verdict::Distinct);
+        assert_eq!(d.observe(b"b"), Verdict::Distinct);
+        // Both are valid again and immediately duplicate on repeat.
+        assert_eq!(d.observe(b"a"), Verdict::Duplicate);
+    }
+
+    #[test]
+    fn zero_false_negatives_vs_exact_oracle() {
+        let (n, q) = (60, 12);
+        let mut d = jtbf(n, q, 1 << 14, 6);
+        let mut oracle = ExactJumpingDedup::new(n, q);
+        for i in 0..20_000u64 {
+            let key = (i % 83).to_le_bytes();
+            let got = d.observe(&key);
+            let want = oracle.observe(&key);
+            if want == Verdict::Duplicate {
+                assert_eq!(got, Verdict::Duplicate, "false negative at element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_false_negatives_with_large_q() {
+        let (n, q) = (256, 64);
+        let mut d = jtbf(n, q, 1 << 14, 6);
+        let mut oracle = ExactJumpingDedup::new(n, q);
+        for i in 0..30_000u64 {
+            let key = (i % 300).to_le_bytes();
+            let got = d.observe(&key);
+            if oracle.observe(&key) == Verdict::Duplicate {
+                assert_eq!(got, Verdict::Duplicate, "false negative at element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn entry_width_scales_with_q_not_n() {
+        let cfg = JumpingTbfConfig::new(1 << 20, 1 << 10, 1 << 16, 7, 0).unwrap();
+        // range = 2q = 2^11 (power of two, so one extra bit keeps the
+        // all-ones empty pattern distinct) -> 12-bit entries, vs 21 for
+        // the sliding TBF over the same N = 2^20 window.
+        assert_eq!(cfg.entry_bits(), 12);
+    }
+
+    #[test]
+    fn false_positive_rate_low_on_distinct_stream() {
+        let n = 1 << 12;
+        let q = 1 << 8;
+        let m = n * 14;
+        let mut d = jtbf(n, q, m, 10);
+        let mut fps = 0u64;
+        let total = 20 * n as u64;
+        for i in 0..total {
+            if d.observe(&i.to_le_bytes()) == Verdict::Duplicate {
+                fps += 1;
+            }
+        }
+        assert!((fps as f64 / total as f64) < 0.01, "fp rate too high: {fps}");
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(JumpingTbfConfig::new(4, 9, 10, 3, 0).is_err());
+        assert!(JumpingTbfConfig::new(0, 1, 10, 3, 0).is_err());
+        assert!(JumpingTbfConfig::new(8, 2, 0, 3, 0).is_err());
+        assert!(JumpingTbfConfig::new(8, 2, 10, 0, 0).is_err());
+    }
+
+    #[test]
+    fn reset_restores_empty_state() {
+        let mut d = jtbf(16, 4, 1 << 10, 4);
+        d.observe(b"k");
+        d.reset();
+        assert_eq!(d.observe(b"k"), Verdict::Distinct);
+    }
+}

@@ -1,0 +1,431 @@
+//! TBF over *time-based* sliding windows (§4.1 extension).
+//!
+//! "Suppose the entire sliding window is equally divided into `R` time
+//! units. In Step 1, the cleaning procedure executes once in each time
+//! unit ... instead of inserting the counting-based position, the time
+//! unit information is inserted into the entries of TBF."
+//!
+//! Entries store the wraparound *time-unit index* of their last insertion.
+//! The window covers the last `R` units (the current unit included), so
+//! two clicks within the same unit are duplicates. The paper's per-unit
+//! cleaning daemon is implemented *lazily but faithfully*: when an
+//! observation advances the clock by `g` units, the sweeps of the skipped
+//! units are replayed one unit at a time, each evaluated at its own
+//! virtual "now" — byte-for-byte the schedule an on-time daemon would
+//! have produced. A gap of `R` or more units simply clears the table
+//! (everything is expired by then), bounding the replay cost.
+
+use crate::config::ConfigError;
+use crate::ops::OpCounters;
+use cfd_bits::words::bits_for_value;
+use cfd_bits::PackedIntVec;
+use cfd_hash::{DoubleHashFamily, HashFamily};
+use cfd_windows::time::UnitClock;
+use cfd_windows::{TimedDuplicateDetector, Verdict, WindowSpec};
+
+/// Configuration of a [`TimeTbf`] detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeTbfConfig {
+    /// Window span in time units (`R`).
+    pub window_units: u64,
+    /// Ticks per time unit (granularity of expiry).
+    pub unit_ticks: u64,
+    /// Number of TBF entries (`m`).
+    pub m: usize,
+    /// Hash functions per element (`k`).
+    pub k: usize,
+    /// Unit-range extension (`C` in units; default `R`).
+    pub c_units: u64,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl TimeTbfConfig {
+    /// Creates a validated configuration with the default `C = R`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on zero dimensions or bad `k`.
+    pub fn new(
+        window_units: u64,
+        unit_ticks: u64,
+        m: usize,
+        k: usize,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        let cfg = Self {
+            window_units,
+            unit_ticks,
+            m,
+            k,
+            c_units: window_units,
+            seed,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// The wraparound unit range (`R + C`).
+    #[must_use]
+    pub fn range(&self) -> u64 {
+        self.window_units + self.c_units
+    }
+
+    /// Bits per entry (`⌈log2(R + C + 1)⌉`, all-ones reserved as empty).
+    #[must_use]
+    pub fn entry_bits(&self) -> u32 {
+        bits_for_value(self.range())
+    }
+
+    /// Entries swept per *time unit* (`⌈m / C⌉`): the cleanable band of
+    /// an entry spans `C` units, so one full table cycle fits inside it.
+    #[must_use]
+    pub fn clean_chunk(&self) -> usize {
+        self.m.div_ceil(self.c_units.max(1) as usize)
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.window_units == 0 || self.c_units == 0 {
+            return Err(ConfigError::ZeroDimension("window units"));
+        }
+        if self.unit_ticks == 0 {
+            return Err(ConfigError::ZeroDimension("ticks per unit"));
+        }
+        if self.m == 0 {
+            return Err(ConfigError::ZeroDimension("entry count m"));
+        }
+        if !(1..=64).contains(&self.k) {
+            return Err(ConfigError::BadHashCount(self.k));
+        }
+        Ok(())
+    }
+}
+
+/// Timing-Bloom-filter duplicate detector over time-based sliding
+/// windows.
+///
+/// ```rust
+/// use cfd_core::tbf_time::{TimeTbf, TimeTbfConfig};
+/// use cfd_windows::{TimedDuplicateDetector, Verdict};
+///
+/// # fn main() -> Result<(), cfd_core::ConfigError> {
+/// // Window = 60 units of 1000 ticks (e.g. a one-minute window in ms).
+/// let cfg = TimeTbfConfig::new(60, 1000, 1 << 16, 6, 0)?;
+/// let mut d = TimeTbf::new(cfg)?;
+/// assert_eq!(d.observe_at(b"ip|cookie|ad", 1_000), Verdict::Distinct);
+/// assert_eq!(d.observe_at(b"ip|cookie|ad", 30_000), Verdict::Duplicate);
+/// assert_eq!(d.observe_at(b"ip|cookie|ad", 90_000), Verdict::Distinct);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeTbf {
+    cfg: TimeTbfConfig,
+    entries: PackedIntVec,
+    units: UnitClock,
+    family: DoubleHashFamily,
+    /// Absolute unit of the last observation (`None` before the first).
+    cur_unit: Option<u64>,
+    clean_next: usize,
+    clean_chunk: usize,
+    empty: u64,
+    ops: OpCounters,
+    probe_buf: Vec<usize>,
+}
+
+impl TimeTbf {
+    /// Creates a detector from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is inconsistent.
+    pub fn new(cfg: TimeTbfConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let entries = PackedIntVec::new_all_ones(cfg.m, cfg.entry_bits());
+        let empty = entries.max_value();
+        Ok(Self {
+            units: UnitClock::new(cfg.unit_ticks),
+            family: DoubleHashFamily::new(cfg.seed),
+            cur_unit: None,
+            clean_next: 0,
+            clean_chunk: cfg.clean_chunk(),
+            empty,
+            ops: OpCounters::new(),
+            probe_buf: vec![0; cfg.k],
+            entries,
+            cfg,
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> TimeTbfConfig {
+        self.cfg
+    }
+
+    /// Memory-operation counters.
+    #[must_use]
+    pub fn ops(&self) -> OpCounters {
+        self.ops
+    }
+
+    /// Unit age of stamp `e` as seen from absolute unit `abs_now`
+    /// (0 = written this unit).
+    #[inline]
+    fn unit_age(&self, abs_now: u64, e: u64) -> u64 {
+        let range = self.cfg.range();
+        let now = abs_now % range;
+        if now >= e {
+            now - e
+        } else {
+            range - e + now
+        }
+    }
+
+    #[inline]
+    fn is_active(&self, abs_now: u64, e: u64) -> bool {
+        self.unit_age(abs_now, e) < self.cfg.window_units
+    }
+
+    /// One unit's worth of the cleaning daemon, evaluated at virtual unit
+    /// `abs_unit`.
+    fn sweep_one_unit(&mut self, abs_unit: u64) {
+        let m = self.cfg.m;
+        for _ in 0..self.clean_chunk {
+            let i = self.clean_next;
+            self.clean_next += 1;
+            if self.clean_next == m {
+                self.clean_next = 0;
+            }
+            let e = self.entries.get(i);
+            self.ops.clean_reads += 1;
+            if e != self.empty && !self.is_active(abs_unit, e) {
+                self.entries.set(i, self.empty);
+                self.ops.clean_writes += 1;
+            }
+        }
+    }
+
+    /// Advances the clock to `unit`, replaying skipped units' sweeps.
+    fn advance_to(&mut self, unit: u64) -> u64 {
+        let last = match self.cur_unit {
+            None => {
+                self.cur_unit = Some(unit);
+                return unit;
+            }
+            Some(last) => last,
+        };
+        // One-pass streams may deliver slightly out-of-order ticks; clamp
+        // them to the current unit rather than moving time backwards.
+        let unit = unit.max(last);
+        let crossed = unit - last;
+        if crossed >= self.cfg.window_units {
+            // Everything written before the gap is expired: clearing the
+            // table is both correct and cheaper than replaying the gap.
+            self.entries.fill(self.empty);
+            self.ops.clean_writes += self.cfg.m as u64;
+            self.clean_next = 0;
+        } else {
+            for u in (last + 1)..=unit {
+                self.sweep_one_unit(u);
+            }
+        }
+        self.cur_unit = Some(unit);
+        unit
+    }
+}
+
+impl TimedDuplicateDetector for TimeTbf {
+    fn observe_at(&mut self, id: &[u8], tick: u64) -> Verdict {
+        self.ops.elements += 1;
+        let unit = self.advance_to(self.units.unit_of(tick));
+        let stamp_now = unit % self.cfg.range();
+
+        let pair = self.family.pair(id);
+        self.ops.hash_evals += 1;
+        cfd_hash::indices::fill_indices(pair, self.cfg.m, &mut self.probe_buf);
+
+        let mut present_and_active = true;
+        for &i in &self.probe_buf {
+            let e = self.entries.get(i);
+            self.ops.probe_reads += 1;
+            if e == self.empty || !self.is_active(unit, e) {
+                present_and_active = false;
+                break;
+            }
+        }
+
+        if present_and_active {
+            Verdict::Duplicate
+        } else {
+            for &i in &self.probe_buf {
+                self.entries.set(i, stamp_now);
+            }
+            self.ops.insert_writes += self.probe_buf.len() as u64;
+            Verdict::Distinct
+        }
+    }
+
+    fn window(&self) -> WindowSpec {
+        WindowSpec::TimeSliding {
+            ticks: self.cfg.window_units * self.cfg.unit_ticks,
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.entries.memory_bits()
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new(self.cfg).expect("configuration was already validated");
+    }
+
+    fn name(&self) -> &'static str {
+        "time-tbf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, VecDeque};
+
+    fn ttbf(window_units: u64, unit_ticks: u64, m: usize, k: usize) -> TimeTbf {
+        TimeTbf::new(TimeTbfConfig::new(window_units, unit_ticks, m, k, 9).unwrap()).unwrap()
+    }
+
+    /// Exact time-sliding oracle: valid click per id kept while within the
+    /// last R units.
+    struct ExactTimeSliding {
+        window_units: u64,
+        unit_ticks: u64,
+        valid: HashMap<Vec<u8>, u64>, // id -> unit of the valid click
+        order: VecDeque<(u64, Vec<u8>)>,
+    }
+
+    impl ExactTimeSliding {
+        fn new(window_units: u64, unit_ticks: u64) -> Self {
+            Self {
+                window_units,
+                unit_ticks,
+                valid: HashMap::new(),
+                order: VecDeque::new(),
+            }
+        }
+
+        fn observe_at(&mut self, id: &[u8], tick: u64) -> Verdict {
+            let unit = tick / self.unit_ticks;
+            let oldest_active = unit.saturating_sub(self.window_units - 1);
+            while let Some(&(u, _)) = self.order.front() {
+                if u < oldest_active {
+                    let (u0, id0) = self.order.pop_front().expect("non-empty");
+                    if self.valid.get(&id0) == Some(&u0) {
+                        self.valid.remove(&id0);
+                    }
+                } else {
+                    break;
+                }
+            }
+            if let Some(&u) = self.valid.get(id) {
+                if unit.saturating_sub(u) < self.window_units {
+                    return Verdict::Duplicate;
+                }
+            }
+            self.valid.insert(id.to_vec(), unit);
+            self.order.push_back((unit, id.to_vec()));
+            Verdict::Distinct
+        }
+    }
+
+    #[test]
+    fn duplicate_within_window_distinct_after() {
+        let mut d = ttbf(10, 100, 1 << 14, 6);
+        assert_eq!(d.observe_at(b"x", 0), Verdict::Distinct);
+        assert_eq!(d.observe_at(b"x", 500), Verdict::Duplicate); // unit 5
+        assert_eq!(d.observe_at(b"x", 999), Verdict::Duplicate); // unit 9
+        // unit 10: the valid click at unit 0 left the 10-unit window.
+        assert_eq!(d.observe_at(b"x", 1_000), Verdict::Distinct);
+    }
+
+    #[test]
+    fn same_unit_repeats_are_duplicates() {
+        let mut d = ttbf(5, 1_000, 1 << 12, 5);
+        assert_eq!(d.observe_at(b"a", 123), Verdict::Distinct);
+        assert_eq!(d.observe_at(b"a", 456), Verdict::Duplicate);
+    }
+
+    #[test]
+    fn long_quiet_gap_clears_everything() {
+        let mut d = ttbf(10, 1, 1 << 12, 5);
+        d.observe_at(b"a", 0);
+        d.observe_at(b"b", 1);
+        // Gap of 1000 units: table cleared, both distinct again.
+        assert_eq!(d.observe_at(b"a", 1_000), Verdict::Distinct);
+        assert_eq!(d.observe_at(b"b", 1_001), Verdict::Distinct);
+    }
+
+    #[test]
+    fn zero_false_negatives_vs_exact_timed_oracle() {
+        let mut d = ttbf(16, 10, 1 << 14, 6);
+        let mut oracle = ExactTimeSliding::new(16, 10);
+        // Bursty stream: ids repeat at various lags, time advances in
+        // irregular steps (including intra-unit bursts and small gaps).
+        let mut tick = 0u64;
+        for i in 0..30_000u64 {
+            tick += match i % 7 {
+                0 => 0,
+                1 | 2 => 3,
+                3 => 17,
+                4 => 1,
+                5 => 25,
+                _ => 6,
+            };
+            let key = (i % 61).to_le_bytes();
+            let got = d.observe_at(&key, tick);
+            let want = oracle.observe_at(&key, tick);
+            if want == Verdict::Duplicate {
+                assert_eq!(got, Verdict::Duplicate, "false negative at i={i} tick={tick}");
+            }
+        }
+    }
+
+    #[test]
+    fn aliasing_controlled_across_many_wraparounds() {
+        // Range = 2R = 32 units; run thousands of units with a distinct
+        // stream and verify the FP rate stays small.
+        let mut d = ttbf(16, 1, 1 << 13, 6);
+        let mut fps = 0u64;
+        let total = 50_000u64;
+        for i in 0..total {
+            if d.observe_at(&i.to_le_bytes(), i / 3) == Verdict::Duplicate {
+                fps += 1;
+            }
+        }
+        assert!((fps as f64 / total as f64) < 0.02, "fp rate too high: {fps}");
+    }
+
+    #[test]
+    fn out_of_order_ticks_are_clamped() {
+        let mut d = ttbf(10, 100, 1 << 12, 5);
+        d.observe_at(b"a", 10_000);
+        // An earlier tick arrives late: processed at the current unit.
+        assert_eq!(d.observe_at(b"a", 2_000), Verdict::Duplicate);
+        assert_eq!(d.observe_at(b"new", 1), Verdict::Distinct);
+    }
+
+    #[test]
+    fn entry_bits_follow_unit_range() {
+        let cfg = TimeTbfConfig::new(60, 1000, 100, 4, 0).unwrap();
+        // range = 120 -> 7 bits.
+        assert_eq!(cfg.entry_bits(), 7);
+        assert_eq!(cfg.clean_chunk(), 2); // ceil(100/60)
+    }
+
+    #[test]
+    fn reset_restores_empty_state() {
+        let mut d = ttbf(8, 10, 1 << 10, 4);
+        d.observe_at(b"k", 5);
+        d.reset();
+        assert_eq!(d.observe_at(b"k", 6), Verdict::Distinct);
+    }
+}

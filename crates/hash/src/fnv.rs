@@ -1,0 +1,75 @@
+//! FNV-1a hashing (64-bit).
+//!
+//! Fowler–Noll–Vo is used here for cheap seeding and for hashing short
+//! keys where MurmurHash3's setup cost is not warranted. It is *not* used
+//! for Bloom-filter index derivation (its avalanche quality is too weak);
+//! see [`crate::murmur`] for that.
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV64_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// The FNV-1a 64-bit prime.
+pub const FNV64_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Hashes `data` with FNV-1a (64-bit).
+///
+/// ```rust
+/// use cfd_hash::fnv::fnv1a_64;
+/// assert_eq!(fnv1a_64(b""), 0xCBF2_9CE4_8422_2325);
+/// ```
+#[inline]
+#[must_use]
+pub fn fnv1a_64(data: &[u8]) -> u64 {
+    fnv1a_64_with(FNV64_OFFSET, data)
+}
+
+/// Hashes `data` with FNV-1a, continuing from `state`.
+///
+/// Allows incremental hashing of multi-part keys without concatenation:
+///
+/// ```rust
+/// use cfd_hash::fnv::{fnv1a_64, fnv1a_64_with};
+/// let whole = fnv1a_64(b"ab");
+/// let parts = fnv1a_64_with(fnv1a_64(b"a"), b"b");
+/// assert_eq!(whole, parts);
+/// ```
+#[inline]
+#[must_use]
+pub fn fnv1a_64_with(state: u64, data: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_F739_67E8);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"pay-per-click stream";
+        for split in 0..data.len() {
+            let (l, r) = data.split_at(split);
+            assert_eq!(fnv1a_64_with(fnv1a_64(l), r), fnv1a_64(data));
+        }
+    }
+
+    #[test]
+    fn distinct_short_keys_do_not_collide() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0..50_000u32 {
+            assert!(seen.insert(fnv1a_64(&i.to_le_bytes())));
+        }
+    }
+}

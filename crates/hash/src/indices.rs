@@ -1,0 +1,199 @@
+//! Kirsch–Mitzenmacher double hashing: `k` Bloom indices from one pair.
+//!
+//! Kirsch & Mitzenmacher (2006) showed that the Bloom-filter false-positive
+//! analysis is preserved when the `k` "independent" hash functions are
+//! simulated as `g_i(x) = h1(x) + i * h2(x) mod m`. This is the default
+//! index-derivation scheme of the suite; DESIGN.md §6 benchmarks it against
+//! truly independent hashes.
+
+use crate::pair::HashPair;
+
+/// Iterator over the `k` probe indices of one key in a table of `m` slots.
+///
+/// Uses *enhanced* double hashing (`g_{i+1} = g_i + h2 + i`) which avoids
+/// the worst-case correlation of plain double hashing when `m` is not
+/// prime, while costing one extra add per index.
+///
+/// ```rust
+/// use cfd_hash::{HashPair, IndexSequence};
+/// let pair = HashPair::new(0xDEAD_BEEF, 0x1234_5678);
+/// let idx: Vec<usize> = IndexSequence::new(pair, 5, 1024).collect();
+/// assert_eq!(idx.len(), 5);
+/// assert!(idx.iter().all(|&i| i < 1024));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexSequence {
+    cur: u64,
+    stride: u64,
+    remaining: usize,
+    m: u64,
+}
+
+impl IndexSequence {
+    /// Creates a sequence of `k` indices in `[0, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[inline]
+    #[must_use]
+    pub fn new(pair: HashPair, k: usize, m: usize) -> Self {
+        assert!(m > 0, "table size m must be positive");
+        let m = m as u64;
+        Self {
+            cur: pair.h1 % m,
+            stride: pair.odd_stride() % m,
+            remaining: k,
+            m,
+        }
+    }
+}
+
+impl Iterator for IndexSequence {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let out = self.cur as usize;
+        // Enhanced double hashing: stride grows by one each probe.
+        self.cur += self.stride;
+        if self.cur >= self.m {
+            self.cur -= self.m;
+        }
+        self.stride += 1;
+        if self.stride >= self.m {
+            self.stride -= self.m;
+        }
+        Some(out)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for IndexSequence {}
+
+/// Fills `out` with the first `out.len()` probe indices for `pair`.
+///
+/// Equivalent to collecting [`IndexSequence`] but without iterator
+/// overhead in hot loops.
+#[inline]
+pub fn fill_indices(pair: HashPair, m: usize, out: &mut [usize]) {
+    debug_assert!(m > 0);
+    let m64 = m as u64;
+    let mut cur = pair.h1 % m64;
+    let mut stride = pair.odd_stride() % m64;
+    for slot in out.iter_mut() {
+        *slot = cur as usize;
+        cur += stride;
+        if cur >= m64 {
+            cur -= m64;
+        }
+        stride += 1;
+        if stride >= m64 {
+            stride -= m64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::{Murmur3Pair, PairHasher};
+
+    #[test]
+    fn yields_exactly_k_indices_in_range() {
+        let pair = HashPair::new(u64::MAX, u64::MAX);
+        for m in [1usize, 2, 3, 64, 1000, 1 << 20] {
+            for k in [0usize, 1, 7, 16] {
+                let v: Vec<usize> = IndexSequence::new(pair, k, m).collect();
+                assert_eq!(v.len(), k);
+                assert!(v.iter().all(|&i| i < m), "m={m} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_indices_matches_iterator() {
+        let hasher = Murmur3Pair::new(11);
+        for key in 0..500u64 {
+            let pair = hasher.hash_pair_u64(key);
+            let it: Vec<usize> = IndexSequence::new(pair, 10, 12_345).collect();
+            let mut buf = [0usize; 10];
+            fill_indices(pair, 12_345, &mut buf);
+            assert_eq!(it, buf);
+        }
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut seq = IndexSequence::new(HashPair::new(1, 2), 4, 100);
+        assert_eq!(seq.size_hint(), (4, Some(4)));
+        seq.next();
+        assert_eq!(seq.size_hint(), (3, Some(3)));
+    }
+
+    #[test]
+    fn m_one_always_yields_zero() {
+        let v: Vec<usize> = IndexSequence::new(HashPair::new(123, 456), 8, 1).collect();
+        assert_eq!(v, vec![0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "table size m must be positive")]
+    fn zero_m_panics() {
+        let _ = IndexSequence::new(HashPair::new(0, 0), 1, 0);
+    }
+
+    #[test]
+    fn indices_cover_table_uniformly() {
+        // Distribute 64k keys x 4 probes over 256 slots; expect near-uniform.
+        const M: usize = 256;
+        let hasher = Murmur3Pair::new(5);
+        let mut counts = [0u32; M];
+        const KEYS: u64 = 1 << 16;
+        for key in 0..KEYS {
+            for i in IndexSequence::new(hasher.hash_pair_u64(key), 4, M) {
+                counts[i] += 1;
+            }
+        }
+        let expected = (KEYS as f64) * 4.0 / M as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = f64::from(c) - expected;
+                d * d / expected
+            })
+            .sum();
+        // 99.9th percentile of chi^2(255) ~ 330.5; allow slack.
+        assert!(chi2 < 340.0, "chi2={chi2}");
+    }
+
+    #[test]
+    fn repeat_probes_are_no_more_common_than_chance() {
+        // Enhanced double hashing does not guarantee distinct probes, but
+        // repeats must stay near the birthday-bound expectation:
+        // ~ C(k,2)/m per key = 28/65536 here.
+        let hasher = Murmur3Pair::new(19);
+        let mut keys_with_repeat = 0u32;
+        const KEYS: u64 = 20_000;
+        for key in 0..KEYS {
+            let mut v: Vec<usize> =
+                IndexSequence::new(hasher.hash_pair_u64(key), 8, 1 << 16).collect();
+            v.sort_unstable();
+            let len = v.len();
+            v.dedup();
+            if v.len() != len {
+                keys_with_repeat += 1;
+            }
+        }
+        let rate = f64::from(keys_with_repeat) / KEYS as f64;
+        assert!(rate < 0.002, "repeat rate {rate} far above birthday bound");
+    }
+}

@@ -1,0 +1,50 @@
+//! Hashing substrate for the click-fraud detection suite.
+//!
+//! The ICDCS 2008 paper assumes `k` independent uniform hash functions with
+//! range `{1, 2, ..., m}`. This crate provides that family, built from
+//! scratch (no external hash crates):
+//!
+//! * [`mix`] — 64-bit avalanche finalizers (SplitMix64, Murmur3 fmix64,
+//!   an xxHash-style avalanche) used as building blocks and as cheap
+//!   bijective permutations over `u64`.
+//! * [`fnv`] — FNV-1a for short keys and seeding.
+//! * [`murmur`] — a from-scratch MurmurHash3 `x64_128` implementation that
+//!   yields the `(h1, h2)` pair used for double hashing.
+//! * [`pair`] — the [`pair::PairHasher`] trait producing a
+//!   [`pair::HashPair`] per key.
+//! * [`indices`] — Kirsch–Mitzenmacher double hashing: derive `k` indices
+//!   in `[0, m)` from a single [`pair::HashPair`].
+//! * [`family`] — the [`family::HashFamily`] abstraction with
+//!   a double-hashing implementation (default) and a `k`-independent-seeds
+//!   implementation (for the ablation study in DESIGN.md §6).
+//! * [`sip`] — SipHash-2-4, the *keyed* family for deployments where
+//!   click identifiers are attacker-controlled.
+//!
+//! # Example
+//!
+//! ```rust
+//! use cfd_hash::family::{DoubleHashFamily, HashFamily};
+//!
+//! let family = DoubleHashFamily::new(0xC11C_F00D);
+//! let m = 1 << 20;
+//! let k = 10;
+//! let idx: Vec<usize> = family.indices(b"203.0.113.7|cookie42|ad9", k, m).collect();
+//! assert_eq!(idx.len(), k);
+//! assert!(idx.iter().all(|&i| i < m));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod family;
+pub mod fnv;
+pub mod indices;
+pub mod mix;
+pub mod murmur;
+pub mod pair;
+pub mod sip;
+
+pub use family::{DoubleHashFamily, HashFamily, IndependentHashFamily};
+pub use indices::IndexSequence;
+pub use pair::{HashPair, PairHasher};
+pub use sip::{siphash24, SipHashFamily};

@@ -1,0 +1,152 @@
+//! The click record and its detector key.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An advertisement (ad-link) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AdId(pub u32);
+
+/// An advertising publisher (the site hosting ad links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PublisherId(pub u32);
+
+/// The identity of a click for duplicate-detection purposes.
+///
+/// The paper leaves the identifier definition to the deployment ("such
+/// as the source IP address, or the cookie, etc.", §3.1). We use the
+/// triple (source IP, browser cookie, ad link): two clicks are
+/// *identical* iff all three match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClickId {
+    /// Source IPv4 address of the click.
+    pub ip: u32,
+    /// Browser cookie (0 = no cookie).
+    pub cookie: u64,
+    /// The ad link that was clicked.
+    pub ad: AdId,
+}
+
+impl ClickId {
+    /// Creates an identifier.
+    #[must_use]
+    pub fn new(ip: u32, cookie: u64, ad: AdId) -> Self {
+        Self { ip, cookie, ad }
+    }
+
+    /// The 16-byte key hashed by the detectors.
+    ///
+    /// Little-endian `ip | cookie | ad`; fixed-width so distinct triples
+    /// can never collide as byte strings.
+    #[must_use]
+    pub fn key(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&self.ip.to_le_bytes());
+        out[4..12].copy_from_slice(&self.cookie.to_le_bytes());
+        out[12..16].copy_from_slice(&self.ad.0.to_le_bytes());
+        out
+    }
+
+    /// Parses a key produced by [`ClickId::key`].
+    #[must_use]
+    pub fn from_key(key: [u8; 16]) -> Self {
+        Self {
+            ip: u32::from_le_bytes(key[0..4].try_into().expect("4 bytes")),
+            cookie: u64::from_le_bytes(key[4..12].try_into().expect("8 bytes")),
+            ad: AdId(u32::from_le_bytes(key[12..16].try_into().expect("4 bytes"))),
+        }
+    }
+}
+
+impl fmt::Display for ClickId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.ip.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.{d}/{:x}/ad{}", self.cookie, self.ad.0)
+    }
+}
+
+/// One pay-per-click event in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Click {
+    /// The click identity (what duplicate detection keys on).
+    pub id: ClickId,
+    /// Arrival time in ticks (milliseconds in the examples).
+    pub tick: u64,
+    /// The publisher whose page hosted the ad link.
+    pub publisher: PublisherId,
+    /// Cost-per-click the advertiser bid, in micro-currency units.
+    pub cost_micros: u64,
+}
+
+impl Click {
+    /// Creates a click event.
+    #[must_use]
+    pub fn new(id: ClickId, tick: u64, publisher: PublisherId, cost_micros: u64) -> Self {
+        Self {
+            id,
+            tick,
+            publisher,
+            cost_micros,
+        }
+    }
+
+    /// The detector key (see [`ClickId::key`]).
+    #[must_use]
+    pub fn key(&self) -> [u8; 16] {
+        self.id.key()
+    }
+}
+
+impl fmt::Display for Click {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={} {} via pub{} (${} µ)",
+            self.tick, self.id, self.publisher.0, self.cost_micros
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn key_roundtrips() {
+        let id = ClickId::new(0xC0A8_0101, 0xDEAD_BEEF_CAFE, AdId(42));
+        assert_eq!(ClickId::from_key(id.key()), id);
+    }
+
+    #[test]
+    fn distinct_fields_give_distinct_keys() {
+        let base = ClickId::new(1, 2, AdId(3));
+        assert_ne!(base.key(), ClickId::new(9, 2, AdId(3)).key());
+        assert_ne!(base.key(), ClickId::new(1, 9, AdId(3)).key());
+        assert_ne!(base.key(), ClickId::new(1, 2, AdId(9)).key());
+    }
+
+    #[test]
+    fn display_formats_ip_dotted_quad() {
+        let id = ClickId::new(u32::from_be_bytes([203, 0, 113, 9]), 0xAB, AdId(7));
+        let s = id.to_string();
+        assert!(s.contains("203.0.113.9"), "{s}");
+        assert!(s.contains("ad7"), "{s}");
+    }
+
+    #[test]
+    fn click_carries_billing_fields() {
+        let c = Click::new(ClickId::new(1, 2, AdId(3)), 99, PublisherId(4), 250_000);
+        assert_eq!(c.key(), c.id.key());
+        assert!(c.to_string().contains("pub4"));
+    }
+
+    proptest! {
+        #[test]
+        fn key_is_injective(a in any::<(u32, u64, u32)>(), b in any::<(u32, u64, u32)>()) {
+            let ida = ClickId::new(a.0, a.1, AdId(a.2));
+            let idb = ClickId::new(b.0, b.1, AdId(b.2));
+            prop_assert_eq!(ida.key() == idb.key(), ida == idb);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The Scenario-2 attack stream (paper §1.1).
+//!
+//! "The competitors or even the publishers control a botnet with
+//! thousands of computers, each of which initiate many clicks to the ad
+//! links everyday." This generator interleaves such a botnet with
+//! legitimate background traffic and labels each click, giving the
+//! end-to-end fraud experiments (table T3) exact ground truth.
+
+use crate::click::{AdId, Click, ClickId, PublisherId};
+use crate::gen::unique::UniqueClickStream;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a [`BotnetStream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BotnetConfig {
+    /// Number of bots (distinct compromised machines).
+    pub bots: u32,
+    /// The ad link the attack targets.
+    pub target_ad: AdId,
+    /// The colluding publisher whose links the bots click.
+    pub publisher: PublisherId,
+    /// Fraction of total traffic that is bot clicks, in `[0, 1)`.
+    pub attack_fraction: f64,
+    /// Cost-per-click of the target ad (micro-units).
+    pub target_cpc_micros: u64,
+    /// Seed for bot identities and scheduling.
+    pub seed: u64,
+}
+
+impl Default for BotnetConfig {
+    fn default() -> Self {
+        Self {
+            bots: 1_000,
+            target_ad: AdId(1),
+            publisher: PublisherId(1),
+            attack_fraction: 0.2,
+            target_cpc_micros: 500_000,
+            seed: 0,
+        }
+    }
+}
+
+/// A labeled click from a [`BotnetStream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabeledClick {
+    /// The click event.
+    pub click: Click,
+    /// `true` if produced by the botnet (ground truth for evaluation).
+    pub is_bot: bool,
+}
+
+/// Interleaved botnet + organic click stream.
+///
+/// Each bot has a fixed (IP, cookie) identity and always clicks the
+/// target ad, so every bot click after its first within a detection
+/// window is a true duplicate. Organic traffic is the §5 distinct-id
+/// stream.
+///
+/// ```rust
+/// use cfd_stream::{BotnetConfig, BotnetStream};
+/// let stream = BotnetStream::new(BotnetConfig::default(), 8, 64);
+/// let bots = stream.take(1000).filter(|c| c.is_bot).count();
+/// assert!(bots > 100 && bots < 300); // ~20% of traffic
+/// ```
+#[derive(Debug, Clone)]
+pub struct BotnetStream {
+    cfg: BotnetConfig,
+    organic: UniqueClickStream,
+    rng: SmallRng,
+    tick: u64,
+}
+
+impl BotnetStream {
+    /// Creates the stream with `publishers`/`ads` pools for the organic
+    /// side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bots == 0` or `attack_fraction` is outside `[0, 1)`.
+    #[must_use]
+    pub fn new(cfg: BotnetConfig, publishers: u32, ads: u32) -> Self {
+        assert!(cfg.bots > 0, "need at least one bot");
+        assert!(
+            (0.0..1.0).contains(&cfg.attack_fraction),
+            "attack_fraction must be in [0, 1)"
+        );
+        Self {
+            organic: UniqueClickStream::new(cfg.seed ^ 0x0B07_0B07, publishers, ads),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            tick: 0,
+        }
+    }
+
+    /// The identity of bot `b` (stable across the stream).
+    #[must_use]
+    pub fn bot_identity(&self, b: u32) -> ClickId {
+        // 10.x.y.z-style botnet address space + per-bot cookie.
+        let ip = 0x0A00_0000 | (b & 0x00FF_FFFF);
+        let cookie = u64::from(b).wrapping_mul(0x9E37_79B9) | 1;
+        ClickId::new(ip, cookie, self.cfg.target_ad)
+    }
+}
+
+impl Iterator for BotnetStream {
+    type Item = LabeledClick;
+
+    fn next(&mut self) -> Option<LabeledClick> {
+        let is_bot = self.rng.gen_bool(self.cfg.attack_fraction);
+        let click = if is_bot {
+            let b = self.rng.gen_range(0..self.cfg.bots);
+            Click::new(
+                self.bot_identity(b),
+                self.tick,
+                self.cfg.publisher,
+                self.cfg.target_cpc_micros,
+            )
+        } else {
+            let mut c = self.organic.next().expect("infinite stream");
+            c.tick = self.tick;
+            c
+        };
+        self.tick += 1;
+        Some(LabeledClick { click, is_bot })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn stream() -> BotnetStream {
+        BotnetStream::new(BotnetConfig::default(), 8, 64)
+    }
+
+    #[test]
+    fn attack_fraction_is_respected() {
+        let bots = stream().take(50_000).filter(|c| c.is_bot).count();
+        let frac = bots as f64 / 50_000.0;
+        assert!((frac - 0.2).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn bot_clicks_target_the_configured_ad_and_publisher() {
+        for c in stream().take(10_000).filter(|c| c.is_bot) {
+            assert_eq!(c.click.id.ad, AdId(1));
+            assert_eq!(c.click.publisher, PublisherId(1));
+            assert_eq!(c.click.cost_micros, 500_000);
+        }
+    }
+
+    #[test]
+    fn bot_identities_repeat_but_are_bounded() {
+        let ids: HashSet<[u8; 16]> = stream()
+            .take(50_000)
+            .filter(|c| c.is_bot)
+            .map(|c| c.click.key())
+            .collect();
+        assert!(ids.len() as u32 <= BotnetConfig::default().bots);
+        assert!(ids.len() > 900, "almost all bots should appear");
+    }
+
+    #[test]
+    fn organic_clicks_never_collide_with_bots_or_each_other() {
+        let mut organic = HashSet::new();
+        let mut bot_keys = HashSet::new();
+        for c in stream().take(20_000) {
+            if c.is_bot {
+                bot_keys.insert(c.click.key());
+            } else {
+                assert!(organic.insert(c.click.key()), "organic repeat");
+            }
+        }
+        assert!(organic.is_disjoint(&bot_keys));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = stream().take(100).collect();
+        let b: Vec<_> = stream().take(100).collect();
+        assert_eq!(a, b);
+    }
+}

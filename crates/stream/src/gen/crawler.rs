@@ -1,0 +1,140 @@
+//! Web-crawler traffic (click-fraud source #4 in paper §1.1).
+//!
+//! Crawlers are not malicious, but they re-visit ad links on a schedule,
+//! producing periodic identical clicks that must not be billed. Unlike a
+//! botnet, a crawler's repeats have a *fixed* period, which exercises
+//! the detectors at one specific lag — right at, inside, or outside the
+//! window boundary.
+
+use crate::click::{AdId, Click, ClickId, PublisherId};
+use crate::gen::unique::UniqueClickStream;
+
+/// A crawler fleet interleaved with organic traffic.
+///
+/// Each of the `crawlers` agents revisits every ad in `0..ads` in a
+/// round-robin with a fixed `period` (in stream positions): the same
+/// (crawler, ad) click reappears every `period × ads / crawlers`-ish
+/// positions, deterministically.
+///
+/// ```rust
+/// use cfd_stream::gen::crawler::CrawlerStream;
+/// let s = CrawlerStream::new(4, 16, 10, 1);
+/// let clicks: Vec<_> = s.take(100).collect();
+/// assert_eq!(clicks.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrawlerStream {
+    crawlers: u32,
+    ads: u32,
+    /// Every `period`-th stream position is a crawler click.
+    period: u64,
+    organic: UniqueClickStream,
+    position: u64,
+    crawl_step: u64,
+}
+
+impl CrawlerStream {
+    /// Creates the stream: one crawler click every `period` positions,
+    /// cycling over `crawlers × ads` (agent, ad) pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    #[must_use]
+    pub fn new(crawlers: u32, ads: u32, period: u64, seed: u64) -> Self {
+        assert!(crawlers > 0 && ads > 0 && period > 0, "parameters must be positive");
+        Self {
+            crawlers,
+            ads,
+            period,
+            organic: UniqueClickStream::new(seed ^ 0xC4A3_11E4, 8, ads),
+            position: 0,
+            crawl_step: 0,
+        }
+    }
+
+    /// The identity of crawler `c` visiting ad `a`.
+    #[must_use]
+    pub fn crawler_identity(&self, c: u32, a: u32) -> ClickId {
+        // Crawlers come from well-known address blocks and send no cookie.
+        ClickId::new(0x2E00_0000 | c, 0, AdId(a % self.ads))
+    }
+
+    /// Number of stream positions between two visits of the *same*
+    /// (crawler, ad) pair.
+    #[must_use]
+    pub fn revisit_lag(&self) -> u64 {
+        self.period * u64::from(self.crawlers) * u64::from(self.ads)
+    }
+}
+
+impl Iterator for CrawlerStream {
+    type Item = Click;
+
+    fn next(&mut self) -> Option<Click> {
+        let click = if self.position.is_multiple_of(self.period) {
+            let pair = self.crawl_step;
+            self.crawl_step += 1;
+            let c = (pair % u64::from(self.crawlers)) as u32;
+            let a = ((pair / u64::from(self.crawlers)) % u64::from(self.ads)) as u32;
+            Click::new(
+                self.crawler_identity(c, a),
+                self.position,
+                PublisherId(0),
+                100_000,
+            )
+        } else {
+            let mut c = self.organic.next().expect("infinite stream");
+            c.tick = self.position;
+            c
+        };
+        self.position += 1;
+        Some(click)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn crawler_clicks_repeat_at_exactly_the_revisit_lag() {
+        let s = CrawlerStream::new(3, 4, 5, 1);
+        let lag = s.revisit_lag();
+        let clicks: Vec<Click> = s.take(3 * lag as usize).collect();
+        let mut last_pos: HashMap<[u8; 16], u64> = HashMap::new();
+        let mut repeats = 0u64;
+        for c in &clicks {
+            if c.id.cookie == 0 {
+                // crawler click
+                if let Some(&prev) = last_pos.get(&c.key()) {
+                    assert_eq!(c.tick - prev, lag, "wrong revisit period");
+                    repeats += 1;
+                }
+                last_pos.insert(c.key(), c.tick);
+            }
+        }
+        assert!(repeats > 0, "no revisits observed");
+    }
+
+    #[test]
+    fn organic_share_matches_period() {
+        let clicks: Vec<Click> = CrawlerStream::new(2, 8, 10, 2).take(10_000).collect();
+        let crawler = clicks.iter().filter(|c| c.id.cookie == 0).count();
+        assert_eq!(crawler, 1_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<Click> = CrawlerStream::new(2, 4, 3, 9).take(200).collect();
+        let b: Vec<Click> = CrawlerStream::new(2, 4, 3, 9).take(200).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let _ = CrawlerStream::new(1, 1, 0, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Controlled duplicate injection.
+//!
+//! Wraps any click stream and re-emits previously seen clicks with a
+//! configurable probability and lag distribution. This produces streams
+//! with *known* ground truth for the false-negative experiments (table
+//! T2 in DESIGN.md): every injected repeat within the window must be
+//! flagged by a zero-false-negative detector.
+
+use crate::click::Click;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A click stream with injected duplicates.
+///
+/// With probability `dup_prob`, the next emitted click is a *repeat* of
+/// one of the last `max_lag` emitted clicks (uniformly chosen); otherwise
+/// the next click of the base stream is emitted. Repeats keep the
+/// original identity but get a fresh arrival tick.
+///
+/// ```rust
+/// use cfd_stream::{DuplicateInjector, UniqueClickStream};
+/// let base = UniqueClickStream::new(1, 4, 16);
+/// let stream = DuplicateInjector::new(base, 0.3, 100, 7);
+/// let clicks: Vec<_> = stream.take(1000).collect();
+/// assert_eq!(clicks.len(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DuplicateInjector<S> {
+    base: S,
+    dup_prob: f64,
+    max_lag: usize,
+    history: VecDeque<Click>,
+    rng: SmallRng,
+    tick: u64,
+    emitted_dups: u64,
+}
+
+impl<S: Iterator<Item = Click>> DuplicateInjector<S> {
+    /// Creates the injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dup_prob` is not in `[0, 1)` or `max_lag == 0`.
+    #[must_use]
+    pub fn new(base: S, dup_prob: f64, max_lag: usize, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&dup_prob), "dup_prob must be in [0, 1)");
+        assert!(max_lag > 0, "max_lag must be positive");
+        Self {
+            base,
+            dup_prob,
+            max_lag,
+            history: VecDeque::with_capacity(max_lag),
+            rng: SmallRng::seed_from_u64(seed),
+            tick: 0,
+            emitted_dups: 0,
+        }
+    }
+
+    /// Number of injected duplicates so far.
+    #[must_use]
+    pub fn emitted_duplicates(&self) -> u64 {
+        self.emitted_dups
+    }
+}
+
+impl<S: Iterator<Item = Click>> Iterator for DuplicateInjector<S> {
+    type Item = Click;
+
+    fn next(&mut self) -> Option<Click> {
+        let emit_dup = !self.history.is_empty() && self.rng.gen_bool(self.dup_prob);
+        let mut click = if emit_dup {
+            let idx = self.rng.gen_range(0..self.history.len());
+            self.emitted_dups += 1;
+            self.history[idx]
+        } else {
+            self.base.next()?
+        };
+        click.tick = self.tick;
+        self.tick += 1;
+        if self.history.len() == self.max_lag {
+            self.history.pop_front();
+        }
+        self.history.push_back(click);
+        Some(click)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::unique::UniqueClickStream;
+    use std::collections::HashMap;
+
+    fn base() -> UniqueClickStream {
+        UniqueClickStream::new(11, 3, 7)
+    }
+
+    #[test]
+    fn zero_probability_injects_nothing() {
+        let s = DuplicateInjector::new(base(), 0.0, 10, 1);
+        let clicks: Vec<_> = s.take(5_000).collect();
+        let mut seen = HashMap::new();
+        for c in &clicks {
+            *seen.entry(c.key()).or_insert(0u32) += 1;
+        }
+        assert!(seen.values().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn duplicate_fraction_tracks_probability() {
+        let mut s = DuplicateInjector::new(base(), 0.25, 50, 2);
+        let total = 40_000;
+        for _ in 0..total {
+            s.next().expect("infinite");
+        }
+        let frac = s.emitted_duplicates() as f64 / f64::from(total);
+        assert!((frac - 0.25).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn repeats_come_from_recent_history_only() {
+        let lag = 20usize;
+        let s = DuplicateInjector::new(base(), 0.4, lag, 3);
+        let clicks: Vec<_> = s.take(10_000).collect();
+        let mut last_pos: HashMap<[u8; 16], usize> = HashMap::new();
+        for (i, c) in clicks.iter().enumerate() {
+            if let Some(&prev) = last_pos.get(&c.key()) {
+                assert!(i - prev <= lag, "repeat at lag {} > {lag}", i - prev);
+            }
+            last_pos.insert(c.key(), i);
+        }
+    }
+
+    #[test]
+    fn ticks_stay_monotone() {
+        let s = DuplicateInjector::new(base(), 0.5, 10, 4);
+        let clicks: Vec<_> = s.take(1_000).collect();
+        for w in clicks.windows(2) {
+            assert!(w[1].tick > w[0].tick);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dup_prob")]
+    fn invalid_probability_panics() {
+        let _ = DuplicateInjector::new(base(), 1.5, 10, 0);
+    }
+}

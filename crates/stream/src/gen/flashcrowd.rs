@@ -1,0 +1,178 @@
+//! Flash-crowd traffic: a legitimate burst of *distinct* users clicking
+//! one ad (paper §1.1 Scenario 1 at scale).
+//!
+//! The dual of the botnet: many different people click the same ad link
+//! in a short period (a viral product, a TV spot). Every click has a
+//! distinct (IP, cookie) identity, so a correct duplicate detector must
+//! charge **all** of them — this stream measures false-positive damage
+//! under the worst legitimate load, where all traffic hashes against the
+//! same ad id.
+
+use crate::click::{AdId, Click, ClickId, PublisherId};
+use crate::gen::unique::UniqueIdStream;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`FlashCrowdStream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowdConfig {
+    /// The ad everyone is clicking.
+    pub hot_ad: AdId,
+    /// Fraction of traffic belonging to the crowd, in `[0, 1]`.
+    pub crowd_fraction: f64,
+    /// Probability a crowd member clicks a *second* time (a legitimate
+    /// in-window duplicate, Scenario-1 style), in `[0, 1)`.
+    pub second_click_prob: f64,
+    /// Background ads for the rest of the traffic.
+    pub background_ads: u32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for FlashCrowdConfig {
+    fn default() -> Self {
+        Self {
+            hot_ad: AdId(0),
+            crowd_fraction: 0.7,
+            second_click_prob: 0.1,
+            background_ads: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// A labeled flash-crowd click.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashClick {
+    /// The click.
+    pub click: Click,
+    /// `true` when this is a crowd member's deliberate second click (a
+    /// *true* duplicate the detector should flag).
+    pub is_second_click: bool,
+}
+
+/// The flash-crowd generator.
+#[derive(Debug, Clone)]
+pub struct FlashCrowdStream {
+    cfg: FlashCrowdConfig,
+    fresh: UniqueIdStream,
+    rng: SmallRng,
+    tick: u64,
+    /// A recent crowd identity eligible for a second click.
+    pending_second: Option<ClickId>,
+}
+
+impl FlashCrowdStream {
+    /// Creates the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are out of range or there are no
+    /// background ads.
+    #[must_use]
+    pub fn new(cfg: FlashCrowdConfig) -> Self {
+        assert!((0.0..=1.0).contains(&cfg.crowd_fraction), "bad crowd fraction");
+        assert!((0.0..1.0).contains(&cfg.second_click_prob), "bad second-click probability");
+        assert!(cfg.background_ads > 0, "need background ads");
+        Self {
+            fresh: UniqueIdStream::new(cfg.seed ^ 0xF1A5_4C40),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            tick: 0,
+            pending_second: None,
+        }
+    }
+}
+
+impl Iterator for FlashCrowdStream {
+    type Item = FlashClick;
+
+    fn next(&mut self) -> Option<FlashClick> {
+        let tick = self.tick;
+        self.tick += 1;
+
+        // A pending second click fires with the configured probability.
+        if let Some(id) = self.pending_second.take() {
+            if self.rng.gen_bool(self.cfg.second_click_prob) {
+                return Some(FlashClick {
+                    click: Click::new(id, tick, PublisherId(1), 400_000),
+                    is_second_click: true,
+                });
+            }
+        }
+
+        let raw = self.fresh.next().expect("infinite stream");
+        let click = if self.rng.gen_bool(self.cfg.crowd_fraction) {
+            let id = ClickId::new((raw >> 32) as u32, raw | 1, self.cfg.hot_ad);
+            self.pending_second = Some(id);
+            Click::new(id, tick, PublisherId(1), 400_000)
+        } else {
+            let ad = AdId(1 + (raw as u32 % self.cfg.background_ads));
+            Click::new(
+                ClickId::new((raw >> 32) as u32, raw | 1, ad),
+                tick,
+                PublisherId(2),
+                100_000,
+            )
+        };
+        Some(FlashClick {
+            click,
+            is_second_click: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn first_clicks_are_all_distinct() {
+        let s = FlashCrowdStream::new(FlashCrowdConfig::default());
+        let mut seen: HashMap<[u8; 16], u32> = HashMap::new();
+        for fc in s.take(50_000) {
+            *seen.entry(fc.click.key()).or_insert(0) += 1;
+        }
+        // Any key appearing twice must be a second click; never thrice.
+        assert!(seen.values().all(|&n| n <= 2));
+    }
+
+    #[test]
+    fn second_clicks_are_true_duplicates_at_lag_one() {
+        let s = FlashCrowdStream::new(FlashCrowdConfig {
+            second_click_prob: 0.5,
+            ..FlashCrowdConfig::default()
+        });
+        let clicks: Vec<FlashClick> = s.take(10_000).collect();
+        let mut seconds = 0;
+        for w in clicks.windows(2) {
+            if w[1].is_second_click {
+                assert_eq!(w[0].click.id, w[1].click.id, "second click of a different id");
+                seconds += 1;
+            }
+        }
+        assert!(seconds > 1_000, "too few second clicks: {seconds}");
+    }
+
+    #[test]
+    fn crowd_hits_the_hot_ad() {
+        let cfg = FlashCrowdConfig {
+            hot_ad: AdId(7),
+            crowd_fraction: 0.9,
+            ..FlashCrowdConfig::default()
+        };
+        let s = FlashCrowdStream::new(cfg);
+        let hot = s.take(20_000).filter(|c| c.click.id.ad == AdId(7)).count();
+        assert!(hot > 17_000, "hot-ad share too low: {hot}");
+    }
+
+    #[test]
+    #[should_panic(expected = "crowd fraction")]
+    fn bad_fraction_panics() {
+        let _ = FlashCrowdStream::new(FlashCrowdConfig {
+            crowd_fraction: 1.5,
+            ..FlashCrowdConfig::default()
+        });
+    }
+}

@@ -1,0 +1,14 @@
+//! Synthetic click-stream generators.
+//!
+//! Every generator is an `Iterator` over [`crate::Click`] (or raw ids),
+//! deterministic for a fixed seed, and documented with the scenario it
+//! models. See DESIGN.md §4 for the substitution rationale.
+
+pub mod botnet;
+pub mod coalition;
+pub mod crawler;
+pub mod duplicate;
+pub mod flashcrowd;
+pub mod timing;
+pub mod unique;
+pub mod zipf;

@@ -1,0 +1,119 @@
+//! Poisson arrival-time generation for time-based windows.
+//!
+//! The time-based detectors ([`cfd_core`-side `TimeTbf` / `TimeGbf`])
+//! consume `(id, tick)` pairs; this module supplies realistic arrival
+//! ticks with exponential inter-arrival gaps (a Poisson process), the
+//! standard model for aggregate click arrivals.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An infinite, non-decreasing stream of arrival ticks with
+/// exponentially distributed gaps (mean `1/rate` ticks).
+///
+/// ```rust
+/// use cfd_stream::PoissonArrivals;
+/// let ticks: Vec<u64> = PoissonArrivals::new(0.01, 5).take(100).collect();
+/// assert!(ticks.windows(2).all(|w| w[0] <= w[1]));
+/// // Mean gap ~ 100 ticks.
+/// assert!(*ticks.last().expect("non-empty") > 2_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rate: f64,
+    now: f64,
+    rng: SmallRng,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with `rate` arrivals per tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    #[must_use]
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Self {
+            rate,
+            now: 0.0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured arrival rate (events per tick).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Draws the next exponential inter-arrival gap in fractional ticks.
+    fn gap(&mut self) -> f64 {
+        // Inverse-CDF sampling; 1 - u avoids ln(0).
+        let u: f64 = self.rng.gen();
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+impl Iterator for PoissonArrivals {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        self.now += self.gap();
+        Some(self.now as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_monotone_non_decreasing() {
+        let ticks: Vec<u64> = PoissonArrivals::new(0.5, 1).take(10_000).collect();
+        assert!(ticks.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn mean_gap_matches_rate() {
+        let n = 100_000usize;
+        let last = PoissonArrivals::new(0.1, 2)
+            .take(n)
+            .last()
+            .expect("non-empty");
+        let mean_gap = last as f64 / n as f64;
+        assert!((mean_gap - 10.0).abs() < 0.3, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = PoissonArrivals::new(1.0, 7).take(50).collect();
+        let b: Vec<u64> = PoissonArrivals::new(1.0, 7).take(50).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gap_distribution_is_memoryless_ish() {
+        // P(gap > t) should be ~ e^{-rate t}: check at one point.
+        let mut p = PoissonArrivals::new(0.2, 3);
+        let mut over = 0u32;
+        let trials = 50_000;
+        let mut last = 0u64;
+        for _ in 0..trials {
+            let t = p.next().expect("infinite");
+            if t - last > 10 {
+                over += 1;
+            }
+            last = t;
+        }
+        let frac = f64::from(over) / f64::from(trials);
+        let expect = (-0.2f64 * 10.0).exp(); // ~0.135
+        assert!((frac - expect).abs() < 0.03, "frac={frac} expect={expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn non_positive_rate_panics() {
+        let _ = PoissonArrivals::new(0.0, 0);
+    }
+}

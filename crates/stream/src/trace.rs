@@ -1,0 +1,185 @@
+//! Binary click-trace I/O.
+//!
+//! Experiments must be replayable byte-for-byte (EXPERIMENTS.md pins its
+//! numbers to trace hashes), so clicks can be serialized to a compact
+//! fixed-width binary format:
+//!
+//! ```text
+//! magic "CFDT" | version u16 | record count u64 |
+//! repeated { tick u64 | ip u32 | cookie u64 | ad u32 | publisher u32 | cost u64 }
+//! ```
+//!
+//! All integers little-endian. [`Click`] also derives serde for users who
+//! prefer their own formats.
+
+use crate::click::{AdId, Click, ClickId, PublisherId};
+use bytes::{Buf, BufMut};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"CFDT";
+const VERSION: u16 = 1;
+const RECORD_BYTES: usize = 8 + 4 + 8 + 4 + 4 + 8;
+
+/// Error produced when decoding a click trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The buffer does not start with the `CFDT` magic.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u16),
+    /// The buffer ended before the declared record count was read.
+    Truncated {
+        /// Records expected from the header.
+        expected: u64,
+        /// Records actually decoded.
+        got: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "buffer is not a CFDT click trace"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated { expected, got } => {
+                write!(f, "trace truncated: expected {expected} records, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Serializes `clicks` into a fresh byte buffer.
+///
+/// ```rust
+/// use cfd_stream::{read_trace, write_trace, UniqueClickStream};
+/// let clicks: Vec<_> = UniqueClickStream::new(1, 2, 3).take(10).collect();
+/// let buf = write_trace(&clicks);
+/// assert_eq!(read_trace(&buf).expect("roundtrip"), clicks);
+/// ```
+#[must_use]
+pub fn write_trace(clicks: &[Click]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + 2 + 8 + clicks.len() * RECORD_BYTES);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(clicks.len() as u64);
+    for c in clicks {
+        buf.put_u64_le(c.tick);
+        buf.put_u32_le(c.id.ip);
+        buf.put_u64_le(c.id.cookie);
+        buf.put_u32_le(c.id.ad.0);
+        buf.put_u32_le(c.publisher.0);
+        buf.put_u64_le(c.cost_micros);
+    }
+    buf
+}
+
+/// Decodes a trace produced by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on bad magic, unsupported version, or a
+/// truncated buffer.
+pub fn read_trace(mut buf: &[u8]) -> Result<Vec<Click>, TraceError> {
+    if buf.remaining() < 14 || &buf[..4] != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    buf.advance(4);
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    let count = buf.get_u64_le();
+    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
+    for got in 0..count {
+        if buf.remaining() < RECORD_BYTES {
+            return Err(TraceError::Truncated {
+                expected: count,
+                got,
+            });
+        }
+        let tick = buf.get_u64_le();
+        let ip = buf.get_u32_le();
+        let cookie = buf.get_u64_le();
+        let ad = buf.get_u32_le();
+        let publisher = buf.get_u32_le();
+        let cost = buf.get_u64_le();
+        out.push(Click::new(
+            ClickId::new(ip, cookie, AdId(ad)),
+            tick,
+            PublisherId(publisher),
+            cost,
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::unique::UniqueClickStream;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let clicks: Vec<Click> = UniqueClickStream::new(9, 5, 11).take(1_000).collect();
+        let buf = write_trace(&clicks);
+        assert_eq!(read_trace(&buf).expect("valid"), clicks);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let buf = write_trace(&[]);
+        assert_eq!(read_trace(&buf).expect("valid"), vec![]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(read_trace(b"NOPE"), Err(TraceError::BadMagic));
+        assert_eq!(read_trace(b""), Err(TraceError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = write_trace(&[]);
+        buf[4] = 0xFF;
+        assert!(matches!(read_trace(&buf), Err(TraceError::BadVersion(_))));
+    }
+
+    #[test]
+    fn truncation_detected_with_counts() {
+        let clicks: Vec<Click> = UniqueClickStream::new(1, 2, 3).take(5).collect();
+        let buf = write_trace(&clicks);
+        let cut = &buf[..buf.len() - 10];
+        assert_eq!(
+            read_trace(cut),
+            Err(TraceError::Truncated {
+                expected: 5,
+                got: 4
+            })
+        );
+    }
+
+    #[test]
+    fn errors_have_displays() {
+        assert!(TraceError::BadMagic.to_string().contains("CFDT"));
+        assert!(TraceError::BadVersion(3).to_string().contains('3'));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_clicks(
+            raw in prop::collection::vec(any::<(u64, u32, u64, u32, u32, u64)>(), 0..50)
+        ) {
+            let clicks: Vec<Click> = raw
+                .into_iter()
+                .map(|(t, ip, ck, ad, pb, cost)| {
+                    Click::new(ClickId::new(ip, ck, AdId(ad)), t, PublisherId(pb), cost)
+                })
+                .collect();
+            let buf = write_trace(&clicks);
+            prop_assert_eq!(read_trace(&buf).expect("valid"), clicks);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Sub-window rotation bookkeeping for count-based jumping windows.
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks arrivals within a count-based jumping window of `q` sub-windows
+/// of `sub_len` elements each.
+///
+/// The clock reports, for every arrival, whether the sub-window *rotates*
+/// (i.e. the arrival is the first element of a new sub-window), which
+/// slot index is current, and which slot just expired. Slot indices run
+/// over `q + 1` values because the paper's GBF keeps one extra filter
+/// that is being cleaned while the other `q` serve queries (§3.1).
+///
+/// ```rust
+/// use cfd_windows::JumpingClock;
+/// let mut clock = JumpingClock::new(2, 3); // q = 2 sub-windows of 3
+/// let slots: Vec<usize> = (0..7).map(|_| { let s = clock.slot(); clock.record_arrival(); s }).collect();
+/// assert_eq!(slots, vec![0, 0, 0, 1, 1, 1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JumpingClock {
+    q: usize,
+    sub_len: usize,
+    slot: usize,
+    filled: usize,
+    completed_subwindows: u64,
+}
+
+/// What happened at a sub-window boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rotation {
+    /// The slot that became current.
+    pub new_slot: usize,
+    /// The slot whose contents just expired and must be cleaned, if the
+    /// window is already full.
+    pub expired_slot: Option<usize>,
+}
+
+impl JumpingClock {
+    /// Creates a clock for `q` sub-windows of `sub_len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0` or `sub_len == 0`.
+    #[must_use]
+    pub fn new(q: usize, sub_len: usize) -> Self {
+        assert!(q > 0, "q must be positive");
+        assert!(sub_len > 0, "sub-window length must be positive");
+        Self {
+            q,
+            sub_len,
+            slot: 0,
+            filled: 0,
+            completed_subwindows: 0,
+        }
+    }
+
+    /// Rebuilds a clock at a specific position (checkpoint restore).
+    /// Returns `None` when the parts are mutually inconsistent.
+    #[must_use]
+    pub fn from_parts(
+        q: usize,
+        sub_len: usize,
+        slot: usize,
+        filled: usize,
+        completed_subwindows: u64,
+    ) -> Option<Self> {
+        if q == 0 || sub_len == 0 || slot > q || filled >= sub_len {
+            return None;
+        }
+        // The slot index is determined by the completed-sub-window count.
+        if slot != (completed_subwindows % (q as u64 + 1)) as usize {
+            return None;
+        }
+        Some(Self {
+            q,
+            sub_len,
+            slot,
+            filled,
+            completed_subwindows,
+        })
+    }
+
+    /// Number of sub-windows `q`.
+    #[inline]
+    #[must_use]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Elements per sub-window.
+    #[inline]
+    #[must_use]
+    pub fn sub_len(&self) -> usize {
+        self.sub_len
+    }
+
+    /// Total slots cycled through (`q + 1`).
+    #[inline]
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.q + 1
+    }
+
+    /// The slot receiving insertions right now.
+    #[inline]
+    #[must_use]
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Arrivals recorded in the current sub-window so far.
+    #[inline]
+    #[must_use]
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// Completed sub-windows since construction.
+    #[inline]
+    #[must_use]
+    pub fn completed_subwindows(&self) -> u64 {
+        self.completed_subwindows
+    }
+
+    /// `true` once at least `q` sub-windows have completed, i.e. the
+    /// jumping window covers its full span and rotations start expiring
+    /// slots.
+    #[inline]
+    #[must_use]
+    pub fn window_full(&self) -> bool {
+        self.completed_subwindows >= self.q as u64
+    }
+
+    /// Records one arrival; returns the rotation if this arrival *filled*
+    /// the current sub-window (the next arrival lands in a fresh slot).
+    pub fn record_arrival(&mut self) -> Option<Rotation> {
+        self.filled += 1;
+        if self.filled < self.sub_len {
+            return None;
+        }
+        self.filled = 0;
+        self.completed_subwindows += 1;
+        let slots = self.slots();
+        self.slot = (self.slot + 1) % slots;
+        // Once q sub-windows completed, each rotation expires the slot
+        // q positions behind the new current one (mod q+1): with slots
+        // 0..=q, that is exactly the slot that will be cleaned while the
+        // new one fills.
+        let expired_slot = if self.window_full() {
+            Some((self.slot + 1) % slots)
+        } else {
+            None
+        };
+        Some(Rotation {
+            new_slot: self.slot,
+            expired_slot,
+        })
+    }
+
+    /// Slot indices currently holding *active* (queryable) data: the
+    /// current slot plus up to `q − 1` predecessors.
+    #[must_use]
+    pub fn active_slots(&self) -> Vec<usize> {
+        let slots = self.slots();
+        let have = (self.completed_subwindows.min(self.q as u64 - 1) as usize) + 1;
+        (0..have)
+            .map(|back| (self.slot + slots - back) % slots)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_fires_every_sub_len_arrivals() {
+        let mut c = JumpingClock::new(3, 4);
+        let mut rotations = 0;
+        for i in 1..=24 {
+            if c.record_arrival().is_some() {
+                rotations += 1;
+                assert_eq!(i % 4, 0, "rotation not on boundary at {i}");
+            }
+        }
+        assert_eq!(rotations, 6);
+        assert_eq!(c.completed_subwindows(), 6);
+    }
+
+    #[test]
+    fn expiry_starts_only_when_window_full() {
+        let mut c = JumpingClock::new(2, 2);
+        // Sub-window 1 completes: no expiry yet (window covers 1 sub-window).
+        c.record_arrival();
+        let r1 = c.record_arrival().expect("rotation");
+        assert_eq!(r1.new_slot, 1);
+        assert_eq!(r1.expired_slot, None);
+        // Sub-window 2 completes: window now full; slot 0 expires... not
+        // yet — with q = 2, slots cycle 0,1,2 and the expired one is the
+        // slot two behind the new current.
+        c.record_arrival();
+        let r2 = c.record_arrival().expect("rotation");
+        assert_eq!(r2.new_slot, 2);
+        assert_eq!(r2.expired_slot, Some(0));
+        c.record_arrival();
+        let r3 = c.record_arrival().expect("rotation");
+        assert_eq!(r3.new_slot, 0);
+        assert_eq!(r3.expired_slot, Some(1));
+    }
+
+    #[test]
+    fn active_slots_grow_then_saturate_at_q() {
+        let mut c = JumpingClock::new(3, 1);
+        assert_eq!(c.active_slots(), vec![0]);
+        c.record_arrival(); // slot -> 1
+        assert_eq!(c.active_slots(), vec![1, 0]);
+        c.record_arrival(); // slot -> 2
+        assert_eq!(c.active_slots(), vec![2, 1, 0]);
+        c.record_arrival(); // slot -> 3, window full
+        assert_eq!(c.active_slots(), vec![3, 2, 1]);
+        c.record_arrival(); // slot -> 0 (wrap)
+        assert_eq!(c.active_slots(), vec![0, 3, 2]);
+    }
+
+    #[test]
+    fn expired_slot_is_never_active() {
+        let mut c = JumpingClock::new(4, 3);
+        for _ in 0..200 {
+            if let Some(r) = c.record_arrival() {
+                if let Some(e) = r.expired_slot {
+                    assert!(!c.active_slots().contains(&e), "expired slot active");
+                    assert_ne!(e, c.slot());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_q_panics() {
+        let _ = JumpingClock::new(0, 1);
+    }
+}

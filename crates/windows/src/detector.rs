@@ -1,0 +1,238 @@
+//! The one-pass duplicate-detection contract (paper Definition 1).
+
+use crate::spec::WindowSpec;
+use serde::{Deserialize, Serialize};
+
+/// The classification of one click.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// First occurrence within the current window: a *valid* click that
+    /// the advertiser is charged for.
+    Distinct,
+    /// An identical click was already determined valid within the current
+    /// window: not charged (paper Definition 1).
+    Duplicate,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Duplicate`].
+    #[inline]
+    #[must_use]
+    pub fn is_duplicate(self) -> bool {
+        matches!(self, Verdict::Duplicate)
+    }
+
+    /// `true` for [`Verdict::Distinct`].
+    #[inline]
+    #[must_use]
+    pub fn is_distinct(self) -> bool {
+        matches!(self, Verdict::Distinct)
+    }
+}
+
+/// A one-pass duplicate detector over a count-based decaying window.
+///
+/// The contract mirrors the paper's problem statement (§1.3): given
+/// limited memory and a window of `N` elements, classify each click of an
+/// unbounded stream in a single pass. Implementations may be approximate
+/// with one-sided error: the GBF/TBF detectors guarantee *zero false
+/// negatives* while allowing a small false-positive rate.
+///
+/// # Error direction
+///
+/// Following the paper: a *false positive* is a distinct click wrongly
+/// reported as [`Verdict::Duplicate`]; a *false negative* is a duplicate
+/// wrongly reported as [`Verdict::Distinct`]. GBF and TBF have zero false
+/// negatives; exact oracles have zero error in both directions.
+pub trait DuplicateDetector {
+    /// Classifies the next click of the stream and updates internal state.
+    fn observe(&mut self, id: &[u8]) -> Verdict;
+
+    /// The window model this detector approximates.
+    fn window(&self) -> WindowSpec;
+
+    /// Total payload memory, in bits (for the paper's space accounting).
+    fn memory_bits(&self) -> usize;
+
+    /// Resets to the empty-stream state, keeping the configuration.
+    fn reset(&mut self);
+
+    /// Human-readable algorithm name for reports and benches.
+    fn name(&self) -> &'static str;
+}
+
+/// A one-pass duplicate detector over a *time-based* decaying window.
+///
+/// Each observation carries its tick; ticks must be non-decreasing at the
+/// granularity the implementation documents.
+pub trait TimedDuplicateDetector {
+    /// Classifies the click arriving at `tick`.
+    fn observe_at(&mut self, id: &[u8], tick: u64) -> Verdict;
+
+    /// The window model this detector approximates.
+    fn window(&self) -> WindowSpec;
+
+    /// Total payload memory, in bits.
+    fn memory_bits(&self) -> usize;
+
+    /// Resets to the empty-stream state, keeping the configuration.
+    fn reset(&mut self);
+
+    /// Human-readable algorithm name for reports and benches.
+    fn name(&self) -> &'static str;
+}
+
+/// Running tallies of a detector over a stream.
+///
+/// ```rust
+/// use cfd_windows::{StreamSummary, Verdict};
+/// let mut s = StreamSummary::default();
+/// s.record(Verdict::Distinct);
+/// s.record(Verdict::Duplicate);
+/// assert_eq!(s.total(), 2);
+/// assert_eq!(s.duplicates, 1);
+/// assert!((s.duplicate_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamSummary {
+    /// Clicks classified [`Verdict::Distinct`].
+    pub distinct: u64,
+    /// Clicks classified [`Verdict::Duplicate`].
+    pub duplicates: u64,
+}
+
+impl StreamSummary {
+    /// Records one verdict.
+    #[inline]
+    pub fn record(&mut self, v: Verdict) {
+        match v {
+            Verdict::Distinct => self.distinct += 1,
+            Verdict::Duplicate => self.duplicates += 1,
+        }
+    }
+
+    /// Total clicks recorded.
+    #[inline]
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.distinct + self.duplicates
+    }
+
+    /// Fraction of clicks classified duplicate (0 when empty).
+    #[must_use]
+    pub fn duplicate_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.duplicates as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Runs `detector` over `stream`, returning the summary tally.
+///
+/// Convenience for tests, examples, and the figure harness.
+pub fn run_stream<'a, D, I>(detector: &mut D, stream: I) -> StreamSummary
+where
+    D: DuplicateDetector + ?Sized,
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut summary = StreamSummary::default();
+    for id in stream {
+        summary.record(detector.observe(id));
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial landmark-window detector used to exercise the trait
+    /// machinery (real detectors live in `cfd-core` / `cfd-bloom`).
+    struct ToyLandmark {
+        seen: std::collections::HashSet<Vec<u8>>,
+        n: usize,
+        count: usize,
+    }
+
+    impl DuplicateDetector for ToyLandmark {
+        fn observe(&mut self, id: &[u8]) -> Verdict {
+            if self.count == self.n {
+                self.seen.clear();
+                self.count = 0;
+            }
+            self.count += 1;
+            if self.seen.insert(id.to_vec()) {
+                Verdict::Distinct
+            } else {
+                Verdict::Duplicate
+            }
+        }
+        fn window(&self) -> WindowSpec {
+            WindowSpec::Landmark { n: self.n }
+        }
+        fn memory_bits(&self) -> usize {
+            self.seen.len() * 8
+        }
+        fn reset(&mut self) {
+            self.seen.clear();
+            self.count = 0;
+        }
+        fn name(&self) -> &'static str {
+            "toy-landmark"
+        }
+    }
+
+    #[test]
+    fn verdict_predicates() {
+        assert!(Verdict::Duplicate.is_duplicate());
+        assert!(!Verdict::Duplicate.is_distinct());
+        assert!(Verdict::Distinct.is_distinct());
+    }
+
+    #[test]
+    fn run_stream_tallies() {
+        let mut d = ToyLandmark {
+            seen: Default::default(),
+            n: 100,
+            count: 0,
+        };
+        let ids: Vec<&[u8]> = vec![b"a", b"b", b"a", b"c", b"a"];
+        let s = run_stream(&mut d, ids);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.duplicates, 2);
+        assert_eq!(s.total(), 5);
+    }
+
+    #[test]
+    fn landmark_expires_all_at_boundary() {
+        let mut d = ToyLandmark {
+            seen: Default::default(),
+            n: 2,
+            count: 0,
+        };
+        assert_eq!(d.observe(b"x"), Verdict::Distinct);
+        assert_eq!(d.observe(b"x"), Verdict::Duplicate);
+        // Boundary: window restarts, x is fresh again.
+        assert_eq!(d.observe(b"x"), Verdict::Distinct);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut d: Box<dyn DuplicateDetector> = Box::new(ToyLandmark {
+            seen: Default::default(),
+            n: 10,
+            count: 0,
+        });
+        assert_eq!(d.observe(b"k"), Verdict::Distinct);
+        assert_eq!(d.name(), "toy-landmark");
+        d.reset();
+        assert_eq!(d.observe(b"k"), Verdict::Distinct);
+    }
+
+    #[test]
+    fn summary_rate_handles_empty() {
+        assert_eq!(StreamSummary::default().duplicate_rate(), 0.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Exact duplicate detectors over every window model.
+//!
+//! These keep every active click identifier in a hash table, so they are
+//! memory-hungry (`O(N)` identifiers — precisely what the paper's
+//! algorithms avoid), but they make *no* errors in either direction.
+//! They serve two roles:
+//!
+//! 1. **Ground truth** for the zero-false-negative property tests: every
+//!    click an oracle calls `Duplicate` must also be called `Duplicate`
+//!    by GBF/TBF over the same window model.
+//! 2. **Baseline** in the benchmark tables, to quantify the space the
+//!    streaming algorithms save.
+//!
+//! All three oracles implement the paper's Definition 1: a click is a
+//! duplicate iff an identical click was *determined valid* within the
+//! current window. Duplicates themselves do not refresh validity.
+
+use crate::clock::JumpingClock;
+use crate::detector::{DuplicateDetector, Verdict};
+use crate::spec::WindowSpec;
+use std::collections::{HashSet, VecDeque};
+
+/// Exact duplicate detection over a count-based *sliding* window.
+///
+/// ```rust
+/// use cfd_windows::{DuplicateDetector, ExactSlidingDedup, Verdict};
+/// let mut d = ExactSlidingDedup::new(3);
+/// assert_eq!(d.observe(b"a"), Verdict::Distinct);
+/// assert_eq!(d.observe(b"a"), Verdict::Duplicate);
+/// assert_eq!(d.observe(b"b"), Verdict::Distinct);
+/// // The valid "a" (position 0) is now 3 elements old and slides out:
+/// assert_eq!(d.observe(b"a"), Verdict::Distinct);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExactSlidingDedup {
+    n: usize,
+    /// Arrival ring: `(id, was_valid)` for the last `n` arrivals.
+    ring: VecDeque<(Vec<u8>, bool)>,
+    /// Ids of valid clicks currently inside the window (at most one valid
+    /// instance of an id can be active at a time).
+    valid: HashSet<Vec<u8>>,
+}
+
+impl ExactSlidingDedup {
+    /// Creates an oracle over the last `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "window length must be positive");
+        Self {
+            n,
+            ring: VecDeque::with_capacity(n),
+            valid: HashSet::new(),
+        }
+    }
+
+    /// Number of valid clicks currently active.
+    #[must_use]
+    pub fn active_valid(&self) -> usize {
+        self.valid.len()
+    }
+}
+
+impl DuplicateDetector for ExactSlidingDedup {
+    fn observe(&mut self, id: &[u8]) -> Verdict {
+        if self.ring.len() == self.n {
+            let (old, was_valid) = self.ring.pop_front().expect("ring non-empty");
+            if was_valid {
+                self.valid.remove(&old);
+            }
+        }
+        if self.valid.contains(id) {
+            self.ring.push_back((id.to_vec(), false));
+            Verdict::Duplicate
+        } else {
+            self.valid.insert(id.to_vec());
+            self.ring.push_back((id.to_vec(), true));
+            Verdict::Distinct
+        }
+    }
+
+    fn window(&self) -> WindowSpec {
+        WindowSpec::Sliding { n: self.n }
+    }
+
+    fn memory_bits(&self) -> usize {
+        // Payload accounting only: ring entries + valid-set keys.
+        let ring: usize = self.ring.iter().map(|(id, _)| id.len() * 8 + 8).sum();
+        let set: usize = self.valid.iter().map(|id| id.len() * 8).sum();
+        ring + set
+    }
+
+    fn reset(&mut self) {
+        self.ring.clear();
+        self.valid.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "exact-sliding"
+    }
+}
+
+/// Exact duplicate detection over a count-based *jumping* window
+/// (current partial sub-window plus the `q − 1` most recent full ones).
+#[derive(Debug, Clone)]
+pub struct ExactJumpingDedup {
+    n: usize,
+    clock: JumpingClock,
+    /// Newest sub-window last; at most `q` sets.
+    subs: VecDeque<HashSet<Vec<u8>>>,
+}
+
+impl ExactJumpingDedup {
+    /// Creates an oracle over a jumping window of `n` elements in `q`
+    /// sub-windows (`⌈n/q⌉` elements each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `q == 0`, or `q > n`.
+    #[must_use]
+    pub fn new(n: usize, q: usize) -> Self {
+        assert!(n > 0 && q > 0 && q <= n, "invalid jumping window (n={n}, q={q})");
+        let mut subs = VecDeque::with_capacity(q);
+        subs.push_back(HashSet::new());
+        Self {
+            n,
+            clock: JumpingClock::new(q, n.div_ceil(q)),
+            subs,
+        }
+    }
+
+    /// Number of valid clicks across all active sub-windows.
+    #[must_use]
+    pub fn active_valid(&self) -> usize {
+        self.subs.iter().map(HashSet::len).sum()
+    }
+}
+
+impl DuplicateDetector for ExactJumpingDedup {
+    fn observe(&mut self, id: &[u8]) -> Verdict {
+        let verdict = if self.subs.iter().any(|s| s.contains(id)) {
+            Verdict::Duplicate
+        } else {
+            self.subs
+                .back_mut()
+                .expect("at least one sub-window")
+                .insert(id.to_vec());
+            Verdict::Distinct
+        };
+        if self.clock.record_arrival().is_some() {
+            self.subs.push_back(HashSet::new());
+            if self.subs.len() > self.clock.q() {
+                self.subs.pop_front();
+            }
+        }
+        verdict
+    }
+
+    fn window(&self) -> WindowSpec {
+        WindowSpec::Jumping {
+            n: self.n,
+            q: self.clock.q(),
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.subs
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|id| id.len() * 8)
+            .sum()
+    }
+
+    fn reset(&mut self) {
+        let q = self.clock.q();
+        let sub_len = self.clock.sub_len();
+        self.clock = JumpingClock::new(q, sub_len);
+        self.subs.clear();
+        self.subs.push_back(HashSet::new());
+    }
+
+    fn name(&self) -> &'static str {
+        "exact-jumping"
+    }
+}
+
+/// Exact duplicate detection over a *landmark* window: the set restarts
+/// every `n` elements.
+#[derive(Debug, Clone)]
+pub struct ExactLandmarkDedup {
+    n: usize,
+    filled: usize,
+    seen: HashSet<Vec<u8>>,
+}
+
+impl ExactLandmarkDedup {
+    /// Creates an oracle over landmark windows of `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "window length must be positive");
+        Self {
+            n,
+            filled: 0,
+            seen: HashSet::new(),
+        }
+    }
+}
+
+impl DuplicateDetector for ExactLandmarkDedup {
+    fn observe(&mut self, id: &[u8]) -> Verdict {
+        if self.filled == self.n {
+            self.seen.clear();
+            self.filled = 0;
+        }
+        self.filled += 1;
+        if self.seen.insert(id.to_vec()) {
+            Verdict::Distinct
+        } else {
+            Verdict::Duplicate
+        }
+    }
+
+    fn window(&self) -> WindowSpec {
+        WindowSpec::Landmark { n: self.n }
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.seen.iter().map(|id| id.len() * 8).sum()
+    }
+
+    fn reset(&mut self) {
+        self.seen.clear();
+        self.filled = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "exact-landmark"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sliding_duplicate_within_window_only() {
+        let mut d = ExactSlidingDedup::new(4);
+        assert_eq!(d.observe(b"x"), Verdict::Distinct); // pos 0
+        assert_eq!(d.observe(b"y"), Verdict::Distinct); // pos 1
+        assert_eq!(d.observe(b"x"), Verdict::Duplicate); // pos 2, x@0 active
+        assert_eq!(d.observe(b"z"), Verdict::Distinct); // pos 3
+        // pos 4: window is positions 1..=4; the valid x@0 slid out, and the
+        // duplicate x@2 never counted as valid.
+        assert_eq!(d.observe(b"x"), Verdict::Distinct);
+    }
+
+    #[test]
+    fn sliding_duplicates_do_not_refresh_validity() {
+        let mut d = ExactSlidingDedup::new(3);
+        assert_eq!(d.observe(b"a"), Verdict::Distinct); // valid a@0
+        assert_eq!(d.observe(b"a"), Verdict::Duplicate); // a@1 (invalid)
+        assert_eq!(d.observe(b"a"), Verdict::Duplicate); // a@2 (invalid)
+        // a@0 expires now -> fresh valid click.
+        assert_eq!(d.observe(b"a"), Verdict::Distinct);
+    }
+
+    #[test]
+    fn jumping_expires_whole_subwindows() {
+        // n = 4, q = 2 -> sub-windows of 2.
+        let mut d = ExactJumpingDedup::new(4, 2);
+        assert_eq!(d.observe(b"a"), Verdict::Distinct); // sub 0
+        assert_eq!(d.observe(b"b"), Verdict::Distinct); // sub 0 completes
+        assert_eq!(d.observe(b"a"), Verdict::Duplicate); // sub 1; a in sub 0
+        assert_eq!(d.observe(b"c"), Verdict::Distinct); // sub 1 completes; sub 0 expires
+        // Window now = sub 1 (full) + sub 2 (empty): a was valid in sub 0.
+        assert_eq!(d.observe(b"a"), Verdict::Distinct);
+    }
+
+    #[test]
+    fn landmark_restarts_exactly_on_boundary() {
+        let mut d = ExactLandmarkDedup::new(3);
+        assert_eq!(d.observe(b"p"), Verdict::Distinct);
+        assert_eq!(d.observe(b"p"), Verdict::Duplicate);
+        assert_eq!(d.observe(b"q"), Verdict::Distinct);
+        // New landmark window: everything is fresh again.
+        assert_eq!(d.observe(b"p"), Verdict::Distinct);
+        assert_eq!(d.observe(b"q"), Verdict::Distinct);
+        assert_eq!(d.observe(b"q"), Verdict::Duplicate);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut d = ExactSlidingDedup::new(2);
+        d.observe(b"a");
+        d.reset();
+        assert_eq!(d.observe(b"a"), Verdict::Distinct);
+        let mut j = ExactJumpingDedup::new(4, 2);
+        j.observe(b"a");
+        j.reset();
+        assert_eq!(j.observe(b"a"), Verdict::Distinct);
+    }
+
+    #[test]
+    fn sliding_active_valid_is_bounded_by_n() {
+        let mut d = ExactSlidingDedup::new(5);
+        for i in 0..100u32 {
+            d.observe(&i.to_le_bytes());
+            assert!(d.active_valid() <= 5);
+        }
+        assert_eq!(d.active_valid(), 5);
+    }
+
+    /// Brute-force re-derivation of Definition 1 over a sliding window,
+    /// used to cross-check the incremental oracle.
+    fn brute_force_sliding(n: usize, stream: &[u8]) -> Vec<Verdict> {
+        let mut verdicts: Vec<Verdict> = Vec::with_capacity(stream.len());
+        for (i, &id) in stream.iter().enumerate() {
+            let lo = i.saturating_sub(n - 1);
+            let dup = (lo..i).any(|j| stream[j] == id && verdicts[j] == Verdict::Distinct);
+            verdicts.push(if dup { Verdict::Duplicate } else { Verdict::Distinct });
+        }
+        verdicts
+    }
+
+    proptest! {
+        #[test]
+        fn sliding_matches_brute_force(
+            n in 1usize..12,
+            stream in prop::collection::vec(0u8..6, 0..200),
+        ) {
+            let mut d = ExactSlidingDedup::new(n);
+            let got: Vec<Verdict> = stream.iter().map(|b| d.observe(&[*b])).collect();
+            prop_assert_eq!(got, brute_force_sliding(n, &stream));
+        }
+
+        #[test]
+        fn jumping_never_remembers_beyond_n_nor_forgets_current_sub(
+            q in 1usize..6,
+            sub in 1usize..6,
+            stream in prop::collection::vec(0u8..4, 0..150),
+        ) {
+            let n = q * sub;
+            let mut d = ExactJumpingDedup::new(n, q);
+            let mut history: Vec<(u8, Verdict)> = Vec::new();
+            for &b in &stream {
+                let v = d.observe(&[b]);
+                // If v is Distinct there must be no valid occurrence of b in
+                // the last n-1 arrivals *of the same jumping coverage*; at
+                // minimum, none in the current sub-window (always covered).
+                let pos = history.len();
+                let sub_start = pos - (pos % sub);
+                if v == Verdict::Distinct {
+                    let dup_in_current_sub = history[sub_start..]
+                        .iter()
+                        .any(|&(ob, ov)| ob == b && ov == Verdict::Distinct);
+                    prop_assert!(!dup_in_current_sub, "missed duplicate in current sub-window");
+                }
+                // If v is Duplicate there must be a valid occurrence within
+                // the last n arrivals (jumping coverage is a subset).
+                if v == Verdict::Duplicate {
+                    let lo = pos.saturating_sub(n);
+                    let any_valid = history[lo..]
+                        .iter()
+                        .any(|&(ob, ov)| ob == b && ov == Verdict::Distinct);
+                    prop_assert!(any_valid, "phantom duplicate beyond window");
+                }
+                history.push((b, v));
+            }
+        }
+    }
+}

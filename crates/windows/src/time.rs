@@ -1,0 +1,205 @@
+//! Time-based window bookkeeping (paper §3.1 and §4.1 extensions).
+//!
+//! Time is modeled as a monotone `u64` tick supplied by the caller with
+//! every observation; detectors never read a wall clock. A *time unit* is
+//! the granularity at which time-based windows expire data.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in stream time, in caller-defined ticks (e.g. milliseconds).
+pub type Tick = u64;
+
+/// Maps absolute ticks to time-*unit* indices of a fixed width.
+///
+/// ```rust
+/// use cfd_windows::time::UnitClock;
+/// let clock = UnitClock::new(1000); // 1 unit = 1000 ticks
+/// assert_eq!(clock.unit_of(0), 0);
+/// assert_eq!(clock.unit_of(999), 0);
+/// assert_eq!(clock.unit_of(1000), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitClock {
+    unit_ticks: u64,
+}
+
+impl UnitClock {
+    /// Creates a clock whose unit spans `unit_ticks` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_ticks == 0`.
+    #[must_use]
+    pub fn new(unit_ticks: u64) -> Self {
+        assert!(unit_ticks > 0, "unit width must be positive");
+        Self { unit_ticks }
+    }
+
+    /// Ticks per unit.
+    #[inline]
+    #[must_use]
+    pub fn unit_ticks(&self) -> u64 {
+        self.unit_ticks
+    }
+
+    /// The unit index containing `tick`.
+    #[inline]
+    #[must_use]
+    pub fn unit_of(&self, tick: Tick) -> u64 {
+        tick / self.unit_ticks
+    }
+}
+
+/// Rotation bookkeeping for a *time-based* jumping window: `q`
+/// sub-windows, each spanning `sub_ticks` ticks.
+///
+/// Unlike the count-based [`crate::JumpingClock`], several sub-windows may
+/// expire at once if the stream goes quiet; `advance_to` reports how many
+/// boundaries were crossed so the detector can clean the corresponding
+/// slots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeJumpingClock {
+    q: usize,
+    sub_ticks: u64,
+    current_sub: u64,
+    started: bool,
+}
+
+impl TimeJumpingClock {
+    /// Creates a clock for `q` sub-windows of `sub_ticks` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0` or `sub_ticks == 0`.
+    #[must_use]
+    pub fn new(q: usize, sub_ticks: u64) -> Self {
+        assert!(q > 0, "q must be positive");
+        assert!(sub_ticks > 0, "sub-window span must be positive");
+        Self {
+            q,
+            sub_ticks,
+            current_sub: 0,
+            started: false,
+        }
+    }
+
+    /// Number of sub-windows.
+    #[inline]
+    #[must_use]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Sub-window span in ticks.
+    #[inline]
+    #[must_use]
+    pub fn sub_ticks(&self) -> u64 {
+        self.sub_ticks
+    }
+
+    /// Index of the sub-window containing the last observed tick.
+    #[inline]
+    #[must_use]
+    pub fn current_sub(&self) -> u64 {
+        self.current_sub
+    }
+
+    /// Advances to `tick`, returning how many sub-window boundaries were
+    /// crossed since the previous observation (0 if within the same
+    /// sub-window).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the offending pair if `tick` moves backwards
+    /// across a sub-window boundary (out-of-order beyond sub-window
+    /// granularity cannot be processed one-pass).
+    pub fn advance_to(&mut self, tick: Tick) -> Result<u64, TimeWentBackwards> {
+        let sub = tick / self.sub_ticks;
+        if !self.started {
+            self.started = true;
+            self.current_sub = sub;
+            return Ok(0);
+        }
+        if sub < self.current_sub {
+            return Err(TimeWentBackwards {
+                last_sub: self.current_sub,
+                new_sub: sub,
+            });
+        }
+        let crossed = sub - self.current_sub;
+        self.current_sub = sub;
+        Ok(crossed)
+    }
+}
+
+/// Error: an observation's tick belongs to an earlier sub-window than one
+/// already processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeWentBackwards {
+    /// Sub-window index of the previous observation.
+    pub last_sub: u64,
+    /// Sub-window index of the offending observation.
+    pub new_sub: u64,
+}
+
+impl std::fmt::Display for TimeWentBackwards {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "observation in sub-window {} arrived after sub-window {}",
+            self.new_sub, self.last_sub
+        )
+    }
+}
+
+impl std::error::Error for TimeWentBackwards {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_clock_maps_boundaries() {
+        let c = UnitClock::new(60);
+        assert_eq!(c.unit_of(59), 0);
+        assert_eq!(c.unit_of(60), 1);
+        assert_eq!(c.unit_of(61), 1);
+        assert_eq!(c.unit_of(600), 10);
+    }
+
+    #[test]
+    fn jumping_clock_counts_crossings() {
+        let mut c = TimeJumpingClock::new(4, 10);
+        assert_eq!(c.advance_to(3), Ok(0)); // first observation anchors
+        assert_eq!(c.advance_to(9), Ok(0));
+        assert_eq!(c.advance_to(10), Ok(1));
+        assert_eq!(c.advance_to(45), Ok(3)); // quiet period crosses 3
+        assert_eq!(c.current_sub(), 4);
+    }
+
+    #[test]
+    fn backwards_time_is_rejected_across_boundaries_only() {
+        let mut c = TimeJumpingClock::new(2, 10);
+        c.advance_to(25).unwrap();
+        // Same sub-window, slightly earlier tick: fine (one-pass tolerant).
+        assert_eq!(c.advance_to(21), Ok(0));
+        // Earlier sub-window: rejected.
+        let err = c.advance_to(9).unwrap_err();
+        assert_eq!(err.last_sub, 2);
+        assert_eq!(err.new_sub, 0);
+        assert!(err.to_string().contains("sub-window"));
+    }
+
+    #[test]
+    fn first_observation_can_start_anywhere() {
+        let mut c = TimeJumpingClock::new(2, 10);
+        assert_eq!(c.advance_to(1_000_000), Ok(0));
+        assert_eq!(c.current_sub(), 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_unit_panics() {
+        let _ = UnitClock::new(0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Wraparound timestamp arithmetic (paper §4.1).
+//!
+//! The timing Bloom filter bounds its per-entry bit width by representing
+//! stream positions with a *wraparound counter* of range `N + C`: the
+//! `(N + C)`-th element after position `p` reuses the value `p`. All the
+//! age logic needed to classify an entry as *active*, *expired*, or an
+//! *alias* of a reused value lives here, in one well-tested place.
+
+use serde::{Deserialize, Serialize};
+
+/// A modular position counter with range `range = N + C`.
+///
+/// `now()` is the value that will be assigned to the *next* element; the
+/// most recent element holds `now − 1 (mod range)`.
+///
+/// ```rust
+/// use cfd_windows::WrapCounter;
+/// let mut c = WrapCounter::new(8); // range 8
+/// let t0 = c.advance();            // first element gets 0
+/// assert_eq!(t0, 0);
+/// assert_eq!(c.now(), 1);
+/// assert_eq!(c.age_of(t0), 1);     // one element ago
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WrapCounter {
+    now: u64,
+    range: u64,
+}
+
+impl WrapCounter {
+    /// Creates a counter over `0..range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range == 0`.
+    #[must_use]
+    pub fn new(range: u64) -> Self {
+        assert!(range > 0, "wraparound range must be positive");
+        Self { now: 0, range }
+    }
+
+    /// Rebuilds a counter at a specific position (checkpoint restore).
+    /// Returns `None` if `now` is outside the range.
+    #[must_use]
+    pub fn from_parts(range: u64, now: u64) -> Option<Self> {
+        if range == 0 || now >= range {
+            return None;
+        }
+        Some(Self { now, range })
+    }
+
+    /// The wraparound range (`N + C`).
+    #[inline]
+    #[must_use]
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+
+    /// The timestamp the next element will receive.
+    #[inline]
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Assigns the current timestamp and advances, returning the assigned
+    /// value.
+    #[inline]
+    pub fn advance(&mut self) -> u64 {
+        let t = self.now;
+        self.now += 1;
+        if self.now == self.range {
+            self.now = 0;
+        }
+        t
+    }
+
+    /// Age of timestamp `t` relative to `now`, in `[0, range)`.
+    ///
+    /// Age 1 = the most recent element; age 0 = a value that aliases the
+    /// timestamp about to be assigned (i.e. a full wraparound ago, or an
+    /// entry written "in the future" — impossible for well-formed input).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t >= range`.
+    #[inline]
+    #[must_use]
+    pub fn age_of(&self, t: u64) -> u64 {
+        debug_assert!(t < self.range, "timestamp {t} outside range {}", self.range);
+        if self.now >= t {
+            self.now - t
+        } else {
+            self.range - t + self.now
+        }
+    }
+
+    /// `true` if timestamp `t` is within the last `window` elements
+    /// (age in `[1, window]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t >= range` or `window >= range`.
+    #[inline]
+    #[must_use]
+    pub fn is_active(&self, t: u64, window: u64) -> bool {
+        debug_assert!(window < self.range, "window must be below the range");
+        let age = self.age_of(t);
+        age >= 1 && age <= window
+    }
+
+    /// `true` if timestamp `t` must be evicted before its value can be
+    /// reused: age 0 (alias) or age beyond the window.
+    #[inline]
+    #[must_use]
+    pub fn is_expired(&self, t: u64, window: u64) -> bool {
+        !self.is_active(t, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn advance_wraps_at_range() {
+        let mut c = WrapCounter::new(3);
+        assert_eq!(c.advance(), 0);
+        assert_eq!(c.advance(), 1);
+        assert_eq!(c.advance(), 2);
+        assert_eq!(c.advance(), 0);
+        assert_eq!(c.now(), 1);
+    }
+
+    #[test]
+    fn age_counts_elements_since_assignment() {
+        let mut c = WrapCounter::new(10);
+        let t = c.advance(); // t = 0
+        assert_eq!(c.age_of(t), 1);
+        for _ in 0..8 {
+            c.advance();
+        }
+        assert_eq!(c.age_of(t), 9);
+        c.advance(); // now wraps to 0
+        assert_eq!(c.age_of(t), 0); // alias point reached
+    }
+
+    #[test]
+    fn active_band_is_one_to_window() {
+        // range = N + C with N = 4, C = 3.
+        let mut c = WrapCounter::new(7);
+        let t = c.advance();
+        for expect_active in [true, true, true, true, false, false] {
+            assert_eq!(c.is_active(t, 4), expect_active, "now={}", c.now());
+            c.advance();
+        }
+        // Full wraparound: t aliases `now` again -> age 0 -> expired.
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.age_of(t), 0);
+        assert!(c.is_expired(t, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_range_panics() {
+        let _ = WrapCounter::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn age_matches_unbounded_model(range in 2u64..500, steps in 0usize..1000, probe in 0usize..1000) {
+            // Drive the wrap counter alongside an unbounded absolute clock.
+            let mut c = WrapCounter::new(range);
+            let mut stamps = Vec::new();
+            for _abs in 0..steps {
+                stamps.push(c.advance());
+            }
+            if probe < stamps.len() {
+                let abs_age = steps - probe; // elements since assignment
+                if (abs_age as u64) < range {
+                    prop_assert_eq!(c.age_of(stamps[probe]), abs_age as u64);
+                } else {
+                    // Beyond the range the age is only meaningful mod range.
+                    prop_assert_eq!(c.age_of(stamps[probe]), (abs_age as u64) % range);
+                }
+            }
+        }
+
+        #[test]
+        fn activity_matches_model(range in 3u64..200, window_off in 1u64..100, steps in 1usize..400) {
+            let window = window_off.min(range - 1);
+            let mut c = WrapCounter::new(range);
+            let t = c.advance();
+            for abs_age in 1..=steps as u64 {
+                let model_active = abs_age <= window
+                    || (abs_age % range >= 1 && abs_age % range <= window && abs_age >= range);
+                // For ages below the range the model is exact:
+                if abs_age < range {
+                    prop_assert_eq!(c.is_active(t, window), abs_age <= window);
+                } else {
+                    // After aliasing the counter cannot distinguish; just
+                    // confirm consistency with modular age.
+                    prop_assert_eq!(c.is_active(t, window), model_active);
+                }
+                c.advance();
+            }
+        }
+    }
+}

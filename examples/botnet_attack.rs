@@ -1,0 +1,109 @@
+//! Scenario 2 of the paper (§1.1): a botnet clicks a competitor's ad.
+//!
+//! A 2 000-bot botnet mixes its clicks into organic traffic at 25% of
+//! volume. The example shows how much of the attack each detector
+//! removes, and that the streaming detectors miss nothing the exact
+//! oracle catches (zero false negatives) while using a fraction of the
+//! memory.
+//!
+//! ```text
+//! cargo run --release --example botnet_attack
+//! ```
+
+use click_fraud_detection::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const WINDOW: usize = 1 << 14;
+    const CLICKS: usize = 400_000;
+
+    let attack = BotnetConfig {
+        bots: 2_000,
+        attack_fraction: 0.25,
+        target_cpc_micros: 500_000,
+        ..BotnetConfig::default()
+    };
+    let labeled: Vec<_> = BotnetStream::new(attack, 32, 256).take(CLICKS).collect();
+    let bot_total = labeled.iter().filter(|c| c.is_bot).count();
+    println!(
+        "stream: {CLICKS} clicks, {bot_total} from the botnet ({:.1}%)\n",
+        100.0 * bot_total as f64 / CLICKS as f64
+    );
+
+    // Three detectors over the same sliding window.
+    let tbf = Tbf::new(TbfConfig::builder(WINDOW).entries(WINDOW * 14).build()?)?;
+    let gbf = Gbf::new(
+        GbfConfig::builder(WINDOW, 8)
+            .filter_bits(WINDOW / 8 * 14)
+            .build()?,
+    )?;
+    let exact = ExactSlidingDedup::new(WINDOW);
+
+    let mut detectors: Vec<Box<dyn DuplicateDetector>> =
+        vec![Box::new(exact), Box::new(tbf), Box::new(gbf)];
+
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>10} {:>14}",
+        "detector", "flagged", "bot-flagged", "organic-fp", "missed-fn", "memory (KiB)"
+    );
+    for d in &mut detectors {
+        let mut flagged = 0u64;
+        let mut bot_flagged = 0u64;
+        let mut organic_fp = 0u64;
+        // Self-consistency oracle for the zero-false-negative property
+        // (paper Definition 1): a click is a *false negative* iff the
+        // detector previously determined an identical click valid within
+        // the current window and still answers Distinct. Validity is
+        // driven by the detector's own verdicts, so an FP (which blocks
+        // an insertion) does not poison the check. Only count for the
+        // sliding-window detectors; the GBF jumping window intentionally
+        // covers less than the last WINDOW clicks.
+        let is_sliding = matches!(d.window(), WindowSpec::Sliding { .. });
+        let mut ring: std::collections::VecDeque<([u8; 16], bool)> =
+            std::collections::VecDeque::with_capacity(WINDOW);
+        let mut valid: std::collections::HashSet<[u8; 16]> = std::collections::HashSet::new();
+        let mut false_negatives = 0u64;
+        for lc in &labeled {
+            let key = lc.click.key();
+            let dup = d.observe(&key).is_duplicate();
+            if is_sliding {
+                if ring.len() == WINDOW {
+                    let (old, was_valid) = ring.pop_front().expect("ring full");
+                    if was_valid {
+                        valid.remove(&old);
+                    }
+                }
+                if !dup && valid.contains(&key) {
+                    false_negatives += 1;
+                }
+                let counts_as_valid = !dup && !valid.contains(&key);
+                if counts_as_valid {
+                    valid.insert(key);
+                }
+                ring.push_back((key, counts_as_valid));
+            }
+            if dup {
+                flagged += 1;
+                if lc.is_bot {
+                    bot_flagged += 1;
+                } else {
+                    organic_fp += 1;
+                }
+            }
+        }
+        if is_sliding {
+            assert_eq!(false_negatives, 0, "{} produced false negatives!", d.name());
+        }
+        println!(
+            "{:<16} {:>10} {:>12} {:>12} {:>10} {:>14.1}",
+            d.name(),
+            flagged,
+            bot_flagged,
+            organic_fp,
+            if is_sliding { false_negatives.to_string() } else { "n/a".to_owned() },
+            d.memory_bits() as f64 / 8.0 / 1024.0
+        );
+    }
+
+    println!("\nSliding-window detectors missed zero of their own valid-click repeats ✔");
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Capacity planning with the analytic models of `cfd-analysis`.
+//!
+//! "How much memory do I need?" — the question every deployment asks
+//! first. This example sizes all three schemes for a range of windows
+//! and target false-positive rates, then *validates* one recommendation
+//! by building the detector and measuring its actual FP rate against
+//! the prediction.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use click_fraud_detection::analysis::sizing;
+use click_fraud_detection::prelude::*;
+use click_fraud_detection::stream::UniqueIdStream;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("memory (KiB) to hit a target FP rate (window in elements):\n");
+    println!(
+        "{:>10} {:>10} {:>14} {:>14} {:>16}",
+        "window", "target", "gbf (Q=8)", "tbf", "metwally (Q=8)"
+    );
+    for &n in &[1usize << 14, 1 << 17, 1 << 20] {
+        for &fp in &[1e-2, 1e-3, 1e-4] {
+            let g = sizing::gbf_sizing(n, 8, fp);
+            let t = sizing::tbf_sizing(n, fp);
+            let c = sizing::counting_scheme_sizing(n, 8, fp);
+            println!(
+                "{:>10} {:>10.0e} {:>14.1} {:>14.1} {:>16.1}",
+                n,
+                fp,
+                g.total_bits as f64 / 8192.0,
+                t.total_bits as f64 / 8192.0,
+                c.total_bits as f64 / 8192.0,
+            );
+        }
+    }
+
+    // Validate one recommendation end to end.
+    let n = 1 << 16;
+    let target = 1e-3;
+    let rec = sizing::tbf_sizing(n, target);
+    println!(
+        "\nvalidating: TBF over sliding(n={n}), target FP {target}: m = {}, k = {}",
+        rec.m, rec.k
+    );
+    let cfg = TbfConfig::builder(n).entries(rec.m).hash_count(rec.k).build()?;
+    let mut tbf = Tbf::new(cfg)?;
+
+    let mut ids = UniqueIdStream::new(2026);
+    for _ in 0..10 * n {
+        let id = ids.next().expect("infinite");
+        tbf.observe(&id.to_le_bytes());
+    }
+    let trials = 10 * n as u64;
+    let mut fps = 0u64;
+    for _ in 0..trials {
+        let id = ids.next().expect("infinite");
+        if tbf.observe(&id.to_le_bytes()).is_duplicate() {
+            fps += 1;
+        }
+    }
+    let measured = fps as f64 / trials as f64;
+    println!(
+        "measured FP: {measured:.2e} (predicted {:.2e}) over {trials} distinct clicks",
+        rec.predicted_fp
+    );
+    assert!(
+        measured < target * 1.5,
+        "sizing under-delivered: {measured} vs target {target}"
+    );
+    println!("recommendation holds ✔");
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: duplicate-click detection in five minutes.
+//!
+//! Builds the two detectors of the paper — GBF over a jumping window and
+//! TBF over a sliding window — runs a small stream with known repeats
+//! through both, and prints what each one sees.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use click_fraud_detection::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A jumping window of the last ~65k clicks in 8 sub-windows, sized to
+    // a total memory budget of 2 MiB split across Q + 1 filters.
+    let gbf_cfg = GbfConfig::builder(1 << 16, 8)
+        .total_memory_bits(2 << 20)
+        .build()?;
+    let mut gbf = Gbf::new(gbf_cfg)?;
+
+    // A sliding window of exactly the last 65 536 clicks, ~14 timestamp
+    // entries per element (the paper's Fig. 2 operating ratio).
+    let tbf_cfg = TbfConfig::builder(1 << 16).entries((1 << 16) * 14).build()?;
+    let mut tbf = Tbf::new(tbf_cfg)?;
+
+    println!("GBF: {} | {} bits", gbf.window(), gbf.memory_bits());
+    println!("TBF: {} | {} bits", tbf.window(), tbf.memory_bits());
+    println!();
+
+    // Organic traffic with 20% repeats within a lag of 1000 clicks.
+    let stream = DuplicateInjector::new(UniqueClickStream::new(7, 16, 128), 0.2, 1_000, 42);
+
+    let mut gbf_summary = StreamSummary::default();
+    let mut tbf_summary = StreamSummary::default();
+    let mut disagreements = 0u64;
+    for click in stream.take(200_000) {
+        let key = click.key();
+        let g = gbf.observe(&key);
+        let t = tbf.observe(&key);
+        gbf_summary.record(g);
+        tbf_summary.record(t);
+        if g != t {
+            disagreements += 1;
+        }
+    }
+
+    println!(
+        "GBF   saw {:>7} duplicates / {} clicks ({:.2}%)",
+        gbf_summary.duplicates,
+        gbf_summary.total(),
+        100.0 * gbf_summary.duplicate_rate()
+    );
+    println!(
+        "TBF   saw {:>7} duplicates / {} clicks ({:.2}%)",
+        tbf_summary.duplicates,
+        tbf_summary.total(),
+        100.0 * tbf_summary.duplicate_rate()
+    );
+    println!(
+        "window-model disagreements (jumping vs sliding coverage): {disagreements}"
+    );
+    println!();
+    println!(
+        "GBF per-element cost: {:.2} word ops | TBF: {:.2} entry ops",
+        gbf.ops().mem_ops_per_element(),
+        tbf.ops().mem_ops_per_element()
+    );
+    Ok(())
+}

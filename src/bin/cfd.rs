@@ -1,0 +1,268 @@
+//! `cfd` — command-line front-end for the click-fraud detection suite.
+//!
+//! ```text
+//! cfd generate --kind botnet --count 100000 --out clicks.cfdt
+//! cfd detect   --algo tbf --window 8192 --trace clicks.cfdt --score-publishers
+//! cfd size     --algo gbf --window 1048576 --sub-windows 8 --target-fp 0.001
+//! ```
+//!
+//! The trace format is the `CFDT` binary of `cfd_stream::trace`; every
+//! run is deterministic for a given `--seed`.
+
+use cfd_adnet::FraudScorer;
+use cfd_core::tbf_jumping::{JumpingTbf, JumpingTbfConfig};
+use cfd_core::{Gbf, GbfConfig, Tbf, TbfConfig};
+use cfd_stream::{
+    read_trace, write_trace, BotnetConfig, BotnetStream, Click, CoalitionConfig, CoalitionStream,
+    CrawlerStream, DuplicateInjector, FlashCrowdConfig, FlashCrowdStream, UniqueClickStream,
+};
+use cfd_windows::{DuplicateDetector, ExactSlidingDedup, StreamSummary};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: cfd <command> [options]
+
+commands:
+  generate   synthesize a click trace
+             --kind unique|duplicates|botnet|coalition|crawler|flashcrowd
+             --count <clicks> [--seed <u64>] --out <file>
+  detect     run a duplicate detector over a trace
+             --algo tbf|gbf|jumping-tbf|exact
+             --window <N> [--sub-windows <Q>] [--cells-per-element <c>]
+             [--k <hashes>] [--seed <u64>] --trace <file>
+             [--score-publishers]
+             (cells = filter bits for gbf, timestamp entries for tbf;
+              default 14, the paper's Fig. 2 ratio)
+  size       memory required for a target false-positive rate
+             --algo gbf|tbf|metwally --window <N> [--sub-windows <Q>]
+             --target-fp <rate>
+  help       print this message";
+
+/// Minimal `--name value` argument map (flags take `true`).
+struct Opts(HashMap<String, String>);
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let name = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected an option, got `{arg}`"))?;
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "true".to_owned(),
+            };
+            map.insert(name.to_owned(), value);
+        }
+        Ok(Self(map))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.get(name).map(String::as_str)
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad value `{v}`")),
+        }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&Opts::parse(&args[1..])?),
+        Some("detect") => cmd_detect(&Opts::parse(&args[1..])?),
+        Some("size") => cmd_size(&Opts::parse(&args[1..])?),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let kind = opts.required("kind")?.to_owned();
+    let count: usize = opts.parse_num("count", 100_000)?;
+    let seed: u64 = opts.parse_num("seed", 0)?;
+    let out = opts.required("out")?.to_owned();
+
+    let clicks: Vec<Click> = match kind.as_str() {
+        "unique" => UniqueClickStream::new(seed, 16, 64).take(count).collect(),
+        "duplicates" => {
+            DuplicateInjector::new(UniqueClickStream::new(seed, 16, 64), 0.25, 5_000, seed ^ 1)
+                .take(count)
+                .collect()
+        }
+        "botnet" => BotnetStream::new(
+            BotnetConfig {
+                seed,
+                ..BotnetConfig::default()
+            },
+            16,
+            64,
+        )
+        .take(count)
+        .map(|c| c.click)
+        .collect(),
+        "coalition" => CoalitionStream::new(CoalitionConfig {
+            seed,
+            ..CoalitionConfig::default()
+        })
+        .take(count)
+        .map(|c| c.click)
+        .collect(),
+        "crawler" => CrawlerStream::new(8, 32, 10, seed).take(count).collect(),
+        "flashcrowd" => FlashCrowdStream::new(FlashCrowdConfig {
+            seed,
+            ..FlashCrowdConfig::default()
+        })
+        .take(count)
+        .map(|c| c.click)
+        .collect(),
+        other => return Err(format!("--kind: unknown workload `{other}`")),
+    };
+
+    let buf = write_trace(&clicks);
+    std::fs::write(&out, &buf).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {count} clicks ({} bytes) to {out}", buf.len());
+    Ok(())
+}
+
+fn cmd_detect(opts: &Opts) -> Result<(), String> {
+    let algo = opts.required("algo")?.to_owned();
+    let window: usize = opts.parse_num("window", 1 << 16)?;
+    let q: usize = opts.parse_num("sub-windows", 8)?;
+    let cells_per_element: usize = opts.parse_num("cells-per-element", 14)?;
+    let k: usize = opts.parse_num("k", 10)?;
+    let seed: u64 = opts.parse_num("seed", 0)?;
+    let trace_path = opts.required("trace")?.to_owned();
+
+    let buf = std::fs::read(&trace_path).map_err(|e| format!("reading {trace_path}: {e}"))?;
+    let clicks = read_trace(&buf).map_err(|e| e.to_string())?;
+
+    let mut detector: Box<dyn DuplicateDetector> = match algo.as_str() {
+        "tbf" => Box::new(
+            Tbf::new(
+                TbfConfig::builder(window)
+                    .entries(window * cells_per_element)
+                    .hash_count(k)
+                    .seed(seed)
+                    .build()
+                    .map_err(|e| e.to_string())?,
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        "gbf" => Box::new(
+            Gbf::new(
+                GbfConfig::builder(window, q)
+                    .filter_bits(window.div_ceil(q) * cells_per_element)
+                    .hash_count(k)
+                    .seed(seed)
+                    .build()
+                    .map_err(|e| e.to_string())?,
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        "jumping-tbf" => Box::new(
+            JumpingTbf::new(
+                JumpingTbfConfig::new(window, q, window * cells_per_element, k, seed)
+                    .map_err(|e| e.to_string())?,
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        "exact" => Box::new(ExactSlidingDedup::new(window)),
+        other => return Err(format!("--algo: unknown detector `{other}`")),
+    };
+
+    let mut summary = StreamSummary::default();
+    let mut scorer = FraudScorer::new();
+    for click in &clicks {
+        let v = detector.observe(&click.key());
+        summary.record(v);
+        scorer.record(click, v);
+    }
+
+    println!("detector : {} over {}", detector.name(), detector.window());
+    println!("memory   : {:.1} KiB", detector.memory_bits() as f64 / 8.0 / 1024.0);
+    println!("clicks   : {}", summary.total());
+    println!(
+        "duplicate: {} ({:.3}%)",
+        summary.duplicates,
+        100.0 * summary.duplicate_rate()
+    );
+    println!("distinct : {}", summary.distinct);
+
+    if opts.flag("score-publishers") {
+        println!();
+        println!("publisher fraud scores (z >= 3 flagged):");
+        println!("{:>10} {:>10} {:>10} {:>8} {:>8}", "publisher", "clicks", "blocked", "rate", "z");
+        for s in scorer.scores(100) {
+            println!(
+                "{:>10} {:>10} {:>10} {:>8.4} {:>8.2}{}",
+                s.publisher.0,
+                s.clicks,
+                s.blocked,
+                s.rate,
+                s.z_score,
+                if s.is_suspicious(3.0) { "  <-- SUSPICIOUS" } else { "" }
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_size(opts: &Opts) -> Result<(), String> {
+    let algo = opts.required("algo")?.to_owned();
+    let window: usize = opts.parse_num("window", 1 << 20)?;
+    let q: usize = opts.parse_num("sub-windows", 8)?;
+    let target: f64 = opts.parse_num("target-fp", 0.001)?;
+    if !(target > 0.0 && target < 1.0) {
+        return Err("--target-fp must be in (0, 1)".into());
+    }
+
+    let sizing = match algo.as_str() {
+        "gbf" => cfd_analysis::sizing::gbf_sizing(window, q, target),
+        "tbf" => cfd_analysis::sizing::tbf_sizing(window, target),
+        "metwally" => cfd_analysis::sizing::counting_scheme_sizing(window, q, target),
+        other => return Err(format!("--algo: unknown detector `{other}`")),
+    };
+    println!("algorithm    : {algo}");
+    println!("window       : {window} elements");
+    if algo != "tbf" {
+        println!("sub-windows  : {q}");
+    }
+    println!("target FP    : {target}");
+    println!("table size m : {}", sizing.m);
+    println!("hash count k : {}", sizing.k);
+    println!("predicted FP : {:.3e}", sizing.predicted_fp);
+    println!(
+        "total memory : {:.1} KiB",
+        sizing.total_bits as f64 / 8.0 / 1024.0
+    );
+    Ok(())
+}

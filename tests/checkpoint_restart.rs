@@ -1,0 +1,136 @@
+//! End-to-end restart drill: a billing gateway checkpoints its detector,
+//! "crashes", restores, and must keep charging *identically* — no
+//! in-window duplicate is re-billed, no valid click is double-blocked.
+
+use click_fraud_detection::adnet::Registry;
+use click_fraud_detection::prelude::*;
+
+fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.add_advertiser(Advertiser::new(AdvertiserId(1), "acme", u64::MAX / 4));
+    for ad in 0..64 {
+        r.add_campaign(Campaign {
+            ad: AdId(ad),
+            advertiser: AdvertiserId(1),
+            cpc_micros: 100_000,
+        })
+        .expect("advertiser registered");
+    }
+    r
+}
+
+fn attack(n: usize) -> Vec<Click> {
+    BotnetStream::new(
+        BotnetConfig {
+            bots: 300,
+            attack_fraction: 0.35,
+            ..BotnetConfig::default()
+        },
+        8,
+        64,
+    )
+    .take(n)
+    .map(|c| c.click)
+    .collect()
+}
+
+#[test]
+fn tbf_gateway_restart_is_charge_identical() {
+    let clicks = attack(60_000);
+    let cfg = TbfConfig::builder(4_096).entries(1 << 16).seed(9).build().expect("cfg");
+
+    // Reference: one uninterrupted network.
+    let mut reference = AdNetwork::new(Tbf::new(cfg).expect("detector"));
+    *reference.registry_mut() = registry();
+    let ref_report = reference.run(clicks.iter());
+
+    // Gateway: process half, checkpoint, "crash", restore, process rest.
+    let mut first = AdNetwork::new(Tbf::new(cfg).expect("detector"));
+    *first.registry_mut() = registry();
+    let (half_a, half_b) = clicks.split_at(clicks.len() / 2);
+    for c in half_a {
+        first.process(c);
+    }
+    let snapshot = first.detector().checkpoint();
+    let mid_report = first.report();
+
+    let restored = Tbf::restore(&snapshot).expect("valid checkpoint");
+    let mut second = AdNetwork::new(restored);
+    *second.registry_mut() = registry();
+    for c in half_b {
+        second.process(c);
+    }
+    let post_report = second.report();
+
+    // Charges across the two halves must equal the uninterrupted run.
+    assert_eq!(
+        mid_report.charged + post_report.charged,
+        ref_report.charged,
+        "restart changed billing"
+    );
+    assert_eq!(
+        mid_report.duplicates_blocked + post_report.duplicates_blocked,
+        ref_report.duplicates_blocked,
+        "restart changed fraud blocking"
+    );
+}
+
+#[test]
+fn gbf_gateway_restart_is_charge_identical_both_layouts() {
+    let clicks = attack(60_000);
+    for layout in [GbfLayout::Padded, GbfLayout::Tight] {
+        let cfg = GbfConfig::builder(4_096, 8)
+            .filter_bits(8_192)
+            .hash_count(6)
+            .seed(4)
+            .layout(layout)
+            .build()
+            .expect("cfg");
+
+        let mut reference = AdNetwork::new(Gbf::new(cfg).expect("detector"));
+        *reference.registry_mut() = registry();
+        let ref_report = reference.run(clicks.iter());
+
+        let mut first = AdNetwork::new(Gbf::new(cfg).expect("detector"));
+        *first.registry_mut() = registry();
+        let (half_a, half_b) = clicks.split_at(17_777); // mid sub-window
+        for c in half_a {
+            first.process(c);
+        }
+        let snapshot = first.detector().checkpoint();
+        let mid = first.report();
+
+        let mut second = AdNetwork::new(Gbf::restore(&snapshot).expect("valid checkpoint"));
+        *second.registry_mut() = registry();
+        for c in half_b {
+            second.process(c);
+        }
+        let post = second.report();
+
+        assert_eq!(
+            mid.charged + post.charged,
+            ref_report.charged,
+            "layout {layout:?}: restart changed billing"
+        );
+    }
+}
+
+#[test]
+fn checkpoints_are_portable_across_detector_instances() {
+    // A snapshot taken on one "machine" (instance) restores on another
+    // and the two stay in lockstep indefinitely.
+    let cfg = TbfConfig::builder(1_024).entries(1 << 14).seed(3).build().expect("cfg");
+    let mut a = Tbf::new(cfg).expect("detector");
+    for i in 0..10_000u64 {
+        a.observe(&(i % 1_500).to_le_bytes());
+    }
+    let snap = a.checkpoint();
+    let mut b = Tbf::restore(&snap).expect("valid checkpoint");
+    let mut c = Tbf::restore(&snap).expect("valid checkpoint");
+    for i in 10_000..30_000u64 {
+        let key = (i % 1_500).to_le_bytes();
+        let va = a.observe(&key);
+        assert_eq!(va, b.observe(&key), "replica b diverged at {i}");
+        assert_eq!(va, c.observe(&key), "replica c diverged at {i}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared helpers for the integration tests.
+
+use cfd_windows::DuplicateDetector;
+use std::collections::{HashSet, VecDeque};
+
+/// Replays `keys` through `detector` and counts *self-consistent* false
+/// negatives over a sliding window of `n`: a click is a false negative
+/// iff the detector previously determined an identical click **valid**
+/// (per its own verdicts, paper Definition 1) within the current window
+/// and still answers `Distinct`.
+///
+/// This is the exact statement of the zero-false-negative theorems: an
+/// earlier false positive blocks an insertion, so a later repeat being
+/// `Distinct` is consistent, not an error.
+pub fn sliding_false_negatives<D: DuplicateDetector>(
+    detector: &mut D,
+    n: usize,
+    keys: impl Iterator<Item = Vec<u8>>,
+) -> u64 {
+    let mut ring: VecDeque<(Vec<u8>, bool)> = VecDeque::with_capacity(n);
+    let mut valid: HashSet<Vec<u8>> = HashSet::new();
+    let mut false_negatives = 0u64;
+    for key in keys {
+        let dup = detector.observe(&key).is_duplicate();
+        if ring.len() == n {
+            let (old, was_valid) = ring.pop_front().expect("ring full");
+            if was_valid {
+                valid.remove(&old);
+            }
+        }
+        if !dup && valid.contains(&key) {
+            false_negatives += 1;
+        }
+        let counts_as_valid = !dup && !valid.contains(&key);
+        if counts_as_valid {
+            valid.insert(key.clone());
+        }
+        ring.push_back((key, counts_as_valid));
+    }
+    false_negatives
+}
+
+/// Jumping-window variant: validity expires one sub-window at a time
+/// (current partial + `q − 1` full sub-windows), mirroring
+/// `cfd_windows::ExactJumpingDedup` but driven by the detector's own
+/// verdicts.
+pub fn jumping_false_negatives<D: DuplicateDetector>(
+    detector: &mut D,
+    n: usize,
+    q: usize,
+    keys: impl Iterator<Item = Vec<u8>>,
+) -> u64 {
+    let sub_len = n.div_ceil(q);
+    let mut subs: VecDeque<HashSet<Vec<u8>>> = VecDeque::new();
+    subs.push_back(HashSet::new());
+    let mut filled = 0usize;
+    let mut false_negatives = 0u64;
+    for key in keys {
+        let dup = detector.observe(&key).is_duplicate();
+        let known = subs.iter().any(|s| s.contains(&key));
+        if !dup && known {
+            false_negatives += 1;
+        }
+        if !dup && !known {
+            subs.back_mut().expect("non-empty").insert(key);
+        }
+        filled += 1;
+        if filled == sub_len {
+            filled = 0;
+            subs.push_back(HashSet::new());
+            if subs.len() > q {
+                subs.pop_front();
+            }
+        }
+    }
+    false_negatives
+}

@@ -1,0 +1,126 @@
+//! Cross-crate integration: generators → traces → detectors → ad network
+//! → reports, all through the public facade API.
+
+use click_fraud_detection::adnet::{run_dual_audit, NetworkReport};
+use click_fraud_detection::prelude::*;
+use click_fraud_detection::stream::{read_trace, write_trace};
+
+fn attack_clicks(count: usize) -> Vec<Click> {
+    BotnetStream::new(
+        BotnetConfig {
+            bots: 200,
+            attack_fraction: 0.3,
+            ..BotnetConfig::default()
+        },
+        8,
+        32,
+    )
+    .take(count)
+    .map(|c| c.click)
+    .collect()
+}
+
+fn build_network<D: DuplicateDetector>(detector: D) -> AdNetwork<D> {
+    let mut net = AdNetwork::new(detector);
+    net.registry_mut()
+        .add_advertiser(Advertiser::new(AdvertiserId(1), "acme", u64::MAX / 4));
+    for ad in 0..32 {
+        net.registry_mut()
+            .add_campaign(Campaign {
+                ad: AdId(ad),
+                advertiser: AdvertiserId(1),
+                cpc_micros: 100_000,
+            })
+            .expect("advertiser registered");
+    }
+    net
+}
+
+#[test]
+fn trace_roundtrip_preserves_detector_verdicts() {
+    let clicks = attack_clicks(20_000);
+    let buf = write_trace(&clicks);
+    let restored = read_trace(&buf).expect("valid trace");
+    assert_eq!(clicks, restored);
+
+    // Same bytes -> same verdicts from a fresh detector.
+    let cfg = TbfConfig::builder(2_048).entries(1 << 15).build().expect("cfg");
+    let mut a = Tbf::new(cfg).expect("detector");
+    let mut b = Tbf::new(cfg).expect("detector");
+    for (x, y) in clicks.iter().zip(&restored) {
+        assert_eq!(a.observe(&x.key()), b.observe(&y.key()));
+    }
+}
+
+#[test]
+fn network_report_is_internally_consistent() {
+    let clicks = attack_clicks(50_000);
+    let cfg = TbfConfig::builder(4_096).entries(1 << 16).build().expect("cfg");
+    let mut net = build_network(Tbf::new(cfg).expect("detector"));
+    let report = net.run(clicks.iter());
+
+    assert_eq!(report.clicks, 50_000);
+    assert_eq!(
+        report.charged + report.duplicates_blocked + report.budget_rejections
+            + report.unknown_ads,
+        report.clicks
+    );
+    assert_eq!(report.revenue_micros, report.charged * 100_000);
+    assert_eq!(report.savings_micros, report.duplicates_blocked * 100_000);
+    assert!(report.blocked_rate() > 0.2, "attack should be blocked");
+}
+
+#[test]
+fn tighter_windows_charge_more() {
+    // Shorter dedup window -> repeats become chargeable sooner. The
+    // network with a 512-click window must charge at least as much as
+    // the one with an 8192-click window.
+    let clicks = attack_clicks(40_000);
+    let mut short = build_network(ExactSlidingDedup::new(512));
+    let mut long = build_network(ExactSlidingDedup::new(8_192));
+    let r_short = short.run(clicks.iter());
+    let r_long = long.run(clicks.iter());
+    assert!(r_short.charged > r_long.charged);
+}
+
+#[test]
+fn dual_audit_agreement_is_deterministic_across_detector_kinds() {
+    let clicks = attack_clicks(30_000);
+    for seed in [1u64, 2, 3] {
+        let outcome = run_dual_audit(&clicks, || {
+            let cfg = GbfConfig::builder(4_096, 8)
+                .filter_bits(1 << 14)
+                .seed(seed)
+                .build()
+                .expect("cfg");
+            Gbf::new(cfg).expect("detector")
+        });
+        assert!(outcome.agreed(), "seed {seed}: {outcome:?}");
+    }
+}
+
+#[test]
+fn report_serializes_with_serde_shape() {
+    let clicks = attack_clicks(5_000);
+    let mut net = build_network(ExactSlidingDedup::new(1_024));
+    let report: NetworkReport = net.run(clicks.iter());
+    // serde_json is not a dependency; assert the Serialize impl exists
+    // and the debug form carries the key fields.
+    fn assert_serialize<T: serde::Serialize>(_: &T) {}
+    assert_serialize(&report);
+    let dbg = format!("{report:?}");
+    assert!(dbg.contains("duplicates_blocked"));
+}
+
+#[test]
+fn prelude_covers_the_quickstart_surface() {
+    // Compile-time check that the facade exposes everything the README
+    // quickstart uses.
+    let cfg = TbfConfig::builder(16).entries(256).build().expect("cfg");
+    let mut d = Tbf::new(cfg).expect("detector");
+    let mut summary = StreamSummary::default();
+    summary.record(d.observe(b"a"));
+    summary.record(d.observe(b"a"));
+    assert_eq!(summary.duplicates, 1);
+    assert_eq!(d.window(), WindowSpec::Sliding { n: 16 });
+}

@@ -1,0 +1,99 @@
+//! With ample memory (FP ≈ 0) the streaming detectors must be verdict-
+//! for-verdict identical to the exact oracles over their window models —
+//! the strongest end-to-end statement of correctness.
+
+use cfd_core::tbf_jumping::{JumpingTbf, JumpingTbfConfig};
+use cfd_core::{Gbf, GbfConfig, Tbf, TbfConfig};
+use cfd_stream::{DuplicateInjector, UniqueClickStream};
+use cfd_windows::{DuplicateDetector, ExactJumpingDedup, ExactSlidingDedup};
+
+fn keys(count: usize, dup_prob: f64, lag: usize) -> Vec<Vec<u8>> {
+    DuplicateInjector::new(UniqueClickStream::new(31, 4, 8), dup_prob, lag, 13)
+        .take(count)
+        .map(|c| c.key().to_vec())
+        .collect()
+}
+
+#[test]
+fn tbf_equals_exact_sliding_with_ample_memory() {
+    let n = 1 << 10;
+    // 64 entries per element: FP probability ~ 2^-44 per probe.
+    let cfg = TbfConfig::builder(n).entries(n * 64).build().expect("cfg");
+    let mut tbf = Tbf::new(cfg).expect("detector");
+    let mut oracle = ExactSlidingDedup::new(n);
+    for (i, key) in keys(200_000, 0.3, 3_000).iter().enumerate() {
+        assert_eq!(
+            tbf.observe(key),
+            oracle.observe(key),
+            "verdict diverged at element {i}"
+        );
+    }
+}
+
+#[test]
+fn gbf_equals_exact_jumping_with_ample_memory() {
+    let (n, q) = (1 << 10, 8);
+    // Sizing note: with double hashing, two ids colliding in
+    // (h1 mod m, h2 mod m) share their entire probe set and
+    // false-positive regardless of k (probability ~2/m² per in-window
+    // pair). m = 2^17 pushes that floor below 0.01 expected events for
+    // this stream; k is set moderately rather than "optimally" large
+    // because beyond the floor more hashes no longer help.
+    let cfg = GbfConfig::builder(n, q)
+        .filter_bits(n * 128)
+        .hash_count(12)
+        .build()
+        .expect("cfg");
+    let mut gbf = Gbf::new(cfg).expect("detector");
+    let mut oracle = ExactJumpingDedup::new(n, q);
+    for (i, key) in keys(200_000, 0.3, 3_000).iter().enumerate() {
+        assert_eq!(
+            gbf.observe(key),
+            oracle.observe(key),
+            "verdict diverged at element {i}"
+        );
+    }
+}
+
+#[test]
+fn jumping_tbf_equals_exact_jumping_with_ample_memory() {
+    let (n, q) = (1 << 10, 64);
+    let cfg = JumpingTbfConfig::new(n, q, n * 64, 10, 3).expect("cfg");
+    let mut d = JumpingTbf::new(cfg).expect("detector");
+    let mut oracle = ExactJumpingDedup::new(n, q);
+    for (i, key) in keys(150_000, 0.35, 2_000).iter().enumerate() {
+        assert_eq!(
+            d.observe(key),
+            oracle.observe(key),
+            "verdict diverged at element {i}"
+        );
+    }
+}
+
+#[test]
+fn gbf_and_jumping_tbf_agree_with_each_other() {
+    // Two different data structures implementing the same window model
+    // must agree wherever neither false-positives.
+    let (n, q) = (2_048, 16);
+    let mut gbf = Gbf::new(
+        GbfConfig::builder(n, q)
+            .filter_bits(n * 16)
+            .hash_count(10)
+            .build()
+            .expect("cfg"),
+    )
+    .expect("detector");
+    let mut jtbf = JumpingTbf::new(JumpingTbfConfig::new(n, q, n * 64, 10, 3).expect("cfg"))
+        .expect("detector");
+    let mut disagreements = 0u64;
+    let ks = keys(150_000, 0.25, 4_000);
+    for key in &ks {
+        if gbf.observe(key) != jtbf.observe(key) {
+            disagreements += 1;
+        }
+    }
+    assert!(
+        disagreements < 5,
+        "structures over the same window disagreed {disagreements} times"
+    );
+}

@@ -1,0 +1,151 @@
+//! Integration tests for the headline theorem: GBF and TBF have **zero
+//! false negatives** (Theorems 1.1 and 2.1), even under deliberately
+//! starved memory where false positives are frequent.
+//!
+//! A false negative is defined self-consistently (paper Definition 1):
+//! the detector previously determined an identical click *valid* within
+//! the current window and still answers `Distinct`. See
+//! `tests/common/mod.rs`.
+
+mod common;
+
+use cfd_core::tbf_jumping::{JumpingTbf, JumpingTbfConfig};
+use cfd_core::{Gbf, GbfConfig, Tbf, TbfConfig};
+use cfd_stream::{BotnetConfig, BotnetStream, DuplicateInjector, UniqueClickStream};
+use common::{jumping_false_negatives, sliding_false_negatives};
+
+/// Heavy duplication + tiny memory: FPs abound, FNs must not.
+fn hostile_keys(count: usize) -> impl Iterator<Item = Vec<u8>> {
+    let base = UniqueClickStream::new(17, 4, 32);
+    DuplicateInjector::new(base, 0.4, 2_000, 5)
+        .take(count)
+        .map(|c| c.key().to_vec())
+}
+
+/// A botnet stream: few ids, extreme repetition.
+fn botnet_keys(count: usize) -> impl Iterator<Item = Vec<u8>> {
+    BotnetStream::new(
+        BotnetConfig {
+            bots: 64,
+            attack_fraction: 0.6,
+            ..BotnetConfig::default()
+        },
+        4,
+        16,
+    )
+    .take(count)
+    .map(|c| c.click.key().to_vec())
+}
+
+#[test]
+fn tbf_zero_fn_under_memory_starvation() {
+    let n = 1 << 12;
+    // Only ~2 entries per window element: FP rate is enormous.
+    let cfg = TbfConfig::builder(n)
+        .entries(n * 2)
+        .hash_count(4)
+        .seed(3)
+        .build()
+        .expect("valid config");
+    let mut tbf = Tbf::new(cfg).expect("valid detector");
+    assert_eq!(
+        sliding_false_negatives(&mut tbf, n, hostile_keys(200_000)),
+        0
+    );
+}
+
+#[test]
+fn tbf_zero_fn_on_botnet_stream() {
+    let n = 4_096;
+    let cfg = TbfConfig::builder(n).entries(n * 8).build().expect("valid");
+    let mut tbf = Tbf::new(cfg).expect("valid detector");
+    assert_eq!(
+        sliding_false_negatives(&mut tbf, n, botnet_keys(300_000)),
+        0
+    );
+}
+
+#[test]
+fn tbf_zero_fn_with_minimal_range_extension() {
+    // C = 1 maximizes wraparound pressure on the cleaning sweep.
+    let n = 512;
+    let cfg = TbfConfig::builder(n)
+        .entries(n * 4)
+        .range_extension(1)
+        .hash_count(5)
+        .build()
+        .expect("valid");
+    let mut tbf = Tbf::new(cfg).expect("valid detector");
+    assert_eq!(
+        sliding_false_negatives(&mut tbf, n, hostile_keys(150_000)),
+        0
+    );
+}
+
+#[test]
+fn gbf_zero_fn_under_memory_starvation() {
+    let (n, q) = (1 << 12, 8);
+    let cfg = GbfConfig::builder(n, q)
+        .filter_bits(n / q * 3) // 3 bits per sub-window element
+        .hash_count(3)
+        .seed(11)
+        .build()
+        .expect("valid config");
+    let mut gbf = Gbf::new(cfg).expect("valid detector");
+    assert_eq!(
+        jumping_false_negatives(&mut gbf, n, q, hostile_keys(200_000)),
+        0
+    );
+}
+
+#[test]
+fn gbf_zero_fn_on_botnet_stream() {
+    let (n, q) = (2_048, 4);
+    let cfg = GbfConfig::builder(n, q)
+        .filter_bits(4_096)
+        .build()
+        .expect("valid config");
+    let mut gbf = Gbf::new(cfg).expect("valid detector");
+    assert_eq!(
+        jumping_false_negatives(&mut gbf, n, q, botnet_keys(250_000)),
+        0
+    );
+}
+
+#[test]
+fn jumping_tbf_zero_fn_with_large_q() {
+    let (n, q) = (4_096, 256);
+    let cfg = JumpingTbfConfig::new(n, q, n * 2, 4, 9).expect("valid config");
+    let mut d = JumpingTbf::new(cfg).expect("valid detector");
+    assert_eq!(
+        jumping_false_negatives(&mut d, n, q, hostile_keys(200_000)),
+        0
+    );
+}
+
+#[test]
+fn all_detectors_flag_immediate_repeats_forever() {
+    // The weakest possible guarantee, checked for a long time: a click
+    // repeated back-to-back is always caught, regardless of state age.
+    let n = 1 << 10;
+    let mut tbf = Tbf::new(TbfConfig::builder(n).entries(n * 4).build().expect("cfg"))
+        .expect("detector");
+    let mut gbf = Gbf::new(
+        GbfConfig::builder(n, 8)
+            .filter_bits(n)
+            .build()
+            .expect("cfg"),
+    )
+    .expect("detector");
+    use cfd_windows::DuplicateDetector;
+    for (i, key) in hostile_keys(100_000).enumerate() {
+        let t1 = tbf.observe(&key);
+        let t2 = tbf.observe(&key);
+        assert!(t2.is_duplicate(), "TBF missed back-to-back repeat at {i}");
+        let _ = t1;
+        let g1 = gbf.observe(&key);
+        let g2 = gbf.observe(&key);
+        assert!(g2.is_duplicate(), "GBF missed back-to-back repeat at {i}");
+        let _ = g1;
+    }
+}
