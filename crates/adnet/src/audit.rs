@@ -127,7 +127,11 @@ mod tests {
     fn identical_configs_always_agree() {
         let cs = clicks(10_000);
         let outcome = run_dual_audit(&cs, || {
-            let cfg = TbfConfig::builder(1_024).entries(1 << 14).seed(5).build().unwrap();
+            let cfg = TbfConfig::builder(1_024)
+                .entries(1 << 14)
+                .seed(5)
+                .build()
+                .unwrap();
             Tbf::new(cfg).unwrap()
         });
         assert!(outcome.agreed(), "{outcome:?}");

@@ -68,8 +68,12 @@ pub struct BillingEngine<D> {
     ledger: Ledger,
 }
 
-impl<D: DuplicateDetector> BillingEngine<D> {
+impl<D> BillingEngine<D> {
     /// Creates an engine around a detector.
+    ///
+    /// `detector` may be any type at all — engines that only ever settle
+    /// precomputed verdicts via [`BillingEngine::process_judged`] (the
+    /// pipeline's billing stage) pass `()`.
     #[must_use]
     pub fn new(detector: D) -> Self {
         Self {
@@ -78,18 +82,34 @@ impl<D: DuplicateDetector> BillingEngine<D> {
         }
     }
 
-    /// Processes one click against `registry`, charging budgets and
-    /// crediting publisher revenue.
-    pub fn process(&mut self, click: &Click, registry: &mut Registry) -> ClickOutcome {
+    /// Settles one click whose fraud verdict was already computed
+    /// elsewhere (e.g. by the pipeline's detector stage), charging
+    /// budgets and crediting publisher revenue.
+    ///
+    /// The detector is *not* consulted: verdict computation and billing
+    /// are decoupled so they can run on different threads.
+    pub fn process_judged(
+        &mut self,
+        click: &Click,
+        verdict: Verdict,
+        registry: &mut Registry,
+    ) -> ClickOutcome {
         self.ledger.clicks += 1;
         let Some(campaign) = registry.campaign(click.id.ad).copied() else {
             self.ledger.unknown_ads += 1;
             return ClickOutcome::UnknownAd;
         };
-        // One pass over the stream: the detector sees every click for a
-        // registered ad, duplicates included, so its window semantics
-        // match the oracle definitions exactly.
-        let verdict = self.detector.observe(&click.key());
+        self.settle(click, campaign, verdict, registry)
+    }
+
+    /// Shared billing tail: verdict → ledger/budget bookkeeping.
+    fn settle(
+        &mut self,
+        click: &Click,
+        campaign: crate::entities::Campaign,
+        verdict: Verdict,
+        registry: &mut Registry,
+    ) -> ClickOutcome {
         if verdict == Verdict::Duplicate {
             self.ledger.duplicates_blocked += 1;
             return ClickOutcome::DuplicateBlocked;
@@ -119,21 +139,33 @@ impl<D: DuplicateDetector> BillingEngine<D> {
         &self.ledger
     }
 
-    /// The wrapped detector (e.g. for op-counter inspection).
-    #[must_use]
-    pub fn detector(&self) -> &D {
-        &self.detector
-    }
-
-    /// Mutable detector access (pipeline-internal).
-    pub(crate) fn detector_mut(&mut self) -> &mut D {
-        &mut self.detector
-    }
-
     /// Consumes the engine, returning the final ledger.
     #[must_use]
     pub fn into_ledger(self) -> Ledger {
         self.ledger
+    }
+}
+
+impl<D: DuplicateDetector> BillingEngine<D> {
+    /// Processes one click against `registry`, charging budgets and
+    /// crediting publisher revenue.
+    pub fn process(&mut self, click: &Click, registry: &mut Registry) -> ClickOutcome {
+        self.ledger.clicks += 1;
+        let Some(campaign) = registry.campaign(click.id.ad).copied() else {
+            self.ledger.unknown_ads += 1;
+            return ClickOutcome::UnknownAd;
+        };
+        // One pass over the stream: the detector sees every click for a
+        // registered ad, duplicates included, so its window semantics
+        // match the oracle definitions exactly.
+        let verdict = self.detector.observe(&click.key());
+        self.settle(click, campaign, verdict, registry)
+    }
+
+    /// The wrapped detector (e.g. for op-counter inspection).
+    #[must_use]
+    pub fn detector(&self) -> &D {
+        &self.detector
     }
 }
 
@@ -185,6 +217,52 @@ mod tests {
             r.advertiser(AdvertiserId(1)).expect("exists").spent_micros,
             250
         );
+    }
+
+    #[test]
+    fn process_judged_settles_precomputed_verdicts_without_a_detector() {
+        let (mut r, _) = setup();
+        // A detector-less engine: verdicts come from elsewhere.
+        let mut e = BillingEngine::new(());
+        assert!(e
+            .process_judged(&click(1), Verdict::Distinct, &mut r)
+            .is_charged());
+        assert_eq!(
+            e.process_judged(&click(1), Verdict::Duplicate, &mut r),
+            ClickOutcome::DuplicateBlocked
+        );
+        let stray = Click::new(ClickId::new(1, 1, AdId(999)), 0, PublisherId(3), 1);
+        assert_eq!(
+            e.process_judged(&stray, Verdict::Distinct, &mut r),
+            ClickOutcome::UnknownAd
+        );
+        let l = e.ledger();
+        assert_eq!(
+            (l.clicks, l.charged, l.duplicates_blocked, l.unknown_ads),
+            (3, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn process_and_process_judged_agree_ledger_for_ledger() {
+        let (mut ra, mut ea) = setup();
+        let (mut rb, _) = setup();
+        let mut oracle = ExactSlidingDedup::new(100);
+        let mut eb = BillingEngine::new(());
+        for ip in [1u32, 2, 1, 3, 2, 2, 4, 1] {
+            let c = click(ip);
+            let a = ea.process(&c, &mut ra);
+            let v = oracle.observe(&c.key());
+            let b = eb.process_judged(&c, v, &mut rb);
+            assert_eq!(a, b);
+        }
+        assert_eq!(ea.ledger().clicks, eb.ledger().clicks);
+        assert_eq!(ea.ledger().charged, eb.ledger().charged);
+        assert_eq!(
+            ea.ledger().duplicates_blocked,
+            eb.ledger().duplicates_blocked
+        );
+        assert_eq!(ea.ledger().revenue_micros, eb.ledger().revenue_micros);
     }
 
     #[test]

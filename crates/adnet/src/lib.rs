@@ -17,6 +17,9 @@
 //!   reach an agreement on the determination of valid clicks". Two
 //!   independent auditors replay the same stream concurrently and must
 //!   produce identical valid-click digests.
+//! * [`pipeline`] — the concurrent ingest → sharded detection → billing
+//!   pipeline: one worker thread per keyspace shard, an order-restoring
+//!   resequencer, and lock-free progress counters.
 //! * [`report`] — serde-serializable reports for the benches/examples.
 
 #![forbid(unsafe_code)]
@@ -35,5 +38,7 @@ pub use billing::{BillingEngine, ClickOutcome};
 pub use entities::{Advertiser, AdvertiserId, Campaign, Registry};
 pub use fraud::{FraudScorer, PublisherScore};
 pub use network::AdNetwork;
-pub use pipeline::{run_pipeline, PipelineOutcome, PipelineProgress};
+pub use pipeline::{
+    run_pipeline, run_sharded_pipeline, PipelineConfig, PipelineOutcome, PipelineProgress,
+};
 pub use report::NetworkReport;

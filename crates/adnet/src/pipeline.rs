@@ -1,31 +1,60 @@
-//! A concurrent click-processing pipeline.
+//! A concurrent, sharded click-processing pipeline.
 //!
 //! Real ad networks separate ingestion, fraud filtering, and billing
 //! into stages. This module wires the suite's components into a
-//! three-stage pipeline over bounded `crossbeam` channels
-//! (backpressure included):
+//! pipeline over bounded `crossbeam` channels (backpressure included),
+//! with the detector stage fanned out over the keyspace shards of a
+//! [`ShardedDetector`]:
 //!
 //! ```text
-//! ingest (caller) ──► detector stage ──► billing stage ──► report
+//!                    ┌► shard worker 0 ─┐
+//! ingest ──(route)───┼► shard worker 1 ─┼──► resequencer ► billing
+//! (caller)           └► shard worker S  ┘    (seq order)
 //! ```
 //!
-//! The detector stage owns the [`DuplicateDetector`] exclusively — the
-//! one-pass algorithms are inherently sequential over the stream, which
-//! is exactly why they must be fast per element (Theorems 1 & 2). The
-//! billing stage owns the registry/ledger. A shared [`parking_lot`]
-//! snapshot slot lets other threads read progress without stopping the
-//! pipeline.
+//! * **Ingest** (the caller's thread) stamps every click with a global
+//!   sequence number, routes it by [`ShardRouter`], and forwards clicks
+//!   to the owning worker in batches (amortizing channel traffic).
+//! * **Shard workers** each own one inner detector exclusively — the
+//!   one-pass algorithms are inherently sequential *per keyspace shard*,
+//!   which is exactly why Theorems 1 & 2 obsess over per-element cost —
+//!   and judge whole batches via
+//!   [`DuplicateDetector::observe_batch`] (hash-then-apply locality).
+//!   Each worker keeps a private [`FraudScorer`]; the partial scorers
+//!   are [merged](FraudScorer::merge) at join time.
+//! * **Resequencer + billing** restores global stream order from the
+//!   sequence numbers (a min-heap keyed by sequence) before settling
+//!   verdicts through [`BillingEngine::process_judged`], so budget
+//!   accounting is byte-identical to a sequential run no matter how the
+//!   workers interleave.
+//!
+//! The single-detector [`run_pipeline`] is the one-shard special case of
+//! the same machinery. Progress is published through lock-free
+//! [`PipelineProgress`] atomics rather than a mutex, so polling from a
+//! gauge thread never stalls the hot path.
+//!
+//! Like its predecessor, the detector stage judges *every* click,
+//! including clicks on unregistered ads (billing later files those under
+//! `unknown_ads` without consulting the verdict); a sequential
+//! [`crate::network::AdNetwork`] run skips unknown ads entirely, so the
+//! two only agree when every clicked ad is registered.
 
-use crate::billing::BillingEngine;
+use crate::billing::{BillingEngine, ClickOutcome};
 use crate::entities::Registry;
 use crate::fraud::FraudScorer;
 use crate::report::NetworkReport;
+use cfd_core::sharded::{ShardRouter, ShardedDetector};
 use cfd_stream::Click;
 use cfd_windows::{DuplicateDetector, Verdict};
 use crossbeam::channel;
-use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+
+/// Default clicks per inter-stage batch.
+const DEFAULT_BATCH: usize = 256;
 
 /// A click annotated with its fraud verdict (detector → billing stage).
 #[derive(Debug, Clone, Copy)]
@@ -34,13 +63,87 @@ struct JudgedClick {
     verdict: Verdict,
 }
 
+/// A batch of sequence-stamped clicks bound for one shard worker.
+struct RawBatch {
+    items: Vec<(u64, Click)>,
+}
+
+/// A judged batch headed for the resequencer.
+struct JudgedBatch {
+    items: Vec<(u64, JudgedClick)>,
+}
+
+/// Heap entry of the resequencer, ordered by sequence number only.
+struct Pending {
+    seq: u64,
+    judged: JudgedClick,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.seq.cmp(&other.seq)
+    }
+}
+
 /// Live progress counters readable while the pipeline runs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Plain atomics: stage threads publish with relaxed stores, gauges poll
+/// with [`PipelineProgress::detected`] / [`PipelineProgress::billed`]
+/// without ever contending a lock.
+#[derive(Debug, Default)]
 pub struct PipelineProgress {
-    /// Clicks that passed the detector stage.
-    pub detected: u64,
-    /// Clicks fully billed.
-    pub billed: u64,
+    detected: AtomicU64,
+    billed: AtomicU64,
+}
+
+impl PipelineProgress {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clicks that passed the detector stage so far.
+    #[must_use]
+    pub fn detected(&self) -> u64 {
+        self.detected.load(Ordering::Relaxed)
+    }
+
+    /// Clicks fully billed so far.
+    #[must_use]
+    pub fn billed(&self) -> u64 {
+        self.billed.load(Ordering::Relaxed)
+    }
+}
+
+/// Tuning knobs of the sharded pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Clicks per inter-stage batch (larger batches amortize channel
+    /// overhead; smaller ones bound resequencer latency).
+    pub batch: usize,
+    /// Bounded-channel capacity per worker, in batches (backpressure).
+    pub queue: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            batch: DEFAULT_BATCH,
+            queue: 16,
+        }
+    }
 }
 
 /// Result of a pipeline run.
@@ -54,9 +157,14 @@ pub struct PipelineOutcome {
     pub registry: Registry,
 }
 
-/// Runs `clicks` through a detector stage and a billing stage on
-/// separate threads, with a bounded channel (capacity `queue`) between
-/// each stage.
+/// Runs `clicks` through a single-detector stage and a billing stage on
+/// separate threads, with bounded channels (roughly `queue` in-flight
+/// clicks) between stages.
+///
+/// This is the one-shard special case of [`run_sharded_pipeline`];
+/// clicks are judged in batches through
+/// [`DuplicateDetector::observe_batch`], verdict-for-verdict identical
+/// to per-click observation.
 ///
 /// `progress` (optional) is updated continuously and can be polled from
 /// other threads.
@@ -69,69 +177,212 @@ pub fn run_pipeline<D, I>(
     registry: Registry,
     clicks: I,
     queue: usize,
-    progress: Option<Arc<Mutex<PipelineProgress>>>,
+    progress: Option<Arc<PipelineProgress>>,
 ) -> PipelineOutcome
 where
     D: DuplicateDetector + Send,
     I: IntoIterator<Item = Click>,
 {
-    let (tx_raw, rx_raw) = channel::bounded::<Click>(queue.max(1));
-    let (tx_judged, rx_judged) = channel::bounded::<JudgedClick>(queue.max(1));
-    let progress_det = progress.clone();
-    let progress_bill = progress;
+    let queue = queue.max(1);
+    let batch = queue.min(DEFAULT_BATCH);
+    let name = detector.name();
+    let cfg = PipelineConfig {
+        batch,
+        queue: queue.div_ceil(batch),
+    };
+    run_fanout(vec![detector], None, name, registry, clicks, cfg, progress)
+}
+
+/// Runs `clicks` through one detector worker thread *per shard* of
+/// `detector`, an order-restoring resequencer, and a billing stage.
+///
+/// The ingest thread routes every click to its keyspace shard, so each
+/// worker sees exactly the subsequence its shard would see under
+/// single-threaded [`ShardedDetector::observe`] — verdicts are
+/// identical, and the resequencer makes billing order identical too.
+///
+/// # Panics
+///
+/// Panics if a pipeline stage panics.
+pub fn run_sharded_pipeline<D, I>(
+    detector: ShardedDetector<D>,
+    registry: Registry,
+    clicks: I,
+    config: PipelineConfig,
+    progress: Option<Arc<PipelineProgress>>,
+) -> PipelineOutcome
+where
+    D: DuplicateDetector + Send,
+    I: IntoIterator<Item = Click>,
+{
+    let name = detector.name();
+    let router = detector.router();
+    let workers = detector.into_shards();
+    run_fanout(
+        workers,
+        Some(router),
+        name,
+        registry,
+        clicks,
+        config,
+        progress,
+    )
+}
+
+/// Settles one judged click against the ledger, tallying fraud savings.
+fn settle_one(
+    engine: &mut BillingEngine<()>,
+    registry: &mut Registry,
+    savings: &mut u64,
+    progress: Option<&PipelineProgress>,
+    judged: &JudgedClick,
+) {
+    let outcome = engine.process_judged(&judged.click, judged.verdict, registry);
+    if outcome == ClickOutcome::DuplicateBlocked {
+        if let Some(c) = registry.campaign(judged.click.id.ad) {
+            *savings += c.cpc_micros;
+        }
+    }
+    if let Some(p) = progress {
+        p.billed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The shared fan-out engine behind both public entry points.
+///
+/// `router: None` sends everything to the single worker (no routing
+/// hash on the ingest path).
+fn run_fanout<D, I>(
+    workers: Vec<D>,
+    router: Option<ShardRouter>,
+    name: &'static str,
+    registry: Registry,
+    clicks: I,
+    config: PipelineConfig,
+    progress: Option<Arc<PipelineProgress>>,
+) -> PipelineOutcome
+where
+    D: DuplicateDetector + Send,
+    I: IntoIterator<Item = Click>,
+{
+    let batch = config.batch.max(1);
+    let queue = config.queue.max(1);
+    let shard_count = workers.len();
+    assert!(shard_count > 0, "pipeline needs at least one detector");
 
     thread::scope(|s| {
-        // Stage 1: fraud detection (exclusive detector ownership).
-        let detector_stage = s.spawn(move || {
-            let mut detector = detector;
-            let mut scorer = FraudScorer::new();
-            for click in rx_raw {
-                let verdict = detector.observe(&click.key());
-                scorer.record(&click, verdict);
-                if let Some(p) = &progress_det {
-                    p.lock().detected += 1;
-                }
-                if tx_judged.send(JudgedClick { click, verdict }).is_err() {
-                    break; // billing stage gone; drain and stop
-                }
-            }
-            (scorer, detector.memory_bits(), detector.name())
-        });
+        // Workers fan in to one judged channel; capacity scales with the
+        // worker count so a fast shard cannot starve the others.
+        let (tx_judged, rx_judged) = channel::bounded::<JudgedBatch>(queue * shard_count);
 
-        // Stage 2: billing (exclusive registry/ledger ownership). The
-        // engine re-checks nothing: it trusts the verdict computed by
-        // stage 1, so the detector is observed exactly once per click.
-        let billing_stage = s.spawn(move || {
-            let mut registry = registry;
-            // An engine with a pass-through detector would observe twice;
-            // instead apply verdicts directly against the ledger.
-            let mut engine = BillingEngine::new(PrejudgedGate::default());
-            let mut savings = 0u64;
-            for judged in rx_judged {
-                engine.detector_mut().next_verdict = judged.verdict;
-                let outcome = engine.process(&judged.click, &mut registry);
-                if outcome == crate::billing::ClickOutcome::DuplicateBlocked {
-                    if let Some(c) = registry.campaign(judged.click.id.ad) {
-                        savings += c.cpc_micros;
+        // Shard workers: exclusive detector ownership, private scorer.
+        let mut raw_txs = Vec::with_capacity(shard_count);
+        let mut handles = Vec::with_capacity(shard_count);
+        for mut detector in workers {
+            let (tx_raw, rx_raw) = channel::bounded::<RawBatch>(queue);
+            raw_txs.push(tx_raw);
+            let tx_judged = tx_judged.clone();
+            let progress = progress.clone();
+            handles.push(s.spawn(move || {
+                let mut scorer = FraudScorer::new();
+                let mut keys: Vec<[u8; 16]> = Vec::with_capacity(batch);
+                for RawBatch { items } in rx_raw {
+                    keys.clear();
+                    keys.extend(items.iter().map(|(_, c)| c.key()));
+                    let refs: Vec<&[u8]> = keys.iter().map(<[u8; 16]>::as_slice).collect();
+                    let verdicts = detector.observe_batch(&refs);
+                    let judged: Vec<(u64, JudgedClick)> = items
+                        .into_iter()
+                        .zip(verdicts)
+                        .map(|((seq, click), verdict)| (seq, JudgedClick { click, verdict }))
+                        .collect();
+                    for (_, j) in &judged {
+                        scorer.record(&j.click, j.verdict);
+                    }
+                    if let Some(p) = &progress {
+                        p.detected.fetch_add(judged.len() as u64, Ordering::Relaxed);
+                    }
+                    if tx_judged.send(JudgedBatch { items: judged }).is_err() {
+                        break; // billing stage gone; drain and stop
                     }
                 }
-                if let Some(p) = &progress_bill {
-                    p.lock().billed += 1;
+                (scorer, detector.memory_bits())
+            }));
+        }
+        drop(tx_judged); // workers hold the remaining clones
+
+        // Resequencer + billing: restore global order, settle verdicts.
+        // The heap only ever holds out-of-order items already admitted
+        // through the bounded channels, so it cannot grow unboundedly,
+        // and draining `rx_judged` unconditionally keeps workers from
+        // ever deadlocking against a full judged channel.
+        let progress_bill = progress.clone();
+        let billing = s.spawn(move || {
+            let mut registry = registry;
+            let mut engine = BillingEngine::new(());
+            let mut savings = 0u64;
+            let mut next_seq = 0u64;
+            let mut pending: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
+            for JudgedBatch { items } in rx_judged {
+                for (seq, judged) in items {
+                    pending.push(Reverse(Pending { seq, judged }));
                 }
+                while pending.peek().is_some_and(|Reverse(p)| p.seq == next_seq) {
+                    let Reverse(p) = pending.pop().expect("peeked");
+                    settle_one(
+                        &mut engine,
+                        &mut registry,
+                        &mut savings,
+                        progress_bill.as_deref(),
+                        &p.judged,
+                    );
+                    next_seq += 1;
+                }
+            }
+            // Workers are done: the remainder is a contiguous tail.
+            while let Some(Reverse(p)) = pending.pop() {
+                debug_assert_eq!(p.seq, next_seq, "resequencer hole at shutdown");
+                settle_one(
+                    &mut engine,
+                    &mut registry,
+                    &mut savings,
+                    progress_bill.as_deref(),
+                    &p.judged,
+                );
+                next_seq += 1;
             }
             (engine.into_ledger(), savings, registry)
         });
 
-        // Ingest on the caller's thread.
-        for click in clicks {
-            if tx_raw.send(click).is_err() {
-                break;
+        // Ingest + route on the caller's thread.
+        let mut buckets: Vec<Vec<(u64, Click)>> = (0..shard_count)
+            .map(|_| Vec::with_capacity(batch))
+            .collect();
+        'ingest: for (seq, click) in clicks.into_iter().enumerate() {
+            let shard = router.as_ref().map_or(0, |r| r.route(&click.key()));
+            buckets[shard].push((seq as u64, click));
+            if buckets[shard].len() == batch {
+                let full = std::mem::replace(&mut buckets[shard], Vec::with_capacity(batch));
+                if raw_txs[shard].send(RawBatch { items: full }).is_err() {
+                    break 'ingest; // a worker died; stop feeding
+                }
             }
         }
-        drop(tx_raw);
+        for (tx, bucket) in raw_txs.iter().zip(buckets) {
+            if !bucket.is_empty() {
+                let _ = tx.send(RawBatch { items: bucket });
+            }
+        }
+        drop(raw_txs);
 
-        let (scorer, memory_bits, name) = detector_stage.join().expect("detector stage panicked");
-        let (ledger, savings, registry) = billing_stage.join().expect("billing stage panicked");
+        let mut scorer = FraudScorer::new();
+        let mut memory_bits = 0usize;
+        for handle in handles {
+            let (partial, bits) = handle.join().expect("detector worker panicked");
+            scorer.merge(partial);
+            memory_bits += bits;
+        }
+        let (ledger, savings, registry) = billing.join().expect("billing stage panicked");
         PipelineOutcome {
             report: NetworkReport::from_ledger(name, memory_bits, &ledger, savings),
             scorer,
@@ -140,48 +391,17 @@ where
     })
 }
 
-/// A detector stand-in that replays verdicts already computed by the
-/// detector stage (so the billing engine's bookkeeping is reused without
-/// double-observing).
-#[derive(Debug)]
-struct PrejudgedGate {
-    next_verdict: Verdict,
-}
-
-impl Default for PrejudgedGate {
-    fn default() -> Self {
-        Self {
-            next_verdict: Verdict::Distinct,
-        }
-    }
-}
-
-impl DuplicateDetector for PrejudgedGate {
-    fn observe(&mut self, _id: &[u8]) -> Verdict {
-        self.next_verdict
-    }
-    fn window(&self) -> cfd_windows::WindowSpec {
-        cfd_windows::WindowSpec::Sliding { n: 1 }
-    }
-    fn memory_bits(&self) -> usize {
-        0
-    }
-    fn reset(&mut self) {}
-    fn name(&self) -> &'static str {
-        "prejudged"
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::entities::{Advertiser, AdvertiserId, Campaign};
+    use cfd_core::sharded::per_shard_window;
     use cfd_core::{Tbf, TbfConfig};
     use cfd_stream::{AdId, BotnetConfig, BotnetStream};
 
-    fn registry() -> Registry {
+    fn registry_with_budget(budget: u64) -> Registry {
         let mut r = Registry::new();
-        r.add_advertiser(Advertiser::new(AdvertiserId(1), "acme", u64::MAX / 4));
+        r.add_advertiser(Advertiser::new(AdvertiserId(1), "acme", budget));
         for ad in 0..64 {
             r.add_campaign(Campaign {
                 ad: AdId(ad),
@@ -193,6 +413,10 @@ mod tests {
         r
     }
 
+    fn registry() -> Registry {
+        registry_with_budget(u64::MAX / 4)
+    }
+
     fn clicks(n: usize) -> Vec<Click> {
         BotnetStream::new(BotnetConfig::default(), 8, 64)
             .take(n)
@@ -200,12 +424,32 @@ mod tests {
             .collect()
     }
 
+    fn sharded_tbf(n: usize, shards: usize) -> ShardedDetector<Tbf> {
+        ShardedDetector::from_fn(7, shards, |_| {
+            let n_s = per_shard_window(n, shards);
+            Tbf::new(
+                TbfConfig::builder(n_s)
+                    .entries(n_s * 16)
+                    .seed(4)
+                    .build()
+                    .expect("cfg"),
+            )
+        })
+        .expect("sharded detector")
+    }
+
     #[test]
     fn pipeline_matches_sequential_network() {
         let cs = clicks(30_000);
         let mk = || {
-            Tbf::new(TbfConfig::builder(2_048).entries(1 << 15).seed(4).build().expect("cfg"))
-                .expect("detector")
+            Tbf::new(
+                TbfConfig::builder(2_048)
+                    .entries(1 << 15)
+                    .seed(4)
+                    .build()
+                    .expect("cfg"),
+            )
+            .expect("detector")
         };
         // Sequential reference.
         let mut net = crate::network::AdNetwork::new(mk());
@@ -216,31 +460,131 @@ mod tests {
         // Pipelined.
         let outcome = run_pipeline(mk(), registry(), cs.iter().copied(), 256, None);
         assert_eq!(outcome.report.charged, sequential.charged);
-        assert_eq!(outcome.report.duplicates_blocked, sequential.duplicates_blocked);
+        assert_eq!(
+            outcome.report.duplicates_blocked,
+            sequential.duplicates_blocked
+        );
         assert_eq!(outcome.report.revenue_micros, sequential.revenue_micros);
         assert_eq!(outcome.report.savings_micros, sequential.savings_micros);
     }
 
+    /// The acceptance bar of the sharded layer: the parallel pipeline
+    /// over `S` shard workers reproduces a sequential run of the *same*
+    /// `ShardedDetector` bit for bit — the routing preserves per-shard
+    /// observation order and the resequencer preserves billing order.
+    /// A tight budget makes billing order-sensitive, so a resequencer
+    /// bug cannot hide.
+    #[test]
+    fn sharded_pipeline_matches_sequential_sharded_network() {
+        let cs = clicks(30_000);
+        for (shards, budget) in [(1usize, u64::MAX / 4), (4, u64::MAX / 4), (4, 50_000)] {
+            let mut net = crate::network::AdNetwork::new(sharded_tbf(2_048, shards));
+            let mut reg = registry_with_budget(budget);
+            std::mem::swap(net.registry_mut(), &mut reg);
+            let sequential = net.run(cs.iter());
+
+            let outcome = run_sharded_pipeline(
+                sharded_tbf(2_048, shards),
+                registry_with_budget(budget),
+                cs.iter().copied(),
+                PipelineConfig::default(),
+                None,
+            );
+            assert_eq!(
+                outcome.report.charged, sequential.charged,
+                "shards={shards}"
+            );
+            assert_eq!(
+                outcome.report.duplicates_blocked, sequential.duplicates_blocked,
+                "shards={shards}"
+            );
+            assert_eq!(
+                outcome.report.budget_rejections,
+                sequential.budget_rejections
+            );
+            assert_eq!(outcome.report.revenue_micros, sequential.revenue_micros);
+            assert_eq!(outcome.report.savings_micros, sequential.savings_micros);
+            assert_eq!(
+                outcome.report.detector_memory_bits,
+                sequential.detector_memory_bits
+            );
+        }
+    }
+
+    /// Batch size is a throughput knob, never a semantics knob: the
+    /// resequencer output is invariant under batch boundaries.
+    #[test]
+    fn batch_size_does_not_change_any_tally() {
+        let cs = clicks(10_000);
+        let run = |batch: usize| {
+            run_sharded_pipeline(
+                sharded_tbf(1_024, 3),
+                registry_with_budget(400_000),
+                cs.iter().copied(),
+                PipelineConfig { batch, queue: 4 },
+                None,
+            )
+        };
+        let a = run(1);
+        let b = run(509);
+        assert_eq!(a.report.charged, b.report.charged);
+        assert_eq!(a.report.duplicates_blocked, b.report.duplicates_blocked);
+        assert_eq!(a.report.budget_rejections, b.report.budget_rejections);
+        assert_eq!(a.report.revenue_micros, b.report.revenue_micros);
+        assert_eq!(a.scorer.total_clicks(), b.scorer.total_clicks());
+    }
+
     #[test]
     fn progress_counters_advance() {
-        let progress = Arc::new(Mutex::new(PipelineProgress::default()));
+        let progress = Arc::new(PipelineProgress::new());
         let cs = clicks(5_000);
-        let d = Tbf::new(TbfConfig::builder(512).entries(1 << 13).build().expect("cfg"))
-            .expect("detector");
+        let d = Tbf::new(
+            TbfConfig::builder(512)
+                .entries(1 << 13)
+                .build()
+                .expect("cfg"),
+        )
+        .expect("detector");
         let outcome = run_pipeline(d, registry(), cs, 64, Some(progress.clone()));
-        let p = *progress.lock();
-        assert_eq!(p.detected, 5_000);
-        assert_eq!(p.billed, 5_000);
+        assert_eq!(progress.detected(), 5_000);
+        assert_eq!(progress.billed(), 5_000);
         assert_eq!(outcome.report.clicks, 5_000);
     }
 
     #[test]
     fn scorer_travels_with_the_outcome() {
         let cs = clicks(20_000);
-        let d = Tbf::new(TbfConfig::builder(4_096).entries(1 << 16).build().expect("cfg"))
-            .expect("detector");
+        let d = Tbf::new(
+            TbfConfig::builder(4_096)
+                .entries(1 << 16)
+                .build()
+                .expect("cfg"),
+        )
+        .expect("detector");
         let outcome = run_pipeline(d, registry(), cs, 128, None);
         assert!(outcome.scorer.total_clicks() == 20_000);
         assert!(!outcome.scorer.scores(100).is_empty());
+    }
+
+    /// The merged scorer of a 4-worker run equals the single scorer of a
+    /// 1-worker run over the same stream.
+    #[test]
+    fn sharded_scorer_merge_is_exact() {
+        let cs = clicks(20_000);
+        let wide = run_sharded_pipeline(
+            sharded_tbf(2_048, 4),
+            registry(),
+            cs.iter().copied(),
+            PipelineConfig::default(),
+            None,
+        );
+        let mut scorer = FraudScorer::new();
+        let mut detector = sharded_tbf(2_048, 4);
+        for c in &cs {
+            let v = detector.observe(&c.key());
+            scorer.record(c, v);
+        }
+        assert_eq!(wide.scorer.total_clicks(), scorer.total_clicks());
+        assert_eq!(wide.scorer.scores(50).len(), scorer.scores(50).len());
     }
 }

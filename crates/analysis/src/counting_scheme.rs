@@ -68,7 +68,10 @@ mod tests {
             assert!(ours <= prev + 1e-15, "GBF not better at n={n}");
             // In the light-load regime the advantage is ~q^{k-1}; it never
             // drops below three orders of magnitude across the sweep.
-            assert!(prev / ours.max(1e-300) > 1e3, "advantage collapsed at n={n}");
+            assert!(
+                prev / ours.max(1e-300) > 1e3,
+                "advantage collapsed at n={n}"
+            );
         }
         // At N = 2^20 the difference is orders of magnitude.
         let prev = fp_same_m(m, k, 1 << 20);

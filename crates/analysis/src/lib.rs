@@ -12,6 +12,9 @@
 //! * [`tbf`] — false-positive rate of a TBF probe over a sliding window
 //!   (classical Bloom load at `n = N − 1` active elements; stale entries
 //!   fail the activity check and do not contribute).
+//! * [`sharding`] — coverage and FP model of the keyspace-sharded layer
+//!   (`cfd-core::sharded`): binomial probability that a global-window
+//!   duplicate survives per-shard window slide-out.
 //! * [`sizing`] — inverse solvers: memory for a target FP rate under each
 //!   algorithm.
 //! * [`stats`] — small statistics helpers for the experiment harness
@@ -26,6 +29,7 @@
 pub mod cost;
 pub mod counting_scheme;
 pub mod gbf;
+pub mod sharding;
 pub mod sizing;
 pub mod stats;
 pub mod tbf;

@@ -1,0 +1,201 @@
+//! Closed-form model of keyspace-sharded detection
+//! (`cfd-core::sharded::ShardedDetector`).
+//!
+//! Sharding routes each id to one of `S` detectors sized `n_s = N/S`.
+//! Two questions matter:
+//!
+//! 1. **False positives.** Unchanged in form: a shard holds `1/S` of the
+//!    live elements in `1/S` of the memory, so its Bloom load — and thus
+//!    the per-probe FP rate — equals the unsharded detector's. See
+//!    [`fp_sliding_sharded`].
+//!
+//! 2. **Coverage.** A shard's count window advances only on same-shard
+//!    arrivals. A global-stream duplicate at gap `g` (i.e. `g − 1`
+//!    intervening elements) is still inside its shard's window iff fewer
+//!    than `n_s` of those interveners routed to the same shard. With a
+//!    uniform router that count is `Binomial(g − 1, 1/S)`, giving the
+//!    closed form of [`coverage_at_gap`]. Coverage is 1 for `g ≤ n_s`
+//!    (zero false negatives can never degrade below the shard's own
+//!    window) and decays around `g ≈ N` with width `O(√(N/S))` — the
+//!    price of parallelism is a *soft* window edge, never a missed
+//!    in-shard duplicate.
+
+use crate::tbf::fp_sliding;
+
+/// Per-shard window under the `N/S` sizing rule (≥ 2, matching
+/// `cfd-core::sharded::per_shard_window`).
+#[must_use]
+pub fn per_shard_window(n: usize, shards: usize) -> usize {
+    n.div_ceil(shards.max(1)).max(2)
+}
+
+/// Steady-state per-probe FP rate of a sharded TBF where each of the
+/// `shards` shards has `m / shards` entries and window `N / shards`.
+///
+/// Equal to the unsharded rate up to integer rounding: load per entry is
+/// invariant under splitting both numerator and denominator by `S`.
+#[must_use]
+pub fn fp_sliding_sharded(m: usize, k: usize, n: usize, shards: usize) -> f64 {
+    let s = shards.max(1);
+    fp_sliding(m.div_ceil(s), k, per_shard_window(n, s))
+}
+
+/// Probability that a duplicate at global gap `g` (elements since the
+/// valid click, `g ≥ 1`) is still covered by its shard's window.
+///
+/// `P[Binomial(g − 1, 1/S) ≤ n_s − 1]`: at most `n_s − 1` of the `g − 1`
+/// intervening elements may share the duplicate's shard, otherwise the
+/// valid click has slid out. Computed by the stable recurrence for the
+/// binomial CDF; exact up to floating-point rounding.
+#[must_use]
+pub fn coverage_at_gap(n: usize, shards: usize, g: u64) -> f64 {
+    assert!(g >= 1, "gap counts elements since the valid click");
+    let s = shards.max(1);
+    let n_s = per_shard_window(n, s) as u64;
+    let trials = g - 1;
+    if trials < n_s {
+        return 1.0; // fewer interveners than the shard window holds
+    }
+    if s == 1 {
+        return 0.0; // trials >= n_s with every element in-shard
+    }
+    let p = 1.0 / s as f64;
+    let q = 1.0 - p;
+    // Log-space recurrence (robust for huge windows, where the pmf of
+    // early terms underflows): ln P[X=0] = trials·ln q, then
+    // ln P[X=j] = ln P[X=j−1] + ln((trials−j+1)/j) + ln(p/q).
+    let ln_pq = (p / q).ln();
+    let mut ln_pmf = trials as f64 * q.ln();
+    let mut cdf = ln_pmf.exp();
+    let mode = trials as f64 * p;
+    for j in 1..n_s {
+        ln_pmf += ((trials - j + 1) as f64 / j as f64).ln() + ln_pq;
+        cdf += ln_pmf.exp();
+        if j as f64 > mode && ln_pmf < -745.0 {
+            break; // past the mode and below f64 resolution: converged
+        }
+    }
+    cdf.min(1.0)
+}
+
+/// Expected fraction of duplicates covered when duplicate gaps are
+/// uniform on `[1, max_gap]` (a simple attack model: the bot replays a
+/// click at a random point within `max_gap` elements).
+#[must_use]
+pub fn mean_coverage_uniform_gaps(n: usize, shards: usize, max_gap: u64) -> f64 {
+    assert!(max_gap >= 1, "need at least one gap");
+    let total: f64 = (1..=max_gap).map(|g| coverage_at_gap(n, shards, g)).sum();
+    total / max_gap as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_core::sharded::{per_shard_window as core_rule, ShardedDetector};
+    use cfd_core::{Tbf, TbfConfig};
+    use cfd_windows::{DuplicateDetector, Verdict};
+
+    #[test]
+    fn sizing_rule_matches_core() {
+        for (n, s) in [(4096, 4), (1000, 3), (10, 8), (7, 1)] {
+            assert_eq!(per_shard_window(n, s), core_rule(n, s));
+        }
+    }
+
+    #[test]
+    fn fp_rate_is_invariant_under_sharding() {
+        let unsharded = fp_sliding(1 << 16, 7, 1 << 12);
+        for s in [2, 4, 8] {
+            let sharded = fp_sliding_sharded(1 << 16, 7, 1 << 12, s);
+            let ratio = sharded / unsharded;
+            assert!(
+                (0.9..1.1).contains(&ratio),
+                "s={s}: sharded {sharded} vs {unsharded}"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_is_one_inside_shard_window_and_decays_past_n() {
+        let (n, s) = (1 << 12, 4);
+        let n_s = per_shard_window(n, s) as u64;
+        assert_eq!(coverage_at_gap(n, s, 1), 1.0);
+        assert_eq!(coverage_at_gap(n, s, n_s), 1.0);
+        // Around the nominal window edge, coverage is ~1/2.
+        let mid = coverage_at_gap(n, s, n as u64);
+        assert!((0.3..0.7).contains(&mid), "edge coverage {mid}");
+        // Far beyond the window, coverage vanishes.
+        assert!(coverage_at_gap(n, s, 4 * n as u64) < 1e-6);
+        // Monotone non-increasing in the gap.
+        let mut prev = 1.0;
+        for g in (1..=(3 * n as u64)).step_by(64) {
+            let c = coverage_at_gap(n, s, g);
+            assert!(c <= prev + 1e-12, "coverage rose at gap {g}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn single_shard_coverage_is_the_hard_window_edge() {
+        let n = 256;
+        let n_s = per_shard_window(n, 1) as u64;
+        assert_eq!(coverage_at_gap(n, 1, n_s), 1.0);
+        assert_eq!(coverage_at_gap(n, 1, n_s + 1), 0.0);
+    }
+
+    #[test]
+    fn mean_coverage_decreases_with_longer_attack_horizon() {
+        let (n, s) = (1 << 10, 4);
+        let short = mean_coverage_uniform_gaps(n, s, n as u64 / 2);
+        let long = mean_coverage_uniform_gaps(n, s, 4 * n as u64);
+        assert!(short > 0.99, "short-horizon coverage {short}");
+        assert!(long < short, "horizon did not degrade coverage");
+    }
+
+    /// The model vs the detector: measure empirical coverage of a
+    /// sharded TBF at several gaps and compare with `coverage_at_gap`.
+    /// The detector has zero false negatives *within shard windows*, so
+    /// the only losses at gap `g` are router-driven slide-outs — exactly
+    /// what the binomial model predicts.
+    #[test]
+    fn model_matches_sharded_detector_measurement() {
+        let (n, shards) = (512usize, 4usize);
+        let trials = 400u32;
+        for gap in [n as u64 / 2, n as u64, 2 * n as u64] {
+            let mut covered = 0u32;
+            for trial in 0..trials {
+                let mut d = ShardedDetector::from_fn(9, shards, |_| {
+                    let n_s = per_shard_window(n, shards);
+                    // Memory generous enough that FPs ~ never inflate
+                    // the covered count.
+                    Tbf::new(
+                        TbfConfig::builder(n_s)
+                            .entries(n_s * 20)
+                            .hash_count(10)
+                            .seed(u64::from(trial))
+                            .build()
+                            .expect("cfg"),
+                    )
+                })
+                .expect("sharded");
+                let probe = (u64::from(trial) << 32 | 0xD0B).to_le_bytes();
+                assert_eq!(d.observe(&probe), Verdict::Distinct);
+                // `gap - 1` intervening distinct fillers, disjoint from
+                // the probe keyspace.
+                for i in 0..gap - 1 {
+                    d.observe(&(u64::from(trial) << 20 | (i + 1) << 52).to_le_bytes());
+                }
+                if d.observe(&probe) == Verdict::Duplicate {
+                    covered += 1;
+                }
+            }
+            let measured = f64::from(covered) / f64::from(trials);
+            let predicted = coverage_at_gap(n, shards, gap);
+            // Binomial sampling noise at 400 trials: ~3σ ≈ 0.075.
+            assert!(
+                (measured - predicted).abs() < 0.08,
+                "gap {gap}: measured {measured}, predicted {predicted}"
+            );
+        }
+    }
+}

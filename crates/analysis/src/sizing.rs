@@ -28,12 +28,18 @@ pub struct Sizing {
 #[must_use]
 pub fn gbf_sizing(n: usize, q: usize, target_fp: f64) -> Sizing {
     assert!(q > 0, "q must be positive");
-    assert!((0.0..1.0).contains(&target_fp) && target_fp > 0.0, "bad target");
+    assert!(
+        (0.0..1.0).contains(&target_fp) && target_fp > 0.0,
+        "bad target"
+    );
     let n_sub = n.div_ceil(q);
-    let m = binary_search_m(|m| {
-        let k = optimal_k(m, n_sub);
-        gbf::fp_worst_case(m, k, n, q)
-    }, target_fp);
+    let m = binary_search_m(
+        |m| {
+            let k = optimal_k(m, n_sub);
+            gbf::fp_worst_case(m, k, n, q)
+        },
+        target_fp,
+    );
     let k = optimal_k(m, n_sub);
     Sizing {
         m,
@@ -52,11 +58,17 @@ pub fn gbf_sizing(n: usize, q: usize, target_fp: f64) -> Sizing {
 #[must_use]
 pub fn tbf_sizing(n: usize, target_fp: f64) -> Sizing {
     assert!(n >= 2, "window too small");
-    assert!((0.0..1.0).contains(&target_fp) && target_fp > 0.0, "bad target");
-    let m = binary_search_m(|m| {
-        let k = optimal_k(m, n);
-        tbf::fp_sliding(m, k, n)
-    }, target_fp);
+    assert!(
+        (0.0..1.0).contains(&target_fp) && target_fp > 0.0,
+        "bad target"
+    );
+    let m = binary_search_m(
+        |m| {
+            let k = optimal_k(m, n);
+            tbf::fp_sliding(m, k, n)
+        },
+        target_fp,
+    );
     let k = optimal_k(m, n);
     let entry_bits = 64 - (2 * n as u64 - 1).leading_zeros() as usize;
     Sizing {
@@ -77,11 +89,17 @@ pub fn tbf_sizing(n: usize, target_fp: f64) -> Sizing {
 #[must_use]
 pub fn counting_scheme_sizing(n: usize, q: usize, target_fp: f64) -> Sizing {
     assert!(q > 0, "q must be positive");
-    assert!((0.0..1.0).contains(&target_fp) && target_fp > 0.0, "bad target");
-    let m = binary_search_m(|m| {
-        let k = optimal_k(m, n);
-        counting_scheme::fp_same_m(m, k, n)
-    }, target_fp);
+    assert!(
+        (0.0..1.0).contains(&target_fp) && target_fp > 0.0,
+        "bad target"
+    );
+    let m = binary_search_m(
+        |m| {
+            let k = optimal_k(m, n);
+            counting_scheme::fp_same_m(m, k, n)
+        },
+        target_fp,
+    );
     let k = optimal_k(m, n);
     // Worst-case-safe counter widths as in §3.3: log(N/Q) per sub-window
     // counter (Q filters) + log(N) for the main filter.

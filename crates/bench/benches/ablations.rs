@@ -88,7 +88,12 @@ fn tbf_c_sweep(c: &mut Criterion) {
     let ks = keys(N, 8);
     let mut group = c.benchmark_group("tbf_c");
     group.throughput(Throughput::Elements(1)); // one observe per iteration
-    for (label, c_ext) in [("N/16", N / 16), ("N/4", N / 4), ("N-1", N - 1), ("4N", 4 * N)] {
+    for (label, c_ext) in [
+        ("N/16", N / 16),
+        ("N/4", N / 4),
+        ("N-1", N - 1),
+        ("4N", 4 * N),
+    ] {
         let mut tbf = Tbf::new(
             TbfConfig::builder(N)
                 .entries(N * 14 / 12)

@@ -31,7 +31,10 @@ fn main() {
     let m_paper = 1usize << 20;
     println!("# Figure 1 — FP rate vs window size N (analytic, paper sizes)");
     println!("# Q = {Q}, m = 2^20 bits per filter, k = {K}");
-    println!("{:>9} {:>16} {:>16} {:>12}", "log2(N)", "metwally[21]", "gbf", "ratio");
+    println!(
+        "{:>9} {:>16} {:>16} {:>12}",
+        "log2(N)", "metwally[21]", "gbf", "ratio"
+    );
     for log_n in 15..=20u32 {
         let n = 1usize << log_n;
         let prev = cfd_analysis::counting_scheme::fp_same_m(m_paper, K, n);
@@ -52,8 +55,14 @@ fn main() {
     };
     let m_sim = m_paper / shrink;
     println!();
-    println!("# empirical overlay at 1/{shrink} of the paper sizes ({})", scale.label());
-    println!("{:>9} {:>16} {:>16}", "log2(N)", "metwally-meas", "gbf-meas");
+    println!(
+        "# empirical overlay at 1/{shrink} of the paper sizes ({})",
+        scale.label()
+    );
+    println!(
+        "{:>9} {:>16} {:>16}",
+        "log2(N)", "metwally-meas", "gbf-meas"
+    );
     for log_n in 15..=20u32 {
         let n = (1usize << log_n) / shrink;
         let mut prev = MetwallyJumping::new(MetwallyConfig {
@@ -76,9 +85,7 @@ fn main() {
 
         println!(
             "{:>9} {:>16.6e} {:>16.6e}",
-            log_n,
-            prev_meas.rate.estimate,
-            gbf_meas.rate.estimate
+            log_n, prev_meas.rate.estimate, gbf_meas.rate.estimate
         );
     }
     println!("# shape check: the [21] scheme's FP rises steeply with N; GBF stays");

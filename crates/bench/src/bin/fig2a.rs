@@ -19,9 +19,15 @@ fn main() {
     let q = 8usize;
     let m = scale.scaled(1_876_246);
 
-    println!("# Figure 2(a) — GBF over jumping windows, {}", scale.label());
+    println!(
+        "# Figure 2(a) — GBF over jumping windows, {}",
+        scale.label()
+    );
     println!("# N = {n}, Q = {q}, m = {m} bits/filter");
-    println!("{:>3} {:>14} {:>14} {:>14} {:>14} {:>10}", "k", "theory", "measured", "ci-lo", "ci-hi", "fp-count");
+    println!(
+        "{:>3} {:>14} {:>14} {:>14} {:>14} {:>10}",
+        "k", "theory", "measured", "ci-lo", "ci-hi", "fp-count"
+    );
 
     for k in 1..=14usize {
         let cfg = GbfConfig::builder(n, q)

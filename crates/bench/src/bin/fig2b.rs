@@ -16,9 +16,15 @@ fn main() {
     let n = scale.n();
     let m = scale.scaled(15_112_980);
 
-    println!("# Figure 2(b) — TBF over sliding windows, {}", scale.label());
+    println!(
+        "# Figure 2(b) — TBF over sliding windows, {}",
+        scale.label()
+    );
     println!("# N = {n}, m = {m} entries, C = N-1");
-    println!("{:>3} {:>14} {:>14} {:>14} {:>14} {:>10}", "k", "theory", "measured", "ci-lo", "ci-hi", "fp-count");
+    println!(
+        "{:>3} {:>14} {:>14} {:>14} {:>14} {:>10}",
+        "k", "theory", "measured", "ci-lo", "ci-hi", "fp-count"
+    );
 
     for k in 1..=14usize {
         let cfg = TbfConfig::builder(n)

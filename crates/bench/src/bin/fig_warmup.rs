@@ -45,7 +45,10 @@ fn main() {
 
     let bucket = n / 2;
     let buckets = 24usize;
-    println!("# Warm-up transient, {} (N = {n}, buckets of N/2 clicks)", scale.label());
+    println!(
+        "# Warm-up transient, {} (N = {n}, buckets of N/2 clicks)",
+        scale.label()
+    );
     println!(
         "# theory steady state: gbf {:.3e}, tbf {:.3e}",
         cfd_analysis::gbf::fp_steady(gbf_m, k, n, q),

@@ -75,8 +75,13 @@ fn main() {
     let mut with_gbf = build_network(gbf);
     reports.push(with_gbf.run(clicks.iter()));
 
-    let tbf = Tbf::new(TbfConfig::builder(window).entries(window * 14).build().expect("cfg"))
-        .expect("detector");
+    let tbf = Tbf::new(
+        TbfConfig::builder(window)
+            .entries(window * 14)
+            .build()
+            .expect("cfg"),
+    )
+    .expect("detector");
     let mut with_tbf = build_network(tbf);
     reports.push(with_tbf.run(clicks.iter()));
 

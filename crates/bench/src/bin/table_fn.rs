@@ -90,15 +90,11 @@ fn main() {
     let clicks = 40 * n;
 
     // Two adversarial streams.
-    let injected: Vec<Vec<u8>> = DuplicateInjector::new(
-        UniqueClickStream::new(5, 8, 64),
-        0.35,
-        n,
-        7,
-    )
-    .take(clicks)
-    .map(|c| c.key().to_vec())
-    .collect();
+    let injected: Vec<Vec<u8>> =
+        DuplicateInjector::new(UniqueClickStream::new(5, 8, 64), 0.35, n, 7)
+            .take(clicks)
+            .map(|c| c.key().to_vec())
+            .collect();
     let botnet: Vec<Vec<u8>> = BotnetStream::new(
         BotnetConfig {
             bots: 256,
@@ -112,7 +108,11 @@ fn main() {
     .map(|c| c.click.key().to_vec())
     .collect();
 
-    println!("# Table T2 — zero-false-negative verification, {} (N = {n}, {} clicks/stream)", scale.label(), clicks);
+    println!(
+        "# Table T2 — zero-false-negative verification, {} (N = {n}, {} clicks/stream)",
+        scale.label(),
+        clicks
+    );
     println!(
         "{:<22} {:<10} {:>12} {:>12}",
         "detector", "stream", "duplicates", "false-neg"
@@ -121,7 +121,11 @@ fn main() {
     for (stream_name, keys) in [("injected", &injected), ("botnet", &botnet)] {
         // Memory-starved configurations on purpose: FP pressure maximal.
         let mut tbf = Tbf::new(
-            TbfConfig::builder(n).entries(n * 2).hash_count(4).build().expect("cfg"),
+            TbfConfig::builder(n)
+                .entries(n * 2)
+                .hash_count(4)
+                .build()
+                .expect("cfg"),
         )
         .expect("detector");
         let (fns, dups) = run_check(&mut tbf, keys, n, None);
@@ -140,12 +144,13 @@ fn main() {
         println!("{:<22} {:<10} {:>12} {:>12}", "gbf", stream_name, dups, fns);
         assert_eq!(fns, 0, "GBF false negative!");
 
-        let mut jtbf = JumpingTbf::new(
-            JumpingTbfConfig::new(n, 64, n * 2, 4, 3).expect("cfg"),
-        )
-        .expect("detector");
+        let mut jtbf = JumpingTbf::new(JumpingTbfConfig::new(n, 64, n * 2, 4, 3).expect("cfg"))
+            .expect("detector");
         let (fns, dups) = run_check(&mut jtbf, keys, n, Some(64));
-        println!("{:<22} {:<10} {:>12} {:>12}", "jumping-tbf", stream_name, dups, fns);
+        println!(
+            "{:<22} {:<10} {:>12} {:>12}",
+            "jumping-tbf", stream_name, dups, fns
+        );
         assert_eq!(fns, 0, "jumping-TBF false negative!");
 
         let mut stable = StableBloomFilter::new(StableConfig {
@@ -157,7 +162,10 @@ fn main() {
             seed: 1,
         });
         let (fns, dups) = run_check(&mut stable, keys, n, None);
-        println!("{:<22} {:<10} {:>12} {:>12}", "stable-bloom[10]", stream_name, dups, fns);
+        println!(
+            "{:<22} {:<10} {:>12} {:>12}",
+            "stable-bloom[10]", stream_name, dups, fns
+        );
         println!();
     }
     println!("# shape check: GBF/TBF columns are exactly 0 (Theorems 1.1, 2.1);");

@@ -92,11 +92,31 @@ fn main() {
 
         let mut naive = NaiveJumpingBloom::new(n, q, m, 10, 1);
         let t = throughput(&mut naive, count, 2);
-        row("naive-separate", &q.to_string(), t, None, None, naive.memory_bits());
+        row(
+            "naive-separate",
+            &q.to_string(),
+            t,
+            None,
+            None,
+            naive.memory_bits(),
+        );
 
-        let mut met = MetwallyJumping::new(MetwallyConfig { n, q, m, k: 10, seed: 1 });
+        let mut met = MetwallyJumping::new(MetwallyConfig {
+            n,
+            q,
+            m,
+            k: 10,
+            seed: 1,
+        });
         let t = throughput(&mut met, count, 3);
-        row("metwally[21]", &q.to_string(), t, None, None, met.memory_bits());
+        row(
+            "metwally[21]",
+            &q.to_string(),
+            t,
+            None,
+            None,
+            met.memory_bits(),
+        );
 
         let mut jtbf = JumpingTbf::new(
             JumpingTbfConfig::new(n, q, n * bits_per_elem / 12, 10, 1).expect("cfg"),
@@ -123,8 +143,7 @@ fn main() {
     )
     .expect("detector");
     let t = throughput(&mut tbf, count, 5);
-    let tbf_pred =
-        cfd_analysis::cost::tbf_cost(tbf.config().m, 10, tbf.config().c).total(1.0);
+    let tbf_pred = cfd_analysis::cost::tbf_cost(tbf.config().m, 10, tbf.config().c).total(1.0);
     row(
         "tbf (sliding)",
         "-",

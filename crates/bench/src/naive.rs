@@ -120,7 +120,10 @@ impl DuplicateDetector for NaiveJumpingBloom {
     }
 
     fn window(&self) -> WindowSpec {
-        WindowSpec::Jumping { n: self.n, q: self.q }
+        WindowSpec::Jumping {
+            n: self.n,
+            q: self.q,
+        }
     }
 
     fn memory_bits(&self) -> usize {

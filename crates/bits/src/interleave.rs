@@ -174,7 +174,10 @@ impl InterleavedBitMatrix {
         assert!(group < self.groups, "group {group} out of range");
         assert_eq!(acc.len(), self.lane_words, "accumulator width mismatch");
         let base = self.base(group);
-        for (a, w) in acc.iter_mut().zip(&self.words[base..base + self.lane_words]) {
+        for (a, w) in acc
+            .iter_mut()
+            .zip(&self.words[base..base + self.lane_words])
+        {
             *a &= w;
         }
     }

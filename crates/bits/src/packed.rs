@@ -110,6 +110,22 @@ impl PackedIntVec {
         val & self.max
     }
 
+    /// Hints the CPU to pull entry `i`'s cache line early; a no-op when
+    /// the index is out of range.
+    ///
+    /// Batch frontends that know their probe indices ahead of time (see
+    /// `Tbf::observe_batch`) issue this a few elements early so the
+    /// random reads of [`PackedIntVec::get`] land in cache. Implemented
+    /// as a discarded `black_box` read (not an intrinsic) so the crate
+    /// stays `forbid(unsafe_code)`: the load still starts the cache fill
+    /// and overlaps with younger out-of-order work.
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        if i < self.len {
+            std::hint::black_box(self.words[i * self.bits as usize / WORD_BITS]);
+        }
+    }
+
     /// Writes entry `i`.
     ///
     /// # Panics

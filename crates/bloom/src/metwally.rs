@@ -112,7 +112,10 @@ impl DuplicateDetector for MetwallyJumping {
         };
         if let Some(rot) = self.clock.record_arrival() {
             if rot.expired_slot.is_some() {
-                let eldest = self.subs.pop_front().expect("window full implies q filters");
+                let eldest = self
+                    .subs
+                    .pop_front()
+                    .expect("window full implies q filters");
                 self.main.sub_assign(&eldest);
                 self.expire_cost += self.cfg.m as u64;
             }
@@ -134,7 +137,10 @@ impl DuplicateDetector for MetwallyJumping {
     }
 
     fn memory_bits(&self) -> usize {
-        self.subs.iter().map(CountingBloomFilter::memory_bits).sum::<usize>()
+        self.subs
+            .iter()
+            .map(CountingBloomFilter::memory_bits)
+            .sum::<usize>()
             + self.main.memory_bits()
     }
 
@@ -152,7 +158,13 @@ mod tests {
     use super::*;
 
     fn cfg(n: usize, q: usize, m: usize, k: usize) -> MetwallyConfig {
-        MetwallyConfig { n, q, m, k, seed: 7 }
+        MetwallyConfig {
+            n,
+            q,
+            m,
+            k,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -172,8 +184,8 @@ mod tests {
         assert_eq!(d.observe(b"b"), Verdict::Distinct); // sub 0 done
         assert_eq!(d.observe(b"c"), Verdict::Distinct); // sub 1
         assert_eq!(d.observe(b"d"), Verdict::Distinct); // sub 1 done; sub 0 expires
-        // a belonged to the expired sub-window: valid again (no FP with
-        // this sparse filter).
+                                                        // a belonged to the expired sub-window: valid again (no FP with
+                                                        // this sparse filter).
         assert_eq!(d.observe(b"a"), Verdict::Distinct);
         assert!(d.expire_cost_counters() >= (1 << 12));
     }

@@ -165,7 +165,10 @@ mod tests {
             let m = bits_for_fp(n, target);
             let k = optimal_k(m, n);
             let achieved = fp_rate(m, k, n);
-            assert!(achieved <= target * 1.1, "target={target} achieved={achieved}");
+            assert!(
+                achieved <= target * 1.1,
+                "target={target} achieved={achieved}"
+            );
         }
     }
 

@@ -56,7 +56,10 @@ impl StableBloomFilter {
     pub fn new(cfg: StableConfig) -> Self {
         assert!(cfg.m > 0, "cell count must be positive");
         assert!((1..=64).contains(&cfg.k), "k must be 1..=64");
-        assert!((1..=64).contains(&cfg.cell_bits), "cell width must be 1..=64");
+        assert!(
+            (1..=64).contains(&cfg.cell_bits),
+            "cell width must be 1..=64"
+        );
         assert!(cfg.p >= 1 && cfg.p <= cfg.m, "P must be in 1..=m");
         assert!(cfg.nominal_window > 0, "nominal window must be positive");
         Self {
@@ -222,6 +225,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "P must be")]
     fn oversized_p_panics() {
-        let _ = StableBloomFilter::new(StableConfig { p: 1 << 20, ..cfg() });
+        let _ = StableBloomFilter::new(StableConfig {
+            p: 1 << 20,
+            ..cfg()
+        });
     }
 }

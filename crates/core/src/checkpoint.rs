@@ -20,13 +20,20 @@
 
 use crate::config::{GbfConfig, GbfLayout, TbfConfig};
 use crate::gbf::Gbf;
+use crate::sharded::ShardedDetector;
 use crate::tbf::Tbf;
+use cfd_windows::DuplicateDetector;
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"CFDS";
 const VERSION: u16 = 1;
 const KIND_TBF: u8 = 1;
 const KIND_GBF: u8 = 2;
+const KIND_SHARDED: u8 = 3;
+
+/// Upper bound on the shard count accepted when restoring a sharded
+/// checkpoint; rejects absurd headers before any allocation.
+const MAX_SHARDS: usize = 1 << 16;
 
 /// Error restoring a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,6 +94,10 @@ impl Writer {
             self.u64(w);
         }
     }
+    fn bytes(&mut self, bs: &[u8]) {
+        self.usize(bs.len());
+        self.0.extend_from_slice(bs);
+    }
 }
 
 /// A minimal little-endian reader.
@@ -135,6 +146,15 @@ impl<'a> Reader<'a> {
             return Err(CheckpointError::Corrupt("word count beyond buffer"));
         }
         (0..len).map(|_| self.u64()).collect()
+    }
+    fn bytes(&mut self) -> Result<&'a [u8], CheckpointError> {
+        let len = self.usize()?;
+        if len > self.0.len() {
+            return Err(CheckpointError::Corrupt("byte count beyond buffer"));
+        }
+        let (head, rest) = self.0.split_at(len);
+        self.0 = rest;
+        Ok(head)
     }
     fn finish(self) -> Result<(), CheckpointError> {
         if self.0.is_empty() {
@@ -260,6 +280,72 @@ impl Gbf {
     }
 }
 
+/// Detectors whose complete state round-trips through the `CFDS` binary
+/// format.
+///
+/// Implemented by [`Tbf`] and [`Gbf`] (delegating to their inherent
+/// methods) and generically by [`ShardedDetector`] over any
+/// checkpointable shard type, so a sharded gateway restarts with
+/// identical future verdicts just like a single-detector one.
+pub trait CheckpointState: Sized {
+    /// Serializes the complete detector state.
+    fn checkpoint(&self) -> Vec<u8>;
+
+    /// Restores a detector from a [`CheckpointState::checkpoint`] buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on malformed input.
+    fn restore(buf: &[u8]) -> Result<Self, CheckpointError>;
+}
+
+impl CheckpointState for Tbf {
+    fn checkpoint(&self) -> Vec<u8> {
+        Tbf::checkpoint(self)
+    }
+    fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        Tbf::restore(buf)
+    }
+}
+
+impl CheckpointState for Gbf {
+    fn checkpoint(&self) -> Vec<u8> {
+        Gbf::checkpoint(self)
+    }
+    fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        Gbf::restore(buf)
+    }
+}
+
+impl<D: CheckpointState + DuplicateDetector> CheckpointState for ShardedDetector<D> {
+    /// Format: header (kind 3) | router seed | shard count |
+    /// length-prefixed per-shard `CFDS` blobs, in router order.
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_SHARDED);
+        w.u64(self.router_seed());
+        w.usize(self.shard_count());
+        for shard in self.shards() {
+            w.bytes(&shard.checkpoint());
+        }
+        w.0
+    }
+
+    fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::open(buf, KIND_SHARDED)?;
+        let router_seed = r.u64()?;
+        let count = r.usize()?;
+        if count == 0 || count > MAX_SHARDS {
+            return Err(CheckpointError::Corrupt("shard count out of range"));
+        }
+        let shards = (0..count)
+            .map(|_| D::restore(r.bytes()?))
+            .collect::<Result<Vec<_>, _>>()?;
+        r.finish()?;
+        ShardedDetector::new(router_seed, shards)
+            .map_err(|_| CheckpointError::Corrupt("inconsistent sharded state"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,10 +428,16 @@ mod tests {
 
     #[test]
     fn rejects_malformed_buffers() {
-        assert!(matches!(Tbf::restore(b"nope"), Err(CheckpointError::BadMagic)));
+        assert!(matches!(
+            Tbf::restore(b"nope"),
+            Err(CheckpointError::BadMagic)
+        ));
         let mut buf = tbf().checkpoint();
         buf[4] = 0xFF;
-        assert!(matches!(Tbf::restore(&buf), Err(CheckpointError::BadVersion(_))));
+        assert!(matches!(
+            Tbf::restore(&buf),
+            Err(CheckpointError::BadVersion(_))
+        ));
         let buf = tbf().checkpoint();
         assert!(matches!(
             Gbf::restore(&buf),
@@ -353,17 +445,118 @@ mod tests {
         ));
         let mut buf = tbf().checkpoint();
         buf.truncate(buf.len() - 3);
-        assert!(matches!(Tbf::restore(&buf), Err(CheckpointError::Corrupt(_))));
+        assert!(matches!(
+            Tbf::restore(&buf),
+            Err(CheckpointError::Corrupt(_))
+        ));
         let mut buf = tbf().checkpoint();
         buf.push(0);
-        assert!(matches!(Tbf::restore(&buf), Err(CheckpointError::Corrupt(_))));
+        assert!(matches!(
+            Tbf::restore(&buf),
+            Err(CheckpointError::Corrupt(_))
+        ));
     }
 
     #[test]
     fn errors_display() {
         assert!(CheckpointError::BadMagic.to_string().contains("CFDS"));
-        assert!(CheckpointError::WrongKind { found: 2, expected: 1 }
-            .to_string()
-            .contains('2'));
+        assert!(CheckpointError::WrongKind {
+            found: 2,
+            expected: 1
+        }
+        .to_string()
+        .contains('2'));
+    }
+
+    fn sharded_tbf() -> ShardedDetector<Tbf> {
+        ShardedDetector::from_fn(17, 4, |_| {
+            Tbf::new(
+                TbfConfig::builder(128)
+                    .entries(2_048)
+                    .hash_count(5)
+                    .seed(7)
+                    .build()
+                    .expect("cfg"),
+            )
+        })
+        .expect("sharded")
+    }
+
+    #[test]
+    fn sharded_roundtrip_preserves_every_future_verdict() {
+        let mut original = sharded_tbf();
+        for i in 0..5_000u64 {
+            original.observe(&(i % 700).to_le_bytes());
+        }
+        let buf = CheckpointState::checkpoint(&original);
+        let mut restored =
+            <ShardedDetector<Tbf> as CheckpointState>::restore(&buf).expect("valid checkpoint");
+        assert_eq!(restored.shard_count(), 4);
+        for i in 5_000..15_000u64 {
+            let key = (i % 700).to_le_bytes();
+            assert_eq!(original.observe(&key), restored.observe(&key), "i={i}");
+        }
+    }
+
+    #[test]
+    fn sharded_gbf_roundtrip() {
+        let mut original: ShardedDetector<Gbf> = ShardedDetector::from_fn(3, 2, |_| {
+            Gbf::new(
+                GbfConfig::builder(256, 8)
+                    .filter_bits(1_024)
+                    .hash_count(5)
+                    .seed(9)
+                    .build()
+                    .expect("cfg"),
+            )
+        })
+        .expect("sharded");
+        for i in 0..2_000u64 {
+            original.observe(&(i % 300).to_le_bytes());
+        }
+        let buf = CheckpointState::checkpoint(&original);
+        let mut restored =
+            <ShardedDetector<Gbf> as CheckpointState>::restore(&buf).expect("valid checkpoint");
+        for i in 2_000..6_000u64 {
+            let key = (i % 300).to_le_bytes();
+            assert_eq!(original.observe(&key), restored.observe(&key), "i={i}");
+        }
+    }
+
+    #[test]
+    fn sharded_rejects_malformed_buffers() {
+        type Sharded = ShardedDetector<Tbf>;
+        assert!(matches!(
+            <Sharded as CheckpointState>::restore(b"junk"),
+            Err(CheckpointError::BadMagic)
+        ));
+        // A plain TBF checkpoint is the wrong kind.
+        assert!(matches!(
+            <Sharded as CheckpointState>::restore(&tbf().checkpoint()),
+            Err(CheckpointError::WrongKind {
+                found: 1,
+                expected: 3
+            })
+        ));
+        let full = CheckpointState::checkpoint(&sharded_tbf());
+        // Every truncation must fail cleanly, never panic or OOM.
+        for cut in (0..full.len()).step_by(97) {
+            assert!(
+                <Sharded as CheckpointState>::restore(&full[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut extended = full.clone();
+        extended.extend_from_slice(&[0xAB; 9]);
+        assert!(<Sharded as CheckpointState>::restore(&extended).is_err());
+        // An absurd shard count in the header is rejected before any
+        // allocation (offset 7 header + 8 seed = count field at 15).
+        let mut bad_count = full;
+        bad_count[15..23].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            <Sharded as CheckpointState>::restore(&bad_count),
+            Err(CheckpointError::Corrupt(_))
+        ));
     }
 }

@@ -142,7 +142,10 @@ impl GbfConfig {
             return Err(ConfigError::ZeroDimension("sub-window count q"));
         }
         if self.q > self.n {
-            return Err(ConfigError::TooManySubWindows { q: self.q, n: self.n });
+            return Err(ConfigError::TooManySubWindows {
+                q: self.q,
+                n: self.n,
+            });
         }
         if self.m == 0 {
             return Err(ConfigError::ZeroDimension("filter size m"));
@@ -231,10 +234,12 @@ impl GbfConfigBuilder {
             }
             (None, None) => return Err(ConfigError::ZeroDimension("memory (m or total)")),
         };
-        let sub = if self.q > 0 { self.n.div_ceil(self.q).max(1) } else { 1 };
-        let k = self
-            .k
-            .unwrap_or_else(|| cfd_bloom_optimal_k(m, sub));
+        let sub = if self.q > 0 {
+            self.n.div_ceil(self.q).max(1)
+        } else {
+            1
+        };
+        let k = self.k.unwrap_or_else(|| cfd_bloom_optimal_k(m, sub));
         let cfg = GbfConfig {
             n: self.n,
             q: self.q,
@@ -447,7 +452,10 @@ mod tests {
 
     #[test]
     fn gbf_clean_quota_covers_filter_within_subwindow() {
-        let cfg = GbfConfig::builder(1000, 10).filter_bits(12_345).build().unwrap();
+        let cfg = GbfConfig::builder(1000, 10)
+            .filter_bits(12_345)
+            .build()
+            .unwrap();
         assert!(cfg.clean_quota() * cfg.sub_len() >= cfg.m);
     }
 
@@ -462,7 +470,10 @@ mod tests {
             Err(ConfigError::TooManySubWindows { .. })
         ));
         assert!(matches!(
-            GbfConfig::builder(10, 2).filter_bits(10).hash_count(0).build(),
+            GbfConfig::builder(10, 2)
+                .filter_bits(10)
+                .hash_count(0)
+                .build(),
             Err(ConfigError::BadHashCount(0))
         ));
         assert!(matches!(
@@ -474,7 +485,10 @@ mod tests {
 
     #[test]
     fn tbf_default_c_and_entry_bits() {
-        let cfg = TbfConfig::builder(1 << 20).entries(15_112_980).build().unwrap();
+        let cfg = TbfConfig::builder(1 << 20)
+            .entries(15_112_980)
+            .build()
+            .unwrap();
         assert_eq!(cfg.c, (1 << 20) - 1);
         // N + C = 2^21 - 1; need 21 bits for timestamps + all-ones free.
         assert_eq!(cfg.entry_bits(), 21);
@@ -494,7 +508,10 @@ mod tests {
     #[test]
     fn tbf_total_memory_derives_entry_count() {
         let n = 1 << 16;
-        let cfg = TbfConfig::builder(n).total_memory_bits(n * 2 * 17).build().unwrap();
+        let cfg = TbfConfig::builder(n)
+            .total_memory_bits(n * 2 * 17)
+            .build()
+            .unwrap();
         // entry_bits = ceil(log2(2N)) = 17 for N = 2^16 with C = N-1.
         assert_eq!(cfg.entry_bits(), 17);
         assert_eq!(cfg.m, n * 2);
@@ -516,7 +533,10 @@ mod tests {
     fn errors_display_reasonably() {
         let e = ConfigError::TooManySubWindows { q: 9, n: 4 };
         assert!(e.to_string().contains("9"));
-        let e = ConfigError::MemoryTooSmall { provided: 1, required: 17 };
+        let e = ConfigError::MemoryTooSmall {
+            provided: 1,
+            required: 17,
+        };
         assert!(e.to_string().contains("17"));
     }
 }

@@ -22,7 +22,7 @@
 use crate::config::{ConfigError, GbfConfig, GbfLayout};
 use crate::ops::OpCounters;
 use cfd_bits::{InterleavedBitMatrix, TightBitMatrix};
-use cfd_hash::{DoubleHashFamily, HashFamily};
+use cfd_hash::{DoubleHashFamily, HashFamily, Planner, ProbePlan};
 use cfd_windows::{DuplicateDetector, JumpingClock, Verdict, WindowSpec};
 
 /// Dynamic GBF state captured by a checkpoint.
@@ -244,16 +244,17 @@ impl Gbf {
         d.active_mask = active_mask;
         d.spare = spare;
         d.clean_next = clean_next;
-        d.matrix = match cfg.layout {
-            GbfLayout::Padded => GroupMatrix::Padded(
-                cfd_bits::InterleavedBitMatrix::from_words(matrix_words, cfg.m, cfg.q + 1)?,
-            ),
-            GbfLayout::Tight => GroupMatrix::Tight(cfd_bits::TightBitMatrix::from_words(
-                matrix_words,
-                cfg.m,
-                cfg.q + 1,
-            )?),
-        };
+        d.matrix =
+            match cfg.layout {
+                GbfLayout::Padded => GroupMatrix::Padded(
+                    cfd_bits::InterleavedBitMatrix::from_words(matrix_words, cfg.m, cfg.q + 1)?,
+                ),
+                GbfLayout::Tight => GroupMatrix::Tight(cfd_bits::TightBitMatrix::from_words(
+                    matrix_words,
+                    cfg.m,
+                    cfg.q + 1,
+                )?),
+            };
         Some(d)
     }
 
@@ -288,26 +289,48 @@ impl Gbf {
         if let Some(spare) = self.spare {
             let remaining = self.cfg.m - self.clean_next;
             if remaining > 0 {
-                let touched = self.matrix.clear_lane_range(spare, self.clean_next, remaining);
+                let touched = self
+                    .matrix
+                    .clear_lane_range(spare, self.clean_next, remaining);
                 self.ops.clean_writes += touched as u64;
             }
             self.spare = None;
             self.clean_next = 0;
         }
     }
-}
 
-impl DuplicateDetector for Gbf {
-    fn observe(&mut self, id: &[u8]) -> Verdict {
+    /// The pure hashing half of this detector, shareable across threads.
+    ///
+    /// Plans it produces are valid for any GBF/TBF built with the same
+    /// seed.
+    #[must_use]
+    pub fn planner(&self) -> Planner {
+        Planner::from_family(self.family)
+    }
+
+    /// Hashes `id` into a replayable [`ProbePlan`] (pure; no state touched).
+    #[inline]
+    #[must_use]
+    pub fn plan(&self, id: &[u8]) -> ProbePlan {
+        ProbePlan::from_pair(self.family.pair(id))
+    }
+
+    /// The stateful half of an observation: clean, probe all active
+    /// sub-windows, insert when distinct, rotate sub-windows.
+    ///
+    /// `observe(id)` ≡ `apply(plan(id))`; the split lets callers hash
+    /// batches (or hash on another thread) before replaying here. The
+    /// one hash evaluation is accounted to this element regardless of
+    /// where it was computed, keeping Theorem 1's per-element op counts.
+    pub fn apply(&mut self, plan: ProbePlan) -> Verdict {
         self.ops.elements += 1;
+        self.ops.hash_evals += 1;
 
         // Step 1 (§3.1): incremental cleaning of the expired filter.
         self.clean_step();
 
         // Step 2: probe all active sub-window filters with one AND-chain.
-        let pair = self.family.pair(id);
-        self.ops.hash_evals += 1;
-        cfd_hash::indices::fill_indices(pair, self.cfg.m, &mut self.probe_buf);
+        plan.fill(self.cfg.m, &mut self.probe_buf);
         let duplicate = match &self.matrix {
             GroupMatrix::Padded(mx) => {
                 self.acc.copy_from_slice(&self.active_mask);
@@ -350,6 +373,20 @@ impl DuplicateDetector for Gbf {
             }
         }
         verdict
+    }
+}
+
+impl DuplicateDetector for Gbf {
+    fn observe(&mut self, id: &[u8]) -> Verdict {
+        let plan = self.plan(id);
+        self.apply(plan)
+    }
+
+    fn observe_batch(&mut self, ids: &[&[u8]]) -> Vec<Verdict> {
+        // Hash the whole batch first (pure), then replay plans against
+        // filter state back-to-back: same verdicts, better locality.
+        let plans: Vec<ProbePlan> = ids.iter().map(|id| self.plan(id)).collect();
+        plans.into_iter().map(|p| self.apply(p)).collect()
     }
 
     fn window(&self) -> WindowSpec {
@@ -417,7 +454,11 @@ mod tests {
             // Fill four full sub-windows: sub-window 0 expires.
             d.observe(&(i + 1000).to_le_bytes());
         }
-        assert_eq!(d.observe(b"old"), Verdict::Distinct, "remembered beyond window");
+        assert_eq!(
+            d.observe(b"old"),
+            Verdict::Distinct,
+            "remembered beyond window"
+        );
     }
 
     #[test]
@@ -534,7 +575,12 @@ mod tests {
         use crate::config::GbfLayout;
         let (n, q, m, k) = (2_048usize, 8usize, 10_000usize, 6usize);
         let mut padded = Gbf::new(
-            GbfConfig::builder(n, q).filter_bits(m).hash_count(k).seed(9).build().unwrap(),
+            GbfConfig::builder(n, q)
+                .filter_bits(m)
+                .hash_count(k)
+                .seed(9)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let mut tight = Gbf::new(
@@ -557,7 +603,7 @@ mod tests {
 
     #[test]
     fn tight_layout_rejects_wide_q() {
-        use crate::config::{GbfLayout};
+        use crate::config::GbfLayout;
         let err = GbfConfig::builder(1 << 12, 32)
             .filter_bits(1 << 10)
             .layout(GbfLayout::Tight)

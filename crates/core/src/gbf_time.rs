@@ -15,7 +15,7 @@
 use crate::config::ConfigError;
 use crate::ops::OpCounters;
 use cfd_bits::InterleavedBitMatrix;
-use cfd_hash::{DoubleHashFamily, HashFamily};
+use cfd_hash::{DoubleHashFamily, HashFamily, Planner, ProbePlan};
 use cfd_windows::time::UnitClock;
 use cfd_windows::{TimedDuplicateDetector, Verdict, WindowSpec};
 
@@ -201,7 +201,9 @@ impl TimeGbf {
         if let Some(spare) = self.spare {
             let remaining = self.cfg.m - self.clean_next;
             if remaining > 0 {
-                let touched = self.matrix.clear_lane_range(spare, self.clean_next, remaining);
+                let touched = self
+                    .matrix
+                    .clear_lane_range(spare, self.clean_next, remaining);
                 self.ops.clean_writes += touched as u64;
             }
             self.spare = None;
@@ -247,8 +249,8 @@ impl TimeGbf {
             self.clean_next = 0;
             // Keep the rotation phase consistent with absolute units.
             let rotations = unit / self.cfg.sub_units - last / self.cfg.sub_units;
-            self.slot = (self.slot + (rotations % (self.cfg.q as u64 + 1)) as usize)
-                % (self.cfg.q + 1);
+            self.slot =
+                (self.slot + (rotations % (self.cfg.q as u64 + 1)) as usize) % (self.cfg.q + 1);
             self.completed += rotations;
             self.active_mask.iter_mut().for_each(|w| *w = 0);
             Self::mask_set(&mut self.active_mask, self.slot);
@@ -265,13 +267,29 @@ impl TimeGbf {
     }
 }
 
-impl TimedDuplicateDetector for TimeGbf {
-    fn observe_at(&mut self, id: &[u8], tick: u64) -> Verdict {
+impl TimeGbf {
+    /// The pure hashing half of this detector, shareable across threads.
+    #[must_use]
+    pub fn planner(&self) -> Planner {
+        Planner::new(self.cfg.seed)
+    }
+
+    /// Hashes `id` into a replayable [`ProbePlan`] (pure; no state touched).
+    #[inline]
+    #[must_use]
+    pub fn plan(&self, id: &[u8]) -> ProbePlan {
+        ProbePlan::from_pair(DoubleHashFamily::new(self.cfg.seed).pair(id))
+    }
+
+    /// The stateful half of a timed observation; `observe_at(id, tick)` ≡
+    /// `apply_at(plan(id), tick)`. The hash evaluation is accounted to
+    /// this element regardless of where it was computed.
+    pub fn apply_at(&mut self, plan: ProbePlan, tick: u64) -> Verdict {
         self.ops.elements += 1;
+        self.ops.hash_evals += 1;
         self.advance_to(self.units.unit_of(tick));
 
-        let pair = self.family_pair(id);
-        cfd_hash::indices::fill_indices(pair, self.cfg.m, &mut self.probe_buf);
+        plan.fill(self.cfg.m, &mut self.probe_buf);
         self.acc.copy_from_slice(&self.active_mask);
         for &g in &self.probe_buf {
             self.matrix.and_group_into(g, &mut self.acc);
@@ -288,6 +306,13 @@ impl TimedDuplicateDetector for TimeGbf {
             self.ops.insert_writes += self.probe_buf.len() as u64;
             Verdict::Distinct
         }
+    }
+}
+
+impl TimedDuplicateDetector for TimeGbf {
+    fn observe_at(&mut self, id: &[u8], tick: u64) -> Verdict {
+        let plan = self.plan(id);
+        self.apply_at(plan, tick)
     }
 
     fn window(&self) -> WindowSpec {
@@ -307,14 +332,6 @@ impl TimedDuplicateDetector for TimeGbf {
 
     fn name(&self) -> &'static str {
         "time-gbf"
-    }
-}
-
-impl TimeGbf {
-    #[inline]
-    fn family_pair(&mut self, id: &[u8]) -> cfd_hash::HashPair {
-        self.ops.hash_evals += 1;
-        DoubleHashFamily::new(self.cfg.seed).pair(id)
     }
 }
 
@@ -339,7 +356,7 @@ mod tests {
     fn expires_after_window_passes() {
         let mut d = tgbf(4, 10, 100, 1 << 14, 6);
         d.observe_at(b"x", 0); // unit 0, sub-window 0
-        // Advance past 4 full sub-windows (unit 40+): x's filter expired.
+                               // Advance past 4 full sub-windows (unit 40+): x's filter expired.
         assert_eq!(d.observe_at(b"x", 4_100), Verdict::Distinct);
     }
 
@@ -357,7 +374,7 @@ mod tests {
     fn rotation_keeps_recent_subwindows_active() {
         let mut d = tgbf(3, 5, 10, 1 << 13, 5);
         d.observe_at(b"k", 0); // sub-window 0 (units 0..5)
-        // Move to sub-window 2 (units 10..15): window = subs 0,1,2.
+                               // Move to sub-window 2 (units 10..15): window = subs 0,1,2.
         assert_eq!(d.observe_at(b"k", 120), Verdict::Duplicate);
         // Sub-window 3 (units 15..20): window = subs 1,2,3; k from sub 0 gone.
         assert_eq!(d.observe_at(b"k", 160), Verdict::Distinct);

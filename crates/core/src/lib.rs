@@ -18,6 +18,14 @@
 //!   where GBF's `Q`-lane probe would be too wide (§4.1 extension).
 //! * [`TimeGbf`] / [`TimeTbf`] — the time-based-window extensions of
 //!   §3.1 / §4.1: windows measured in time units instead of elements.
+//! * [`ShardedDetector`] — keyspace-sharded composition of any detector:
+//!   ids route by an independent hash to one of `S` shards sized `N/S`,
+//!   preserving zero false negatives per shard while enabling batch and
+//!   multi-thread processing (see `cfd-adnet`'s parallel pipeline).
+//!
+//! Every count-based detector splits its step into a pure `plan(id)`
+//! (one hash, reusable across threads and batches) and a stateful
+//! `apply(plan)`; `observe` is the fused convenience form.
 //!
 //! All detectors implement [`cfd_windows::DuplicateDetector`] (or the
 //! timed variant) and carry [`OpCounters`] so benchmarks can reproduce
@@ -48,15 +56,19 @@ pub mod config;
 pub mod gbf;
 pub mod gbf_time;
 pub mod ops;
+pub mod sharded;
 pub mod tbf;
 pub mod tbf_jumping;
 pub mod tbf_time;
 
-pub use checkpoint::CheckpointError;
-pub use config::{ConfigError, GbfConfig, GbfConfigBuilder, GbfLayout, TbfConfig, TbfConfigBuilder};
+pub use checkpoint::{CheckpointError, CheckpointState};
+pub use config::{
+    ConfigError, GbfConfig, GbfConfigBuilder, GbfLayout, TbfConfig, TbfConfigBuilder,
+};
 pub use gbf::Gbf;
 pub use gbf_time::TimeGbf;
 pub use ops::OpCounters;
+pub use sharded::{ShardRouter, ShardedDetector};
 pub use tbf::Tbf;
 pub use tbf_jumping::JumpingTbf;
 pub use tbf_time::TimeTbf;

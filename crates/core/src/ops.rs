@@ -5,6 +5,14 @@
 //! TBF), not wall-clock time. These counters let the benchmark harness
 //! regenerate those claims exactly: every detector in `cfd-core`
 //! increments them on the same schedule as its memory accesses.
+//!
+//! Accounting under the hash→apply split: counters are incremented by
+//! the *stateful* half (`apply`/`apply_at`), so `hash_evals` means "hash
+//! evaluations attributable to applied elements" — exactly one per
+//! element — even when the hashing itself ran out-of-band (batched up
+//! front, or on another thread that produced the `ProbePlan`). Plans
+//! that are computed but never applied are not counted; the per-element
+//! cost model of the theorems is what the counters reproduce.
 
 use serde::{Deserialize, Serialize};
 use std::ops::AddAssign;
@@ -52,6 +60,17 @@ impl OpCounters {
     /// Resets every counter to zero.
     pub fn reset(&mut self) {
         *self = Self::default();
+    }
+
+    /// Sums counters across detectors (shards, pipeline workers, audit
+    /// pairs); per-element means then reflect the combined stream.
+    #[must_use]
+    pub fn merged(counters: impl IntoIterator<Item = Self>) -> Self {
+        let mut total = Self::default();
+        for c in counters {
+            total += c;
+        }
+        total
     }
 }
 
@@ -102,5 +121,24 @@ mod tests {
         assert_eq!(a.elements, 12);
         a.reset();
         assert_eq!(a, OpCounters::default());
+    }
+
+    #[test]
+    fn merged_sums_across_shards() {
+        let shard = OpCounters {
+            probe_reads: 7,
+            insert_writes: 2,
+            clean_reads: 1,
+            clean_writes: 1,
+            hash_evals: 3,
+            elements: 3,
+        };
+        let total = OpCounters::merged([shard, shard, OpCounters::default()]);
+        assert_eq!(total.probe_reads, 14);
+        assert_eq!(total.elements, 6);
+        assert_eq!(
+            OpCounters::merged(std::iter::empty::<OpCounters>()),
+            OpCounters::default()
+        );
     }
 }

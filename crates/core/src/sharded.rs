@@ -1,0 +1,396 @@
+//! Keyspace sharding: scale-out composition of duplicate detectors.
+//!
+//! A [`ShardedDetector`] splits the click keyspace over `S` inner
+//! detectors by the high bits of a *router hash* (seeded independently
+//! of the detectors' probe hashing). Every occurrence of an id lands on
+//! the same shard, so a shard sees the complete duplicate history of its
+//! keys — the one-sided **zero-false-negative** guarantee of GBF/TBF
+//! survives composition: relative to the per-shard window semantics, a
+//! duplicate is never reported distinct.
+//!
+//! ## Window semantics and the `N/S` sizing rule
+//!
+//! Count-based windows change meaning under sharding. A shard advances
+//! its window only on *its own* arrivals, so a shard with window `n_s`
+//! covers the last `n_s` same-shard elements — in expectation the last
+//! `S · n_s` elements of the global stream, but binomially distributed
+//! around that. Sizing each shard at `n_s = N/S` therefore approximates
+//! one global window of `N` with the same total memory and `S`-way
+//! parallelism; `cfd-analysis::sharding` gives the closed-form
+//! probability that a global-window duplicate at a given gap is still
+//! covered. Time-based windows are unaffected (all shards share wall
+//! clock).
+
+use crate::config::ConfigError;
+use cfd_hash::{DoubleHashFamily, HashFamily};
+use cfd_windows::{DuplicateDetector, Verdict, WindowSpec};
+
+/// Routes ids to shards by the high bits of an independent hash.
+///
+/// Uses the multiply-shift reduction `(h · S) >> 64`, which consumes the
+/// *high* bits of the router hash — disjoint from the low-bits-modulo
+/// reduction of the probe indices, and unbiased for any shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    family: DoubleHashFamily,
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Creates a router over `shards` shards.
+    ///
+    /// The router derives its hashing from `seed` but decorrelates it
+    /// from same-seeded detector probe hashing, so routing never biases
+    /// which filter cells a shard's keys touch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroDimension`] when `shards == 0`.
+    pub fn new(seed: u64, shards: usize) -> Result<Self, ConfigError> {
+        if shards == 0 {
+            return Err(ConfigError::ZeroDimension("shard count"));
+        }
+        Ok(Self {
+            family: DoubleHashFamily::new(cfd_hash::mix::splitmix64(seed ^ 0x5EED_0F5A_ADC0_DE01)),
+            shards,
+        })
+    }
+
+    /// Number of shards routed over.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard of `id`; deterministic, in `[0, shard_count)`.
+    #[inline]
+    #[must_use]
+    pub fn route(&self, id: &[u8]) -> usize {
+        let h = self.family.pair(id).h1;
+        ((u128::from(h) * self.shards as u128) >> 64) as usize
+    }
+}
+
+/// The per-shard count window implementing the `N/S` sizing rule.
+///
+/// Clamped to 2 so every shard remains a valid sliding-window detector
+/// even for tiny `N`.
+#[must_use]
+pub fn per_shard_window(n: usize, shards: usize) -> usize {
+    n.div_ceil(shards.max(1)).max(2)
+}
+
+/// `S` inner detectors behind one [`DuplicateDetector`] face, routed by
+/// keyspace.
+///
+/// ```rust
+/// use cfd_core::sharded::{per_shard_window, ShardedDetector};
+/// use cfd_core::{Tbf, TbfConfig};
+/// use cfd_windows::{DuplicateDetector, Verdict};
+///
+/// # fn main() -> Result<(), cfd_core::ConfigError> {
+/// let (n, shards) = (4096, 4);
+/// let mut d = ShardedDetector::from_fn(9, shards, |_| {
+///     let n_s = per_shard_window(n, shards);
+///     Tbf::new(TbfConfig::builder(n_s).entries(n_s * 14).build()?)
+/// })?;
+/// assert_eq!(d.observe(b"ip|cookie|ad"), Verdict::Distinct);
+/// assert_eq!(d.observe(b"ip|cookie|ad"), Verdict::Duplicate);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedDetector<D> {
+    router: ShardRouter,
+    /// Construction seed of the router, kept for checkpointing (the
+    /// router itself only holds the derived hash family).
+    router_seed: u64,
+    shards: Vec<D>,
+}
+
+impl<D: DuplicateDetector> ShardedDetector<D> {
+    /// Wraps pre-built shard detectors (one per shard, keyspace-routed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroDimension`] when `shards` is empty.
+    pub fn new(router_seed: u64, shards: Vec<D>) -> Result<Self, ConfigError> {
+        let router = ShardRouter::new(router_seed, shards.len())?;
+        Ok(Self {
+            router,
+            router_seed,
+            shards,
+        })
+    }
+
+    /// Builds `count` shards with `make(shard_index)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first `make` error; rejects `count == 0`.
+    pub fn from_fn<E: From<ConfigError>>(
+        router_seed: u64,
+        count: usize,
+        mut make: impl FnMut(usize) -> Result<D, E>,
+    ) -> Result<Self, E> {
+        let router = ShardRouter::new(router_seed, count)?;
+        let shards = (0..count).map(&mut make).collect::<Result<Vec<_>, E>>()?;
+        Ok(Self {
+            router,
+            router_seed,
+            shards,
+        })
+    }
+
+    /// The keyspace router.
+    #[must_use]
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// The seed the router was constructed from (checkpoint header).
+    #[must_use]
+    pub fn router_seed(&self) -> u64 {
+        self.router_seed
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard detectors, in router order.
+    #[must_use]
+    pub fn shards(&self) -> &[D] {
+        &self.shards
+    }
+
+    /// Mutable access to one shard (diagnostics, op counters).
+    pub fn shard_mut(&mut self, index: usize) -> &mut D {
+        &mut self.shards[index]
+    }
+
+    /// Consumes the wrapper, returning the shard detectors.
+    #[must_use]
+    pub fn into_shards(self) -> Vec<D> {
+        self.shards
+    }
+}
+
+impl<D: DuplicateDetector> DuplicateDetector for ShardedDetector<D> {
+    fn observe(&mut self, id: &[u8]) -> Verdict {
+        let shard = self.router.route(id);
+        self.shards[shard].observe(id)
+    }
+
+    fn observe_batch(&mut self, ids: &[&[u8]]) -> Vec<Verdict> {
+        if self.shards.len() == 1 {
+            return self.shards[0].observe_batch(ids);
+        }
+        // Partition the batch per shard (keeping per-shard stream order,
+        // which is all a shard's window semantics depend on), batch each
+        // shard once, then gather verdicts back into input order: the
+        // i-th id's verdict is the next unconsumed verdict of its
+        // shard's bucket, because bucketing preserved relative order.
+        let shard_count = self.shards.len();
+        let cap = ids.len() / shard_count + 1;
+        let mut buckets: Vec<Vec<&[u8]>> = vec![Vec::with_capacity(cap); shard_count];
+        let mut routes = Vec::with_capacity(ids.len());
+        for id in ids {
+            let shard = self.router.route(id);
+            buckets[shard].push(id);
+            routes.push(shard);
+        }
+        let verdicts: Vec<Vec<Verdict>> = buckets
+            .iter()
+            .zip(&mut self.shards)
+            .map(|(bucket, shard)| shard.observe_batch(bucket))
+            .collect();
+        let mut cursor = vec![0usize; shard_count];
+        routes
+            .into_iter()
+            .map(|shard| {
+                let v = verdicts[shard][cursor[shard]];
+                cursor[shard] += 1;
+                v
+            })
+            .collect()
+    }
+
+    /// The *approximated global* window: count-based shard windows scale
+    /// by the shard count (the `N/S` rule run backwards); time-based
+    /// windows pass through unscaled because all shards share wall
+    /// clock.
+    fn window(&self) -> WindowSpec {
+        let s = self.shards.len();
+        match self.shards[0].window() {
+            WindowSpec::Sliding { n } => WindowSpec::Sliding { n: n * s },
+            WindowSpec::Jumping { n, q } => WindowSpec::Jumping { n: n * s, q },
+            WindowSpec::Landmark { n } => WindowSpec::Landmark { n: n * s },
+            time_based => time_based,
+        }
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.shards.iter().map(DuplicateDetector::memory_bits).sum()
+    }
+
+    fn reset(&mut self) {
+        for shard in &mut self.shards {
+            shard.reset();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gbf, GbfConfig, Tbf, TbfConfig};
+    use cfd_windows::ExactSlidingDedup;
+
+    fn sharded_tbf(n: usize, shards: usize) -> ShardedDetector<Tbf> {
+        ShardedDetector::from_fn(3, shards, |_| {
+            let n_s = per_shard_window(n, shards);
+            Tbf::new(
+                TbfConfig::builder(n_s)
+                    .entries(n_s * 14)
+                    .hash_count(7)
+                    .seed(11)
+                    .build()?,
+            )
+        })
+        .expect("valid sharded tbf")
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let router = ShardRouter::new(5, 7).expect("router");
+        for i in 0..10_000u64 {
+            let id = i.to_le_bytes();
+            let s = router.route(&id);
+            assert!(s < 7);
+            assert_eq!(s, router.route(&id));
+        }
+    }
+
+    #[test]
+    fn routing_spreads_keys_roughly_evenly() {
+        let shards = 8;
+        let router = ShardRouter::new(1, shards).expect("router");
+        let mut counts = vec![0u32; shards];
+        let total = 80_000u64;
+        for i in 0..total {
+            counts[router.route(&i.to_le_bytes())] += 1;
+        }
+        let expected = total as f64 / shards as f64;
+        for (s, &c) in counts.iter().enumerate() {
+            let dev = (f64::from(c) - expected).abs() / expected;
+            assert!(dev < 0.05, "shard {s} count {c} deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(ShardRouter::new(0, 0).is_err());
+        assert!(ShardedDetector::<Tbf>::new(0, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn immediate_duplicates_detected_any_shard_count() {
+        for shards in [1, 2, 4, 8] {
+            let mut d = sharded_tbf(1 << 12, shards);
+            assert_eq!(d.observe(b"dup-me"), Verdict::Distinct, "s={shards}");
+            assert_eq!(d.observe(b"dup-me"), Verdict::Duplicate, "s={shards}");
+        }
+    }
+
+    #[test]
+    fn zero_false_negatives_vs_per_shard_oracle() {
+        // The exact reference for sharded semantics: one exact sliding
+        // dedup per shard, same router. Anything it calls duplicate, the
+        // sharded TBF must too.
+        let (n, shards) = (512, 4);
+        let mut d = sharded_tbf(n, shards);
+        let router = d.router();
+        let n_s = per_shard_window(n, shards);
+        let mut oracles: Vec<ExactSlidingDedup> =
+            (0..shards).map(|_| ExactSlidingDedup::new(n_s)).collect();
+        for i in 0..30_000u64 {
+            let key = (i % 700).to_le_bytes();
+            let got = d.observe(&key);
+            let want = oracles[router.route(&key)].observe(&key);
+            if want == Verdict::Duplicate {
+                assert_eq!(got, Verdict::Duplicate, "false negative at element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn observe_batch_matches_observe_across_shards() {
+        let ids: Vec<Vec<u8>> = (0..4_000u64)
+            .map(|i| (i % 900).to_le_bytes().to_vec())
+            .collect();
+        let id_slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let mut sequential = sharded_tbf(1 << 10, 4);
+        let mut batched = sharded_tbf(1 << 10, 4);
+        let want: Vec<Verdict> = id_slices.iter().map(|id| sequential.observe(id)).collect();
+        let mut got = Vec::new();
+        for chunk in id_slices.chunks(97) {
+            got.extend(batched.observe_batch(chunk));
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn window_scales_count_windows_by_shard_count() {
+        let d = sharded_tbf(4096, 4);
+        assert_eq!(
+            d.window(),
+            WindowSpec::Sliding {
+                n: per_shard_window(4096, 4) * 4
+            }
+        );
+    }
+
+    #[test]
+    fn memory_is_summed_and_reset_clears_all_shards() {
+        let mut d = sharded_tbf(1 << 10, 4);
+        let single = d.shards()[0].memory_bits();
+        assert_eq!(d.memory_bits(), single * 4);
+        d.observe(b"x");
+        d.reset();
+        assert_eq!(d.observe(b"x"), Verdict::Distinct);
+        assert_eq!(d.name(), "sharded");
+    }
+
+    #[test]
+    fn sharded_gbf_detects_duplicates() {
+        let mut d: ShardedDetector<Gbf> = ShardedDetector::from_fn(2, 4, |_| {
+            Gbf::new(
+                GbfConfig::builder(per_shard_window(1 << 12, 4), 8)
+                    .filter_bits(1 << 14)
+                    .hash_count(6)
+                    .seed(4)
+                    .build()?,
+            )
+        })
+        .expect("valid sharded gbf");
+        assert_eq!(d.observe(b"a"), Verdict::Distinct);
+        assert_eq!(d.observe(b"b"), Verdict::Distinct);
+        assert_eq!(d.observe(b"a"), Verdict::Duplicate);
+        assert!(matches!(d.window(), WindowSpec::Jumping { .. }));
+    }
+
+    #[test]
+    fn per_shard_window_covers_edge_cases() {
+        assert_eq!(per_shard_window(4096, 4), 1024);
+        assert_eq!(per_shard_window(10, 4), 3);
+        assert_eq!(per_shard_window(1, 8), 2); // clamped for Tbf validity
+        assert_eq!(per_shard_window(100, 1), 100);
+    }
+}

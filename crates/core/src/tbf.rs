@@ -20,7 +20,7 @@
 use crate::config::{ConfigError, TbfConfig};
 use crate::ops::OpCounters;
 use cfd_bits::PackedIntVec;
-use cfd_hash::{DoubleHashFamily, HashFamily};
+use cfd_hash::{DoubleHashFamily, HashFamily, Planner, ProbePlan};
 use cfd_windows::{DuplicateDetector, Verdict, WindowSpec, WrapCounter};
 
 /// Dynamic TBF state captured by a checkpoint.
@@ -56,6 +56,7 @@ pub struct Tbf {
     empty: u64,
     ops: OpCounters,
     probe_buf: Vec<usize>,
+    batch_buf: Vec<usize>,
 }
 
 impl Tbf {
@@ -85,6 +86,7 @@ impl Tbf {
             empty,
             ops: OpCounters::new(),
             probe_buf: vec![0; cfg.k],
+            batch_buf: Vec::new(),
             entries,
             cfg,
         })
@@ -143,10 +145,7 @@ impl Tbf {
     ) -> Option<Self> {
         // Size-check against the provided payload BEFORE allocating: a
         // corrupt header could otherwise request an absurd table.
-        let expected_words = cfg
-            .m
-            .checked_mul(cfg.entry_bits() as usize)?
-            .div_ceil(64);
+        let expected_words = cfg.m.checked_mul(cfg.entry_bits() as usize)?.div_ceil(64);
         if entry_words.len() != expected_words || clean_next >= cfg.m {
             return None;
         }
@@ -175,22 +174,51 @@ impl Tbf {
             }
         }
     }
-}
 
-impl DuplicateDetector for Tbf {
-    fn observe(&mut self, id: &[u8]) -> Verdict {
+    /// The pure hashing half of this detector, shareable across threads.
+    ///
+    /// Plans it produces are valid for any GBF/TBF built with the same
+    /// seed.
+    #[must_use]
+    pub fn planner(&self) -> Planner {
+        Planner::from_family(self.family)
+    }
+
+    /// Hashes `id` into a replayable [`ProbePlan`] (pure; no state touched).
+    #[inline]
+    #[must_use]
+    pub fn plan(&self, id: &[u8]) -> ProbePlan {
+        ProbePlan::from_pair(self.family.pair(id))
+    }
+
+    /// The stateful half of an observation: sweep, probe, insert when
+    /// distinct, advance the wraparound clock.
+    ///
+    /// `observe(id)` ≡ `apply(plan(id))`; the split lets callers hash
+    /// batches (or hash on another thread) before replaying here. The
+    /// one hash evaluation is accounted to this element regardless of
+    /// where it was computed, keeping Theorem 2's per-element op counts.
+    pub fn apply(&mut self, plan: ProbePlan) -> Verdict {
+        let mut probes = std::mem::take(&mut self.probe_buf);
+        plan.fill(self.cfg.m, &mut probes);
+        let verdict = self.apply_at(&probes);
+        self.probe_buf = probes;
+        verdict
+    }
+
+    /// [`Tbf::apply`] with the plan's probe indices already expanded —
+    /// the innermost stateful step, shared by the per-click and batch
+    /// paths.
+    fn apply_at(&mut self, probes: &[usize]) -> Verdict {
         self.ops.elements += 1;
+        self.ops.hash_evals += 1;
 
         // Step 1: expire stale timestamps.
         self.clean_step();
 
         // Step 2: probe and (for distinct elements) insert.
-        let pair = self.family.pair(id);
-        self.ops.hash_evals += 1;
-        cfd_hash::indices::fill_indices(pair, self.cfg.m, &mut self.probe_buf);
-
         let mut present_and_active = true;
-        for &i in &self.probe_buf {
+        for &i in probes {
             let e = self.entries.get(i);
             self.ops.probe_reads += 1;
             if e == self.empty || !self.is_active(e) {
@@ -205,14 +233,52 @@ impl DuplicateDetector for Tbf {
             Verdict::Duplicate
         } else {
             let t = self.wrap.now();
-            for &i in &self.probe_buf {
+            for &i in probes {
                 self.entries.set(i, t);
             }
-            self.ops.insert_writes += self.probe_buf.len() as u64;
+            self.ops.insert_writes += probes.len() as u64;
             Verdict::Distinct
         };
         self.wrap.advance();
         verdict
+    }
+}
+
+impl DuplicateDetector for Tbf {
+    fn observe(&mut self, id: &[u8]) -> Verdict {
+        let plan = self.plan(id);
+        self.apply(plan)
+    }
+
+    fn observe_batch(&mut self, ids: &[&[u8]]) -> Vec<Verdict> {
+        // Hash the whole batch up front (pure) and expand every plan's
+        // probe indices into one flat buffer. Knowing future probes is
+        // what per-click `observe` fundamentally cannot do: while
+        // element `i` is applied, element `i + PREFETCH_AHEAD`'s cache
+        // lines are already being pulled, hiding the random-access
+        // latency of a table much larger than L1/L2.
+        const PREFETCH_AHEAD: usize = 8;
+        let k = self.cfg.k;
+        let mut probes = std::mem::take(&mut self.batch_buf);
+        probes.clear();
+        probes.resize(ids.len() * k, 0);
+        for (id, slot) in ids.iter().zip(probes.chunks_exact_mut(k)) {
+            self.plan(id).fill(self.cfg.m, slot);
+        }
+        let mut ahead = probes.chunks_exact(k).skip(PREFETCH_AHEAD);
+        let verdicts = probes
+            .chunks_exact(k)
+            .map(|slot| {
+                if let Some(next) = ahead.next() {
+                    for &j in next {
+                        self.entries.prefetch(j);
+                    }
+                }
+                self.apply_at(slot)
+            })
+            .collect();
+        self.batch_buf = probes;
+        verdicts
     }
 
     fn window(&self) -> WindowSpec {
@@ -288,7 +354,7 @@ mod tests {
         assert_eq!(d.observe(b"a"), Verdict::Duplicate); // pos 1
         assert_eq!(d.observe(b"a"), Verdict::Duplicate); // pos 2
         assert_eq!(d.observe(b"a"), Verdict::Duplicate); // pos 3
-        // pos 4: the valid a@0 slid out; duplicates never extended it.
+                                                         // pos 4: the valid a@0 slid out; duplicates never extended it.
         assert_eq!(d.observe(b"a"), Verdict::Distinct);
     }
 
@@ -364,7 +430,10 @@ mod tests {
                 fps += 1;
             }
         }
-        assert!((fps as f64 / total as f64) < 0.05, "fp rate exploded: {fps}");
+        assert!(
+            (fps as f64 / total as f64) < 0.05,
+            "fp rate exploded: {fps}"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::config::ConfigError;
 use crate::ops::OpCounters;
 use cfd_bits::words::bits_for_value;
 use cfd_bits::PackedIntVec;
-use cfd_hash::{DoubleHashFamily, HashFamily};
+use cfd_hash::{DoubleHashFamily, HashFamily, Planner, ProbePlan};
 use cfd_windows::{DuplicateDetector, JumpingClock, Verdict, WindowSpec, WrapCounter};
 
 /// Configuration of a [`JumpingTbf`] detector.
@@ -84,7 +84,10 @@ impl JumpingTbfConfig {
             return Err(ConfigError::ZeroDimension("sub-window count q"));
         }
         if self.q > self.n {
-            return Err(ConfigError::TooManySubWindows { q: self.q, n: self.n });
+            return Err(ConfigError::TooManySubWindows {
+                q: self.q,
+                n: self.n,
+            });
         }
         if self.m == 0 {
             return Err(ConfigError::ZeroDimension("entry count m"));
@@ -196,16 +199,29 @@ impl JumpingTbf {
             }
         }
     }
-}
 
-impl DuplicateDetector for JumpingTbf {
-    fn observe(&mut self, id: &[u8]) -> Verdict {
+    /// The pure hashing half of this detector, shareable across threads.
+    #[must_use]
+    pub fn planner(&self) -> Planner {
+        Planner::from_family(self.family)
+    }
+
+    /// Hashes `id` into a replayable [`ProbePlan`] (pure; no state touched).
+    #[inline]
+    #[must_use]
+    pub fn plan(&self, id: &[u8]) -> ProbePlan {
+        ProbePlan::from_pair(self.family.pair(id))
+    }
+
+    /// The stateful half of an observation; `observe(id)` ≡
+    /// `apply(plan(id))`. The hash evaluation is accounted to this
+    /// element regardless of where it was computed.
+    pub fn apply(&mut self, plan: ProbePlan) -> Verdict {
         self.ops.elements += 1;
+        self.ops.hash_evals += 1;
         self.clean_step();
 
-        let pair = self.family.pair(id);
-        self.ops.hash_evals += 1;
-        cfd_hash::indices::fill_indices(pair, self.cfg.m, &mut self.probe_buf);
+        plan.fill(self.cfg.m, &mut self.probe_buf);
 
         let mut present_and_active = true;
         for &i in &self.probe_buf {
@@ -234,6 +250,18 @@ impl DuplicateDetector for JumpingTbf {
             self.sub.advance();
         }
         verdict
+    }
+}
+
+impl DuplicateDetector for JumpingTbf {
+    fn observe(&mut self, id: &[u8]) -> Verdict {
+        let plan = self.plan(id);
+        self.apply(plan)
+    }
+
+    fn observe_batch(&mut self, ids: &[&[u8]]) -> Vec<Verdict> {
+        let plans: Vec<ProbePlan> = ids.iter().map(|id| self.plan(id)).collect();
+        plans.into_iter().map(|p| self.apply(p)).collect()
     }
 
     fn window(&self) -> WindowSpec {
@@ -339,7 +367,10 @@ mod tests {
                 fps += 1;
             }
         }
-        assert!((fps as f64 / total as f64) < 0.01, "fp rate too high: {fps}");
+        assert!(
+            (fps as f64 / total as f64) < 0.01,
+            "fp rate too high: {fps}"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::config::ConfigError;
 use crate::ops::OpCounters;
 use cfd_bits::words::bits_for_value;
 use cfd_bits::PackedIntVec;
-use cfd_hash::{DoubleHashFamily, HashFamily};
+use cfd_hash::{DoubleHashFamily, HashFamily, Planner, ProbePlan};
 use cfd_windows::time::UnitClock;
 use cfd_windows::{TimedDuplicateDetector, Verdict, WindowSpec};
 
@@ -233,17 +233,30 @@ impl TimeTbf {
         self.cur_unit = Some(unit);
         unit
     }
-}
 
-impl TimedDuplicateDetector for TimeTbf {
-    fn observe_at(&mut self, id: &[u8], tick: u64) -> Verdict {
+    /// The pure hashing half of this detector, shareable across threads.
+    #[must_use]
+    pub fn planner(&self) -> Planner {
+        Planner::from_family(self.family)
+    }
+
+    /// Hashes `id` into a replayable [`ProbePlan`] (pure; no state touched).
+    #[inline]
+    #[must_use]
+    pub fn plan(&self, id: &[u8]) -> ProbePlan {
+        ProbePlan::from_pair(self.family.pair(id))
+    }
+
+    /// The stateful half of a timed observation; `observe_at(id, tick)` ≡
+    /// `apply_at(plan(id), tick)`. The hash evaluation is accounted to
+    /// this element regardless of where it was computed.
+    pub fn apply_at(&mut self, plan: ProbePlan, tick: u64) -> Verdict {
         self.ops.elements += 1;
+        self.ops.hash_evals += 1;
         let unit = self.advance_to(self.units.unit_of(tick));
         let stamp_now = unit % self.cfg.range();
 
-        let pair = self.family.pair(id);
-        self.ops.hash_evals += 1;
-        cfd_hash::indices::fill_indices(pair, self.cfg.m, &mut self.probe_buf);
+        plan.fill(self.cfg.m, &mut self.probe_buf);
 
         let mut present_and_active = true;
         for &i in &self.probe_buf {
@@ -264,6 +277,13 @@ impl TimedDuplicateDetector for TimeTbf {
             self.ops.insert_writes += self.probe_buf.len() as u64;
             Verdict::Distinct
         }
+    }
+}
+
+impl TimedDuplicateDetector for TimeTbf {
+    fn observe_at(&mut self, id: &[u8], tick: u64) -> Verdict {
+        let plan = self.plan(id);
+        self.apply_at(plan, tick)
     }
 
     fn window(&self) -> WindowSpec {
@@ -343,7 +363,7 @@ mod tests {
         assert_eq!(d.observe_at(b"x", 0), Verdict::Distinct);
         assert_eq!(d.observe_at(b"x", 500), Verdict::Duplicate); // unit 5
         assert_eq!(d.observe_at(b"x", 999), Verdict::Duplicate); // unit 9
-        // unit 10: the valid click at unit 0 left the 10-unit window.
+                                                                 // unit 10: the valid click at unit 0 left the 10-unit window.
         assert_eq!(d.observe_at(b"x", 1_000), Verdict::Distinct);
     }
 
@@ -384,7 +404,11 @@ mod tests {
             let got = d.observe_at(&key, tick);
             let want = oracle.observe_at(&key, tick);
             if want == Verdict::Duplicate {
-                assert_eq!(got, Verdict::Duplicate, "false negative at i={i} tick={tick}");
+                assert_eq!(
+                    got,
+                    Verdict::Duplicate,
+                    "false negative at i={i} tick={tick}"
+                );
             }
         }
     }
@@ -401,7 +425,10 @@ mod tests {
                 fps += 1;
             }
         }
-        assert!((fps as f64 / total as f64) < 0.02, "fp rate too high: {fps}");
+        assert!(
+            (fps as f64 / total as f64) < 0.02,
+            "fp rate too high: {fps}"
+        );
     }
 
     #[test]

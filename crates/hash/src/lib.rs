@@ -17,6 +17,9 @@
 //! * [`family`] — the [`family::HashFamily`] abstraction with
 //!   a double-hashing implementation (default) and a `k`-independent-seeds
 //!   implementation (for the ablation study in DESIGN.md §6).
+//! * [`plan`] — the [`plan::Planner`]/[`plan::ProbePlan`] split: hash an
+//!   id once into a pure, `Copy` plan, replay it against any filter
+//!   geometry (batch and multi-thread frontends build on this).
 //! * [`sip`] — SipHash-2-4, the *keyed* family for deployments where
 //!   click identifiers are attacker-controlled.
 //!
@@ -42,9 +45,11 @@ pub mod indices;
 pub mod mix;
 pub mod murmur;
 pub mod pair;
+pub mod plan;
 pub mod sip;
 
 pub use family::{DoubleHashFamily, HashFamily, IndependentHashFamily};
 pub use indices::IndexSequence;
 pub use pair::{HashPair, PairHasher};
+pub use plan::{Planner, ProbePlan};
 pub use sip::{siphash24, SipHashFamily};

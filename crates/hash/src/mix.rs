@@ -99,9 +99,12 @@ pub fn invert_xorshift_right(y: u64, s: u32) -> u64 {
 #[inline]
 #[must_use]
 pub fn combine(a: u64, b: u64) -> u64 {
-    fmix64(a ^ b.wrapping_add(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(a << 6)
-        .wrapping_add(a >> 2))
+    fmix64(
+        a ^ b
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(a << 6)
+            .wrapping_add(a >> 2),
+    )
 }
 
 #[cfg(test)]
@@ -137,7 +140,14 @@ mod tests {
 
     #[test]
     fn inv_mod_2_64_is_inverse() {
-        for a in [1u64, 3, 5, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, u64::MAX] {
+        for a in [
+            1u64,
+            3,
+            5,
+            0xBF58_476D_1CE4_E5B9,
+            0x94D0_49BB_1331_11EB,
+            u64::MAX,
+        ] {
             assert_eq!(a.wrapping_mul(inv_mod_2_64(a)), 1, "a={a:#x}");
         }
     }

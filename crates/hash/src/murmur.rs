@@ -126,7 +126,10 @@ mod tests {
             alt[i] ^= 1;
             let (a1, a2) = murmur3_x64_128(&alt, 0);
             let dist = (a1 ^ b1).count_ones() + (a2 ^ b2).count_ones();
-            assert!((32..=96).contains(&dist), "weak diffusion at byte {i}: {dist}");
+            assert!(
+                (32..=96).contains(&dist),
+                "weak diffusion at byte {i}: {dist}"
+            );
         }
     }
 
@@ -168,13 +171,10 @@ mod tests {
         let cases: [(&[u8], u64); 4] = [
             (b"a", 0),
             (b"pay-per-click", 0),
-            (b"0123456789abcdef", 99), // exactly one block
+            (b"0123456789abcdef", 99),           // exactly one block
             (b"0123456789abcdef0123456789", 99), // block + 10-byte tail
         ];
-        let got: Vec<(u64, u64)> = cases
-            .iter()
-            .map(|&(d, s)| murmur3_x64_128(d, s))
-            .collect();
+        let got: Vec<(u64, u64)> = cases.iter().map(|&(d, s)| murmur3_x64_128(d, s)).collect();
         let expected = expected_anchor_values();
         assert_eq!(got, expected);
     }

@@ -1,0 +1,133 @@
+//! Probe planning: the pure hashing half of an `observe` step.
+//!
+//! The detectors in `cfd-core` historically fused three things inside
+//! `observe`: hash the id, probe the filter, and mutate state. Splitting
+//! the hash out into a [`ProbePlan`] makes the expensive, *pure* part of
+//! the step reusable:
+//!
+//! * a batch of ids can be hashed up front and the plans replayed against
+//!   the stateful filter back-to-back (better locality, no interleaved
+//!   hashing),
+//! * hashing can happen on a different thread than the filter update —
+//!   the plan is `Copy` and carries no borrow of the detector,
+//! * one plan can drive several filters keyed off the same id (e.g. every
+//!   shard candidate of a sharded detector, or a dual-audit pair).
+//!
+//! A plan is only meaningful for detectors built from the same
+//! [`Planner`] (same seed): replaying a plan from a different family
+//! yields well-defined but meaningless indices.
+
+use crate::family::DoubleHashFamily;
+use crate::indices::fill_indices;
+use crate::pair::HashPair;
+
+/// The precomputed, detector-independent hash of one click id.
+///
+/// Wraps the Kirsch–Mitzenmacher [`HashPair`]; expansion to `k` probe
+/// indices in `[0, m)` happens at [`ProbePlan::fill`] time, so one plan
+/// serves any table geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbePlan {
+    pair: HashPair,
+}
+
+impl ProbePlan {
+    /// Wraps an already-computed hash pair.
+    #[inline]
+    #[must_use]
+    pub fn from_pair(pair: HashPair) -> Self {
+        Self { pair }
+    }
+
+    /// The underlying double-hashing pair.
+    #[inline]
+    #[must_use]
+    pub fn pair(&self) -> HashPair {
+        self.pair
+    }
+
+    /// Expands the plan into `out.len()` probe indices in `[0, m)`.
+    #[inline]
+    pub fn fill(&self, m: usize, out: &mut [usize]) {
+        fill_indices(self.pair, m, out);
+    }
+}
+
+/// A `Copy` hasher producing [`ProbePlan`]s — the pure, shareable half of
+/// a detector.
+///
+/// Detectors expose their planner so callers (batch frontends, pipeline
+/// hashing stages) can hash ids without holding `&mut` access to filter
+/// state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Planner {
+    family: DoubleHashFamily,
+}
+
+impl Planner {
+    /// Planner for the family with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            family: DoubleHashFamily::new(seed),
+        }
+    }
+
+    /// Planner sharing an existing family.
+    #[must_use]
+    pub fn from_family(family: DoubleHashFamily) -> Self {
+        Self { family }
+    }
+
+    /// The construction seed (plans are only portable between detectors
+    /// sharing it).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.family.seed()
+    }
+
+    /// Hashes one id into its plan. Pure: no state is touched.
+    #[inline]
+    #[must_use]
+    pub fn plan(&self, id: &[u8]) -> ProbePlan {
+        use crate::family::HashFamily;
+        ProbePlan::from_pair(self.family.pair(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::HashFamily;
+
+    #[test]
+    fn plan_matches_direct_family_fill() {
+        let family = DoubleHashFamily::new(0xFEED);
+        let planner = Planner::from_family(family);
+        for key in [b"a".as_slice(), b"203.0.113.9|c0ffee|ad-17", b""] {
+            let plan = planner.plan(key);
+            let mut via_plan = [0usize; 7];
+            let mut via_family = [0usize; 7];
+            plan.fill(12_289, &mut via_plan);
+            family.fill(key, 12_289, &mut via_family);
+            assert_eq!(via_plan, via_family);
+        }
+    }
+
+    #[test]
+    fn one_plan_serves_multiple_geometries() {
+        let planner = Planner::new(7);
+        let plan = planner.plan(b"shared-id");
+        let mut small = [0usize; 4];
+        let mut large = [0usize; 9];
+        plan.fill(64, &mut small);
+        plan.fill(1 << 20, &mut large);
+        assert!(small.iter().all(|&i| i < 64));
+        assert!(large.iter().all(|&i| i < 1 << 20));
+    }
+
+    #[test]
+    fn planner_seed_round_trips() {
+        assert_eq!(Planner::new(42).seed(), 42);
+    }
+}

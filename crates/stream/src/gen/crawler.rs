@@ -42,7 +42,10 @@ impl CrawlerStream {
     /// Panics if any parameter is zero.
     #[must_use]
     pub fn new(crawlers: u32, ads: u32, period: u64, seed: u64) -> Self {
-        assert!(crawlers > 0 && ads > 0 && period > 0, "parameters must be positive");
+        assert!(
+            crawlers > 0 && ads > 0 && period > 0,
+            "parameters must be positive"
+        );
         Self {
             crawlers,
             ads,

@@ -71,8 +71,14 @@ impl FlashCrowdStream {
     /// background ads.
     #[must_use]
     pub fn new(cfg: FlashCrowdConfig) -> Self {
-        assert!((0.0..=1.0).contains(&cfg.crowd_fraction), "bad crowd fraction");
-        assert!((0.0..1.0).contains(&cfg.second_click_prob), "bad second-click probability");
+        assert!(
+            (0.0..=1.0).contains(&cfg.crowd_fraction),
+            "bad crowd fraction"
+        );
+        assert!(
+            (0.0..1.0).contains(&cfg.second_click_prob),
+            "bad second-click probability"
+        );
         assert!(cfg.background_ads > 0, "need background ads");
         Self {
             fresh: UniqueIdStream::new(cfg.seed ^ 0xF1A5_4C40),
@@ -148,7 +154,10 @@ mod tests {
         let mut seconds = 0;
         for w in clicks.windows(2) {
             if w[1].is_second_click {
-                assert_eq!(w[0].click.id, w[1].click.id, "second click of a different id");
+                assert_eq!(
+                    w[0].click.id, w[1].click.id,
+                    "second click of a different id"
+                );
                 seconds += 1;
             }
         }

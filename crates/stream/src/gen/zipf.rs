@@ -33,7 +33,10 @@ impl ZipfSampler {
     #[must_use]
     pub fn new(n: usize, s: f64, seed: u64) -> Self {
         assert!(n > 0, "universe must be non-empty");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for r in 0..n {

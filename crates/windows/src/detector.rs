@@ -48,6 +48,20 @@ pub trait DuplicateDetector {
     /// Classifies the next click of the stream and updates internal state.
     fn observe(&mut self, id: &[u8]) -> Verdict;
 
+    /// Classifies a batch of consecutive clicks, in stream order.
+    ///
+    /// Verdict-for-verdict equivalent to calling [`observe`] on each id
+    /// in order; implementations may override to hash the whole batch up
+    /// front before touching filter state (the GBF/TBF detectors do),
+    /// which improves locality without changing any verdict. The default
+    /// is the plain loop, so trait objects and third-party detectors get
+    /// batching for free.
+    ///
+    /// [`observe`]: DuplicateDetector::observe
+    fn observe_batch(&mut self, ids: &[&[u8]]) -> Vec<Verdict> {
+        ids.iter().map(|id| self.observe(id)).collect()
+    }
+
     /// The window model this detector approximates.
     fn window(&self) -> WindowSpec;
 
@@ -59,6 +73,30 @@ pub trait DuplicateDetector {
 
     /// Human-readable algorithm name for reports and benches.
     fn name(&self) -> &'static str;
+}
+
+/// Boxed detectors forward the whole contract, so trait objects compose
+/// with generic wrappers (e.g. `ShardedDetector<Box<dyn DuplicateDetector>>`
+/// in the CLI, where the algorithm is chosen at runtime).
+impl<D: DuplicateDetector + ?Sized> DuplicateDetector for Box<D> {
+    fn observe(&mut self, id: &[u8]) -> Verdict {
+        (**self).observe(id)
+    }
+    fn observe_batch(&mut self, ids: &[&[u8]]) -> Vec<Verdict> {
+        (**self).observe_batch(ids)
+    }
+    fn window(&self) -> WindowSpec {
+        (**self).window()
+    }
+    fn memory_bits(&self) -> usize {
+        (**self).memory_bits()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
 }
 
 /// A one-pass duplicate detector over a *time-based* decaying window.

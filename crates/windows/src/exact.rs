@@ -122,7 +122,10 @@ impl ExactJumpingDedup {
     /// Panics if `n == 0`, `q == 0`, or `q > n`.
     #[must_use]
     pub fn new(n: usize, q: usize) -> Self {
-        assert!(n > 0 && q > 0 && q <= n, "invalid jumping window (n={n}, q={q})");
+        assert!(
+            n > 0 && q > 0 && q <= n,
+            "invalid jumping window (n={n}, q={q})"
+        );
         let mut subs = VecDeque::with_capacity(q);
         subs.push_back(HashSet::new());
         Self {
@@ -257,8 +260,8 @@ mod tests {
         assert_eq!(d.observe(b"y"), Verdict::Distinct); // pos 1
         assert_eq!(d.observe(b"x"), Verdict::Duplicate); // pos 2, x@0 active
         assert_eq!(d.observe(b"z"), Verdict::Distinct); // pos 3
-        // pos 4: window is positions 1..=4; the valid x@0 slid out, and the
-        // duplicate x@2 never counted as valid.
+                                                        // pos 4: window is positions 1..=4; the valid x@0 slid out, and the
+                                                        // duplicate x@2 never counted as valid.
         assert_eq!(d.observe(b"x"), Verdict::Distinct);
     }
 
@@ -268,7 +271,7 @@ mod tests {
         assert_eq!(d.observe(b"a"), Verdict::Distinct); // valid a@0
         assert_eq!(d.observe(b"a"), Verdict::Duplicate); // a@1 (invalid)
         assert_eq!(d.observe(b"a"), Verdict::Duplicate); // a@2 (invalid)
-        // a@0 expires now -> fresh valid click.
+                                                         // a@0 expires now -> fresh valid click.
         assert_eq!(d.observe(b"a"), Verdict::Distinct);
     }
 
@@ -280,7 +283,7 @@ mod tests {
         assert_eq!(d.observe(b"b"), Verdict::Distinct); // sub 0 completes
         assert_eq!(d.observe(b"a"), Verdict::Duplicate); // sub 1; a in sub 0
         assert_eq!(d.observe(b"c"), Verdict::Distinct); // sub 1 completes; sub 0 expires
-        // Window now = sub 1 (full) + sub 2 (empty): a was valid in sub 0.
+                                                        // Window now = sub 1 (full) + sub 2 (empty): a was valid in sub 0.
         assert_eq!(d.observe(b"a"), Verdict::Distinct);
     }
 
@@ -325,7 +328,11 @@ mod tests {
         for (i, &id) in stream.iter().enumerate() {
             let lo = i.saturating_sub(n - 1);
             let dup = (lo..i).any(|j| stream[j] == id && verdicts[j] == Verdict::Distinct);
-            verdicts.push(if dup { Verdict::Duplicate } else { Verdict::Distinct });
+            verdicts.push(if dup {
+                Verdict::Duplicate
+            } else {
+                Verdict::Distinct
+            });
         }
         verdicts
     }

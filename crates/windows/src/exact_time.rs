@@ -91,7 +91,11 @@ impl TimedDuplicateDetector for ExactTimeSlidingDedup {
 
     fn memory_bits(&self) -> usize {
         self.valid.keys().map(|k| k.len() * 8 + 64).sum::<usize>()
-            + self.order.iter().map(|(_, k)| k.len() * 8 + 64).sum::<usize>()
+            + self
+                .order
+                .iter()
+                .map(|(_, k)| k.len() * 8 + 64)
+                .sum::<usize>()
     }
 
     fn reset(&mut self) {
@@ -205,7 +209,7 @@ mod tests {
     fn sliding_expires_by_units_not_arrivals() {
         let mut d = ExactTimeSlidingDedup::new(3, 10);
         d.observe_at(b"a", 0); // unit 0
-        // Many arrivals, but little time passes: still duplicate.
+                               // Many arrivals, but little time passes: still duplicate.
         for i in 0..100 {
             assert_eq!(d.observe_at(b"a", 10 + i % 5), Verdict::Duplicate);
         }
@@ -218,8 +222,8 @@ mod tests {
         let mut d = ExactTimeSlidingDedup::new(3, 1);
         assert_eq!(d.observe_at(b"a", 0), Verdict::Distinct); // unit 0
         assert_eq!(d.observe_at(b"a", 2), Verdict::Duplicate); // unit 2
-        // Unit 3: the valid a@0 expired; the duplicate at unit 2 did not
-        // extend it.
+                                                               // Unit 3: the valid a@0 expired; the duplicate at unit 2 did not
+                                                               // extend it.
         assert_eq!(d.observe_at(b"a", 3), Verdict::Distinct);
     }
 
@@ -229,7 +233,7 @@ mod tests {
         let mut d = ExactTimeJumpingDedup::new(2, 5, 1);
         assert_eq!(d.observe_at(b"a", 0), Verdict::Distinct); // sub 0
         assert_eq!(d.observe_at(b"a", 9), Verdict::Duplicate); // sub 1
-        // Sub 2: window = subs 1..=2; a (sub 0) gone.
+                                                               // Sub 2: window = subs 1..=2; a (sub 0) gone.
         assert_eq!(d.observe_at(b"a", 10), Verdict::Distinct);
     }
 

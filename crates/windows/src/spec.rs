@@ -174,7 +174,9 @@ mod tests {
         assert!(WindowSpec::Sliding { n: 0 }.validate().is_err());
         assert!(WindowSpec::Jumping { n: 10, q: 0 }.validate().is_err());
         assert!(WindowSpec::Jumping { n: 3, q: 4 }.validate().is_err());
-        assert!(WindowSpec::TimeJumping { ticks: 2, q: 3 }.validate().is_err());
+        assert!(WindowSpec::TimeJumping { ticks: 2, q: 3 }
+            .validate()
+            .is_err());
         assert!(WindowSpec::Jumping { n: 10, q: 10 }.validate().is_ok());
         assert!(WindowSpec::TimeSliding { ticks: 1 }.validate().is_ok());
     }

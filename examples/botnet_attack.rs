@@ -99,7 +99,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             flagged,
             bot_flagged,
             organic_fp,
-            if is_sliding { false_negatives.to_string() } else { "n/a".to_owned() },
+            if is_sliding {
+                false_negatives.to_string()
+            } else {
+                "n/a".to_owned()
+            },
             d.memory_bits() as f64 / 8.0 / 1024.0
         );
     }

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nvalidating: TBF over sliding(n={n}), target FP {target}: m = {}, k = {}",
         rec.m, rec.k
     );
-    let cfg = TbfConfig::builder(n).entries(rec.m).hash_count(rec.k).build()?;
+    let cfg = TbfConfig::builder(n)
+        .entries(rec.m)
+        .hash_count(rec.k)
+        .build()?;
     let mut tbf = Tbf::new(cfg)?;
 
     let mut ids = UniqueIdStream::new(2026);

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut detector = Tbf::new(TbfConfig::builder(window).entries(window * 14).build()?)?;
     let mut scorer = FraudScorer::new();
 
-    println!("processing 400k clicks ({} coalition publishers hidden among honest ones)...\n", members.len());
+    println!(
+        "processing 400k clicks ({} coalition publishers hidden among honest ones)...\n",
+        members.len()
+    );
     for cc in stream.take(400_000) {
         let verdict = detector.observe(&cc.click.key());
         scorer.record(&cc.click, verdict);

@@ -45,7 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "publisher : {} valid, digest {:016x}",
         outcome.publisher_valid, outcome.publisher_digest
     );
-    println!("agreement : {}\n", if outcome.agreed() { "YES ✔" } else { "NO ✘" });
+    println!(
+        "agreement : {}\n",
+        if outcome.agreed() {
+            "YES ✔"
+        } else {
+            "NO ✘"
+        }
+    );
     assert!(outcome.agreed());
 
     // Case 2: the publisher quietly uses a shorter window (more charges).

@@ -20,7 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A sliding window of exactly the last 65 536 clicks, ~14 timestamp
     // entries per element (the paper's Fig. 2 operating ratio).
-    let tbf_cfg = TbfConfig::builder(1 << 16).entries((1 << 16) * 14).build()?;
+    let tbf_cfg = TbfConfig::builder(1 << 16)
+        .entries((1 << 16) * 14)
+        .build()?;
     let mut tbf = Tbf::new(tbf_cfg)?;
 
     println!("GBF: {} | {} bits", gbf.window(), gbf.memory_bits());
@@ -56,9 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tbf_summary.total(),
         100.0 * tbf_summary.duplicate_rate()
     );
-    println!(
-        "window-model disagreements (jumping vs sliding coverage): {disagreements}"
-    );
+    println!("window-model disagreements (jumping vs sliding coverage): {disagreements}");
     println!();
     println!(
         "GBF per-element cost: {:.2} word ops | TBF: {:.2} entry ops",

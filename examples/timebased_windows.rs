@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total += 1;
     }
 
-    println!("processed {total} clicks over {:.1} minutes of stream time", last_tick as f64 / 60_000.0);
+    println!(
+        "processed {total} clicks over {:.1} minutes of stream time",
+        last_tick as f64 / 60_000.0
+    );
     println!(
         "time-TBF flagged {tbf_dups} duplicates ({:.2}%)",
         100.0 * tbf_dups as f64 / total as f64

@@ -1,0 +1,255 @@
+//! Offline shim of `criterion`: a small wall-clock benchmark harness
+//! behind criterion's configuration/group/bench API.
+//!
+//! Measurement model: each `bench_function` runs the closure for the
+//! configured warm-up time, then repeats timed batches until the
+//! measurement time elapses and reports the median per-iteration cost
+//! and derived element throughput. No statistical analysis, plots, or
+//! saved baselines — just honest timings printed to stdout, enough to
+//! compare detector variants in this workspace.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Units processed per iteration; scales reported throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements handled per iteration of the benched closure.
+    Elements(u64),
+    /// Bytes handled per iteration of the benched closure.
+    Bytes(u64),
+}
+
+/// A benchmark name with an attached parameter, e.g. `gbf/32`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Types usable as a `bench_function` identifier.
+pub trait IntoBenchmarkId {
+    /// The display label for reports.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Passed to the bench closure; `iter` runs and times the payload.
+pub struct Bencher {
+    config: Config,
+    /// Median per-iteration duration in nanoseconds, set by `iter`.
+    measured_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration cost.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run untimed until the warm-up budget is spent, while
+        // estimating a batch size that takes roughly 1ms per sample.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            iters_done += 1;
+        }
+        let warm_ns = warm_start.elapsed().as_nanos() as f64 / iters_done.max(1) as f64;
+        let batch = ((1_000_000.0 / warm_ns.max(0.5)) as u64).clamp(1, 1 << 24);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.config.measurement_time
+            || samples.len() < self.config.sample_size.min(8)
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if samples.len() >= self.config.sample_size * 4 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.measured_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Shared run configuration (warm-up, measurement window, samples).
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 30,
+        }
+    }
+}
+
+/// Benchmark manager: owns configuration, hands out groups.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the untimed warm-up duration per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.config.warm_up_time = dur;
+        self
+    }
+
+    /// Sets the timed measurement window per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.config.measurement_time = dur;
+        self
+    }
+
+    /// Sets the target number of timing samples.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a throughput definition.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares units-per-iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark and prints its median cost and throughput.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        let mut bencher = Bencher {
+            config: self.criterion.config,
+            measured_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        let ns = bencher.measured_ns;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+                format!("  ({:.2} Melem/s)", n as f64 * 1_000.0 / ns)
+            }
+            None => String::new(),
+        };
+        println!("{}/{label:<28} {ns:>10.1} ns/iter{rate}", self.name);
+    }
+
+    /// Ends the group (marker for parity with criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: plain `(name, targets...)` or the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5);
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1));
+        let mut acc = 0u64;
+        group.bench_function(BenchmarkId::new("add", 1), |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(black_box(3));
+                acc
+            })
+        });
+        group.bench_function("plain-name", |b| b.iter(|| black_box(7u32) * 2));
+        group.finish();
+    }
+}

@@ -1,0 +1,307 @@
+//! Offline shim of `crossbeam`: the [`channel`] module with bounded and
+//! unbounded MPMC channels, matching crossbeam's disconnect semantics
+//! (send fails once every receiver is gone; recv fails once the queue is
+//! empty and every sender is gone).
+//!
+//! Built on `Mutex` + `Condvar`; slower than real crossbeam but
+//! behaviorally equivalent for the pipeline/audit workloads here, which
+//! amortize channel traffic with batches.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: Option<usize>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::SeqCst);
+            Self(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.receivers.fetch_add(1, Ordering::SeqCst);
+            Self(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.0.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let sh = &*self.0;
+            let mut q = sh.queue.lock().expect("channel lock");
+            loop {
+                if sh.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(msg));
+                }
+                match sh.cap {
+                    Some(cap) if q.len() >= cap => {
+                        q = sh.not_full.wait(q).expect("channel lock");
+                    }
+                    _ => break,
+                }
+            }
+            q.push_back(msg);
+            drop(q);
+            sh.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next message, blocking while the channel is empty.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and every
+        /// sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let sh = &*self.0;
+            let mut q = sh.queue.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = q.pop_front() {
+                    drop(q);
+                    sh.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if sh.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = sh.not_empty.wait(q).expect("channel lock");
+            }
+        }
+
+        /// Receives without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when nothing is queued;
+        /// [`TryRecvError::Disconnected`] when additionally every sender
+        /// is gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let sh = &*self.0;
+            let mut q = sh.queue.lock().expect("channel lock");
+            if let Some(msg) = q.pop_front() {
+                drop(q);
+                sh.not_full.notify_one();
+                return Ok(msg);
+            }
+            if sh.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking iterator over messages until disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Borrowing iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Owning iterator over messages until disconnection.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
+    }
+
+    /// Creates a channel with unlimited buffering.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_single_producer() {
+        let (tx, rx) = channel::bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = channel::bounded(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn recv_drains_then_disconnects() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn mpmc_across_threads_delivers_everything() {
+        let (tx, rx) = channel::bounded::<u64>(8);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().sum::<u64>())
+            })
+            .collect();
+        drop(rx);
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        tx.send(i + p * 1_000).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, (0..2_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn bounded_blocks_and_resumes() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        let h = thread::spawn(move || tx.send(2));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap().unwrap();
+    }
+}

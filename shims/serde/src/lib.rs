@@ -1,0 +1,20 @@
+//! Offline shim of `serde`: marker traits plus a no-op derive.
+//!
+//! The workspace uses serde only to tag report/config types as
+//! serializable for downstream users (`#[derive(Serialize, Deserialize)]`
+//! on plain data types); nothing in-tree drives an actual serializer.
+//! This shim keeps those annotations compiling offline: the traits carry
+//! no required methods and the derive emits empty trait impls.
+//!
+//! If a future change needs real serialization, replace this shim with
+//! the actual `serde` crate (drop-in: same trait and derive names).
+
+#![forbid(unsafe_code)]
+
+/// Marker for types whose values can be serialized.
+pub trait Serialize {}
+
+/// Marker for types whose values can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,43 @@
+//! Offline shim of `serde_derive`: emits empty `Serialize` /
+//! `Deserialize` impls for the annotated type.
+//!
+//! Written against the built-in `proc_macro` API only (no `syn`/`quote`,
+//! which are unavailable offline). Supports plain structs and enums
+//! without generic parameters — which covers every derive site in this
+//! workspace; a generic type would fail to compile loudly rather than
+//! misbehave.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name: the identifier following `struct`/`enum`/`union`.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(ident) = tt {
+            let s = ident.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive shim: no struct/enum name found in input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

@@ -10,6 +10,7 @@
 //! run is deterministic for a given `--seed`.
 
 use cfd_adnet::FraudScorer;
+use cfd_core::sharded::{per_shard_window, ShardedDetector};
 use cfd_core::tbf_jumping::{JumpingTbf, JumpingTbfConfig};
 use cfd_core::{Gbf, GbfConfig, Tbf, TbfConfig};
 use cfd_stream::{
@@ -44,9 +45,11 @@ commands:
              --algo tbf|gbf|jumping-tbf|exact
              --window <N> [--sub-windows <Q>] [--cells-per-element <c>]
              [--k <hashes>] [--seed <u64>] --trace <file>
-             [--score-publishers]
+             [--shards <S>] [--batch <B>] [--score-publishers]
              (cells = filter bits for gbf, timestamp entries for tbf;
-              default 14, the paper's Fig. 2 ratio)
+              default 14, the paper's Fig. 2 ratio; --shards splits the
+              keyspace over S detectors of window N/S, --batch sets the
+              observe_batch chunk size, default 512)
   size       memory required for a target false-positive rate
              --algo gbf|tbf|metwally --window <N> [--sub-windows <Q>]
              --target-fp <rate>
@@ -153,19 +156,16 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_detect(opts: &Opts) -> Result<(), String> {
-    let algo = opts.required("algo")?.to_owned();
-    let window: usize = opts.parse_num("window", 1 << 16)?;
-    let q: usize = opts.parse_num("sub-windows", 8)?;
-    let cells_per_element: usize = opts.parse_num("cells-per-element", 14)?;
-    let k: usize = opts.parse_num("k", 10)?;
-    let seed: u64 = opts.parse_num("seed", 0)?;
-    let trace_path = opts.required("trace")?.to_owned();
-
-    let buf = std::fs::read(&trace_path).map_err(|e| format!("reading {trace_path}: {e}"))?;
-    let clicks = read_trace(&buf).map_err(|e| e.to_string())?;
-
-    let mut detector: Box<dyn DuplicateDetector> = match algo.as_str() {
+/// Builds one detector of count window `window` for `cmd_detect`.
+fn build_detector(
+    algo: &str,
+    window: usize,
+    q: usize,
+    cells_per_element: usize,
+    k: usize,
+    seed: u64,
+) -> Result<Box<dyn DuplicateDetector>, String> {
+    Ok(match algo {
         "tbf" => Box::new(
             Tbf::new(
                 TbfConfig::builder(window)
@@ -197,18 +197,65 @@ fn cmd_detect(opts: &Opts) -> Result<(), String> {
         ),
         "exact" => Box::new(ExactSlidingDedup::new(window)),
         other => return Err(format!("--algo: unknown detector `{other}`")),
+    })
+}
+
+fn cmd_detect(opts: &Opts) -> Result<(), String> {
+    let algo = opts.required("algo")?.to_owned();
+    let window: usize = opts.parse_num("window", 1 << 16)?;
+    let q: usize = opts.parse_num("sub-windows", 8)?;
+    let cells_per_element: usize = opts.parse_num("cells-per-element", 14)?;
+    let k: usize = opts.parse_num("k", 10)?;
+    let seed: u64 = opts.parse_num("seed", 0)?;
+    let shards: usize = opts.parse_num("shards", 1)?;
+    let batch: usize = opts.parse_num("batch", 512)?;
+    if shards == 0 || batch == 0 {
+        return Err("--shards and --batch must be at least 1".into());
+    }
+    let trace_path = opts.required("trace")?.to_owned();
+
+    let buf = std::fs::read(&trace_path).map_err(|e| format!("reading {trace_path}: {e}"))?;
+    let clicks = read_trace(&buf).map_err(|e| e.to_string())?;
+
+    // With --shards S, the keyspace is split over S detectors of window
+    // N/S (same total memory, soft window edge — see
+    // `cfd_analysis::sharding`); the routing seed is decorrelated from
+    // the probe seed by `ShardRouter` itself.
+    let mut detector: Box<dyn DuplicateDetector> = if shards > 1 {
+        let n_s = per_shard_window(window, shards);
+        let mut inner = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            inner.push(build_detector(&algo, n_s, q, cells_per_element, k, seed)?);
+        }
+        Box::new(ShardedDetector::new(seed, inner).map_err(|e| e.to_string())?)
+    } else {
+        build_detector(&algo, window, q, cells_per_element, k, seed)?
     };
 
     let mut summary = StreamSummary::default();
     let mut scorer = FraudScorer::new();
-    for click in &clicks {
-        let v = detector.observe(&click.key());
-        summary.record(v);
-        scorer.record(click, v);
+    let mut keys: Vec<[u8; 16]> = Vec::with_capacity(batch);
+    for chunk in clicks.chunks(batch) {
+        keys.clear();
+        keys.extend(chunk.iter().map(Click::key));
+        let refs: Vec<&[u8]> = keys.iter().map(<[u8; 16]>::as_slice).collect();
+        for (click, v) in chunk.iter().zip(detector.observe_batch(&refs)) {
+            summary.record(v);
+            scorer.record(click, v);
+        }
     }
 
     println!("detector : {} over {}", detector.name(), detector.window());
-    println!("memory   : {:.1} KiB", detector.memory_bits() as f64 / 8.0 / 1024.0);
+    if shards > 1 {
+        println!(
+            "shards   : {shards} x {algo} with per-shard window {}",
+            per_shard_window(window, shards)
+        );
+    }
+    println!(
+        "memory   : {:.1} KiB",
+        detector.memory_bits() as f64 / 8.0 / 1024.0
+    );
     println!("clicks   : {}", summary.total());
     println!(
         "duplicate: {} ({:.3}%)",
@@ -220,7 +267,10 @@ fn cmd_detect(opts: &Opts) -> Result<(), String> {
     if opts.flag("score-publishers") {
         println!();
         println!("publisher fraud scores (z >= 3 flagged):");
-        println!("{:>10} {:>10} {:>10} {:>8} {:>8}", "publisher", "clicks", "blocked", "rate", "z");
+        println!(
+            "{:>10} {:>10} {:>10} {:>8} {:>8}",
+            "publisher", "clicks", "blocked", "rate", "z"
+        );
         for s in scorer.scores(100) {
             println!(
                 "{:>10} {:>10} {:>10} {:>8.4} {:>8.2}{}",
@@ -229,7 +279,11 @@ fn cmd_detect(opts: &Opts) -> Result<(), String> {
                 s.blocked,
                 s.rate,
                 s.z_score,
-                if s.is_suspicious(3.0) { "  <-- SUSPICIOUS" } else { "" }
+                if s.is_suspicious(3.0) {
+                    "  <-- SUSPICIOUS"
+                } else {
+                    ""
+                }
             );
         }
     }

@@ -37,7 +37,11 @@ fn attack(n: usize) -> Vec<Click> {
 #[test]
 fn tbf_gateway_restart_is_charge_identical() {
     let clicks = attack(60_000);
-    let cfg = TbfConfig::builder(4_096).entries(1 << 16).seed(9).build().expect("cfg");
+    let cfg = TbfConfig::builder(4_096)
+        .entries(1 << 16)
+        .seed(9)
+        .build()
+        .expect("cfg");
 
     // Reference: one uninterrupted network.
     let mut reference = AdNetwork::new(Tbf::new(cfg).expect("detector"));
@@ -119,7 +123,11 @@ fn gbf_gateway_restart_is_charge_identical_both_layouts() {
 fn checkpoints_are_portable_across_detector_instances() {
     // A snapshot taken on one "machine" (instance) restores on another
     // and the two stay in lockstep indefinitely.
-    let cfg = TbfConfig::builder(1_024).entries(1 << 14).seed(3).build().expect("cfg");
+    let cfg = TbfConfig::builder(1_024)
+        .entries(1 << 14)
+        .seed(3)
+        .build()
+        .expect("cfg");
     let mut a = Tbf::new(cfg).expect("detector");
     for i in 0..10_000u64 {
         a.observe(&(i % 1_500).to_le_bytes());

@@ -44,7 +44,10 @@ fn trace_roundtrip_preserves_detector_verdicts() {
     assert_eq!(clicks, restored);
 
     // Same bytes -> same verdicts from a fresh detector.
-    let cfg = TbfConfig::builder(2_048).entries(1 << 15).build().expect("cfg");
+    let cfg = TbfConfig::builder(2_048)
+        .entries(1 << 15)
+        .build()
+        .expect("cfg");
     let mut a = Tbf::new(cfg).expect("detector");
     let mut b = Tbf::new(cfg).expect("detector");
     for (x, y) in clicks.iter().zip(&restored) {
@@ -55,14 +58,16 @@ fn trace_roundtrip_preserves_detector_verdicts() {
 #[test]
 fn network_report_is_internally_consistent() {
     let clicks = attack_clicks(50_000);
-    let cfg = TbfConfig::builder(4_096).entries(1 << 16).build().expect("cfg");
+    let cfg = TbfConfig::builder(4_096)
+        .entries(1 << 16)
+        .build()
+        .expect("cfg");
     let mut net = build_network(Tbf::new(cfg).expect("detector"));
     let report = net.run(clicks.iter());
 
     assert_eq!(report.clicks, 50_000);
     assert_eq!(
-        report.charged + report.duplicates_blocked + report.budget_rejections
-            + report.unknown_ads,
+        report.charged + report.duplicates_blocked + report.budget_rejections + report.unknown_ads,
         report.clicks
     );
     assert_eq!(report.revenue_micros, report.charged * 100_000);

@@ -98,14 +98,8 @@ fn fp_rate_is_u_shaped_in_k_for_tbf() {
         let (fps, trials) = measure_fp(&mut tbf, 5 * n as u64, 40 * n as u64);
         rates.push(fps as f64 / trials as f64);
     }
-    assert!(
-        rates[1] < rates[0],
-        "optimal k should beat k=1: {rates:?}"
-    );
-    assert!(
-        rates[1] < rates[2],
-        "optimal k should beat k=24: {rates:?}"
-    );
+    assert!(rates[1] < rates[0], "optimal k should beat k=1: {rates:?}");
+    assert!(rates[1] < rates[2], "optimal k should beat k=24: {rates:?}");
 }
 
 #[test]

@@ -80,3 +80,74 @@ proptest! {
         }
     }
 }
+
+/// A populated 3-shard TBF checkpoint for the sharded fuzzing below.
+fn sharded_checkpoint() -> Vec<u8> {
+    use cfd_core::sharded::ShardedDetector;
+    use cfd_core::CheckpointState;
+    use cfd_windows::DuplicateDetector;
+    let mut d = ShardedDetector::from_fn(11, 3, |_| {
+        Tbf::new(TbfConfig::builder(32).entries(128).build().expect("cfg"))
+    })
+    .expect("sharded detector");
+    for i in 0..200u64 {
+        d.observe(&i.to_le_bytes());
+    }
+    d.checkpoint()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sharded_restore_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        use cfd_core::sharded::ShardedDetector;
+        use cfd_core::CheckpointState;
+        let _ = ShardedDetector::<Tbf>::restore(&bytes);
+    }
+
+    #[test]
+    fn sharded_restore_with_valid_header_fuzzed_body(
+        mut bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        use cfd_core::sharded::ShardedDetector;
+        use cfd_core::CheckpointState;
+        // Valid magic + version + sharded kind, garbage after — the
+        // shard count and every nested per-shard blob come from the
+        // fuzzer.
+        let mut buf = b"CFDS".to_vec();
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.push(3); // sharded
+        buf.append(&mut bytes);
+        let _ = ShardedDetector::<Tbf>::restore(&buf);
+    }
+
+    #[test]
+    fn truncated_sharded_checkpoints_error_cleanly(cut in 0usize..4096) {
+        use cfd_core::sharded::ShardedDetector;
+        use cfd_core::CheckpointState;
+        let buf = sharded_checkpoint();
+        let cut = cut.min(buf.len());
+        if cut < buf.len() {
+            prop_assert!(ShardedDetector::<Tbf>::restore(&buf[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn bitflipped_sharded_checkpoints_never_panic(
+        flip_at in 0usize..8192,
+        flip_bit in 0u8..8,
+    ) {
+        use cfd_core::sharded::ShardedDetector;
+        use cfd_core::CheckpointState;
+        use cfd_windows::DuplicateDetector;
+        let mut buf = sharded_checkpoint();
+        let idx = flip_at % buf.len();
+        buf[idx] ^= 1 << flip_bit;
+        // Either restores or errors; never panics, and a successful
+        // restore yields a usable detector.
+        if let Ok(mut restored) = ShardedDetector::<Tbf>::restore(&buf) {
+            let _ = restored.observe(b"post-restore-probe");
+        }
+    }
+}

@@ -4,9 +4,7 @@
 use cfd_core::gbf_time::{TimeGbf, TimeGbfConfig};
 use cfd_core::tbf_time::{TimeTbf, TimeTbfConfig};
 use cfd_stream::{DuplicateInjector, PoissonArrivals, UniqueClickStream};
-use cfd_windows::{
-    ExactTimeJumpingDedup, ExactTimeSlidingDedup, TimedDuplicateDetector, Verdict,
-};
+use cfd_windows::{ExactTimeJumpingDedup, ExactTimeSlidingDedup, TimedDuplicateDetector, Verdict};
 
 /// A bursty timed key stream: Poisson arrivals with duplicate injection.
 fn timed_keys(count: usize, rate: f64, seed: u64) -> Vec<(Vec<u8>, u64)> {
@@ -21,8 +19,8 @@ fn timed_keys(count: usize, rate: f64, seed: u64) -> Vec<(Vec<u8>, u64)> {
 #[test]
 fn time_tbf_equals_exact_oracle_with_ample_memory() {
     // 64 units of 10 ticks; dense traffic keeps sweep and clock in step.
-    let mut tbf = TimeTbf::new(TimeTbfConfig::new(64, 10, 1 << 18, 8, 3).expect("cfg"))
-        .expect("detector");
+    let mut tbf =
+        TimeTbf::new(TimeTbfConfig::new(64, 10, 1 << 18, 8, 3).expect("cfg")).expect("detector");
     let mut oracle = ExactTimeSlidingDedup::new(64, 10);
     for (i, (key, tick)) in timed_keys(150_000, 0.8, 7).iter().enumerate() {
         let got = tbf.observe_at(key, *tick);
@@ -34,8 +32,8 @@ fn time_tbf_equals_exact_oracle_with_ample_memory() {
 #[test]
 fn time_tbf_oracle_duplicates_always_flagged_under_sparse_traffic() {
     // Sparse traffic (many empty units) exercises the lazy daemon replay.
-    let mut tbf = TimeTbf::new(TimeTbfConfig::new(32, 5, 1 << 18, 8, 9).expect("cfg"))
-        .expect("detector");
+    let mut tbf =
+        TimeTbf::new(TimeTbfConfig::new(32, 5, 1 << 18, 8, 9).expect("cfg")).expect("detector");
     let mut oracle = ExactTimeSlidingDedup::new(32, 5);
     for (i, (key, tick)) in timed_keys(80_000, 0.02, 11).iter().enumerate() {
         let got = tbf.observe_at(key, *tick);
@@ -49,28 +47,40 @@ fn time_tbf_oracle_duplicates_always_flagged_under_sparse_traffic() {
 #[test]
 fn time_gbf_oracle_duplicates_always_flagged() {
     // 4 sub-windows of 8 units of 10 ticks.
-    let mut gbf = TimeGbf::new(TimeGbfConfig::new(4, 8, 10, 1 << 17, 8, 5).expect("cfg"))
-        .expect("detector");
+    let mut gbf =
+        TimeGbf::new(TimeGbfConfig::new(4, 8, 10, 1 << 17, 8, 5).expect("cfg")).expect("detector");
     let mut oracle = ExactTimeJumpingDedup::new(4, 8, 10);
     for (i, (key, tick)) in timed_keys(120_000, 0.5, 13).iter().enumerate() {
         let got = gbf.observe_at(key, *tick);
         let want = oracle.observe_at(key, *tick);
         if want == Verdict::Duplicate {
-            assert_eq!(got, Verdict::Duplicate, "missed duplicate at {i} (tick {tick})");
+            assert_eq!(
+                got,
+                Verdict::Duplicate,
+                "missed duplicate at {i} (tick {tick})"
+            );
         }
     }
 }
 
 #[test]
 fn quiet_gaps_forget_everything_in_both_models() {
-    let mut tbf = TimeTbf::new(TimeTbfConfig::new(10, 1, 1 << 14, 6, 1).expect("cfg"))
-        .expect("detector");
-    let mut gbf = TimeGbf::new(TimeGbfConfig::new(5, 2, 1, 1 << 14, 6, 1).expect("cfg"))
-        .expect("detector");
+    let mut tbf =
+        TimeTbf::new(TimeTbfConfig::new(10, 1, 1 << 14, 6, 1).expect("cfg")).expect("detector");
+    let mut gbf =
+        TimeGbf::new(TimeGbfConfig::new(5, 2, 1, 1 << 14, 6, 1).expect("cfg")).expect("detector");
     let mut tick = 0u64;
     for round in 0..50u64 {
-        assert_eq!(tbf.observe_at(b"ghost", tick), Verdict::Distinct, "tbf round {round}");
-        assert_eq!(gbf.observe_at(b"ghost", tick), Verdict::Distinct, "gbf round {round}");
+        assert_eq!(
+            tbf.observe_at(b"ghost", tick),
+            Verdict::Distinct,
+            "tbf round {round}"
+        );
+        assert_eq!(
+            gbf.observe_at(b"ghost", tick),
+            Verdict::Distinct,
+            "gbf round {round}"
+        );
         // Immediate repeat is always caught...
         assert_eq!(tbf.observe_at(b"ghost", tick), Verdict::Duplicate);
         assert_eq!(gbf.observe_at(b"ghost", tick), Verdict::Duplicate);
@@ -84,8 +94,8 @@ fn dense_and_sparse_phases_interleave_correctly() {
     // Alternating load phases stress the sweep accounting: the detector
     // must neither leak stale state into the next phase nor drop active
     // state within one.
-    let mut tbf = TimeTbf::new(TimeTbfConfig::new(20, 10, 1 << 16, 8, 21).expect("cfg"))
-        .expect("detector");
+    let mut tbf =
+        TimeTbf::new(TimeTbfConfig::new(20, 10, 1 << 16, 8, 21).expect("cfg")).expect("detector");
     let mut oracle = ExactTimeSlidingDedup::new(20, 10);
     let mut tick = 0u64;
     let mut rng_state = 0x1234_5678_u64;

@@ -128,8 +128,8 @@ fn all_detectors_flag_immediate_repeats_forever() {
     // The weakest possible guarantee, checked for a long time: a click
     // repeated back-to-back is always caught, regardless of state age.
     let n = 1 << 10;
-    let mut tbf = Tbf::new(TbfConfig::builder(n).entries(n * 4).build().expect("cfg"))
-        .expect("detector");
+    let mut tbf =
+        Tbf::new(TbfConfig::builder(n).entries(n * 4).build().expect("cfg")).expect("detector");
     let mut gbf = Gbf::new(
         GbfConfig::builder(n, 8)
             .filter_bits(n)
