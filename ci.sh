@@ -12,6 +12,11 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings denied; repo crates, not dep shims)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p click-fraud-detection \
+    $(for d in crates/*/; do echo "-p $(basename "$d" | sed 's/^/cfd-/')"; done)
+
 if [[ "${1:-}" != "quick" ]]; then
     echo "==> tier-1: cargo build --release"
     cargo build --release
@@ -19,5 +24,25 @@ fi
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+echo "==> telemetry tests"
+cargo test -q -p cfd-telemetry
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> telemetry smoke: cfd run --metrics-json parses as JSON lines"
+    ./target/release/cfd run --count 50000 --window 4096 --metrics=50 --metrics-json \
+        2>/tmp/cfd_metrics.jsonl >/dev/null
+    python3 - <<'EOF'
+import json
+lines = [l for l in open("/tmp/cfd_metrics.jsonl") if l.strip()]
+assert lines, "reporter emitted no snapshots"
+for l in lines:
+    snap = json.loads(l)
+    assert "metrics" in snap and "pipeline.ingest.clicks" in snap["metrics"], l
+final = json.loads(lines[-1])
+assert final["metrics"]["pipeline.ingest.clicks"]["value"] == 50000
+print(f"   {len(lines)} snapshots parsed, ingest counter exact")
+EOF
+fi
 
 echo "CI OK"

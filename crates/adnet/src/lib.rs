@@ -20,6 +20,10 @@
 //! * [`pipeline`] — the concurrent ingest → sharded detection → billing
 //!   pipeline: one worker thread per keyspace shard, an order-restoring
 //!   resequencer, and lock-free progress counters.
+//! * [`telemetry`] — the [`telemetry::PipelineTelemetry`] instrument
+//!   bundle the `*_instrumented` pipeline entry points feed: queue
+//!   depths, per-stage latency histograms, resequencer stalls, and
+//!   on-request detector health (see `docs/OBSERVABILITY.md`).
 //! * [`report`] — serde-serializable reports for the benches/examples.
 
 #![forbid(unsafe_code)]
@@ -32,6 +36,7 @@ pub mod fraud;
 pub mod network;
 pub mod pipeline;
 pub mod report;
+pub mod telemetry;
 
 pub use audit::{run_dual_audit, AuditOutcome};
 pub use billing::{BillingEngine, ClickOutcome};
@@ -39,6 +44,8 @@ pub use entities::{Advertiser, AdvertiserId, Campaign, Registry};
 pub use fraud::{FraudScorer, PublisherScore};
 pub use network::AdNetwork;
 pub use pipeline::{
-    run_pipeline, run_sharded_pipeline, PipelineConfig, PipelineOutcome, PipelineProgress,
+    run_pipeline, run_pipeline_instrumented, run_sharded_pipeline,
+    run_sharded_pipeline_instrumented, PipelineConfig, PipelineOutcome, PipelineProgress,
 };
 pub use report::NetworkReport;
+pub use telemetry::PipelineTelemetry;

@@ -43,8 +43,10 @@ use crate::billing::{BillingEngine, ClickOutcome};
 use crate::entities::Registry;
 use crate::fraud::FraudScorer;
 use crate::report::NetworkReport;
+use crate::telemetry::PipelineTelemetry;
 use cfd_core::sharded::{ShardRouter, ShardedDetector};
 use cfd_stream::Click;
+use cfd_telemetry::{DetectorHealth, DetectorStats};
 use cfd_windows::{DuplicateDetector, Verdict};
 use crossbeam::channel;
 use std::cmp::Reverse;
@@ -52,6 +54,7 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Default clicks per inter-stage batch.
 const DEFAULT_BATCH: usize = 256;
@@ -155,6 +158,35 @@ pub struct PipelineOutcome {
     pub scorer: FraudScorer,
     /// The registry with final budget states.
     pub registry: Registry,
+    /// Final per-shard detector health samples, taken by each worker at
+    /// shutdown. Empty for the uninstrumented entry points (plain
+    /// [`run_pipeline`] / [`run_sharded_pipeline`]), which place no
+    /// [`DetectorStats`] bound on the detector.
+    pub health: Vec<DetectorHealth>,
+}
+
+/// Instrumentation plumbing for [`run_fanout`]: the optional metric
+/// bundle plus a monomorphized health probe. Uninstrumented entry
+/// points pass `telemetry: None` and a `health_of` that returns `None`,
+/// so the hot path stays free of `DetectorStats` bounds *and* timing
+/// calls.
+struct Instrumentation<D> {
+    telemetry: Option<Arc<PipelineTelemetry>>,
+    health_of: fn(&D) -> Option<DetectorHealth>,
+}
+
+impl<D> Instrumentation<D> {
+    fn off() -> Self {
+        Self {
+            telemetry: None,
+            health_of: |_| None,
+        }
+    }
+}
+
+/// Saturating nanosecond count for histogram recording.
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Runs `clicks` through a single-detector stage and a billing stage on
@@ -190,7 +222,64 @@ where
         batch,
         queue: queue.div_ceil(batch),
     };
-    run_fanout(vec![detector], None, name, registry, clicks, cfg, progress)
+    run_fanout(
+        vec![detector],
+        None,
+        name,
+        registry,
+        clicks,
+        cfg,
+        progress,
+        Instrumentation::off(),
+    )
+}
+
+/// [`run_pipeline`] with live telemetry: per-stage latency histograms,
+/// queue-depth gauges, and on-request detector health flow into
+/// `telemetry`'s registry while the run is in flight, and
+/// [`PipelineOutcome::health`] carries the final detector sample.
+///
+/// # Panics
+///
+/// Panics if `telemetry` was not built for exactly one shard, or if a
+/// pipeline stage panics.
+pub fn run_pipeline_instrumented<D, I>(
+    detector: D,
+    registry: Registry,
+    clicks: I,
+    queue: usize,
+    progress: Option<Arc<PipelineProgress>>,
+    telemetry: Arc<PipelineTelemetry>,
+) -> PipelineOutcome
+where
+    D: DuplicateDetector + DetectorStats + Send,
+    I: IntoIterator<Item = Click>,
+{
+    assert_eq!(
+        telemetry.shard_count(),
+        1,
+        "single-detector pipeline needs a 1-shard telemetry bundle"
+    );
+    let queue = queue.max(1);
+    let batch = queue.min(DEFAULT_BATCH);
+    let name = detector.name();
+    let cfg = PipelineConfig {
+        batch,
+        queue: queue.div_ceil(batch),
+    };
+    run_fanout(
+        vec![detector],
+        None,
+        name,
+        registry,
+        clicks,
+        cfg,
+        progress,
+        Instrumentation {
+            telemetry: Some(telemetry),
+            health_of: |d| Some(d.health()),
+        },
+    )
 }
 
 /// Runs `clicks` through one detector worker thread *per shard* of
@@ -226,6 +315,52 @@ where
         clicks,
         config,
         progress,
+        Instrumentation::off(),
+    )
+}
+
+/// [`run_sharded_pipeline`] with live telemetry: one queue-depth gauge
+/// and health-gauge set per shard worker, shared per-stage latency
+/// histograms, and resequencer stall counters, all in `telemetry`'s
+/// registry. [`PipelineOutcome::health`] carries one final
+/// [`DetectorHealth`] per shard, in shard order.
+///
+/// # Panics
+///
+/// Panics if `telemetry.shard_count()` differs from the detector's
+/// shard count, or if a pipeline stage panics.
+pub fn run_sharded_pipeline_instrumented<D, I>(
+    detector: ShardedDetector<D>,
+    registry: Registry,
+    clicks: I,
+    config: PipelineConfig,
+    progress: Option<Arc<PipelineProgress>>,
+    telemetry: Arc<PipelineTelemetry>,
+) -> PipelineOutcome
+where
+    D: DuplicateDetector + DetectorStats + Send,
+    I: IntoIterator<Item = Click>,
+{
+    assert_eq!(
+        telemetry.shard_count(),
+        detector.shards().len(),
+        "telemetry bundle sized for a different shard count"
+    );
+    let name = detector.name();
+    let router = detector.router();
+    let workers = detector.into_shards();
+    run_fanout(
+        workers,
+        Some(router),
+        name,
+        registry,
+        clicks,
+        config,
+        progress,
+        Instrumentation {
+            telemetry: Some(telemetry),
+            health_of: |d| Some(d.health()),
+        },
     )
 }
 
@@ -251,7 +386,10 @@ fn settle_one(
 /// The shared fan-out engine behind both public entry points.
 ///
 /// `router: None` sends everything to the single worker (no routing
-/// hash on the ingest path).
+/// hash on the ingest path). When `instr` carries a telemetry bundle,
+/// every stage times itself per batch; with `telemetry: None` the only
+/// residue is a handful of `Option` branches per batch.
+#[allow(clippy::too_many_arguments)]
 fn run_fanout<D, I>(
     workers: Vec<D>,
     router: Option<ShardRouter>,
@@ -260,6 +398,7 @@ fn run_fanout<D, I>(
     clicks: I,
     config: PipelineConfig,
     progress: Option<Arc<PipelineProgress>>,
+    instr: Instrumentation<D>,
 ) -> PipelineOutcome
 where
     D: DuplicateDetector + Send,
@@ -269,6 +408,13 @@ where
     let queue = config.queue.max(1);
     let shard_count = workers.len();
     assert!(shard_count > 0, "pipeline needs at least one detector");
+    if let Some(t) = &instr.telemetry {
+        assert_eq!(
+            t.shard_count(),
+            shard_count,
+            "telemetry bundle sized for a different shard count"
+        );
+    }
 
     thread::scope(|s| {
         // Workers fan in to one judged channel; capacity scales with the
@@ -278,19 +424,37 @@ where
         // Shard workers: exclusive detector ownership, private scorer.
         let mut raw_txs = Vec::with_capacity(shard_count);
         let mut handles = Vec::with_capacity(shard_count);
-        for mut detector in workers {
+        for (idx, mut detector) in workers.into_iter().enumerate() {
             let (tx_raw, rx_raw) = channel::bounded::<RawBatch>(queue);
             raw_txs.push(tx_raw);
             let tx_judged = tx_judged.clone();
             let progress = progress.clone();
+            let telemetry = instr.telemetry.clone();
+            let health_of = instr.health_of;
             handles.push(s.spawn(move || {
+                let telem = telemetry.as_deref();
                 let mut scorer = FraudScorer::new();
                 let mut keys: Vec<[u8; 16]> = Vec::with_capacity(batch);
                 for RawBatch { items } in rx_raw {
+                    // Stage timing brackets: t0 → keys built (hash),
+                    // then → verdicts out (probe). Skipped entirely when
+                    // telemetry is off.
+                    let t0 = telem.map(|t| {
+                        t.shard_queue_depth(idx).sub(1);
+                        Instant::now()
+                    });
                     keys.clear();
                     keys.extend(items.iter().map(|(_, c)| c.key()));
                     let refs: Vec<&[u8]> = keys.iter().map(<[u8; 16]>::as_slice).collect();
+                    let t1 = telem.zip(t0).map(|(t, t0)| {
+                        let now = Instant::now();
+                        t.stage_hash_ns().record(duration_ns(now - t0));
+                        now
+                    });
                     let verdicts = detector.observe_batch(&refs);
+                    if let Some((t, t1)) = telem.zip(t1) {
+                        t.stage_probe_ns().record(duration_ns(t1.elapsed()));
+                    }
                     let judged: Vec<(u64, JudgedClick)> = items
                         .into_iter()
                         .zip(verdicts)
@@ -302,11 +466,27 @@ where
                     if let Some(p) = &progress {
                         p.detected.fetch_add(judged.len() as u64, Ordering::Relaxed);
                     }
+                    if let Some(t) = telem {
+                        t.shard_batches(idx).inc();
+                        // Health scans are O(m): only pay when the
+                        // reporter raised this shard's request flag.
+                        if t.take_health_request(idx) {
+                            if let Some(h) = health_of(&detector) {
+                                t.publish_health(idx, &h);
+                            }
+                        }
+                    }
                     if tx_judged.send(JudgedBatch { items: judged }).is_err() {
                         break; // billing stage gone; drain and stop
                     }
                 }
-                (scorer, detector.memory_bits())
+                // Terminal health sample: unconditional, so short runs
+                // that never tick a reporter still report final state.
+                let health = health_of(&detector);
+                if let Some((t, h)) = telem.zip(health.as_ref()) {
+                    t.publish_health(idx, h);
+                }
+                (scorer, detector.memory_bits(), health)
             }));
         }
         drop(tx_judged); // workers hold the remaining clones
@@ -317,26 +497,50 @@ where
         // and draining `rx_judged` unconditionally keeps workers from
         // ever deadlocking against a full judged channel.
         let progress_bill = progress.clone();
+        let telemetry_bill = instr.telemetry.clone();
         let billing = s.spawn(move || {
+            let telem = telemetry_bill.as_deref();
             let mut registry = registry;
             let mut engine = BillingEngine::new(());
             let mut savings = 0u64;
             let mut next_seq = 0u64;
             let mut pending: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
+            // Clicks released in order this round; reused across
+            // batches so the split into resequence/settle phases costs
+            // no steady-state allocation.
+            let mut ready: Vec<JudgedClick> = Vec::new();
             for JudgedBatch { items } in rx_judged {
+                let t0 = telem.map(|_| Instant::now());
                 for (seq, judged) in items {
                     pending.push(Reverse(Pending { seq, judged }));
                 }
                 while pending.peek().is_some_and(|Reverse(p)| p.seq == next_seq) {
                     let Reverse(p) = pending.pop().expect("peeked");
+                    ready.push(p.judged);
+                    next_seq += 1;
+                }
+                let t1 = telem.zip(t0).map(|(t, t0)| {
+                    let now = Instant::now();
+                    t.stage_resequence_ns().record(duration_ns(now - t0));
+                    if ready.is_empty() && !pending.is_empty() {
+                        // Head-of-line gap: this batch released nothing.
+                        t.reseq_stalls().inc();
+                    }
+                    t.pending_peak()
+                        .set_max(i64::try_from(pending.len()).unwrap_or(i64::MAX));
+                    now
+                });
+                for judged in ready.drain(..) {
                     settle_one(
                         &mut engine,
                         &mut registry,
                         &mut savings,
                         progress_bill.as_deref(),
-                        &p.judged,
+                        &judged,
                     );
-                    next_seq += 1;
+                }
+                if let Some((t, t1)) = telem.zip(t1) {
+                    t.stage_billing_ns().record(duration_ns(t1.elapsed()));
                 }
             }
             // Workers are done: the remainder is a contiguous tail.
@@ -358,18 +562,27 @@ where
         let mut buckets: Vec<Vec<(u64, Click)>> = (0..shard_count)
             .map(|_| Vec::with_capacity(batch))
             .collect();
+        let telem = instr.telemetry.as_deref();
         'ingest: for (seq, click) in clicks.into_iter().enumerate() {
             let shard = router.as_ref().map_or(0, |r| r.route(&click.key()));
             buckets[shard].push((seq as u64, click));
             if buckets[shard].len() == batch {
                 let full = std::mem::replace(&mut buckets[shard], Vec::with_capacity(batch));
+                if let Some(t) = telem {
+                    t.ingest_clicks().add(full.len() as u64);
+                    t.shard_queue_depth(shard).add(1);
+                }
                 if raw_txs[shard].send(RawBatch { items: full }).is_err() {
                     break 'ingest; // a worker died; stop feeding
                 }
             }
         }
-        for (tx, bucket) in raw_txs.iter().zip(buckets) {
+        for (shard, (tx, bucket)) in raw_txs.iter().zip(buckets).enumerate() {
             if !bucket.is_empty() {
+                if let Some(t) = telem {
+                    t.ingest_clicks().add(bucket.len() as u64);
+                    t.shard_queue_depth(shard).add(1);
+                }
                 let _ = tx.send(RawBatch { items: bucket });
             }
         }
@@ -377,16 +590,19 @@ where
 
         let mut scorer = FraudScorer::new();
         let mut memory_bits = 0usize;
+        let mut health = Vec::new();
         for handle in handles {
-            let (partial, bits) = handle.join().expect("detector worker panicked");
+            let (partial, bits, shard_health) = handle.join().expect("detector worker panicked");
             scorer.merge(partial);
             memory_bits += bits;
+            health.extend(shard_health);
         }
         let (ledger, savings, registry) = billing.join().expect("billing stage panicked");
         PipelineOutcome {
             report: NetworkReport::from_ledger(name, memory_bits, &ledger, savings),
             scorer,
             registry,
+            health,
         }
     })
 }
@@ -564,6 +780,100 @@ mod tests {
         let outcome = run_pipeline(d, registry(), cs, 128, None);
         assert!(outcome.scorer.total_clicks() == 20_000);
         assert!(!outcome.scorer.scores(100).is_empty());
+    }
+
+    /// Telemetry is observation, not intervention: the instrumented run
+    /// produces a report identical to the plain run's, while its
+    /// registry fills with consistent stage metrics and the outcome
+    /// carries one final health sample per shard.
+    #[test]
+    fn instrumented_run_matches_plain_run_and_reports() {
+        let cs = clicks(20_000);
+        let shards = 4;
+        let plain = run_sharded_pipeline(
+            sharded_tbf(2_048, shards),
+            registry(),
+            cs.iter().copied(),
+            PipelineConfig::default(),
+            None,
+        );
+        assert!(plain.health.is_empty(), "plain runs carry no health");
+
+        let metrics = Arc::new(cfd_telemetry::Registry::new());
+        let telemetry = Arc::new(PipelineTelemetry::new(&metrics, shards));
+        telemetry.request_detector_health(); // exercise the request path
+        let observed = run_sharded_pipeline_instrumented(
+            sharded_tbf(2_048, shards),
+            registry(),
+            cs.iter().copied(),
+            PipelineConfig::default(),
+            None,
+            Arc::clone(&telemetry),
+        );
+        assert_eq!(observed.report.charged, plain.report.charged);
+        assert_eq!(
+            observed.report.duplicates_blocked,
+            plain.report.duplicates_blocked
+        );
+        assert_eq!(observed.report.revenue_micros, plain.report.revenue_micros);
+
+        assert_eq!(observed.health.len(), shards, "one sample per shard");
+        let total: u64 = observed.health.iter().map(|h| h.observed_elements).sum();
+        assert_eq!(total, 20_000, "shard healths partition the stream");
+        assert!(observed.health.iter().all(|h| h.fill_ratios[0] > 0.0));
+
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.get_counter("pipeline.ingest.clicks"),
+            Some(20_000),
+            "every click routed"
+        );
+        let batches: u64 = (0..shards)
+            .map(|i| {
+                snap.get_counter(&format!("pipeline.shard{i}.batches"))
+                    .expect("registered")
+            })
+            .sum();
+        assert!(batches > 0);
+        for stage in ["hash", "probe", "resequence", "billing"] {
+            let h = snap
+                .get_histogram(&format!("pipeline.stage.{stage}_ns"))
+                .expect("stage histogram registered");
+            assert!(h.count > 0, "{stage} recorded no batches");
+            assert!(h.max > 0, "{stage} latencies all zero");
+        }
+        // All queues drained at shutdown.
+        for e in &snap.entries {
+            if e.name.ends_with("queue_depth") {
+                assert_eq!(e.value, cfd_telemetry::MetricValue::Gauge(0), "{}", e.name);
+            }
+        }
+    }
+
+    /// The single-detector instrumented entry point works with a boxed
+    /// dynamic detector (the CLI's usage) and publishes terminal health.
+    #[test]
+    fn instrumented_single_shard_accepts_boxed_detector() {
+        use cfd_windows::ObservableDetector;
+        let cs = clicks(5_000);
+        let d: Box<dyn ObservableDetector + Send> = Box::new(
+            Tbf::new(
+                TbfConfig::builder(512)
+                    .entries(1 << 13)
+                    .build()
+                    .expect("cfg"),
+            )
+            .expect("detector"),
+        );
+        let metrics = Arc::new(cfd_telemetry::Registry::new());
+        let telemetry = Arc::new(PipelineTelemetry::new(&metrics, 1));
+        let outcome =
+            run_pipeline_instrumented(d, registry(), cs, 64, None, Arc::clone(&telemetry));
+        assert_eq!(outcome.report.clicks, 5_000);
+        assert_eq!(outcome.health.len(), 1);
+        assert_eq!(outcome.health[0].observed_elements, 5_000);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.get_counter("pipeline.ingest.clicks"), Some(5_000));
     }
 
     /// The merged scorer of a 4-worker run equals the single scorer of a

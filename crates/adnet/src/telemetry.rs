@@ -1,0 +1,319 @@
+//! Pipeline instrumentation: the metric bundle threaded through the
+//! stages of [`crate::pipeline::run_sharded_pipeline_instrumented`].
+//!
+//! [`PipelineTelemetry`] registers every pipeline metric into a caller
+//! supplied [`cfd_telemetry::Registry`] and hands the stages cheap,
+//! lock-free handles:
+//!
+//! * **per-shard channel depth** — a [`Gauge`] incremented by ingest on
+//!   send and decremented by the owning worker on receive, so a snapshot
+//!   shows how many batches sit in each worker's bounded queue
+//!   (backpressure made visible).
+//! * **per-stage latency** — log2-bucketed [`Histogram`]s of per-batch
+//!   wall time for the four stages: `hash` (key building), `probe`
+//!   (detector [`observe_batch`](cfd_windows::DuplicateDetector::observe_batch)),
+//!   `resequence` (heap traffic), and `billing` (ledger settlement).
+//! * **resequencer stalls** — a [`Counter`] of judged batches that
+//!   could not release a single click because the head-of-line sequence
+//!   number was still missing, plus a high-water gauge of the pending
+//!   heap.
+//! * **detector health** — per-shard [`FloatGauge`]s (fill ratio,
+//!   online FP estimate, duplicate rate, cleaning backlog, sweep
+//!   position) fed by [`cfd_telemetry::DetectorStats::health`].
+//!
+//! Health is the one metric family that is *not* free: computing a fill
+//! ratio scans the filter (`O(m)`). The workers therefore never compute
+//! it spontaneously — a reporter thread calls
+//! [`PipelineTelemetry::request_detector_health`], which raises one
+//! [`AtomicBool`] per shard; each worker swaps its flag once per batch
+//! and only pays the scan when the flag was up. The steady-state hot
+//! path costs one relaxed atomic swap per *batch*, not per click.
+
+use cfd_telemetry::Registry as MetricsRegistry;
+use cfd_telemetry::{Counter, DetectorHealth, FloatGauge, Gauge, Histogram};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Per-shard instrument handles (one set per detector worker).
+struct ShardInstruments {
+    /// Batches currently in this worker's bounded raw channel.
+    queue_depth: Arc<Gauge>,
+    /// Batches this worker has judged.
+    batches: Arc<Counter>,
+    /// Raised by the reporter; swapped down by the worker, which then
+    /// publishes a fresh health sample into the gauges below.
+    health_request: AtomicBool,
+    /// Mean fill ratio over the detector's sub-windows/lanes.
+    fill: Arc<FloatGauge>,
+    /// Online false-positive estimate from current occupancy.
+    fp_estimate: Arc<FloatGauge>,
+    /// Duplicate verdicts / observed elements.
+    duplicate_rate: Arc<FloatGauge>,
+    /// GBF spare-lane cleaning backlog (0 when idle or not a GBF).
+    clean_backlog: Arc<FloatGauge>,
+    /// TBF incremental sweep position in [0, 1).
+    sweep_position: Arc<FloatGauge>,
+}
+
+/// Lock-free instrument bundle for one pipeline run.
+///
+/// Construct with [`PipelineTelemetry::new`], wrap in an [`Arc`], and
+/// pass to `run_pipeline_instrumented` / `run_sharded_pipeline_instrumented`.
+/// All metrics live in the [`cfd_telemetry::Registry`] given at
+/// construction, so a [`cfd_telemetry::Reporter`] polling that registry
+/// sees them alongside any caller-registered metrics.
+pub struct PipelineTelemetry {
+    registry: Arc<MetricsRegistry>,
+    ingest_clicks: Arc<Counter>,
+    stage_hash_ns: Arc<Histogram>,
+    stage_probe_ns: Arc<Histogram>,
+    stage_resequence_ns: Arc<Histogram>,
+    stage_billing_ns: Arc<Histogram>,
+    reseq_stalls: Arc<Counter>,
+    pending_peak: Arc<Gauge>,
+    shards: Vec<ShardInstruments>,
+}
+
+impl std::fmt::Debug for PipelineTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineTelemetry")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PipelineTelemetry {
+    /// Registers the full pipeline metric set (for `shard_count`
+    /// workers) into `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero or if any of the metric names is
+    /// already taken in `registry` (register one bundle per run).
+    #[must_use]
+    pub fn new(registry: &Arc<MetricsRegistry>, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "telemetry needs at least one shard");
+        let shards = (0..shard_count)
+            .map(|i| ShardInstruments {
+                queue_depth: registry.gauge(
+                    &format!("pipeline.shard{i}.queue_depth"),
+                    "batches",
+                    "batches waiting in this worker's bounded channel",
+                ),
+                batches: registry.counter(
+                    &format!("pipeline.shard{i}.batches"),
+                    "batches",
+                    "batches judged by this worker",
+                ),
+                health_request: AtomicBool::new(false),
+                fill: registry.float_gauge(
+                    &format!("pipeline.shard{i}.fill"),
+                    "ratio",
+                    "mean detector fill ratio over active sub-windows",
+                ),
+                fp_estimate: registry.float_gauge(
+                    &format!("pipeline.shard{i}.fp_estimate"),
+                    "prob",
+                    "online false-positive estimate from occupancy",
+                ),
+                duplicate_rate: registry.float_gauge(
+                    &format!("pipeline.shard{i}.duplicate_rate"),
+                    "ratio",
+                    "duplicate verdicts / observed clicks",
+                ),
+                clean_backlog: registry.float_gauge(
+                    &format!("pipeline.shard{i}.clean_backlog"),
+                    "ratio",
+                    "GBF spare-lane cleaning backlog (unswept fraction)",
+                ),
+                sweep_position: registry.float_gauge(
+                    &format!("pipeline.shard{i}.sweep_pos"),
+                    "ratio",
+                    "TBF incremental sweep position",
+                ),
+            })
+            .collect();
+        Self {
+            registry: Arc::clone(registry),
+            ingest_clicks: registry.counter(
+                "pipeline.ingest.clicks",
+                "clicks",
+                "clicks routed to shard workers",
+            ),
+            stage_hash_ns: registry.histogram(
+                "pipeline.stage.hash_ns",
+                "ns",
+                "per-batch click-key building latency",
+            ),
+            stage_probe_ns: registry.histogram(
+                "pipeline.stage.probe_ns",
+                "ns",
+                "per-batch detector observe_batch latency",
+            ),
+            stage_resequence_ns: registry.histogram(
+                "pipeline.stage.resequence_ns",
+                "ns",
+                "per-batch resequencer heap latency",
+            ),
+            stage_billing_ns: registry.histogram(
+                "pipeline.stage.billing_ns",
+                "ns",
+                "per-batch billing settlement latency",
+            ),
+            reseq_stalls: registry.counter(
+                "pipeline.reseq.stalls",
+                "batches",
+                "judged batches that released no click (head-of-line gap)",
+            ),
+            pending_peak: registry.gauge(
+                "pipeline.reseq.pending_peak",
+                "clicks",
+                "high-water mark of the resequencer heap",
+            ),
+            shards,
+        }
+    }
+
+    /// The registry all instruments were registered into.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Number of shard workers this bundle was sized for.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Asks every shard worker to publish a fresh detector-health
+    /// sample at its next batch boundary.
+    ///
+    /// Call this from a reporter tick (see
+    /// [`cfd_telemetry::Reporter::spawn`]'s `on_tick` hook) right
+    /// before taking a snapshot: health scans are `O(m)` so the workers
+    /// only pay for them on request.
+    pub fn request_detector_health(&self) {
+        for shard in &self.shards {
+            shard.health_request.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Publishes a health sample into shard `idx`'s gauges.
+    ///
+    /// Also used by the pipeline for the final unconditional sample at
+    /// worker shutdown, so even a metrics-off-until-the-end run reports
+    /// terminal detector state.
+    pub fn publish_health(&self, idx: usize, health: &DetectorHealth) {
+        let s = &self.shards[idx];
+        s.fill.set(health.mean_fill());
+        s.fp_estimate.set(health.estimated_fp);
+        s.duplicate_rate.set(health.duplicate_rate());
+        s.clean_backlog.set(health.cleaning_backlog);
+        s.sweep_position.set(health.sweep_position);
+    }
+
+    /// Consumes shard `idx`'s health-request flag (true at most once
+    /// per [`request_detector_health`](Self::request_detector_health)).
+    pub(crate) fn take_health_request(&self, idx: usize) -> bool {
+        self.shards[idx]
+            .health_request
+            .swap(false, Ordering::Relaxed)
+    }
+
+    pub(crate) fn ingest_clicks(&self) -> &Counter {
+        &self.ingest_clicks
+    }
+
+    pub(crate) fn shard_queue_depth(&self, idx: usize) -> &Gauge {
+        &self.shards[idx].queue_depth
+    }
+
+    pub(crate) fn shard_batches(&self, idx: usize) -> &Counter {
+        &self.shards[idx].batches
+    }
+
+    pub(crate) fn stage_hash_ns(&self) -> &Histogram {
+        &self.stage_hash_ns
+    }
+
+    pub(crate) fn stage_probe_ns(&self) -> &Histogram {
+        &self.stage_probe_ns
+    }
+
+    pub(crate) fn stage_resequence_ns(&self) -> &Histogram {
+        &self.stage_resequence_ns
+    }
+
+    pub(crate) fn stage_billing_ns(&self) -> &Histogram {
+        &self.stage_billing_ns
+    }
+
+    pub(crate) fn reseq_stalls(&self) -> &Counter {
+        &self.reseq_stalls
+    }
+
+    pub(crate) fn pending_peak(&self) -> &Gauge {
+        &self.pending_peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_full_metric_set() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let t = PipelineTelemetry::new(&registry, 3);
+        assert_eq!(t.shard_count(), 3);
+        let snap = registry.snapshot();
+        // 7 global metrics + 7 per shard.
+        assert_eq!(snap.entries.len(), 7 + 3 * 7);
+        assert!(snap.get_counter("pipeline.ingest.clicks").is_some());
+        assert!(snap.get_histogram("pipeline.stage.probe_ns").is_some());
+        assert!(snap.get_counter("pipeline.shard2.batches").is_some());
+    }
+
+    #[test]
+    fn health_requests_are_consumed_once() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let t = PipelineTelemetry::new(&registry, 2);
+        assert!(!t.take_health_request(0));
+        t.request_detector_health();
+        assert!(t.take_health_request(0));
+        assert!(!t.take_health_request(0), "swap must consume the flag");
+        assert!(t.take_health_request(1), "each shard has its own flag");
+    }
+
+    #[test]
+    fn publish_health_lands_in_gauges() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let t = PipelineTelemetry::new(&registry, 1);
+        let h = DetectorHealth {
+            detector: "tbf",
+            fill_ratios: vec![0.25, 0.75],
+            cleaning_backlog: 0.0,
+            sweep_position: 0.0,
+            cleaned_entries: 0,
+            observed_elements: 100,
+            observed_duplicates: 10,
+            estimated_fp: 0.01,
+        };
+        t.publish_health(0, &h);
+        let snap = registry.snapshot();
+        let get = |name: &str| {
+            snap.entries
+                .iter()
+                .find(|e| e.name == name)
+                .map(|e| match e.value {
+                    cfd_telemetry::MetricValue::Float(f) => f,
+                    _ => panic!("expected float gauge"),
+                })
+                .expect("metric registered")
+        };
+        assert!((get("pipeline.shard0.fill") - 0.5).abs() < 1e-12);
+        assert!((get("pipeline.shard0.fp_estimate") - 0.01).abs() < 1e-12);
+        assert!((get("pipeline.shard0.duplicate_rate") - 0.1).abs() < 1e-12);
+    }
+}

@@ -20,6 +20,7 @@
 use cfd_bench::{measure_fp, Scale};
 use cfd_bloom::metwally::{MetwallyConfig, MetwallyJumping};
 use cfd_core::{Gbf, GbfConfig};
+use cfd_windows::DetectorStats;
 
 const Q: usize = 31;
 const K: usize = 10;
@@ -60,8 +61,8 @@ fn main() {
         scale.label()
     );
     println!(
-        "{:>9} {:>16} {:>16}",
-        "log2(N)", "metwally-meas", "gbf-meas"
+        "{:>9} {:>16} {:>16} {:>16}",
+        "log2(N)", "metwally-meas", "gbf-meas", "gbf-online-est"
     );
     for log_n in 15..=20u32 {
         let n = (1usize << log_n) / shrink;
@@ -84,10 +85,16 @@ fn main() {
         let gbf_meas = measure_fp(&mut gbf, n, 0x92 + u64::from(log_n));
 
         println!(
-            "{:>9} {:>16.6e} {:>16.6e}",
-            log_n, prev_meas.rate.estimate, gbf_meas.rate.estimate
+            "{:>9} {:>16.6e} {:>16.6e} {:>16.6e}",
+            log_n,
+            prev_meas.rate.estimate,
+            gbf_meas.rate.estimate,
+            gbf.estimated_fp()
         );
     }
     println!("# shape check: the [21] scheme's FP rises steeply with N; GBF stays");
     println!("# orders of magnitude lower across the sweep (paper Fig. 1).");
+    println!("# gbf-online-est: the telemetry estimator from live lane occupancy");
+    println!("# (DetectorStats::estimated_fp); it should rise with N alongside the");
+    println!("# measured column.");
 }

@@ -12,6 +12,7 @@
 
 use cfd_bench::{measure_fp, Scale};
 use cfd_core::{Gbf, GbfConfig};
+use cfd_windows::DetectorStats;
 
 fn main() {
     let scale = Scale::from_args();
@@ -25,8 +26,8 @@ fn main() {
     );
     println!("# N = {n}, Q = {q}, m = {m} bits/filter");
     println!(
-        "{:>3} {:>14} {:>14} {:>14} {:>14} {:>10}",
-        "k", "theory", "measured", "ci-lo", "ci-hi", "fp-count"
+        "{:>3} {:>14} {:>14} {:>14} {:>14} {:>14} {:>10}",
+        "k", "theory", "measured", "online-est", "ci-lo", "ci-hi", "fp-count"
     );
 
     for k in 1..=14usize {
@@ -40,10 +41,11 @@ fn main() {
         let measured = measure_fp(&mut gbf, n, 0x2A + k as u64);
         let theory = cfd_analysis::gbf::fp_steady(m, k, n, q);
         println!(
-            "{:>3} {:>14.6e} {:>14.6e} {:>14.6e} {:>14.6e} {:>10}",
+            "{:>3} {:>14.6e} {:>14.6e} {:>14.6e} {:>14.6e} {:>14.6e} {:>10}",
             k,
             theory,
             measured.rate.estimate,
+            gbf.estimated_fp(),
             measured.rate.lo,
             measured.rate.hi,
             measured.false_positives
@@ -51,4 +53,7 @@ fn main() {
     }
     println!("# shape check: both curves fall steeply with k and flatten near");
     println!("# k = ln2 * m/(N/Q) ~ 10; experiment tracks theory (paper Fig. 2a).");
+    println!("# online-est is the telemetry estimator (DetectorStats::estimated_fp)");
+    println!("# recomputed from live lane occupancy at end of stream: it should");
+    println!("# track the theory column without knowing N (docs/OBSERVABILITY.md).");
 }

@@ -10,6 +10,7 @@
 
 use cfd_bench::{measure_fp, Scale};
 use cfd_core::{Tbf, TbfConfig};
+use cfd_windows::DetectorStats;
 
 fn main() {
     let scale = Scale::from_args();
@@ -22,8 +23,8 @@ fn main() {
     );
     println!("# N = {n}, m = {m} entries, C = N-1");
     println!(
-        "{:>3} {:>14} {:>14} {:>14} {:>14} {:>10}",
-        "k", "theory", "measured", "ci-lo", "ci-hi", "fp-count"
+        "{:>3} {:>14} {:>14} {:>14} {:>14} {:>14} {:>10}",
+        "k", "theory", "measured", "online-est", "ci-lo", "ci-hi", "fp-count"
     );
 
     for k in 1..=14usize {
@@ -37,10 +38,11 @@ fn main() {
         let measured = measure_fp(&mut tbf, n, 0xB2 + k as u64);
         let theory = cfd_analysis::tbf::fp_sliding(m, k, n);
         println!(
-            "{:>3} {:>14.6e} {:>14.6e} {:>14.6e} {:>14.6e} {:>10}",
+            "{:>3} {:>14.6e} {:>14.6e} {:>14.6e} {:>14.6e} {:>14.6e} {:>10}",
             k,
             theory,
             measured.rate.estimate,
+            tbf.estimated_fp(),
             measured.rate.lo,
             measured.rate.hi,
             measured.false_positives
@@ -48,4 +50,7 @@ fn main() {
     }
     println!("# shape check: minimum near k = ln2 * m/N ~ 10; experiment tracks");
     println!("# theory closely (paper Fig. 2b).");
+    println!("# online-est is the telemetry estimator (DetectorStats::estimated_fp):");
+    println!("# (active_entries/m)^k from live occupancy at end of stream; it should");
+    println!("# track the theory column without knowing N (docs/OBSERVABILITY.md).");
 }

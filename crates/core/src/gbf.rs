@@ -23,6 +23,7 @@ use crate::config::{ConfigError, GbfConfig, GbfLayout};
 use crate::ops::OpCounters;
 use cfd_bits::{InterleavedBitMatrix, TightBitMatrix};
 use cfd_hash::{DoubleHashFamily, HashFamily, Planner, ProbePlan};
+use cfd_telemetry::DetectorStats;
 use cfd_windows::{DuplicateDetector, JumpingClock, Verdict, WindowSpec};
 
 /// Dynamic GBF state captured by a checkpoint.
@@ -406,6 +407,81 @@ impl DuplicateDetector for Gbf {
 
     fn name(&self) -> &'static str {
         "gbf"
+    }
+}
+
+impl DetectorStats for Gbf {
+    fn stats_name(&self) -> &'static str {
+        "gbf"
+    }
+
+    /// Fill ratio of each *active* lane (current partial sub-window
+    /// first in rotation order is not guaranteed; entries follow lane
+    /// index). `O(m)` per lane — snapshot cadence only.
+    fn fill_ratios(&self) -> Vec<f64> {
+        (0..=self.cfg.q)
+            .filter(|&lane| self.active_mask[lane / 64] >> (lane % 64) & 1 == 1)
+            .map(|lane| self.matrix.count_ones_in_lane(lane) as f64 / self.cfg.m as f64)
+            .collect()
+    }
+
+    /// Fraction of the spare lane's wipe still outstanding.
+    fn cleaning_backlog(&self) -> f64 {
+        if self.spare.is_some() {
+            (self.cfg.m - self.clean_next) as f64 / self.cfg.m as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn cleaned_entries(&self) -> u64 {
+        self.ops.clean_writes
+    }
+
+    fn observed_elements(&self) -> u64 {
+        self.ops.elements
+    }
+
+    /// Distinct elements perform exactly `k` insert writes, so the
+    /// duplicate count is recoverable from the op counters.
+    fn observed_duplicates(&self) -> u64 {
+        self.ops.elements - self.ops.insert_writes / self.cfg.k as u64
+    }
+
+    /// A fresh key is flagged iff some active lane has all `k` probed
+    /// bits set: `1 − Π over active lanes (1 − fill^k)` — Theorem 1's
+    /// `Q`-filter union evaluated at the *live* fill instead of the
+    /// design-point fill (`cfd_analysis::gbf::fp_steady`).
+    fn estimated_fp(&self) -> f64 {
+        let miss_all: f64 = self
+            .fill_ratios()
+            .iter()
+            .map(|fill| 1.0 - fill.powi(self.cfg.k as i32))
+            .product();
+        1.0 - miss_all
+    }
+
+    /// Single-scan override: `fill_ratios` costs `O(m)` per active lane
+    /// and the default assembly would run the lane count twice (once
+    /// for the ratios, once inside `estimated_fp`). Derive both from
+    /// one pass so health sampling stays cheap enough for the pipeline
+    /// reporter.
+    fn health(&self) -> cfd_telemetry::DetectorHealth {
+        let fills = self.fill_ratios();
+        let miss_all: f64 = fills
+            .iter()
+            .map(|fill| 1.0 - fill.powi(self.cfg.k as i32))
+            .product();
+        cfd_telemetry::DetectorHealth {
+            detector: self.stats_name(),
+            fill_ratios: fills,
+            cleaning_backlog: self.cleaning_backlog(),
+            sweep_position: self.sweep_position(),
+            cleaned_entries: self.cleaned_entries(),
+            observed_elements: self.observed_elements(),
+            observed_duplicates: self.observed_duplicates(),
+            estimated_fp: 1.0 - miss_all,
+        }
     }
 }
 

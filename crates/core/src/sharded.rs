@@ -23,6 +23,7 @@
 
 use crate::config::ConfigError;
 use cfd_hash::{DoubleHashFamily, HashFamily};
+use cfd_telemetry::{DetectorHealth, DetectorStats};
 use cfd_windows::{DuplicateDetector, Verdict, WindowSpec};
 
 /// Routes ids to shards by the high bits of an independent hash.
@@ -244,6 +245,72 @@ impl<D: DuplicateDetector> DuplicateDetector for ShardedDetector<D> {
 
     fn name(&self) -> &'static str {
         "sharded"
+    }
+}
+
+/// Health of the composition: per-shard samples folded with
+/// [`DetectorHealth::aggregate`] — fill ratios concatenate across
+/// shards, counters sum, backlog/sweep/FP average.
+impl<D: DetectorStats> DetectorStats for ShardedDetector<D> {
+    fn stats_name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn fill_ratios(&self) -> Vec<f64> {
+        self.shards
+            .iter()
+            .flat_map(DetectorStats::fill_ratios)
+            .collect()
+    }
+
+    fn cleaning_backlog(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(DetectorStats::cleaning_backlog)
+            .sum::<f64>()
+            / self.shards.len() as f64
+    }
+
+    fn sweep_position(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(DetectorStats::sweep_position)
+            .sum::<f64>()
+            / self.shards.len() as f64
+    }
+
+    fn cleaned_entries(&self) -> u64 {
+        self.shards.iter().map(DetectorStats::cleaned_entries).sum()
+    }
+
+    fn observed_elements(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(DetectorStats::observed_elements)
+            .sum()
+    }
+
+    fn observed_duplicates(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(DetectorStats::observed_duplicates)
+            .sum()
+    }
+
+    fn estimated_fp(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(DetectorStats::estimated_fp)
+            .sum::<f64>()
+            / self.shards.len() as f64
+    }
+
+    fn health(&self) -> DetectorHealth {
+        let samples: Vec<DetectorHealth> = self.shards.iter().map(DetectorStats::health).collect();
+        let mut health =
+            DetectorHealth::aggregate(&samples).expect("sharded detector has >= 1 shard");
+        health.detector = "sharded";
+        health
     }
 }
 

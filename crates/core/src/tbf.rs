@@ -21,6 +21,7 @@ use crate::config::{ConfigError, TbfConfig};
 use crate::ops::OpCounters;
 use cfd_bits::PackedIntVec;
 use cfd_hash::{DoubleHashFamily, HashFamily, Planner, ProbePlan};
+use cfd_telemetry::DetectorStats;
 use cfd_windows::{DuplicateDetector, Verdict, WindowSpec, WrapCounter};
 
 /// Dynamic TBF state captured by a checkpoint.
@@ -108,6 +109,20 @@ impl Tbf {
     #[must_use]
     pub fn occupied_entries(&self) -> usize {
         self.cfg.m - self.entries.count_eq(self.empty)
+    }
+
+    /// Number of entries holding an *active* timestamp — occupied and
+    /// within the window, excluding expired-but-unswept entries
+    /// (diagnostics; `O(m)`). This is the occupancy that drives the
+    /// false-positive rate: only active entries can satisfy a probe.
+    #[must_use]
+    pub fn active_entries(&self) -> usize {
+        (0..self.cfg.m)
+            .filter(|&i| {
+                let e = self.entries.get(i);
+                e != self.empty && self.is_active(e)
+            })
+            .count()
     }
 
     /// The sliding window in elements (`N`).
@@ -295,6 +310,63 @@ impl DuplicateDetector for Tbf {
 
     fn name(&self) -> &'static str {
         "tbf"
+    }
+}
+
+impl DetectorStats for Tbf {
+    fn stats_name(&self) -> &'static str {
+        "tbf"
+    }
+
+    /// One entry: the active-timestamp occupancy ratio (`O(m)`).
+    fn fill_ratios(&self) -> Vec<f64> {
+        vec![self.active_entries() as f64 / self.cfg.m as f64]
+    }
+
+    /// Normalized position of the incremental sweep through the table.
+    fn sweep_position(&self) -> f64 {
+        self.clean_next as f64 / self.cfg.m as f64
+    }
+
+    fn cleaned_entries(&self) -> u64 {
+        self.ops.clean_writes
+    }
+
+    fn observed_elements(&self) -> u64 {
+        self.ops.elements
+    }
+
+    /// Distinct elements perform exactly `k` insert writes, so the
+    /// duplicate count is recoverable from the op counters.
+    fn observed_duplicates(&self) -> u64 {
+        self.ops.elements - self.ops.insert_writes / self.cfg.k as u64
+    }
+
+    /// A fresh key is flagged iff all `k` probes land on active entries:
+    /// `(active/m)^k` — the classical Bloom FP formula evaluated at the
+    /// *live* occupancy instead of the design point
+    /// (`cfd_analysis::tbf::fp_sliding`).
+    fn estimated_fp(&self) -> f64 {
+        (self.active_entries() as f64 / self.cfg.m as f64).powi(self.cfg.k as i32)
+    }
+
+    /// Single-scan override: `fill_ratios` and `estimated_fp` each need
+    /// the `O(m)` active-entry count, and the default assembly would
+    /// pay that scan twice. Pipeline workers sample health at every
+    /// reporter request and once at shutdown, so halving the scan keeps
+    /// the instrumented pipeline inside its overhead budget.
+    fn health(&self) -> cfd_telemetry::DetectorHealth {
+        let fill = self.active_entries() as f64 / self.cfg.m as f64;
+        cfd_telemetry::DetectorHealth {
+            detector: self.stats_name(),
+            fill_ratios: vec![fill],
+            cleaning_backlog: 0.0,
+            sweep_position: self.sweep_position(),
+            cleaned_entries: self.cleaned_entries(),
+            observed_elements: self.observed_elements(),
+            observed_duplicates: self.observed_duplicates(),
+            estimated_fp: fill.powi(self.cfg.k as i32),
+        }
     }
 }
 

@@ -17,6 +17,7 @@ use crate::ops::OpCounters;
 use cfd_bits::words::bits_for_value;
 use cfd_bits::PackedIntVec;
 use cfd_hash::{DoubleHashFamily, HashFamily, Planner, ProbePlan};
+use cfd_telemetry::DetectorStats;
 use cfd_windows::{DuplicateDetector, JumpingClock, Verdict, WindowSpec, WrapCounter};
 
 /// Configuration of a [`JumpingTbf`] detector.
@@ -166,6 +167,18 @@ impl JumpingTbf {
         self.ops
     }
 
+    /// Number of entries holding an *active* sub-window index — the
+    /// occupancy that drives the false-positive rate (`O(m)`).
+    #[must_use]
+    pub fn active_entries(&self) -> usize {
+        (0..self.cfg.m)
+            .filter(|&i| {
+                let e = self.entries.get(i);
+                e != self.empty && self.is_active(e)
+            })
+            .count()
+    }
+
     /// Sub-index age: 0 = current sub-window. Active iff `< Q`.
     #[inline]
     fn sub_age(&self, e: u64) -> u64 {
@@ -281,6 +294,58 @@ impl DuplicateDetector for JumpingTbf {
 
     fn name(&self) -> &'static str {
         "jumping-tbf"
+    }
+}
+
+impl DetectorStats for JumpingTbf {
+    fn stats_name(&self) -> &'static str {
+        "jumping-tbf"
+    }
+
+    /// One entry: the active-sub-index occupancy ratio (`O(m)`).
+    fn fill_ratios(&self) -> Vec<f64> {
+        vec![self.active_entries() as f64 / self.cfg.m as f64]
+    }
+
+    /// Normalized position of the incremental sweep through the table.
+    fn sweep_position(&self) -> f64 {
+        self.clean_next as f64 / self.cfg.m as f64
+    }
+
+    fn cleaned_entries(&self) -> u64 {
+        self.ops.clean_writes
+    }
+
+    fn observed_elements(&self) -> u64 {
+        self.ops.elements
+    }
+
+    /// Distinct elements perform exactly `k` insert writes, so the
+    /// duplicate count is recoverable from the op counters.
+    fn observed_duplicates(&self) -> u64 {
+        self.ops.elements - self.ops.insert_writes / self.cfg.k as u64
+    }
+
+    /// Classical Bloom FP at the live active occupancy: `(active/m)^k`.
+    fn estimated_fp(&self) -> f64 {
+        (self.active_entries() as f64 / self.cfg.m as f64).powi(self.cfg.k as i32)
+    }
+
+    /// Single-scan override: `fill_ratios` and `estimated_fp` each need
+    /// the `O(m)` active-entry count; assemble the sample from one scan
+    /// (see the matching override on `Tbf`).
+    fn health(&self) -> cfd_telemetry::DetectorHealth {
+        let fill = self.active_entries() as f64 / self.cfg.m as f64;
+        cfd_telemetry::DetectorHealth {
+            detector: self.stats_name(),
+            fill_ratios: vec![fill],
+            cleaning_backlog: 0.0,
+            sweep_position: self.sweep_position(),
+            cleaned_entries: self.cleaned_entries(),
+            observed_elements: self.observed_elements(),
+            observed_duplicates: self.observed_duplicates(),
+            estimated_fp: fill.powi(self.cfg.k as i32),
+        }
     }
 }
 

@@ -9,7 +9,7 @@
 //! (Aumasson & Bernstein, 2012) is a PRF under a 128-bit secret key,
 //! making probe positions unpredictable to anyone without the key.
 //!
-//! [`SipHashFamily`] is a drop-in [`HashFamily`](crate::family::HashFamily)
+//! [`SipHashFamily`] is a drop-in [`crate::family::HashFamily`]
 //! at roughly half Murmur's throughput (see the `hashing` ablation
 //! bench); use it when click identifiers are attacker-controlled.
 

@@ -1,0 +1,139 @@
+//! Last-value instruments: integer and floating-point gauges.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A signed integer level (queue depth, heap size, live entry count).
+///
+/// All operations are single relaxed atomics; a reader sees some value
+/// the gauge actually held (never a torn mix of two writes).
+///
+/// ```rust
+/// use cfd_telemetry::Gauge;
+/// let g = Gauge::new();
+/// g.add(5);
+/// g.sub(2);
+/// assert_eq!(g.get(), 3);
+/// g.set_max(10);
+/// assert_eq!(g.get(), 10);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments the level by `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrements the level by `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raises the level to `v` if `v` is larger (high-water marks).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A floating-point level (fill ratio, FP estimate, duplicate rate).
+///
+/// Stored as the `f64` bit pattern in one `AtomicU64`, so reads are
+/// torn-read safe: a reader always sees a value some writer actually
+/// stored.
+///
+/// ```rust
+/// use cfd_telemetry::FloatGauge;
+/// let g = FloatGauge::new();
+/// g.set(0.25);
+/// assert_eq!(g.get(), 0.25);
+/// ```
+#[derive(Debug)]
+pub struct FloatGauge {
+    bits: AtomicU64,
+}
+
+impl Default for FloatGauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FloatGauge {
+    /// Creates a gauge holding `0.0`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// Sets the level. Non-finite values are stored as `0.0` so JSON
+    /// output stays parseable.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        let v = if v.is_finite() { v } else { 0.0 };
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_gauge_tracks_level() {
+        let g = Gauge::new();
+        g.set(7);
+        g.add(3);
+        g.sub(4);
+        assert_eq!(g.get(), 6);
+        g.set_max(2);
+        assert_eq!(g.get(), 6, "set_max never lowers");
+        g.set_max(100);
+        assert_eq!(g.get(), 100);
+    }
+
+    #[test]
+    fn float_gauge_round_trips() {
+        let g = FloatGauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(0.125);
+        assert_eq!(g.get(), 0.125);
+        g.set(f64::NAN);
+        assert_eq!(g.get(), 0.0, "non-finite stored as zero");
+        g.set(f64::INFINITY);
+        assert_eq!(g.get(), 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Detector health: the [`DetectorStats`] contract and the
+//! [`DetectorHealth`] sample it produces.
+//!
+//! Every duplicate detector in the workspace — the Group Bloom Filter
+//! (jumping windows, paper §4), the Timing Bloom Filter (sliding
+//! windows, paper §5), and the exact baselines — answers the same
+//! questions: how full am I, how far behind is my cleaning, how many
+//! duplicates have I flagged, and what false-positive rate does my
+//! *live occupancy* imply. The last one matters most operationally: the
+//! sizing rules in `cfd-analysis` predict the FP rate from `n`, `m`,
+//! and `k` at design time, and [`DetectorStats::estimated_fp`] recomputes
+//! it from the filter's actual bit occupancy at run time, so a skewed
+//! or hotter-than-provisioned stream shows up as the two diverging.
+
+/// A point-in-time health sample from one detector.
+///
+/// Produced by [`DetectorStats::health`]; the pipeline publishes these
+/// through per-shard gauges and `cfd run --metrics` prints them in each
+/// snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorHealth {
+    /// Detector implementation name (`gbf`, `tbf`, `exact-sliding`, ...).
+    pub detector: &'static str,
+    /// Fill ratio per sub-window: fraction of set bits per active GBF
+    /// lane, or the single occupancy ratio for TBF/exact detectors.
+    pub fill_ratios: Vec<f64>,
+    /// Fraction of pending amortized cleaning work still outstanding
+    /// (GBF spare-lane reset; 0 when idle or not applicable).
+    pub cleaning_backlog: f64,
+    /// Normalized position of the incremental sweep through the filter
+    /// (TBF `clean_next / m`; 0 when not applicable).
+    pub sweep_position: f64,
+    /// Total entries expired/evicted by cleaning so far.
+    pub cleaned_entries: u64,
+    /// Total clicks observed.
+    pub observed_elements: u64,
+    /// Total clicks flagged as duplicates.
+    pub observed_duplicates: u64,
+    /// Online false-positive estimate from live occupancy (see
+    /// [`DetectorStats::estimated_fp`]).
+    pub estimated_fp: f64,
+}
+
+impl DetectorHealth {
+    /// Mean fill ratio across sub-windows (0 when there are none).
+    #[must_use]
+    pub fn mean_fill(&self) -> f64 {
+        if self.fill_ratios.is_empty() {
+            0.0
+        } else {
+            self.fill_ratios.iter().sum::<f64>() / self.fill_ratios.len() as f64
+        }
+    }
+
+    /// Peak fill ratio across sub-windows (0 when there are none).
+    #[must_use]
+    pub fn max_fill(&self) -> f64 {
+        self.fill_ratios.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Observed duplicate rate: duplicates / elements (0 when no
+    /// traffic has been seen).
+    #[must_use]
+    pub fn duplicate_rate(&self) -> f64 {
+        if self.observed_elements == 0 {
+            0.0
+        } else {
+            self.observed_duplicates as f64 / self.observed_elements as f64
+        }
+    }
+
+    /// Merges per-shard samples into one aggregate view: fill ratios
+    /// are concatenated, counters summed, backlog/sweep/FP averaged
+    /// over the inputs. Returns `None` for an empty slice.
+    #[must_use]
+    pub fn aggregate(samples: &[Self]) -> Option<Self> {
+        let first = samples.first()?;
+        let n = samples.len() as f64;
+        Some(Self {
+            detector: first.detector,
+            fill_ratios: samples
+                .iter()
+                .flat_map(|s| s.fill_ratios.iter().copied())
+                .collect(),
+            cleaning_backlog: samples.iter().map(|s| s.cleaning_backlog).sum::<f64>() / n,
+            sweep_position: samples.iter().map(|s| s.sweep_position).sum::<f64>() / n,
+            cleaned_entries: samples.iter().map(|s| s.cleaned_entries).sum(),
+            observed_elements: samples.iter().map(|s| s.observed_elements).sum(),
+            observed_duplicates: samples.iter().map(|s| s.observed_duplicates).sum(),
+            estimated_fp: samples.iter().map(|s| s.estimated_fp).sum::<f64>() / n,
+        })
+    }
+}
+
+/// Health introspection implemented by every detector in the workspace.
+///
+/// The accessors are allowed to be `O(m)` in the filter size — callers
+/// (the pipeline reporter) poll them at snapshot cadence, never on the
+/// per-click hot path. See `crates/adnet`'s request-flag pattern:
+/// workers only compute health when the reporter has asked for it.
+pub trait DetectorStats {
+    /// Implementation name; defaults match `DuplicateDetector::name`.
+    fn stats_name(&self) -> &'static str;
+
+    /// Fill ratio per sub-window (active GBF lanes, or one entry for
+    /// single-table detectors). Each value is in `[0, 1]`.
+    fn fill_ratios(&self) -> Vec<f64>;
+
+    /// Fraction of pending amortized cleaning still outstanding, in
+    /// `[0, 1]`. Non-zero only for detectors with deferred cleaning
+    /// (GBF spare-lane reset).
+    fn cleaning_backlog(&self) -> f64 {
+        0.0
+    }
+
+    /// Normalized incremental-sweep position `clean_next / m` in
+    /// `[0, 1)`. Non-zero only for sweeping detectors (TBF).
+    fn sweep_position(&self) -> f64 {
+        0.0
+    }
+
+    /// Total entries expired or evicted by cleaning so far.
+    fn cleaned_entries(&self) -> u64 {
+        0
+    }
+
+    /// Total clicks observed since construction/reset.
+    fn observed_elements(&self) -> u64;
+
+    /// Total clicks flagged as duplicates since construction/reset.
+    fn observed_duplicates(&self) -> u64;
+
+    /// Online false-positive estimate computed from the filter's live
+    /// occupancy: for a Bloom-style filter with `k` hash functions the
+    /// probability a fresh key collides is `fill^k` per probed table,
+    /// combined across whatever tables are probed. Exact detectors
+    /// return `0.0`.
+    fn estimated_fp(&self) -> f64;
+
+    /// Assembles the full [`DetectorHealth`] sample.
+    fn health(&self) -> DetectorHealth {
+        DetectorHealth {
+            detector: self.stats_name(),
+            fill_ratios: self.fill_ratios(),
+            cleaning_backlog: self.cleaning_backlog(),
+            sweep_position: self.sweep_position(),
+            cleaned_entries: self.cleaned_entries(),
+            observed_elements: self.observed_elements(),
+            observed_duplicates: self.observed_duplicates(),
+            estimated_fp: self.estimated_fp(),
+        }
+    }
+}
+
+impl<D: DetectorStats + ?Sized> DetectorStats for Box<D> {
+    fn stats_name(&self) -> &'static str {
+        (**self).stats_name()
+    }
+    fn fill_ratios(&self) -> Vec<f64> {
+        (**self).fill_ratios()
+    }
+    fn cleaning_backlog(&self) -> f64 {
+        (**self).cleaning_backlog()
+    }
+    fn sweep_position(&self) -> f64 {
+        (**self).sweep_position()
+    }
+    fn cleaned_entries(&self) -> u64 {
+        (**self).cleaned_entries()
+    }
+    fn observed_elements(&self) -> u64 {
+        (**self).observed_elements()
+    }
+    fn observed_duplicates(&self) -> u64 {
+        (**self).observed_duplicates()
+    }
+    fn estimated_fp(&self) -> f64 {
+        (**self).estimated_fp()
+    }
+    fn health(&self) -> DetectorHealth {
+        (**self).health()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+
+    impl DetectorStats for Fake {
+        fn stats_name(&self) -> &'static str {
+            "fake"
+        }
+        fn fill_ratios(&self) -> Vec<f64> {
+            vec![0.25, 0.75]
+        }
+        fn observed_elements(&self) -> u64 {
+            100
+        }
+        fn observed_duplicates(&self) -> u64 {
+            10
+        }
+        fn estimated_fp(&self) -> f64 {
+            0.01
+        }
+    }
+
+    #[test]
+    fn health_assembles_defaults() {
+        let h = Fake.health();
+        assert_eq!(h.detector, "fake");
+        assert_eq!(h.mean_fill(), 0.5);
+        assert_eq!(h.max_fill(), 0.75);
+        assert_eq!(h.duplicate_rate(), 0.1);
+        assert_eq!(h.cleaning_backlog, 0.0);
+        assert_eq!(h.sweep_position, 0.0);
+        assert_eq!(h.cleaned_entries, 0);
+    }
+
+    #[test]
+    fn boxed_and_dyn_delegate() {
+        let boxed: Box<dyn DetectorStats> = Box::new(Fake);
+        assert_eq!(boxed.health(), Fake.health());
+    }
+
+    #[test]
+    fn aggregate_sums_and_averages() {
+        let a = Fake.health();
+        let mut b = Fake.health();
+        b.estimated_fp = 0.03;
+        let agg = DetectorHealth::aggregate(&[a, b]).unwrap();
+        assert_eq!(agg.observed_elements, 200);
+        assert_eq!(agg.observed_duplicates, 20);
+        assert_eq!(agg.fill_ratios.len(), 4);
+        assert!((agg.estimated_fp - 0.02).abs() < 1e-12);
+        assert!(DetectorHealth::aggregate(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_health_rates_are_zero() {
+        let h = DetectorHealth {
+            detector: "empty",
+            fill_ratios: vec![],
+            cleaning_backlog: 0.0,
+            sweep_position: 0.0,
+            cleaned_entries: 0,
+            observed_elements: 0,
+            observed_duplicates: 0,
+            estimated_fp: 0.0,
+        };
+        assert_eq!(h.mean_fill(), 0.0);
+        assert_eq!(h.duplicate_rate(), 0.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Log2-bucketed latency histograms over `u64` atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per power of two of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index of `v`: 0 for zero, else `64 − leading_zeros(v)`, so
+/// bucket `b ≥ 1` spans `[2^(b−1), 2^b − 1]`.
+#[inline]
+#[must_use]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive value range `[lo, hi]` of bucket `b`.
+#[inline]
+fn bucket_range(b: usize) -> (u64, u64) {
+    if b == 0 {
+        (0, 0)
+    } else if b >= 64 {
+        (1 << 63, u64::MAX)
+    } else {
+        (1 << (b - 1), (1 << b) - 1)
+    }
+}
+
+/// A lock-free histogram with logarithmic (power-of-two) buckets.
+///
+/// `record` is three relaxed atomic RMWs (bucket count, running sum,
+/// running max) — cheap enough for per-batch latency samples on the
+/// pipeline hot path. [`Histogram::snapshot`] reads every atomic
+/// exactly once, so snapshots taken under concurrent writers are
+/// torn-read safe and bucket counts are monotone across snapshots.
+///
+/// Quantiles are estimated from the bucket counts with linear
+/// interpolation inside the winning bucket, so the estimate is within
+/// one power of two of the true order statistic — the right resolution
+/// for latency work where distributions span decades.
+///
+/// ```rust
+/// use cfd_telemetry::Histogram;
+/// let h = Histogram::new();
+/// for v in [1u64, 2, 3, 100, 1000] {
+///     h.record(v);
+/// }
+/// let s = h.snapshot();
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.max, 1000);
+/// assert!(s.p50() >= 2 && s.p50() <= 3);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A consistent point-in-time copy: every atomic is read exactly
+    /// once. The derived `count` is the sum of the bucket reads, so it
+    /// can never disagree with the buckets it was computed from.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state; mergeable across
+/// shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sample count per log2 bucket.
+    pub buckets: [u64; BUCKETS],
+    /// Total samples (always the sum of `buckets`).
+    pub count: u64,
+    /// Sum of all recorded values (mean = `sum / count`); wraps on
+    /// `u64` overflow, unreachable for realistic latency totals.
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no samples.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Folds `other` into `self`: the result equals a snapshot of one
+    /// histogram that had recorded both sample sets (per-shard
+    /// histograms merge into the global view this way).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        // Wrapping, matching `record`'s atomic add: merging shard
+        // snapshots equals one histogram that saw all samples, bit for
+        // bit, even in the overflow regime.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated value at quantile `q ∈ [0, 1]`, linearly interpolated
+    /// inside the winning log2 bucket (0 when empty). The estimate for
+    /// the top-most populated bucket is additionally clamped to the
+    /// exact recorded `max`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the order statistic we are after.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            // The largest sample is tracked exactly; no need to estimate.
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = bucket_range(b);
+                let within = (rank - seen - 1) as f64 / n as f64; // [0, 1)
+                let est = lo + ((hi - lo) as f64 * within) as u64;
+                return est.min(self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of((1 << 32) - 1), 32);
+        assert_eq!(bucket_of(1 << 32), 33);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn zero_one_and_max_are_recorded() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[64], 1);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn exact_powers_of_two_open_new_buckets() {
+        let h = Histogram::new();
+        for shift in 0..64u32 {
+            h.record(1u64 << shift);
+        }
+        let s = h.snapshot();
+        // 1 << 0 = 1 lands in bucket 1, ..., 1 << 63 in bucket 64.
+        for b in 1..BUCKETS {
+            assert_eq!(s.buckets[b], 1, "bucket {b}");
+        }
+        assert_eq!(s.buckets[0], 0);
+    }
+
+    #[test]
+    fn boundary_values_stay_in_lower_bucket() {
+        let h = Histogram::new();
+        for shift in 1..64u32 {
+            h.record((1u64 << shift) - 1); // top value of bucket `shift`
+        }
+        let s = h.snapshot();
+        for b in 1..64 {
+            assert_eq!(s.buckets[b], 1, "bucket {b}");
+        }
+        assert_eq!(s.buckets[64], 0);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_samples() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        // log2 resolution: the estimate is within one bucket (2x) of truth.
+        let p50 = s.p50();
+        assert!((256..=1000).contains(&p50), "p50 = {p50}");
+        assert!(s.p90() >= s.p50());
+        assert!(s.p99() >= s.p90());
+        assert!(s.p99() <= s.max);
+        assert!((s.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s, HistogramSnapshot::empty());
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(500);
+        let s = h.snapshot();
+        assert!(s.quantile(0.0) <= 7, "q0 within first bucket");
+        assert_eq!(s.quantile(1.0), 500);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..2_000u64 {
+            if v % 2 == 0 {
+                a.record(v * 31);
+            } else {
+                b.record(v * 31);
+            }
+            all.record(v * 31);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+}

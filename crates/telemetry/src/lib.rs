@@ -1,0 +1,70 @@
+//! # cfd-telemetry — observability for the click-fraud detection stack
+//!
+//! The ROADMAP north star is a production-scale system serving heavy
+//! pay-per-click traffic; this crate is how that system is *watched*.
+//! It provides lock-free metric primitives, a [`Registry`] that renders
+//! consistent snapshots as a human table or JSON lines, a periodic
+//! [`Reporter`] thread, and the [`DetectorStats`] health contract that
+//! every duplicate detector in the workspace implements.
+//!
+//! Everything is built on `std` atomics only — no external
+//! dependencies, no locks on any hot path:
+//!
+//! * [`Counter`] — a monotone event counter striped over cache-padded
+//!   `AtomicU64`s so concurrent writers (one pipeline worker per shard)
+//!   never contend on one cache line.
+//! * [`Gauge`] / [`FloatGauge`] — last-value instruments for levels
+//!   (queue depths, fill ratios, online FP estimates).
+//! * [`Histogram`] — a log2-bucketed `u64` histogram (65 buckets, one
+//!   per power of two) with mergeable [`HistogramSnapshot`]s and
+//!   p50/p90/p99/max estimation, used for per-stage latencies.
+//! * [`Registry`] + [`Snapshot`] — named registration and torn-read-safe
+//!   snapshotting: every atomic is read exactly once per snapshot, so a
+//!   snapshot taken mid-traffic is internally consistent per metric and
+//!   monotone across snapshots for counters.
+//! * [`Reporter`] — a background thread printing snapshots at a fixed
+//!   interval (the `cfd run --metrics` machinery).
+//! * [`DetectorStats`] / [`DetectorHealth`] — per-detector health:
+//!   fill ratio per sub-window, cleaning backlog, sweep position,
+//!   evictions, observed duplicate rate, and an online false-positive
+//!   estimate computed from live occupancy (cross-checked against the
+//!   `cfd-analysis` closed forms in the integration suite).
+//!
+//! ## Quick start
+//!
+//! ```rust
+//! use cfd_telemetry::Registry;
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(Registry::new());
+//! let clicks = registry.counter("pipeline.ingest.clicks", "clicks", "clicks admitted");
+//! let latency = registry.histogram("pipeline.stage.probe_ns", "ns", "probe latency per batch");
+//!
+//! clicks.add(1024);
+//! latency.record(83_000);
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.get_counter("pipeline.ingest.clicks"), Some(1024));
+//! println!("{}", snap.to_table());       // human-readable
+//! println!("{}", snap.to_json_line());   // one JSON object per snapshot
+//! ```
+//!
+//! The full metric catalog emitted by the pipeline and CLI lives in
+//! `docs/OBSERVABILITY.md` at the repository root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod gauge;
+pub mod health;
+pub mod histogram;
+pub mod registry;
+pub mod reporter;
+
+pub use counter::Counter;
+pub use gauge::{FloatGauge, Gauge};
+pub use health::{DetectorHealth, DetectorStats};
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{MetricValue, Registry, Snapshot, SnapshotEntry};
+pub use reporter::{Reporter, SnapshotFormat};

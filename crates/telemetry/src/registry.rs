@@ -1,0 +1,433 @@
+//! Named metric registration and consistent snapshot rendering.
+
+use crate::counter::Counter;
+use crate::gauge::{FloatGauge, Gauge};
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One registered instrument.
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    FloatGauge(Arc<FloatGauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Metric {
+    name: String,
+    unit: &'static str,
+    help: String,
+    instrument: Instrument,
+}
+
+/// Central metric directory: hands out shared instrument handles and
+/// renders consistent [`Snapshot`]s.
+///
+/// Registration takes a mutex (cold path, done once at startup);
+/// recording through the returned `Arc` handles is lock-free. A
+/// snapshot reads every underlying atomic exactly once, so counter
+/// values are monotone across snapshots even under full write load
+/// (stress-tested in `tests/concurrency.rs`).
+///
+/// Metric names are dotted paths (`pipeline.shard0.queue_depth`); the
+/// full catalog the pipeline emits is documented in
+/// `docs/OBSERVABILITY.md`.
+pub struct Registry {
+    metrics: Mutex<Vec<Metric>>,
+    seq: AtomicU64,
+    started: Instant,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            metrics: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    fn register(&self, name: &str, unit: &'static str, help: &str, instrument: Instrument) {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        assert!(
+            !metrics.iter().any(|m| m.name == name),
+            "metric `{name}` registered twice"
+        );
+        metrics.push(Metric {
+            name: name.to_owned(),
+            unit,
+            help: help.to_owned(),
+            instrument,
+        });
+    }
+
+    /// Registers and returns a monotone [`Counter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered (a programming error).
+    pub fn counter(&self, name: &str, unit: &'static str, help: &str) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.register(name, unit, help, Instrument::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Registers and returns an integer [`Gauge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn gauge(&self, name: &str, unit: &'static str, help: &str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.register(name, unit, help, Instrument::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Registers and returns a [`FloatGauge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn float_gauge(&self, name: &str, unit: &'static str, help: &str) -> Arc<FloatGauge> {
+        let g = Arc::new(FloatGauge::new());
+        self.register(name, unit, help, Instrument::FloatGauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Registers and returns a log2 [`Histogram`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn histogram(&self, name: &str, unit: &'static str, help: &str) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.register(name, unit, help, Instrument::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Takes a consistent snapshot of every registered metric.
+    ///
+    /// Each underlying atomic is loaded exactly once; the snapshot
+    /// sequence number increments per call so JSON-lines consumers can
+    /// detect gaps.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("registry poisoned");
+        let entries = metrics
+            .iter()
+            .map(|m| SnapshotEntry {
+                name: m.name.clone(),
+                unit: m.unit,
+                help: m.help.clone(),
+                value: match &m.instrument {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::FloatGauge(g) => MetricValue::Float(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                },
+            })
+            .collect();
+        Snapshot {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            elapsed_ms: self.started.elapsed().as_millis() as u64,
+            entries,
+        }
+    }
+}
+
+/// The value of one metric inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter total.
+    Counter(u64),
+    /// Integer gauge level.
+    Gauge(i64),
+    /// Floating-point gauge level.
+    Float(f64),
+    /// Full histogram state (boxed: a snapshot carries 65 buckets and
+    /// would otherwise dominate the enum's size).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One metric's name, metadata, and sampled value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// Dotted metric name.
+    pub name: String,
+    /// Unit label (`clicks`, `batches`, `ns`, `ratio`).
+    pub unit: &'static str,
+    /// One-line description from registration.
+    pub help: String,
+    /// Sampled value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time view of every metric in a [`Registry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Snapshot sequence number (0-based, per registry).
+    pub seq: u64,
+    /// Milliseconds since the registry was created.
+    pub elapsed_ms: u64,
+    /// All metrics, in registration order.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+/// Escapes a string for a JSON string literal (control chars, quotes,
+/// backslashes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number (non-finite becomes `0`, keeping
+/// every emitted line strictly parseable).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+impl Snapshot {
+    /// Looks up a counter value by name.
+    #[must_use]
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find(|e| e.name == name).and_then(|e| {
+            if let MetricValue::Counter(v) = e.value {
+                Some(v)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Looks up a histogram snapshot by name.
+    #[must_use]
+    pub fn get_histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.entries.iter().find(|e| e.name == name).and_then(|e| {
+            if let MetricValue::Histogram(ref h) = e.value {
+                Some(&**h)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Renders the snapshot as an aligned human-readable table.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== telemetry snapshot #{} (t+{:.1}s) ==",
+            self.seq,
+            self.elapsed_ms as f64 / 1000.0
+        );
+        let width = self
+            .entries
+            .iter()
+            .map(|e| e.name.len())
+            .max()
+            .unwrap_or(0)
+            .max(24);
+        for e in &self.entries {
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{:<width$}  counter    {v} {}", e.name, e.unit);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{:<width$}  gauge      {v} {}", e.name, e.unit);
+                }
+                MetricValue::Float(v) => {
+                    let _ = writeln!(out, "{:<width$}  gauge      {v:.6} {}", e.name, e.unit);
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<width$}  histogram  count={} mean={:.0} p50={} p90={} p99={} max={} {}",
+                        e.name,
+                        h.count,
+                        h.mean(),
+                        h.p50(),
+                        h.p90(),
+                        h.p99(),
+                        h.max,
+                        e.unit,
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON object on a single line
+    /// (JSON-lines framing: one snapshot per line, no trailing
+    /// newline).
+    ///
+    /// Shape:
+    ///
+    /// ```json
+    /// {"seq":0,"elapsed_ms":12,"metrics":{
+    ///    "a.counter":{"type":"counter","unit":"clicks","value":7},
+    ///    "a.hist":{"type":"histogram","unit":"ns","count":9,"sum":123,
+    ///              "mean":13.7,"p50":8,"p90":60,"p99":60,"max":61}}}
+    /// ```
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"elapsed_ms\":{},\"metrics\":{{",
+            self.seq, self.elapsed_ms
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"type\":\"{}\",\"unit\":\"{}\"",
+                json_escape(&e.name),
+                match e.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) | MetricValue::Float(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                },
+                json_escape(e.unit),
+            );
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, ",\"value\":{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, ",\"value\":{v}");
+                }
+                MetricValue::Float(v) => {
+                    let _ = write!(out, ",\"value\":{}", json_f64(*v));
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        ",\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}",
+                        h.count,
+                        h.sum,
+                        json_f64(h.mean()),
+                        h.p50(),
+                        h.p90(),
+                        h.p99(),
+                        h.max,
+                    );
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_and_snapshots_every_kind() {
+        let r = Registry::new();
+        let c = r.counter("t.count", "clicks", "clicks seen");
+        let g = r.gauge("t.depth", "batches", "queue depth");
+        let f = r.float_gauge("t.fill", "ratio", "fill ratio");
+        let h = r.histogram("t.lat", "ns", "latency");
+        c.add(5);
+        g.set(-2);
+        f.set(0.5);
+        h.record(1000);
+
+        let s = r.snapshot();
+        assert_eq!(s.seq, 0);
+        assert_eq!(s.entries.len(), 4);
+        assert_eq!(s.get_counter("t.count"), Some(5));
+        assert_eq!(s.get_histogram("t.lat").map(|h| h.count), Some(1));
+        assert_eq!(r.snapshot().seq, 1, "sequence increments");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_name_panics() {
+        let r = Registry::new();
+        let _a = r.counter("dup", "x", "");
+        let _b = r.gauge("dup", "x", "");
+    }
+
+    #[test]
+    fn table_lists_every_metric() {
+        let r = Registry::new();
+        r.counter("a.one", "clicks", "").add(1);
+        r.histogram("a.two", "ns", "").record(5);
+        let table = r.snapshot().to_table();
+        assert!(table.contains("a.one"));
+        assert!(table.contains("a.two"));
+        assert!(table.contains("p99="));
+    }
+
+    #[test]
+    fn json_line_is_single_line_and_balanced() {
+        let r = Registry::new();
+        r.counter("m.count", "clicks", "help").add(42);
+        r.float_gauge("m.fill", "ratio", "help").set(0.25);
+        r.histogram("m.lat", "ns", "help").record(77);
+        let line = r.snapshot().to_json_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "balanced braces: {line}"
+        );
+        assert!(
+            line.contains("\"m.count\":{\"type\":\"counter\",\"unit\":\"clicks\",\"value\":42}")
+        );
+        assert!(line.contains("\"p99\":77"));
+        assert!(line.starts_with("{\"seq\":0,"));
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        let r = Registry::new();
+        r.counter("we\"ird\\name", "u\tnit", "").add(1);
+        let line = r.snapshot().to_json_line();
+        assert!(line.contains("we\\\"ird\\\\name"));
+        assert!(line.contains("u\\tnit"));
+    }
+
+    #[test]
+    fn non_finite_floats_stay_parseable() {
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

@@ -1,0 +1,156 @@
+//! Periodic snapshot reporting: the thread behind `cfd run --metrics`.
+
+use crate::registry::Registry;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How [`Reporter`] renders each snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFormat {
+    /// Aligned human-readable table ([`crate::Snapshot::to_table`]).
+    Table,
+    /// One JSON object per line ([`crate::Snapshot::to_json_line`]).
+    JsonLines,
+}
+
+/// A background thread that snapshots a [`Registry`] at a fixed
+/// interval and writes the rendering to standard error.
+///
+/// Output goes to stderr so experiment results on stdout stay
+/// machine-readable. An optional `on_tick` callback runs before each
+/// snapshot; the pipeline uses it to raise per-shard health-request
+/// flags so workers publish fresh detector health without the reporter
+/// ever touching a detector (workers own them exclusively).
+///
+/// Call [`Reporter::stop`] to emit one final snapshot and join the
+/// thread; dropping without `stop` aborts the loop without a final
+/// snapshot.
+pub struct Reporter {
+    stop_tx: Option<mpsc::Sender<()>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Reporter {
+    /// Spawns the reporter thread.
+    ///
+    /// `on_tick` runs on the reporter thread immediately before every
+    /// snapshot (including the final one at [`Reporter::stop`]).
+    pub fn spawn(
+        registry: Arc<Registry>,
+        interval: Duration,
+        format: SnapshotFormat,
+        on_tick: impl Fn() + Send + 'static,
+    ) -> Self {
+        let (stop_tx, stop_rx) = mpsc::channel::<()>();
+        let handle = std::thread::Builder::new()
+            .name("cfd-telemetry-reporter".into())
+            .spawn(move || loop {
+                match stop_rx.recv_timeout(interval) {
+                    Err(RecvTimeoutError::Timeout) => {
+                        on_tick();
+                        emit(&registry, format);
+                    }
+                    Ok(()) => {
+                        // Graceful stop: one final snapshot so short runs
+                        // (shorter than `interval`) still report.
+                        on_tick();
+                        emit(&registry, format);
+                        return;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            })
+            .expect("spawn telemetry reporter");
+        Self {
+            stop_tx: Some(stop_tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// Emits one final snapshot and joins the reporter thread.
+    pub fn stop(mut self) {
+        if let Some(tx) = &self.stop_tx {
+            let _ = tx.send(());
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        // Dropping the sender disconnects the channel; the loop sees
+        // `Disconnected` and exits without a final snapshot (unless
+        // `stop` already sent the graceful signal above).
+        drop(self.stop_tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn emit(registry: &Registry, format: SnapshotFormat) {
+    let snap = registry.snapshot();
+    match format {
+        SnapshotFormat::Table => eprint!("{}", snap.to_table()),
+        SnapshotFormat::JsonLines => eprintln!("{}", snap.to_json_line()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn ticks_run_and_stop_joins() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("r.ticks", "ticks", "").add(1);
+        let ticks = Arc::new(AtomicU64::new(0));
+        let ticks_inner = Arc::clone(&ticks);
+        let reporter = Reporter::spawn(
+            Arc::clone(&registry),
+            Duration::from_millis(5),
+            SnapshotFormat::JsonLines,
+            move || {
+                ticks_inner.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        std::thread::sleep(Duration::from_millis(40));
+        reporter.stop();
+        // At least one periodic tick plus the final stop tick.
+        assert!(ticks.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn stop_emits_final_tick_even_on_short_runs() {
+        let registry = Arc::new(Registry::new());
+        let ticks = Arc::new(AtomicU64::new(0));
+        let ticks_inner = Arc::clone(&ticks);
+        let reporter = Reporter::spawn(
+            registry,
+            Duration::from_secs(3600),
+            SnapshotFormat::Table,
+            move || {
+                ticks_inner.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        reporter.stop();
+        assert_eq!(ticks.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_without_stop_terminates() {
+        let registry = Arc::new(Registry::new());
+        let reporter = Reporter::spawn(
+            registry,
+            Duration::from_secs(3600),
+            SnapshotFormat::Table,
+            || {},
+        );
+        drop(reporter); // must not hang
+    }
+}

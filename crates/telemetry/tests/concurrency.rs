@@ -1,0 +1,142 @@
+//! Stress tests for snapshot consistency under concurrent writers.
+//!
+//! Loom-style in spirit: writer threads hammer the instruments while a
+//! reader takes registry snapshots and checks the invariants the
+//! torn-read-safe design promises — counters are monotone across
+//! snapshots, never exceed the acknowledged write total, and histogram
+//! `count` always equals the sum of its buckets.
+
+use cfd_telemetry::{MetricValue, Registry};
+use crossbeam::channel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Writers report committed increments over a crossbeam channel; the
+/// channel's internal lock orders those (relaxed) counter writes before
+/// the reader's load, so acknowledged work must be visible: after the
+/// reader has received acks totalling `T`, every snapshot satisfies
+/// `T <= counter <= total_writes_eventually`.
+#[test]
+fn counter_snapshots_are_monotone_and_bound_acked_writes() {
+    const WRITERS: usize = 8;
+    const BATCHES: u64 = 200;
+    const PER_BATCH: u64 = 500;
+
+    let registry = Arc::new(Registry::new());
+    let clicks = registry.counter("stress.clicks", "clicks", "stress writes");
+    let (ack_tx, ack_rx) = channel::unbounded::<u64>();
+
+    std::thread::scope(|s| {
+        for _ in 0..WRITERS {
+            let clicks = Arc::clone(&clicks);
+            let ack_tx = ack_tx.clone();
+            s.spawn(move || {
+                for _ in 0..BATCHES {
+                    for _ in 0..PER_BATCH {
+                        clicks.inc();
+                    }
+                    ack_tx.send(PER_BATCH).unwrap();
+                }
+            });
+        }
+        drop(ack_tx);
+
+        let mut acked = 0u64;
+        let mut last_seen = 0u64;
+        while let Ok(n) = ack_rx.recv() {
+            acked += n;
+            let snap = registry.snapshot();
+            let now = snap.get_counter("stress.clicks").unwrap();
+            assert!(
+                now >= acked,
+                "snapshot {now} below acknowledged writes {acked}"
+            );
+            assert!(
+                now >= last_seen,
+                "counter went backwards: {last_seen} -> {now}"
+            );
+            assert!(now <= WRITERS as u64 * BATCHES * PER_BATCH);
+            last_seen = now;
+        }
+    });
+
+    assert_eq!(clicks.get(), WRITERS as u64 * BATCHES * PER_BATCH);
+}
+
+/// A histogram snapshot's derived `count` can never disagree with its
+/// buckets, and bucket counts are monotone, even while writers record.
+#[test]
+fn histogram_snapshots_stay_internally_consistent() {
+    let registry = Arc::new(Registry::new());
+    let latency = registry.histogram("stress.lat", "ns", "stress samples");
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let latency = Arc::clone(&latency);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut v = t + 1;
+                while !done.load(Ordering::Relaxed) {
+                    latency.record(v);
+                    v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+            });
+        }
+
+        let mut last = [0u64; cfd_telemetry::BUCKETS];
+        for _ in 0..5_000 {
+            let snap = registry.snapshot();
+            let MetricValue::Histogram(ref h) = snap.entries[0].value else {
+                panic!("expected histogram entry");
+            };
+            assert_eq!(h.count, h.buckets.iter().sum::<u64>());
+            for (b, (&now, &before)) in h.buckets.iter().zip(&last).enumerate() {
+                assert!(now >= before, "bucket {b} went backwards");
+            }
+            last = h.buckets;
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+}
+
+/// Mixed-instrument registries snapshot cleanly under load and render
+/// parseable JSON lines throughout.
+#[test]
+fn json_rendering_is_stable_under_writes() {
+    let registry = Arc::new(Registry::new());
+    let c = registry.counter("mix.count", "clicks", "");
+    let g = registry.gauge("mix.depth", "batches", "");
+    let f = registry.float_gauge("mix.fill", "ratio", "");
+    let h = registry.histogram("mix.lat", "ns", "");
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        {
+            let (c, g, f, h) = (
+                Arc::clone(&c),
+                Arc::clone(&g),
+                Arc::clone(&f),
+                Arc::clone(&h),
+            );
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut i = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    c.inc();
+                    g.set(i as i64 % 64);
+                    f.set(i as f64 / 1e6);
+                    h.record(i % 100_000);
+                    i += 1;
+                }
+            });
+        }
+        for _ in 0..2_000 {
+            let line = registry.snapshot().to_json_line();
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+            assert!(line.contains("\"mix.count\""));
+            assert!(!line.contains('\n'));
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+}

@@ -1,0 +1,86 @@
+//! Property tests: sharded histograms must be indistinguishable from a
+//! single global one once merged — the invariant the pipeline's
+//! per-shard stage histograms rely on when `cfd run --metrics` folds
+//! them into one latency view.
+
+use cfd_telemetry::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+proptest! {
+    /// Splitting a sample stream across any number of shard-local
+    /// histograms and merging the snapshots equals recording the whole
+    /// stream into one histogram, regardless of how samples are routed.
+    #[test]
+    fn merged_shard_histograms_equal_global(
+        shards in 1usize..=16,
+        samples in prop::collection::vec((any::<u64>(), 0usize..16), 0..600),
+    ) {
+        let shard_hists: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        let global = Histogram::new();
+        for &(value, route) in &samples {
+            shard_hists[route % shards].record(value);
+            global.record(value);
+        }
+
+        let mut merged = HistogramSnapshot::empty();
+        for h in &shard_hists {
+            merged.merge(&h.snapshot());
+        }
+
+        prop_assert_eq!(merged, global.snapshot());
+    }
+
+    /// Merge is order-independent: folding shard snapshots left-to-right
+    /// and right-to-left produces the same result.
+    #[test]
+    fn merge_is_commutative(
+        a_samples in prop::collection::vec(any::<u64>(), 0..300),
+        b_samples in prop::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for &v in &a_samples {
+            a.record(v);
+        }
+        for &v in &b_samples {
+            b.record(v);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Quantiles honour their contract on arbitrary inputs: bounded by
+    /// the exact max, non-decreasing in `q`, and within one log2 bucket
+    /// of a true order statistic.
+    #[test]
+    fn quantiles_are_ordered_and_bounded(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..400),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(s.max, *sorted.last().unwrap());
+        prop_assert!(s.p50() <= s.p90());
+        prop_assert!(s.p90() <= s.p99());
+        prop_assert!(s.p99() <= s.max);
+
+        // p50 within one power of two of the true median.
+        let true_p50 = sorted[(sorted.len() - 1) / 2];
+        let est = s.p50().max(1);
+        let truth = true_p50.max(1);
+        prop_assert!(
+            est / 2 <= truth && truth <= est.saturating_mul(2).max(1),
+            "p50 estimate {est} not within 2x of true median {truth}"
+        );
+    }
+}

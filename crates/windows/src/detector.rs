@@ -99,6 +99,19 @@ impl<D: DuplicateDetector + ?Sized> DuplicateDetector for Box<D> {
     }
 }
 
+/// A duplicate detector that also reports health telemetry.
+///
+/// Marker for `DuplicateDetector + DetectorStats`, blanket-implemented
+/// for every type satisfying both — its purpose is trait objects:
+/// `Box<dyn ObservableDetector>` keeps runtime-chosen detectors (the
+/// `cfd` CLI) both observable and drivable, where two separate `dyn`
+/// bounds could not share one box.
+///
+/// [`DetectorStats`]: cfd_telemetry::DetectorStats
+pub trait ObservableDetector: DuplicateDetector + cfd_telemetry::DetectorStats {}
+
+impl<D: DuplicateDetector + cfd_telemetry::DetectorStats + ?Sized> ObservableDetector for D {}
+
 /// A one-pass duplicate detector over a *time-based* decaying window.
 ///
 /// Each observation carries its tick; ticks must be non-decreasing at the

@@ -18,7 +18,27 @@
 use crate::clock::JumpingClock;
 use crate::detector::{DuplicateDetector, Verdict};
 use crate::spec::WindowSpec;
+use cfd_telemetry::DetectorStats;
 use std::collections::{HashSet, VecDeque};
+
+/// Observation tallies shared by the exact oracles, so they can answer
+/// the [`DetectorStats`] health contract alongside the approximate
+/// detectors (their false-positive estimate is identically zero).
+#[derive(Debug, Clone, Copy, Default)]
+struct ExactTally {
+    observed: u64,
+    duplicates: u64,
+}
+
+impl ExactTally {
+    #[inline]
+    fn record(&mut self, v: Verdict) {
+        self.observed += 1;
+        if v == Verdict::Duplicate {
+            self.duplicates += 1;
+        }
+    }
+}
 
 /// Exact duplicate detection over a count-based *sliding* window.
 ///
@@ -39,6 +59,7 @@ pub struct ExactSlidingDedup {
     /// Ids of valid clicks currently inside the window (at most one valid
     /// instance of an id can be active at a time).
     valid: HashSet<Vec<u8>>,
+    tally: ExactTally,
 }
 
 impl ExactSlidingDedup {
@@ -54,6 +75,7 @@ impl ExactSlidingDedup {
             n,
             ring: VecDeque::with_capacity(n),
             valid: HashSet::new(),
+            tally: ExactTally::default(),
         }
     }
 
@@ -72,14 +94,16 @@ impl DuplicateDetector for ExactSlidingDedup {
                 self.valid.remove(&old);
             }
         }
-        if self.valid.contains(id) {
+        let verdict = if self.valid.contains(id) {
             self.ring.push_back((id.to_vec(), false));
             Verdict::Duplicate
         } else {
             self.valid.insert(id.to_vec());
             self.ring.push_back((id.to_vec(), true));
             Verdict::Distinct
-        }
+        };
+        self.tally.record(verdict);
+        verdict
     }
 
     fn window(&self) -> WindowSpec {
@@ -96,10 +120,36 @@ impl DuplicateDetector for ExactSlidingDedup {
     fn reset(&mut self) {
         self.ring.clear();
         self.valid.clear();
+        self.tally = ExactTally::default();
     }
 
     fn name(&self) -> &'static str {
         "exact-sliding"
+    }
+}
+
+impl DetectorStats for ExactSlidingDedup {
+    fn stats_name(&self) -> &'static str {
+        "exact-sliding"
+    }
+
+    /// One entry: the fraction of the `n`-slot window holding valid
+    /// clicks (exact analogue of a Bloom fill ratio).
+    fn fill_ratios(&self) -> Vec<f64> {
+        vec![self.valid.len() as f64 / self.n as f64]
+    }
+
+    fn observed_elements(&self) -> u64 {
+        self.tally.observed
+    }
+
+    fn observed_duplicates(&self) -> u64 {
+        self.tally.duplicates
+    }
+
+    /// Exact oracles make no false positives.
+    fn estimated_fp(&self) -> f64 {
+        0.0
     }
 }
 
@@ -111,6 +161,7 @@ pub struct ExactJumpingDedup {
     clock: JumpingClock,
     /// Newest sub-window last; at most `q` sets.
     subs: VecDeque<HashSet<Vec<u8>>>,
+    tally: ExactTally,
 }
 
 impl ExactJumpingDedup {
@@ -132,6 +183,7 @@ impl ExactJumpingDedup {
             n,
             clock: JumpingClock::new(q, n.div_ceil(q)),
             subs,
+            tally: ExactTally::default(),
         }
     }
 
@@ -159,6 +211,7 @@ impl DuplicateDetector for ExactJumpingDedup {
                 self.subs.pop_front();
             }
         }
+        self.tally.record(verdict);
         verdict
     }
 
@@ -183,10 +236,37 @@ impl DuplicateDetector for ExactJumpingDedup {
         self.clock = JumpingClock::new(q, sub_len);
         self.subs.clear();
         self.subs.push_back(HashSet::new());
+        self.tally = ExactTally::default();
     }
 
     fn name(&self) -> &'static str {
         "exact-jumping"
+    }
+}
+
+impl DetectorStats for ExactJumpingDedup {
+    fn stats_name(&self) -> &'static str {
+        "exact-jumping"
+    }
+
+    /// One entry per active sub-window: valid clicks over the
+    /// sub-window's element capacity.
+    fn fill_ratios(&self) -> Vec<f64> {
+        let sub_len = self.clock.sub_len().max(1) as f64;
+        self.subs.iter().map(|s| s.len() as f64 / sub_len).collect()
+    }
+
+    fn observed_elements(&self) -> u64 {
+        self.tally.observed
+    }
+
+    fn observed_duplicates(&self) -> u64 {
+        self.tally.duplicates
+    }
+
+    /// Exact oracles make no false positives.
+    fn estimated_fp(&self) -> f64 {
+        0.0
     }
 }
 
@@ -197,6 +277,7 @@ pub struct ExactLandmarkDedup {
     n: usize,
     filled: usize,
     seen: HashSet<Vec<u8>>,
+    tally: ExactTally,
 }
 
 impl ExactLandmarkDedup {
@@ -212,6 +293,7 @@ impl ExactLandmarkDedup {
             n,
             filled: 0,
             seen: HashSet::new(),
+            tally: ExactTally::default(),
         }
     }
 }
@@ -223,11 +305,13 @@ impl DuplicateDetector for ExactLandmarkDedup {
             self.filled = 0;
         }
         self.filled += 1;
-        if self.seen.insert(id.to_vec()) {
+        let verdict = if self.seen.insert(id.to_vec()) {
             Verdict::Distinct
         } else {
             Verdict::Duplicate
-        }
+        };
+        self.tally.record(verdict);
+        verdict
     }
 
     fn window(&self) -> WindowSpec {
@@ -241,10 +325,36 @@ impl DuplicateDetector for ExactLandmarkDedup {
     fn reset(&mut self) {
         self.seen.clear();
         self.filled = 0;
+        self.tally = ExactTally::default();
     }
 
     fn name(&self) -> &'static str {
         "exact-landmark"
+    }
+}
+
+impl DetectorStats for ExactLandmarkDedup {
+    fn stats_name(&self) -> &'static str {
+        "exact-landmark"
+    }
+
+    /// One entry: distinct clicks seen in the current landmark window
+    /// over the window's element capacity.
+    fn fill_ratios(&self) -> Vec<f64> {
+        vec![self.seen.len() as f64 / self.n as f64]
+    }
+
+    fn observed_elements(&self) -> u64 {
+        self.tally.observed
+    }
+
+    fn observed_duplicates(&self) -> u64 {
+        self.tally.duplicates
+    }
+
+    /// Exact oracles make no false positives.
+    fn estimated_fp(&self) -> f64 {
+        0.0
     }
 }
 

@@ -28,8 +28,11 @@ pub mod spec;
 pub mod time;
 pub mod wrap;
 
+pub use cfd_telemetry::{DetectorHealth, DetectorStats};
 pub use clock::JumpingClock;
-pub use detector::{DuplicateDetector, StreamSummary, TimedDuplicateDetector, Verdict};
+pub use detector::{
+    DuplicateDetector, ObservableDetector, StreamSummary, TimedDuplicateDetector, Verdict,
+};
 pub use exact::{ExactJumpingDedup, ExactLandmarkDedup, ExactSlidingDedup};
 pub use exact_time::{ExactTimeJumpingDedup, ExactTimeSlidingDedup};
 pub use spec::WindowSpec;

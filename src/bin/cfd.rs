@@ -3,13 +3,20 @@
 //! ```text
 //! cfd generate --kind botnet --count 100000 --out clicks.cfdt
 //! cfd detect   --algo tbf --window 8192 --trace clicks.cfdt --score-publishers
+//! cfd run      --algo tbf --kind botnet --count 1000000 --shards 4 --metrics
 //! cfd size     --algo gbf --window 1048576 --sub-windows 8 --target-fp 0.001
 //! ```
 //!
 //! The trace format is the `CFDT` binary of `cfd_stream::trace`; every
-//! run is deterministic for a given `--seed`.
+//! run is deterministic for a given `--seed`. `cfd run` drives the full
+//! concurrent billing pipeline and, with `--metrics[=millis]`, prints
+//! periodic telemetry snapshots to stderr (the metric catalog lives in
+//! `docs/OBSERVABILITY.md`).
 
-use cfd_adnet::FraudScorer;
+use cfd_adnet::{
+    run_sharded_pipeline, run_sharded_pipeline_instrumented, Advertiser, AdvertiserId, Campaign,
+    FraudScorer, PipelineConfig, PipelineTelemetry,
+};
 use cfd_core::sharded::{per_shard_window, ShardedDetector};
 use cfd_core::tbf_jumping::{JumpingTbf, JumpingTbfConfig};
 use cfd_core::{Gbf, GbfConfig, Tbf, TbfConfig};
@@ -17,9 +24,12 @@ use cfd_stream::{
     read_trace, write_trace, BotnetConfig, BotnetStream, Click, CoalitionConfig, CoalitionStream,
     CrawlerStream, DuplicateInjector, FlashCrowdConfig, FlashCrowdStream, UniqueClickStream,
 };
-use cfd_windows::{DuplicateDetector, ExactSlidingDedup, StreamSummary};
+use cfd_telemetry::{Registry as TelemetryRegistry, Reporter, SnapshotFormat};
+use cfd_windows::{DuplicateDetector, ExactSlidingDedup, ObservableDetector, StreamSummary};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +60,16 @@ commands:
               default 14, the paper's Fig. 2 ratio; --shards splits the
               keyspace over S detectors of window N/S, --batch sets the
               observe_batch chunk size, default 512)
+  run        drive the concurrent billing pipeline end to end
+             --algo tbf|gbf|jumping-tbf|exact [--window <N>]
+             [--sub-windows <Q>] [--cells-per-element <c>] [--k <hashes>]
+             [--seed <u64>] [--shards <S>] [--batch <B>] [--queue <Q>]
+             (--trace <file> | [--kind <workload>] [--count <clicks>])
+             [--metrics[=millis]] [--metrics-json]
+             (--metrics prints periodic telemetry snapshots to stderr:
+              per-shard queue depth, per-stage latency, detector fill +
+              online FP estimate; --metrics-json emits JSON lines
+              instead of tables; see docs/OBSERVABILITY.md)
   size       memory required for a target false-positive rate
              --algo gbf|tbf|metwally --window <N> [--sub-windows <Q>]
              --target-fp <rate>
@@ -66,6 +86,12 @@ impl Opts {
             let name = arg
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected an option, got `{arg}`"))?;
+            // `--name=value` binds inline; otherwise the next
+            // non-option token is the value, and a bare flag is "true".
+            if let Some((name, value)) = name.split_once('=') {
+                map.insert(name.to_owned(), value.to_owned());
+                continue;
+            }
             let value = match it.peek() {
                 Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
                 _ => "true".to_owned(),
@@ -99,6 +125,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&Opts::parse(&args[1..])?),
         Some("detect") => cmd_detect(&Opts::parse(&args[1..])?),
+        Some("run") => cmd_run(&Opts::parse(&args[1..])?),
         Some("size") => cmd_size(&Opts::parse(&args[1..])?),
         Some("help") | None => {
             println!("{USAGE}");
@@ -108,13 +135,10 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_generate(opts: &Opts) -> Result<(), String> {
-    let kind = opts.required("kind")?.to_owned();
-    let count: usize = opts.parse_num("count", 100_000)?;
-    let seed: u64 = opts.parse_num("seed", 0)?;
-    let out = opts.required("out")?.to_owned();
-
-    let clicks: Vec<Click> = match kind.as_str() {
+/// Synthesizes `count` clicks of the named workload (shared by
+/// `cfd generate` and `cfd run`).
+fn synth_clicks(kind: &str, count: usize, seed: u64) -> Result<Vec<Click>, String> {
+    Ok(match kind {
         "unique" => UniqueClickStream::new(seed, 16, 64).take(count).collect(),
         "duplicates" => {
             DuplicateInjector::new(UniqueClickStream::new(seed, 16, 64), 0.25, 5_000, seed ^ 1)
@@ -148,15 +172,25 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
         .map(|c| c.click)
         .collect(),
         other => return Err(format!("--kind: unknown workload `{other}`")),
-    };
+    })
+}
 
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let kind = opts.required("kind")?.to_owned();
+    let count: usize = opts.parse_num("count", 100_000)?;
+    let seed: u64 = opts.parse_num("seed", 0)?;
+    let out = opts.required("out")?.to_owned();
+
+    let clicks = synth_clicks(&kind, count, seed)?;
     let buf = write_trace(&clicks);
     std::fs::write(&out, &buf).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {count} clicks ({} bytes) to {out}", buf.len());
     Ok(())
 }
 
-/// Builds one detector of count window `window` for `cmd_detect`.
+/// Builds one detector of count window `window` for `cmd_detect` /
+/// `cmd_run`. The boxed trait object carries [`ObservableDetector`] so
+/// the instrumented pipeline can also poll detector health through it.
 fn build_detector(
     algo: &str,
     window: usize,
@@ -164,7 +198,7 @@ fn build_detector(
     cells_per_element: usize,
     k: usize,
     seed: u64,
-) -> Result<Box<dyn DuplicateDetector>, String> {
+) -> Result<Box<dyn ObservableDetector + Send>, String> {
     Ok(match algo {
         "tbf" => Box::new(
             Tbf::new(
@@ -221,7 +255,7 @@ fn cmd_detect(opts: &Opts) -> Result<(), String> {
     // N/S (same total memory, soft window edge — see
     // `cfd_analysis::sharding`); the routing seed is decorrelated from
     // the probe seed by `ShardRouter` itself.
-    let mut detector: Box<dyn DuplicateDetector> = if shards > 1 {
+    let mut detector: Box<dyn ObservableDetector + Send> = if shards > 1 {
         let n_s = per_shard_window(window, shards);
         let mut inner = Vec::with_capacity(shards);
         for _ in 0..shards {
@@ -286,6 +320,137 @@ fn cmd_detect(opts: &Opts) -> Result<(), String> {
                 }
             );
         }
+    }
+    Ok(())
+}
+
+/// A billing registry covering every ad that appears in `clicks`: one
+/// advertiser with an effectively unlimited budget, one campaign per
+/// distinct ad at a flat CPC.
+fn billing_registry(clicks: &[Click]) -> cfd_adnet::Registry {
+    let mut ads: Vec<_> = clicks.iter().map(|c| c.id.ad).collect();
+    ads.sort_unstable();
+    ads.dedup();
+    let mut registry = cfd_adnet::Registry::new();
+    registry.add_advertiser(Advertiser::new(AdvertiserId(1), "advertiser", u64::MAX / 4));
+    for ad in ads {
+        registry
+            .add_campaign(Campaign {
+                ad,
+                advertiser: AdvertiserId(1),
+                cpc_micros: 100,
+            })
+            .expect("advertiser just registered");
+    }
+    registry
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let algo = opts.get("algo").unwrap_or("tbf").to_owned();
+    let window: usize = opts.parse_num("window", 1 << 16)?;
+    let q: usize = opts.parse_num("sub-windows", 8)?;
+    let cells_per_element: usize = opts.parse_num("cells-per-element", 14)?;
+    let k: usize = opts.parse_num("k", 10)?;
+    let seed: u64 = opts.parse_num("seed", 0)?;
+    let shards: usize = opts.parse_num("shards", 4)?;
+    let batch: usize = opts.parse_num("batch", 512)?;
+    let queue: usize = opts.parse_num("queue", 16)?;
+    if shards == 0 || batch == 0 || queue == 0 {
+        return Err("--shards, --batch, and --queue must be at least 1".into());
+    }
+
+    let clicks: Vec<Click> = match opts.get("trace") {
+        Some(path) => {
+            let buf = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+            read_trace(&buf).map_err(|e| e.to_string())?
+        }
+        None => {
+            let kind = opts.get("kind").unwrap_or("botnet");
+            let count: usize = opts.parse_num("count", 1_000_000)?;
+            synth_clicks(kind, count, seed)?
+        }
+    };
+
+    // `--metrics` alone means a 1s cadence; `--metrics=250` (or
+    // `--metrics 250`) overrides it. `--metrics-json` implies metrics.
+    let interval_ms: u64 = match opts.get("metrics") {
+        None => 1_000,
+        Some("true") => 1_000,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--metrics: bad interval `{v}`"))?,
+    };
+    let metrics_on = opts.flag("metrics") || opts.flag("metrics-json");
+    let format = if opts.flag("metrics-json") {
+        SnapshotFormat::JsonLines
+    } else {
+        SnapshotFormat::Table
+    };
+
+    // The 1-shard case still goes through the sharded pipeline (one
+    // worker, trivial router); same code path, same telemetry.
+    let build_sharded =
+        || -> Result<ShardedDetector<Box<dyn ObservableDetector + Send>>, String> {
+            let n_s = per_shard_window(window, shards);
+            let mut inner = Vec::with_capacity(shards);
+            for _ in 0..shards {
+                inner.push(build_detector(&algo, n_s, q, cells_per_element, k, seed)?);
+            }
+            ShardedDetector::new(seed, inner).map_err(|e| e.to_string())
+        };
+    let detector = build_sharded()?;
+    let registry = billing_registry(&clicks);
+    let config = PipelineConfig { batch, queue };
+    let total = clicks.len();
+
+    let started = Instant::now();
+    let outcome = if metrics_on {
+        let metrics = Arc::new(TelemetryRegistry::new());
+        let telemetry = Arc::new(PipelineTelemetry::new(&metrics, shards));
+        let on_tick = {
+            let telemetry = Arc::clone(&telemetry);
+            move || telemetry.request_detector_health()
+        };
+        let reporter = Reporter::spawn(
+            Arc::clone(&metrics),
+            Duration::from_millis(interval_ms.max(1)),
+            format,
+            on_tick,
+        );
+        let outcome =
+            run_sharded_pipeline_instrumented(detector, registry, clicks, config, None, telemetry);
+        reporter.stop(); // final snapshot, even on sub-interval runs
+        outcome
+    } else {
+        run_sharded_pipeline(detector, registry, clicks, config, None)
+    };
+    let elapsed = started.elapsed();
+
+    let r = &outcome.report;
+    println!("pipeline : {} over {window} ({shards} shards)", r.detector);
+    println!(
+        "memory   : {:.1} KiB",
+        r.detector_memory_bits as f64 / 8.0 / 1024.0
+    );
+    println!(
+        "clicks   : {total} in {:.2}s ({:.0} clicks/s)",
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!("charged  : {}", r.charged);
+    println!(
+        "blocked  : {} duplicates ({} micros saved)",
+        r.duplicates_blocked, r.savings_micros
+    );
+    println!("revenue  : {} micros", r.revenue_micros);
+    for (i, h) in outcome.health.iter().enumerate() {
+        println!(
+            "shard {i}  : fill={:.4} est_fp={:.2e} dup_rate={:.4} elements={}",
+            h.mean_fill(),
+            h.estimated_fp,
+            h.duplicate_rate(),
+            h.observed_elements
+        );
     }
     Ok(())
 }

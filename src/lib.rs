@@ -16,6 +16,7 @@
 //! | [`stream`] (`cfd-stream`) | Click model, workload generators, trace I/O |
 //! | [`adnet`] (`cfd-adnet`) | Pay-per-click network simulator with detector-guarded billing |
 //! | [`analysis`] (`cfd-analysis`) | Closed-form false-positive models and sizing solvers |
+//! | [`telemetry`] (`cfd-telemetry`) | Lock-free counters/gauges/histograms and detector health (see `docs/OBSERVABILITY.md`) |
 //! | [`hash`] / [`bits`] | The hashing and bit-storage substrates |
 //!
 //! ## Quick start
@@ -49,11 +50,12 @@ pub use cfd_bloom as bloom;
 pub use cfd_core as core;
 pub use cfd_hash as hash;
 pub use cfd_stream as stream;
+pub use cfd_telemetry as telemetry;
 pub use cfd_windows as windows;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use cfd_adnet::{AdNetwork, Advertiser, AdvertiserId, Campaign};
+    pub use cfd_adnet::{AdNetwork, Advertiser, AdvertiserId, Campaign, PipelineTelemetry};
     pub use cfd_core::{
         Gbf, GbfConfig, GbfLayout, JumpingTbf, OpCounters, Tbf, TbfConfig, TimeGbf, TimeTbf,
     };
@@ -61,8 +63,9 @@ pub mod prelude {
         AdId, BotnetConfig, BotnetStream, Click, ClickId, DuplicateInjector, PublisherId,
         UniqueClickStream,
     };
+    pub use cfd_telemetry::{DetectorHealth, DetectorStats, Registry as TelemetryRegistry};
     pub use cfd_windows::{
-        DuplicateDetector, ExactJumpingDedup, ExactSlidingDedup, StreamSummary,
+        DuplicateDetector, ExactJumpingDedup, ExactSlidingDedup, ObservableDetector, StreamSummary,
         TimedDuplicateDetector, Verdict, WindowSpec,
     };
 }
