@@ -45,4 +45,38 @@ print(f"   {len(lines)} snapshots parsed, ingest counter exact")
 EOF
 fi
 
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> throughput smoke: blocked vs scattered (quick scale)"
+    # Quick scale writes its own file; the committed full-scale
+    # BENCH_pr3.json is regenerated only by a manual full run.
+    ./target/release/throughput --quick --out target/BENCH_quick.json \
+        >/tmp/cfd_throughput.txt
+    tail -n 4 /tmp/cfd_throughput.txt | sed 's/^/   /'
+    echo "==> BENCH json schema + blocked FP within model bound (>10% fails)"
+    for f in target/BENCH_quick.json BENCH_pr3.json; do
+        python3 - "$f" <<'EOF'
+import json, sys, math
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "cfd-bench-throughput/1", d["schema"]
+assert {"scale", "clicks", "rounds", "configs", "speedups", "checks"} <= d.keys()
+layouts = set()
+for c in d["configs"]:
+    assert {"name", "family", "layout", "clicks_per_sec_median",
+            "clicks_per_sec_rounds", "fp_measured", "fp_model"} <= c.keys(), c["name"]
+    assert len(c["clicks_per_sec_rounds"]) == d["rounds"], c["name"]
+    layouts.add(c["layout"])
+    if c["layout"] == "blocked":
+        model, fp = c["fp_model"], c["fp_measured"]
+        slack = 3 * math.sqrt(model * (1 - model) / d["clicks"])
+        assert fp <= model * 1.1 + slack, \
+            f'{c["name"]}: measured FP {fp} exceeds model {model} by >10%'
+assert layouts == {"scattered", "blocked"}
+if d["scale"] == "full":
+    assert all(d["checks"].values()), d["checks"]
+    assert min(d["speedups"]["tbf"], d["speedups"]["gbf"]) >= 1.3, d["speedups"]
+print(f'   {sys.argv[1]}: {d["scale"]} scale, {len(d["configs"])} configs, FP within model bound')
+EOF
+    done
+fi
+
 echo "CI OK"

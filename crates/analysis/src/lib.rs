@@ -9,6 +9,9 @@
 //! * [`counting_scheme`] — the Metwally et al. \[21\] main-filter model the
 //!   paper plots in Fig. 1 (§3.3): querying a combined filter that
 //!   effectively holds all `N` window elements.
+//! * [`blocked`] — false-positive penalty of cache-line-blocked probing
+//!   (`ProbeLayout::Blocked`): Poisson per-block load mixed through an
+//!   inclusion–exclusion coverage term, in closed form.
 //! * [`tbf`] — false-positive rate of a TBF probe over a sliding window
 //!   (classical Bloom load at `n = N − 1` active elements; stale entries
 //!   fail the activity check and do not contribute).
@@ -26,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blocked;
 pub mod cost;
 pub mod counting_scheme;
 pub mod gbf;

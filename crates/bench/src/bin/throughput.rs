@@ -1,0 +1,480 @@
+//! PR 3 throughput benchmark: scattered vs. cache-line-blocked probing.
+//!
+//! Measures single-thread and sharded (hash-once) clicks/sec for the
+//! GBF and TBF detectors in both probe layouts on a distinct-id stream,
+//! and cross-checks the blocked layout's measured false-positive rate
+//! against the closed-form model in `cfd_analysis::blocked`. Every
+//! `Duplicate` verdict on a distinct stream is a false positive, so the
+//! timing stream doubles as the FP experiment.
+//!
+//! Protocol (reproducible by construction):
+//!
+//! * fixed seeds, fixed id stream (`0..clicks` little-endian — the hash
+//!   family scrambles them, so the probe pattern is uniform);
+//! * one warm-up round per configuration, discarded;
+//! * ≥ 10 measured rounds at full scale, configuration order reversed
+//!   on alternate rounds so frequency drift and cache warming cancel;
+//! * the median round is the reported number;
+//! * the occupancy-scan counters must stay at zero across every timed
+//!   loop (the `health()` O(m) scan must never ride the hot path).
+//!
+//! ```text
+//! cargo run --release -p cfd-bench --bin throughput [--quick] [--out PATH]
+//! ```
+//!
+//! Default scale streams 2^22 clicks per round and writes
+//! `BENCH_pr3.json` (machine-readable) in the working directory plus a
+//! human-readable table under `results/`. `--quick` is the CI smoke:
+//! 2^18 clicks, 3 measured rounds — use `--out` to keep it from
+//! overwriting the committed full-scale file.
+
+use cfd_analysis::blocked::{fp_blocked_gbf, fp_blocked_tbf};
+use cfd_core::config::ProbeLayout;
+use cfd_core::{Gbf, GbfConfig, ShardedDetector, Tbf, TbfConfig};
+use cfd_windows::{DetectorStats, DuplicateDetector, Verdict};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// (clicks/sec, duplicate verdicts, occupancy scans) of one timed run.
+type RunResult = (f64, u64, u64);
+
+/// A fresh-detector-per-round measurement closure.
+type RunFn = Box<dyn FnMut(&[&[u8]]) -> RunResult>;
+
+/// Batch size for `observe_batch` — large enough to amortize the flat
+/// probe-buffer fill, small enough to stay cache-resident.
+const BATCH: usize = 1024;
+
+/// Shards for the sharded rows (hash-once routing exercised even on a
+/// single core).
+const SHARDS: usize = 4;
+
+const K: usize = 10;
+
+struct ScaleCfg {
+    label: &'static str,
+    clicks: usize,
+    rounds: usize,
+    tbf_n: usize,
+    gbf_n: usize,
+}
+
+/// One benchmark configuration: builds a fresh detector per round and
+/// streams the whole click set through it.
+struct Bench {
+    name: &'static str,
+    family: &'static str,
+    layout: ProbeLayout,
+    sharded: bool,
+    run: RunFn,
+    fp_model: Option<f64>,
+    rates: Vec<f64>,
+    false_positives: u64,
+}
+
+fn layout_name(layout: ProbeLayout) -> &'static str {
+    match layout {
+        ProbeLayout::Scattered => "scattered",
+        ProbeLayout::Blocked => "blocked",
+    }
+}
+
+/// Streams `ids` through `d` in [`BATCH`]-sized chunks, returning
+/// (clicks/sec, duplicate verdicts, occupancy scans).
+fn drive<D: DuplicateDetector + DetectorStats>(d: &mut D, ids: &[&[u8]]) -> RunResult {
+    let start = Instant::now();
+    let mut dups = 0u64;
+    for chunk in ids.chunks(BATCH) {
+        dups += d
+            .observe_batch(chunk)
+            .iter()
+            .filter(|&&v| v == Verdict::Duplicate)
+            .count() as u64;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (ids.len() as f64 / secs, dups, d.occupancy_scans())
+}
+
+/// Sharded variant of [`drive`] using the hash-once batch path.
+fn drive_sharded(d: &mut ShardedDetector<Tbf>, ids: &[&[u8]]) -> RunResult {
+    assert!(d.hash_once_aligned(), "shards must share the router family");
+    let start = Instant::now();
+    let mut dups = 0u64;
+    for chunk in ids.chunks(BATCH) {
+        dups += d
+            .observe_batch_hash_once(chunk)
+            .iter()
+            .filter(|&&v| v == Verdict::Duplicate)
+            .count() as u64;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (ids.len() as f64 / secs, dups, d.occupancy_scans())
+}
+
+fn tbf_config(n: usize, layout: ProbeLayout, seed: u64) -> TbfConfig {
+    TbfConfig::builder(n)
+        .entries(n * 16)
+        .hash_count(K)
+        .seed(seed)
+        .probe(layout)
+        .build()
+        .expect("valid tbf config")
+}
+
+fn gbf_config(n: usize, layout: ProbeLayout) -> GbfConfig {
+    GbfConfig::builder(n, 8)
+        .filter_bits((n / 8) * 28)
+        .hash_count(K)
+        .seed(7)
+        .layout(cfd_core::config::GbfLayout::Tight)
+        .probe(layout)
+        .build()
+        .expect("valid gbf config")
+}
+
+fn sharded_tbf(n: usize, layout: ProbeLayout) -> ShardedDetector<Tbf> {
+    let router = cfd_core::ShardRouter::new(7, SHARDS).expect("router");
+    let per = cfd_core::sharded::per_shard_window(n, SHARDS);
+    let shards = (0..SHARDS)
+        .map(|_| Tbf::new(tbf_config(per, layout, router.probe_seed())).expect("shard"))
+        .collect();
+    ShardedDetector::new(7, shards).expect("sharded")
+}
+
+fn benches(scale: &ScaleCfg) -> Vec<Bench> {
+    let mut out = Vec::new();
+    for layout in [ProbeLayout::Scattered, ProbeLayout::Blocked] {
+        let tbf_n = scale.tbf_n;
+        let cfg = tbf_config(tbf_n, layout, 7);
+        let fp_model = cfg
+            .block_geometry()
+            .map(|geo| fp_blocked_tbf(cfg.m, geo.slots(), K, tbf_n));
+        out.push(Bench {
+            name: if layout == ProbeLayout::Blocked {
+                "tbf-blocked"
+            } else {
+                "tbf-scattered"
+            },
+            family: "tbf",
+            layout,
+            sharded: false,
+            run: Box::new(move |ids| {
+                let mut d = Tbf::new(cfg).expect("tbf");
+                drive(&mut d, ids)
+            }),
+            fp_model,
+            rates: Vec::new(),
+            false_positives: 0,
+        });
+
+        let gbf_n = scale.gbf_n;
+        let gcfg = gbf_config(gbf_n, layout);
+        let g_model = gcfg
+            .block_geometry()
+            .map(|geo| fp_blocked_gbf(gcfg.m, geo.slots(), K, gbf_n, gcfg.q));
+        out.push(Bench {
+            name: if layout == ProbeLayout::Blocked {
+                "gbf-blocked"
+            } else {
+                "gbf-scattered"
+            },
+            family: "gbf",
+            layout,
+            sharded: false,
+            run: Box::new(move |ids| {
+                let mut d = Gbf::new(gcfg).expect("gbf");
+                drive(&mut d, ids)
+            }),
+            fp_model: g_model,
+            rates: Vec::new(),
+            false_positives: 0,
+        });
+
+        let s_model = Tbf::new(tbf_config(
+            cfd_core::sharded::per_shard_window(tbf_n, SHARDS),
+            layout,
+            7,
+        ))
+        .expect("shard model probe")
+        .config()
+        .block_geometry()
+        .map(|geo| {
+            let per = cfd_core::sharded::per_shard_window(tbf_n, SHARDS);
+            fp_blocked_tbf(per * 16, geo.slots(), K, per)
+        });
+        out.push(Bench {
+            name: if layout == ProbeLayout::Blocked {
+                "sharded-tbf-blocked"
+            } else {
+                "sharded-tbf-scattered"
+            },
+            family: "sharded-tbf",
+            layout,
+            sharded: true,
+            run: Box::new(move |ids| {
+                let mut d = sharded_tbf(tbf_n, layout);
+                drive_sharded(&mut d, ids)
+            }),
+            fp_model: s_model,
+            rates: Vec::new(),
+            false_positives: 0,
+        });
+    }
+    out
+}
+
+fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0.0".to_owned()
+    } else {
+        format!("{x:.6e}")
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_pr3.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unrecognized argument `{other}` (accepted: --quick --full --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale = if quick {
+        ScaleCfg {
+            label: "quick",
+            clicks: 1 << 18,
+            rounds: 3,
+            tbf_n: 1 << 16,
+            gbf_n: 1 << 17,
+        }
+    } else {
+        ScaleCfg {
+            label: "full",
+            clicks: 1 << 22,
+            rounds: 10,
+            tbf_n: 1 << 20,
+            gbf_n: 1 << 21,
+        }
+    };
+
+    // Distinct id stream: generation is outside every timed region.
+    let raw: Vec<[u8; 8]> = (0..scale.clicks as u64).map(u64::to_le_bytes).collect();
+    let ids: Vec<&[u8]> = raw.iter().map(<[u8; 8]>::as_slice).collect();
+
+    let mut benches = benches(&scale);
+    println!(
+        "# throughput — {} scale: {} clicks/round, {} measured rounds (+1 warm-up), batch {BATCH}",
+        scale.label, scale.clicks, scale.rounds
+    );
+
+    let mut scan_violations = 0u32;
+    for round in 0..=scale.rounds {
+        // Alternate configuration order so slow drift (thermal, noisy
+        // neighbours) hits scattered and blocked symmetrically.
+        let order: Vec<usize> = if round % 2 == 0 {
+            (0..benches.len()).collect()
+        } else {
+            (0..benches.len()).rev().collect()
+        };
+        for idx in order {
+            let b = &mut benches[idx];
+            let (rate, dups, scans) = (b.run)(&ids);
+            if scans != 0 {
+                scan_violations += 1;
+                eprintln!(
+                    "FAIL: {} performed {scans} occupancy scans in the hot loop",
+                    b.name
+                );
+            }
+            if round == 0 {
+                // Warm-up round: keep the (deterministic) FP count,
+                // discard the timing.
+                b.false_positives = dups;
+            } else {
+                b.rates.push(rate);
+            }
+        }
+        if round == 0 {
+            println!("# warm-up complete");
+        }
+    }
+
+    // ---- Human table ---------------------------------------------------
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "# throughput — scattered vs blocked probing ({} scale, {} clicks, median of {} rounds)",
+        scale.label, scale.clicks, scale.rounds
+    );
+    let _ = writeln!(
+        table,
+        "{:<24} {:>12} {:>12} {:>12} {:>12}",
+        "config", "Mclicks/s", "fp-measured", "fp-model", "model-ratio"
+    );
+    for b in &benches {
+        let fp = b.false_positives as f64 / scale.clicks as f64;
+        let (model, ratio) = match b.fp_model {
+            Some(m) => (
+                format!("{m:.3e}"),
+                format!("{:.2}", fp / m.max(f64::MIN_POSITIVE)),
+            ),
+            None => ("-".to_owned(), "-".to_owned()),
+        };
+        let _ = writeln!(
+            table,
+            "{:<24} {:>12.2} {:>12.3e} {:>12} {:>12}",
+            b.name,
+            median(&b.rates) / 1e6,
+            fp,
+            model,
+            ratio
+        );
+    }
+    let mut speedups: Vec<(&str, f64)> = Vec::new();
+    for family in ["tbf", "gbf", "sharded-tbf"] {
+        let rate = |layout: ProbeLayout| {
+            benches
+                .iter()
+                .find(|b| b.family == family && b.layout == layout)
+                .map(|b| median(&b.rates))
+                .expect("both layouts present")
+        };
+        speedups.push((
+            family,
+            rate(ProbeLayout::Blocked) / rate(ProbeLayout::Scattered),
+        ));
+    }
+    for (family, s) in &speedups {
+        let _ = writeln!(table, "# {family}: blocked/scattered speedup = {s:.2}x");
+    }
+    print!("{table}");
+
+    // ---- PASS/FAIL gates ----------------------------------------------
+    // Speedup gate: the memory-bound single-thread families must clear
+    // 1.3x at full scale (quick CI runs only smoke the machinery).
+    let speedup_ok = speedups
+        .iter()
+        .filter(|(f, _)| *f == "tbf" || *f == "gbf")
+        .all(|(_, s)| *s >= 1.3);
+    // FP gate: measured blocked FP within 10% of the closed-form model,
+    // plus three-sigma sampling slack for the finite stream.
+    let mut fp_ok = true;
+    for b in &benches {
+        if let Some(model) = b.fp_model {
+            let fp = b.false_positives as f64 / scale.clicks as f64;
+            let slack = 3.0 * (model * (1.0 - model) / scale.clicks as f64).sqrt();
+            if fp > model * 1.1 + slack {
+                fp_ok = false;
+                eprintln!(
+                    "FAIL: {} measured FP {fp:.3e} exceeds model {model:.3e} by >10%",
+                    b.name
+                );
+            }
+        }
+    }
+    let scans_ok = scan_violations == 0;
+    println!(
+        "# gates: speedup>=1.3x {} | fp-within-model {} | no-hot-scans {}",
+        if speedup_ok {
+            "PASS"
+        } else if quick {
+            "SKIP (quick)"
+        } else {
+            "FAIL"
+        },
+        if fp_ok { "PASS" } else { "FAIL" },
+        if scans_ok { "PASS" } else { "FAIL" },
+    );
+
+    // ---- Machine-readable JSON ----------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"cfd-bench-throughput/1\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale.label);
+    let _ = writeln!(json, "  \"clicks\": {},", scale.clicks);
+    let _ = writeln!(json, "  \"rounds\": {},", scale.rounds);
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    let _ = writeln!(json, "  \"configs\": [");
+    for (i, b) in benches.iter().enumerate() {
+        let fp = b.false_positives as f64 / scale.clicks as f64;
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", b.name);
+        let _ = writeln!(json, "      \"family\": \"{}\",", b.family);
+        let _ = writeln!(json, "      \"layout\": \"{}\",", layout_name(b.layout));
+        let _ = writeln!(json, "      \"sharded\": {},", b.sharded);
+        let _ = writeln!(
+            json,
+            "      \"clicks_per_sec_median\": {},",
+            json_f64(median(&b.rates))
+        );
+        let rounds: Vec<String> = b.rates.iter().map(|&r| json_f64(r)).collect();
+        let _ = writeln!(
+            json,
+            "      \"clicks_per_sec_rounds\": [{}],",
+            rounds.join(", ")
+        );
+        let _ = writeln!(json, "      \"fp_measured\": {},", json_f64(fp));
+        let _ = writeln!(
+            json,
+            "      \"fp_model\": {}",
+            b.fp_model.map_or("null".to_owned(), json_f64)
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < benches.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedups\": {{");
+    for (i, (family, s)) in speedups.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{family}\": {}{}",
+            json_f64(*s),
+            if i + 1 < speedups.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"checks\": {{");
+    let _ = writeln!(json, "    \"speedup_ok\": {speedup_ok},");
+    let _ = writeln!(json, "    \"fp_within_model\": {fp_ok},");
+    let _ = writeln!(json, "    \"no_occupancy_scans\": {scans_ok}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write json");
+    println!("# wrote {out_path}");
+
+    let table_path = format!("results/throughput_{}.txt", scale.label);
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write(&table_path, &table);
+        println!("# wrote {table_path}");
+    }
+
+    if !fp_ok || !scans_ok || (!quick && !speedup_ok) {
+        std::process::exit(1);
+    }
+}

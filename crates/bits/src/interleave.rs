@@ -182,6 +182,21 @@ impl InterleavedBitMatrix {
         }
     }
 
+    /// Hints the CPU to pull group `group`'s cache line early; a no-op
+    /// when the group is out of range.
+    ///
+    /// Same discarded-`black_box`-read idiom as
+    /// `PackedIntVec::prefetch`: batch frontends that know future probe
+    /// groups issue this a few elements ahead so the random reads of
+    /// [`InterleavedBitMatrix::and_group_into`] land in cache, without
+    /// leaving `forbid(unsafe_code)`.
+    #[inline]
+    pub fn prefetch(&self, group: usize) {
+        if group < self.groups {
+            std::hint::black_box(self.words[self.base(group)]);
+        }
+    }
+
     /// A lane mask with all `lanes` bits set (1s in every valid lane).
     #[must_use]
     pub fn full_lane_mask(&self) -> Vec<u64> {

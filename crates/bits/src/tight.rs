@@ -140,6 +140,17 @@ impl TightBitMatrix {
         *acc &= self.read_group(group);
     }
 
+    /// Hints the CPU to pull group `group`'s cache line early; a no-op
+    /// when the group is out of range (`black_box` read — see
+    /// `PackedIntVec::prefetch` for the idiom).
+    #[inline]
+    pub fn prefetch(&self, group: usize) {
+        if group < self.groups {
+            let (w, _) = self.locate(group);
+            std::hint::black_box(self.words[w]);
+        }
+    }
+
     /// Reads the bit at (`group`, `lane`).
     ///
     /// # Panics

@@ -18,7 +18,7 @@
 //! after a restart (their windows are wall-clock defined, so a restart
 //! gap expires state exactly as a quiet period would).
 
-use crate::config::{GbfConfig, GbfLayout, TbfConfig};
+use crate::config::{GbfConfig, GbfLayout, ProbeLayout, TbfConfig};
 use crate::gbf::Gbf;
 use crate::sharded::ShardedDetector;
 use crate::tbf::Tbf;
@@ -34,6 +34,21 @@ const KIND_SHARDED: u8 = 3;
 /// Upper bound on the shard count accepted when restoring a sharded
 /// checkpoint; rejects absurd headers before any allocation.
 const MAX_SHARDS: usize = 1 << 16;
+
+fn probe_tag(probe: ProbeLayout) -> u8 {
+    match probe {
+        ProbeLayout::Scattered => 0,
+        ProbeLayout::Blocked => 1,
+    }
+}
+
+fn probe_from_tag(tag: u8) -> Result<ProbeLayout, CheckpointError> {
+    match tag {
+        0 => Ok(ProbeLayout::Scattered),
+        1 => Ok(ProbeLayout::Blocked),
+        _ => Err(CheckpointError::Corrupt("unknown probe-layout tag")),
+    }
+}
 
 /// Error restoring a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -176,6 +191,7 @@ impl Tbf {
         w.usize(cfg.k);
         w.usize(cfg.c);
         w.u64(cfg.seed);
+        w.u8(probe_tag(cfg.probe));
         w.u64(state.now);
         w.usize(state.clean_next);
         w.words(&state.entry_words);
@@ -195,6 +211,7 @@ impl Tbf {
             k: r.usize()?,
             c: r.usize()?,
             seed: r.u64()?,
+            probe: probe_from_tag(r.u8()?)?,
         };
         let now = r.u64()?;
         let clean_next = r.usize()?;
@@ -220,6 +237,7 @@ impl Gbf {
             GbfLayout::Padded => 0,
             GbfLayout::Tight => 1,
         });
+        w.u8(probe_tag(cfg.probe));
         w.usize(state.slot);
         w.usize(state.filled);
         w.u64(state.completed);
@@ -247,6 +265,7 @@ impl Gbf {
             1 => GbfLayout::Tight,
             _ => return Err(CheckpointError::Corrupt("unknown layout tag")),
         };
+        let probe = probe_from_tag(r.u8()?)?;
         let cfg = GbfConfig {
             n,
             q,
@@ -254,6 +273,7 @@ impl Gbf {
             k,
             seed,
             layout,
+            probe,
         };
         let slot = r.usize()?;
         let filled = r.usize()?;
@@ -399,6 +419,60 @@ mod tests {
             }
             let buf = original.checkpoint();
             let mut restored = Gbf::restore(&buf).expect("valid checkpoint");
+            for i in 5_000..15_000u64 {
+                let key = (i % 700).to_le_bytes();
+                assert_eq!(
+                    original.observe(&key),
+                    restored.observe(&key),
+                    "layout {layout:?}, i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_probe_layout_survives_roundtrip() {
+        // The probe byte must restore the blocked geometry, or every
+        // future probe would read different cells than the original.
+        let mut original = Tbf::new(
+            TbfConfig::builder(512)
+                .entries(8_192)
+                .hash_count(5)
+                .seed(7)
+                .probe(ProbeLayout::Blocked)
+                .build()
+                .expect("cfg"),
+        )
+        .expect("detector");
+        for i in 0..5_000u64 {
+            original.observe(&(i % 700).to_le_bytes());
+        }
+        let buf = original.checkpoint();
+        let mut restored = Tbf::restore(&buf).expect("valid checkpoint");
+        assert_eq!(restored.config().probe, ProbeLayout::Blocked);
+        for i in 5_000..15_000u64 {
+            let key = (i % 700).to_le_bytes();
+            assert_eq!(original.observe(&key), restored.observe(&key), "i={i}");
+        }
+
+        for layout in [GbfLayout::Padded, GbfLayout::Tight] {
+            let mut original = Gbf::new(
+                GbfConfig::builder(512, 8)
+                    .filter_bits(4_096)
+                    .hash_count(5)
+                    .seed(7)
+                    .layout(layout)
+                    .probe(ProbeLayout::Blocked)
+                    .build()
+                    .expect("cfg"),
+            )
+            .expect("detector");
+            for i in 0..5_000u64 {
+                original.observe(&(i % 700).to_le_bytes());
+            }
+            let buf = original.checkpoint();
+            let mut restored = Gbf::restore(&buf).expect("valid checkpoint");
+            assert_eq!(restored.config().probe, ProbeLayout::Blocked);
             for i in 5_000..15_000u64 {
                 let key = (i % 700).to_le_bytes();
                 assert_eq!(

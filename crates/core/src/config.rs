@@ -1,6 +1,7 @@
 //! Validated configurations for the GBF and TBF detectors.
 
 use cfd_bits::words::bits_for_value;
+use cfd_hash::BlockGeometry;
 use std::fmt;
 
 /// Memory layout of the GBF group matrix.
@@ -18,6 +19,26 @@ pub enum GbfLayout {
     Padded,
     /// Multiple groups per word; requires `Q + 1 <= 32`.
     Tight,
+}
+
+/// Probe-index derivation scheme of a detector.
+///
+/// [`ProbeLayout::Scattered`] is the classic Kirsch–Mitzenmacher walk
+/// over the whole table: best false-positive rate, but each membership
+/// test touches up to `k` cache lines. [`ProbeLayout::Blocked`] confines
+/// an element's `k` probes to one 64-byte line
+/// ([`cfd_hash::BlockGeometry`]): one line per probe, a slightly higher
+/// FP rate (per-block load variance; modelled in
+/// `cfd_analysis::blocked`). Zero false negatives hold under either —
+/// the probed cells per key are deterministic, only *which* cells
+/// changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeLayout {
+    /// Enhanced double hashing over the whole table (`k` cache lines).
+    #[default]
+    Scattered,
+    /// All probes inside one 64-byte block (one cache line).
+    Blocked,
 }
 
 /// Error returned when a detector configuration is invalid.
@@ -49,6 +70,14 @@ pub enum ConfigError {
         /// Sub-windows requested.
         q: usize,
     },
+    /// Blocked probing degenerates for this shape: fewer than two slots
+    /// fit in a 64-byte line, or the table holds less than one block.
+    BlockedUnsupported {
+        /// Bits per probe slot (group or timestamp entry).
+        slot_bits: usize,
+        /// Slots in the table.
+        m: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -67,6 +96,13 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::LayoutTooWide { q } => {
                 write!(f, "tight layout supports Q + 1 <= 32 lanes, got Q = {q}")
+            }
+            ConfigError::BlockedUnsupported { slot_bits, m } => {
+                write!(
+                    f,
+                    "blocked probing unsupported for {m} slots of {slot_bits} bits \
+                     (need >= 2 slots per 64-byte line and >= 1 block)"
+                )
             }
         }
     }
@@ -103,6 +139,8 @@ pub struct GbfConfig {
     pub seed: u64,
     /// Group-matrix memory layout.
     pub layout: GbfLayout,
+    /// Probe-index derivation scheme.
+    pub probe: ProbeLayout,
 }
 
 impl GbfConfig {
@@ -118,6 +156,29 @@ impl GbfConfig {
             k: None,
             seed: 0,
             layout: GbfLayout::Padded,
+            probe: ProbeLayout::Scattered,
+        }
+    }
+
+    /// Bits one group occupies for blocking purposes: the padded layout
+    /// strides whole words per group, the tight layout packs `Q + 1`
+    /// bits per group (word-boundary padding keeps a block's span
+    /// within one line; see `cfd_hash::block`).
+    #[must_use]
+    pub fn group_bits(&self) -> usize {
+        let lanes = self.q + 1;
+        match self.layout {
+            GbfLayout::Padded => lanes.div_ceil(64) * 64,
+            GbfLayout::Tight => lanes,
+        }
+    }
+
+    /// The cache-line block geometry, when `probe` is blocked.
+    #[must_use]
+    pub fn block_geometry(&self) -> Option<BlockGeometry> {
+        match self.probe {
+            ProbeLayout::Scattered => None,
+            ProbeLayout::Blocked => BlockGeometry::for_line(self.m, self.group_bits()),
         }
     }
 
@@ -156,6 +217,12 @@ impl GbfConfig {
         if self.layout == GbfLayout::Tight && self.q + 1 > 32 {
             return Err(ConfigError::LayoutTooWide { q: self.q });
         }
+        if self.probe == ProbeLayout::Blocked && self.block_geometry().is_none() {
+            return Err(ConfigError::BlockedUnsupported {
+                slot_bits: self.group_bits(),
+                m: self.m,
+            });
+        }
         Ok(())
     }
 }
@@ -170,6 +237,7 @@ pub struct GbfConfigBuilder {
     k: Option<usize>,
     seed: u64,
     layout: GbfLayout,
+    probe: ProbeLayout,
 }
 
 impl GbfConfigBuilder {
@@ -210,6 +278,13 @@ impl GbfConfigBuilder {
         self
     }
 
+    /// Selects the probe derivation (default [`ProbeLayout::Scattered`]).
+    #[must_use]
+    pub fn probe(mut self, probe: ProbeLayout) -> Self {
+        self.probe = probe;
+        self
+    }
+
     /// Finalizes and validates the configuration.
     ///
     /// # Errors
@@ -247,6 +322,7 @@ impl GbfConfigBuilder {
             k,
             seed: self.seed,
             layout: self.layout,
+            probe: self.probe,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -274,6 +350,8 @@ pub struct TbfConfig {
     pub c: usize,
     /// Hash seed.
     pub seed: u64,
+    /// Probe-index derivation scheme.
+    pub probe: ProbeLayout,
 }
 
 impl TbfConfig {
@@ -288,6 +366,17 @@ impl TbfConfig {
             k: None,
             c: None,
             seed: 0,
+            probe: ProbeLayout::Scattered,
+        }
+    }
+
+    /// The cache-line block geometry, when `probe` is blocked (slots are
+    /// the packed `entry_bits()`-wide timestamp cells).
+    #[must_use]
+    pub fn block_geometry(&self) -> Option<BlockGeometry> {
+        match self.probe {
+            ProbeLayout::Scattered => None,
+            ProbeLayout::Blocked => BlockGeometry::for_line(self.m, self.entry_bits() as usize),
         }
     }
 
@@ -321,6 +410,12 @@ impl TbfConfig {
         if !(1..=64).contains(&self.k) {
             return Err(ConfigError::BadHashCount(self.k));
         }
+        if self.probe == ProbeLayout::Blocked && self.block_geometry().is_none() {
+            return Err(ConfigError::BlockedUnsupported {
+                slot_bits: self.entry_bits() as usize,
+                m: self.m,
+            });
+        }
         Ok(())
     }
 }
@@ -334,6 +429,7 @@ pub struct TbfConfigBuilder {
     k: Option<usize>,
     c: Option<usize>,
     seed: u64,
+    probe: ProbeLayout,
 }
 
 impl TbfConfigBuilder {
@@ -375,6 +471,13 @@ impl TbfConfigBuilder {
         self
     }
 
+    /// Selects the probe derivation (default [`ProbeLayout::Scattered`]).
+    #[must_use]
+    pub fn probe(mut self, probe: ProbeLayout) -> Self {
+        self.probe = probe;
+        self
+    }
+
     /// Finalizes and validates the configuration.
     ///
     /// # Errors
@@ -408,6 +511,7 @@ impl TbfConfigBuilder {
             k,
             c,
             seed: self.seed,
+            probe: self.probe,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -526,6 +630,67 @@ mod tests {
         assert!(matches!(
             TbfConfig::builder(10).total_memory_bits(1).build(),
             Err(ConfigError::MemoryTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn blocked_probe_builds_and_exposes_geometry() {
+        let cfg = TbfConfig::builder(1 << 16)
+            .entries(1 << 20)
+            .probe(ProbeLayout::Blocked)
+            .build()
+            .unwrap();
+        let geo = cfg.block_geometry().unwrap();
+        // 17-bit entries: 30 per line -> 16 slots.
+        assert_eq!(geo.slots(), 16);
+        assert_eq!(geo.slot_bits(), 17);
+
+        let cfg = GbfConfig::builder(1 << 12, 8)
+            .filter_bits(1 << 16)
+            .probe(ProbeLayout::Blocked)
+            .build()
+            .unwrap();
+        // Padded layout: 9 lanes -> 1 word per group -> 8 groups per line.
+        assert_eq!(cfg.block_geometry().unwrap().slots(), 8);
+        assert!(cfg.block_geometry().unwrap().slot_bits() == 64);
+
+        let tight = GbfConfig::builder(1 << 12, 8)
+            .filter_bits(1 << 16)
+            .layout(GbfLayout::Tight)
+            .probe(ProbeLayout::Blocked)
+            .build()
+            .unwrap();
+        // Tight layout: 9-bit groups -> 56 per line -> 32 slots.
+        assert_eq!(tight.block_geometry().unwrap().slots(), 32);
+    }
+
+    #[test]
+    fn scattered_probe_has_no_geometry() {
+        let cfg = TbfConfig::builder(1 << 10)
+            .entries(1 << 14)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.probe, ProbeLayout::Scattered);
+        assert!(cfg.block_geometry().is_none());
+    }
+
+    #[test]
+    fn blocked_probe_rejects_degenerate_shapes() {
+        // m smaller than one block.
+        assert!(matches!(
+            TbfConfig::builder(1 << 16)
+                .entries(4)
+                .probe(ProbeLayout::Blocked)
+                .build(),
+            Err(ConfigError::BlockedUnsupported { .. })
+        ));
+        // Padded GBF with Q + 1 > 256 lanes: > 256-bit groups, < 2 per line.
+        assert!(matches!(
+            GbfConfig::builder(1 << 14, 300)
+                .filter_bits(1 << 16)
+                .probe(ProbeLayout::Blocked)
+                .build(),
+            Err(ConfigError::BlockedUnsupported { .. })
         ));
     }
 

@@ -19,12 +19,13 @@
 //! `Q`-filter union, and `O((Q/D) · (M/N))`-ish per-element cost in D-bit
 //! word operations.
 
-use crate::config::{ConfigError, GbfConfig, GbfLayout};
+use crate::config::{ConfigError, GbfConfig, GbfLayout, ProbeLayout};
 use crate::ops::OpCounters;
 use cfd_bits::{InterleavedBitMatrix, TightBitMatrix};
-use cfd_hash::{DoubleHashFamily, HashFamily, Planner, ProbePlan};
+use cfd_hash::{BlockGeometry, DoubleHashFamily, HashFamily, Planner, ProbePlan};
 use cfd_telemetry::DetectorStats;
 use cfd_windows::{DuplicateDetector, JumpingClock, Verdict, WindowSpec};
+use std::cell::Cell;
 
 /// Dynamic GBF state captured by a checkpoint.
 pub(crate) struct GbfState {
@@ -87,6 +88,14 @@ impl GroupMatrix {
             GroupMatrix::Tight(mx) => mx.count_ones_in_lane(lane),
         }
     }
+
+    #[inline]
+    fn prefetch(&self, group: usize) {
+        match self {
+            GroupMatrix::Padded(mx) => mx.prefetch(group),
+            GroupMatrix::Tight(mx) => mx.prefetch(group),
+        }
+    }
 }
 
 /// Group-Bloom-filter duplicate detector over count-based jumping windows.
@@ -120,7 +129,18 @@ pub struct Gbf {
     clean_quota: usize,
     ops: OpCounters,
     probe_buf: Vec<usize>,
+    batch_buf: Vec<usize>,
     acc: Vec<u64>,
+    /// Blocked-probe geometry; `None` in scattered mode.
+    geo: Option<BlockGeometry>,
+    /// Probes actually issued per element: `k` scattered, capped at
+    /// half the block in blocked mode (`min(k, slots/2)`, at least 1) —
+    /// a single insertion must never saturate its block, or every later
+    /// key landing on a touched block would be a false positive.
+    k_eff: usize,
+    /// `O(m)` occupancy passes performed (snapshot cadence only; the
+    /// `throughput` bench asserts this never moves inside a timed loop).
+    scans: Cell<u64>,
 }
 
 impl Gbf {
@@ -140,6 +160,17 @@ impl Gbf {
         if cfg.layout == GbfLayout::Tight && cfg.q + 1 > 32 {
             return Err(ConfigError::LayoutTooWide { q: cfg.q });
         }
+        let geo = cfg.block_geometry();
+        if cfg.probe == ProbeLayout::Blocked && geo.is_none() {
+            return Err(ConfigError::BlockedUnsupported {
+                slot_bits: cfg.group_bits(),
+                m: cfg.m,
+            });
+        }
+        let k_eff = match &geo {
+            Some(g) => cfg.k.min(g.slots() / 2).max(1),
+            None => cfg.k,
+        };
         let matrix = GroupMatrix::new(cfg.m, cfg.q + 1, cfg.layout);
         let mut active_mask = vec![0u64; matrix.lane_words()];
         active_mask[0] |= 1; // slot 0 is current at stream start
@@ -151,11 +182,22 @@ impl Gbf {
             clean_next: 0,
             clean_quota: cfg.clean_quota(),
             ops: OpCounters::new(),
-            probe_buf: vec![0; cfg.k],
+            probe_buf: vec![0; k_eff],
+            batch_buf: Vec::new(),
             acc: vec![0; matrix.lane_words()],
+            geo,
+            k_eff,
+            scans: Cell::new(0),
             matrix,
             cfg,
         })
+    }
+
+    /// Probes issued per element: `k` in scattered mode, `min(k,
+    /// slots/2)` in blocked mode (see the saturation cap on `k_eff`).
+    #[must_use]
+    pub fn effective_hash_count(&self) -> usize {
+        self.k_eff
     }
 
     /// The configuration.
@@ -180,6 +222,7 @@ impl Gbf {
     /// (diagnostics).
     #[must_use]
     pub fn current_fill_ratio(&self) -> f64 {
+        self.scans.set(self.scans.get() + 1);
         self.matrix.count_ones_in_lane(self.clock.slot()) as f64 / self.cfg.m as f64
     }
 
@@ -324,6 +367,71 @@ impl Gbf {
     /// one hash evaluation is accounted to this element regardless of
     /// where it was computed, keeping Theorem 1's per-element op counts.
     pub fn apply(&mut self, plan: ProbePlan) -> Verdict {
+        let mut probes = std::mem::take(&mut self.probe_buf);
+        Self::fill_probes(self.geo.as_ref(), self.cfg.m, plan, &mut probes);
+        let verdict = self.apply_at(&probes);
+        self.probe_buf = probes;
+        verdict
+    }
+
+    /// Replays a batch of precomputed plans with the same lookahead
+    /// prefetch as `observe_batch` — the stateful half of the sharded
+    /// hash-once path, where plans were produced while routing.
+    pub fn apply_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
+        let k = self.k_eff;
+        let mut probes = std::mem::take(&mut self.batch_buf);
+        probes.clear();
+        probes.resize(plans.len() * k, 0);
+        for (plan, slot) in plans.iter().zip(probes.chunks_exact_mut(k)) {
+            Self::fill_probes(self.geo.as_ref(), self.cfg.m, *plan, slot);
+        }
+        self.replay(probes)
+    }
+
+    /// Applies a flat buffer of expanded probe groups (`k_eff` per
+    /// element), prefetching element `i + PREFETCH_AHEAD`'s cache lines
+    /// while element `i` is processed. In blocked mode all of an
+    /// element's probes share one line, so one prefetch per future
+    /// element suffices. Returns the buffer to `batch_buf`.
+    fn replay(&mut self, probes: Vec<usize>) -> Vec<Verdict> {
+        const PREFETCH_AHEAD: usize = 8;
+        let k = self.k_eff;
+        let blocked = self.geo.is_some();
+        let mut ahead = probes.chunks_exact(k).skip(PREFETCH_AHEAD);
+        let verdicts = probes
+            .chunks_exact(k)
+            .map(|slot| {
+                if let Some(next) = ahead.next() {
+                    if blocked {
+                        self.matrix.prefetch(next[0]);
+                    } else {
+                        for &g in next {
+                            self.matrix.prefetch(g);
+                        }
+                    }
+                }
+                self.apply_at(slot)
+            })
+            .collect();
+        self.batch_buf = probes;
+        verdicts
+    }
+
+    /// Expands a plan into probe groups under the configured
+    /// [`ProbeLayout`]: scattered enhanced double hashing over all `m`
+    /// groups, or a cache-line block walk.
+    #[inline]
+    fn fill_probes(geo: Option<&BlockGeometry>, m: usize, plan: ProbePlan, out: &mut [usize]) {
+        match geo {
+            Some(g) => plan.fill_blocked(g, out),
+            None => plan.fill(m, out),
+        }
+    }
+
+    /// [`Gbf::apply`] with the plan's probe groups already expanded —
+    /// the innermost stateful step, shared by the per-click and batch
+    /// paths.
+    fn apply_at(&mut self, probes: &[usize]) -> Verdict {
         self.ops.elements += 1;
         self.ops.hash_evals += 1;
 
@@ -331,33 +439,32 @@ impl Gbf {
         self.clean_step();
 
         // Step 2: probe all active sub-window filters with one AND-chain.
-        plan.fill(self.cfg.m, &mut self.probe_buf);
         let duplicate = match &self.matrix {
             GroupMatrix::Padded(mx) => {
                 self.acc.copy_from_slice(&self.active_mask);
-                for &g in &self.probe_buf {
+                for &g in probes {
                     mx.and_group_into(g, &mut self.acc);
                 }
                 self.acc.iter().any(|&w| w != 0)
             }
             GroupMatrix::Tight(mx) => {
                 let mut acc = self.active_mask[0];
-                for &g in &self.probe_buf {
+                for &g in probes {
                     acc &= mx.read_group(g);
                 }
                 acc != 0
             }
         };
-        self.ops.probe_reads += (self.probe_buf.len() * self.matrix.lane_words()) as u64;
+        self.ops.probe_reads += (probes.len() * self.matrix.lane_words()) as u64;
 
         let verdict = if duplicate {
             Verdict::Duplicate
         } else {
             let cur = self.clock.slot();
-            for &g in &self.probe_buf {
+            for &g in probes {
                 self.matrix.set(g, cur);
             }
-            self.ops.insert_writes += self.probe_buf.len() as u64;
+            self.ops.insert_writes += probes.len() as u64;
             Verdict::Distinct
         };
 
@@ -384,10 +491,21 @@ impl DuplicateDetector for Gbf {
     }
 
     fn observe_batch(&mut self, ids: &[&[u8]]) -> Vec<Verdict> {
-        // Hash the whole batch first (pure), then replay plans against
-        // filter state back-to-back: same verdicts, better locality.
-        let plans: Vec<ProbePlan> = ids.iter().map(|id| self.plan(id)).collect();
-        plans.into_iter().map(|p| self.apply(p)).collect()
+        // Hash the whole batch first (pure) and expand every plan's
+        // probe groups into one flat buffer, then replay against filter
+        // state while prefetching element `i + PREFETCH_AHEAD`'s cache
+        // lines — the same latency-hiding replay as `Tbf::observe_batch`.
+        // In blocked mode all of an element's probes share one line, so
+        // a single prefetch per future element suffices.
+        let k = self.k_eff;
+        let mut probes = std::mem::take(&mut self.batch_buf);
+        probes.clear();
+        probes.resize(ids.len() * k, 0);
+        for (id, slot) in ids.iter().zip(probes.chunks_exact_mut(k)) {
+            let plan = ProbePlan::from_pair(self.family.pair(id));
+            Self::fill_probes(self.geo.as_ref(), self.cfg.m, plan, slot);
+        }
+        self.replay(probes)
     }
 
     fn window(&self) -> WindowSpec {
@@ -421,7 +539,10 @@ impl DetectorStats for Gbf {
     fn fill_ratios(&self) -> Vec<f64> {
         (0..=self.cfg.q)
             .filter(|&lane| self.active_mask[lane / 64] >> (lane % 64) & 1 == 1)
-            .map(|lane| self.matrix.count_ones_in_lane(lane) as f64 / self.cfg.m as f64)
+            .map(|lane| {
+                self.scans.set(self.scans.get() + 1);
+                self.matrix.count_ones_in_lane(lane) as f64 / self.cfg.m as f64
+            })
             .collect()
     }
 
@@ -442,10 +563,14 @@ impl DetectorStats for Gbf {
         self.ops.elements
     }
 
-    /// Distinct elements perform exactly `k` insert writes, so the
+    /// Distinct elements perform exactly `k_eff` insert writes, so the
     /// duplicate count is recoverable from the op counters.
     fn observed_duplicates(&self) -> u64 {
-        self.ops.elements - self.ops.insert_writes / self.cfg.k as u64
+        self.ops.elements - self.ops.insert_writes / self.k_eff as u64
+    }
+
+    fn occupancy_scans(&self) -> u64 {
+        self.scans.get()
     }
 
     /// A fresh key is flagged iff some active lane has all `k` probed
@@ -687,6 +812,110 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ConfigError::LayoutTooWide { q: 32 }));
         assert!(err.to_string().contains("32"));
+    }
+
+    fn blocked_gbf(n: usize, q: usize, m: usize, k: usize, layout: GbfLayout) -> Gbf {
+        Gbf::new(
+            GbfConfig::builder(n, q)
+                .filter_bits(m)
+                .hash_count(k)
+                .seed(42)
+                .layout(layout)
+                .probe(ProbeLayout::Blocked)
+                .build()
+                .expect("valid blocked config"),
+        )
+        .expect("valid blocked gbf")
+    }
+
+    #[test]
+    fn blocked_mode_has_zero_false_negatives() {
+        for layout in [GbfLayout::Padded, GbfLayout::Tight] {
+            let (n, q) = (64, 4);
+            let mut d = blocked_gbf(n, q, 1 << 14, 6, layout);
+            let mut oracle = ExactJumpingDedup::new(n, q);
+            for i in 0..10_000u64 {
+                let key = (i % 97).to_le_bytes();
+                let got = d.observe(&key);
+                let want = oracle.observe(&key);
+                if want == Verdict::Duplicate {
+                    assert_eq!(got, Verdict::Duplicate, "{layout:?}: FN at element {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_batch_matches_sequential() {
+        let ids: Vec<Vec<u8>> = (0..6_000u64)
+            .map(|i| (i % 700).to_le_bytes().to_vec())
+            .collect();
+        let slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let mut sequential = blocked_gbf(256, 8, 1 << 14, 6, GbfLayout::Padded);
+        let mut batched = blocked_gbf(256, 8, 1 << 14, 6, GbfLayout::Padded);
+        let want: Vec<Verdict> = slices.iter().map(|id| sequential.observe(id)).collect();
+        let mut got = Vec::new();
+        for chunk in slices.chunks(513) {
+            got.extend(batched.observe_batch(chunk));
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn blocked_fp_stays_usable_with_adequate_memory() {
+        // Blocked probing pays a load-variance FP penalty that grows as
+        // blocks carry fewer slots. The tight layout at Q = 8 packs
+        // 9-bit groups, so a 512-bit line holds 32 group slots — enough
+        // for the penalty to stay moderate when memory is adequate.
+        let n = 1 << 12;
+        let q = 8;
+        let m = (n / q) * 28;
+        let mut d = blocked_gbf(n, q, m, 10, GbfLayout::Tight);
+        assert_eq!(d.effective_hash_count(), 10, "32 slots keep k intact");
+        let mut fps = 0u64;
+        let total = 20 * n as u64;
+        for i in 0..total {
+            if d.observe(&i.to_le_bytes()) == Verdict::Duplicate {
+                fps += 1;
+            }
+        }
+        let rate = fps as f64 / total as f64;
+        assert!(rate < 0.08, "blocked fp rate {rate} too high");
+    }
+
+    #[test]
+    fn blocked_caps_probes_on_coarse_slots() {
+        // Padded Q = 8 groups are 64-bit, so a line holds only 8 slots;
+        // k is capped at slots/2 so one insert can never saturate its
+        // block (uncapped, every touched block would report all later
+        // arrivals as duplicates).
+        let n = 1 << 12;
+        let q = 8;
+        let d = blocked_gbf(n, q, (n / q) * 14, 10, GbfLayout::Padded);
+        assert_eq!(d.effective_hash_count(), 4);
+        let scattered = Gbf::new(
+            GbfConfig::builder(n, q)
+                .filter_bits((n / q) * 14)
+                .hash_count(10)
+                .layout(GbfLayout::Padded)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(scattered.effective_hash_count(), 10);
+    }
+
+    #[test]
+    fn occupancy_scans_counts_fill_passes_only() {
+        let mut d = gbf(64, 4, 1 << 12, 5);
+        for i in 0..500u32 {
+            d.observe(&i.to_le_bytes());
+        }
+        assert_eq!(d.occupancy_scans(), 0, "hot path must not scan");
+        let lanes = d.fill_ratios().len() as u64;
+        assert_eq!(d.occupancy_scans(), lanes);
+        let _ = d.health();
+        assert_eq!(d.occupancy_scans(), 2 * lanes);
     }
 
     #[test]

@@ -63,12 +63,12 @@ pub mod tbf_time;
 
 pub use checkpoint::{CheckpointError, CheckpointState};
 pub use config::{
-    ConfigError, GbfConfig, GbfConfigBuilder, GbfLayout, TbfConfig, TbfConfigBuilder,
+    ConfigError, GbfConfig, GbfConfigBuilder, GbfLayout, ProbeLayout, TbfConfig, TbfConfigBuilder,
 };
 pub use gbf::Gbf;
 pub use gbf_time::TimeGbf;
 pub use ops::OpCounters;
-pub use sharded::{ShardRouter, ShardedDetector};
+pub use sharded::{PlannedDetector, ShardRouter, ShardedDetector};
 pub use tbf::Tbf;
 pub use tbf_jumping::JumpingTbf;
 pub use tbf_time::TimeTbf;

@@ -22,7 +22,7 @@
 //! clock).
 
 use crate::config::ConfigError;
-use cfd_hash::{DoubleHashFamily, HashFamily};
+use cfd_hash::{DoubleHashFamily, HashFamily, HashPair, Planner, ProbePlan};
 use cfd_telemetry::{DetectorHealth, DetectorStats};
 use cfd_windows::{DuplicateDetector, Verdict, WindowSpec};
 
@@ -67,8 +67,93 @@ impl ShardRouter {
     #[inline]
     #[must_use]
     pub fn route(&self, id: &[u8]) -> usize {
-        let h = self.family.pair(id).h1;
-        ((u128::from(h) * self.shards as u128) >> 64) as usize
+        self.route_pair(self.family.pair(id))
+    }
+
+    /// The shard of an already-computed router-family [`HashPair`] —
+    /// the reduction half of [`ShardRouter::route`], split out so the
+    /// hash-once batch path can hash each id exactly once and reuse the
+    /// pair for probing.
+    #[inline]
+    #[must_use]
+    pub fn route_pair(&self, pair: HashPair) -> usize {
+        ((u128::from(pair.h1) * self.shards as u128) >> 64) as usize
+    }
+
+    /// A [`Planner`] over the router's hash family. Detectors built
+    /// with [`ShardRouter::probe_seed`] share this family, which is the
+    /// alignment the hash-once path requires.
+    #[must_use]
+    pub fn planner(&self) -> Planner {
+        Planner::from_family(self.family)
+    }
+
+    /// The probe seed aligned with this router: build shard detectors
+    /// with this seed and `ShardedDetector::observe_batch_hash_once`
+    /// computes one hash per click for routing *and* probing. Routing
+    /// consumes the pair's high `h1` bits (multiply-shift) while
+    /// scattered probing reduces modulo `m` and blocked probing remixes
+    /// through `splitmix64`, so sharing the family does not correlate a
+    /// shard with the filter cells its keys touch.
+    #[must_use]
+    pub fn probe_seed(&self) -> u64 {
+        self.family.seed()
+    }
+}
+
+/// A detector whose hashing half is exposed as a [`Planner`] so batches
+/// can be hashed once, routed, and replayed — implemented by the
+/// Bloom-style detectors, not the exact baselines (which need the raw
+/// id, not a hash, to answer exactly).
+pub trait PlannedDetector: DuplicateDetector {
+    /// The pure hashing half; plans are only portable between detectors
+    /// sharing its seed.
+    fn probe_planner(&self) -> Planner;
+
+    /// Replays one plan produced by this detector's planner
+    /// (`observe(id)` ≡ `apply_plan(probe_planner().plan(id))`).
+    fn apply_plan(&mut self, plan: ProbePlan) -> Verdict;
+
+    /// Replays a batch of plans, preserving order; implementations
+    /// override this with a prefetching replay.
+    fn apply_plan_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
+        plans.iter().map(|&p| self.apply_plan(p)).collect()
+    }
+}
+
+impl PlannedDetector for crate::Tbf {
+    fn probe_planner(&self) -> Planner {
+        self.planner()
+    }
+    fn apply_plan(&mut self, plan: ProbePlan) -> Verdict {
+        self.apply(plan)
+    }
+    fn apply_plan_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
+        self.apply_batch(plans)
+    }
+}
+
+impl PlannedDetector for crate::Gbf {
+    fn probe_planner(&self) -> Planner {
+        self.planner()
+    }
+    fn apply_plan(&mut self, plan: ProbePlan) -> Verdict {
+        self.apply(plan)
+    }
+    fn apply_plan_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
+        self.apply_batch(plans)
+    }
+}
+
+impl PlannedDetector for crate::tbf_jumping::JumpingTbf {
+    fn probe_planner(&self) -> Planner {
+        self.planner()
+    }
+    fn apply_plan(&mut self, plan: ProbePlan) -> Verdict {
+        self.apply(plan)
+    }
+    fn apply_plan_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
+        self.apply_batch(plans)
     }
 }
 
@@ -176,6 +261,61 @@ impl<D: DuplicateDetector> ShardedDetector<D> {
     #[must_use]
     pub fn into_shards(self) -> Vec<D> {
         self.shards
+    }
+}
+
+impl<D: PlannedDetector> ShardedDetector<D> {
+    /// Whether every shard's probe family matches the router's, i.e.
+    /// the shards were built with [`ShardRouter::probe_seed`]. Only
+    /// then can one hash serve both routing and probing.
+    #[must_use]
+    pub fn hash_once_aligned(&self) -> bool {
+        let seed = self.router.probe_seed();
+        self.shards.iter().all(|s| s.probe_planner().seed() == seed)
+    }
+
+    /// [`DuplicateDetector::observe_batch`] hashing each id exactly
+    /// once: the router pair doubles as the probe plan, removing the
+    /// second hash evaluation per click that the generic path pays
+    /// (`route` hashes, then each shard's `observe_batch` hashes
+    /// again). Verdicts are identical to `observe_batch` when the
+    /// shards are router-aligned; on misaligned shards this falls back
+    /// to the two-hash path rather than probing with a foreign family.
+    pub fn observe_batch_hash_once(&mut self, ids: &[&[u8]]) -> Vec<Verdict> {
+        if !self.hash_once_aligned() {
+            return self.observe_batch(ids);
+        }
+        let planner = self.router.planner();
+        if self.shards.len() == 1 {
+            let plans: Vec<ProbePlan> = ids.iter().map(|id| planner.plan(id)).collect();
+            return self.shards[0].apply_plan_batch(&plans);
+        }
+        // Same bucket/replay/gather scheme as `observe_batch`, but the
+        // buckets hold plans instead of ids.
+        let shard_count = self.shards.len();
+        let cap = ids.len() / shard_count + 1;
+        let mut buckets: Vec<Vec<ProbePlan>> = vec![Vec::with_capacity(cap); shard_count];
+        let mut routes = Vec::with_capacity(ids.len());
+        for id in ids {
+            let plan = planner.plan(id);
+            let shard = self.router.route_pair(plan.pair());
+            buckets[shard].push(plan);
+            routes.push(shard);
+        }
+        let verdicts: Vec<Vec<Verdict>> = buckets
+            .iter()
+            .zip(&mut self.shards)
+            .map(|(bucket, shard)| shard.apply_plan_batch(bucket))
+            .collect();
+        let mut cursor = vec![0usize; shard_count];
+        routes
+            .into_iter()
+            .map(|shard| {
+                let v = verdicts[shard][cursor[shard]];
+                cursor[shard] += 1;
+                v
+            })
+            .collect()
     }
 }
 
@@ -303,6 +443,10 @@ impl<D: DetectorStats> DetectorStats for ShardedDetector<D> {
             .map(DetectorStats::estimated_fp)
             .sum::<f64>()
             / self.shards.len() as f64
+    }
+
+    fn occupancy_scans(&self) -> u64 {
+        self.shards.iter().map(DetectorStats::occupancy_scans).sum()
     }
 
     fn health(&self) -> DetectorHealth {
@@ -451,6 +595,58 @@ mod tests {
         assert_eq!(d.observe(b"b"), Verdict::Distinct);
         assert_eq!(d.observe(b"a"), Verdict::Duplicate);
         assert!(matches!(d.window(), WindowSpec::Jumping { .. }));
+    }
+
+    #[test]
+    fn hash_once_matches_generic_batch_when_aligned() {
+        let (n, shards) = (1 << 10, 4);
+        let make = |router: &ShardRouter| {
+            let seed = router.probe_seed();
+            ShardedDetector::from_fn(3, shards, |_| {
+                let n_s = per_shard_window(n, shards);
+                Tbf::new(
+                    TbfConfig::builder(n_s)
+                        .entries(n_s * 14)
+                        .hash_count(7)
+                        .seed(seed)
+                        .build()?,
+                )
+            })
+            .expect("valid sharded tbf")
+        };
+        let router = ShardRouter::new(3, shards).expect("router");
+        let mut generic = make(&router);
+        let mut hash_once = make(&router);
+        assert!(hash_once.hash_once_aligned());
+
+        let ids: Vec<Vec<u8>> = (0..6_000u64)
+            .map(|i| (i % 900).to_le_bytes().to_vec())
+            .collect();
+        let id_slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let mut want = Vec::new();
+        let mut got = Vec::new();
+        for chunk in id_slices.chunks(97) {
+            want.extend(generic.observe_batch(chunk));
+            got.extend(hash_once.observe_batch_hash_once(chunk));
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn hash_once_falls_back_when_misaligned() {
+        // Shards seeded independently of the router: the fast path must
+        // refuse to probe with the router family and instead produce
+        // the same verdicts as the generic path.
+        let mut a = sharded_tbf(1 << 10, 4);
+        let mut b = sharded_tbf(1 << 10, 4);
+        assert!(!a.hash_once_aligned());
+        let ids: Vec<Vec<u8>> = (0..3_000u64)
+            .map(|i| (i % 500).to_le_bytes().to_vec())
+            .collect();
+        let id_slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let want = a.observe_batch(&id_slices);
+        let got = b.observe_batch_hash_once(&id_slices);
+        assert_eq!(got, want);
     }
 
     #[test]

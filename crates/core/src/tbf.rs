@@ -20,9 +20,10 @@
 use crate::config::{ConfigError, TbfConfig};
 use crate::ops::OpCounters;
 use cfd_bits::PackedIntVec;
-use cfd_hash::{DoubleHashFamily, HashFamily, Planner, ProbePlan};
+use cfd_hash::{BlockGeometry, DoubleHashFamily, HashFamily, Planner, ProbePlan};
 use cfd_telemetry::DetectorStats;
 use cfd_windows::{DuplicateDetector, Verdict, WindowSpec, WrapCounter};
+use std::cell::Cell;
 
 /// Dynamic TBF state captured by a checkpoint.
 pub(crate) struct TbfState {
@@ -58,6 +59,15 @@ pub struct Tbf {
     ops: OpCounters,
     probe_buf: Vec<usize>,
     batch_buf: Vec<usize>,
+    /// Blocked-probe geometry; `None` in scattered mode.
+    geo: Option<BlockGeometry>,
+    /// Probes actually issued per element: `k` scattered, capped at
+    /// half the block in blocked mode so one insertion can never
+    /// saturate its cache line (see `Gbf` for the rationale).
+    k_eff: usize,
+    /// `O(m)` occupancy scans performed (snapshot-cadence only; see
+    /// `DetectorStats::occupancy_scans`).
+    scans: Cell<u64>,
 }
 
 impl Tbf {
@@ -77,6 +87,19 @@ impl Tbf {
         if !(1..=64).contains(&cfg.k) {
             return Err(ConfigError::BadHashCount(cfg.k));
         }
+        let geo = match cfg.probe {
+            crate::config::ProbeLayout::Scattered => None,
+            crate::config::ProbeLayout::Blocked => Some(cfg.block_geometry().ok_or(
+                ConfigError::BlockedUnsupported {
+                    slot_bits: cfg.entry_bits() as usize,
+                    m: cfg.m,
+                },
+            )?),
+        };
+        let k_eff = match &geo {
+            Some(g) => cfg.k.min(g.slots() / 2).max(1),
+            None => cfg.k,
+        };
         let entries = PackedIntVec::new_all_ones(cfg.m, cfg.entry_bits());
         let empty = entries.max_value();
         Ok(Self {
@@ -86,11 +109,30 @@ impl Tbf {
             clean_quota: cfg.clean_quota(),
             empty,
             ops: OpCounters::new(),
-            probe_buf: vec![0; cfg.k],
+            probe_buf: vec![0; k_eff],
             batch_buf: Vec::new(),
+            geo,
+            k_eff,
+            scans: Cell::new(0),
             entries,
             cfg,
         })
+    }
+
+    /// Probes issued per element: `k` in scattered mode, `min(k,
+    /// slots/2)` in blocked mode (saturation cap; see [`crate::Gbf`]).
+    #[must_use]
+    pub fn effective_hash_count(&self) -> usize {
+        self.k_eff
+    }
+
+    /// Expands a plan into probe indices under the configured layout.
+    #[inline]
+    fn fill_probes(geo: Option<&BlockGeometry>, m: usize, plan: ProbePlan, out: &mut [usize]) {
+        match geo {
+            Some(g) => plan.fill_blocked(g, out),
+            None => plan.fill(m, out),
+        }
     }
 
     /// The configuration.
@@ -108,6 +150,7 @@ impl Tbf {
     /// Number of non-empty entries (diagnostics; `O(m)`).
     #[must_use]
     pub fn occupied_entries(&self) -> usize {
+        self.scans.set(self.scans.get() + 1);
         self.cfg.m - self.entries.count_eq(self.empty)
     }
 
@@ -117,6 +160,7 @@ impl Tbf {
     /// false-positive rate: only active entries can satisfy a probe.
     #[must_use]
     pub fn active_entries(&self) -> usize {
+        self.scans.set(self.scans.get() + 1);
         (0..self.cfg.m)
             .filter(|&i| {
                 let e = self.entries.get(i);
@@ -215,10 +259,53 @@ impl Tbf {
     /// where it was computed, keeping Theorem 2's per-element op counts.
     pub fn apply(&mut self, plan: ProbePlan) -> Verdict {
         let mut probes = std::mem::take(&mut self.probe_buf);
-        plan.fill(self.cfg.m, &mut probes);
+        Self::fill_probes(self.geo.as_ref(), self.cfg.m, plan, &mut probes);
         let verdict = self.apply_at(&probes);
         self.probe_buf = probes;
         verdict
+    }
+
+    /// Replays a batch of precomputed plans with the same lookahead
+    /// prefetch as `observe_batch` — the stateful half of the sharded
+    /// hash-once path, where plans were produced while routing.
+    pub fn apply_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
+        let k = self.k_eff;
+        let mut probes = std::mem::take(&mut self.batch_buf);
+        probes.clear();
+        probes.resize(plans.len() * k, 0);
+        for (plan, slot) in plans.iter().zip(probes.chunks_exact_mut(k)) {
+            Self::fill_probes(self.geo.as_ref(), self.cfg.m, *plan, slot);
+        }
+        self.replay(probes)
+    }
+
+    /// Applies a flat buffer of expanded probe indices (`k_eff` per
+    /// element), prefetching element `i + PREFETCH_AHEAD`'s cache lines
+    /// while element `i` is processed. In blocked mode all of an
+    /// element's probes share one line, so one prefetch per future
+    /// element suffices. Returns the buffer to `batch_buf`.
+    fn replay(&mut self, probes: Vec<usize>) -> Vec<Verdict> {
+        const PREFETCH_AHEAD: usize = 8;
+        let k = self.k_eff;
+        let blocked = self.geo.is_some();
+        let mut ahead = probes.chunks_exact(k).skip(PREFETCH_AHEAD);
+        let verdicts = probes
+            .chunks_exact(k)
+            .map(|slot| {
+                if let Some(next) = ahead.next() {
+                    if blocked {
+                        self.entries.prefetch(next[0]);
+                    } else {
+                        for &j in next {
+                            self.entries.prefetch(j);
+                        }
+                    }
+                }
+                self.apply_at(slot)
+            })
+            .collect();
+        self.batch_buf = probes;
+        verdicts
     }
 
     /// [`Tbf::apply`] with the plan's probe indices already expanded —
@@ -272,28 +359,14 @@ impl DuplicateDetector for Tbf {
         // element `i` is applied, element `i + PREFETCH_AHEAD`'s cache
         // lines are already being pulled, hiding the random-access
         // latency of a table much larger than L1/L2.
-        const PREFETCH_AHEAD: usize = 8;
-        let k = self.cfg.k;
+        let k = self.k_eff;
         let mut probes = std::mem::take(&mut self.batch_buf);
         probes.clear();
         probes.resize(ids.len() * k, 0);
         for (id, slot) in ids.iter().zip(probes.chunks_exact_mut(k)) {
-            self.plan(id).fill(self.cfg.m, slot);
+            Self::fill_probes(self.geo.as_ref(), self.cfg.m, self.plan(id), slot);
         }
-        let mut ahead = probes.chunks_exact(k).skip(PREFETCH_AHEAD);
-        let verdicts = probes
-            .chunks_exact(k)
-            .map(|slot| {
-                if let Some(next) = ahead.next() {
-                    for &j in next {
-                        self.entries.prefetch(j);
-                    }
-                }
-                self.apply_at(slot)
-            })
-            .collect();
-        self.batch_buf = probes;
-        verdicts
+        self.replay(probes)
     }
 
     fn window(&self) -> WindowSpec {
@@ -336,18 +409,24 @@ impl DetectorStats for Tbf {
         self.ops.elements
     }
 
-    /// Distinct elements perform exactly `k` insert writes, so the
+    /// Distinct elements perform exactly `k_eff` insert writes, so the
     /// duplicate count is recoverable from the op counters.
     fn observed_duplicates(&self) -> u64 {
-        self.ops.elements - self.ops.insert_writes / self.cfg.k as u64
+        self.ops.elements - self.ops.insert_writes / self.k_eff as u64
     }
 
-    /// A fresh key is flagged iff all `k` probes land on active entries:
-    /// `(active/m)^k` — the classical Bloom FP formula evaluated at the
-    /// *live* occupancy instead of the design point
-    /// (`cfd_analysis::tbf::fp_sliding`).
+    /// A fresh key is flagged iff all `k_eff` probes land on active
+    /// entries: `(active/m)^k_eff` — the classical Bloom FP formula
+    /// evaluated at the *live* occupancy instead of the design point
+    /// (`cfd_analysis::tbf::fp_sliding`). In blocked mode this is a
+    /// lower bound: per-block load variance adds a penalty the
+    /// `cfd_analysis::blocked` model quantifies.
     fn estimated_fp(&self) -> f64 {
-        (self.active_entries() as f64 / self.cfg.m as f64).powi(self.cfg.k as i32)
+        (self.active_entries() as f64 / self.cfg.m as f64).powi(self.k_eff as i32)
+    }
+
+    fn occupancy_scans(&self) -> u64 {
+        self.scans.get()
     }
 
     /// Single-scan override: `fill_ratios` and `estimated_fp` each need
@@ -365,7 +444,7 @@ impl DetectorStats for Tbf {
             cleaned_entries: self.cleaned_entries(),
             observed_elements: self.observed_elements(),
             observed_duplicates: self.observed_duplicates(),
-            estimated_fp: fill.powi(self.cfg.k as i32),
+            estimated_fp: fill.powi(self.k_eff as i32),
         }
     }
 }
@@ -562,5 +641,85 @@ mod tests {
         // C = N-1 -> range 2N-1 -> 11 bits per entry for N = 2^10.
         assert_eq!(d.config().entry_bits(), 11);
         assert!(d.memory_bits() >= 1000 * 11);
+    }
+
+    fn blocked_tbf(n: usize, m: usize, k: usize) -> Tbf {
+        Tbf::new(
+            TbfConfig::builder(n)
+                .entries(m)
+                .hash_count(k)
+                .seed(77)
+                .probe(crate::config::ProbeLayout::Blocked)
+                .build()
+                .expect("valid blocked config"),
+        )
+        .expect("valid blocked tbf")
+    }
+
+    #[test]
+    fn blocked_mode_has_zero_false_negatives() {
+        let n = 64;
+        let mut d = blocked_tbf(n, 1 << 14, 6);
+        let mut oracle = ExactSlidingDedup::new(n);
+        for i in 0..20_000u64 {
+            let key = (i % 89).to_le_bytes();
+            let got = d.observe(&key);
+            let want = oracle.observe(&key);
+            if want == Verdict::Duplicate {
+                assert_eq!(got, Verdict::Duplicate, "false negative at element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_batch_matches_sequential() {
+        let keys: Vec<Vec<u8>> = (0..6000u64)
+            .map(|i| (i % 700).to_le_bytes().to_vec())
+            .collect();
+        let slices: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let mut sequential = blocked_tbf(256, 1 << 14, 6);
+        let mut batched = blocked_tbf(256, 1 << 14, 6);
+        let want: Vec<Verdict> = slices.iter().map(|id| sequential.observe(id)).collect();
+        let mut got = Vec::new();
+        for chunk in slices.chunks(513) {
+            got.extend(batched.observe_batch(chunk));
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn blocked_fp_stays_usable_with_adequate_memory() {
+        // 13-bit entries at N = 2^12 -> 32 slots per 512-bit line, so
+        // k = 10 survives the saturation cap. Per-block load variance
+        // still costs FP relative to the scattered layout; with 16
+        // entries per element the rate must stay in the few-percent
+        // range (cfd_analysis::blocked quantifies the bound).
+        let n = 1 << 12;
+        let mut d = blocked_tbf(n, n * 16, 10);
+        assert_eq!(d.config().entry_bits(), 13);
+        assert_eq!(d.effective_hash_count(), 10);
+        let mut fps = 0u64;
+        let total = 20 * n as u64;
+        for i in 0..total {
+            if d.observe(&i.to_le_bytes()) == Verdict::Duplicate {
+                fps += 1;
+            }
+        }
+        let rate = fps as f64 / total as f64;
+        assert!(rate < 0.06, "blocked fp rate {rate} too high");
+    }
+
+    #[test]
+    fn occupancy_scans_counts_table_passes_only() {
+        let mut d = tbf(256, 1 << 12, 5);
+        let keys: Vec<Vec<u8>> = (0..2000u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let slices: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        d.observe_batch(&slices);
+        assert_eq!(d.occupancy_scans(), 0, "hot path must not scan");
+        let _ = d.occupied_entries();
+        let _ = d.fill_ratios();
+        assert_eq!(d.occupancy_scans(), 2);
+        let _ = d.health();
+        assert_eq!(d.occupancy_scans(), 3, "health pays exactly one scan");
     }
 }

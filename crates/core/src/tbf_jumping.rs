@@ -12,13 +12,14 @@
 //! below the sliding TBF's `O(log N)` — and the probe is `k` entry reads
 //! regardless of `Q`, where GBF would need `k × ⌈(Q+1)/64⌉` word reads.
 
-use crate::config::ConfigError;
+use crate::config::{ConfigError, ProbeLayout};
 use crate::ops::OpCounters;
 use cfd_bits::words::bits_for_value;
 use cfd_bits::PackedIntVec;
-use cfd_hash::{DoubleHashFamily, HashFamily, Planner, ProbePlan};
+use cfd_hash::{BlockGeometry, DoubleHashFamily, HashFamily, Planner, ProbePlan};
 use cfd_telemetry::DetectorStats;
 use cfd_windows::{DuplicateDetector, JumpingClock, Verdict, WindowSpec, WrapCounter};
+use std::cell::Cell;
 
 /// Configuration of a [`JumpingTbf`] detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +36,8 @@ pub struct JumpingTbfConfig {
     pub c_q: usize,
     /// Hash seed.
     pub seed: u64,
+    /// Probe index layout (scattered vs. cache-line-blocked).
+    pub probe: ProbeLayout,
 }
 
 impl JumpingTbfConfig {
@@ -51,9 +54,37 @@ impl JumpingTbfConfig {
             k,
             c_q: q,
             seed,
+            probe: ProbeLayout::Scattered,
         };
         cfg.validate()?;
         Ok(cfg)
+    }
+
+    /// Returns the configuration with the probe layout replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BlockedUnsupported`] when `Blocked` is
+    /// requested but the entry width / table shape cannot form blocks.
+    pub fn with_probe(mut self, probe: ProbeLayout) -> Result<Self, ConfigError> {
+        self.probe = probe;
+        if probe == ProbeLayout::Blocked && self.block_geometry().is_none() {
+            return Err(ConfigError::BlockedUnsupported {
+                slot_bits: self.entry_bits() as usize,
+                m: self.m,
+            });
+        }
+        Ok(self)
+    }
+
+    /// Cache-line block geometry for the blocked probe layout; `None`
+    /// when scattered or when the shape does not admit blocks.
+    #[must_use]
+    pub fn block_geometry(&self) -> Option<BlockGeometry> {
+        if self.probe != ProbeLayout::Blocked {
+            return None;
+        }
+        BlockGeometry::for_line(self.m, self.entry_bits() as usize)
     }
 
     /// The wraparound sub-index range (`Q + C_q`).
@@ -129,6 +160,14 @@ pub struct JumpingTbf {
     empty: u64,
     ops: OpCounters,
     probe_buf: Vec<usize>,
+    batch_buf: Vec<usize>,
+    /// Blocked-probe geometry; `None` in scattered mode.
+    geo: Option<BlockGeometry>,
+    /// Probes per element: `k` scattered, `min(k, slots/2)` blocked
+    /// (saturation cap; see [`crate::Gbf`]).
+    k_eff: usize,
+    /// `O(m)` occupancy scans performed (snapshot cadence only).
+    scans: Cell<u64>,
 }
 
 impl JumpingTbf {
@@ -139,6 +178,19 @@ impl JumpingTbf {
     /// Returns [`ConfigError`] if the configuration is inconsistent.
     pub fn new(cfg: JumpingTbfConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
+        let geo = match cfg.probe {
+            ProbeLayout::Scattered => None,
+            ProbeLayout::Blocked => Some(cfg.block_geometry().ok_or(
+                ConfigError::BlockedUnsupported {
+                    slot_bits: cfg.entry_bits() as usize,
+                    m: cfg.m,
+                },
+            )?),
+        };
+        let k_eff = match &geo {
+            Some(g) => cfg.k.min(g.slots() / 2).max(1),
+            None => cfg.k,
+        };
         let entries = PackedIntVec::new_all_ones(cfg.m, cfg.entry_bits());
         let empty = entries.max_value();
         Ok(Self {
@@ -149,10 +201,30 @@ impl JumpingTbf {
             clean_quota: cfg.clean_quota(),
             empty,
             ops: OpCounters::new(),
-            probe_buf: vec![0; cfg.k],
+            probe_buf: vec![0; k_eff],
+            batch_buf: Vec::new(),
+            geo,
+            k_eff,
+            scans: Cell::new(0),
             entries,
             cfg,
         })
+    }
+
+    /// Probes issued per element: `k` in scattered mode, `min(k,
+    /// slots/2)` in blocked mode (saturation cap; see [`crate::Gbf`]).
+    #[must_use]
+    pub fn effective_hash_count(&self) -> usize {
+        self.k_eff
+    }
+
+    /// Expands a plan into probe indices under the configured layout.
+    #[inline]
+    fn fill_probes(geo: Option<&BlockGeometry>, m: usize, plan: ProbePlan, out: &mut [usize]) {
+        match geo {
+            Some(g) => plan.fill_blocked(g, out),
+            None => plan.fill(m, out),
+        }
     }
 
     /// The configuration.
@@ -171,6 +243,7 @@ impl JumpingTbf {
     /// occupancy that drives the false-positive rate (`O(m)`).
     #[must_use]
     pub fn active_entries(&self) -> usize {
+        self.scans.set(self.scans.get() + 1);
         (0..self.cfg.m)
             .filter(|&i| {
                 let e = self.entries.get(i);
@@ -230,14 +303,62 @@ impl JumpingTbf {
     /// `apply(plan(id))`. The hash evaluation is accounted to this
     /// element regardless of where it was computed.
     pub fn apply(&mut self, plan: ProbePlan) -> Verdict {
+        let mut probes = std::mem::take(&mut self.probe_buf);
+        Self::fill_probes(self.geo.as_ref(), self.cfg.m, plan, &mut probes);
+        let verdict = self.apply_at(&probes);
+        self.probe_buf = probes;
+        verdict
+    }
+
+    /// Replays a batch of precomputed plans with the same lookahead
+    /// prefetch as `observe_batch` — the stateful half of the sharded
+    /// hash-once path, where plans were produced while routing.
+    pub fn apply_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
+        let k = self.k_eff;
+        let mut probes = std::mem::take(&mut self.batch_buf);
+        probes.clear();
+        probes.resize(plans.len() * k, 0);
+        for (plan, slot) in plans.iter().zip(probes.chunks_exact_mut(k)) {
+            Self::fill_probes(self.geo.as_ref(), self.cfg.m, *plan, slot);
+        }
+        self.replay(probes)
+    }
+
+    /// Applies a flat buffer of expanded probe indices (`k_eff` per
+    /// element) with `PREFETCH_AHEAD` lookahead (see `Tbf::replay`).
+    fn replay(&mut self, probes: Vec<usize>) -> Vec<Verdict> {
+        const PREFETCH_AHEAD: usize = 8;
+        let k = self.k_eff;
+        let blocked = self.geo.is_some();
+        let mut ahead = probes.chunks_exact(k).skip(PREFETCH_AHEAD);
+        let verdicts = probes
+            .chunks_exact(k)
+            .map(|slot| {
+                if let Some(next) = ahead.next() {
+                    if blocked {
+                        self.entries.prefetch(next[0]);
+                    } else {
+                        for &j in next {
+                            self.entries.prefetch(j);
+                        }
+                    }
+                }
+                self.apply_at(slot)
+            })
+            .collect();
+        self.batch_buf = probes;
+        verdicts
+    }
+
+    /// [`JumpingTbf::apply`] with the probe indices already expanded —
+    /// the innermost stateful step, shared by per-click and batch paths.
+    fn apply_at(&mut self, probes: &[usize]) -> Verdict {
         self.ops.elements += 1;
         self.ops.hash_evals += 1;
         self.clean_step();
 
-        plan.fill(self.cfg.m, &mut self.probe_buf);
-
         let mut present_and_active = true;
-        for &i in &self.probe_buf {
+        for &i in probes {
             let e = self.entries.get(i);
             self.ops.probe_reads += 1;
             if e == self.empty || !self.is_active(e) {
@@ -250,10 +371,10 @@ impl JumpingTbf {
             Verdict::Duplicate
         } else {
             let t = self.sub.now();
-            for &i in &self.probe_buf {
+            for &i in probes {
                 self.entries.set(i, t);
             }
-            self.ops.insert_writes += self.probe_buf.len() as u64;
+            self.ops.insert_writes += probes.len() as u64;
             Verdict::Distinct
         };
 
@@ -273,8 +394,16 @@ impl DuplicateDetector for JumpingTbf {
     }
 
     fn observe_batch(&mut self, ids: &[&[u8]]) -> Vec<Verdict> {
-        let plans: Vec<ProbePlan> = ids.iter().map(|id| self.plan(id)).collect();
-        plans.into_iter().map(|p| self.apply(p)).collect()
+        // Hash up front and replay with lookahead prefetch — same
+        // pattern as `Tbf::observe_batch`.
+        let k = self.k_eff;
+        let mut probes = std::mem::take(&mut self.batch_buf);
+        probes.clear();
+        probes.resize(ids.len() * k, 0);
+        for (id, slot) in ids.iter().zip(probes.chunks_exact_mut(k)) {
+            Self::fill_probes(self.geo.as_ref(), self.cfg.m, self.plan(id), slot);
+        }
+        self.replay(probes)
     }
 
     fn window(&self) -> WindowSpec {
@@ -320,15 +449,20 @@ impl DetectorStats for JumpingTbf {
         self.ops.elements
     }
 
-    /// Distinct elements perform exactly `k` insert writes, so the
+    /// Distinct elements perform exactly `k_eff` insert writes, so the
     /// duplicate count is recoverable from the op counters.
     fn observed_duplicates(&self) -> u64 {
-        self.ops.elements - self.ops.insert_writes / self.cfg.k as u64
+        self.ops.elements - self.ops.insert_writes / self.k_eff as u64
     }
 
-    /// Classical Bloom FP at the live active occupancy: `(active/m)^k`.
+    /// Classical Bloom FP at the live active occupancy:
+    /// `(active/m)^k_eff`.
     fn estimated_fp(&self) -> f64 {
-        (self.active_entries() as f64 / self.cfg.m as f64).powi(self.cfg.k as i32)
+        (self.active_entries() as f64 / self.cfg.m as f64).powi(self.k_eff as i32)
+    }
+
+    fn occupancy_scans(&self) -> u64 {
+        self.scans.get()
     }
 
     /// Single-scan override: `fill_ratios` and `estimated_fp` each need
@@ -344,7 +478,7 @@ impl DetectorStats for JumpingTbf {
             cleaned_entries: self.cleaned_entries(),
             observed_elements: self.observed_elements(),
             observed_duplicates: self.observed_duplicates(),
-            estimated_fp: fill.powi(self.cfg.k as i32),
+            estimated_fp: fill.powi(self.k_eff as i32),
         }
     }
 }
@@ -452,5 +586,79 @@ mod tests {
         d.observe(b"k");
         d.reset();
         assert_eq!(d.observe(b"k"), Verdict::Distinct);
+    }
+
+    fn blocked_jtbf(n: usize, q: usize, m: usize, k: usize) -> JumpingTbf {
+        let cfg = JumpingTbfConfig::new(n, q, m, k, 21)
+            .unwrap()
+            .with_probe(ProbeLayout::Blocked)
+            .unwrap();
+        JumpingTbf::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn blocked_mode_has_zero_false_negatives() {
+        let (n, q) = (60, 12);
+        let mut d = blocked_jtbf(n, q, 1 << 14, 6);
+        let mut oracle = ExactJumpingDedup::new(n, q);
+        for i in 0..20_000u64 {
+            let key = (i % 83).to_le_bytes();
+            let got = d.observe(&key);
+            let want = oracle.observe(&key);
+            if want == Verdict::Duplicate {
+                assert_eq!(got, Verdict::Duplicate, "false negative at element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_batch_matches_sequential() {
+        let keys: Vec<Vec<u8>> = (0..6000u64)
+            .map(|i| (i % 500).to_le_bytes().to_vec())
+            .collect();
+        let slices: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let mut sequential = blocked_jtbf(256, 64, 1 << 14, 6);
+        let mut batched = blocked_jtbf(256, 64, 1 << 14, 6);
+        let want: Vec<Verdict> = slices.iter().map(|id| sequential.observe(id)).collect();
+        let mut got = Vec::new();
+        for chunk in slices.chunks(511) {
+            got.extend(batched.observe_batch(chunk));
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn batch_matches_sequential_scattered_too() {
+        let keys: Vec<Vec<u8>> = (0..6000u64)
+            .map(|i| (i % 500).to_le_bytes().to_vec())
+            .collect();
+        let slices: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let mut sequential = jtbf(256, 64, 1 << 14, 6);
+        let mut batched = jtbf(256, 64, 1 << 14, 6);
+        let want: Vec<Verdict> = slices.iter().map(|id| sequential.observe(id)).collect();
+        let mut got = Vec::new();
+        for chunk in slices.chunks(511) {
+            got.extend(batched.observe_batch(chunk));
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn blocked_fp_stays_usable_with_adequate_memory() {
+        // 12-bit entries at Q = 2^10 -> 32 slots per line; 16 entries
+        // per element keeps the per-block load variance penalty small.
+        let n = 1 << 12;
+        let q = 1 << 10;
+        let mut d = blocked_jtbf(n, q, n * 16, 10);
+        assert_eq!(d.effective_hash_count(), 10);
+        let mut fps = 0u64;
+        let total = 20 * n as u64;
+        for i in 0..total {
+            if d.observe(&i.to_le_bytes()) == Verdict::Duplicate {
+                fps += 1;
+            }
+        }
+        let rate = fps as f64 / total as f64;
+        assert!(rate < 0.06, "blocked fp rate {rate} too high");
     }
 }

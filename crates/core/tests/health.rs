@@ -159,6 +159,63 @@ fn jumping_tbf_reports_health() {
 }
 
 #[test]
+fn hot_paths_never_trigger_occupancy_scans() {
+    // The O(m) occupancy passes (fill ratios, active-entry counts) are
+    // snapshot-cadence operations; if one creeps into observe or
+    // observe_batch, per-click cost silently becomes O(m). The scan
+    // counters are the regression guard: a pure observe workload must
+    // leave them at zero, and only explicit health sampling moves them.
+    let mut g = gbf(256, 8, 1 << 14, 6);
+    let mut t = tbf(512, 1 << 13, 6);
+    let mut j = JumpingTbf::new(JumpingTbfConfig::new(256, 64, 1 << 13, 6, 3).unwrap()).unwrap();
+    let keys: Vec<Vec<u8>> = (0..5_000u64)
+        .map(|i| (i % 700).to_le_bytes().to_vec())
+        .collect();
+    let slices: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+    for chunk in slices.chunks(257) {
+        g.observe_batch(chunk);
+        t.observe_batch(chunk);
+        j.observe_batch(chunk);
+    }
+    for id in &slices[..500] {
+        g.observe(id);
+        t.observe(id);
+        j.observe(id);
+    }
+    assert_eq!(g.occupancy_scans(), 0, "gbf hot path scanned");
+    assert_eq!(t.occupancy_scans(), 0, "tbf hot path scanned");
+    assert_eq!(j.occupancy_scans(), 0, "jumping-tbf hot path scanned");
+
+    let _ = g.health();
+    let _ = t.health();
+    let _ = j.health();
+    assert!(g.occupancy_scans() > 0, "gbf health must count its scans");
+    assert_eq!(t.occupancy_scans(), 1, "tbf health is one scan");
+    assert_eq!(j.occupancy_scans(), 1, "jumping-tbf health is one scan");
+
+    // Sharded composition: hot path stays scan-free and the wrapper
+    // reports the sum over shards.
+    let shards = 4;
+    let n = 1 << 12;
+    let mut d = ShardedDetector::from_fn(3, shards, |_| {
+        let n_s = per_shard_window(n, shards);
+        Tbf::new(
+            TbfConfig::builder(n_s)
+                .entries(n_s * 10)
+                .hash_count(6)
+                .build()?,
+        )
+    })
+    .unwrap();
+    for chunk in slices.chunks(257) {
+        d.observe_batch(chunk);
+    }
+    assert_eq!(d.occupancy_scans(), 0, "sharded hot path scanned");
+    let _ = d.health();
+    assert_eq!(d.occupancy_scans(), shards as u64);
+}
+
+#[test]
 fn sharded_health_aggregates_shards() {
     let shards = 4;
     let n = 1 << 12;

@@ -1,0 +1,291 @@
+//! Cache-line-blocked probe derivation: block index + intra-block offsets.
+//!
+//! The scattered double-hash scheme of [`crate::indices`] spreads an
+//! element's `k` probes over the whole table, so a membership test
+//! touches up to `k` cache lines. Blocked Bloom filters (Putze, Sanders
+//! & Singler 2007) instead confine all of an element's probes to one
+//! 64-byte line: a first hash picks the *block*, and the remaining
+//! entropy of the pair picks `k` *offsets inside the block*. Probing
+//! then costs one memory access (plus at most one straddle when the
+//! block is not line-aligned) at the price of a slightly higher false
+//! positive rate driven by per-block load variance — modelled in
+//! `cfd-analysis`.
+//!
+//! Derivation from one 128-bit [`HashPair`]:
+//!
+//! * **block** — multiply-shift on `splitmix64(h1 ^ rotl(h2, 32))`.
+//!   The remix matters: the sharded detector routes on the high bits of
+//!   raw `h1`, so reusing them here would let every shard see only a
+//!   fraction of its filter's blocks.
+//! * **offsets** — *plain* double hashing over the power-of-two block:
+//!   `off_i = (h1 + i · odd(h2)) mod slots`. An odd stride is coprime
+//!   with the power-of-two slot count, so the first `min(k, slots)`
+//!   offsets are distinct. (The enhanced variant used by the scattered
+//!   path grows its stride each probe and loses that guarantee.)
+
+use crate::mix::splitmix64;
+use crate::pair::HashPair;
+
+/// Bits in one cache line, the blocking granule.
+pub const LINE_BITS: usize = 512;
+
+/// The shape of a blocked table: `blocks × slots` cells of `slot_bits`
+/// each, with `slots` a power of two and `slots · slot_bits ≤ 512`.
+///
+/// A "slot" is whatever unit the filter probes: one group of `Q+1`
+/// interleaved lanes for the GBF, one packed timestamp cell for the TBF.
+///
+/// ```rust
+/// use cfd_hash::block::BlockGeometry;
+/// // 1 Mi 14-bit timestamp cells → 32 cells per 512-bit line.
+/// let geo = BlockGeometry::for_line(1 << 20, 14).unwrap();
+/// assert_eq!(geo.slots(), 32);
+/// assert_eq!(geo.blocks(), (1 << 20) / 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockGeometry {
+    blocks: usize,
+    slots: usize,
+    slot_bits: usize,
+}
+
+impl BlockGeometry {
+    /// Geometry for `m` slots of `slot_bits` bits blocked into 64-byte
+    /// lines. The per-block slot count is the largest power of two that
+    /// fits in one line.
+    ///
+    /// Returns `None` when blocking degenerates: fewer than two slots
+    /// fit in a line (`slot_bits > 256`) or the table has fewer slots
+    /// than one block (`m < slots`).
+    #[must_use]
+    pub fn for_line(m: usize, slot_bits: usize) -> Option<Self> {
+        if slot_bits == 0 {
+            return None;
+        }
+        let per_line = LINE_BITS / slot_bits;
+        if per_line < 2 {
+            return None;
+        }
+        // Previous power of two: offsets come from `h mod slots`, which
+        // is a mask only when slots is a power of two.
+        let slots = if per_line.is_power_of_two() {
+            per_line
+        } else {
+            1 << (usize::BITS - 1 - per_line.leading_zeros())
+        };
+        let blocks = m / slots;
+        if blocks == 0 {
+            return None;
+        }
+        Some(Self {
+            blocks,
+            slots,
+            slot_bits,
+        })
+    }
+
+    /// Number of blocks. Slots `≥ blocks · slots` (the unaligned tail
+    /// of a table whose size is not a multiple of `slots`) are never
+    /// probed in blocked mode.
+    #[inline]
+    #[must_use]
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Slots per block (a power of two, at least 2).
+    #[inline]
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Width of one slot in bits.
+    #[inline]
+    #[must_use]
+    pub fn slot_bits(&self) -> usize {
+        self.slot_bits
+    }
+
+    /// Total slots reachable by blocked probing (`blocks · slots`).
+    #[inline]
+    #[must_use]
+    pub fn covered_slots(&self) -> usize {
+        self.blocks * self.slots
+    }
+}
+
+/// One element's resolved blocked probe schedule: the block base plus
+/// the double-hash walk inside it. `Copy`, detector-independent.
+///
+/// ```rust
+/// use cfd_hash::block::{BlockGeometry, BlockPlan};
+/// use cfd_hash::HashPair;
+/// let geo = BlockGeometry::for_line(1 << 16, 16).unwrap();
+/// let plan = BlockPlan::new(HashPair::new(0xFACE, 0xBEEF), &geo);
+/// let mut idx = [0usize; 6];
+/// plan.fill(&mut idx);
+/// let base = plan.block() * geo.slots();
+/// assert!(idx.iter().all(|&i| (base..base + geo.slots()).contains(&i)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPlan {
+    base: usize,
+    first: u64,
+    stride: u64,
+    mask: u64,
+    slots: usize,
+}
+
+impl BlockPlan {
+    /// Splits the pair into a block index and an intra-block walk.
+    #[inline]
+    #[must_use]
+    pub fn new(pair: HashPair, geo: &BlockGeometry) -> Self {
+        // Remixed multiply-shift block pick; see module docs for why
+        // raw h1 bits must not be reused here.
+        let b = splitmix64(pair.h1 ^ pair.h2.rotate_left(32));
+        let block = ((u128::from(b) * geo.blocks as u128) >> 64) as usize;
+        let mask = geo.slots as u64 - 1;
+        Self {
+            base: block * geo.slots,
+            first: pair.h1 & mask,
+            stride: pair.odd_stride() & mask,
+            mask,
+            slots: geo.slots,
+        }
+    }
+
+    /// The chosen block index.
+    #[inline]
+    #[must_use]
+    pub fn block(&self) -> usize {
+        self.base / self.slots
+    }
+
+    /// Writes `out.len()` table-wide slot indices, all inside one block.
+    ///
+    /// The first `min(out.len(), slots)` indices are distinct (odd
+    /// stride over a power-of-two ring).
+    #[inline]
+    pub fn fill(&self, out: &mut [usize]) {
+        let mut cur = self.first;
+        for slot in out.iter_mut() {
+            *slot = self.base + cur as usize;
+            cur = (cur + self.stride) & self.mask;
+        }
+    }
+}
+
+/// One-shot form: derive the blocked indices for `pair` straight into
+/// `out`. Equivalent to `BlockPlan::new(pair, geo).fill(out)`.
+#[inline]
+pub fn fill_blocked_indices(pair: HashPair, geo: &BlockGeometry, out: &mut [usize]) {
+    BlockPlan::new(pair, geo).fill(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::{Murmur3Pair, PairHasher};
+
+    #[test]
+    fn geometry_rejects_degenerate_shapes() {
+        assert!(BlockGeometry::for_line(1 << 20, 0).is_none());
+        assert!(BlockGeometry::for_line(1 << 20, 257).is_none(), "1 slot");
+        assert!(BlockGeometry::for_line(3, 128).is_none(), "m < slots");
+        let geo = BlockGeometry::for_line(1 << 20, 256).unwrap();
+        assert_eq!(geo.slots(), 2);
+    }
+
+    #[test]
+    fn geometry_rounds_slots_down_to_power_of_two() {
+        // 512 / 9 = 56 per line → 32 slots (previous power of two).
+        let geo = BlockGeometry::for_line(100_000, 9).unwrap();
+        assert_eq!(geo.slots(), 32);
+        assert_eq!(geo.blocks(), 100_000 / 32);
+        assert!(geo.covered_slots() <= 100_000);
+        // Power-of-two per-line counts are kept exactly.
+        assert_eq!(BlockGeometry::for_line(1 << 16, 16).unwrap().slots(), 32);
+        assert_eq!(BlockGeometry::for_line(1 << 16, 64).unwrap().slots(), 8);
+    }
+
+    #[test]
+    fn block_span_fits_one_line() {
+        for slot_bits in [1usize, 9, 14, 16, 64, 128] {
+            let geo = BlockGeometry::for_line(1 << 18, slot_bits).unwrap();
+            assert!(geo.slots() * geo.slot_bits() <= LINE_BITS, "{slot_bits}");
+            assert!(geo.slots() >= 2);
+        }
+    }
+
+    #[test]
+    fn offsets_are_distinct_and_in_block() {
+        let geo = BlockGeometry::for_line(1 << 16, 14).unwrap(); // 32 slots
+        let hasher = Murmur3Pair::new(99);
+        for key in 0..5_000u64 {
+            let plan = BlockPlan::new(hasher.hash_pair_u64(key), &geo);
+            let mut idx = [0usize; 10];
+            plan.fill(&mut idx);
+            let base = plan.block() * geo.slots();
+            assert!(idx.iter().all(|&i| i >= base && i < base + geo.slots()));
+            let mut sorted = idx;
+            sorted.sort_unstable();
+            sorted.windows(2).for_each(|w| {
+                assert_ne!(w[0], w[1], "first min(k, slots) probes must differ");
+            });
+        }
+    }
+
+    #[test]
+    fn block_index_is_uncorrelated_with_h1_high_bits() {
+        // The sharded router consumes h1's high bits via multiply-shift.
+        // Constrain h1 to one router shard (fixed high byte) and check
+        // the blocks still cover the space.
+        let geo = BlockGeometry::for_line(1 << 15, 16).unwrap();
+        let mut seen = vec![false; geo.blocks()];
+        for low in 0..200_000u64 {
+            let pair = HashPair::new(0xAB00_0000_0000_0000 | low, splitmix64(low));
+            seen[BlockPlan::new(pair, &geo).block()] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert!(
+            covered * 10 >= geo.blocks() * 9,
+            "only {covered}/{} blocks reachable from one shard's keys",
+            geo.blocks()
+        );
+    }
+
+    #[test]
+    fn fill_blocked_matches_plan() {
+        let geo = BlockGeometry::for_line(1 << 12, 32).unwrap();
+        let pair = Murmur3Pair::new(5).hash_pair(b"click");
+        let mut a = [0usize; 8];
+        let mut b = [0usize; 8];
+        fill_blocked_indices(pair, &geo, &mut a);
+        BlockPlan::new(pair, &geo).fill(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blocks_are_load_balanced() {
+        // Chi-squared over 256 blocks, 64k keys.
+        let geo = BlockGeometry::for_line(256 * 8, 64).unwrap();
+        assert_eq!(geo.blocks(), 256);
+        let hasher = Murmur3Pair::new(21);
+        let mut counts = [0u32; 256];
+        const KEYS: u64 = 1 << 16;
+        for key in 0..KEYS {
+            counts[BlockPlan::new(hasher.hash_pair_u64(key), &geo).block()] += 1;
+        }
+        let expected = KEYS as f64 / 256.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = f64::from(c) - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 340.0, "chi2={chi2}");
+    }
+}

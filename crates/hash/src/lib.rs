@@ -20,6 +20,9 @@
 //! * [`plan`] — the [`plan::Planner`]/[`plan::ProbePlan`] split: hash an
 //!   id once into a pure, `Copy` plan, replay it against any filter
 //!   geometry (batch and multi-thread frontends build on this).
+//! * [`block`] — cache-line-blocked index derivation: one hash picks a
+//!   64-byte block, the rest of the pair picks the `k` offsets inside
+//!   it, so a probe touches one cache line instead of `k`.
 //! * [`sip`] — SipHash-2-4, the *keyed* family for deployments where
 //!   click identifiers are attacker-controlled.
 //!
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod family;
 pub mod fnv;
 pub mod indices;
@@ -48,6 +52,7 @@ pub mod pair;
 pub mod plan;
 pub mod sip;
 
+pub use block::{fill_blocked_indices, BlockGeometry, BlockPlan};
 pub use family::{DoubleHashFamily, HashFamily, IndependentHashFamily};
 pub use indices::IndexSequence;
 pub use pair::{HashPair, PairHasher};

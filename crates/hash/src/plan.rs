@@ -17,6 +17,7 @@
 //! [`Planner`] (same seed): replaying a plan from a different family
 //! yields well-defined but meaningless indices.
 
+use crate::block::{BlockGeometry, BlockPlan};
 use crate::family::DoubleHashFamily;
 use crate::indices::fill_indices;
 use crate::pair::HashPair;
@@ -50,6 +51,21 @@ impl ProbePlan {
     #[inline]
     pub fn fill(&self, m: usize, out: &mut [usize]) {
         fill_indices(self.pair, m, out);
+    }
+
+    /// Resolves the plan against a blocked geometry: block index plus
+    /// intra-block double-hash walk (see [`crate::block`]).
+    #[inline]
+    #[must_use]
+    pub fn block_plan(&self, geo: &BlockGeometry) -> BlockPlan {
+        BlockPlan::new(self.pair, geo)
+    }
+
+    /// Expands the plan into `out.len()` indices confined to one
+    /// cache-line block of the geometry.
+    #[inline]
+    pub fn fill_blocked(&self, geo: &BlockGeometry, out: &mut [usize]) {
+        self.block_plan(geo).fill(out);
     }
 }
 

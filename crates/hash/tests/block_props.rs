@@ -1,0 +1,57 @@
+//! Property tests for the blocked probe derivation: every offset of a
+//! [`BlockPlan`] must land inside one 64-byte line, and the first
+//! `min(k, slots)` probes must be distinct.
+
+use cfd_hash::block::LINE_BITS;
+use cfd_hash::pair::{Murmur3Pair, PairHasher};
+use cfd_hash::{BlockGeometry, BlockPlan};
+use proptest::prelude::*;
+
+proptest! {
+    /// The span of an element's probed bits never exceeds one 512-bit
+    /// cache line, for any slot width and table size the geometry
+    /// accepts.
+    #[test]
+    fn offsets_stay_within_one_line(
+        seed in any::<u64>(),
+        key in any::<u64>(),
+        slot_bits in 1usize..200,
+        m_shift in 8usize..22,
+        k in 1usize..16,
+    ) {
+        let m = 1usize << m_shift;
+        if let Some(geo) = BlockGeometry::for_line(m, slot_bits) {
+            let pair = Murmur3Pair::new(seed).hash_pair_u64(key);
+            let mut idx = vec![0usize; k];
+            BlockPlan::new(pair, &geo).fill(&mut idx);
+            let first_bit = idx.iter().map(|&i| i * slot_bits).min().unwrap();
+            let last_bit = idx.iter().map(|&i| (i + 1) * slot_bits).max().unwrap();
+            prop_assert!(
+                last_bit - first_bit <= LINE_BITS,
+                "probe span {} bits exceeds a cache line", last_bit - first_bit
+            );
+            prop_assert!(idx.iter().all(|&i| i < geo.covered_slots()));
+        }
+    }
+
+    /// Plain double hashing with an odd stride over the power-of-two
+    /// block makes the first `min(k, slots)` probes distinct.
+    #[test]
+    fn first_probes_are_distinct(
+        seed in any::<u64>(),
+        key in any::<u64>(),
+        slot_bits in 1usize..200,
+        k in 1usize..16,
+    ) {
+        if let Some(geo) = BlockGeometry::for_line(1 << 20, slot_bits) {
+            let pair = Murmur3Pair::new(seed).hash_pair_u64(key);
+            let take = k.min(geo.slots());
+            let mut idx = vec![0usize; take];
+            BlockPlan::new(pair, &geo).fill(&mut idx);
+            idx.sort_unstable();
+            let len = idx.len();
+            idx.dedup();
+            prop_assert_eq!(idx.len(), len, "repeated probe inside a block");
+        }
+    }
+}

@@ -137,6 +137,17 @@ pub trait DetectorStats {
     /// return `0.0`.
     fn estimated_fp(&self) -> f64;
 
+    /// Number of `O(m)` occupancy scans this detector has performed
+    /// (fill-ratio / active-entry passes, including those inside
+    /// [`DetectorStats::health`]). These are snapshot-cadence
+    /// operations; hot loops must never trigger them. Benchmarks assert
+    /// this stays constant across a timed section — see
+    /// `cfd-bench`'s `throughput` binary. Defaults to 0 for detectors
+    /// that do not track it.
+    fn occupancy_scans(&self) -> u64 {
+        0
+    }
+
     /// Assembles the full [`DetectorHealth`] sample.
     fn health(&self) -> DetectorHealth {
         DetectorHealth {
@@ -176,6 +187,9 @@ impl<D: DetectorStats + ?Sized> DetectorStats for Box<D> {
     }
     fn estimated_fp(&self) -> f64 {
         (**self).estimated_fp()
+    }
+    fn occupancy_scans(&self) -> u64 {
+        (**self).occupancy_scans()
     }
     fn health(&self) -> DetectorHealth {
         (**self).health()

@@ -17,6 +17,7 @@ use cfd_adnet::{
     run_sharded_pipeline, run_sharded_pipeline_instrumented, Advertiser, AdvertiserId, Campaign,
     FraudScorer, PipelineConfig, PipelineTelemetry,
 };
+use cfd_core::config::ProbeLayout;
 use cfd_core::sharded::{per_shard_window, ShardedDetector};
 use cfd_core::tbf_jumping::{JumpingTbf, JumpingTbfConfig};
 use cfd_core::{Gbf, GbfConfig, Tbf, TbfConfig};
@@ -55,7 +56,8 @@ commands:
              --algo tbf|gbf|jumping-tbf|exact
              --window <N> [--sub-windows <Q>] [--cells-per-element <c>]
              [--k <hashes>] [--seed <u64>] --trace <file>
-             [--shards <S>] [--batch <B>] [--score-publishers]
+             [--shards <S>] [--batch <B>] [--layout scattered|blocked]
+             [--score-publishers]
              (cells = filter bits for gbf, timestamp entries for tbf;
               default 14, the paper's Fig. 2 ratio; --shards splits the
               keyspace over S detectors of window N/S, --batch sets the
@@ -64,6 +66,7 @@ commands:
              --algo tbf|gbf|jumping-tbf|exact [--window <N>]
              [--sub-windows <Q>] [--cells-per-element <c>] [--k <hashes>]
              [--seed <u64>] [--shards <S>] [--batch <B>] [--queue <Q>]
+             [--layout scattered|blocked]
              (--trace <file> | [--kind <workload>] [--count <clicks>])
              [--metrics[=millis]] [--metrics-json]
              (--metrics prints periodic telemetry snapshots to stderr:
@@ -198,6 +201,7 @@ fn build_detector(
     cells_per_element: usize,
     k: usize,
     seed: u64,
+    layout: ProbeLayout,
 ) -> Result<Box<dyn ObservableDetector + Send>, String> {
     Ok(match algo {
         "tbf" => Box::new(
@@ -206,6 +210,7 @@ fn build_detector(
                     .entries(window * cells_per_element)
                     .hash_count(k)
                     .seed(seed)
+                    .probe(layout)
                     .build()
                     .map_err(|e| e.to_string())?,
             )
@@ -217,6 +222,7 @@ fn build_detector(
                     .filter_bits(window.div_ceil(q) * cells_per_element)
                     .hash_count(k)
                     .seed(seed)
+                    .probe(layout)
                     .build()
                     .map_err(|e| e.to_string())?,
             )
@@ -225,13 +231,30 @@ fn build_detector(
         "jumping-tbf" => Box::new(
             JumpingTbf::new(
                 JumpingTbfConfig::new(window, q, window * cells_per_element, k, seed)
+                    .and_then(|c| c.with_probe(layout))
                     .map_err(|e| e.to_string())?,
             )
             .map_err(|e| e.to_string())?,
         ),
-        "exact" => Box::new(ExactSlidingDedup::new(window)),
+        "exact" => {
+            if layout == ProbeLayout::Blocked {
+                return Err("--layout blocked needs a Bloom-style detector, not `exact`".into());
+            }
+            Box::new(ExactSlidingDedup::new(window))
+        }
         other => return Err(format!("--algo: unknown detector `{other}`")),
     })
+}
+
+/// Parses `--layout scattered|blocked` (default scattered).
+fn parse_layout(opts: &Opts) -> Result<ProbeLayout, String> {
+    match opts.get("layout").unwrap_or("scattered") {
+        "scattered" => Ok(ProbeLayout::Scattered),
+        "blocked" => Ok(ProbeLayout::Blocked),
+        other => Err(format!(
+            "--layout: `{other}` (accepted: scattered, blocked)"
+        )),
+    }
 }
 
 fn cmd_detect(opts: &Opts) -> Result<(), String> {
@@ -241,6 +264,7 @@ fn cmd_detect(opts: &Opts) -> Result<(), String> {
     let cells_per_element: usize = opts.parse_num("cells-per-element", 14)?;
     let k: usize = opts.parse_num("k", 10)?;
     let seed: u64 = opts.parse_num("seed", 0)?;
+    let layout = parse_layout(opts)?;
     let shards: usize = opts.parse_num("shards", 1)?;
     let batch: usize = opts.parse_num("batch", 512)?;
     if shards == 0 || batch == 0 {
@@ -259,11 +283,19 @@ fn cmd_detect(opts: &Opts) -> Result<(), String> {
         let n_s = per_shard_window(window, shards);
         let mut inner = Vec::with_capacity(shards);
         for _ in 0..shards {
-            inner.push(build_detector(&algo, n_s, q, cells_per_element, k, seed)?);
+            inner.push(build_detector(
+                &algo,
+                n_s,
+                q,
+                cells_per_element,
+                k,
+                seed,
+                layout,
+            )?);
         }
         Box::new(ShardedDetector::new(seed, inner).map_err(|e| e.to_string())?)
     } else {
-        build_detector(&algo, window, q, cells_per_element, k, seed)?
+        build_detector(&algo, window, q, cells_per_element, k, seed, layout)?
     };
 
     let mut summary = StreamSummary::default();
@@ -352,6 +384,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     let cells_per_element: usize = opts.parse_num("cells-per-element", 14)?;
     let k: usize = opts.parse_num("k", 10)?;
     let seed: u64 = opts.parse_num("seed", 0)?;
+    let layout = parse_layout(opts)?;
     let shards: usize = opts.parse_num("shards", 4)?;
     let batch: usize = opts.parse_num("batch", 512)?;
     let queue: usize = opts.parse_num("queue", 16)?;
@@ -394,7 +427,15 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             let n_s = per_shard_window(window, shards);
             let mut inner = Vec::with_capacity(shards);
             for _ in 0..shards {
-                inner.push(build_detector(&algo, n_s, q, cells_per_element, k, seed)?);
+                inner.push(build_detector(
+                    &algo,
+                    n_s,
+                    q,
+                    cells_per_element,
+                    k,
+                    seed,
+                    layout,
+                )?);
             }
             ShardedDetector::new(seed, inner).map_err(|e| e.to_string())
         };
