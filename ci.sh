@@ -25,6 +25,9 @@ fi
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> workspace tests (all crates)"
+cargo test -q --workspace
+
 echo "==> telemetry tests"
 cargo test -q -p cfd-telemetry
 
@@ -75,6 +78,38 @@ if d["scale"] == "full":
     assert all(d["checks"].values()), d["checks"]
     assert min(d["speedups"]["tbf"], d["speedups"]["gbf"]) >= 1.3, d["speedups"]
 print(f'   {sys.argv[1]}: {d["scale"]} scale, {len(d["configs"])} configs, FP within model bound')
+EOF
+    done
+fi
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> pipeline smoke: ring vs channel transport + multi-lane hash (quick scale)"
+    # Quick scale writes its own file; the committed full-scale
+    # BENCH_pr4.json is regenerated only by a manual full run.
+    ./target/release/throughput --pipeline --quick --out target/BENCH_pipeline_quick.json \
+        >/tmp/cfd_pipeline.txt
+    tail -n 4 /tmp/cfd_pipeline.txt | sed 's/^/   /'
+    echo "==> BENCH pipeline json schema + speedup gates (full scale only)"
+    for f in target/BENCH_pipeline_quick.json BENCH_pr4.json; do
+        python3 - "$f" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "cfd-bench-pipeline/1", d["schema"]
+assert {"scale", "clicks", "rounds", "shards", "batch",
+        "hash", "pipeline", "checks"} <= d.keys()
+h, p = d["hash"], d["pipeline"]
+assert h["lanes"] in (4, 8), h["lanes"]
+assert len(h["scalar_rounds"]) == len(h["lanes_rounds"]) == d["rounds"]
+assert len(p["channel_rounds"]) == len(p["ring_rounds"]) == d["rounds"]
+# Correctness checks hold at every scale; the speedup gates only bind
+# on the committed full-scale run (quick CI boxes are too noisy).
+assert d["checks"]["transports_agree"], "ring and channel reports diverged"
+assert d["checks"]["checksums_agree"], "lanes/scalar hash checksums diverged"
+if d["scale"] == "full":
+    assert d["checks"]["hash_speedup_ok"] and h["speedup"] >= 1.3, h["speedup"]
+    assert d["checks"]["ring_speedup_ok"] and p["speedup"] >= 1.2, p["speedup"]
+print(f'   {sys.argv[1]}: {d["scale"]} scale, '
+      f'hash x{h["speedup"]:.2f}, ring x{p["speedup"]:.2f}')
 EOF
     done
 fi

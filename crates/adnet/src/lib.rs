@@ -20,6 +20,8 @@
 //! * [`pipeline`] — the concurrent ingest → sharded detection → billing
 //!   pipeline: one worker thread per keyspace shard, an order-restoring
 //!   resequencer, and lock-free progress counters.
+//! * [`ring`] — the bounded SPSC ring and buffer [`ring::Pool`] backing
+//!   the pipeline's zero-steady-state-allocation ring transport.
 //! * [`telemetry`] — the [`telemetry::PipelineTelemetry`] instrument
 //!   bundle the `*_instrumented` pipeline entry points feed: queue
 //!   depths, per-stage latency histograms, resequencer stalls, and
@@ -36,6 +38,7 @@ pub mod fraud;
 pub mod network;
 pub mod pipeline;
 pub mod report;
+pub mod ring;
 pub mod telemetry;
 
 pub use audit::{run_dual_audit, AuditOutcome};
@@ -46,6 +49,8 @@ pub use network::AdNetwork;
 pub use pipeline::{
     run_pipeline, run_pipeline_instrumented, run_sharded_pipeline,
     run_sharded_pipeline_instrumented, PipelineConfig, PipelineOutcome, PipelineProgress,
+    Transport,
 };
 pub use report::NetworkReport;
+pub use ring::{Pool, RingStats};
 pub use telemetry::PipelineTelemetry;

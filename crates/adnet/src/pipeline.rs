@@ -2,9 +2,8 @@
 //!
 //! Real ad networks separate ingestion, fraud filtering, and billing
 //! into stages. This module wires the suite's components into a
-//! pipeline over bounded `crossbeam` channels (backpressure included),
-//! with the detector stage fanned out over the keyspace shards of a
-//! [`ShardedDetector`]:
+//! pipeline with the detector stage fanned out over the keyspace shards
+//! of a [`ShardedDetector`]:
 //!
 //! ```text
 //!                    ┌► shard worker 0 ─┐
@@ -12,14 +11,33 @@
 //! (caller)           └► shard worker S  ┘    (seq order)
 //! ```
 //!
+//! Two interchangeable [`Transport`]s move batches between stages, with
+//! verdict-for-verdict identical results:
+//!
+//! * [`Transport::Ring`] (the default): bounded SPSC [`crate::ring`]s
+//!   carry *pooled* batch buffers that cycle ingest → worker → billing
+//!   → back to a [`crate::ring::Pool`], so the steady-state hot loop
+//!   performs **zero heap allocations** (asserted by the
+//!   `zero_alloc_steady_state` integration test) and never takes a
+//!   blocking lock. Click keys travel in one flat buffer per batch,
+//!   feeding the multi-lane batch hasher (`cfd_hash::lanes`) at both
+//!   the routing and probing stages.
+//! * [`Transport::Channel`]: bounded `crossbeam` channels, one fresh
+//!   batch allocation per send — the pre-ring data plane, kept as the
+//!   baseline the `throughput --pipeline` bench gates against.
+//!
 //! * **Ingest** (the caller's thread) stamps every click with a global
-//!   sequence number, routes it by [`ShardRouter`], and forwards clicks
-//!   to the owning worker in batches (amortizing channel traffic).
+//!   sequence number, routes it by [`ShardRouter`] — batch-hashing all
+//!   keys of a staging block per [`ShardRouter::route_flat_into`] on
+//!   the ring path — and forwards clicks to the owning worker in
+//!   batches (amortizing transport traffic).
 //! * **Shard workers** each own one inner detector exclusively — the
 //!   one-pass algorithms are inherently sequential *per keyspace shard*,
 //!   which is exactly why Theorems 1 & 2 obsess over per-element cost —
 //!   and judge whole batches via
-//!   [`DuplicateDetector::observe_batch`] (hash-then-apply locality).
+//!   [`DuplicateDetector::observe_batch`] (hash-then-apply locality),
+//!   or its allocation-free cousin
+//!   [`DuplicateDetector::observe_flat_into`] on the ring path.
 //!   Each worker keeps a private [`FraudScorer`]; the partial scorers
 //!   are [merged](FraudScorer::merge) at join time.
 //! * **Resequencer + billing** restores global stream order from the
@@ -43,6 +61,7 @@ use crate::billing::{BillingEngine, ClickOutcome};
 use crate::entities::Registry;
 use crate::fraud::FraudScorer;
 use crate::report::NetworkReport;
+use crate::ring::{self, Backoff, Pool, TryPopError};
 use crate::telemetry::PipelineTelemetry;
 use cfd_core::sharded::{ShardRouter, ShardedDetector};
 use cfd_stream::Click;
@@ -59,6 +78,9 @@ use std::time::{Duration, Instant};
 /// Default clicks per inter-stage batch.
 const DEFAULT_BATCH: usize = 256;
 
+/// Bytes per click key ([`Click::key`] is a 16-byte array).
+const KEY_LEN: usize = 16;
+
 /// A click annotated with its fraud verdict (detector → billing stage).
 #[derive(Debug, Clone, Copy)]
 struct JudgedClick {
@@ -66,12 +88,33 @@ struct JudgedClick {
     verdict: Verdict,
 }
 
-/// A batch of sequence-stamped clicks bound for one shard worker.
+/// A batch of sequence-stamped clicks bound for one shard worker over
+/// the channel transport.
 struct RawBatch {
     items: Vec<(u64, Click)>,
 }
 
-/// A judged batch headed for the resequencer.
+/// A pooled batch of sequence-stamped clicks for the ring transport.
+///
+/// The 16-byte click keys ride along in one flat buffer (`KEY_LEN`
+/// bytes per item, same order as `items`) so ingest hashes each key
+/// once for routing and the worker feeds the same bytes straight into
+/// [`DuplicateDetector::observe_flat_into`] without rebuilding them.
+#[derive(Default)]
+struct ClickBatch {
+    items: Vec<(u64, Click)>,
+    keys: Vec<u8>,
+}
+
+impl ClickBatch {
+    fn clear(&mut self) {
+        self.items.clear();
+        self.keys.clear();
+    }
+}
+
+/// A judged batch headed for the resequencer. Pooled on the ring path.
+#[derive(Default)]
 struct JudgedBatch {
     items: Vec<(u64, JudgedClick)>,
 }
@@ -130,14 +173,35 @@ impl PipelineProgress {
     }
 }
 
+/// Inter-stage transport of the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Bounded `crossbeam` channels: mutex + condvar wakeups and one
+    /// fresh batch allocation per send. The pre-ring data plane, kept
+    /// as the benchmark baseline.
+    Channel,
+    /// Bounded SPSC rings with pooled, recycled batch buffers: no
+    /// blocking locks and no steady-state heap allocation on the hot
+    /// path.
+    #[default]
+    Ring,
+}
+
 /// Tuning knobs of the sharded pipeline.
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
-    /// Clicks per inter-stage batch (larger batches amortize channel
+    /// Clicks per inter-stage batch (larger batches amortize transport
     /// overhead; smaller ones bound resequencer latency).
     pub batch: usize,
-    /// Bounded-channel capacity per worker, in batches (backpressure).
+    /// Bounded queue capacity per worker, in batches (backpressure).
+    /// On the ring transport this is the ring capacity, rounded up to
+    /// a power of two.
     pub queue: usize,
+    /// How batches move between stages (rings by default).
+    pub transport: Transport,
+    /// Best-effort pin of shard worker `i` to CPU `i` (modulo the
+    /// available parallelism) via `taskset`; ignored where unsupported.
+    pub pin_workers: bool,
 }
 
 impl Default for PipelineConfig {
@@ -145,6 +209,8 @@ impl Default for PipelineConfig {
         Self {
             batch: DEFAULT_BATCH,
             queue: 16,
+            transport: Transport::default(),
+            pin_workers: false,
         }
     }
 }
@@ -221,6 +287,7 @@ where
     let cfg = PipelineConfig {
         batch,
         queue: queue.div_ceil(batch),
+        ..PipelineConfig::default()
     };
     run_fanout(
         vec![detector],
@@ -266,6 +333,7 @@ where
     let cfg = PipelineConfig {
         batch,
         queue: queue.div_ceil(batch),
+        ..PipelineConfig::default()
     };
     run_fanout(
         vec![detector],
@@ -383,14 +451,75 @@ fn settle_one(
     }
 }
 
-/// The shared fan-out engine behind both public entry points.
+/// Best-effort pin of the calling thread to `cpu` (modulo the number
+/// of available CPUs), shelling out to `taskset` so the crate stays
+/// free of `unsafe`. Returns `false` when the platform or tooling does
+/// not support pinning; callers treat pinning as advisory.
+#[cfg(target_os = "linux")]
+fn pin_current_thread(cpu: usize) -> bool {
+    let Ok(link) = std::fs::read_link("/proc/thread-self") else {
+        return false;
+    };
+    let Some(tid) = link.file_name().and_then(|s| s.to_str()) else {
+        return false;
+    };
+    let cpus = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    std::process::Command::new("taskset")
+        .args(["-p", "-c", &(cpu % cpus).to_string(), tid])
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_current_thread(_cpu: usize) -> bool {
+    false
+}
+
+/// The shared fan-out engine behind all public entry points: validates
+/// the topology, then dispatches on [`PipelineConfig::transport`].
+#[allow(clippy::too_many_arguments)]
+fn run_fanout<D, I>(
+    workers: Vec<D>,
+    router: Option<ShardRouter>,
+    name: &'static str,
+    registry: Registry,
+    clicks: I,
+    config: PipelineConfig,
+    progress: Option<Arc<PipelineProgress>>,
+    instr: Instrumentation<D>,
+) -> PipelineOutcome
+where
+    D: DuplicateDetector + Send,
+    I: IntoIterator<Item = Click>,
+{
+    assert!(!workers.is_empty(), "pipeline needs at least one detector");
+    if let Some(t) = &instr.telemetry {
+        assert_eq!(
+            t.shard_count(),
+            workers.len(),
+            "telemetry bundle sized for a different shard count"
+        );
+    }
+    match config.transport {
+        Transport::Channel => run_fanout_channels(
+            workers, router, name, registry, clicks, config, progress, instr,
+        ),
+        Transport::Ring => run_fanout_rings(
+            workers, router, name, registry, clicks, config, progress, instr,
+        ),
+    }
+}
+
+/// The channel-transport fan-out: bounded `crossbeam` channels between
+/// stages, one fresh batch allocation per send.
 ///
 /// `router: None` sends everything to the single worker (no routing
 /// hash on the ingest path). When `instr` carries a telemetry bundle,
 /// every stage times itself per batch; with `telemetry: None` the only
 /// residue is a handful of `Option` branches per batch.
 #[allow(clippy::too_many_arguments)]
-fn run_fanout<D, I>(
+fn run_fanout_channels<D, I>(
     workers: Vec<D>,
     router: Option<ShardRouter>,
     name: &'static str,
@@ -407,14 +536,6 @@ where
     let batch = config.batch.max(1);
     let queue = config.queue.max(1);
     let shard_count = workers.len();
-    assert!(shard_count > 0, "pipeline needs at least one detector");
-    if let Some(t) = &instr.telemetry {
-        assert_eq!(
-            t.shard_count(),
-            shard_count,
-            "telemetry bundle sized for a different shard count"
-        );
-    }
 
     thread::scope(|s| {
         // Workers fan in to one judged channel; capacity scales with the
@@ -431,7 +552,11 @@ where
             let progress = progress.clone();
             let telemetry = instr.telemetry.clone();
             let health_of = instr.health_of;
+            let pin = config.pin_workers;
             handles.push(s.spawn(move || {
+                if pin {
+                    pin_current_thread(idx);
+                }
                 let telem = telemetry.as_deref();
                 let mut scorer = FraudScorer::new();
                 let mut keys: Vec<[u8; 16]> = Vec::with_capacity(batch);
@@ -607,6 +732,313 @@ where
     })
 }
 
+/// The ring-transport fan-out: bounded SPSC rings between stages and
+/// two shared [`Pool`]s recycling the batch buffers, so the steady
+/// state allocates nothing.
+///
+/// Buffer life cycle: ingest `get`s a [`ClickBatch`] from the raw pool,
+/// fills it, and pushes it down the owning shard's raw ring; the worker
+/// judges it, moves the payload into a pooled [`JudgedBatch`], and
+/// `put`s the emptied `ClickBatch` straight back; billing drains the
+/// judged rings round-robin (with [`Backoff`] between empty sweeps) and
+/// `put`s each drained `JudgedBatch` back. After warm-up every `get`
+/// hits the pool — the pool-miss counters in telemetry stay flat.
+///
+/// Ingest hashes each staging block's keys once with the multi-lane
+/// batch hasher ([`ShardRouter::route_flat_into`]) and ships the same
+/// key bytes to the worker inside the batch, where
+/// [`DuplicateDetector::observe_flat_into`] reuses them for probing.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn run_fanout_rings<D, I>(
+    workers: Vec<D>,
+    router: Option<ShardRouter>,
+    name: &'static str,
+    registry: Registry,
+    clicks: I,
+    config: PipelineConfig,
+    progress: Option<Arc<PipelineProgress>>,
+    instr: Instrumentation<D>,
+) -> PipelineOutcome
+where
+    D: DuplicateDetector + Send,
+    I: IntoIterator<Item = Click>,
+{
+    let batch = config.batch.max(1);
+    let queue = config.queue.max(1);
+    let shard_count = workers.len();
+    let raw_pool = Arc::new(Pool::<ClickBatch>::new());
+    let judged_pool = Arc::new(Pool::<JudgedBatch>::new());
+
+    thread::scope(|s| {
+        // Shard workers: exclusive detector ownership, private scorer,
+        // one raw ring in and one judged ring out per worker (SPSC at
+        // both ends — no fan-in contention point).
+        let mut raw_producers = Vec::with_capacity(shard_count);
+        let mut judged_consumers = Vec::with_capacity(shard_count);
+        let mut handles = Vec::with_capacity(shard_count);
+        for (idx, mut detector) in workers.into_iter().enumerate() {
+            let (raw_tx, mut raw_rx) = ring::spsc::<ClickBatch>(queue);
+            let (mut judged_tx, judged_rx) = ring::spsc::<JudgedBatch>(queue);
+            raw_producers.push(raw_tx);
+            judged_consumers.push(judged_rx);
+            let progress = progress.clone();
+            let telemetry = instr.telemetry.clone();
+            let health_of = instr.health_of;
+            let raw_pool = Arc::clone(&raw_pool);
+            let judged_pool = Arc::clone(&judged_pool);
+            let pin = config.pin_workers;
+            handles.push(s.spawn(move || {
+                if pin {
+                    pin_current_thread(idx);
+                }
+                let telem = telemetry.as_deref();
+                let mut scorer = FraudScorer::new();
+                let mut verdicts: Vec<Verdict> = Vec::new();
+                while let Some(mut b) = raw_rx.pop() {
+                    let t0 = telem.map(|t| {
+                        t.shard_queue_depth(idx).sub(1);
+                        Instant::now()
+                    });
+                    // The key bytes were built (and lane-hashed for
+                    // routing) at ingest; probe them directly.
+                    detector.observe_flat_into(&b.keys, KEY_LEN, &mut verdicts);
+                    if let Some((t, t0)) = telem.zip(t0) {
+                        t.stage_probe_ns().record(duration_ns(t0.elapsed()));
+                    }
+                    let mut judged = judged_pool.get();
+                    judged.items.clear();
+                    judged.items.extend(
+                        b.items
+                            .drain(..)
+                            .zip(verdicts.iter().copied())
+                            .map(|((seq, click), verdict)| (seq, JudgedClick { click, verdict })),
+                    );
+                    b.clear();
+                    raw_pool.put(b);
+                    for (_, j) in &judged.items {
+                        scorer.record(&j.click, j.verdict);
+                    }
+                    if let Some(p) = &progress {
+                        p.detected
+                            .fetch_add(judged.items.len() as u64, Ordering::Relaxed);
+                    }
+                    if let Some(t) = telem {
+                        t.shard_batches(idx).inc();
+                        if t.take_health_request(idx) {
+                            if let Some(h) = health_of(&detector) {
+                                t.publish_health(idx, &h);
+                            }
+                        }
+                    }
+                    if judged_tx.push(judged).is_err() {
+                        break; // billing stage gone; drain and stop
+                    }
+                }
+                let health = health_of(&detector);
+                if let Some((t, h)) = telem.zip(health.as_ref()) {
+                    t.publish_health(idx, h);
+                }
+                if let Some(t) = telem {
+                    // Backpressure totals for both of this shard's
+                    // rings (the wait counters live on the shared ring
+                    // state, so either end can read them).
+                    t.shard_raw_full_waits(idx).add(raw_rx.stats().full_waits);
+                    t.shard_judged_full_waits(idx)
+                        .add(judged_tx.stats().full_waits);
+                }
+                (scorer, detector.memory_bits(), health)
+            }));
+        }
+
+        // Resequencer + billing: poll every judged ring round-robin,
+        // restore global order, settle verdicts. Draining each ring
+        // unconditionally keeps workers from deadlocking against a full
+        // judged ring; the backoff bounds the cost of empty sweeps.
+        let progress_bill = progress.clone();
+        let telemetry_bill = instr.telemetry.clone();
+        let judged_pool_bill = Arc::clone(&judged_pool);
+        let billing = s.spawn(move || {
+            let telem = telemetry_bill.as_deref();
+            let mut registry = registry;
+            let mut engine = BillingEngine::new(());
+            let mut savings = 0u64;
+            let mut next_seq = 0u64;
+            let mut pending: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
+            let mut ready: Vec<JudgedClick> = Vec::new();
+            let mut consumers = judged_consumers;
+            let mut open = vec![true; consumers.len()];
+            let mut live = consumers.len();
+            let mut empty_polls = 0u64;
+            let mut backoff = Backoff::new();
+            while live > 0 {
+                let mut progressed = false;
+                for (ci, rx) in consumers.iter_mut().enumerate() {
+                    if !open[ci] {
+                        continue;
+                    }
+                    loop {
+                        let mut jb = match rx.try_pop() {
+                            Ok(jb) => jb,
+                            Err(TryPopError::Empty) => break,
+                            Err(TryPopError::Disconnected) => {
+                                open[ci] = false;
+                                live -= 1;
+                                break;
+                            }
+                        };
+                        progressed = true;
+                        let t0 = telem.map(|_| Instant::now());
+                        for (seq, judged) in jb.items.drain(..) {
+                            pending.push(Reverse(Pending { seq, judged }));
+                        }
+                        judged_pool_bill.put(jb);
+                        while pending.peek().is_some_and(|Reverse(p)| p.seq == next_seq) {
+                            let Reverse(p) = pending.pop().expect("peeked");
+                            ready.push(p.judged);
+                            next_seq += 1;
+                        }
+                        let t1 = telem.zip(t0).map(|(t, t0)| {
+                            let now = Instant::now();
+                            t.stage_resequence_ns().record(duration_ns(now - t0));
+                            if ready.is_empty() && !pending.is_empty() {
+                                t.reseq_stalls().inc();
+                            }
+                            t.pending_peak()
+                                .set_max(i64::try_from(pending.len()).unwrap_or(i64::MAX));
+                            now
+                        });
+                        for judged in ready.drain(..) {
+                            settle_one(
+                                &mut engine,
+                                &mut registry,
+                                &mut savings,
+                                progress_bill.as_deref(),
+                                &judged,
+                            );
+                        }
+                        if let Some((t, t1)) = telem.zip(t1) {
+                            t.stage_billing_ns().record(duration_ns(t1.elapsed()));
+                        }
+                    }
+                }
+                if live == 0 {
+                    break;
+                }
+                if progressed {
+                    backoff.reset();
+                } else {
+                    empty_polls += 1;
+                    backoff.snooze();
+                }
+            }
+            // Workers are done: the remainder is a contiguous tail.
+            while let Some(Reverse(p)) = pending.pop() {
+                debug_assert_eq!(p.seq, next_seq, "resequencer hole at shutdown");
+                settle_one(
+                    &mut engine,
+                    &mut registry,
+                    &mut savings,
+                    progress_bill.as_deref(),
+                    &p.judged,
+                );
+                next_seq += 1;
+            }
+            if let Some(t) = telem {
+                t.reseq_empty_polls().add(empty_polls);
+            }
+            (engine.into_ledger(), savings, registry)
+        });
+
+        // Ingest + route on the caller's thread: stage a block of
+        // clicks, build all keys flat, lane-hash the block once for
+        // routing, then scatter into per-shard pooled batches.
+        let telem = instr.telemetry.as_deref();
+        let mut iter = clicks.into_iter();
+        let mut stage_clicks: Vec<Click> = Vec::with_capacity(batch);
+        let mut stage_keys: Vec<u8> = Vec::with_capacity(batch * KEY_LEN);
+        let mut routes: Vec<usize> = Vec::with_capacity(batch);
+        let mut buckets: Vec<ClickBatch> = (0..shard_count).map(|_| raw_pool.get()).collect();
+        let mut seq = 0u64;
+        'ingest: loop {
+            stage_clicks.clear();
+            while stage_clicks.len() < batch {
+                match iter.next() {
+                    Some(c) => stage_clicks.push(c),
+                    None => break,
+                }
+            }
+            if stage_clicks.is_empty() {
+                break;
+            }
+            let t0 = telem.map(|_| Instant::now());
+            stage_keys.clear();
+            for c in &stage_clicks {
+                stage_keys.extend_from_slice(&c.key());
+            }
+            if let Some(r) = &router {
+                r.route_flat_into(&stage_keys, KEY_LEN, &mut routes);
+            } else {
+                routes.clear();
+                routes.resize(stage_clicks.len(), 0);
+            }
+            if let Some((t, t0)) = telem.zip(t0) {
+                t.stage_hash_ns().record(duration_ns(t0.elapsed()));
+            }
+            for (i, click) in stage_clicks.drain(..).enumerate() {
+                let shard = routes[i];
+                let b = &mut buckets[shard];
+                b.items.push((seq, click));
+                b.keys
+                    .extend_from_slice(&stage_keys[i * KEY_LEN..(i + 1) * KEY_LEN]);
+                seq += 1;
+                if b.items.len() == batch {
+                    let full = std::mem::replace(b, raw_pool.get());
+                    if let Some(t) = telem {
+                        t.ingest_clicks().add(full.items.len() as u64);
+                        t.shard_queue_depth(shard).add(1);
+                    }
+                    if raw_producers[shard].push(full).is_err() {
+                        break 'ingest; // a worker died; stop feeding
+                    }
+                }
+            }
+        }
+        for (shard, b) in buckets.into_iter().enumerate() {
+            if b.items.is_empty() {
+                raw_pool.put(b);
+            } else {
+                if let Some(t) = telem {
+                    t.ingest_clicks().add(b.items.len() as u64);
+                    t.shard_queue_depth(shard).add(1);
+                }
+                let _ = raw_producers[shard].push(b);
+            }
+        }
+        drop(raw_producers);
+
+        let mut scorer = FraudScorer::new();
+        let mut memory_bits = 0usize;
+        let mut health = Vec::new();
+        for handle in handles {
+            let (partial, bits, shard_health) = handle.join().expect("detector worker panicked");
+            scorer.merge(partial);
+            memory_bits += bits;
+            health.extend(shard_health);
+        }
+        let (ledger, savings, registry) = billing.join().expect("billing stage panicked");
+        if let Some(t) = telem {
+            t.pool_raw_misses().add(raw_pool.misses());
+            t.pool_judged_misses().add(judged_pool.misses());
+        }
+        PipelineOutcome {
+            report: NetworkReport::from_ledger(name, memory_bits, &ledger, savings),
+            scorer,
+            registry,
+            health,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -737,7 +1169,11 @@ mod tests {
                 sharded_tbf(1_024, 3),
                 registry_with_budget(400_000),
                 cs.iter().copied(),
-                PipelineConfig { batch, queue: 4 },
+                PipelineConfig {
+                    batch,
+                    queue: 4,
+                    ..PipelineConfig::default()
+                },
                 None,
             )
         };
@@ -848,6 +1284,16 @@ mod tests {
                 assert_eq!(e.value, cfd_telemetry::MetricValue::Gauge(0), "{}", e.name);
             }
         }
+        // Ring-transport extras: warm-up misses are bounded by the
+        // number of buffers in flight, far below the batch count.
+        let raw_misses = snap
+            .get_counter("pipeline.pool.raw_misses")
+            .expect("registered");
+        assert!(raw_misses > 0, "first gets must miss the empty pool");
+        assert!(
+            raw_misses <= (shards * (PipelineConfig::default().queue + 2) + 2) as u64,
+            "pool recycling failed: {raw_misses} raw-batch allocations"
+        );
     }
 
     /// The single-detector instrumented entry point works with a boxed
@@ -874,6 +1320,60 @@ mod tests {
         assert_eq!(outcome.health[0].observed_elements, 5_000);
         let snap = metrics.snapshot();
         assert_eq!(snap.get_counter("pipeline.ingest.clicks"), Some(5_000));
+    }
+
+    /// The transport is a throughput knob, never a semantics knob: the
+    /// ring data plane and the channel data plane produce identical
+    /// reports and scorers, including under a tight order-sensitive
+    /// budget where any reordering or dropped batch would show up.
+    #[test]
+    fn ring_and_channel_transports_agree() {
+        let cs = clicks(30_000);
+        let run = |transport: Transport| {
+            run_sharded_pipeline(
+                sharded_tbf(2_048, 4),
+                registry_with_budget(50_000),
+                cs.iter().copied(),
+                PipelineConfig {
+                    transport,
+                    ..PipelineConfig::default()
+                },
+                None,
+            )
+        };
+        let ring = run(Transport::Ring);
+        let chan = run(Transport::Channel);
+        assert_eq!(ring.report.charged, chan.report.charged);
+        assert_eq!(
+            ring.report.duplicates_blocked,
+            chan.report.duplicates_blocked
+        );
+        assert_eq!(ring.report.budget_rejections, chan.report.budget_rejections);
+        assert_eq!(ring.report.revenue_micros, chan.report.revenue_micros);
+        assert_eq!(ring.report.savings_micros, chan.report.savings_micros);
+        assert_eq!(
+            ring.report.detector_memory_bits,
+            chan.report.detector_memory_bits
+        );
+        assert_eq!(ring.scorer.total_clicks(), chan.scorer.total_clicks());
+    }
+
+    /// Worker pinning is advisory: the run completes and tallies
+    /// normally whether or not `taskset` could honor the request.
+    #[test]
+    fn pinned_workers_complete_normally() {
+        let cs = clicks(5_000);
+        let outcome = run_sharded_pipeline(
+            sharded_tbf(1_024, 2),
+            registry(),
+            cs.iter().copied(),
+            PipelineConfig {
+                pin_workers: true,
+                ..PipelineConfig::default()
+            },
+            None,
+        );
+        assert_eq!(outcome.report.clicks, 5_000);
     }
 
     /// The merged scorer of a 4-worker run equals the single scorer of a

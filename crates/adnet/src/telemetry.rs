@@ -53,6 +53,12 @@ struct ShardInstruments {
     clean_backlog: Arc<FloatGauge>,
     /// TBF incremental sweep position in [0, 1).
     sweep_position: Arc<FloatGauge>,
+    /// Ring transport: ingest pushes onto this shard's raw ring that
+    /// found it full and had to wait (0 on the channel transport).
+    raw_full_waits: Arc<Counter>,
+    /// Ring transport: worker pushes onto this shard's judged ring that
+    /// found it full and had to wait (0 on the channel transport).
+    judged_full_waits: Arc<Counter>,
 }
 
 /// Lock-free instrument bundle for one pipeline run.
@@ -71,6 +77,9 @@ pub struct PipelineTelemetry {
     stage_billing_ns: Arc<Histogram>,
     reseq_stalls: Arc<Counter>,
     pending_peak: Arc<Gauge>,
+    reseq_empty_polls: Arc<Counter>,
+    pool_raw_misses: Arc<Counter>,
+    pool_judged_misses: Arc<Counter>,
     shards: Vec<ShardInstruments>,
 }
 
@@ -131,6 +140,16 @@ impl PipelineTelemetry {
                     "ratio",
                     "TBF incremental sweep position",
                 ),
+                raw_full_waits: registry.counter(
+                    &format!("pipeline.shard{i}.raw_full_waits"),
+                    "waits",
+                    "ingest pushes that found this shard's raw ring full",
+                ),
+                judged_full_waits: registry.counter(
+                    &format!("pipeline.shard{i}.judged_full_waits"),
+                    "waits",
+                    "worker pushes that found this shard's judged ring full",
+                ),
             })
             .collect();
         Self {
@@ -169,6 +188,21 @@ impl PipelineTelemetry {
                 "pipeline.reseq.pending_peak",
                 "clicks",
                 "high-water mark of the resequencer heap",
+            ),
+            reseq_empty_polls: registry.counter(
+                "pipeline.reseq.empty_polls",
+                "polls",
+                "billing sweeps over the judged rings that found nothing",
+            ),
+            pool_raw_misses: registry.counter(
+                "pipeline.pool.raw_misses",
+                "allocs",
+                "raw-batch pool gets that had to allocate a fresh buffer",
+            ),
+            pool_judged_misses: registry.counter(
+                "pipeline.pool.judged_misses",
+                "allocs",
+                "judged-batch pool gets that had to allocate a fresh buffer",
             ),
             shards,
         }
@@ -256,6 +290,26 @@ impl PipelineTelemetry {
     pub(crate) fn pending_peak(&self) -> &Gauge {
         &self.pending_peak
     }
+
+    pub(crate) fn reseq_empty_polls(&self) -> &Counter {
+        &self.reseq_empty_polls
+    }
+
+    pub(crate) fn pool_raw_misses(&self) -> &Counter {
+        &self.pool_raw_misses
+    }
+
+    pub(crate) fn pool_judged_misses(&self) -> &Counter {
+        &self.pool_judged_misses
+    }
+
+    pub(crate) fn shard_raw_full_waits(&self, idx: usize) -> &Counter {
+        &self.shards[idx].raw_full_waits
+    }
+
+    pub(crate) fn shard_judged_full_waits(&self, idx: usize) -> &Counter {
+        &self.shards[idx].judged_full_waits
+    }
 }
 
 #[cfg(test)]
@@ -268,11 +322,14 @@ mod tests {
         let t = PipelineTelemetry::new(&registry, 3);
         assert_eq!(t.shard_count(), 3);
         let snap = registry.snapshot();
-        // 7 global metrics + 7 per shard.
-        assert_eq!(snap.entries.len(), 7 + 3 * 7);
+        // 10 global metrics + 9 per shard.
+        assert_eq!(snap.entries.len(), 10 + 3 * 9);
         assert!(snap.get_counter("pipeline.ingest.clicks").is_some());
         assert!(snap.get_histogram("pipeline.stage.probe_ns").is_some());
         assert!(snap.get_counter("pipeline.shard2.batches").is_some());
+        assert!(snap.get_counter("pipeline.shard2.raw_full_waits").is_some());
+        assert!(snap.get_counter("pipeline.pool.raw_misses").is_some());
+        assert!(snap.get_counter("pipeline.reseq.empty_polls").is_some());
     }
 
     #[test]

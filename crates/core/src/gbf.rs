@@ -130,6 +130,7 @@ pub struct Gbf {
     ops: OpCounters,
     probe_buf: Vec<usize>,
     batch_buf: Vec<usize>,
+    plan_buf: Vec<ProbePlan>,
     acc: Vec<u64>,
     /// Blocked-probe geometry; `None` in scattered mode.
     geo: Option<BlockGeometry>,
@@ -184,6 +185,7 @@ impl Gbf {
             ops: OpCounters::new(),
             probe_buf: vec![0; k_eff],
             batch_buf: Vec::new(),
+            plan_buf: Vec::new(),
             acc: vec![0; matrix.lane_words()],
             geo,
             k_eff,
@@ -378,6 +380,22 @@ impl Gbf {
     /// prefetch as `observe_batch` — the stateful half of the sharded
     /// hash-once path, where plans were produced while routing.
     pub fn apply_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
+        let mut out = Vec::with_capacity(plans.len());
+        self.apply_batch_into(plans, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Gbf::apply_batch`]: verdicts go into `out`
+    /// (cleared first, capacity reused).
+    pub fn apply_batch_into(&mut self, plans: &[ProbePlan], out: &mut Vec<Verdict>) {
+        let probes = self.expand_plans(plans);
+        self.replay_into(probes, out);
+    }
+
+    /// Expands every plan's probe groups into the recycled flat
+    /// `batch_buf` (`k_eff` groups per element); the buffer is handed
+    /// back by [`Gbf::replay_into`].
+    fn expand_plans(&mut self, plans: &[ProbePlan]) -> Vec<usize> {
         let k = self.k_eff;
         let mut probes = std::mem::take(&mut self.batch_buf);
         probes.clear();
@@ -385,36 +403,34 @@ impl Gbf {
         for (plan, slot) in plans.iter().zip(probes.chunks_exact_mut(k)) {
             Self::fill_probes(self.geo.as_ref(), self.cfg.m, *plan, slot);
         }
-        self.replay(probes)
+        probes
     }
 
     /// Applies a flat buffer of expanded probe groups (`k_eff` per
     /// element), prefetching element `i + PREFETCH_AHEAD`'s cache lines
     /// while element `i` is processed. In blocked mode all of an
     /// element's probes share one line, so one prefetch per future
-    /// element suffices. Returns the buffer to `batch_buf`.
-    fn replay(&mut self, probes: Vec<usize>) -> Vec<Verdict> {
+    /// element suffices. Returns the buffer to `batch_buf`; verdicts go
+    /// into `out` (cleared first, capacity reused).
+    fn replay_into(&mut self, probes: Vec<usize>, out: &mut Vec<Verdict>) {
         const PREFETCH_AHEAD: usize = 8;
         let k = self.k_eff;
         let blocked = self.geo.is_some();
+        out.clear();
         let mut ahead = probes.chunks_exact(k).skip(PREFETCH_AHEAD);
-        let verdicts = probes
-            .chunks_exact(k)
-            .map(|slot| {
-                if let Some(next) = ahead.next() {
-                    if blocked {
-                        self.matrix.prefetch(next[0]);
-                    } else {
-                        for &g in next {
-                            self.matrix.prefetch(g);
-                        }
+        for slot in probes.chunks_exact(k) {
+            if let Some(next) = ahead.next() {
+                if blocked {
+                    self.matrix.prefetch(next[0]);
+                } else {
+                    for &g in next {
+                        self.matrix.prefetch(g);
                     }
                 }
-                self.apply_at(slot)
-            })
-            .collect();
+            }
+            out.push(self.apply_at(slot));
+        }
         self.batch_buf = probes;
-        verdicts
     }
 
     /// Expands a plan into probe groups under the configured
@@ -491,21 +507,32 @@ impl DuplicateDetector for Gbf {
     }
 
     fn observe_batch(&mut self, ids: &[&[u8]]) -> Vec<Verdict> {
-        // Hash the whole batch first (pure) and expand every plan's
-        // probe groups into one flat buffer, then replay against filter
-        // state while prefetching element `i + PREFETCH_AHEAD`'s cache
-        // lines — the same latency-hiding replay as `Tbf::observe_batch`.
-        // In blocked mode all of an element's probes share one line, so
-        // a single prefetch per future element suffices.
-        let k = self.k_eff;
-        let mut probes = std::mem::take(&mut self.batch_buf);
-        probes.clear();
-        probes.resize(ids.len() * k, 0);
-        for (id, slot) in ids.iter().zip(probes.chunks_exact_mut(k)) {
-            let plan = ProbePlan::from_pair(self.family.pair(id));
-            Self::fill_probes(self.geo.as_ref(), self.cfg.m, plan, slot);
-        }
-        self.replay(probes)
+        let mut out = Vec::with_capacity(ids.len());
+        self.observe_batch_into(ids, &mut out);
+        out
+    }
+
+    fn observe_batch_into(&mut self, ids: &[&[u8]], out: &mut Vec<Verdict>) {
+        // Hash the whole batch first (pure, multi-lane over equal-length
+        // runs) and expand every plan's probe groups into one flat
+        // buffer, then replay against filter state while prefetching
+        // element `i + PREFETCH_AHEAD`'s cache lines — the same
+        // latency-hiding replay as `Tbf::observe_batch`. In blocked mode
+        // all of an element's probes share one line, so a single
+        // prefetch per future element suffices.
+        let mut plans = std::mem::take(&mut self.plan_buf);
+        self.planner().plan_refs_into(ids, &mut plans);
+        let probes = self.expand_plans(&plans);
+        self.plan_buf = plans;
+        self.replay_into(probes, out);
+    }
+
+    fn observe_flat_into(&mut self, keys: &[u8], key_len: usize, out: &mut Vec<Verdict>) {
+        let mut plans = std::mem::take(&mut self.plan_buf);
+        self.planner().plan_flat_into(keys, key_len, &mut plans);
+        let probes = self.expand_plans(&plans);
+        self.plan_buf = plans;
+        self.replay_into(probes, out);
     }
 
     fn window(&self) -> WindowSpec {

@@ -99,6 +99,22 @@ impl ShardRouter {
     pub fn probe_seed(&self) -> u64 {
         self.family.seed()
     }
+
+    /// Routes a flat buffer of fixed-stride ids (`key_len` bytes each,
+    /// packed end-to-end) in one multi-lane hashing pass, writing one
+    /// shard index per id into `out` (cleared first, capacity reused).
+    ///
+    /// Equivalent to calling [`ShardRouter::route`] per id; this is the
+    /// allocation-free form the pipeline's ingest stage uses.
+    ///
+    /// # Panics
+    /// If `key_len == 0` or the buffer length is not a multiple of it.
+    pub fn route_flat_into(&self, keys: &[u8], key_len: usize, out: &mut Vec<usize>) {
+        out.resize(keys.len() / key_len.max(1), 0);
+        cfd_hash::lanes::fill_flat_pairs(keys, key_len, self.family.seed(), out, |pair| {
+            self.route_pair(pair)
+        });
+    }
 }
 
 /// A detector whose hashing half is exposed as a [`Planner`] so batches
@@ -119,6 +135,15 @@ pub trait PlannedDetector: DuplicateDetector {
     fn apply_plan_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
         plans.iter().map(|&p| self.apply_plan(p)).collect()
     }
+
+    /// Allocation-free [`PlannedDetector::apply_plan_batch`]: verdicts
+    /// go into `out` (cleared first, capacity reused).
+    fn apply_plan_batch_into(&mut self, plans: &[ProbePlan], out: &mut Vec<Verdict>) {
+        out.clear();
+        for &p in plans {
+            out.push(self.apply_plan(p));
+        }
+    }
 }
 
 impl PlannedDetector for crate::Tbf {
@@ -130,6 +155,9 @@ impl PlannedDetector for crate::Tbf {
     }
     fn apply_plan_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
         self.apply_batch(plans)
+    }
+    fn apply_plan_batch_into(&mut self, plans: &[ProbePlan], out: &mut Vec<Verdict>) {
+        self.apply_batch_into(plans, out);
     }
 }
 
@@ -143,6 +171,9 @@ impl PlannedDetector for crate::Gbf {
     fn apply_plan_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
         self.apply_batch(plans)
     }
+    fn apply_plan_batch_into(&mut self, plans: &[ProbePlan], out: &mut Vec<Verdict>) {
+        self.apply_batch_into(plans, out);
+    }
 }
 
 impl PlannedDetector for crate::tbf_jumping::JumpingTbf {
@@ -154,6 +185,9 @@ impl PlannedDetector for crate::tbf_jumping::JumpingTbf {
     }
     fn apply_plan_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
         self.apply_batch(plans)
+    }
+    fn apply_plan_batch_into(&mut self, plans: &[ProbePlan], out: &mut Vec<Verdict>) {
+        self.apply_batch_into(plans, out);
     }
 }
 

@@ -59,6 +59,7 @@ pub struct Tbf {
     ops: OpCounters,
     probe_buf: Vec<usize>,
     batch_buf: Vec<usize>,
+    plan_buf: Vec<ProbePlan>,
     /// Blocked-probe geometry; `None` in scattered mode.
     geo: Option<BlockGeometry>,
     /// Probes actually issued per element: `k` scattered, capped at
@@ -111,6 +112,7 @@ impl Tbf {
             ops: OpCounters::new(),
             probe_buf: vec![0; k_eff],
             batch_buf: Vec::new(),
+            plan_buf: Vec::new(),
             geo,
             k_eff,
             scans: Cell::new(0),
@@ -269,6 +271,22 @@ impl Tbf {
     /// prefetch as `observe_batch` — the stateful half of the sharded
     /// hash-once path, where plans were produced while routing.
     pub fn apply_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
+        let mut out = Vec::with_capacity(plans.len());
+        self.apply_batch_into(plans, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Tbf::apply_batch`]: verdicts go into `out`
+    /// (cleared first, capacity reused).
+    pub fn apply_batch_into(&mut self, plans: &[ProbePlan], out: &mut Vec<Verdict>) {
+        let probes = self.expand_plans(plans);
+        self.replay_into(probes, out);
+    }
+
+    /// Expands every plan's probe indices into the recycled flat
+    /// `batch_buf` (`k_eff` indices per element); the buffer is handed
+    /// back by [`Tbf::replay_into`].
+    fn expand_plans(&mut self, plans: &[ProbePlan]) -> Vec<usize> {
         let k = self.k_eff;
         let mut probes = std::mem::take(&mut self.batch_buf);
         probes.clear();
@@ -276,36 +294,34 @@ impl Tbf {
         for (plan, slot) in plans.iter().zip(probes.chunks_exact_mut(k)) {
             Self::fill_probes(self.geo.as_ref(), self.cfg.m, *plan, slot);
         }
-        self.replay(probes)
+        probes
     }
 
     /// Applies a flat buffer of expanded probe indices (`k_eff` per
     /// element), prefetching element `i + PREFETCH_AHEAD`'s cache lines
     /// while element `i` is processed. In blocked mode all of an
     /// element's probes share one line, so one prefetch per future
-    /// element suffices. Returns the buffer to `batch_buf`.
-    fn replay(&mut self, probes: Vec<usize>) -> Vec<Verdict> {
+    /// element suffices. Returns the buffer to `batch_buf`; verdicts go
+    /// into `out` (cleared first, capacity reused).
+    fn replay_into(&mut self, probes: Vec<usize>, out: &mut Vec<Verdict>) {
         const PREFETCH_AHEAD: usize = 8;
         let k = self.k_eff;
         let blocked = self.geo.is_some();
+        out.clear();
         let mut ahead = probes.chunks_exact(k).skip(PREFETCH_AHEAD);
-        let verdicts = probes
-            .chunks_exact(k)
-            .map(|slot| {
-                if let Some(next) = ahead.next() {
-                    if blocked {
-                        self.entries.prefetch(next[0]);
-                    } else {
-                        for &j in next {
-                            self.entries.prefetch(j);
-                        }
+        for slot in probes.chunks_exact(k) {
+            if let Some(next) = ahead.next() {
+                if blocked {
+                    self.entries.prefetch(next[0]);
+                } else {
+                    for &j in next {
+                        self.entries.prefetch(j);
                     }
                 }
-                self.apply_at(slot)
-            })
-            .collect();
+            }
+            out.push(self.apply_at(slot));
+        }
         self.batch_buf = probes;
-        verdicts
     }
 
     /// [`Tbf::apply`] with the plan's probe indices already expanded —
@@ -353,20 +369,32 @@ impl DuplicateDetector for Tbf {
     }
 
     fn observe_batch(&mut self, ids: &[&[u8]]) -> Vec<Verdict> {
-        // Hash the whole batch up front (pure) and expand every plan's
-        // probe indices into one flat buffer. Knowing future probes is
-        // what per-click `observe` fundamentally cannot do: while
-        // element `i` is applied, element `i + PREFETCH_AHEAD`'s cache
-        // lines are already being pulled, hiding the random-access
-        // latency of a table much larger than L1/L2.
-        let k = self.k_eff;
-        let mut probes = std::mem::take(&mut self.batch_buf);
-        probes.clear();
-        probes.resize(ids.len() * k, 0);
-        for (id, slot) in ids.iter().zip(probes.chunks_exact_mut(k)) {
-            Self::fill_probes(self.geo.as_ref(), self.cfg.m, self.plan(id), slot);
-        }
-        self.replay(probes)
+        let mut out = Vec::with_capacity(ids.len());
+        self.observe_batch_into(ids, &mut out);
+        out
+    }
+
+    fn observe_batch_into(&mut self, ids: &[&[u8]], out: &mut Vec<Verdict>) {
+        // Hash the whole batch up front (pure, multi-lane over
+        // equal-length runs) and expand every plan's probe indices into
+        // one flat buffer. Knowing future probes is what per-click
+        // `observe` fundamentally cannot do: while element `i` is
+        // applied, element `i + PREFETCH_AHEAD`'s cache lines are
+        // already being pulled, hiding the random-access latency of a
+        // table much larger than L1/L2.
+        let mut plans = std::mem::take(&mut self.plan_buf);
+        self.planner().plan_refs_into(ids, &mut plans);
+        let probes = self.expand_plans(&plans);
+        self.plan_buf = plans;
+        self.replay_into(probes, out);
+    }
+
+    fn observe_flat_into(&mut self, keys: &[u8], key_len: usize, out: &mut Vec<Verdict>) {
+        let mut plans = std::mem::take(&mut self.plan_buf);
+        self.planner().plan_flat_into(keys, key_len, &mut plans);
+        let probes = self.expand_plans(&plans);
+        self.plan_buf = plans;
+        self.replay_into(probes, out);
     }
 
     fn window(&self) -> WindowSpec {

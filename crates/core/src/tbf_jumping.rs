@@ -161,6 +161,7 @@ pub struct JumpingTbf {
     ops: OpCounters,
     probe_buf: Vec<usize>,
     batch_buf: Vec<usize>,
+    plan_buf: Vec<ProbePlan>,
     /// Blocked-probe geometry; `None` in scattered mode.
     geo: Option<BlockGeometry>,
     /// Probes per element: `k` scattered, `min(k, slots/2)` blocked
@@ -203,6 +204,7 @@ impl JumpingTbf {
             ops: OpCounters::new(),
             probe_buf: vec![0; k_eff],
             batch_buf: Vec::new(),
+            plan_buf: Vec::new(),
             geo,
             k_eff,
             scans: Cell::new(0),
@@ -314,6 +316,22 @@ impl JumpingTbf {
     /// prefetch as `observe_batch` — the stateful half of the sharded
     /// hash-once path, where plans were produced while routing.
     pub fn apply_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
+        let mut out = Vec::with_capacity(plans.len());
+        self.apply_batch_into(plans, &mut out);
+        out
+    }
+
+    /// Allocation-free [`JumpingTbf::apply_batch`]: verdicts go into
+    /// `out` (cleared first, capacity reused).
+    pub fn apply_batch_into(&mut self, plans: &[ProbePlan], out: &mut Vec<Verdict>) {
+        let probes = self.expand_plans(plans);
+        self.replay_into(probes, out);
+    }
+
+    /// Expands every plan's probe indices into the recycled flat
+    /// `batch_buf`; the buffer is handed back by
+    /// [`JumpingTbf::replay_into`].
+    fn expand_plans(&mut self, plans: &[ProbePlan]) -> Vec<usize> {
         let k = self.k_eff;
         let mut probes = std::mem::take(&mut self.batch_buf);
         probes.clear();
@@ -321,33 +339,31 @@ impl JumpingTbf {
         for (plan, slot) in plans.iter().zip(probes.chunks_exact_mut(k)) {
             Self::fill_probes(self.geo.as_ref(), self.cfg.m, *plan, slot);
         }
-        self.replay(probes)
+        probes
     }
 
     /// Applies a flat buffer of expanded probe indices (`k_eff` per
-    /// element) with `PREFETCH_AHEAD` lookahead (see `Tbf::replay`).
-    fn replay(&mut self, probes: Vec<usize>) -> Vec<Verdict> {
+    /// element) with `PREFETCH_AHEAD` lookahead (see `Tbf::replay_into`);
+    /// verdicts go into `out` (cleared first, capacity reused).
+    fn replay_into(&mut self, probes: Vec<usize>, out: &mut Vec<Verdict>) {
         const PREFETCH_AHEAD: usize = 8;
         let k = self.k_eff;
         let blocked = self.geo.is_some();
+        out.clear();
         let mut ahead = probes.chunks_exact(k).skip(PREFETCH_AHEAD);
-        let verdicts = probes
-            .chunks_exact(k)
-            .map(|slot| {
-                if let Some(next) = ahead.next() {
-                    if blocked {
-                        self.entries.prefetch(next[0]);
-                    } else {
-                        for &j in next {
-                            self.entries.prefetch(j);
-                        }
+        for slot in probes.chunks_exact(k) {
+            if let Some(next) = ahead.next() {
+                if blocked {
+                    self.entries.prefetch(next[0]);
+                } else {
+                    for &j in next {
+                        self.entries.prefetch(j);
                     }
                 }
-                self.apply_at(slot)
-            })
-            .collect();
+            }
+            out.push(self.apply_at(slot));
+        }
         self.batch_buf = probes;
-        verdicts
     }
 
     /// [`JumpingTbf::apply`] with the probe indices already expanded —
@@ -394,16 +410,27 @@ impl DuplicateDetector for JumpingTbf {
     }
 
     fn observe_batch(&mut self, ids: &[&[u8]]) -> Vec<Verdict> {
-        // Hash up front and replay with lookahead prefetch — same
-        // pattern as `Tbf::observe_batch`.
-        let k = self.k_eff;
-        let mut probes = std::mem::take(&mut self.batch_buf);
-        probes.clear();
-        probes.resize(ids.len() * k, 0);
-        for (id, slot) in ids.iter().zip(probes.chunks_exact_mut(k)) {
-            Self::fill_probes(self.geo.as_ref(), self.cfg.m, self.plan(id), slot);
-        }
-        self.replay(probes)
+        let mut out = Vec::with_capacity(ids.len());
+        self.observe_batch_into(ids, &mut out);
+        out
+    }
+
+    fn observe_batch_into(&mut self, ids: &[&[u8]], out: &mut Vec<Verdict>) {
+        // Hash up front (multi-lane over equal-length runs) and replay
+        // with lookahead prefetch — same pattern as `Tbf`.
+        let mut plans = std::mem::take(&mut self.plan_buf);
+        self.planner().plan_refs_into(ids, &mut plans);
+        let probes = self.expand_plans(&plans);
+        self.plan_buf = plans;
+        self.replay_into(probes, out);
+    }
+
+    fn observe_flat_into(&mut self, keys: &[u8], key_len: usize, out: &mut Vec<Verdict>) {
+        let mut plans = std::mem::take(&mut self.plan_buf);
+        self.planner().plan_flat_into(keys, key_len, &mut plans);
+        let probes = self.expand_plans(&plans);
+        self.plan_buf = plans;
+        self.replay_into(probes, out);
     }
 
     fn window(&self) -> WindowSpec {

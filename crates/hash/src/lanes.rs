@@ -1,0 +1,363 @@
+//! Multi-lane batch hashing: interleaved MurmurHash3 `x64_128` states.
+//!
+//! The scalar [`crate::murmur`] body is a serial dependency chain — every
+//! multiply/rotate on `h1`/`h2` waits for the previous one — so a single
+//! stream leaves most multiplier ports idle. This module hashes groups of
+//! `L` equal-length keys in lockstep: the per-round state lives in `[u64; L]`
+//! arrays and every round applies the same operation to all lanes, which is
+//! plain SWAR-style safe Rust that LLVM unrolls and auto-vectorizes (and,
+//! even un-vectorized, overlaps the independent dependency chains for
+//! instruction-level parallelism).
+//!
+//! Every round calls the *same* `block_round`/`tail_round`/`finalize`
+//! helpers as the scalar path, so the output is bit-identical to
+//! [`crate::murmur::murmur3_x64_128`] by construction; a differential
+//! proptest (`tests/lanes_props.rs`) verifies this over arbitrary keys and
+//! seeds.
+//!
+//! The lane width is chosen at runtime: on `x86_64` with AVX2 available the
+//! wide (8-lane) monomorphization is used, otherwise the narrow (4-lane)
+//! one. Both are ordinary safe Rust — the feature check only selects how
+//! much independent state is kept in flight, it does not gate intrinsics.
+
+use crate::murmur::{block_round, finalize, load_tail, murmur3_x64_128, tail_round};
+use crate::pair::HashPair;
+
+/// Validates a flat fixed-stride key buffer.
+#[inline]
+fn check_flat(data: &[u8], key_len: usize) {
+    assert!(key_len > 0, "key_len must be non-zero");
+    assert_eq!(
+        data.len() % key_len,
+        0,
+        "flat key buffer length {} is not a multiple of key_len {}",
+        data.len(),
+        key_len
+    );
+}
+
+/// Lane count of the narrow (portable default) path.
+pub const LANES_NARROW: usize = 4;
+/// Lane count of the wide path used when AVX2 is detected at runtime.
+pub const LANES_WIDE: usize = 8;
+
+/// Returns the lane width the batch entry points will use on this machine.
+#[must_use]
+pub fn preferred_lanes() -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return LANES_WIDE;
+        }
+    }
+    LANES_NARROW
+}
+
+/// Hashes `L` equal-length keys in lockstep, returning one pair per lane.
+#[inline]
+fn hash_group<const L: usize>(keys: [&[u8]; L], seed: u64) -> [(u64, u64); L] {
+    let len = keys[0].len();
+    debug_assert!(keys.iter().all(|k| k.len() == len));
+
+    let mut h1 = [seed; L];
+    let mut h2 = [seed; L];
+
+    let blocks = len / 16;
+    for b in 0..blocks {
+        let off = b * 16;
+        for l in 0..L {
+            let k1 = u64::from_le_bytes(keys[l][off..off + 8].try_into().expect("8-byte lane"));
+            let k2 =
+                u64::from_le_bytes(keys[l][off + 8..off + 16].try_into().expect("8-byte lane"));
+            block_round(&mut h1[l], &mut h2[l], k1, k2);
+        }
+    }
+
+    let tail_len = len - blocks * 16;
+    if tail_len > 0 {
+        for l in 0..L {
+            let (k1, k2) = load_tail(&keys[l][blocks * 16..]);
+            tail_round(&mut h1[l], &mut h2[l], k1, k2, tail_len);
+        }
+    }
+
+    let mut out = [(0u64, 0u64); L];
+    for l in 0..L {
+        out[l] = finalize(h1[l], h2[l], len);
+    }
+    out
+}
+
+#[inline]
+fn flat_with<const L: usize>(data: &[u8], key_len: usize, seed: u64, f: &mut impl FnMut(HashPair)) {
+    let n = data.len() / key_len;
+    let full = n - n % L;
+    let mut i = 0;
+    while i < full {
+        let keys: [&[u8]; L] =
+            core::array::from_fn(|l| &data[(i + l) * key_len..(i + l + 1) * key_len]);
+        for (h1, h2) in hash_group::<L>(keys, seed) {
+            f(HashPair::new(h1, h2));
+        }
+        i += L;
+    }
+    for j in full..n {
+        let (h1, h2) = murmur3_x64_128(&data[j * key_len..(j + 1) * key_len], seed);
+        f(HashPair::new(h1, h2));
+    }
+}
+
+/// Group-granular slice filler: `out[i] = conv(pair_of_key_i)`.
+///
+/// Writing whole `L`-sized groups straight into a pre-sized slice keeps
+/// the lockstep kernel free of the per-element capacity check + branch a
+/// `Vec::push` callback would reintroduce — that branch alone costs the
+/// batch path most of its lead over the scalar loop.
+#[inline]
+fn flat_fill<T, const L: usize>(
+    data: &[u8],
+    key_len: usize,
+    seed: u64,
+    out: &mut [T],
+    conv: &impl Fn(HashPair) -> T,
+) {
+    debug_assert_eq!(out.len(), data.len() / key_len);
+    let blocks = key_len / 16;
+    let tail_len = key_len - blocks * 16;
+    let mut groups = data.chunks_exact(key_len * L);
+    let mut slots = out.chunks_exact_mut(L);
+    for (group, slot) in (&mut groups).zip(&mut slots) {
+        let mut h1 = [seed; L];
+        let mut h2 = [seed; L];
+        for b in 0..blocks {
+            let off = b * 16;
+            for (l, key) in group.chunks_exact(key_len).enumerate() {
+                let k1 = u64::from_le_bytes(key[off..off + 8].try_into().expect("8-byte lane"));
+                let k2 =
+                    u64::from_le_bytes(key[off + 8..off + 16].try_into().expect("8-byte lane"));
+                block_round(&mut h1[l], &mut h2[l], k1, k2);
+            }
+        }
+        if tail_len > 0 {
+            for (l, key) in group.chunks_exact(key_len).enumerate() {
+                let (k1, k2) = load_tail(&key[blocks * 16..]);
+                tail_round(&mut h1[l], &mut h2[l], k1, k2, tail_len);
+            }
+        }
+        for (l, s) in slot.iter_mut().enumerate() {
+            let (a, b) = finalize(h1[l], h2[l], key_len);
+            *s = conv(HashPair::new(a, b));
+        }
+    }
+    for (key, slot) in groups
+        .remainder()
+        .chunks_exact(key_len)
+        .zip(slots.into_remainder())
+    {
+        let (h1, h2) = murmur3_x64_128(key, seed);
+        *slot = conv(HashPair::new(h1, h2));
+    }
+}
+
+/// [`flat_fill`] specialized to 16-byte keys — the stride the pipeline's
+/// flat click-key buffers use. With the single block and empty tail known
+/// at compile time, `chunks_exact(16)` loads compile to unchecked 8-byte
+/// reads and the whole group kernel stays branch-free.
+#[inline]
+fn flat_fill16<T, const L: usize>(
+    data: &[u8],
+    seed: u64,
+    out: &mut [T],
+    conv: &impl Fn(HashPair) -> T,
+) {
+    debug_assert_eq!(out.len(), data.len() / 16);
+    let mut groups = data.chunks_exact(16 * L);
+    let mut slots = out.chunks_exact_mut(L);
+    for (group, slot) in (&mut groups).zip(&mut slots) {
+        let mut h1 = [seed; L];
+        let mut h2 = [seed; L];
+        for (l, key) in group.chunks_exact(16).enumerate() {
+            let k1 = u64::from_le_bytes(key[..8].try_into().expect("8-byte lane"));
+            let k2 = u64::from_le_bytes(key[8..16].try_into().expect("8-byte lane"));
+            block_round(&mut h1[l], &mut h2[l], k1, k2);
+        }
+        for (l, s) in slot.iter_mut().enumerate() {
+            let (a, b) = finalize(h1[l], h2[l], 16);
+            *s = conv(HashPair::new(a, b));
+        }
+    }
+    for (key, slot) in groups
+        .remainder()
+        .chunks_exact(16)
+        .zip(slots.into_remainder())
+    {
+        let (h1, h2) = murmur3_x64_128(key, seed);
+        *slot = conv(HashPair::new(h1, h2));
+    }
+}
+
+/// Hashes a flat buffer of fixed-stride keys, writing `conv(pair)` for
+/// key `i` into `out[i]`. `out` must hold exactly one slot per key; the
+/// caller sizes it (e.g. `Vec::resize`) so the hot loop carries no
+/// per-element capacity check — the main reason this beats pushing from
+/// a [`hash_flat_with`] callback.
+///
+/// This is the engine behind [`hash_flat_into`] and the batch planners
+/// ([`crate::Planner::plan_flat_into`], shard routing in `cfd-core`).
+///
+/// # Panics
+/// If `key_len == 0`, `data.len()` is not a multiple of `key_len`, or
+/// `out.len() != data.len() / key_len`.
+pub fn fill_flat_pairs<T>(
+    data: &[u8],
+    key_len: usize,
+    seed: u64,
+    out: &mut [T],
+    conv: impl Fn(HashPair) -> T,
+) {
+    check_flat(data, key_len);
+    assert_eq!(
+        out.len(),
+        data.len() / key_len,
+        "output slice must hold exactly one slot per key"
+    );
+    let wide = preferred_lanes() == LANES_WIDE;
+    match (key_len, wide) {
+        (16, true) => flat_fill16::<T, LANES_WIDE>(data, seed, out, &conv),
+        (16, false) => flat_fill16::<T, LANES_NARROW>(data, seed, out, &conv),
+        (_, true) => flat_fill::<T, LANES_WIDE>(data, key_len, seed, out, &conv),
+        (_, false) => flat_fill::<T, LANES_NARROW>(data, key_len, seed, out, &conv),
+    }
+}
+
+#[inline]
+fn refs_with<const L: usize>(ids: &[&[u8]], seed: u64, f: &mut impl FnMut(HashPair)) {
+    let n = ids.len();
+    let mut i = 0;
+    while i < n {
+        // Group a run of L consecutive equal-length keys; fall back to the
+        // scalar path one key at a time when lengths differ.
+        if i + L <= n {
+            let len0 = ids[i].len();
+            if ids[i + 1..i + L].iter().all(|k| k.len() == len0) {
+                let keys: [&[u8]; L] = core::array::from_fn(|l| ids[i + l]);
+                for (h1, h2) in hash_group::<L>(keys, seed) {
+                    f(HashPair::new(h1, h2));
+                }
+                i += L;
+                continue;
+            }
+        }
+        let (h1, h2) = murmur3_x64_128(ids[i], seed);
+        f(HashPair::new(h1, h2));
+        i += 1;
+    }
+}
+
+/// Hashes a flat buffer of `data.len() / key_len` keys packed end-to-end at
+/// a fixed stride of `key_len` bytes, invoking `f` with one [`HashPair`]
+/// per key in order.
+///
+/// This is the allocation-free primitive the batch planners build on.
+///
+/// # Panics
+/// If `key_len == 0` or `data.len()` is not a multiple of `key_len`.
+pub fn hash_flat_with(data: &[u8], key_len: usize, seed: u64, mut f: impl FnMut(HashPair)) {
+    check_flat(data, key_len);
+    if preferred_lanes() == LANES_WIDE {
+        flat_with::<LANES_WIDE>(data, key_len, seed, &mut f);
+    } else {
+        flat_with::<LANES_NARROW>(data, key_len, seed, &mut f);
+    }
+}
+
+/// Hashes a batch of independent keys, invoking `f` with one [`HashPair`]
+/// per key in order. Runs of consecutive equal-length keys are hashed in
+/// multi-lane lockstep; stragglers take the scalar path.
+pub fn hash_refs_with(ids: &[&[u8]], seed: u64, mut f: impl FnMut(HashPair)) {
+    if preferred_lanes() == LANES_WIDE {
+        refs_with::<LANES_WIDE>(ids, seed, &mut f);
+    } else {
+        refs_with::<LANES_NARROW>(ids, seed, &mut f);
+    }
+}
+
+/// [`hash_flat_with`] collecting into `out` (cleared first; capacity reused).
+///
+/// Faster than pushing from a callback: `out` is sized once and filled a
+/// whole lane-group at a time, so the hot loop carries no capacity check.
+pub fn hash_flat_into(data: &[u8], key_len: usize, seed: u64, out: &mut Vec<HashPair>) {
+    check_flat(data, key_len);
+    // resize (not clear+resize): a reused buffer of the right length is a
+    // no-op here, and fill overwrites every slot regardless.
+    out.resize(data.len() / key_len, HashPair::new(0, 0));
+    fill_flat_pairs(data, key_len, seed, out, |p| p);
+}
+
+/// [`hash_refs_with`] collecting into `out` (cleared first; capacity reused).
+pub fn hash_refs_into(ids: &[&[u8]], seed: u64, out: &mut Vec<HashPair>) {
+    out.clear();
+    hash_refs_with(ids, seed, |p| out.push(p));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::{Murmur3Pair, PairHasher};
+
+    fn scalar(data: &[u8], seed: u64) -> HashPair {
+        Murmur3Pair::new(seed).hash_pair(data)
+    }
+
+    #[test]
+    fn flat_matches_scalar_for_all_group_remainders() {
+        // 0..=17 keys covers full groups plus every remainder for both lane
+        // widths (4 and 8).
+        for n in 0..=17usize {
+            let key_len = 16;
+            let mut data = Vec::new();
+            for i in 0..n {
+                let mut key = [0u8; 16];
+                key[..8].copy_from_slice(&(i as u64).to_le_bytes());
+                key[8..].copy_from_slice(&(!(i as u64)).to_le_bytes());
+                data.extend_from_slice(&key);
+            }
+            let mut got = Vec::new();
+            hash_flat_into(&data, key_len, 0xABCD, &mut got);
+            let want: Vec<HashPair> = (0..n)
+                .map(|i| scalar(&data[i * key_len..(i + 1) * key_len], 0xABCD))
+                .collect();
+            assert_eq!(got, want, "mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn refs_mixed_lengths_match_scalar() {
+        let ids: Vec<Vec<u8>> = (0..37usize).map(|i| vec![i as u8; i % 23]).collect();
+        let refs: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let mut got = Vec::new();
+        hash_refs_into(&refs, 7, &mut got);
+        let want: Vec<HashPair> = refs.iter().map(|id| scalar(id, 7)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn both_lane_widths_agree_with_scalar() {
+        let data: Vec<u8> = (0..16 * 11).map(|i| i as u8).collect();
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            let mut narrow = Vec::new();
+            let mut wide = Vec::new();
+            flat_with::<LANES_NARROW>(&data, 16, seed, &mut |p| narrow.push(p));
+            flat_with::<LANES_WIDE>(&data, 16, seed, &mut |p| wide.push(p));
+            let want: Vec<HashPair> = data.chunks_exact(16).map(|k| scalar(k, seed)).collect();
+            assert_eq!(narrow, want);
+            assert_eq!(wide, want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of key_len")]
+    fn flat_rejects_ragged_buffer() {
+        hash_flat_with(&[0u8; 17], 16, 0, |_| {});
+    }
+}

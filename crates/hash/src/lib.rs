@@ -23,6 +23,9 @@
 //! * [`block`] — cache-line-blocked index derivation: one hash picks a
 //!   64-byte block, the rest of the pair picks the `k` offsets inside
 //!   it, so a probe touches one cache line instead of `k`.
+//! * [`lanes`] — multi-lane batch hashing: 4 or 8 interleaved Murmur3
+//!   states hashed in lockstep (safe SWAR, auto-vectorizable), bit-identical
+//!   to the scalar path and selected by a runtime CPU-feature check.
 //! * [`sip`] — SipHash-2-4, the *keyed* family for deployments where
 //!   click identifiers are attacker-controlled.
 //!
@@ -46,6 +49,7 @@ pub mod block;
 pub mod family;
 pub mod fnv;
 pub mod indices;
+pub mod lanes;
 pub mod mix;
 pub mod murmur;
 pub mod pair;

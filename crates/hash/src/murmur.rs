@@ -11,6 +11,75 @@ use crate::mix::fmix64;
 const C1: u64 = 0x87C3_7B91_1142_53D5;
 const C2: u64 = 0x4CF5_AD43_2745_937F;
 
+/// Mixes the first 64-bit lane of a block (`k1` in Appleby's reference).
+#[inline]
+pub(crate) fn mix_k1(k1: u64) -> u64 {
+    k1.wrapping_mul(C1).rotate_left(31).wrapping_mul(C2)
+}
+
+/// Mixes the second 64-bit lane of a block (`k2` in Appleby's reference).
+#[inline]
+pub(crate) fn mix_k2(k2: u64) -> u64 {
+    k2.wrapping_mul(C2).rotate_left(33).wrapping_mul(C1)
+}
+
+/// Folds one full 16-byte block `(k1, k2)` into the running state.
+///
+/// This is the single body-loop round of MurmurHash3 `x64_128`; both the
+/// scalar path below and the interleaved [`crate::lanes`] path call it, so
+/// the two are bit-identical by construction.
+#[inline]
+pub(crate) fn block_round(h1: &mut u64, h2: &mut u64, k1: u64, k2: u64) {
+    *h1 ^= mix_k1(k1);
+    *h1 = h1.rotate_left(27);
+    *h1 = h1.wrapping_add(*h2);
+    *h1 = h1.wrapping_mul(5).wrapping_add(0x52DC_E729);
+
+    *h2 ^= mix_k2(k2);
+    *h2 = h2.rotate_left(31);
+    *h2 = h2.wrapping_add(*h1);
+    *h2 = h2.wrapping_mul(5).wrapping_add(0x3849_5AB5);
+}
+
+/// Loads a residual tail (`len < 16`) as the two little-endian lanes the
+/// reference algorithm assembles byte by byte. Missing high bytes are zero.
+#[inline]
+pub(crate) fn load_tail(tail: &[u8]) -> (u64, u64) {
+    debug_assert!(tail.len() < 16);
+    let mut buf = [0u8; 16];
+    buf[..tail.len()].copy_from_slice(tail);
+    (
+        u64::from_le_bytes(buf[0..8].try_into().expect("8-byte lane")),
+        u64::from_le_bytes(buf[8..16].try_into().expect("8-byte lane")),
+    )
+}
+
+/// Folds a residual tail of `tail_len` bytes (already loaded via
+/// [`load_tail`]) into the running state. A no-op when `tail_len == 0`.
+#[inline]
+pub(crate) fn tail_round(h1: &mut u64, h2: &mut u64, k1: u64, k2: u64, tail_len: usize) {
+    if tail_len > 8 {
+        *h2 ^= mix_k2(k2);
+    }
+    if tail_len > 0 {
+        *h1 ^= mix_k1(k1);
+    }
+}
+
+/// Final length injection + avalanche producing the `(h1, h2)` pair.
+#[inline]
+pub(crate) fn finalize(mut h1: u64, mut h2: u64, len: usize) -> (u64, u64) {
+    h1 ^= len as u64;
+    h2 ^= len as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    (h1, h2)
+}
+
 /// Hashes `data` with MurmurHash3 `x64_128` and the given `seed`,
 /// returning the two 64-bit halves `(h1, h2)`.
 ///
@@ -27,57 +96,18 @@ pub fn murmur3_x64_128(data: &[u8], seed: u64) -> (u64, u64) {
 
     let mut chunks = data.chunks_exact(16);
     for block in &mut chunks {
-        let mut k1 = u64::from_le_bytes(block[0..8].try_into().expect("8-byte lane"));
-        let mut k2 = u64::from_le_bytes(block[8..16].try_into().expect("8-byte lane"));
-
-        k1 = k1.wrapping_mul(C1);
-        k1 = k1.rotate_left(31);
-        k1 = k1.wrapping_mul(C2);
-        h1 ^= k1;
-        h1 = h1.rotate_left(27);
-        h1 = h1.wrapping_add(h2);
-        h1 = h1.wrapping_mul(5).wrapping_add(0x52DC_E729);
-
-        k2 = k2.wrapping_mul(C2);
-        k2 = k2.rotate_left(33);
-        k2 = k2.wrapping_mul(C1);
-        h2 ^= k2;
-        h2 = h2.rotate_left(31);
-        h2 = h2.wrapping_add(h1);
-        h2 = h2.wrapping_mul(5).wrapping_add(0x3849_5AB5);
+        let k1 = u64::from_le_bytes(block[0..8].try_into().expect("8-byte lane"));
+        let k2 = u64::from_le_bytes(block[8..16].try_into().expect("8-byte lane"));
+        block_round(&mut h1, &mut h2, k1, k2);
     }
 
     let tail = chunks.remainder();
     if !tail.is_empty() {
-        let mut k1: u64 = 0;
-        let mut k2: u64 = 0;
-        for (i, &b) in tail.iter().enumerate().skip(8) {
-            k2 |= u64::from(b) << (8 * (i - 8));
-        }
-        for (i, &b) in tail.iter().enumerate().take(8) {
-            k1 |= u64::from(b) << (8 * i);
-        }
-        if tail.len() > 8 {
-            k2 = k2.wrapping_mul(C2);
-            k2 = k2.rotate_left(33);
-            k2 = k2.wrapping_mul(C1);
-            h2 ^= k2;
-        }
-        k1 = k1.wrapping_mul(C1);
-        k1 = k1.rotate_left(31);
-        k1 = k1.wrapping_mul(C2);
-        h1 ^= k1;
+        let (k1, k2) = load_tail(tail);
+        tail_round(&mut h1, &mut h2, k1, k2, tail.len());
     }
 
-    h1 ^= len as u64;
-    h2 ^= len as u64;
-    h1 = h1.wrapping_add(h2);
-    h2 = h2.wrapping_add(h1);
-    h1 = fmix64(h1);
-    h2 = fmix64(h2);
-    h1 = h1.wrapping_add(h2);
-    h2 = h2.wrapping_add(h1);
-    (h1, h2)
+    finalize(h1, h2, len)
 }
 
 /// Convenience: the 64-bit half `h1` of [`murmur3_x64_128`].

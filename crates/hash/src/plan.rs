@@ -109,6 +109,37 @@ impl Planner {
         use crate::family::HashFamily;
         ProbePlan::from_pair(self.family.pair(id))
     }
+
+    /// Hashes a flat buffer of fixed-stride ids (`key_len` bytes each,
+    /// packed end-to-end) into `out`, one plan per id in order.
+    ///
+    /// Uses the multi-lane lockstep path ([`crate::lanes`]) and is
+    /// bit-identical to calling [`Planner::plan`] per id. `out` is cleared
+    /// first; its capacity is reused, so a caller recycling the buffer
+    /// performs no allocation once it has grown to the batch size.
+    ///
+    /// # Panics
+    /// If `key_len == 0` or the buffer length is not a multiple of it.
+    pub fn plan_flat_into(&self, keys: &[u8], key_len: usize, out: &mut Vec<ProbePlan>) {
+        // resize (not clear+resize): a reused buffer of the right length
+        // is a no-op here, and the fill overwrites every slot.
+        out.resize(
+            keys.len() / key_len.max(1),
+            ProbePlan::from_pair(HashPair::new(0, 0)),
+        );
+        crate::lanes::fill_flat_pairs(keys, key_len, self.seed(), out, ProbePlan::from_pair);
+    }
+
+    /// Hashes a batch of independent ids into `out`, one plan per id in
+    /// order, grouping equal-length runs onto the multi-lane path.
+    /// Bit-identical to calling [`Planner::plan`] per id; `out` is cleared
+    /// first and its capacity reused.
+    pub fn plan_refs_into(&self, ids: &[&[u8]], out: &mut Vec<ProbePlan>) {
+        out.clear();
+        crate::lanes::hash_refs_with(ids, self.seed(), |pair| {
+            out.push(ProbePlan::from_pair(pair));
+        });
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,80 @@
+//! Differential property tests: the multi-lane batch hashing path must
+//! produce bit-identical [`HashPair`]s to the scalar MurmurHash3 path for
+//! arbitrary ids and seeds — the detectors' correctness (zero false
+//! negatives, reproducible probe sequences) depends on the two paths being
+//! interchangeable.
+
+use cfd_hash::lanes::{hash_flat_into, hash_refs_into, preferred_lanes};
+use cfd_hash::pair::{HashPair, Murmur3Pair, PairHasher};
+use cfd_hash::Planner;
+use proptest::prelude::*;
+
+proptest! {
+    /// Flat fixed-stride batches: every key's pair equals the scalar hash
+    /// of the same bytes, for arbitrary key contents, counts (covering
+    /// full lane groups and remainders), strides, and seeds.
+    #[test]
+    fn flat_batches_match_scalar(
+        seed in any::<u64>(),
+        key_len in 1usize..40,
+        n in 0usize..40,
+        fill in any::<u64>(),
+    ) {
+        let data: Vec<u8> = (0..n * key_len)
+            .map(|i| (fill.wrapping_mul(i as u64 + 1) >> 13) as u8)
+            .collect();
+        let hasher = Murmur3Pair::new(seed);
+        let mut got = Vec::new();
+        hash_flat_into(&data, key_len, seed, &mut got);
+        let want: Vec<HashPair> = data
+            .chunks_exact(key_len)
+            .map(|key| hasher.hash_pair(key))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Ragged batches of independent ids (arbitrary lengths, so the
+    /// grouping logic mixes lockstep runs with scalar stragglers).
+    #[test]
+    fn ragged_batches_match_scalar(
+        seed in any::<u64>(),
+        ids in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 0..40),
+    ) {
+        let refs: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let hasher = Murmur3Pair::new(seed);
+        let mut got = Vec::new();
+        hash_refs_into(&refs, seed, &mut got);
+        let want: Vec<HashPair> = refs.iter().map(|id| hasher.hash_pair(id)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The planner's batch entry points agree with per-id `plan` — this is
+    /// the contract the detectors' batch observe paths rely on.
+    #[test]
+    fn planner_flat_matches_per_id_plan(
+        seed in any::<u64>(),
+        keys in prop::collection::vec((any::<u64>(), any::<u64>()), 0..40),
+    ) {
+        let planner = Planner::new(seed);
+        let keys: Vec<[u8; 16]> = keys
+            .into_iter()
+            .map(|(a, b)| {
+                let mut key = [0u8; 16];
+                key[..8].copy_from_slice(&a.to_le_bytes());
+                key[8..].copy_from_slice(&b.to_le_bytes());
+                key
+            })
+            .collect();
+        let flat: Vec<u8> = keys.iter().flatten().copied().collect();
+        let mut got = Vec::new();
+        planner.plan_flat_into(&flat, 16, &mut got);
+        let want: Vec<_> = keys.iter().map(|k| planner.plan(k)).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn preferred_lanes_is_a_supported_width() {
+    let lanes = preferred_lanes();
+    assert!(lanes == 4 || lanes == 8, "unexpected lane width {lanes}");
+}

@@ -62,6 +62,46 @@ pub trait DuplicateDetector {
         ids.iter().map(|id| self.observe(id)).collect()
     }
 
+    /// Allocation-free form of [`observe_batch`]: verdicts are written into
+    /// `out` (cleared first, capacity reused), so a caller recycling the
+    /// buffer performs no heap allocation once it has grown to the batch
+    /// size. Verdict-for-verdict equivalent to [`observe_batch`].
+    ///
+    /// [`observe_batch`]: DuplicateDetector::observe_batch
+    fn observe_batch_into(&mut self, ids: &[&[u8]], out: &mut Vec<Verdict>) {
+        out.clear();
+        for id in ids {
+            out.push(self.observe(id));
+        }
+    }
+
+    /// Classifies a batch of fixed-stride ids packed end-to-end in a flat
+    /// buffer (`key_len` bytes each), writing verdicts into `out` (cleared
+    /// first, capacity reused).
+    ///
+    /// The flat layout is what the zero-allocation pipeline ships between
+    /// stages: no per-id slice headers, and batch implementations can hash
+    /// the whole buffer in one multi-lane pass. Verdict-for-verdict
+    /// equivalent to observing each `key_len`-byte chunk in order.
+    ///
+    /// # Panics
+    /// Implementations may panic if `key_len == 0` or `keys.len()` is not
+    /// a multiple of `key_len`.
+    fn observe_flat_into(&mut self, keys: &[u8], key_len: usize, out: &mut Vec<Verdict>) {
+        assert!(key_len > 0, "key_len must be non-zero");
+        assert_eq!(
+            keys.len() % key_len,
+            0,
+            "flat key buffer length {} is not a multiple of key_len {}",
+            keys.len(),
+            key_len
+        );
+        out.clear();
+        for id in keys.chunks_exact(key_len) {
+            out.push(self.observe(id));
+        }
+    }
+
     /// The window model this detector approximates.
     fn window(&self) -> WindowSpec;
 
@@ -84,6 +124,12 @@ impl<D: DuplicateDetector + ?Sized> DuplicateDetector for Box<D> {
     }
     fn observe_batch(&mut self, ids: &[&[u8]]) -> Vec<Verdict> {
         (**self).observe_batch(ids)
+    }
+    fn observe_batch_into(&mut self, ids: &[&[u8]], out: &mut Vec<Verdict>) {
+        (**self).observe_batch_into(ids, out)
+    }
+    fn observe_flat_into(&mut self, keys: &[u8], key_len: usize, out: &mut Vec<Verdict>) {
+        (**self).observe_flat_into(keys, key_len, out)
     }
     fn window(&self) -> WindowSpec {
         (**self).window()

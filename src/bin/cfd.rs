@@ -15,7 +15,7 @@
 
 use cfd_adnet::{
     run_sharded_pipeline, run_sharded_pipeline_instrumented, Advertiser, AdvertiserId, Campaign,
-    FraudScorer, PipelineConfig, PipelineTelemetry,
+    FraudScorer, PipelineConfig, PipelineTelemetry, Transport,
 };
 use cfd_core::config::ProbeLayout;
 use cfd_core::sharded::{per_shard_window, ShardedDetector};
@@ -67,7 +67,14 @@ commands:
              [--sub-windows <Q>] [--cells-per-element <c>] [--k <hashes>]
              [--seed <u64>] [--shards <S>] [--batch <B>] [--queue <Q>]
              [--layout scattered|blocked]
+             [--transport ring|channel] [--ring-capacity <batches>]
+             [--pin-workers]
              (--trace <file> | [--kind <workload>] [--count <clicks>])
+             (--transport picks the inter-stage data plane: pooled SPSC
+              rings by default, crossbeam channels as the baseline;
+              --ring-capacity overrides --queue as the per-worker ring
+              size in batches, rounded up to a power of two;
+              --pin-workers pins shard worker i to CPU i, best-effort)
              [--metrics[=millis]] [--metrics-json]
              (--metrics prints periodic telemetry snapshots to stderr:
               per-shard queue depth, per-stage latency, detector fill +
@@ -388,8 +395,15 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     let shards: usize = opts.parse_num("shards", 4)?;
     let batch: usize = opts.parse_num("batch", 512)?;
     let queue: usize = opts.parse_num("queue", 16)?;
-    if shards == 0 || batch == 0 || queue == 0 {
-        return Err("--shards, --batch, and --queue must be at least 1".into());
+    let transport = match opts.get("transport").unwrap_or("ring") {
+        "ring" => Transport::Ring,
+        "channel" => Transport::Channel,
+        other => return Err(format!("--transport: `{other}` (accepted: ring, channel)")),
+    };
+    let ring_capacity: usize = opts.parse_num("ring-capacity", queue)?;
+    let pin_workers = opts.flag("pin-workers");
+    if shards == 0 || batch == 0 || queue == 0 || ring_capacity == 0 {
+        return Err("--shards, --batch, --queue, and --ring-capacity must be at least 1".into());
     }
 
     let clicks: Vec<Click> = match opts.get("trace") {
@@ -441,7 +455,15 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         };
     let detector = build_sharded()?;
     let registry = billing_registry(&clicks);
-    let config = PipelineConfig { batch, queue };
+    let config = PipelineConfig {
+        batch,
+        queue: match transport {
+            Transport::Ring => ring_capacity,
+            Transport::Channel => queue,
+        },
+        transport,
+        pin_workers,
+    };
     let total = clicks.len();
 
     let started = Instant::now();
