@@ -46,6 +46,17 @@ final = json.loads(lines[-1])
 assert final["metrics"]["pipeline.ingest.clicks"]["value"] == 50000
 print(f"   {len(lines)} snapshots parsed, ingest counter exact")
 EOF
+    echo "==> telemetry smoke: timed pipeline (cfd run --algo time-tbf)"
+    ./target/release/cfd run --algo time-tbf --count 50000 --metrics=50 --metrics-json \
+        2>/tmp/cfd_metrics_timed.jsonl >/dev/null
+    python3 - <<'EOF'
+import json
+lines = [l for l in open("/tmp/cfd_metrics_timed.jsonl") if l.strip()]
+assert lines, "reporter emitted no snapshots"
+final = json.loads(lines[-1])
+assert final["metrics"]["pipeline.ingest.clicks"]["value"] == 50000
+print(f"   {len(lines)} snapshots parsed, timed ingest counter exact")
+EOF
 fi
 
 if [[ "${1:-}" != "quick" ]]; then
@@ -110,6 +121,48 @@ if d["scale"] == "full":
     assert d["checks"]["ring_speedup_ok"] and p["speedup"] >= 1.2, p["speedup"]
 print(f'   {sys.argv[1]}: {d["scale"]} scale, '
       f'hash x{h["speedup"]:.2f}, ring x{p["speedup"]:.2f}')
+EOF
+    done
+fi
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> timed smoke: TimeTbf/TimeGbf sequential vs batch (quick scale)"
+    # Quick scale writes its own file; the committed full-scale
+    # BENCH_pr5.json is regenerated only by a manual full run.
+    ./target/release/throughput --timed --quick --out target/BENCH_timed_quick.json \
+        >/tmp/cfd_timed.txt
+    tail -n 4 /tmp/cfd_timed.txt | sed 's/^/   /'
+    echo "==> BENCH timed json schema + batch/blocked speedup gates (full scale only)"
+    for f in target/BENCH_timed_quick.json BENCH_pr5.json; do
+        python3 - "$f" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "cfd-bench-timed/1", d["schema"]
+assert {"scale", "clicks", "rounds", "batch", "configs", "speedups", "checks"} <= d.keys()
+rows = {}
+for c in d["configs"]:
+    assert {"name", "family", "layout", "mode", "clicks_per_sec_median",
+            "clicks_per_sec_rounds", "duplicates"} <= c.keys(), c["name"]
+    assert len(c["clicks_per_sec_rounds"]) == d["rounds"], c["name"]
+    rows[(c["family"], c["layout"], c["mode"])] = c
+assert set(rows) == {(f, l, m) for f in ("time-tbf", "time-gbf")
+                     for l in ("scattered", "blocked")
+                     for m in ("sequential", "batch")}
+# Batch must be a pure optimization at every scale: same verdicts.
+for fam in ("time-tbf", "time-gbf"):
+    for lay in ("scattered", "blocked"):
+        seq, bat = rows[(fam, lay, "sequential")], rows[(fam, lay, "batch")]
+        assert seq["duplicates"] == bat["duplicates"], (fam, lay)
+assert d["checks"]["paths_agree"], "batch and sequential verdicts diverged"
+assert d["checks"]["no_occupancy_scans"], "O(m) scan rode the timed hot loop"
+if d["scale"] == "full":
+    for fam, s in d["speedups"].items():
+        assert s["batch"] >= 1.3, (fam, s)
+        assert s["blocked"] >= 1.3, (fam, s)
+    assert d["checks"]["batch_speedup_ok"] and d["checks"]["blocked_speedup_ok"]
+print(f'   {sys.argv[1]}: {d["scale"]} scale, ' + ", ".join(
+    f'{f} batch x{s["batch"]:.2f} blocked x{s["blocked"]:.2f}'
+    for f, s in d["speedups"].items()))
 EOF
     done
 fi

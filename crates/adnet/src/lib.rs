@@ -48,8 +48,9 @@ pub use fraud::{FraudScorer, PublisherScore};
 pub use network::AdNetwork;
 pub use pipeline::{
     run_pipeline, run_pipeline_instrumented, run_sharded_pipeline,
-    run_sharded_pipeline_instrumented, PipelineConfig, PipelineOutcome, PipelineProgress,
-    Transport,
+    run_sharded_pipeline_instrumented, run_timed_pipeline, run_timed_pipeline_instrumented,
+    run_timed_sharded_pipeline, run_timed_sharded_pipeline_instrumented, PipelineConfig,
+    PipelineOutcome, PipelineProgress, Transport,
 };
 pub use report::NetworkReport;
 pub use ring::{Pool, RingStats};

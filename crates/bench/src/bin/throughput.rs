@@ -48,6 +48,21 @@
 //!   [`Transport::Channel`] (crossbeam, one allocation per batch) at
 //!   equal shard count, with the two transports' reports asserted
 //!   equal every round.
+//!
+//! ## PR 5 scenario: `--timed`
+//!
+//! ```text
+//! cargo run --release -p cfd-bench --bin throughput -- --timed [--quick] [--out PATH]
+//! ```
+//!
+//! Benchmarks the *time-based* detectors (`TimeTbf` / `TimeGbf`) under
+//! the same protocol, writing `BENCH_pr5.json`: for each family and
+//! probe layout, the per-click `observe_at` loop vs the hash-once
+//! flat-key batch path (`observe_flat_at_into`) on a distinct-id stream
+//! whose ticks advance one per click, so every round crosses the full
+//! unit-advance/incremental-cleaning machinery. The batch and
+//! sequential duplicate counts are asserted equal every round, and the
+//! occupancy-scan counters must stay at zero across every timed loop.
 
 use cfd_adnet::{
     run_sharded_pipeline, Advertiser, AdvertiserId, Campaign, NetworkReport, PipelineConfig,
@@ -55,10 +70,12 @@ use cfd_adnet::{
 };
 use cfd_analysis::blocked::{fp_blocked_gbf, fp_blocked_tbf};
 use cfd_core::config::ProbeLayout;
-use cfd_core::{Gbf, GbfConfig, ShardedDetector, Tbf, TbfConfig};
+use cfd_core::{
+    Gbf, GbfConfig, ShardedDetector, Tbf, TbfConfig, TimeGbf, TimeGbfConfig, TimeTbf, TimeTbfConfig,
+};
 use cfd_hash::{Planner, ProbePlan};
 use cfd_stream::{AdId, BotnetConfig, BotnetStream, Click};
-use cfd_windows::{DetectorStats, DuplicateDetector, Verdict};
+use cfd_windows::{DetectorStats, DuplicateDetector, TimedDuplicateDetector, Verdict};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -571,9 +588,396 @@ fn run_pipeline_scenario(quick: bool, out_path: &str) {
     }
 }
 
+// ---------------------------------------------------------------------
+// PR 5 scenario: time-based detectors, sequential vs batch, per layout.
+// ---------------------------------------------------------------------
+
+/// Timed-scenario id length: 8-byte little-endian counters, same as the
+/// PR 3 stream (the hash family scrambles them).
+const TIMED_KEY_LEN: usize = 8;
+
+/// Time units per TimeTbf sliding window / sub-windows per TimeGbf
+/// jumping window. With ticks advancing one per click, `unit_ticks` is
+/// chosen so a window spans roughly the detector's sized-for capacity.
+const TIMED_TBF_UNITS: u64 = 16;
+const TIMED_GBF_Q: usize = 8;
+
+/// A timed-measurement closure over (flat keys, ticks).
+type TimedRunFn = Box<dyn FnMut(&[u8], &[u64]) -> RunResult>;
+
+struct TimedBench {
+    name: &'static str,
+    family: &'static str,
+    layout: ProbeLayout,
+    mode: &'static str,
+    run: TimedRunFn,
+    rates: Vec<f64>,
+    duplicates: u64,
+}
+
+fn time_tbf_cfg(n: usize, layout: ProbeLayout) -> TimeTbfConfig {
+    // One unit ≈ n / TIMED_TBF_UNITS clicks at one tick per click, so
+    // the wall-clock window holds about the n elements the table
+    // (m = 16 n entries, as in the count-based rows) is sized for.
+    let unit_ticks = (n as u64 / TIMED_TBF_UNITS).max(1);
+    TimeTbfConfig::new(TIMED_TBF_UNITS, unit_ticks, n * 16, K, 7)
+        .and_then(|c| c.with_probe(layout))
+        .expect("valid time-tbf config")
+}
+
+fn time_gbf_cfg(n: usize, layout: ProbeLayout) -> TimeGbfConfig {
+    // One sub-window of one unit ≈ n / Q clicks; per-lane filter sized
+    // like the count-based GBF rows ((n / Q) * 28 bits).
+    let unit_ticks = (n as u64 / TIMED_GBF_Q as u64).max(1);
+    TimeGbfConfig::new(TIMED_GBF_Q, 1, unit_ticks, (n / TIMED_GBF_Q) * 28, K, 7)
+        .and_then(|c| c.with_probe(layout))
+        .expect("valid time-gbf config")
+}
+
+/// Per-click `observe_at` loop over the flat key buffer.
+fn drive_timed_seq<D: TimedDuplicateDetector + DetectorStats>(
+    d: &mut D,
+    keys: &[u8],
+    ticks: &[u64],
+) -> RunResult {
+    let start = Instant::now();
+    let mut dups = 0u64;
+    for (key, &tick) in keys.chunks_exact(TIMED_KEY_LEN).zip(ticks) {
+        if d.observe_at(key, tick) == Verdict::Duplicate {
+            dups += 1;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (ticks.len() as f64 / secs, dups, d.occupancy_scans())
+}
+
+/// Hash-once flat-key batch path in [`BATCH`]-sized chunks, verdict
+/// buffer reused across chunks (zero steady-state allocation).
+fn drive_timed_batch<D: TimedDuplicateDetector + DetectorStats>(
+    d: &mut D,
+    keys: &[u8],
+    ticks: &[u64],
+) -> RunResult {
+    let start = Instant::now();
+    let mut dups = 0u64;
+    let mut verdicts = Vec::with_capacity(BATCH);
+    for (kc, tc) in keys.chunks(BATCH * TIMED_KEY_LEN).zip(ticks.chunks(BATCH)) {
+        d.observe_flat_at_into(kc, TIMED_KEY_LEN, tc, &mut verdicts);
+        dups += verdicts
+            .iter()
+            .filter(|&&v| v == Verdict::Duplicate)
+            .count() as u64;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (ticks.len() as f64 / secs, dups, d.occupancy_scans())
+}
+
+fn timed_benches(scale: &ScaleCfg) -> Vec<TimedBench> {
+    let mut out = Vec::new();
+    for layout in [ProbeLayout::Scattered, ProbeLayout::Blocked] {
+        let blocked = layout == ProbeLayout::Blocked;
+        let tbf_n = scale.tbf_n;
+        let gbf_n = scale.gbf_n;
+        out.push(TimedBench {
+            name: if blocked {
+                "time-tbf-blocked-seq"
+            } else {
+                "time-tbf-scattered-seq"
+            },
+            family: "time-tbf",
+            layout,
+            mode: "sequential",
+            run: Box::new(move |keys, ticks| {
+                let mut d = TimeTbf::new(time_tbf_cfg(tbf_n, layout)).expect("time-tbf");
+                drive_timed_seq(&mut d, keys, ticks)
+            }),
+            rates: Vec::new(),
+            duplicates: 0,
+        });
+        out.push(TimedBench {
+            name: if blocked {
+                "time-tbf-blocked-batch"
+            } else {
+                "time-tbf-scattered-batch"
+            },
+            family: "time-tbf",
+            layout,
+            mode: "batch",
+            run: Box::new(move |keys, ticks| {
+                let mut d = TimeTbf::new(time_tbf_cfg(tbf_n, layout)).expect("time-tbf");
+                drive_timed_batch(&mut d, keys, ticks)
+            }),
+            rates: Vec::new(),
+            duplicates: 0,
+        });
+        out.push(TimedBench {
+            name: if blocked {
+                "time-gbf-blocked-seq"
+            } else {
+                "time-gbf-scattered-seq"
+            },
+            family: "time-gbf",
+            layout,
+            mode: "sequential",
+            run: Box::new(move |keys, ticks| {
+                let mut d = TimeGbf::new(time_gbf_cfg(gbf_n, layout)).expect("time-gbf");
+                drive_timed_seq(&mut d, keys, ticks)
+            }),
+            rates: Vec::new(),
+            duplicates: 0,
+        });
+        out.push(TimedBench {
+            name: if blocked {
+                "time-gbf-blocked-batch"
+            } else {
+                "time-gbf-scattered-batch"
+            },
+            family: "time-gbf",
+            layout,
+            mode: "batch",
+            run: Box::new(move |keys, ticks| {
+                let mut d = TimeGbf::new(time_gbf_cfg(gbf_n, layout)).expect("time-gbf");
+                drive_timed_batch(&mut d, keys, ticks)
+            }),
+            rates: Vec::new(),
+            duplicates: 0,
+        });
+    }
+    out
+}
+
+fn run_timed_scenario(quick: bool, out_path: &str) {
+    let scale = if quick {
+        ScaleCfg {
+            label: "quick",
+            clicks: 1 << 18,
+            rounds: 3,
+            tbf_n: 1 << 16,
+            gbf_n: 1 << 17,
+        }
+    } else {
+        ScaleCfg {
+            label: "full",
+            clicks: 1 << 22,
+            rounds: 10,
+            tbf_n: 1 << 20,
+            gbf_n: 1 << 21,
+        }
+    };
+    println!(
+        "# throughput --timed — {} scale: {} clicks/round, {} measured rounds (+1 warm-up), \
+         batch {BATCH}",
+        scale.label, scale.clicks, scale.rounds
+    );
+
+    // Distinct 8-byte ids, ticks advancing one per click: every round
+    // walks the whole unit-advance + incremental-cleaning machinery
+    // (TIMED_TBF_UNITS sweeps per window span, Q lane rotations).
+    let keys: Vec<u8> = (0..scale.clicks as u64)
+        .flat_map(u64::to_le_bytes)
+        .collect();
+    let ticks: Vec<u64> = (0..scale.clicks as u64).collect();
+
+    let mut benches = timed_benches(&scale);
+    let mut scan_violations = 0u32;
+    for round in 0..=scale.rounds {
+        let order: Vec<usize> = if round % 2 == 0 {
+            (0..benches.len()).collect()
+        } else {
+            (0..benches.len()).rev().collect()
+        };
+        for idx in order {
+            let b = &mut benches[idx];
+            let (rate, dups, scans) = (b.run)(&keys, &ticks);
+            if scans != 0 {
+                scan_violations += 1;
+                eprintln!(
+                    "FAIL: {} performed {scans} occupancy scans in the timed hot loop",
+                    b.name
+                );
+            }
+            if round == 0 {
+                b.duplicates = dups;
+            } else if dups != b.duplicates {
+                eprintln!(
+                    "FAIL: {} duplicate count drifted across rounds ({} vs {})",
+                    b.name, dups, b.duplicates
+                );
+                scan_violations += 1;
+            }
+            if round > 0 {
+                b.rates.push(rate);
+            }
+        }
+        if round == 0 {
+            println!("# warm-up complete");
+        }
+    }
+
+    // The batch path must be a pure optimization: identical duplicate
+    // counts to the sequential loop, per family and layout.
+    let mut paths_agree = true;
+    for layout in [ProbeLayout::Scattered, ProbeLayout::Blocked] {
+        for family in ["time-tbf", "time-gbf"] {
+            let dups = |mode: &str| {
+                benches
+                    .iter()
+                    .find(|b| b.family == family && b.layout == layout && b.mode == mode)
+                    .map(|b| b.duplicates)
+                    .expect("all rows present")
+            };
+            if dups("sequential") != dups("batch") {
+                paths_agree = false;
+                eprintln!(
+                    "FAIL: {family} ({}) batch and sequential verdicts disagree",
+                    layout_name(layout)
+                );
+            }
+        }
+    }
+
+    // ---- Human table ------------------------------------------------
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "# throughput --timed — sequential vs batch, scattered vs blocked \
+         ({} scale, {} clicks, median of {} rounds)",
+        scale.label, scale.clicks, scale.rounds
+    );
+    let _ = writeln!(table, "{:<28} {:>14} {:>14}", "config", "Mclicks/s", "dups");
+    for b in &benches {
+        let _ = writeln!(
+            table,
+            "{:<28} {:>14.2} {:>14}",
+            b.name,
+            median(&b.rates) / 1e6,
+            b.duplicates
+        );
+    }
+    let rate_of = |family: &str, layout: ProbeLayout, mode: &str| {
+        benches
+            .iter()
+            .find(|b| b.family == family && b.layout == layout && b.mode == mode)
+            .map(|b| median(&b.rates))
+            .expect("all rows present")
+    };
+    let mut batch_speedups: Vec<(&str, f64)> = Vec::new();
+    let mut blocked_speedups: Vec<(&str, f64)> = Vec::new();
+    for family in ["time-tbf", "time-gbf"] {
+        let batch = rate_of(family, ProbeLayout::Scattered, "batch")
+            / rate_of(family, ProbeLayout::Scattered, "sequential");
+        let blocked = rate_of(family, ProbeLayout::Blocked, "batch")
+            / rate_of(family, ProbeLayout::Scattered, "batch");
+        let _ = writeln!(
+            table,
+            "# {family}: batch/sequential = {batch:.2}x, blocked/scattered (batch) = {blocked:.2}x"
+        );
+        batch_speedups.push((family, batch));
+        blocked_speedups.push((family, blocked));
+    }
+    print!("{table}");
+
+    // ---- Gates ------------------------------------------------------
+    let batch_ok = batch_speedups.iter().all(|&(_, s)| s >= 1.3);
+    let blocked_ok = blocked_speedups.iter().all(|&(_, s)| s >= 1.3);
+    let scans_ok = scan_violations == 0;
+    let gate = |ok: bool| {
+        if ok {
+            "PASS"
+        } else if quick {
+            "SKIP (quick)"
+        } else {
+            "FAIL"
+        }
+    };
+    println!(
+        "# gates: batch>=1.3x {} | blocked>=1.3x {} | paths-agree {} | no-hot-scans {}",
+        gate(batch_ok),
+        gate(blocked_ok),
+        if paths_agree { "PASS" } else { "FAIL" },
+        if scans_ok { "PASS" } else { "FAIL" },
+    );
+
+    // ---- Machine-readable JSON --------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"cfd-bench-timed/1\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale.label);
+    let _ = writeln!(json, "  \"clicks\": {},", scale.clicks);
+    let _ = writeln!(json, "  \"rounds\": {},", scale.rounds);
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    let _ = writeln!(json, "  \"configs\": [");
+    for (i, b) in benches.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", b.name);
+        let _ = writeln!(json, "      \"family\": \"{}\",", b.family);
+        let _ = writeln!(json, "      \"layout\": \"{}\",", layout_name(b.layout));
+        let _ = writeln!(json, "      \"mode\": \"{}\",", b.mode);
+        let _ = writeln!(
+            json,
+            "      \"clicks_per_sec_median\": {},",
+            json_f64(median(&b.rates))
+        );
+        let rounds: Vec<String> = b.rates.iter().map(|&r| json_f64(r)).collect();
+        let _ = writeln!(
+            json,
+            "      \"clicks_per_sec_rounds\": [{}],",
+            rounds.join(", ")
+        );
+        let _ = writeln!(json, "      \"duplicates\": {}", b.duplicates);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < benches.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedups\": {{");
+    for (i, family) in ["time-tbf", "time-gbf"].iter().enumerate() {
+        let batch = batch_speedups
+            .iter()
+            .find(|(f, _)| f == family)
+            .expect("family present")
+            .1;
+        let blocked = blocked_speedups
+            .iter()
+            .find(|(f, _)| f == family)
+            .expect("family present")
+            .1;
+        let _ = writeln!(
+            json,
+            "    \"{family}\": {{ \"batch\": {}, \"blocked\": {} }}{}",
+            json_f64(batch),
+            json_f64(blocked),
+            if i == 0 { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"checks\": {{");
+    let _ = writeln!(json, "    \"batch_speedup_ok\": {batch_ok},");
+    let _ = writeln!(json, "    \"blocked_speedup_ok\": {blocked_ok},");
+    let _ = writeln!(json, "    \"paths_agree\": {paths_agree},");
+    let _ = writeln!(json, "    \"no_occupancy_scans\": {scans_ok}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    std::fs::write(out_path, &json).expect("write json");
+    println!("# wrote {out_path}");
+
+    let table_path = format!("results/throughput_timed_{}.txt", scale.label);
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write(&table_path, &table);
+        println!("# wrote {table_path}");
+    }
+
+    let speedup_gates_ok = quick || (batch_ok && blocked_ok);
+    if !paths_agree || !scans_ok || !speedup_gates_ok {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut quick = false;
     let mut pipeline = false;
+    let mut timed = false;
     let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -581,6 +985,7 @@ fn main() {
             "--quick" => quick = true,
             "--full" => quick = false,
             "--pipeline" => pipeline = true,
+            "--timed" => timed = true,
             "--out" => match args.next() {
                 Some(p) => out_path = Some(p),
                 None => {
@@ -591,7 +996,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unrecognized argument `{other}` \
-                     (accepted: --pipeline --quick --full --out PATH)"
+                     (accepted: --pipeline --timed --quick --full --out PATH)"
                 );
                 std::process::exit(2);
             }
@@ -600,6 +1005,11 @@ fn main() {
     if pipeline {
         let out = out_path.unwrap_or_else(|| "BENCH_pr4.json".to_owned());
         run_pipeline_scenario(quick, &out);
+        return;
+    }
+    if timed {
+        let out = out_path.unwrap_or_else(|| "BENCH_pr5.json".to_owned());
+        run_timed_scenario(quick, &out);
         return;
     }
     let out_path = out_path.unwrap_or_else(|| "BENCH_pr3.json".to_owned());

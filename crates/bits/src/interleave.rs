@@ -185,15 +185,14 @@ impl InterleavedBitMatrix {
     /// Hints the CPU to pull group `group`'s cache line early; a no-op
     /// when the group is out of range.
     ///
-    /// Same discarded-`black_box`-read idiom as
-    /// `PackedIntVec::prefetch`: batch frontends that know future probe
-    /// groups issue this a few elements ahead so the random reads of
-    /// [`InterleavedBitMatrix::and_group_into`] land in cache, without
-    /// leaving `forbid(unsafe_code)`.
+    /// Same idiom as `PackedIntVec::prefetch`: batch frontends that know
+    /// future probe groups issue this a few elements ahead so the random
+    /// reads of [`InterleavedBitMatrix::and_group_into`] land in cache
+    /// (see [`crate::words::prefetch`]).
     #[inline]
     pub fn prefetch(&self, group: usize) {
         if group < self.groups {
-            std::hint::black_box(self.words[self.base(group)]);
+            crate::words::prefetch(&self.words[self.base(group)]);
         }
     }
 

@@ -14,12 +14,15 @@
 //!   counting Bloom filter baseline of Metwally et al. \[21\]).
 //! * [`words`] — shared word-math helpers.
 //!
-//! All structures are `#![forbid(unsafe_code)]`, fixed-capacity after
-//! construction, and expose explicit word-operation accounting hooks so
-//! the benchmark harness can reproduce the paper's running-time claims
-//! (Theorems 1 and 2) in *memory operations*, not just wall-clock time.
+//! All structures are safe Rust, fixed-capacity after construction, and
+//! expose explicit word-operation accounting hooks so the benchmark
+//! harness can reproduce the paper's running-time claims (Theorems 1
+//! and 2) in *memory operations*, not just wall-clock time. The single
+//! `unsafe` block in the crate is the architectural cache-prefetch hint
+//! in [`words::prefetch`] — an instruction with no architectural effect
+//! beyond cache state that cannot fault.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitvec;

@@ -115,14 +115,12 @@ impl PackedIntVec {
     ///
     /// Batch frontends that know their probe indices ahead of time (see
     /// `Tbf::observe_batch`) issue this a few elements early so the
-    /// random reads of [`PackedIntVec::get`] land in cache. Implemented
-    /// as a discarded `black_box` read (not an intrinsic) so the crate
-    /// stays `forbid(unsafe_code)`: the load still starts the cache fill
-    /// and overlaps with younger out-of-order work.
+    /// random reads of [`PackedIntVec::get`] land in cache (see
+    /// [`crate::words::prefetch`]).
     #[inline]
     pub fn prefetch(&self, i: usize) {
         if i < self.len {
-            std::hint::black_box(self.words[i * self.bits as usize / WORD_BITS]);
+            crate::words::prefetch(&self.words[i * self.bits as usize / WORD_BITS]);
         }
     }
 
@@ -148,6 +146,76 @@ impl PackedIntVec {
             let hi_mask = low_mask(spill);
             self.words[w + 1] = (self.words[w + 1] & !hi_mask) | (value >> have);
         }
+    }
+
+    /// Applies `f` to `count` consecutive entries starting at `start`,
+    /// rewriting an entry when `f` returns `Some(new)`. Returns the
+    /// number of entries rewritten.
+    ///
+    /// This is the linear-maintenance primitive (TBF expiry sweeps):
+    /// entries that sit wholly inside one backing word are decoded from
+    /// a register instead of paying [`PackedIntVec::get`]'s per-entry
+    /// bounds check and word fetch, and a word is written back at most
+    /// once — several times cheaper than per-entry `get`/`set` over the
+    /// same range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count > len` or `f` returns a value that does
+    /// not fit in the entry width.
+    pub fn update_range(
+        &mut self,
+        start: usize,
+        count: usize,
+        mut f: impl FnMut(u64) -> Option<u64>,
+    ) -> usize {
+        let end = start
+            .checked_add(count)
+            .expect("entry range overflows usize");
+        assert!(
+            end <= self.len,
+            "entry range {start}+{count} exceeds {}",
+            self.len
+        );
+        let bits = self.bits as usize;
+        let mut changed = 0usize;
+        let mut i = start;
+        while i < end {
+            let (w, off) = ((i * bits) / WORD_BITS, (i * bits) % WORD_BITS);
+            if off + bits > WORD_BITS {
+                // Entry straddles a word boundary: take the slow path.
+                let old = self.get(i);
+                if let Some(new) = f(old) {
+                    self.set(i, new);
+                    changed += 1;
+                }
+                i += 1;
+                continue;
+            }
+            // Decode every entry wholly inside word `w` from a register.
+            let mut word = self.words[w];
+            let mut dirty = false;
+            let mut off = off;
+            while off + bits <= WORD_BITS && i < end {
+                let old = (word >> off) & self.max;
+                if let Some(new) = f(old) {
+                    assert!(
+                        new <= self.max,
+                        "value {new} exceeds {}-bit entry",
+                        self.bits
+                    );
+                    word = (word & !(self.max << off)) | (new << off);
+                    dirty = true;
+                    changed += 1;
+                }
+                off += bits;
+                i += 1;
+            }
+            if dirty {
+                self.words[w] = word;
+            }
+        }
+        changed
     }
 
     /// Sets every entry to `value`.
@@ -276,8 +344,73 @@ mod tests {
         let _ = PackedIntVec::new(4, 0);
     }
 
+    #[test]
+    fn update_range_rewrites_and_counts() {
+        // 21-bit entries straddle word boundaries inside the range.
+        let mut v = PackedIntVec::new(64, 21);
+        for i in 0..64 {
+            v.set(i, i as u64);
+        }
+        let changed = v.update_range(10, 40, |e| (e % 2 == 0).then_some(e + 1));
+        assert_eq!(changed, 20);
+        for i in 0..64 {
+            let want = if (10..50).contains(&i) && i % 2 == 0 {
+                i as u64 + 1
+            } else {
+                i as u64
+            };
+            assert_eq!(v.get(i), want, "i={i}");
+        }
+    }
+
+    #[test]
+    fn update_range_empty_and_full_width() {
+        let mut v = PackedIntVec::new(8, 64);
+        v.set(3, u64::MAX);
+        assert_eq!(v.update_range(0, 0, |_| Some(0)), 0);
+        let changed = v.update_range(0, 8, |e| (e == u64::MAX).then_some(7));
+        assert_eq!(changed, 1);
+        assert_eq!(v.get(3), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn update_range_out_of_bounds_panics() {
+        let mut v = PackedIntVec::new(16, 7);
+        v.update_range(10, 7, |_| None);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::default())]
+        #[test]
+        fn update_range_matches_get_set_model(
+            bits in 1u32..=64,
+            start in 0usize..150,
+            count in 0usize..150,
+            threshold in any::<u64>(),
+        ) {
+            let count = count.min(200 - start);
+            let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+            let mut v = PackedIntVec::new(200, bits);
+            for i in 0..200 {
+                v.set(i, (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask);
+            }
+            let mut model: Vec<u64> = (0..200).map(|i| v.get(i)).collect();
+            let th = threshold & mask;
+            let changed = v.update_range(start, count, |e| (e > th).then_some(e / 2));
+            let mut expect_changed = 0;
+            for item in model.iter_mut().take(start + count).skip(start) {
+                if *item > th {
+                    *item /= 2;
+                    expect_changed += 1;
+                }
+            }
+            prop_assert_eq!(changed, expect_changed);
+            for (i, want) in model.iter().enumerate() {
+                prop_assert_eq!(v.get(i), *want, "i={}", i);
+            }
+        }
+
         #[test]
         #[allow(clippy::needless_range_loop)]
         fn matches_vec_model(

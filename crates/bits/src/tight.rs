@@ -141,13 +141,13 @@ impl TightBitMatrix {
     }
 
     /// Hints the CPU to pull group `group`'s cache line early; a no-op
-    /// when the group is out of range (`black_box` read — see
-    /// `PackedIntVec::prefetch` for the idiom).
+    /// when the group is out of range (see `PackedIntVec::prefetch` for
+    /// the idiom and [`crate::words::prefetch`] for the mechanism).
     #[inline]
     pub fn prefetch(&self, group: usize) {
         if group < self.groups {
             let (w, _) = self.locate(group);
-            std::hint::black_box(self.words[w]);
+            crate::words::prefetch(&self.words[w]);
         }
     }
 

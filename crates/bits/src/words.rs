@@ -68,6 +68,33 @@ pub const fn div_ceil(a: usize, b: usize) -> usize {
     a.div_ceil(b)
 }
 
+/// Hints the CPU to pull the cache line containing `word` into L1.
+///
+/// This is the batch-replay latency-hiding primitive: frontends that
+/// know their probe words several elements ahead (`Tbf::observe_batch`
+/// and friends) issue it early so the random reads land in cache. On
+/// x86-64 it lowers to `prefetcht0`, which retires immediately without
+/// waiting for the fill — unlike a discarded demand load, its reach is
+/// not limited by the out-of-order window, so a software prefetch
+/// distance of several elements actually materializes. Other
+/// architectures fall back to a `black_box` read.
+#[inline]
+pub fn prefetch(word: &u64) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `prefetcht0` is an architectural hint: it performs no
+    // memory access, cannot fault, and has no effect beyond cache
+    // state. The reference guarantees the address is valid anyway.
+    #[allow(unsafe_code)]
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(std::ptr::from_ref(word).cast::<i8>());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        std::hint::black_box(*word);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,16 +13,18 @@
 //! config fields ... | dynamic state ... | payload words
 //! ```
 //!
-//! Only the count-based detectors ([`Tbf`], [`Gbf`]) are checkpointable;
-//! the time-based variants are reconstructed from the stream's own ticks
-//! after a restart (their windows are wall-clock defined, so a restart
-//! gap expires state exactly as a quiet period would).
+//! Count-based ([`Tbf`], [`Gbf`]) and time-based ([`TimeTbf`],
+//! [`TimeGbf`]) detectors are all checkpointable. A restored time-based
+//! detector carries its high-water unit, so the first post-restart tick
+//! expires exactly what a quiet gap of the same wall-clock length would
+//! have — duplicates spanning the restart are still caught.
 
 use crate::config::{GbfConfig, GbfLayout, ProbeLayout, TbfConfig};
 use crate::gbf::Gbf;
+use crate::gbf_time::{TimeGbf, TimeGbfConfig, TimeGbfState};
 use crate::sharded::ShardedDetector;
 use crate::tbf::Tbf;
-use cfd_windows::DuplicateDetector;
+use crate::tbf_time::{TimeTbf, TimeTbfConfig, TimeTbfState};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"CFDS";
@@ -30,6 +32,8 @@ const VERSION: u16 = 1;
 const KIND_TBF: u8 = 1;
 const KIND_GBF: u8 = 2;
 const KIND_SHARDED: u8 = 3;
+const KIND_TIME_TBF: u8 = 4;
+const KIND_TIME_GBF: u8 = 5;
 
 /// Upper bound on the shard count accepted when restoring a sharded
 /// checkpoint; rejects absurd headers before any allocation.
@@ -113,6 +117,13 @@ impl Writer {
         self.usize(bs.len());
         self.0.extend_from_slice(bs);
     }
+    /// Flag byte + value: unlike a `u64::MAX` sentinel this stays
+    /// unambiguous when the value itself can legitimately be `u64::MAX`
+    /// (a high-water *unit* can, with `unit_ticks == 1`).
+    fn opt_u64(&mut self, v: Option<u64>) {
+        self.u8(u8::from(v.is_some()));
+        self.u64(v.unwrap_or(0));
+    }
 }
 
 /// A minimal little-endian reader.
@@ -170,6 +181,15 @@ impl<'a> Reader<'a> {
         let (head, rest) = self.0.split_at(len);
         self.0 = rest;
         Ok(head)
+    }
+    fn opt_u64(&mut self) -> Result<Option<u64>, CheckpointError> {
+        let flag = self.u8()?;
+        let value = self.u64()?;
+        match flag {
+            0 => Ok(None),
+            1 => Ok(Some(value)),
+            _ => Err(CheckpointError::Corrupt("bad option flag")),
+        }
     }
     fn finish(self) -> Result<(), CheckpointError> {
         if self.0.is_empty() {
@@ -300,13 +320,123 @@ impl Gbf {
     }
 }
 
+impl TimeTbf {
+    /// Serializes the complete detector state, including the high-water
+    /// unit (so a restart expires state like a quiet gap, not a reset).
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let (cfg, state) = self.checkpoint_parts();
+        let mut w = Writer::new(KIND_TIME_TBF);
+        w.u64(cfg.window_units);
+        w.u64(cfg.unit_ticks);
+        w.usize(cfg.m);
+        w.usize(cfg.k);
+        w.u64(cfg.c_units);
+        w.u64(cfg.seed);
+        w.u8(probe_tag(cfg.probe));
+        w.opt_u64(state.cur_unit);
+        w.usize(state.clean_next);
+        w.words(&state.entry_words);
+        w.0
+    }
+
+    /// Restores a detector from a [`TimeTbf::checkpoint`] buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on malformed input.
+    pub fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::open(buf, KIND_TIME_TBF)?;
+        let cfg = TimeTbfConfig {
+            window_units: r.u64()?,
+            unit_ticks: r.u64()?,
+            m: r.usize()?,
+            k: r.usize()?,
+            c_units: r.u64()?,
+            seed: r.u64()?,
+            probe: probe_from_tag(r.u8()?)?,
+        };
+        let state = TimeTbfState {
+            cur_unit: r.opt_u64()?,
+            clean_next: r.usize()?,
+            entry_words: r.words()?,
+        };
+        r.finish()?;
+        Self::from_checkpoint_parts(cfg, state)
+            .ok_or(CheckpointError::Corrupt("inconsistent time-TBF state"))
+    }
+}
+
+impl TimeGbf {
+    /// Serializes the complete detector state, including the rotation
+    /// phase and the in-flight spare-lane wipe cursor.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let (cfg, state) = self.checkpoint_parts();
+        let mut w = Writer::new(KIND_TIME_GBF);
+        w.usize(cfg.q);
+        w.u64(cfg.sub_units);
+        w.u64(cfg.unit_ticks);
+        w.usize(cfg.m);
+        w.usize(cfg.k);
+        w.u64(cfg.seed);
+        w.u8(probe_tag(cfg.probe));
+        w.opt_u64(state.cur_unit);
+        w.usize(state.slot);
+        w.u64(state.completed);
+        w.u64(state.spare.map_or(u64::MAX, |s| s as u64));
+        w.usize(state.clean_next);
+        w.words(&state.mask_words);
+        w.words(&state.matrix_words);
+        w.0
+    }
+
+    /// Restores a detector from a [`TimeGbf::checkpoint`] buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on malformed input.
+    pub fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::open(buf, KIND_TIME_GBF)?;
+        let cfg = TimeGbfConfig {
+            q: r.usize()?,
+            sub_units: r.u64()?,
+            unit_ticks: r.u64()?,
+            m: r.usize()?,
+            k: r.usize()?,
+            seed: r.u64()?,
+            probe: probe_from_tag(r.u8()?)?,
+        };
+        let cur_unit = r.opt_u64()?;
+        let slot = r.usize()?;
+        let completed = r.u64()?;
+        let spare = match r.u64()? {
+            u64::MAX => None,
+            s => Some(usize::try_from(s).map_err(|_| CheckpointError::Corrupt("spare"))?),
+        };
+        let state = TimeGbfState {
+            cur_unit,
+            slot,
+            completed,
+            spare,
+            clean_next: r.usize()?,
+            mask_words: r.words()?,
+            matrix_words: r.words()?,
+        };
+        r.finish()?;
+        Self::from_checkpoint_parts(cfg, state)
+            .ok_or(CheckpointError::Corrupt("inconsistent time-GBF state"))
+    }
+}
+
 /// Detectors whose complete state round-trips through the `CFDS` binary
 /// format.
 ///
-/// Implemented by [`Tbf`] and [`Gbf`] (delegating to their inherent
-/// methods) and generically by [`ShardedDetector`] over any
-/// checkpointable shard type, so a sharded gateway restarts with
-/// identical future verdicts just like a single-detector one.
+/// Implemented by [`Tbf`], [`Gbf`], [`TimeTbf`] and [`TimeGbf`]
+/// (delegating to their inherent methods) and generically by
+/// [`ShardedDetector`] over any checkpointable shard type, so a sharded
+/// gateway restarts with identical future verdicts just like a
+/// single-detector one.
 pub trait CheckpointState: Sized {
     /// Serializes the complete detector state.
     fn checkpoint(&self) -> Vec<u8>;
@@ -337,7 +467,25 @@ impl CheckpointState for Gbf {
     }
 }
 
-impl<D: CheckpointState + DuplicateDetector> CheckpointState for ShardedDetector<D> {
+impl CheckpointState for TimeTbf {
+    fn checkpoint(&self) -> Vec<u8> {
+        TimeTbf::checkpoint(self)
+    }
+    fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        TimeTbf::restore(buf)
+    }
+}
+
+impl CheckpointState for TimeGbf {
+    fn checkpoint(&self) -> Vec<u8> {
+        TimeGbf::checkpoint(self)
+    }
+    fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        TimeGbf::restore(buf)
+    }
+}
+
+impl<D: CheckpointState> CheckpointState for ShardedDetector<D> {
     /// Format: header (kind 3) | router seed | shard count |
     /// length-prefixed per-shard `CFDS` blobs, in router order.
     fn checkpoint(&self) -> Vec<u8> {
@@ -594,6 +742,179 @@ mod tests {
         for i in 2_000..6_000u64 {
             let key = (i % 300).to_le_bytes();
             assert_eq!(original.observe(&key), restored.observe(&key), "i={i}");
+        }
+    }
+
+    // ---- time-based detectors ------------------------------------------
+
+    use cfd_windows::{TimedDuplicateDetector, Verdict};
+
+    /// Irregular ticks with occasional regressions, cyclic keys.
+    fn timed_stream(range: std::ops::Range<u64>) -> impl Iterator<Item = ([u8; 8], u64)> {
+        let mut tick = range.start * 5;
+        range.map(move |i| {
+            tick += (i * 7 + 3) % 11;
+            if i % 97 == 96 {
+                tick = tick.saturating_sub(25);
+            }
+            ((i % 700).to_le_bytes(), tick)
+        })
+    }
+
+    fn time_tbf() -> TimeTbf {
+        TimeTbf::new(TimeTbfConfig::new(32, 10, 2_048, 5, 7).expect("cfg")).expect("detector")
+    }
+
+    fn time_gbf() -> TimeGbf {
+        TimeGbf::new(TimeGbfConfig::new(6, 5, 10, 1_024, 4, 7).expect("cfg")).expect("detector")
+    }
+
+    #[test]
+    fn time_tbf_roundtrip_preserves_every_future_verdict() {
+        for probe in [ProbeLayout::Scattered, ProbeLayout::Blocked] {
+            let cfg = TimeTbfConfig::new(32, 10, 2_048, 5, 7)
+                .and_then(|c| c.with_probe(probe))
+                .expect("cfg");
+            let mut original = TimeTbf::new(cfg).expect("detector");
+            for (key, tick) in timed_stream(0..5_000) {
+                original.observe_at(&key, tick);
+            }
+            let buf = original.checkpoint();
+            let mut restored = TimeTbf::restore(&buf).expect("valid checkpoint");
+            assert_eq!(restored.config().probe, probe);
+            for (key, tick) in timed_stream(5_000..15_000) {
+                assert_eq!(
+                    original.observe_at(&key, tick),
+                    restored.observe_at(&key, tick),
+                    "probe {probe:?}, tick {tick}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn time_gbf_roundtrip_preserves_every_future_verdict() {
+        for probe in [ProbeLayout::Scattered, ProbeLayout::Blocked] {
+            let cfg = TimeGbfConfig::new(6, 5, 10, 1_024, 4, 7)
+                .and_then(|c| c.with_probe(probe))
+                .expect("cfg");
+            let mut original = TimeGbf::new(cfg).expect("detector");
+            for (key, tick) in timed_stream(0..5_000) {
+                original.observe_at(&key, tick);
+            }
+            let buf = original.checkpoint();
+            let mut restored = TimeGbf::restore(&buf).expect("valid checkpoint");
+            assert_eq!(restored.config().probe, probe);
+            for (key, tick) in timed_stream(5_000..15_000) {
+                assert_eq!(
+                    original.observe_at(&key, tick),
+                    restored.observe_at(&key, tick),
+                    "probe {probe:?}, tick {tick}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn time_gbf_checkpoint_mid_wipe_is_faithful() {
+        // Snapshot right after a rotation starts a spare-lane wipe: the
+        // wipe cursor must survive the roundtrip, or restored cleaning
+        // would fall behind and leave stale bits.
+        let mut original = time_gbf();
+        for u in 0..6u64 {
+            original.observe_at(&u.to_le_bytes(), u * 10); // one obs per unit
+        }
+        // Crossing into unit 5*... triggers rotations; wipe in flight.
+        let buf = original.checkpoint();
+        let mut restored = TimeGbf::restore(&buf).expect("valid checkpoint");
+        for (key, tick) in timed_stream(6..4_000) {
+            assert_eq!(
+                original.observe_at(&key, tick),
+                restored.observe_at(&key, tick),
+                "tick {tick}"
+            );
+        }
+    }
+
+    #[test]
+    fn time_tbf_high_water_at_u64_max_roundtrips() {
+        // With unit_ticks == 1 the high-water unit can legitimately be
+        // u64::MAX; the flag-byte encoding must not confuse it with the
+        // never-observed state.
+        let mut original =
+            TimeTbf::new(TimeTbfConfig::new(32, 1, 256, 3, 7).expect("cfg")).expect("detector");
+        original.observe_at(b"edge", u64::MAX);
+        let buf = original.checkpoint();
+        let mut restored = TimeTbf::restore(&buf).expect("valid checkpoint");
+        assert_eq!(restored.observe_at(b"edge", u64::MAX), Verdict::Duplicate);
+        // And a fresh detector's None survives too.
+        let fresh = time_tbf();
+        let restored_fresh = TimeTbf::restore(&fresh.checkpoint()).expect("valid checkpoint");
+        assert_eq!(restored_fresh.checkpoint(), fresh.checkpoint());
+    }
+
+    #[test]
+    fn timed_restores_reject_malformed_buffers() {
+        // Every truncation must fail cleanly, never panic or OOM.
+        let mut d = time_tbf();
+        for (key, tick) in timed_stream(0..1_000) {
+            d.observe_at(&key, tick);
+        }
+        let full = d.checkpoint();
+        for cut in (0..full.len()).step_by(97) {
+            assert!(
+                TimeTbf::restore(&full[..cut]).is_err(),
+                "tbf truncation at {cut} accepted"
+            );
+        }
+        let mut g = time_gbf();
+        for (key, tick) in timed_stream(0..1_000) {
+            g.observe_at(&key, tick);
+        }
+        let full = g.checkpoint();
+        for cut in (0..full.len()).step_by(97) {
+            assert!(
+                TimeGbf::restore(&full[..cut]).is_err(),
+                "gbf truncation at {cut} accepted"
+            );
+        }
+        // Kind confusion between the timed pair is rejected.
+        assert!(matches!(
+            TimeGbf::restore(&time_tbf().checkpoint()),
+            Err(CheckpointError::WrongKind {
+                found: 4,
+                expected: 5
+            })
+        ));
+        // A corrupt option flag is rejected (flag byte is right after
+        // the 7-byte header + 49 config bytes for time-TBF).
+        let mut bad_flag = time_tbf().checkpoint();
+        bad_flag[7 + 49] = 2;
+        assert!(matches!(
+            TimeTbf::restore(&bad_flag),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn timed_sharded_roundtrip_preserves_every_future_verdict() {
+        let mut original: ShardedDetector<TimeTbf> = ShardedDetector::from_fn(17, 4, |_| {
+            TimeTbf::new(TimeTbfConfig::new(32, 10, 2_048, 5, 7)?)
+        })
+        .expect("sharded");
+        for (key, tick) in timed_stream(0..5_000) {
+            original.observe_at(&key, tick);
+        }
+        let buf = CheckpointState::checkpoint(&original);
+        let mut restored =
+            <ShardedDetector<TimeTbf> as CheckpointState>::restore(&buf).expect("valid checkpoint");
+        assert_eq!(restored.shard_count(), 4);
+        for (key, tick) in timed_stream(5_000..15_000) {
+            assert_eq!(
+                original.observe_at(&key, tick),
+                restored.observe_at(&key, tick),
+                "tick {tick}"
+            );
         }
     }
 

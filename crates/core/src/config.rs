@@ -78,6 +78,13 @@ pub enum ConfigError {
         /// Slots in the table.
         m: usize,
     },
+    /// Window arithmetic overflowed `u64` — the time-based configs
+    /// multiply unit counts by ticks per unit, which silently wraps in
+    /// release builds unless rejected up front.
+    ArithmeticOverflow {
+        /// The quantity whose computation overflowed.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -103,6 +110,9 @@ impl fmt::Display for ConfigError {
                     "blocked probing unsupported for {m} slots of {slot_bits} bits \
                      (need >= 2 slots per 64-byte line and >= 1 block)"
                 )
+            }
+            ConfigError::ArithmeticOverflow { what } => {
+                write!(f, "u64 overflow computing {what}")
             }
         }
     }

@@ -10,14 +10,55 @@
 //! [`crate::tbf_time`] for the same technique): when an observation
 //! advances the clock by several units, each skipped unit's wipe chunk —
 //! and any sub-window rotations — are executed in order before the
-//! element is processed.
+//! element is processed. A quiet gap of a full `(Q+1)`-sub-window cycle
+//! or more clears the matrix outright.
+//!
+//! # Hot path
+//!
+//! Mirrors the count-based [`crate::Gbf`]: pure hashing
+//! ([`TimeGbf::plan`] / [`TimeGbf::planner`]) split from stateful replay.
+//! The batch entry points hash the whole batch in one multi-lane pass,
+//! expand probe groups into one flat buffer, and replay with
+//! one-line-ahead prefetch; the unit clock (and with it all cleaning and
+//! rotation work) is consulted only when an element's tick crosses into
+//! a new unit. [`ProbeLayout::Blocked`] confines each element's `k`
+//! groups to one cache line of the interleaved matrix, with the same
+//! `k_eff = min(k, slots/2)` saturation cap as the count-based detectors.
+//!
+//! # Out-of-order ticks
+//!
+//! Same policy as [`crate::tbf_time`]: ticks behind the high-water unit
+//! are clamped to the current unit and counted in
+//! [`OpCounters::clock_regressions`]. The late click still probes every
+//! active sub-window, so late duplicates are flagged; a late distinct
+//! click is simply remembered as if it arrived now.
 
-use crate::config::ConfigError;
+use crate::config::{ConfigError, ProbeLayout};
 use crate::ops::OpCounters;
 use cfd_bits::InterleavedBitMatrix;
-use cfd_hash::{DoubleHashFamily, HashFamily, Planner, ProbePlan};
+use cfd_hash::{BlockGeometry, DoubleHashFamily, HashFamily, Planner, ProbePlan};
+use cfd_telemetry::DetectorStats;
 use cfd_windows::time::UnitClock;
 use cfd_windows::{TimedDuplicateDetector, Verdict, WindowSpec};
+use std::cell::Cell;
+
+/// Dynamic [`TimeGbf`] state captured by a checkpoint.
+pub(crate) struct TimeGbfState {
+    /// Absolute high-water unit (`None` before the first observation).
+    pub cur_unit: Option<u64>,
+    /// Current insertion lane.
+    pub slot: usize,
+    /// Completed sub-windows since the stream start.
+    pub completed: u64,
+    /// Lane being wiped, if a wipe is in flight.
+    pub spare: Option<usize>,
+    /// Next group index the incremental wipe will visit.
+    pub clean_next: usize,
+    /// Active-lane bitmask words.
+    pub mask_words: Vec<u64>,
+    /// Raw words of the interleaved matrix.
+    pub matrix_words: Vec<u64>,
+}
 
 /// Configuration of a [`TimeGbf`] detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,14 +75,17 @@ pub struct TimeGbfConfig {
     pub k: usize,
     /// Hash seed.
     pub seed: u64,
+    /// Probe-index derivation scheme.
+    pub probe: ProbeLayout,
 }
 
 impl TimeGbfConfig {
-    /// Creates a validated configuration.
+    /// Creates a validated configuration with scattered probing.
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] on zero dimensions or bad `k`.
+    /// Returns [`ConfigError`] on zero dimensions, bad `k`, or window
+    /// parameters whose products overflow `u64`.
     pub fn new(
         q: usize,
         sub_units: u64,
@@ -57,15 +101,62 @@ impl TimeGbfConfig {
             m,
             k,
             seed,
+            probe: ProbeLayout::Scattered,
         };
         cfg.validate()?;
         Ok(cfg)
     }
 
-    /// Window span in ticks (`Q × R × unit_ticks`).
+    /// Returns the configuration with the probe layout replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BlockedUnsupported`] when `Blocked` is
+    /// requested but the group stride / matrix shape cannot form blocks.
+    pub fn with_probe(mut self, probe: ProbeLayout) -> Result<Self, ConfigError> {
+        self.probe = probe;
+        if probe == ProbeLayout::Blocked && self.block_geometry().is_none() {
+            return Err(ConfigError::BlockedUnsupported {
+                slot_bits: self.group_bits(),
+                m: self.m,
+            });
+        }
+        Ok(self)
+    }
+
+    /// Bits per group in the interleaved matrix: `Q + 1` lanes padded to
+    /// whole words (the matrix stride, which is what blocked probing
+    /// must respect).
+    #[must_use]
+    pub fn group_bits(&self) -> usize {
+        (self.q + 1).div_ceil(64) * 64
+    }
+
+    /// The cache-line block geometry, when `probe` is blocked.
+    #[must_use]
+    pub fn block_geometry(&self) -> Option<BlockGeometry> {
+        match self.probe {
+            ProbeLayout::Scattered => None,
+            ProbeLayout::Blocked => BlockGeometry::for_line(self.m, self.group_bits()),
+        }
+    }
+
+    /// Window span in ticks (`Q × R × unit_ticks`). Saturating:
+    /// validation rejects configurations where the true product
+    /// overflows.
     #[must_use]
     pub fn window_ticks(&self) -> u64 {
-        self.q as u64 * self.sub_units * self.unit_ticks
+        (self.q as u64)
+            .saturating_mul(self.sub_units)
+            .saturating_mul(self.unit_ticks)
+    }
+
+    /// Units covered by a full `(Q+1)`-lane rotation cycle; a quiet gap
+    /// of at least this many units leaves no live bit. Saturating, like
+    /// [`TimeGbfConfig::window_ticks`].
+    #[must_use]
+    pub fn full_cycle_units(&self) -> u64 {
+        (self.q as u64 + 1).saturating_mul(self.sub_units)
     }
 
     /// Groups wiped per time unit (`⌈m / R⌉`): the expired filter is
@@ -73,7 +164,8 @@ impl TimeGbfConfig {
     /// reused.
     #[must_use]
     pub fn clean_chunk(&self) -> usize {
-        self.m.div_ceil(self.sub_units as usize)
+        self.m
+            .div_ceil(usize::try_from(self.sub_units.max(1)).unwrap_or(usize::MAX))
     }
 
     fn validate(&self) -> Result<(), ConfigError> {
@@ -88,6 +180,24 @@ impl TimeGbfConfig {
         }
         if !(1..=64).contains(&self.k) {
             return Err(ConfigError::BadHashCount(self.k));
+        }
+        if (self.q as u64)
+            .checked_mul(self.sub_units)
+            .and_then(|u| u.checked_mul(self.unit_ticks))
+            .is_none()
+        {
+            return Err(ConfigError::ArithmeticOverflow {
+                what: "window span Q * R * unit_ticks",
+            });
+        }
+        if (self.q as u64)
+            .checked_add(1)
+            .and_then(|l| l.checked_mul(self.sub_units))
+            .is_none()
+        {
+            return Err(ConfigError::ArithmeticOverflow {
+                what: "rotation cycle (Q + 1) * R",
+            });
         }
         Ok(())
     }
@@ -114,6 +224,7 @@ pub struct TimeGbf {
     cfg: TimeGbfConfig,
     matrix: InterleavedBitMatrix,
     units: UnitClock,
+    family: DoubleHashFamily,
     /// Absolute unit of the last observation.
     cur_unit: Option<u64>,
     /// Current insertion lane.
@@ -126,7 +237,16 @@ pub struct TimeGbf {
     clean_chunk: usize,
     ops: OpCounters,
     probe_buf: Vec<usize>,
+    batch_buf: Vec<usize>,
+    plan_buf: Vec<ProbePlan>,
     acc: Vec<u64>,
+    /// Blocked-probe geometry; `None` in scattered mode.
+    geo: Option<BlockGeometry>,
+    /// Probes actually issued per element (`k` scattered, capped in
+    /// blocked mode).
+    k_eff: usize,
+    /// `O(m)` occupancy scans performed (snapshot-cadence only).
+    scans: Cell<u64>,
 }
 
 impl TimeGbf {
@@ -137,11 +257,25 @@ impl TimeGbf {
     /// Returns [`ConfigError`] if the configuration is inconsistent.
     pub fn new(cfg: TimeGbfConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
+        let geo = match cfg.probe {
+            ProbeLayout::Scattered => None,
+            ProbeLayout::Blocked => Some(cfg.block_geometry().ok_or(
+                ConfigError::BlockedUnsupported {
+                    slot_bits: cfg.group_bits(),
+                    m: cfg.m,
+                },
+            )?),
+        };
+        let k_eff = match &geo {
+            Some(g) => cfg.k.min(g.slots() / 2).max(1),
+            None => cfg.k,
+        };
         let matrix = InterleavedBitMatrix::new(cfg.m, cfg.q + 1);
         let mut active_mask = vec![0u64; matrix.lane_words()];
         active_mask[0] |= 1;
         Ok(Self {
             units: UnitClock::new(cfg.unit_ticks),
+            family: DoubleHashFamily::new(cfg.seed),
             cur_unit: None,
             slot: 0,
             completed: 0,
@@ -150,8 +284,13 @@ impl TimeGbf {
             clean_next: 0,
             clean_chunk: cfg.clean_chunk(),
             ops: OpCounters::new(),
-            probe_buf: vec![0; cfg.k],
+            probe_buf: vec![0; k_eff],
+            batch_buf: Vec::new(),
+            plan_buf: Vec::new(),
             acc: vec![0; matrix.lane_words()],
+            geo,
+            k_eff,
+            scans: Cell::new(0),
             matrix,
             cfg,
         })
@@ -167,6 +306,60 @@ impl TimeGbf {
     #[must_use]
     pub fn ops(&self) -> OpCounters {
         self.ops
+    }
+
+    /// Probes issued per element: `k` in scattered mode, `min(k,
+    /// slots/2)` in blocked mode.
+    #[must_use]
+    pub fn effective_hash_count(&self) -> usize {
+        self.k_eff
+    }
+
+    /// Internal state snapshot for checkpointing.
+    pub(crate) fn checkpoint_parts(&self) -> (TimeGbfConfig, TimeGbfState) {
+        (
+            self.cfg,
+            TimeGbfState {
+                cur_unit: self.cur_unit,
+                slot: self.slot,
+                completed: self.completed,
+                spare: self.spare,
+                clean_next: self.clean_next,
+                mask_words: self.active_mask.clone(),
+                matrix_words: self.matrix.as_words().to_vec(),
+            },
+        )
+    }
+
+    /// Rebuilds a detector from checkpoint parts; `None` if inconsistent.
+    pub(crate) fn from_checkpoint_parts(cfg: TimeGbfConfig, state: TimeGbfState) -> Option<Self> {
+        let lanes = cfg.q.checked_add(1)?;
+        // Size-check against the payload BEFORE allocating.
+        let lane_words = lanes.div_ceil(64);
+        let expected_matrix_words = cfg.m.checked_mul(lane_words)?;
+        if state.matrix_words.len() != expected_matrix_words
+            || state.mask_words.len() != lane_words
+            || state.slot >= lanes
+            || state.spare.is_some_and(|s| s >= lanes)
+        {
+            return None;
+        }
+        // Wipe-cursor invariant: a cursor only exists while a lane is
+        // being wiped; it resets to 0 the moment the wipe retires.
+        match state.spare {
+            Some(_) if state.clean_next >= cfg.m => return None,
+            None if state.clean_next != 0 => return None,
+            _ => {}
+        }
+        let mut d = Self::new(cfg).ok()?;
+        d.cur_unit = state.cur_unit;
+        d.slot = state.slot;
+        d.completed = state.completed;
+        d.spare = state.spare;
+        d.clean_next = state.clean_next;
+        d.active_mask = state.mask_words;
+        d.matrix = InterleavedBitMatrix::from_words(state.matrix_words, cfg.m, lanes)?;
+        Some(d)
     }
 
     #[inline]
@@ -212,12 +405,15 @@ impl TimeGbf {
     }
 
     /// One sub-window boundary: retire the oldest lane, move insertion to
-    /// the (already clean) next lane.
+    /// the next lane. The incoming lane is guaranteed fully clean:
+    /// either its wipe finished during the preceding sub-window's units,
+    /// or [`TimeGbf::wipe_finish`] completes the remainder here before
+    /// the lane index advances onto it.
     fn rotate(&mut self) {
         self.wipe_finish();
         let slots = self.cfg.q + 1;
         self.slot = (self.slot + 1) % slots;
-        self.completed += 1;
+        self.completed = self.completed.saturating_add(1);
         Self::mask_set(&mut self.active_mask, self.slot);
         if self.completed >= self.cfg.q as u64 {
             let expired = (self.slot + 1) % slots;
@@ -228,6 +424,10 @@ impl TimeGbf {
     }
 
     /// Advances the lazy per-unit daemon to `unit`.
+    ///
+    /// Out-of-order policy: a unit behind the high-water mark is clamped
+    /// to it (time never moves backwards) and counted in
+    /// [`OpCounters::clock_regressions`].
     fn advance_to(&mut self, unit: u64) {
         let last = match self.cur_unit {
             None => {
@@ -238,10 +438,17 @@ impl TimeGbf {
             }
             Some(last) => last,
         };
-        let unit = unit.max(last);
+        if unit <= last {
+            if unit < last {
+                self.ops.clock_regressions += 1;
+            }
+            // `unit == last` is the common same-unit case: nothing to
+            // replay, and skipping it keeps `last + 1` below from
+            // overflowing when the clock sits at `u64::MAX`.
+            return;
+        }
         let crossed = unit - last;
-        let full_window_units = (self.cfg.q as u64 + 1) * self.cfg.sub_units;
-        if crossed >= full_window_units {
+        if crossed >= self.cfg.full_cycle_units() {
             // Everything expired during the quiet gap.
             self.matrix.clear_all();
             self.ops.clean_writes += (self.cfg.m * self.matrix.lane_words()) as u64;
@@ -251,7 +458,7 @@ impl TimeGbf {
             let rotations = unit / self.cfg.sub_units - last / self.cfg.sub_units;
             self.slot =
                 (self.slot + (rotations % (self.cfg.q as u64 + 1)) as usize) % (self.cfg.q + 1);
-            self.completed += rotations;
+            self.completed = self.completed.saturating_add(rotations);
             self.active_mask.iter_mut().for_each(|w| *w = 0);
             Self::mask_set(&mut self.active_mask, self.slot);
         } else {
@@ -265,45 +472,149 @@ impl TimeGbf {
         }
         self.cur_unit = Some(unit);
     }
-}
 
-impl TimeGbf {
     /// The pure hashing half of this detector, shareable across threads.
     #[must_use]
     pub fn planner(&self) -> Planner {
-        Planner::new(self.cfg.seed)
+        Planner::from_family(self.family)
     }
 
     /// Hashes `id` into a replayable [`ProbePlan`] (pure; no state touched).
     #[inline]
     #[must_use]
     pub fn plan(&self, id: &[u8]) -> ProbePlan {
-        ProbePlan::from_pair(DoubleHashFamily::new(self.cfg.seed).pair(id))
+        ProbePlan::from_pair(self.family.pair(id))
+    }
+
+    /// Expands a plan into probe groups under the configured layout.
+    #[inline]
+    fn fill_probes(geo: Option<&BlockGeometry>, m: usize, plan: ProbePlan, out: &mut [usize]) {
+        match geo {
+            Some(g) => plan.fill_blocked(g, out),
+            None => plan.fill(m, out),
+        }
     }
 
     /// The stateful half of a timed observation; `observe_at(id, tick)` ≡
     /// `apply_at(plan(id), tick)`. The hash evaluation is accounted to
     /// this element regardless of where it was computed.
     pub fn apply_at(&mut self, plan: ProbePlan, tick: u64) -> Verdict {
+        let mut probes = std::mem::take(&mut self.probe_buf);
+        Self::fill_probes(self.geo.as_ref(), self.cfg.m, plan, &mut probes);
+        self.advance_to(self.units.unit_of(tick));
+        let verdict = self.probe_insert(&probes);
+        self.probe_buf = probes;
+        verdict
+    }
+
+    /// Replays a batch of precomputed plans, one tick per plan, with the
+    /// same lookahead prefetch as `observe_batch_at` — the stateful half
+    /// of the sharded hash-once path.
+    ///
+    /// # Panics
+    /// Panics if `plans.len() != ticks.len()`.
+    pub fn apply_batch_at(&mut self, plans: &[ProbePlan], ticks: &[u64]) -> Vec<Verdict> {
+        let mut out = Vec::with_capacity(plans.len());
+        self.apply_batch_at_into(plans, ticks, &mut out);
+        out
+    }
+
+    /// Allocation-free [`TimeGbf::apply_batch_at`]: verdicts go into
+    /// `out` (cleared first, capacity reused).
+    ///
+    /// # Panics
+    /// Panics if `plans.len() != ticks.len()`.
+    pub fn apply_batch_at_into(
+        &mut self,
+        plans: &[ProbePlan],
+        ticks: &[u64],
+        out: &mut Vec<Verdict>,
+    ) {
+        assert_eq!(plans.len(), ticks.len(), "one tick per plan");
+        let probes = self.expand_plans(plans);
+        self.replay_at_into(probes, ticks, out);
+    }
+
+    /// Expands every plan's probe groups into the recycled flat
+    /// `batch_buf` (`k_eff` groups per element); the buffer is handed
+    /// back by [`TimeGbf::replay_at_into`].
+    fn expand_plans(&mut self, plans: &[ProbePlan]) -> Vec<usize> {
+        let k = self.k_eff;
+        let mut probes = std::mem::take(&mut self.batch_buf);
+        probes.clear();
+        probes.resize(plans.len() * k, 0);
+        for (plan, slot) in plans.iter().zip(probes.chunks_exact_mut(k)) {
+            Self::fill_probes(self.geo.as_ref(), self.cfg.m, *plan, slot);
+        }
+        probes
+    }
+
+    /// Applies a flat buffer of expanded probe groups (`k_eff` per
+    /// element) with the elements' ticks, prefetching element
+    /// `i + PREFETCH_AHEAD`'s cache lines while element `i` is
+    /// processed. Clock work — cleaning replay and rotations — runs only
+    /// when an element's unit differs from its predecessor's. Returns
+    /// the buffer to `batch_buf`; verdicts go into `out` (cleared first).
+    fn replay_at_into(&mut self, probes: Vec<usize>, ticks: &[u64], out: &mut Vec<Verdict>) {
+        const PREFETCH_AHEAD: usize = 8;
+        let k = self.k_eff;
+        let blocked = self.geo.is_some();
+        out.clear();
+        // Per-run clock cache: (raw unit, whether the run is clamped).
+        // `advance_to` runs only when the raw unit changes; clamped runs
+        // still count one regression per element to match the
+        // sequential path.
+        let mut run: Option<(u64, bool)> = None;
+        let mut ahead = probes.chunks_exact(k).skip(PREFETCH_AHEAD);
+        for (slot, &tick) in probes.chunks_exact(k).zip(ticks) {
+            if let Some(next) = ahead.next() {
+                if blocked {
+                    self.matrix.prefetch(next[0]);
+                } else {
+                    for &g in next {
+                        self.matrix.prefetch(g);
+                    }
+                }
+            }
+            let raw = self.units.unit_of(tick);
+            match run {
+                Some((r, clamped)) if r == raw => {
+                    if clamped {
+                        self.ops.clock_regressions += 1;
+                    }
+                }
+                _ => {
+                    let high_water = self.cur_unit;
+                    self.advance_to(raw);
+                    run = Some((raw, high_water.is_some_and(|h| raw < h)));
+                }
+            }
+            out.push(self.probe_insert(slot));
+        }
+        self.batch_buf = probes;
+    }
+
+    /// [`TimeGbf::apply_at`] with the probe groups already expanded and
+    /// the clock already advanced — the innermost stateful step, shared
+    /// by the per-click and batch paths: probe all active sub-windows
+    /// with one AND-chain, insert into the current lane when distinct.
+    fn probe_insert(&mut self, probes: &[usize]) -> Verdict {
         self.ops.elements += 1;
         self.ops.hash_evals += 1;
-        self.advance_to(self.units.unit_of(tick));
-
-        plan.fill(self.cfg.m, &mut self.probe_buf);
         self.acc.copy_from_slice(&self.active_mask);
-        for &g in &self.probe_buf {
+        for &g in probes {
             self.matrix.and_group_into(g, &mut self.acc);
         }
-        self.ops.probe_reads += (self.probe_buf.len() * self.matrix.lane_words()) as u64;
+        self.ops.probe_reads += (probes.len() * self.matrix.lane_words()) as u64;
 
         if self.acc.iter().any(|&w| w != 0) {
             Verdict::Duplicate
         } else {
             let cur = self.slot;
-            for &g in &self.probe_buf {
+            for &g in probes {
                 self.matrix.set(g, cur);
             }
-            self.ops.insert_writes += self.probe_buf.len() as u64;
+            self.ops.insert_writes += probes.len() as u64;
             Verdict::Distinct
         }
     }
@@ -313,6 +624,35 @@ impl TimedDuplicateDetector for TimeGbf {
     fn observe_at(&mut self, id: &[u8], tick: u64) -> Verdict {
         let plan = self.plan(id);
         self.apply_at(plan, tick)
+    }
+
+    fn observe_batch_at_into(&mut self, ids: &[&[u8]], ticks: &[u64], out: &mut Vec<Verdict>) {
+        assert_eq!(ids.len(), ticks.len(), "one tick per id");
+        // Hash the whole batch first (pure, multi-lane over equal-length
+        // runs), expand to one flat probe buffer, then replay against
+        // matrix state with lookahead prefetch — the same latency-hiding
+        // schedule as `Gbf::observe_batch`.
+        let mut plans = std::mem::take(&mut self.plan_buf);
+        self.planner().plan_refs_into(ids, &mut plans);
+        let probes = self.expand_plans(&plans);
+        self.plan_buf = plans;
+        self.replay_at_into(probes, ticks, out);
+    }
+
+    fn observe_flat_at_into(
+        &mut self,
+        keys: &[u8],
+        key_len: usize,
+        ticks: &[u64],
+        out: &mut Vec<Verdict>,
+    ) {
+        assert!(key_len > 0, "key_len must be non-zero");
+        assert_eq!(keys.len() / key_len.max(1), ticks.len(), "one tick per key");
+        let mut plans = std::mem::take(&mut self.plan_buf);
+        self.planner().plan_flat_into(keys, key_len, &mut plans);
+        let probes = self.expand_plans(&plans);
+        self.plan_buf = plans;
+        self.replay_at_into(probes, ticks, out);
     }
 
     fn window(&self) -> WindowSpec {
@@ -335,12 +675,129 @@ impl TimedDuplicateDetector for TimeGbf {
     }
 }
 
+impl DetectorStats for TimeGbf {
+    fn stats_name(&self) -> &'static str {
+        "time-gbf"
+    }
+
+    /// Fill ratio of each *active* lane. `O(m)` per lane — snapshot
+    /// cadence only.
+    fn fill_ratios(&self) -> Vec<f64> {
+        (0..=self.cfg.q)
+            .filter(|&lane| self.active_mask[lane / 64] >> (lane % 64) & 1 == 1)
+            .map(|lane| {
+                self.scans.set(self.scans.get() + 1);
+                self.matrix.count_ones_in_lane(lane) as f64 / self.cfg.m as f64
+            })
+            .collect()
+    }
+
+    /// Fraction of the spare lane's wipe still outstanding.
+    fn cleaning_backlog(&self) -> f64 {
+        if self.spare.is_some() {
+            (self.cfg.m - self.clean_next) as f64 / self.cfg.m as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Normalized position of the incremental wipe through the spare lane.
+    fn sweep_position(&self) -> f64 {
+        self.clean_next as f64 / self.cfg.m as f64
+    }
+
+    fn cleaned_entries(&self) -> u64 {
+        self.ops.clean_writes
+    }
+
+    fn observed_elements(&self) -> u64 {
+        self.ops.elements
+    }
+
+    /// Distinct elements perform exactly `k_eff` insert writes, so the
+    /// duplicate count is recoverable from the op counters.
+    fn observed_duplicates(&self) -> u64 {
+        self.ops.elements - self.ops.insert_writes / self.k_eff as u64
+    }
+
+    fn occupancy_scans(&self) -> u64 {
+        self.scans.get()
+    }
+
+    /// A fresh key is flagged iff some active lane has all `k_eff`
+    /// probed bits set: `1 − Π over active lanes (1 − fill^k_eff)` at
+    /// the live fill.
+    fn estimated_fp(&self) -> f64 {
+        let miss_all: f64 = self
+            .fill_ratios()
+            .iter()
+            .map(|fill| 1.0 - fill.powi(self.k_eff as i32))
+            .product();
+        1.0 - miss_all
+    }
+
+    /// Single-scan override: derive `estimated_fp` from the same lane
+    /// pass as `fill_ratios` so health sampling costs one scan per lane.
+    fn health(&self) -> cfd_telemetry::DetectorHealth {
+        let fills = self.fill_ratios();
+        let miss_all: f64 = fills
+            .iter()
+            .map(|fill| 1.0 - fill.powi(self.k_eff as i32))
+            .product();
+        cfd_telemetry::DetectorHealth {
+            detector: self.stats_name(),
+            fill_ratios: fills,
+            cleaning_backlog: self.cleaning_backlog(),
+            sweep_position: self.sweep_position(),
+            cleaned_entries: self.cleaned_entries(),
+            observed_elements: self.observed_elements(),
+            observed_duplicates: self.observed_duplicates(),
+            estimated_fp: 1.0 - miss_all,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cfd_windows::ExactTimeJumpingDedup;
 
     fn tgbf(q: usize, sub_units: u64, unit_ticks: u64, m: usize, k: usize) -> TimeGbf {
         TimeGbf::new(TimeGbfConfig::new(q, sub_units, unit_ticks, m, k, 13).unwrap()).unwrap()
+    }
+
+    fn blocked_tgbf(q: usize, sub_units: u64, unit_ticks: u64, m: usize, k: usize) -> TimeGbf {
+        let cfg = TimeGbfConfig::new(q, sub_units, unit_ticks, m, k, 13)
+            .unwrap()
+            .with_probe(ProbeLayout::Blocked)
+            .unwrap();
+        TimeGbf::new(cfg).unwrap()
+    }
+
+    /// The satellite-3 invariant: outside the active window, no lane may
+    /// hold a stale bit — retired lanes must be fully wiped before
+    /// reuse, and the in-flight spare must be clean up to its cursor.
+    fn assert_no_stale_bits(d: &TimeGbf, ctx: &str) {
+        for lane in 0..=d.cfg.q {
+            let active = d.active_mask[lane / 64] >> (lane % 64) & 1 == 1;
+            if active {
+                continue;
+            }
+            if Some(lane) == d.spare {
+                for g in 0..d.clean_next {
+                    assert!(
+                        !d.matrix.get(g, lane),
+                        "{ctx}: stale bit in wiped prefix of spare lane {lane} group {g}"
+                    );
+                }
+            } else {
+                assert_eq!(
+                    d.matrix.count_ones_in_lane(lane),
+                    0,
+                    "{ctx}: stale bits in inactive lane {lane}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -368,6 +825,7 @@ mod tests {
         // Gap far beyond (q+1) sub-windows.
         assert_eq!(d.observe_at(b"a", 100_000), Verdict::Distinct);
         assert_eq!(d.observe_at(b"b", 100_010), Verdict::Distinct);
+        assert_no_stale_bits(&d, "after quiet gap");
     }
 
     #[test]
@@ -401,6 +859,41 @@ mod tests {
     }
 
     #[test]
+    fn arbitrary_jumps_leave_no_stale_bits() {
+        // m = 1000 is NOT a multiple of sub_units = 7 (chunk = 143,
+        // 143 * 6 = 858 < 1000: the rotation-unit wipe_finish must cover
+        // the 142-group remainder). Jump patterns cover: intra-unit,
+        // single-unit, multi-unit within a sub-window, jumps spanning
+        // 1..several rotations, and jumps just below the quiet-gap
+        // threshold.
+        let jumps: [u64; 12] = [0, 1, 3, 6, 7, 8, 13, 14, 20, 27, 55, 27];
+        let mut d = tgbf(7, 7, 1, 1_000, 4);
+        let mut tick = 0u64;
+        let mut i = 0u64;
+        for round in 0..200u64 {
+            tick += jumps[(round % 12) as usize];
+            for _ in 0..5 {
+                i += 1;
+                d.observe_at(&i.to_le_bytes(), tick);
+            }
+            assert_no_stale_bits(&d, &format!("round {round} tick {tick}"));
+        }
+    }
+
+    #[test]
+    fn jumps_beyond_one_rotation_wipe_every_retired_lane() {
+        // Jump exactly q units (> R) repeatedly: several rotations per
+        // advance, so wipe_finish (not the per-unit chunks) must do the
+        // clearing.
+        let mut d = tgbf(5, 3, 1, 777, 4);
+        for step in 0..100u64 {
+            let tick = step * 5; // 5 units per observation = R + 2
+            d.observe_at(&step.to_le_bytes(), tick);
+            assert_no_stale_bits(&d, &format!("step {step}"));
+        }
+    }
+
+    #[test]
     fn dense_stream_no_false_negatives_within_coverage() {
         // Jumping-window guarantee: anything valid within the last q-1
         // FULL sub-windows plus the current one is flagged.
@@ -414,10 +907,41 @@ mod tests {
     }
 
     #[test]
-    fn out_of_order_ticks_clamped() {
+    fn zero_false_negatives_vs_exact_timed_oracle() {
+        let mut d = tgbf(4, 8, 10, 1 << 14, 6);
+        let mut oracle = ExactTimeJumpingDedup::new(4, 8, 10);
+        let mut tick = 0u64;
+        for i in 0..30_000u64 {
+            tick += match i % 7 {
+                0 => 0,
+                1 | 2 => 3,
+                3 => 17,
+                4 => 1,
+                5 => 25,
+                _ => 6,
+            };
+            let key = (i % 61).to_le_bytes();
+            let got = d.observe_at(&key, tick);
+            let want = oracle.observe_at(&key, tick);
+            if want == Verdict::Duplicate {
+                assert_eq!(
+                    got,
+                    Verdict::Duplicate,
+                    "false negative at i={i} tick={tick}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_ticks_clamped_and_counted() {
         let mut d = tgbf(4, 10, 100, 1 << 12, 5);
         d.observe_at(b"a", 50_000);
+        assert_eq!(d.ops().clock_regressions, 0);
         assert_eq!(d.observe_at(b"a", 10), Verdict::Duplicate);
+        assert_eq!(d.ops().clock_regressions, 1);
+        d.observe_at(b"fresh", 51_000);
+        assert_eq!(d.ops().clock_regressions, 1);
     }
 
     #[test]
@@ -429,6 +953,132 @@ mod tests {
         let cfg = TimeGbfConfig::new(6, 10, 1000, 1 << 10, 4, 0).unwrap();
         assert_eq!(cfg.window_ticks(), 60_000);
         assert_eq!(cfg.clean_chunk(), (1 << 10) / 10 + 1);
+    }
+
+    #[test]
+    fn config_rejects_overflowing_windows() {
+        // Q * R * unit_ticks overflows.
+        let err = TimeGbfConfig::new(1 << 22, 1 << 22, 1 << 22, 8, 3, 0).unwrap_err();
+        assert!(matches!(err, ConfigError::ArithmeticOverflow { .. }));
+        // (Q + 1) * R overflows even with unit_ticks = 1... requires a
+        // huge Q times huge R whose triple product with 1 also
+        // overflows, so the span check fires; either way it must err.
+        assert!(TimeGbfConfig::new(usize::MAX, u64::MAX, 1, 8, 3, 0).is_err());
+    }
+
+    #[test]
+    fn ticks_near_u64_max_are_classified_correctly() {
+        let mut d = tgbf(4, 4, 1, 1 << 12, 5);
+        let base = u64::MAX - 40;
+        assert_eq!(d.observe_at(b"edge", base), Verdict::Distinct);
+        assert_eq!(d.observe_at(b"edge", base + 10), Verdict::Duplicate);
+        // Past q full sub-windows: expired.
+        assert_eq!(d.observe_at(b"edge", base + 24), Verdict::Distinct);
+        assert_eq!(d.observe_at(b"last", u64::MAX), Verdict::Distinct);
+        assert_eq!(d.observe_at(b"last", u64::MAX), Verdict::Duplicate);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let ids: Vec<Vec<u8>> = (0..6_000u64)
+            .map(|i| (i % 700).to_le_bytes().to_vec())
+            .collect();
+        let slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let ticks: Vec<u64> = (0..6_000u64).map(|i| i * 3 / 2).collect();
+        let mut sequential = tgbf(6, 32, 40, 1 << 14, 6);
+        let mut batched = tgbf(6, 32, 40, 1 << 14, 6);
+        let want: Vec<Verdict> = slices
+            .iter()
+            .zip(&ticks)
+            .map(|(id, &t)| sequential.observe_at(id, t))
+            .collect();
+        let mut got = Vec::new();
+        for (chunk, tchunk) in slices.chunks(513).zip(ticks.chunks(513)) {
+            got.extend(batched.observe_batch_at(chunk, tchunk));
+        }
+        assert_eq!(got, want);
+        // Counter parity: the amortized clock cache must not change any
+        // accounting, including clamp events.
+        assert_eq!(batched.ops(), sequential.ops());
+    }
+
+    #[test]
+    fn flat_keys_match_slice_batch() {
+        let keys: Vec<[u8; 8]> = (0..4_000u64).map(|i| (i % 311).to_le_bytes()).collect();
+        let flat: Vec<u8> = keys.iter().flatten().copied().collect();
+        let slices: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let ticks: Vec<u64> = (0..4_000u64).map(|i| i / 2).collect();
+        let mut by_slices = tgbf(5, 16, 16, 1 << 14, 6);
+        let mut by_flat = tgbf(5, 16, 16, 1 << 14, 6);
+        let want = by_slices.observe_batch_at(&slices, &ticks);
+        let mut got = Vec::new();
+        by_flat.observe_flat_at_into(&flat, 8, &ticks, &mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn batch_counts_regressions_like_sequential() {
+        let mut seq = tgbf(4, 10, 10, 1 << 12, 4);
+        let mut bat = tgbf(4, 10, 10, 1 << 12, 4);
+        let ids: Vec<Vec<u8>> = (0..6u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let ticks = [500u64, 40, 41, 700, 10, 900];
+        for (id, &t) in slices.iter().zip(&ticks) {
+            seq.observe_at(id, t);
+        }
+        bat.observe_batch_at(&slices, &ticks);
+        assert_eq!(seq.ops().clock_regressions, 3);
+        assert_eq!(bat.ops(), seq.ops());
+    }
+
+    #[test]
+    fn blocked_mode_matches_oracle_and_caps_k() {
+        let mut d = blocked_tgbf(4, 8, 10, 1 << 14, 10);
+        // 64-bit group stride -> 8 slots per line -> k capped at 4.
+        assert_eq!(d.effective_hash_count(), 4);
+        let mut oracle = ExactTimeJumpingDedup::new(4, 8, 10);
+        let mut tick = 0u64;
+        for i in 0..20_000u64 {
+            tick += i % 5;
+            let key = (i % 53).to_le_bytes();
+            let got = d.observe_at(&key, tick);
+            let want = oracle.observe_at(&key, tick);
+            if want == Verdict::Duplicate {
+                assert_eq!(got, Verdict::Duplicate, "blocked FN at i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_batch_matches_blocked_sequential() {
+        let ids: Vec<Vec<u8>> = (0..5_000u64)
+            .map(|i| (i % 600).to_le_bytes().to_vec())
+            .collect();
+        let slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let ticks: Vec<u64> = (0..5_000u64).map(|i| i * 2).collect();
+        let mut sequential = blocked_tgbf(6, 32, 40, 1 << 14, 6);
+        let mut batched = blocked_tgbf(6, 32, 40, 1 << 14, 6);
+        let want: Vec<Verdict> = slices
+            .iter()
+            .zip(&ticks)
+            .map(|(id, &t)| sequential.observe_at(id, t))
+            .collect();
+        let got = batched.observe_batch_at(&slices, &ticks);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn occupancy_scans_count_lane_passes_only() {
+        let mut d = tgbf(4, 8, 10, 1 << 12, 5);
+        let ids: Vec<Vec<u8>> = (0..500u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let ticks: Vec<u64> = (0..500u64).collect();
+        d.observe_batch_at(&slices, &ticks);
+        assert_eq!(d.occupancy_scans(), 0, "hot path must not scan");
+        let lanes = d.fill_ratios().len() as u64;
+        assert_eq!(d.occupancy_scans(), lanes);
+        let _ = d.health();
+        assert_eq!(d.occupancy_scans(), 2 * lanes);
     }
 
     #[test]

@@ -66,9 +66,9 @@ pub use config::{
     ConfigError, GbfConfig, GbfConfigBuilder, GbfLayout, ProbeLayout, TbfConfig, TbfConfigBuilder,
 };
 pub use gbf::Gbf;
-pub use gbf_time::TimeGbf;
+pub use gbf_time::{TimeGbf, TimeGbfConfig};
 pub use ops::OpCounters;
-pub use sharded::{PlannedDetector, ShardRouter, ShardedDetector};
+pub use sharded::{PlannedDetector, ShardRouter, ShardedDetector, TimedPlannedDetector};
 pub use tbf::Tbf;
 pub use tbf_jumping::JumpingTbf;
-pub use tbf_time::TimeTbf;
+pub use tbf_time::{TimeTbf, TimeTbfConfig};

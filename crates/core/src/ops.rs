@@ -32,6 +32,12 @@ pub struct OpCounters {
     pub hash_evals: u64,
     /// Elements processed.
     pub elements: u64,
+    /// Observations whose tick mapped to a unit *behind* the detector's
+    /// high-water unit. Time-based detectors clamp such clicks to the
+    /// current unit (the clock never moves backwards) and count the
+    /// event here so operators can see how out-of-order the feed is.
+    /// Always 0 for count-based detectors.
+    pub clock_regressions: u64,
 }
 
 impl OpCounters {
@@ -82,6 +88,7 @@ impl AddAssign for OpCounters {
         self.clean_writes += rhs.clean_writes;
         self.hash_evals += rhs.hash_evals;
         self.elements += rhs.elements;
+        self.clock_regressions += rhs.clock_regressions;
     }
 }
 
@@ -115,10 +122,12 @@ mod tests {
             clean_writes: 4,
             hash_evals: 5,
             elements: 6,
+            clock_regressions: 7,
         };
         a += a;
         assert_eq!(a.probe_reads, 2);
         assert_eq!(a.elements, 12);
+        assert_eq!(a.clock_regressions, 14);
         a.reset();
         assert_eq!(a, OpCounters::default());
     }
@@ -132,6 +141,7 @@ mod tests {
             clean_writes: 1,
             hash_evals: 3,
             elements: 3,
+            clock_regressions: 0,
         };
         let total = OpCounters::merged([shard, shard, OpCounters::default()]);
         assert_eq!(total.probe_reads, 14);

@@ -24,7 +24,7 @@
 use crate::config::ConfigError;
 use cfd_hash::{DoubleHashFamily, HashFamily, HashPair, Planner, ProbePlan};
 use cfd_telemetry::{DetectorHealth, DetectorStats};
-use cfd_windows::{DuplicateDetector, Verdict, WindowSpec};
+use cfd_windows::{DuplicateDetector, TimedDuplicateDetector, Verdict, WindowSpec};
 
 /// Routes ids to shards by the high bits of an independent hash.
 ///
@@ -191,6 +191,54 @@ impl PlannedDetector for crate::tbf_jumping::JumpingTbf {
     }
 }
 
+/// The timed counterpart of [`PlannedDetector`]: a time-based detector
+/// whose hashing half is a [`Planner`], so the sharded hash-once path
+/// can route and probe from one hash per click while threading each
+/// click's tick through to the stateful replay.
+pub trait TimedPlannedDetector: TimedDuplicateDetector {
+    /// The pure hashing half; plans are only portable between detectors
+    /// sharing its seed.
+    fn probe_planner(&self) -> Planner;
+
+    /// Replays one plan at `tick`
+    /// (`observe_at(id, t)` ≡ `apply_plan_at(probe_planner().plan(id), t)`).
+    fn apply_plan_at(&mut self, plan: ProbePlan, tick: u64) -> Verdict;
+
+    /// Replays a batch of plans with their ticks, preserving order;
+    /// implementations override this with a prefetching replay.
+    fn apply_plan_batch_at(&mut self, plans: &[ProbePlan], ticks: &[u64]) -> Vec<Verdict> {
+        plans
+            .iter()
+            .zip(ticks)
+            .map(|(&p, &t)| self.apply_plan_at(p, t))
+            .collect()
+    }
+}
+
+impl TimedPlannedDetector for crate::TimeTbf {
+    fn probe_planner(&self) -> Planner {
+        self.planner()
+    }
+    fn apply_plan_at(&mut self, plan: ProbePlan, tick: u64) -> Verdict {
+        self.apply_at(plan, tick)
+    }
+    fn apply_plan_batch_at(&mut self, plans: &[ProbePlan], ticks: &[u64]) -> Vec<Verdict> {
+        self.apply_batch_at(plans, ticks)
+    }
+}
+
+impl TimedPlannedDetector for crate::TimeGbf {
+    fn probe_planner(&self) -> Planner {
+        self.planner()
+    }
+    fn apply_plan_at(&mut self, plan: ProbePlan, tick: u64) -> Verdict {
+        self.apply_at(plan, tick)
+    }
+    fn apply_plan_batch_at(&mut self, plans: &[ProbePlan], ticks: &[u64]) -> Vec<Verdict> {
+        self.apply_batch_at(plans, ticks)
+    }
+}
+
 /// The per-shard count window implementing the `N/S` sizing rule.
 ///
 /// Clamped to 2 so every shard remains a valid sliding-window detector
@@ -228,7 +276,7 @@ pub struct ShardedDetector<D> {
     shards: Vec<D>,
 }
 
-impl<D: DuplicateDetector> ShardedDetector<D> {
+impl<D> ShardedDetector<D> {
     /// Wraps pre-built shard detectors (one per shard, keyspace-routed).
     ///
     /// # Errors
@@ -350,6 +398,129 @@ impl<D: PlannedDetector> ShardedDetector<D> {
                 v
             })
             .collect()
+    }
+}
+
+impl<D: TimedPlannedDetector> ShardedDetector<D> {
+    /// Whether every timed shard's probe family matches the router's
+    /// (see [`ShardedDetector::hash_once_aligned`]).
+    #[must_use]
+    pub fn timed_hash_once_aligned(&self) -> bool {
+        let seed = self.router.probe_seed();
+        self.shards.iter().all(|s| s.probe_planner().seed() == seed)
+    }
+
+    /// [`TimedDuplicateDetector::observe_batch_at`] hashing each id
+    /// exactly once: the router pair doubles as the probe plan, and each
+    /// click's tick rides along into its shard's bucket so per-shard
+    /// clock order is exactly what sequential `observe_at` calls would
+    /// produce. Falls back to the two-hash path on misaligned shards.
+    pub fn observe_batch_hash_once_at(&mut self, ids: &[&[u8]], ticks: &[u64]) -> Vec<Verdict> {
+        assert_eq!(ids.len(), ticks.len(), "one tick per id");
+        if !self.timed_hash_once_aligned() {
+            return self.observe_batch_at(ids, ticks);
+        }
+        let planner = self.router.planner();
+        if self.shards.len() == 1 {
+            let plans: Vec<ProbePlan> = ids.iter().map(|id| planner.plan(id)).collect();
+            return self.shards[0].apply_plan_batch_at(&plans, ticks);
+        }
+        let shard_count = self.shards.len();
+        let cap = ids.len() / shard_count + 1;
+        let mut plan_buckets: Vec<Vec<ProbePlan>> = vec![Vec::with_capacity(cap); shard_count];
+        let mut tick_buckets: Vec<Vec<u64>> = vec![Vec::with_capacity(cap); shard_count];
+        let mut routes = Vec::with_capacity(ids.len());
+        for (id, &tick) in ids.iter().zip(ticks) {
+            let plan = planner.plan(id);
+            let shard = self.router.route_pair(plan.pair());
+            plan_buckets[shard].push(plan);
+            tick_buckets[shard].push(tick);
+            routes.push(shard);
+        }
+        let verdicts: Vec<Vec<Verdict>> = plan_buckets
+            .iter()
+            .zip(&tick_buckets)
+            .zip(&mut self.shards)
+            .map(|((plans, ticks), shard)| shard.apply_plan_batch_at(plans, ticks))
+            .collect();
+        let mut cursor = vec![0usize; shard_count];
+        routes
+            .into_iter()
+            .map(|shard| {
+                let v = verdicts[shard][cursor[shard]];
+                cursor[shard] += 1;
+                v
+            })
+            .collect()
+    }
+}
+
+/// Timed composition: routing is tick-blind (by id only), and every
+/// shard advances its clock from its *own* clicks' ticks. All shards
+/// share wall clock, so — unlike count windows — the per-shard window
+/// semantics equal the global ones and no `N/S` rescaling applies.
+impl<D: TimedDuplicateDetector> TimedDuplicateDetector for ShardedDetector<D> {
+    fn observe_at(&mut self, id: &[u8], tick: u64) -> Verdict {
+        let shard = self.router.route(id);
+        self.shards[shard].observe_at(id, tick)
+    }
+
+    fn observe_batch_at_into(&mut self, ids: &[&[u8]], ticks: &[u64], out: &mut Vec<Verdict>) {
+        assert_eq!(ids.len(), ticks.len(), "one tick per id");
+        out.clear();
+        if self.shards.len() == 1 {
+            self.shards[0].observe_batch_at_into(ids, ticks, out);
+            return;
+        }
+        // Same bucket/replay/gather scheme as the count-based
+        // `observe_batch`, with each click's tick riding in a parallel
+        // per-shard bucket.
+        let shard_count = self.shards.len();
+        let cap = ids.len() / shard_count + 1;
+        let mut id_buckets: Vec<Vec<&[u8]>> = vec![Vec::with_capacity(cap); shard_count];
+        let mut tick_buckets: Vec<Vec<u64>> = vec![Vec::with_capacity(cap); shard_count];
+        let mut routes = Vec::with_capacity(ids.len());
+        for (id, &tick) in ids.iter().zip(ticks) {
+            let shard = self.router.route(id);
+            id_buckets[shard].push(id);
+            tick_buckets[shard].push(tick);
+            routes.push(shard);
+        }
+        let verdicts: Vec<Vec<Verdict>> = id_buckets
+            .iter()
+            .zip(&tick_buckets)
+            .zip(&mut self.shards)
+            .map(|((bucket, ticks), shard)| shard.observe_batch_at(bucket, ticks))
+            .collect();
+        let mut cursor = vec![0usize; shard_count];
+        out.extend(routes.into_iter().map(|shard| {
+            let v = verdicts[shard][cursor[shard]];
+            cursor[shard] += 1;
+            v
+        }));
+    }
+
+    fn window(&self) -> WindowSpec {
+        // Time-based windows pass through unscaled: all shards share
+        // wall clock.
+        self.shards[0].window()
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.shards
+            .iter()
+            .map(TimedDuplicateDetector::memory_bits)
+            .sum()
+    }
+
+    fn reset(&mut self) {
+        for shard in &mut self.shards {
+            shard.reset();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded"
     }
 }
 
@@ -689,5 +860,120 @@ mod tests {
         assert_eq!(per_shard_window(10, 4), 3);
         assert_eq!(per_shard_window(1, 8), 2); // clamped for Tbf validity
         assert_eq!(per_shard_window(100, 1), 100);
+    }
+
+    // ---- time-based sharding -------------------------------------------
+
+    use crate::{TimeGbf, TimeGbfConfig, TimeTbf, TimeTbfConfig};
+    use cfd_windows::ExactTimeSlidingDedup;
+
+    fn sharded_time_tbf(seed: u64, shards: usize) -> ShardedDetector<TimeTbf> {
+        ShardedDetector::from_fn(seed, shards, |_| {
+            TimeTbf::new(TimeTbfConfig::new(32, 10, 1 << 12, 6, 21)?)
+        })
+        .expect("valid sharded time-tbf")
+    }
+
+    /// An irregular but mostly-monotone tick stream with occasional
+    /// regressions, plus a cyclic key so duplicates recur at many gaps.
+    fn timed_stream(len: u64) -> (Vec<Vec<u8>>, Vec<u64>) {
+        let mut tick = 0u64;
+        let mut ids = Vec::new();
+        let mut ticks = Vec::new();
+        for i in 0..len {
+            tick += (i * 7 + 3) % 11;
+            if i % 97 == 96 {
+                tick = tick.saturating_sub(25); // regressions exercise clamping
+            }
+            ids.push((i % 700).to_le_bytes().to_vec());
+            ticks.push(tick);
+        }
+        (ids, ticks)
+    }
+
+    #[test]
+    fn timed_sharded_batch_matches_sequential() {
+        let (ids, ticks) = timed_stream(6_000);
+        let id_slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let mut sequential = sharded_time_tbf(3, 4);
+        let mut batched = sharded_time_tbf(3, 4);
+        let want: Vec<Verdict> = id_slices
+            .iter()
+            .zip(&ticks)
+            .map(|(id, &t)| sequential.observe_at(id, t))
+            .collect();
+        let mut got = Vec::new();
+        for (idc, tc) in id_slices.chunks(97).zip(ticks.chunks(97)) {
+            got.extend(batched.observe_batch_at(idc, tc));
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn timed_sharded_zero_false_negatives_vs_global_oracle() {
+        // Time-based windows are shard-transparent: all shards share
+        // wall clock, so one *global* exact timed oracle is the ground
+        // truth (no per-shard rescaling, unlike count windows).
+        let mut d = sharded_time_tbf(7, 4);
+        let mut oracle = ExactTimeSlidingDedup::new(32, 10);
+        let (ids, ticks) = timed_stream(30_000);
+        for (i, (id, &t)) in ids.iter().zip(&ticks).enumerate() {
+            let got = d.observe_at(id, t);
+            if oracle.observe_at(id, t) == Verdict::Duplicate {
+                assert_eq!(got, Verdict::Duplicate, "false negative at element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn timed_hash_once_matches_generic_batch_when_aligned() {
+        let shards = 4;
+        let router = ShardRouter::new(3, shards).expect("router");
+        let seed = router.probe_seed();
+        let make = || {
+            ShardedDetector::from_fn(3, shards, |_| {
+                TimeGbf::new(TimeGbfConfig::new(6, 5, 10, 1 << 12, 4, seed)?)
+            })
+            .expect("valid sharded time-gbf")
+        };
+        let mut generic = make();
+        let mut hash_once = make();
+        assert!(hash_once.timed_hash_once_aligned());
+
+        let (ids, ticks) = timed_stream(6_000);
+        let id_slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let mut want = Vec::new();
+        let mut got = Vec::new();
+        for (idc, tc) in id_slices.chunks(97).zip(ticks.chunks(97)) {
+            want.extend(generic.observe_batch_at(idc, tc));
+            got.extend(hash_once.observe_batch_hash_once_at(idc, tc));
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn timed_hash_once_falls_back_when_misaligned() {
+        // Shards seeded independently of the router: the fast path must
+        // refuse the router family and match the generic path instead.
+        let mut a = sharded_time_tbf(5, 4);
+        let mut b = sharded_time_tbf(5, 4);
+        assert!(!a.timed_hash_once_aligned());
+        let (ids, ticks) = timed_stream(3_000);
+        let id_slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let want = a.observe_batch_at(&id_slices, &ticks);
+        let got = b.observe_batch_hash_once_at(&id_slices, &ticks);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn timed_window_passes_through_unscaled() {
+        let d = sharded_time_tbf(3, 4);
+        // 32 units of 10 ticks: the global window, not 4x it.
+        assert_eq!(
+            TimedDuplicateDetector::window(&d),
+            WindowSpec::TimeSliding { ticks: 320 }
+        );
+        let single = TimedDuplicateDetector::memory_bits(&d.shards()[0]);
+        assert_eq!(TimedDuplicateDetector::memory_bits(&d), single * 4);
     }
 }

@@ -14,14 +14,50 @@
 //! virtual "now" — byte-for-byte the schedule an on-time daemon would
 //! have produced. A gap of `R` or more units simply clears the table
 //! (everything is expired by then), bounding the replay cost.
+//!
+//! # Hot path
+//!
+//! The detector mirrors the count-based [`crate::Tbf`] split: hashing is
+//! pure ([`TimeTbf::plan`] / [`TimeTbf::planner`]) and the stateful half
+//! replays precomputed [`ProbePlan`]s. The batch entry points
+//! ([`TimeTbf::apply_batch_at_into`], `observe_batch_at`,
+//! `observe_flat_at_into`) hash the whole batch in one multi-lane pass,
+//! expand every plan's probe indices into one flat buffer, and replay
+//! with one-line-ahead prefetch. Clock work is amortized per batch: the
+//! unit index and wraparound stamp are recomputed only when a tick run
+//! crosses into a new unit, so a burst of clicks inside one unit pays
+//! the division and `advance_to` once.
+//!
+//! # Out-of-order ticks
+//!
+//! Time never moves backwards. A click whose tick maps to a unit behind
+//! the detector's high-water unit is *clamped*: it is classified and
+//! inserted as if it arrived in the current unit, and the event is
+//! counted in [`OpCounters::clock_regressions`] so operators can see how
+//! disordered the feed is. Clamping keeps the zero-false-negative
+//! guarantee one-sided: a late duplicate is still flagged, and a late
+//! distinct click can only be remembered slightly *longer* than its true
+//! window.
 
-use crate::config::ConfigError;
+use crate::config::{ConfigError, ProbeLayout};
 use crate::ops::OpCounters;
 use cfd_bits::words::bits_for_value;
 use cfd_bits::PackedIntVec;
-use cfd_hash::{DoubleHashFamily, HashFamily, Planner, ProbePlan};
+use cfd_hash::{BlockGeometry, DoubleHashFamily, HashFamily, Planner, ProbePlan};
+use cfd_telemetry::DetectorStats;
 use cfd_windows::time::UnitClock;
 use cfd_windows::{TimedDuplicateDetector, Verdict, WindowSpec};
+use std::cell::Cell;
+
+/// Dynamic [`TimeTbf`] state captured by a checkpoint.
+pub(crate) struct TimeTbfState {
+    /// Absolute high-water unit (`None` before the first observation).
+    pub cur_unit: Option<u64>,
+    /// Next entry index the incremental sweep will visit.
+    pub clean_next: usize,
+    /// Raw words of the packed entry table.
+    pub entry_words: Vec<u64>,
+}
 
 /// Configuration of a [`TimeTbf`] detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,14 +74,18 @@ pub struct TimeTbfConfig {
     pub c_units: u64,
     /// Hash seed.
     pub seed: u64,
+    /// Probe-index derivation scheme.
+    pub probe: ProbeLayout,
 }
 
 impl TimeTbfConfig {
-    /// Creates a validated configuration with the default `C = R`.
+    /// Creates a validated configuration with the default `C = R` and
+    /// scattered probing.
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] on zero dimensions or bad `k`.
+    /// Returns [`ConfigError`] on zero dimensions, bad `k`, or window
+    /// parameters whose products/sums overflow `u64`.
     pub fn new(
         window_units: u64,
         unit_ticks: u64,
@@ -60,15 +100,37 @@ impl TimeTbfConfig {
             k,
             c_units: window_units,
             seed,
+            probe: ProbeLayout::Scattered,
         };
         cfg.validate()?;
         Ok(cfg)
     }
 
-    /// The wraparound unit range (`R + C`).
+    /// Returns the configuration with the probe layout replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BlockedUnsupported`] when `Blocked` is
+    /// requested but the entry width / table shape cannot form blocks.
+    pub fn with_probe(mut self, probe: ProbeLayout) -> Result<Self, ConfigError> {
+        self.probe = probe;
+        if probe == ProbeLayout::Blocked && self.block_geometry().is_none() {
+            return Err(ConfigError::BlockedUnsupported {
+                slot_bits: self.entry_bits() as usize,
+                m: self.m,
+            });
+        }
+        Ok(self)
+    }
+
+    /// The wraparound unit range (`R + C`). Saturating: [`validate`]
+    /// rejects configurations where the true sum overflows, so a
+    /// saturated value is only ever seen on hand-built invalid configs.
+    ///
+    /// [`validate`]: TimeTbfConfig::new
     #[must_use]
     pub fn range(&self) -> u64 {
-        self.window_units + self.c_units
+        self.window_units.saturating_add(self.c_units)
     }
 
     /// Bits per entry (`⌈log2(R + C + 1)⌉`, all-ones reserved as empty).
@@ -77,11 +139,28 @@ impl TimeTbfConfig {
         bits_for_value(self.range())
     }
 
+    /// The cache-line block geometry, when `probe` is blocked.
+    #[must_use]
+    pub fn block_geometry(&self) -> Option<BlockGeometry> {
+        match self.probe {
+            ProbeLayout::Scattered => None,
+            ProbeLayout::Blocked => BlockGeometry::for_line(self.m, self.entry_bits() as usize),
+        }
+    }
+
+    /// The window span in ticks (`R × unit_ticks`). Saturating, like
+    /// [`TimeTbfConfig::range`].
+    #[must_use]
+    pub fn window_ticks(&self) -> u64 {
+        self.window_units.saturating_mul(self.unit_ticks)
+    }
+
     /// Entries swept per *time unit* (`⌈m / C⌉`): the cleanable band of
     /// an entry spans `C` units, so one full table cycle fits inside it.
     #[must_use]
     pub fn clean_chunk(&self) -> usize {
-        self.m.div_ceil(self.c_units.max(1) as usize)
+        self.m
+            .div_ceil(usize::try_from(self.c_units.max(1)).unwrap_or(usize::MAX))
     }
 
     fn validate(&self) -> Result<(), ConfigError> {
@@ -96,6 +175,16 @@ impl TimeTbfConfig {
         }
         if !(1..=64).contains(&self.k) {
             return Err(ConfigError::BadHashCount(self.k));
+        }
+        if self.window_units.checked_add(self.c_units).is_none() {
+            return Err(ConfigError::ArithmeticOverflow {
+                what: "unit range R + C",
+            });
+        }
+        if self.window_units.checked_mul(self.unit_ticks).is_none() {
+            return Err(ConfigError::ArithmeticOverflow {
+                what: "window span R * unit_ticks",
+            });
         }
         Ok(())
     }
@@ -131,6 +220,16 @@ pub struct TimeTbf {
     empty: u64,
     ops: OpCounters,
     probe_buf: Vec<usize>,
+    batch_buf: Vec<usize>,
+    plan_buf: Vec<ProbePlan>,
+    /// Blocked-probe geometry; `None` in scattered mode.
+    geo: Option<BlockGeometry>,
+    /// Probes actually issued per element: `k` scattered, capped at
+    /// half the block in blocked mode (see [`crate::Gbf`]).
+    k_eff: usize,
+    /// `O(m)` occupancy scans performed (snapshot-cadence only; see
+    /// `DetectorStats::occupancy_scans`).
+    scans: Cell<u64>,
 }
 
 impl TimeTbf {
@@ -141,6 +240,19 @@ impl TimeTbf {
     /// Returns [`ConfigError`] if the configuration is inconsistent.
     pub fn new(cfg: TimeTbfConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
+        let geo = match cfg.probe {
+            ProbeLayout::Scattered => None,
+            ProbeLayout::Blocked => Some(cfg.block_geometry().ok_or(
+                ConfigError::BlockedUnsupported {
+                    slot_bits: cfg.entry_bits() as usize,
+                    m: cfg.m,
+                },
+            )?),
+        };
+        let k_eff = match &geo {
+            Some(g) => cfg.k.min(g.slots() / 2).max(1),
+            None => cfg.k,
+        };
         let entries = PackedIntVec::new_all_ones(cfg.m, cfg.entry_bits());
         let empty = entries.max_value();
         Ok(Self {
@@ -151,7 +263,12 @@ impl TimeTbf {
             clean_chunk: cfg.clean_chunk(),
             empty,
             ops: OpCounters::new(),
-            probe_buf: vec![0; cfg.k],
+            probe_buf: vec![0; k_eff],
+            batch_buf: Vec::new(),
+            plan_buf: Vec::new(),
+            geo,
+            k_eff,
+            scans: Cell::new(0),
             entries,
             cfg,
         })
@@ -169,44 +286,119 @@ impl TimeTbf {
         self.ops
     }
 
-    /// Unit age of stamp `e` as seen from absolute unit `abs_now`
-    /// (0 = written this unit).
+    /// Probes issued per element: `k` in scattered mode, `min(k,
+    /// slots/2)` in blocked mode (saturation cap; see [`crate::Gbf`]).
+    #[must_use]
+    pub fn effective_hash_count(&self) -> usize {
+        self.k_eff
+    }
+
+    /// Number of entries holding an *active* stamp — occupied and within
+    /// the window as seen from the high-water unit (diagnostics;
+    /// `O(m)`). Only active entries can satisfy a probe, so this is the
+    /// occupancy that drives the false-positive rate.
+    #[must_use]
+    pub fn active_entries(&self) -> usize {
+        self.scans.set(self.scans.get() + 1);
+        let Some(now) = self.cur_unit else {
+            return 0;
+        };
+        let now_mod = now % self.cfg.range();
+        (0..self.cfg.m)
+            .filter(|&i| {
+                let e = self.entries.get(i);
+                e != self.empty && self.is_active_mod(now_mod, e)
+            })
+            .count()
+    }
+
+    /// Internal state snapshot for checkpointing.
+    pub(crate) fn checkpoint_parts(&self) -> (TimeTbfConfig, TimeTbfState) {
+        (
+            self.cfg,
+            TimeTbfState {
+                cur_unit: self.cur_unit,
+                clean_next: self.clean_next,
+                entry_words: self.entries.as_words().to_vec(),
+            },
+        )
+    }
+
+    /// Rebuilds a detector from checkpoint parts; `None` if inconsistent.
+    pub(crate) fn from_checkpoint_parts(cfg: TimeTbfConfig, state: TimeTbfState) -> Option<Self> {
+        // Size-check against the provided payload BEFORE allocating: a
+        // corrupt header could otherwise request an absurd table.
+        let expected_words = cfg.m.checked_mul(cfg.entry_bits() as usize)?.div_ceil(64);
+        if state.entry_words.len() != expected_words || state.clean_next >= cfg.m {
+            return None;
+        }
+        let mut d = Self::new(cfg).ok()?;
+        d.cur_unit = state.cur_unit;
+        d.clean_next = state.clean_next;
+        d.entries = PackedIntVec::from_words(state.entry_words, cfg.m, cfg.entry_bits())?;
+        Some(d)
+    }
+
+    /// Unit age of the stamp `e` as seen from `now_mod = abs_now %
+    /// range` (0 = written this unit). The caller hoists the modulo:
+    /// probe and sweep loops evaluate many stamps against one clock
+    /// position, and a 64-bit division per stamp would dominate them.
     #[inline]
-    fn unit_age(&self, abs_now: u64, e: u64) -> u64 {
-        let range = self.cfg.range();
-        let now = abs_now % range;
-        if now >= e {
-            now - e
+    fn unit_age_mod(&self, now_mod: u64, e: u64) -> u64 {
+        if now_mod >= e {
+            now_mod - e
         } else {
-            range - e + now
+            self.cfg.range() - e + now_mod
         }
     }
 
     #[inline]
-    fn is_active(&self, abs_now: u64, e: u64) -> bool {
-        self.unit_age(abs_now, e) < self.cfg.window_units
+    fn is_active_mod(&self, now_mod: u64, e: u64) -> bool {
+        self.unit_age_mod(now_mod, e) < self.cfg.window_units
     }
 
     /// One unit's worth of the cleaning daemon, evaluated at virtual unit
-    /// `abs_unit`.
+    /// `abs_unit`. Runs on the word-cached
+    /// [`PackedIntVec::update_range`] fast path with the wraparound
+    /// clock position computed once per sweep — at production sizings
+    /// the sweep visits several entries per arriving click, so its
+    /// per-entry cost bounds detector throughput.
     fn sweep_one_unit(&mut self, abs_unit: u64) {
         let m = self.cfg.m;
-        for _ in 0..self.clean_chunk {
-            let i = self.clean_next;
-            self.clean_next += 1;
+        let range = self.cfg.range();
+        let window = self.cfg.window_units;
+        let now_mod = abs_unit % range;
+        let empty = self.empty;
+        let mut remaining = self.clean_chunk;
+        while remaining > 0 {
+            let start = self.clean_next;
+            let seg = remaining.min(m - start);
+            let cleaned = self.entries.update_range(start, seg, |e| {
+                if e == empty {
+                    return None;
+                }
+                let age = if now_mod >= e {
+                    now_mod - e
+                } else {
+                    range - e + now_mod
+                };
+                (age >= window).then_some(empty)
+            });
+            self.ops.clean_reads += seg as u64;
+            self.ops.clean_writes += cleaned as u64;
+            self.clean_next += seg;
             if self.clean_next == m {
                 self.clean_next = 0;
             }
-            let e = self.entries.get(i);
-            self.ops.clean_reads += 1;
-            if e != self.empty && !self.is_active(abs_unit, e) {
-                self.entries.set(i, self.empty);
-                self.ops.clean_writes += 1;
-            }
+            remaining -= seg;
         }
     }
 
     /// Advances the clock to `unit`, replaying skipped units' sweeps.
+    ///
+    /// Out-of-order policy: a unit behind the high-water mark is clamped
+    /// to it (time never moves backwards) and the event is counted in
+    /// [`OpCounters::clock_regressions`].
     fn advance_to(&mut self, unit: u64) -> u64 {
         let last = match self.cur_unit {
             None => {
@@ -215,9 +407,15 @@ impl TimeTbf {
             }
             Some(last) => last,
         };
-        // One-pass streams may deliver slightly out-of-order ticks; clamp
-        // them to the current unit rather than moving time backwards.
-        let unit = unit.max(last);
+        if unit <= last {
+            if unit < last {
+                self.ops.clock_regressions += 1;
+            }
+            // `unit == last` is the common same-unit case: nothing to
+            // sweep, and skipping it keeps `last + 1` below from
+            // overflowing when the clock sits at `u64::MAX`.
+            return last;
+        }
         let crossed = unit - last;
         if crossed >= self.cfg.window_units {
             // Everything written before the gap is expired: clearing the
@@ -247,22 +445,133 @@ impl TimeTbf {
         ProbePlan::from_pair(self.family.pair(id))
     }
 
+    /// Expands a plan into probe indices under the configured layout.
+    #[inline]
+    fn fill_probes(geo: Option<&BlockGeometry>, m: usize, plan: ProbePlan, out: &mut [usize]) {
+        match geo {
+            Some(g) => plan.fill_blocked(g, out),
+            None => plan.fill(m, out),
+        }
+    }
+
     /// The stateful half of a timed observation; `observe_at(id, tick)` ≡
     /// `apply_at(plan(id), tick)`. The hash evaluation is accounted to
     /// this element regardless of where it was computed.
     pub fn apply_at(&mut self, plan: ProbePlan, tick: u64) -> Verdict {
-        self.ops.elements += 1;
-        self.ops.hash_evals += 1;
+        let mut probes = std::mem::take(&mut self.probe_buf);
+        Self::fill_probes(self.geo.as_ref(), self.cfg.m, plan, &mut probes);
         let unit = self.advance_to(self.units.unit_of(tick));
         let stamp_now = unit % self.cfg.range();
+        let verdict = self.probe_insert(&probes, stamp_now);
+        self.probe_buf = probes;
+        verdict
+    }
 
-        plan.fill(self.cfg.m, &mut self.probe_buf);
+    /// Replays a batch of precomputed plans, one tick per plan, with the
+    /// same lookahead prefetch as `observe_batch_at` — the stateful half
+    /// of the sharded hash-once path.
+    ///
+    /// # Panics
+    /// Panics if `plans.len() != ticks.len()`.
+    pub fn apply_batch_at(&mut self, plans: &[ProbePlan], ticks: &[u64]) -> Vec<Verdict> {
+        let mut out = Vec::with_capacity(plans.len());
+        self.apply_batch_at_into(plans, ticks, &mut out);
+        out
+    }
 
+    /// Allocation-free [`TimeTbf::apply_batch_at`]: verdicts go into
+    /// `out` (cleared first, capacity reused).
+    ///
+    /// # Panics
+    /// Panics if `plans.len() != ticks.len()`.
+    pub fn apply_batch_at_into(
+        &mut self,
+        plans: &[ProbePlan],
+        ticks: &[u64],
+        out: &mut Vec<Verdict>,
+    ) {
+        assert_eq!(plans.len(), ticks.len(), "one tick per plan");
+        let probes = self.expand_plans(plans);
+        self.replay_at_into(probes, ticks, out);
+    }
+
+    /// Expands every plan's probe indices into the recycled flat
+    /// `batch_buf` (`k_eff` indices per element); the buffer is handed
+    /// back by [`TimeTbf::replay_at_into`].
+    fn expand_plans(&mut self, plans: &[ProbePlan]) -> Vec<usize> {
+        let k = self.k_eff;
+        let mut probes = std::mem::take(&mut self.batch_buf);
+        probes.clear();
+        probes.resize(plans.len() * k, 0);
+        for (plan, slot) in plans.iter().zip(probes.chunks_exact_mut(k)) {
+            Self::fill_probes(self.geo.as_ref(), self.cfg.m, *plan, slot);
+        }
+        probes
+    }
+
+    /// Applies a flat buffer of expanded probe indices (`k_eff` per
+    /// element) with the elements' ticks, prefetching element
+    /// `i + PREFETCH_AHEAD`'s cache lines while element `i` is
+    /// processed. Clock work is amortized over tick runs: `advance_to`
+    /// and the wraparound stamp are recomputed only when an element's
+    /// unit differs from its predecessor's. Returns the buffer to
+    /// `batch_buf`; verdicts go into `out` (cleared first).
+    fn replay_at_into(&mut self, probes: Vec<usize>, ticks: &[u64], out: &mut Vec<Verdict>) {
+        const PREFETCH_AHEAD: usize = 8;
+        let k = self.k_eff;
+        let blocked = self.geo.is_some();
+        out.clear();
+        // Per-run clock cache: (raw unit, stamp, whether the run is
+        // clamped). `advance_to` is only consulted when the raw unit
+        // changes; clamped runs still count one regression per element
+        // to match the sequential path.
+        let mut run: Option<(u64, u64, bool)> = None;
+        let mut ahead = probes.chunks_exact(k).skip(PREFETCH_AHEAD);
+        for (slot, &tick) in probes.chunks_exact(k).zip(ticks) {
+            if let Some(next) = ahead.next() {
+                if blocked {
+                    self.entries.prefetch(next[0]);
+                } else {
+                    for &j in next {
+                        self.entries.prefetch(j);
+                    }
+                }
+            }
+            let raw = self.units.unit_of(tick);
+            let stamp_now = match run {
+                Some((r, stamp, clamped)) if r == raw => {
+                    if clamped {
+                        self.ops.clock_regressions += 1;
+                    }
+                    stamp
+                }
+                _ => {
+                    let high_water = self.cur_unit;
+                    let unit = self.advance_to(raw);
+                    let clamped = high_water.is_some_and(|h| raw < h);
+                    let stamp = unit % self.cfg.range();
+                    run = Some((raw, stamp, clamped));
+                    stamp
+                }
+            };
+            out.push(self.probe_insert(slot, stamp_now));
+        }
+        self.batch_buf = probes;
+    }
+
+    /// [`TimeTbf::apply_at`] with the plan's probe indices already
+    /// expanded and the clock already advanced — the innermost stateful
+    /// step, shared by the per-click and batch paths. `stamp_now` is
+    /// `unit % range`, so activity checks reuse it instead of dividing
+    /// per probe.
+    fn probe_insert(&mut self, probes: &[usize], stamp_now: u64) -> Verdict {
+        self.ops.elements += 1;
+        self.ops.hash_evals += 1;
         let mut present_and_active = true;
-        for &i in &self.probe_buf {
+        for &i in probes {
             let e = self.entries.get(i);
             self.ops.probe_reads += 1;
-            if e == self.empty || !self.is_active(unit, e) {
+            if e == self.empty || !self.is_active_mod(stamp_now, e) {
                 present_and_active = false;
                 break;
             }
@@ -271,10 +580,10 @@ impl TimeTbf {
         if present_and_active {
             Verdict::Duplicate
         } else {
-            for &i in &self.probe_buf {
+            for &i in probes {
                 self.entries.set(i, stamp_now);
             }
-            self.ops.insert_writes += self.probe_buf.len() as u64;
+            self.ops.insert_writes += probes.len() as u64;
             Verdict::Distinct
         }
     }
@@ -286,9 +595,38 @@ impl TimedDuplicateDetector for TimeTbf {
         self.apply_at(plan, tick)
     }
 
+    fn observe_batch_at_into(&mut self, ids: &[&[u8]], ticks: &[u64], out: &mut Vec<Verdict>) {
+        assert_eq!(ids.len(), ticks.len(), "one tick per id");
+        // Hash the whole batch first (pure, multi-lane over equal-length
+        // runs), expand to one flat probe buffer, then replay against
+        // filter state with lookahead prefetch — the same latency-hiding
+        // schedule as `Tbf::observe_batch`.
+        let mut plans = std::mem::take(&mut self.plan_buf);
+        self.planner().plan_refs_into(ids, &mut plans);
+        let probes = self.expand_plans(&plans);
+        self.plan_buf = plans;
+        self.replay_at_into(probes, ticks, out);
+    }
+
+    fn observe_flat_at_into(
+        &mut self,
+        keys: &[u8],
+        key_len: usize,
+        ticks: &[u64],
+        out: &mut Vec<Verdict>,
+    ) {
+        assert!(key_len > 0, "key_len must be non-zero");
+        assert_eq!(keys.len() / key_len.max(1), ticks.len(), "one tick per key");
+        let mut plans = std::mem::take(&mut self.plan_buf);
+        self.planner().plan_flat_into(keys, key_len, &mut plans);
+        let probes = self.expand_plans(&plans);
+        self.plan_buf = plans;
+        self.replay_at_into(probes, ticks, out);
+    }
+
     fn window(&self) -> WindowSpec {
         WindowSpec::TimeSliding {
-            ticks: self.cfg.window_units * self.cfg.unit_ticks,
+            ticks: self.cfg.window_ticks(),
         }
     }
 
@@ -305,56 +643,78 @@ impl TimedDuplicateDetector for TimeTbf {
     }
 }
 
+impl DetectorStats for TimeTbf {
+    fn stats_name(&self) -> &'static str {
+        "time-tbf"
+    }
+
+    /// One entry: the active-stamp occupancy ratio (`O(m)`).
+    fn fill_ratios(&self) -> Vec<f64> {
+        vec![self.active_entries() as f64 / self.cfg.m as f64]
+    }
+
+    /// Normalized position of the incremental sweep through the table.
+    fn sweep_position(&self) -> f64 {
+        self.clean_next as f64 / self.cfg.m as f64
+    }
+
+    fn cleaned_entries(&self) -> u64 {
+        self.ops.clean_writes
+    }
+
+    fn observed_elements(&self) -> u64 {
+        self.ops.elements
+    }
+
+    /// Distinct elements perform exactly `k_eff` insert writes, so the
+    /// duplicate count is recoverable from the op counters.
+    fn observed_duplicates(&self) -> u64 {
+        self.ops.elements - self.ops.insert_writes / self.k_eff as u64
+    }
+
+    /// A fresh key is flagged iff all `k_eff` probes land on active
+    /// entries: `(active/m)^k_eff` at the live occupancy (lower bound in
+    /// blocked mode; see `cfd_analysis::blocked`).
+    fn estimated_fp(&self) -> f64 {
+        (self.active_entries() as f64 / self.cfg.m as f64).powi(self.k_eff as i32)
+    }
+
+    fn occupancy_scans(&self) -> u64 {
+        self.scans.get()
+    }
+
+    /// Single-scan override: `fill_ratios` and `estimated_fp` each need
+    /// the `O(m)` active-entry count; derive both from one pass.
+    fn health(&self) -> cfd_telemetry::DetectorHealth {
+        let fill = self.active_entries() as f64 / self.cfg.m as f64;
+        cfd_telemetry::DetectorHealth {
+            detector: self.stats_name(),
+            fill_ratios: vec![fill],
+            cleaning_backlog: 0.0,
+            sweep_position: self.sweep_position(),
+            cleaned_entries: self.cleaned_entries(),
+            observed_elements: self.observed_elements(),
+            observed_duplicates: self.observed_duplicates(),
+            estimated_fp: fill.powi(self.k_eff as i32),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::{HashMap, VecDeque};
+    use cfd_windows::ExactTimeSlidingDedup;
 
     fn ttbf(window_units: u64, unit_ticks: u64, m: usize, k: usize) -> TimeTbf {
         TimeTbf::new(TimeTbfConfig::new(window_units, unit_ticks, m, k, 9).unwrap()).unwrap()
     }
 
-    /// Exact time-sliding oracle: valid click per id kept while within the
-    /// last R units.
-    struct ExactTimeSliding {
-        window_units: u64,
-        unit_ticks: u64,
-        valid: HashMap<Vec<u8>, u64>, // id -> unit of the valid click
-        order: VecDeque<(u64, Vec<u8>)>,
-    }
-
-    impl ExactTimeSliding {
-        fn new(window_units: u64, unit_ticks: u64) -> Self {
-            Self {
-                window_units,
-                unit_ticks,
-                valid: HashMap::new(),
-                order: VecDeque::new(),
-            }
-        }
-
-        fn observe_at(&mut self, id: &[u8], tick: u64) -> Verdict {
-            let unit = tick / self.unit_ticks;
-            let oldest_active = unit.saturating_sub(self.window_units - 1);
-            while let Some(&(u, _)) = self.order.front() {
-                if u < oldest_active {
-                    let (u0, id0) = self.order.pop_front().expect("non-empty");
-                    if self.valid.get(&id0) == Some(&u0) {
-                        self.valid.remove(&id0);
-                    }
-                } else {
-                    break;
-                }
-            }
-            if let Some(&u) = self.valid.get(id) {
-                if unit.saturating_sub(u) < self.window_units {
-                    return Verdict::Duplicate;
-                }
-            }
-            self.valid.insert(id.to_vec(), unit);
-            self.order.push_back((unit, id.to_vec()));
-            Verdict::Distinct
-        }
+    fn blocked_ttbf(window_units: u64, unit_ticks: u64, m: usize, k: usize) -> TimeTbf {
+        let cfg = TimeTbfConfig::new(window_units, unit_ticks, m, k, 9)
+            .unwrap()
+            .with_probe(ProbeLayout::Blocked)
+            .unwrap();
+        TimeTbf::new(cfg).unwrap()
     }
 
     #[test]
@@ -387,7 +747,7 @@ mod tests {
     #[test]
     fn zero_false_negatives_vs_exact_timed_oracle() {
         let mut d = ttbf(16, 10, 1 << 14, 6);
-        let mut oracle = ExactTimeSliding::new(16, 10);
+        let mut oracle = ExactTimeSlidingDedup::new(16, 10);
         // Bursty stream: ids repeat at various lags, time advances in
         // irregular steps (including intra-unit bursts and small gaps).
         let mut tick = 0u64;
@@ -432,12 +792,18 @@ mod tests {
     }
 
     #[test]
-    fn out_of_order_ticks_are_clamped() {
+    fn out_of_order_ticks_are_clamped_and_counted() {
         let mut d = ttbf(10, 100, 1 << 12, 5);
         d.observe_at(b"a", 10_000);
+        assert_eq!(d.ops().clock_regressions, 0);
         // An earlier tick arrives late: processed at the current unit.
         assert_eq!(d.observe_at(b"a", 2_000), Verdict::Duplicate);
+        assert_eq!(d.ops().clock_regressions, 1);
         assert_eq!(d.observe_at(b"new", 1), Verdict::Distinct);
+        assert_eq!(d.ops().clock_regressions, 2);
+        // In-order ticks do not count.
+        d.observe_at(b"later", 11_000);
+        assert_eq!(d.ops().clock_regressions, 2);
     }
 
     #[test]
@@ -446,6 +812,150 @@ mod tests {
         // range = 120 -> 7 bits.
         assert_eq!(cfg.entry_bits(), 7);
         assert_eq!(cfg.clean_chunk(), 2); // ceil(100/60)
+    }
+
+    #[test]
+    fn config_rejects_overflowing_windows() {
+        // R + C = 2 * u64::MAX overflows.
+        let err = TimeTbfConfig::new(u64::MAX, 1, 100, 4, 0).unwrap_err();
+        assert!(matches!(err, ConfigError::ArithmeticOverflow { .. }));
+        assert!(err.to_string().contains("overflow"));
+        // R * unit_ticks overflows even though R + C does not.
+        let err = TimeTbfConfig::new(1 << 33, 1 << 33, 100, 4, 0).unwrap_err();
+        assert!(matches!(err, ConfigError::ArithmeticOverflow { .. }));
+    }
+
+    #[test]
+    fn ticks_near_u64_max_are_classified_correctly() {
+        // unit_ticks = 1: units are raw ticks; exercise the wraparound
+        // stamp math at the very top of the tick space.
+        let mut d = ttbf(8, 1, 1 << 12, 5);
+        let base = u64::MAX - 20;
+        assert_eq!(d.observe_at(b"edge", base), Verdict::Distinct);
+        assert_eq!(d.observe_at(b"edge", base + 7), Verdict::Duplicate);
+        // 8 units later the click has expired.
+        assert_eq!(d.observe_at(b"edge", base + 8), Verdict::Distinct);
+        // The final representable tick still processes.
+        assert_eq!(d.observe_at(b"last", u64::MAX), Verdict::Distinct);
+        assert_eq!(d.observe_at(b"last", u64::MAX), Verdict::Duplicate);
+    }
+
+    #[test]
+    fn non_dividing_unit_ticks_round_down() {
+        // unit_ticks = 7 does not divide the tick space evenly; ticks
+        // inside one 7-tick unit are the same unit, tick 7k the next.
+        let mut d = ttbf(3, 7, 1 << 12, 4);
+        assert_eq!(d.observe_at(b"q", 6), Verdict::Distinct); // unit 0
+        assert_eq!(d.observe_at(b"q", 7), Verdict::Duplicate); // unit 1
+        assert_eq!(d.observe_at(b"q", 20), Verdict::Duplicate); // unit 2
+                                                                // unit 3 (tick 21): the unit-0 click left the 3-unit window.
+        assert_eq!(d.observe_at(b"q", 21), Verdict::Distinct);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let ids: Vec<Vec<u8>> = (0..6_000u64)
+            .map(|i| (i % 700).to_le_bytes().to_vec())
+            .collect();
+        let slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let ticks: Vec<u64> = (0..6_000u64).map(|i| i * 3 / 2).collect();
+        let mut sequential = ttbf(32, 40, 1 << 14, 6);
+        let mut batched = ttbf(32, 40, 1 << 14, 6);
+        let want: Vec<Verdict> = slices
+            .iter()
+            .zip(&ticks)
+            .map(|(id, &t)| sequential.observe_at(id, t))
+            .collect();
+        let mut got = Vec::new();
+        for (chunk, tchunk) in slices.chunks(513).zip(ticks.chunks(513)) {
+            got.extend(batched.observe_batch_at(chunk, tchunk));
+        }
+        assert_eq!(got, want);
+        // Counter parity: the amortized clock cache must not change any
+        // accounting, including clamp events.
+        assert_eq!(batched.ops(), sequential.ops());
+    }
+
+    #[test]
+    fn flat_keys_match_slice_batch() {
+        let keys: Vec<[u8; 8]> = (0..4_000u64).map(|i| (i % 311).to_le_bytes()).collect();
+        let flat: Vec<u8> = keys.iter().flatten().copied().collect();
+        let slices: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let ticks: Vec<u64> = (0..4_000u64).map(|i| i / 2).collect();
+        let mut by_slices = ttbf(64, 16, 1 << 14, 6);
+        let mut by_flat = ttbf(64, 16, 1 << 14, 6);
+        let want = by_slices.observe_batch_at(&slices, &ticks);
+        let mut got = Vec::new();
+        by_flat.observe_flat_at_into(&flat, 8, &ticks, &mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn batch_counts_regressions_like_sequential() {
+        let mut seq = ttbf(10, 10, 1 << 12, 4);
+        let mut bat = ttbf(10, 10, 1 << 12, 4);
+        let ids: Vec<Vec<u8>> = (0..6u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        // Ticks regress twice inside the batch (same regressed unit run).
+        let ticks = [500u64, 40, 41, 700, 10, 900];
+        for (id, &t) in slices.iter().zip(&ticks) {
+            seq.observe_at(id, t);
+        }
+        bat.observe_batch_at(&slices, &ticks);
+        assert_eq!(seq.ops().clock_regressions, 3);
+        assert_eq!(bat.ops(), seq.ops());
+    }
+
+    #[test]
+    fn blocked_mode_matches_oracle_and_caps_k() {
+        let mut d = blocked_ttbf(16, 10, 1 << 14, 10);
+        // range = 32 -> 6-bit entries -> 64 slots per line (pow2 floor),
+        // k capped at slots/2 when smaller than k.
+        assert!(d.effective_hash_count() <= 10);
+        let mut oracle = ExactTimeSlidingDedup::new(16, 10);
+        let mut tick = 0u64;
+        for i in 0..20_000u64 {
+            tick += i % 5;
+            let key = (i % 53).to_le_bytes();
+            let got = d.observe_at(&key, tick);
+            let want = oracle.observe_at(&key, tick);
+            if want == Verdict::Duplicate {
+                assert_eq!(got, Verdict::Duplicate, "blocked FN at i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_batch_matches_blocked_sequential() {
+        let ids: Vec<Vec<u8>> = (0..5_000u64)
+            .map(|i| (i % 600).to_le_bytes().to_vec())
+            .collect();
+        let slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let ticks: Vec<u64> = (0..5_000u64).map(|i| i * 2).collect();
+        let mut sequential = blocked_ttbf(32, 40, 1 << 14, 6);
+        let mut batched = blocked_ttbf(32, 40, 1 << 14, 6);
+        let want: Vec<Verdict> = slices
+            .iter()
+            .zip(&ticks)
+            .map(|(id, &t)| sequential.observe_at(id, t))
+            .collect();
+        let got = batched.observe_batch_at(&slices, &ticks);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn occupancy_scans_count_table_passes_only() {
+        let mut d = ttbf(16, 10, 1 << 12, 5);
+        let ids: Vec<Vec<u8>> = (0..500u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
+        let ticks: Vec<u64> = (0..500u64).collect();
+        d.observe_batch_at(&slices, &ticks);
+        assert_eq!(d.occupancy_scans(), 0, "hot path must not scan");
+        let _ = d.active_entries();
+        let _ = d.fill_ratios();
+        assert_eq!(d.occupancy_scans(), 2);
+        let _ = d.health();
+        assert_eq!(d.occupancy_scans(), 3);
     }
 
     #[test]

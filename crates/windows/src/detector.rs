@@ -160,11 +160,77 @@ impl<D: DuplicateDetector + cfd_telemetry::DetectorStats + ?Sized> ObservableDet
 
 /// A one-pass duplicate detector over a *time-based* decaying window.
 ///
-/// Each observation carries its tick; ticks must be non-decreasing at the
-/// granularity the implementation documents.
+/// Each observation carries its tick. Ticks should be non-decreasing;
+/// implementations document their policy for out-of-order ticks (the
+/// `cfd-core` detectors clamp them to the high-water unit and count the
+/// event — time never moves backwards).
 pub trait TimedDuplicateDetector {
     /// Classifies the click arriving at `tick`.
     fn observe_at(&mut self, id: &[u8], tick: u64) -> Verdict;
+
+    /// Classifies a batch of consecutive clicks, each with its own tick,
+    /// in stream order.
+    ///
+    /// Verdict-for-verdict equivalent to calling [`observe_at`] on each
+    /// `(id, tick)` pair in order; implementations may override to hash
+    /// the whole batch up front and amortize clock-advance work across
+    /// ticks that share a unit (the `cfd-core` timed detectors do).
+    ///
+    /// # Panics
+    /// Implementations may panic if `ids.len() != ticks.len()`.
+    ///
+    /// [`observe_at`]: TimedDuplicateDetector::observe_at
+    fn observe_batch_at(&mut self, ids: &[&[u8]], ticks: &[u64]) -> Vec<Verdict> {
+        let mut out = Vec::with_capacity(ids.len());
+        self.observe_batch_at_into(ids, ticks, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`observe_batch_at`]: verdicts are written
+    /// into `out` (cleared first, capacity reused).
+    ///
+    /// # Panics
+    /// Implementations may panic if `ids.len() != ticks.len()`.
+    ///
+    /// [`observe_batch_at`]: TimedDuplicateDetector::observe_batch_at
+    fn observe_batch_at_into(&mut self, ids: &[&[u8]], ticks: &[u64], out: &mut Vec<Verdict>) {
+        assert_eq!(ids.len(), ticks.len(), "one tick per id");
+        out.clear();
+        for (id, &tick) in ids.iter().zip(ticks) {
+            out.push(self.observe_at(id, tick));
+        }
+    }
+
+    /// Classifies a batch of fixed-stride ids packed end-to-end in a flat
+    /// buffer (`key_len` bytes each), each with its own tick, writing
+    /// verdicts into `out` (cleared first, capacity reused). The timed
+    /// analogue of [`DuplicateDetector::observe_flat_into`] — what the
+    /// pipeline's timed mode ships between stages.
+    ///
+    /// # Panics
+    /// Implementations may panic if `key_len == 0`, `keys.len()` is not a
+    /// multiple of `key_len`, or the key count differs from `ticks.len()`.
+    fn observe_flat_at_into(
+        &mut self,
+        keys: &[u8],
+        key_len: usize,
+        ticks: &[u64],
+        out: &mut Vec<Verdict>,
+    ) {
+        assert!(key_len > 0, "key_len must be non-zero");
+        assert_eq!(
+            keys.len() % key_len,
+            0,
+            "flat key buffer length {} is not a multiple of key_len {}",
+            keys.len(),
+            key_len
+        );
+        assert_eq!(keys.len() / key_len, ticks.len(), "one tick per key");
+        out.clear();
+        for (id, &tick) in keys.chunks_exact(key_len).zip(ticks) {
+            out.push(self.observe_at(id, tick));
+        }
+    }
 
     /// The window model this detector approximates.
     fn window(&self) -> WindowSpec;
@@ -177,6 +243,53 @@ pub trait TimedDuplicateDetector {
 
     /// Human-readable algorithm name for reports and benches.
     fn name(&self) -> &'static str;
+}
+
+/// Boxed timed detectors forward the whole contract, mirroring the
+/// count-based [`DuplicateDetector`] forwarding impl, so runtime-chosen
+/// timed algorithms compose with generic wrappers.
+impl<D: TimedDuplicateDetector + ?Sized> TimedDuplicateDetector for Box<D> {
+    fn observe_at(&mut self, id: &[u8], tick: u64) -> Verdict {
+        (**self).observe_at(id, tick)
+    }
+    fn observe_batch_at(&mut self, ids: &[&[u8]], ticks: &[u64]) -> Vec<Verdict> {
+        (**self).observe_batch_at(ids, ticks)
+    }
+    fn observe_batch_at_into(&mut self, ids: &[&[u8]], ticks: &[u64], out: &mut Vec<Verdict>) {
+        (**self).observe_batch_at_into(ids, ticks, out)
+    }
+    fn observe_flat_at_into(
+        &mut self,
+        keys: &[u8],
+        key_len: usize,
+        ticks: &[u64],
+        out: &mut Vec<Verdict>,
+    ) {
+        (**self).observe_flat_at_into(keys, key_len, ticks, out)
+    }
+    fn window(&self) -> WindowSpec {
+        (**self).window()
+    }
+    fn memory_bits(&self) -> usize {
+        (**self).memory_bits()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// A timed duplicate detector that also reports health telemetry — the
+/// time-based counterpart of [`ObservableDetector`], blanket-implemented
+/// for every type satisfying both bounds so the CLI can drive
+/// runtime-chosen timed algorithms through one box.
+pub trait TimedObservableDetector: TimedDuplicateDetector + cfd_telemetry::DetectorStats {}
+
+impl<D: TimedDuplicateDetector + cfd_telemetry::DetectorStats + ?Sized> TimedObservableDetector
+    for D
+{
 }
 
 /// Running tallies of a detector over a stream.

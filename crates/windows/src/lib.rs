@@ -31,7 +31,8 @@ pub mod wrap;
 pub use cfd_telemetry::{DetectorHealth, DetectorStats};
 pub use clock::JumpingClock;
 pub use detector::{
-    DuplicateDetector, ObservableDetector, StreamSummary, TimedDuplicateDetector, Verdict,
+    DuplicateDetector, ObservableDetector, StreamSummary, TimedDuplicateDetector,
+    TimedObservableDetector, Verdict,
 };
 pub use exact::{ExactJumpingDedup, ExactLandmarkDedup, ExactSlidingDedup};
 pub use exact_time::{ExactTimeJumpingDedup, ExactTimeSlidingDedup};

@@ -14,19 +14,23 @@
 //! `docs/OBSERVABILITY.md`).
 
 use cfd_adnet::{
-    run_sharded_pipeline, run_sharded_pipeline_instrumented, Advertiser, AdvertiserId, Campaign,
-    FraudScorer, PipelineConfig, PipelineTelemetry, Transport,
+    run_sharded_pipeline, run_sharded_pipeline_instrumented, run_timed_sharded_pipeline,
+    run_timed_sharded_pipeline_instrumented, Advertiser, AdvertiserId, Campaign, FraudScorer,
+    PipelineConfig, PipelineTelemetry, Transport,
 };
 use cfd_core::config::ProbeLayout;
 use cfd_core::sharded::{per_shard_window, ShardedDetector};
 use cfd_core::tbf_jumping::{JumpingTbf, JumpingTbfConfig};
-use cfd_core::{Gbf, GbfConfig, Tbf, TbfConfig};
+use cfd_core::{Gbf, GbfConfig, Tbf, TbfConfig, TimeGbf, TimeGbfConfig, TimeTbf, TimeTbfConfig};
 use cfd_stream::{
     read_trace, write_trace, BotnetConfig, BotnetStream, Click, CoalitionConfig, CoalitionStream,
     CrawlerStream, DuplicateInjector, FlashCrowdConfig, FlashCrowdStream, UniqueClickStream,
 };
 use cfd_telemetry::{Registry as TelemetryRegistry, Reporter, SnapshotFormat};
-use cfd_windows::{DuplicateDetector, ExactSlidingDedup, ObservableDetector, StreamSummary};
+use cfd_windows::{
+    DuplicateDetector, ExactSlidingDedup, ObservableDetector, StreamSummary,
+    TimedDuplicateDetector, TimedObservableDetector,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -53,20 +57,29 @@ commands:
              --kind unique|duplicates|botnet|coalition|crawler|flashcrowd
              --count <clicks> [--seed <u64>] --out <file>
   detect     run a duplicate detector over a trace
-             --algo tbf|gbf|jumping-tbf|exact
+             --algo tbf|gbf|jumping-tbf|time-tbf|time-gbf|exact
              --window <N> [--sub-windows <Q>] [--cells-per-element <c>]
              [--k <hashes>] [--seed <u64>] --trace <file>
              [--shards <S>] [--batch <B>] [--layout scattered|blocked]
+             [--window-units <U>] [--sub-units <U>] [--unit-ticks <T>]
              [--score-publishers]
              (cells = filter bits for gbf, timestamp entries for tbf;
               default 14, the paper's Fig. 2 ratio; --shards splits the
               keyspace over S detectors of window N/S, --batch sets the
-              observe_batch chunk size, default 512)
+              observe_batch chunk size, default 512; time-tbf/time-gbf
+              judge each click at its own trace tick over a wall-clock
+              window: window-units units for time-tbf, sub-windows
+              sub-windows of sub-units units for time-gbf, each unit
+              unit-ticks ticks — there --window sizes the tables as the
+              expected clicks per window, and shards keep the full time
+              window since they share one clock)
   run        drive the concurrent billing pipeline end to end
-             --algo tbf|gbf|jumping-tbf|exact [--window <N>]
+             --algo tbf|gbf|jumping-tbf|time-tbf|time-gbf|exact
+             [--window <N>]
              [--sub-windows <Q>] [--cells-per-element <c>] [--k <hashes>]
              [--seed <u64>] [--shards <S>] [--batch <B>] [--queue <Q>]
              [--layout scattered|blocked]
+             [--window-units <U>] [--sub-units <U>] [--unit-ticks <T>]
              [--transport ring|channel] [--ring-capacity <batches>]
              [--pin-workers]
              (--trace <file> | [--kind <workload>] [--count <clicks>])
@@ -198,19 +211,79 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// Builds one detector of count window `window` for `cmd_detect` /
-/// `cmd_run`. The boxed trait object carries [`ObservableDetector`] so
-/// the instrumented pipeline can also poll detector health through it.
-fn build_detector(
-    algo: &str,
+/// The detector-shaping options shared by `cmd_detect` and `cmd_run`,
+/// parsed once so the count and timed builders agree on every knob.
+struct DetectorSpec {
+    algo: String,
     window: usize,
     q: usize,
     cells_per_element: usize,
     k: usize,
     seed: u64,
     layout: ProbeLayout,
+}
+
+impl DetectorSpec {
+    fn parse(opts: &Opts, algo: &str) -> Result<Self, String> {
+        Ok(Self {
+            algo: algo.to_owned(),
+            window: opts.parse_num("window", 1 << 16)?,
+            q: opts.parse_num("sub-windows", 8)?,
+            cells_per_element: opts.parse_num("cells-per-element", 14)?,
+            k: opts.parse_num("k", 10)?,
+            seed: opts.parse_num("seed", 0)?,
+            layout: parse_layout(opts)?,
+        })
+    }
+
+    /// `true` for the time-based-window algorithms, which judge each
+    /// click at its own trace tick rather than by arrival count.
+    fn is_timed(&self) -> bool {
+        matches!(self.algo.as_str(), "time-tbf" | "time-gbf")
+    }
+}
+
+/// The time-window geometry for `time-tbf` / `time-gbf`. The defaults
+/// give a 65 536-tick window either way (64 units, or 8 sub-windows of
+/// 8 units, of 1024 ticks) — the same span as the default count window
+/// on the built-in one-click-per-tick workloads.
+struct TimedParams {
+    window_units: u64,
+    sub_units: u64,
+    unit_ticks: u64,
+}
+
+impl TimedParams {
+    fn parse(opts: &Opts) -> Result<Self, String> {
+        let p = Self {
+            window_units: opts.parse_num("window-units", 64)?,
+            sub_units: opts.parse_num("sub-units", 8)?,
+            unit_ticks: opts.parse_num("unit-ticks", 1024)?,
+        };
+        if p.window_units == 0 || p.sub_units == 0 || p.unit_ticks == 0 {
+            return Err("--window-units, --sub-units, and --unit-ticks must be at least 1".into());
+        }
+        Ok(p)
+    }
+}
+
+/// Builds one detector of count window `window` for `cmd_detect` /
+/// `cmd_run` (the caller passes the per-shard window when sharding).
+/// The boxed trait object carries [`ObservableDetector`] so the
+/// instrumented pipeline can also poll detector health through it.
+fn build_detector(
+    spec: &DetectorSpec,
+    window: usize,
 ) -> Result<Box<dyn ObservableDetector + Send>, String> {
-    Ok(match algo {
+    let &DetectorSpec {
+        q,
+        cells_per_element,
+        k,
+        seed,
+        layout,
+        ..
+    } = spec;
+    Ok(match spec.algo.as_str() {
         "tbf" => Box::new(
             Tbf::new(
                 TbfConfig::builder(window)
@@ -253,6 +326,74 @@ fn build_detector(
     })
 }
 
+/// Builds one time-based detector. `window` is the *capacity* (expected
+/// clicks per time window) and only sizes the tables; the window itself
+/// is wall-clock, from `timed`.
+fn build_timed_detector(
+    spec: &DetectorSpec,
+    window: usize,
+    timed: &TimedParams,
+) -> Result<Box<dyn TimedObservableDetector + Send>, String> {
+    let &DetectorSpec {
+        q,
+        cells_per_element,
+        k,
+        seed,
+        layout,
+        ..
+    } = spec;
+    Ok(match spec.algo.as_str() {
+        "time-tbf" => Box::new(
+            TimeTbf::new(
+                TimeTbfConfig::new(
+                    timed.window_units,
+                    timed.unit_ticks,
+                    window * cells_per_element,
+                    k,
+                    seed,
+                )
+                .and_then(|c| c.with_probe(layout))
+                .map_err(|e| e.to_string())?,
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        "time-gbf" => Box::new(
+            TimeGbf::new(
+                TimeGbfConfig::new(
+                    q,
+                    timed.sub_units,
+                    timed.unit_ticks,
+                    window.div_ceil(q) * cells_per_element,
+                    k,
+                    seed,
+                )
+                .and_then(|c| c.with_probe(layout))
+                .map_err(|e| e.to_string())?,
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        other => return Err(format!("`{other}` is not a time-based detector")),
+    })
+}
+
+/// Builds the sharded composition of a time-based algorithm. Routing is
+/// tick-blind and every shard shares one wall clock, so each shard keeps
+/// the *full* time window (no `per_shard_window` rescaling); what splits
+/// across shards is memory — each shard's tables are sized for its
+/// `1/S` share of the expected clicks.
+fn build_timed_sharded(
+    spec: &DetectorSpec,
+    timed: &TimedParams,
+    shards: usize,
+) -> Result<ShardedDetector<Box<dyn TimedObservableDetector + Send>>, String> {
+    let capacity = spec.window.div_ceil(shards);
+    let mut inner = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        inner.push(build_timed_detector(spec, capacity, timed)?);
+    }
+    ShardedDetector::new(spec.seed, inner).map_err(|e| e.to_string())
+}
+
 /// Parses `--layout scattered|blocked` (default scattered).
 fn parse_layout(opts: &Opts) -> Result<ProbeLayout, String> {
     match opts.get("layout").unwrap_or("scattered") {
@@ -266,12 +407,7 @@ fn parse_layout(opts: &Opts) -> Result<ProbeLayout, String> {
 
 fn cmd_detect(opts: &Opts) -> Result<(), String> {
     let algo = opts.required("algo")?.to_owned();
-    let window: usize = opts.parse_num("window", 1 << 16)?;
-    let q: usize = opts.parse_num("sub-windows", 8)?;
-    let cells_per_element: usize = opts.parse_num("cells-per-element", 14)?;
-    let k: usize = opts.parse_num("k", 10)?;
-    let seed: u64 = opts.parse_num("seed", 0)?;
-    let layout = parse_layout(opts)?;
+    let spec = DetectorSpec::parse(opts, &algo)?;
     let shards: usize = opts.parse_num("shards", 1)?;
     let batch: usize = opts.parse_num("batch", 512)?;
     if shards == 0 || batch == 0 {
@@ -282,27 +418,24 @@ fn cmd_detect(opts: &Opts) -> Result<(), String> {
     let buf = std::fs::read(&trace_path).map_err(|e| format!("reading {trace_path}: {e}"))?;
     let clicks = read_trace(&buf).map_err(|e| e.to_string())?;
 
+    if spec.is_timed() {
+        let timed = TimedParams::parse(opts)?;
+        return detect_timed(opts, &spec, &timed, shards, batch, &clicks);
+    }
+
     // With --shards S, the keyspace is split over S detectors of window
     // N/S (same total memory, soft window edge — see
     // `cfd_analysis::sharding`); the routing seed is decorrelated from
     // the probe seed by `ShardRouter` itself.
     let mut detector: Box<dyn ObservableDetector + Send> = if shards > 1 {
-        let n_s = per_shard_window(window, shards);
+        let n_s = per_shard_window(spec.window, shards);
         let mut inner = Vec::with_capacity(shards);
         for _ in 0..shards {
-            inner.push(build_detector(
-                &algo,
-                n_s,
-                q,
-                cells_per_element,
-                k,
-                seed,
-                layout,
-            )?);
+            inner.push(build_detector(&spec, n_s)?);
         }
-        Box::new(ShardedDetector::new(seed, inner).map_err(|e| e.to_string())?)
+        Box::new(ShardedDetector::new(spec.seed, inner).map_err(|e| e.to_string())?)
     } else {
-        build_detector(&algo, window, q, cells_per_element, k, seed, layout)?
+        build_detector(&spec, spec.window)?
     };
 
     let mut summary = StreamSummary::default();
@@ -322,13 +455,67 @@ fn cmd_detect(opts: &Opts) -> Result<(), String> {
     if shards > 1 {
         println!(
             "shards   : {shards} x {algo} with per-shard window {}",
-            per_shard_window(window, shards)
+            per_shard_window(spec.window, shards)
         );
     }
     println!(
         "memory   : {:.1} KiB",
         detector.memory_bits() as f64 / 8.0 / 1024.0
     );
+    print_stream_report(opts, &summary, &scorer);
+    Ok(())
+}
+
+/// The timed flavor of `cmd_detect`: same report, but every click is
+/// judged at its own trace tick through `observe_batch_at`.
+fn detect_timed(
+    opts: &Opts,
+    spec: &DetectorSpec,
+    timed: &TimedParams,
+    shards: usize,
+    batch: usize,
+    clicks: &[Click],
+) -> Result<(), String> {
+    let mut detector: Box<dyn TimedObservableDetector + Send> = if shards > 1 {
+        Box::new(build_timed_sharded(spec, timed, shards)?)
+    } else {
+        build_timed_detector(spec, spec.window, timed)?
+    };
+
+    let mut summary = StreamSummary::default();
+    let mut scorer = FraudScorer::new();
+    let mut keys: Vec<[u8; 16]> = Vec::with_capacity(batch);
+    let mut ticks: Vec<u64> = Vec::with_capacity(batch);
+    for chunk in clicks.chunks(batch) {
+        keys.clear();
+        keys.extend(chunk.iter().map(Click::key));
+        ticks.clear();
+        ticks.extend(chunk.iter().map(|c| c.tick));
+        let refs: Vec<&[u8]> = keys.iter().map(<[u8; 16]>::as_slice).collect();
+        for (click, v) in chunk.iter().zip(detector.observe_batch_at(&refs, &ticks)) {
+            summary.record(v);
+            scorer.record(click, v);
+        }
+    }
+
+    println!("detector : {} over {}", detector.name(), detector.window());
+    if shards > 1 {
+        println!(
+            "shards   : {shards} x {} sharing the global time window",
+            spec.algo
+        );
+    }
+    println!(
+        "memory   : {:.1} KiB",
+        detector.memory_bits() as f64 / 8.0 / 1024.0
+    );
+    print_stream_report(opts, &summary, &scorer);
+    Ok(())
+}
+
+/// Shared tail of `cmd_detect`: stream totals plus the optional
+/// publisher fraud-score table.
+fn print_stream_report(opts: &Opts, summary: &StreamSummary, scorer: &FraudScorer) {
     println!("clicks   : {}", summary.total());
     println!(
         "duplicate: {} ({:.3}%)",
@@ -360,7 +547,6 @@ fn cmd_detect(opts: &Opts) -> Result<(), String> {
             );
         }
     }
-    Ok(())
 }
 
 /// A billing registry covering every ad that appears in `clicks`: one
@@ -386,12 +572,8 @@ fn billing_registry(clicks: &[Click]) -> cfd_adnet::Registry {
 
 fn cmd_run(opts: &Opts) -> Result<(), String> {
     let algo = opts.get("algo").unwrap_or("tbf").to_owned();
-    let window: usize = opts.parse_num("window", 1 << 16)?;
-    let q: usize = opts.parse_num("sub-windows", 8)?;
-    let cells_per_element: usize = opts.parse_num("cells-per-element", 14)?;
-    let k: usize = opts.parse_num("k", 10)?;
-    let seed: u64 = opts.parse_num("seed", 0)?;
-    let layout = parse_layout(opts)?;
+    let spec = DetectorSpec::parse(opts, &algo)?;
+    let seed = spec.seed;
     let shards: usize = opts.parse_num("shards", 4)?;
     let batch: usize = opts.parse_num("batch", 512)?;
     let queue: usize = opts.parse_num("queue", 16)?;
@@ -434,26 +616,31 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         SnapshotFormat::Table
     };
 
-    // The 1-shard case still goes through the sharded pipeline (one
-    // worker, trivial router); same code path, same telemetry.
-    let build_sharded =
-        || -> Result<ShardedDetector<Box<dyn ObservableDetector + Send>>, String> {
-            let n_s = per_shard_window(window, shards);
-            let mut inner = Vec::with_capacity(shards);
-            for _ in 0..shards {
-                inner.push(build_detector(
-                    &algo,
-                    n_s,
-                    q,
-                    cells_per_element,
-                    k,
-                    seed,
-                    layout,
-                )?);
-            }
-            ShardedDetector::new(seed, inner).map_err(|e| e.to_string())
-        };
-    let detector = build_sharded()?;
+    // Count and timed detectors share this scaffold: build the sharded
+    // composition (the 1-shard case still goes through the sharded
+    // pipeline — one worker, trivial router, same telemetry), then
+    // dispatch to the matching pipeline entry point below.
+    enum Runner {
+        Count(ShardedDetector<Box<dyn ObservableDetector + Send>>),
+        Timed(ShardedDetector<Box<dyn TimedObservableDetector + Send>>),
+    }
+
+    let mut timed_window_ticks = None;
+    let runner = if spec.is_timed() {
+        let timed = TimedParams::parse(opts)?;
+        timed_window_ticks = Some(match spec.algo.as_str() {
+            "time-tbf" => timed.window_units * timed.unit_ticks,
+            _ => spec.q as u64 * timed.sub_units * timed.unit_ticks,
+        });
+        Runner::Timed(build_timed_sharded(&spec, &timed, shards)?)
+    } else {
+        let n_s = per_shard_window(spec.window, shards);
+        let mut inner = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            inner.push(build_detector(&spec, n_s)?);
+        }
+        Runner::Count(ShardedDetector::new(seed, inner).map_err(|e| e.to_string())?)
+    };
     let registry = billing_registry(&clicks);
     let config = PipelineConfig {
         batch,
@@ -480,17 +667,35 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             format,
             on_tick,
         );
-        let outcome =
-            run_sharded_pipeline_instrumented(detector, registry, clicks, config, None, telemetry);
+        let outcome = match runner {
+            Runner::Count(d) => {
+                run_sharded_pipeline_instrumented(d, registry, clicks, config, None, telemetry)
+            }
+            Runner::Timed(d) => run_timed_sharded_pipeline_instrumented(
+                d, registry, clicks, config, None, telemetry,
+            ),
+        };
         reporter.stop(); // final snapshot, even on sub-interval runs
         outcome
     } else {
-        run_sharded_pipeline(detector, registry, clicks, config, None)
+        match runner {
+            Runner::Count(d) => run_sharded_pipeline(d, registry, clicks, config, None),
+            Runner::Timed(d) => run_timed_sharded_pipeline(d, registry, clicks, config, None),
+        }
     };
     let elapsed = started.elapsed();
 
     let r = &outcome.report;
-    println!("pipeline : {} over {window} ({shards} shards)", r.detector);
+    match timed_window_ticks {
+        Some(t) => println!(
+            "pipeline : {} over a {t}-tick time window ({shards} shards)",
+            r.detector
+        ),
+        None => println!(
+            "pipeline : {} over {} ({shards} shards)",
+            r.detector, spec.window
+        ),
+    }
     println!(
         "memory   : {:.1} KiB",
         r.detector_memory_bits as f64 / 8.0 / 1024.0
