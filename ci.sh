@@ -67,30 +67,7 @@ if [[ "${1:-}" != "quick" ]]; then
         >/tmp/cfd_throughput.txt
     tail -n 4 /tmp/cfd_throughput.txt | sed 's/^/   /'
     echo "==> BENCH json schema + blocked FP within model bound (>10% fails)"
-    for f in target/BENCH_quick.json BENCH_pr3.json; do
-        python3 - "$f" <<'EOF'
-import json, sys, math
-d = json.load(open(sys.argv[1]))
-assert d["schema"] == "cfd-bench-throughput/1", d["schema"]
-assert {"scale", "clicks", "rounds", "configs", "speedups", "checks"} <= d.keys()
-layouts = set()
-for c in d["configs"]:
-    assert {"name", "family", "layout", "clicks_per_sec_median",
-            "clicks_per_sec_rounds", "fp_measured", "fp_model"} <= c.keys(), c["name"]
-    assert len(c["clicks_per_sec_rounds"]) == d["rounds"], c["name"]
-    layouts.add(c["layout"])
-    if c["layout"] == "blocked":
-        model, fp = c["fp_model"], c["fp_measured"]
-        slack = 3 * math.sqrt(model * (1 - model) / d["clicks"])
-        assert fp <= model * 1.1 + slack, \
-            f'{c["name"]}: measured FP {fp} exceeds model {model} by >10%'
-assert layouts == {"scattered", "blocked"}
-if d["scale"] == "full":
-    assert all(d["checks"].values()), d["checks"]
-    assert min(d["speedups"]["tbf"], d["speedups"]["gbf"]) >= 1.3, d["speedups"]
-print(f'   {sys.argv[1]}: {d["scale"]} scale, {len(d["configs"])} configs, FP within model bound')
-EOF
-    done
+    python3 tools/check_bench.py target/BENCH_quick.json BENCH_pr3.json
 fi
 
 if [[ "${1:-}" != "quick" ]]; then
@@ -101,28 +78,7 @@ if [[ "${1:-}" != "quick" ]]; then
         >/tmp/cfd_pipeline.txt
     tail -n 4 /tmp/cfd_pipeline.txt | sed 's/^/   /'
     echo "==> BENCH pipeline json schema + speedup gates (full scale only)"
-    for f in target/BENCH_pipeline_quick.json BENCH_pr4.json; do
-        python3 - "$f" <<'EOF'
-import json, sys
-d = json.load(open(sys.argv[1]))
-assert d["schema"] == "cfd-bench-pipeline/1", d["schema"]
-assert {"scale", "clicks", "rounds", "shards", "batch",
-        "hash", "pipeline", "checks"} <= d.keys()
-h, p = d["hash"], d["pipeline"]
-assert h["lanes"] in (4, 8), h["lanes"]
-assert len(h["scalar_rounds"]) == len(h["lanes_rounds"]) == d["rounds"]
-assert len(p["channel_rounds"]) == len(p["ring_rounds"]) == d["rounds"]
-# Correctness checks hold at every scale; the speedup gates only bind
-# on the committed full-scale run (quick CI boxes are too noisy).
-assert d["checks"]["transports_agree"], "ring and channel reports diverged"
-assert d["checks"]["checksums_agree"], "lanes/scalar hash checksums diverged"
-if d["scale"] == "full":
-    assert d["checks"]["hash_speedup_ok"] and h["speedup"] >= 1.3, h["speedup"]
-    assert d["checks"]["ring_speedup_ok"] and p["speedup"] >= 1.2, p["speedup"]
-print(f'   {sys.argv[1]}: {d["scale"]} scale, '
-      f'hash x{h["speedup"]:.2f}, ring x{p["speedup"]:.2f}')
-EOF
-    done
+    python3 tools/check_bench.py target/BENCH_pipeline_quick.json BENCH_pr4.json
 fi
 
 if [[ "${1:-}" != "quick" ]]; then
@@ -133,38 +89,18 @@ if [[ "${1:-}" != "quick" ]]; then
         >/tmp/cfd_timed.txt
     tail -n 4 /tmp/cfd_timed.txt | sed 's/^/   /'
     echo "==> BENCH timed json schema + batch/blocked speedup gates (full scale only)"
-    for f in target/BENCH_timed_quick.json BENCH_pr5.json; do
-        python3 - "$f" <<'EOF'
-import json, sys
-d = json.load(open(sys.argv[1]))
-assert d["schema"] == "cfd-bench-timed/1", d["schema"]
-assert {"scale", "clicks", "rounds", "batch", "configs", "speedups", "checks"} <= d.keys()
-rows = {}
-for c in d["configs"]:
-    assert {"name", "family", "layout", "mode", "clicks_per_sec_median",
-            "clicks_per_sec_rounds", "duplicates"} <= c.keys(), c["name"]
-    assert len(c["clicks_per_sec_rounds"]) == d["rounds"], c["name"]
-    rows[(c["family"], c["layout"], c["mode"])] = c
-assert set(rows) == {(f, l, m) for f in ("time-tbf", "time-gbf")
-                     for l in ("scattered", "blocked")
-                     for m in ("sequential", "batch")}
-# Batch must be a pure optimization at every scale: same verdicts.
-for fam in ("time-tbf", "time-gbf"):
-    for lay in ("scattered", "blocked"):
-        seq, bat = rows[(fam, lay, "sequential")], rows[(fam, lay, "batch")]
-        assert seq["duplicates"] == bat["duplicates"], (fam, lay)
-assert d["checks"]["paths_agree"], "batch and sequential verdicts diverged"
-assert d["checks"]["no_occupancy_scans"], "O(m) scan rode the timed hot loop"
-if d["scale"] == "full":
-    for fam, s in d["speedups"].items():
-        assert s["batch"] >= 1.3, (fam, s)
-        assert s["blocked"] >= 1.3, (fam, s)
-    assert d["checks"]["batch_speedup_ok"] and d["checks"]["blocked_speedup_ok"]
-print(f'   {sys.argv[1]}: {d["scale"]} scale, ' + ", ".join(
-    f'{f} batch x{s["batch"]:.2f} blocked x{s["blocked"]:.2f}'
-    for f, s in d["speedups"].items()))
-EOF
-    done
+    python3 tools/check_bench.py target/BENCH_timed_quick.json BENCH_pr5.json
+fi
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> shootout smoke: tbf/gbf/apbf/swbf at equal memory (quick scale)"
+    # Quick scale writes its own file; the committed full-scale
+    # BENCH_pr6.json is regenerated only by a manual full run.
+    ./target/release/throughput --shootout --quick --out target/BENCH_shootout_quick.json \
+        >/tmp/cfd_shootout.txt
+    tail -n 8 /tmp/cfd_shootout.txt | sed 's/^/   /'
+    echo "==> BENCH shootout json schema + Pareto/FP/speedup gates (full scale only)"
+    python3 tools/check_bench.py target/BENCH_shootout_quick.json BENCH_pr6.json
 fi
 
 echo "CI OK"

@@ -1,0 +1,238 @@
+//! False-positive model for the age-partitioned Bloom filter backend.
+//!
+//! An APBF (Shtul, Baquero, Almeida) keeps `k + l` logical slices of
+//! equal capacity; each insert sets one bit in each of the `k`
+//! youngest, and a query reports *duplicate* iff some run of `k`
+//! consecutive slices all have its bit set. A distinct element
+//! false-positives through any of the `l + 1` possible runs:
+//!
+//! ```text
+//! FP = Σ_{i=0}^{l}  Π_{j=i}^{i+k−1}  r_j
+//! ```
+//!
+//! where `r_j` is the fill ratio of the slice at logical age `j`. At
+//! steady state on an all-distinct stream, the slice at age `j` has
+//! absorbed `min(j + 1, k)` generations of `g = ⌈N/l⌉` single-bit
+//! inserts into `m_s` bits, so
+//!
+//! ```text
+//! r_j = 1 − exp(−min(j + 1, k) · g / m_s)
+//! ```
+//!
+//! The `min(j+1, k)` term counts the youngest slices' partial history
+//! as one full generation each, which rounds *up* — the model is a
+//! steady-state **upper bound**, the direction the shootout gate needs.
+//! Duplicates only lower it further (they insert nothing).
+
+/// Steady-state FP upper bound for an APBF of `k + l` slices of
+/// `slice_bits` bits each over a sliding window of `n` elements.
+///
+/// `slice_bits` is the *per-slice* capacity — `Apbf::slice_capacity()`
+/// on a built detector, whichever probe layout it uses (the blocked
+/// layout's smaller power-of-two lanes are already folded in there).
+///
+/// ```rust
+/// use cfd_analysis::apbf::fp_sliding;
+/// // 4 hashes, 12 age slices, 256 Kbit slices, 64 Ki-element window.
+/// let f = fp_sliding(1 << 16, 4, 12, 1 << 18);
+/// assert!(f > 0.0 && f < 1e-2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k`, `l`, or `slice_bits` is zero.
+#[must_use]
+pub fn fp_sliding(n: usize, k: usize, l: usize, slice_bits: usize) -> f64 {
+    let fills = steady_fills(n, k, l, slice_bits);
+    fp_from_fills(k, l, &fills)
+}
+
+/// The steady-state fill ratio of each logical slice, youngest first
+/// (`k + l` entries) — the analytic counterpart of
+/// `Apbf::logical_fills()`.
+///
+/// # Panics
+///
+/// Panics if `k`, `l`, or `slice_bits` is zero.
+#[must_use]
+pub fn steady_fills(n: usize, k: usize, l: usize, slice_bits: usize) -> Vec<f64> {
+    assert!(k > 0, "k must be positive");
+    assert!(l > 0, "l must be positive");
+    assert!(slice_bits > 0, "slice_bits must be positive");
+    let g = n.div_ceil(l).max(1) as f64;
+    let m_s = slice_bits as f64;
+    (0..k + l)
+        .map(|j| 1.0 - (-((j + 1).min(k) as f64) * g / m_s).exp())
+        .collect()
+}
+
+/// The run-sum FP at explicit per-age fills (youngest first, `k + l`
+/// entries): `Σ_{i=0..l} Π_{j=i..i+k−1} fill_j`. Use with measured
+/// fills to separate the fill model from the run-combinatorics model.
+///
+/// # Panics
+///
+/// Panics if `fills` has fewer than `k + l` entries.
+#[must_use]
+pub fn fp_from_fills(k: usize, l: usize, fills: &[f64]) -> f64 {
+    assert!(fills.len() >= k + l, "need k + l fills");
+    (0..=l)
+        .map(|i| fills[i..i + k].iter().product::<f64>())
+        .sum()
+}
+
+/// Steady-state FP bound for the *blocked* layout: `lines` cache lines,
+/// each holding one `lane_bits`-bit lane per slice, with **all** of an
+/// element's probes confined to one line.
+///
+/// Sharing a line correlates the per-slice fills a query sees — a
+/// crowded line is crowded in *every* slice at once — so the uniform
+/// model of [`fp_sliding`] undershoots. This bound mixes the run sum
+/// over the Poisson line population: with `W ~ Poisson((k+l)·g /
+/// lines)` window elements on the query's line, each slice lane at age
+/// `j` holds `W · min(j+1, k)/(k+l)` of their bits,
+///
+/// ```text
+/// FP = E_W [ Σ_{i=0}^{l} Π_{j=i}^{i+k−1} (1 − (1−1/L)^{W·min(j+1,k)/(k+l)}) ]
+/// ```
+///
+/// (the Jensen gap of the mixture is exactly the blocked penalty; see
+/// [`crate::blocked`] for the classical-Bloom analogue).
+///
+/// A second blocked-only FP path is the **twin term**: offsets inside a
+/// lane follow the arithmetic progression `(h1 + p·stride) mod L` with
+/// an odd stride, so an element on the query's line whose `(h1 mod L,
+/// stride mod L)` matches the query's — probability `2/L²` — lands on
+/// the query's bit in *every* slice at once, turning its own `k`-slice
+/// insertion run into a guaranteed false positive while that run is
+/// alive. With `(l+1)·g` run-complete elements in the window:
+///
+/// ```text
+/// twin = 1 − exp(−(l+1)·g/lines · 2/L²)
+/// ```
+///
+/// Take `lines` and `lane_bits` from the built detector:
+/// `Apbf::slice_capacity() / lane_bits` and the layout's lane width, or
+/// equivalently `lines = total_bits / 512` and `lane_bits =
+/// slice_capacity / lines`.
+///
+/// # Panics
+///
+/// Panics if `k`, `l`, `lines`, or `lane_bits` is zero.
+#[must_use]
+pub fn fp_sliding_blocked(n: usize, k: usize, l: usize, lines: usize, lane_bits: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert!(l > 0, "l must be positive");
+    assert!(lines > 0, "lines must be positive");
+    assert!(lane_bits > 0, "lane_bits must be positive");
+    let g = n.div_ceil(l).max(1) as f64;
+    let ages = (k + l) as f64;
+    let lambda = ages * g / lines as f64;
+    let keep = 1.0 - 1.0 / lane_bits as f64;
+    let fp_at = |w: f64| -> f64 {
+        let fills: Vec<f64> = (0..k + l)
+            .map(|j| 1.0 - keep.powf(w * (j + 1).min(k) as f64 / ages))
+            .collect();
+        fp_from_fills(k, l, &fills)
+    };
+    // Poisson mixture, truncated at mean + 8σ (tail mass < 1e-15).
+    let hi = (lambda + 8.0 * lambda.sqrt()).ceil() as usize + 1;
+    let mut p = (-lambda).exp(); // P(W = 0)
+    let mut fp = 0.0;
+    for w in 0..=hi {
+        if w > 0 {
+            p *= lambda / w as f64;
+        }
+        fp += p * fp_at(w as f64);
+    }
+    let ll = lane_bits as f64;
+    let twins = (l + 1) as f64 * g / lines as f64 * 2.0 / (ll * ll);
+    let twin = 1.0 - (-twins).exp();
+    (fp + twin).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_core::config::ProbeLayout;
+    use cfd_core::{Apbf, ApbfConfig};
+    use cfd_windows::{DuplicateDetector, Verdict};
+
+    #[test]
+    fn fp_is_monotone_in_load_and_memory() {
+        let base = fp_sliding(1 << 14, 4, 12, 1 << 14);
+        assert!(fp_sliding(1 << 15, 4, 12, 1 << 14) > base, "more load");
+        assert!(fp_sliding(1 << 14, 4, 12, 1 << 15) < base, "more memory");
+    }
+
+    #[test]
+    fn uniform_fill_reduces_to_l_plus_one_r_to_the_k() {
+        let fills = vec![0.3; 16];
+        let f = fp_from_fills(4, 12, &fills);
+        let expected = 13.0 * 0.3f64.powi(4);
+        assert!((f - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_bounds_simulated_fp_both_layouts() {
+        // Fill a real APBF to steady state with distinct keys, then
+        // probe fresh never-inserted keys: the measured FP rate must
+        // sit below the analytic bound, and the bound must not be
+        // vacuously loose (within 50× of measured or below 1e-4).
+        let n = 1 << 12;
+        for probe in [ProbeLayout::Scattered, ProbeLayout::Blocked] {
+            let cfg = ApbfConfig::for_budget(n, n * 16, 7, probe).expect("cfg");
+            let mut d = Apbf::new(cfg).expect("detector");
+            for i in 0..8 * n as u64 {
+                d.observe(&i.to_le_bytes());
+            }
+            let trials = 200_000u64;
+            let fp = (0..trials)
+                .filter(|i| d.observe(&(u64::MAX - i).to_le_bytes()) == Verdict::Duplicate)
+                .count() as f64;
+            // Querying fresh keys inserts them too; only count each
+            // first sighting, which `observe` of a fresh key is.
+            let measured = fp / trials as f64;
+            // The blocked layout needs the line-load mixture model: a
+            // query's k probes share one cache line, so per-slice fills
+            // are correlated and the uniform model undershoots.
+            let bound = match probe {
+                ProbeLayout::Scattered => fp_sliding(n, cfg.k, cfg.l, d.slice_capacity()),
+                ProbeLayout::Blocked => {
+                    let lines = cfg.total_bits / 512;
+                    let lane_bits = d.slice_capacity() / lines;
+                    fp_sliding_blocked(n, cfg.k, cfg.l, lines, lane_bits)
+                }
+            };
+            assert!(
+                measured <= bound * 1.5,
+                "{probe:?}: measured {measured:.3e} above bound {bound:.3e}"
+            );
+            assert!(
+                bound <= (measured * 50.0).max(1e-4),
+                "{probe:?}: bound {bound:.3e} vacuous vs measured {measured:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_fills_track_the_detectors_measured_fills() {
+        let n = 1 << 12;
+        let cfg = ApbfConfig::for_budget(n, n * 16, 7, ProbeLayout::Scattered).expect("cfg");
+        let mut d = Apbf::new(cfg).expect("detector");
+        for i in 0..8 * n as u64 {
+            d.observe(&i.to_le_bytes());
+        }
+        let analytic = steady_fills(n, cfg.k, cfg.l, d.slice_capacity());
+        let measured = d.logical_fills();
+        // Mature slices (age >= k) must match closely; young slices
+        // are partially filled, below their rounded-up model value.
+        for (j, (a, m)) in analytic.iter().zip(&measured).enumerate() {
+            if j >= cfg.k {
+                assert!((a - m).abs() < 0.05, "age {j}: model {a:.3} vs {m:.3}");
+            } else {
+                assert!(m <= &(a + 0.02), "age {j}: model {a:.3} vs {m:.3}");
+            }
+        }
+    }
+}

@@ -15,6 +15,10 @@
 //! * [`tbf`] — false-positive rate of a TBF probe over a sliding window
 //!   (classical Bloom load at `n = N − 1` active elements; stale entries
 //!   fail the activity check and do not contribute).
+//! * [`apbf`] — run-sum model of the age-partitioned Bloom filter
+//!   backend (`Σ` over the `l + 1` possible `k`-slice runs).
+//! * [`swbf`] — fingerprint-collision + side-filter model of the
+//!   sliding-window Bloom filter backend.
 //! * [`sharding`] — coverage and FP model of the keyspace-sharded layer
 //!   (`cfd-core::sharded`): binomial probability that a global-window
 //!   duplicate survives per-shard window slide-out.
@@ -29,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod apbf;
 pub mod blocked;
 pub mod cost;
 pub mod counting_scheme;
@@ -36,6 +41,7 @@ pub mod gbf;
 pub mod sharding;
 pub mod sizing;
 pub mod stats;
+pub mod swbf;
 pub mod tbf;
 
 pub use cfd_bloom::params::{bits_for_fp, fp_rate, fp_rate_exact, optimal_k};

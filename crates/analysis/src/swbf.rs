@@ -1,0 +1,283 @@
+//! False-positive model for the sliding-window Bloom filter backend.
+//!
+//! The SWBF (after Naor–Yogev) is a fingerprinted timestamp dictionary:
+//! each element stores an `f`-bit fingerprint plus an arrival stamp in
+//! one of `b` candidate cells, overflowing to a small timestamp-only
+//! side filter. A distinct element false-positives two ways:
+//!
+//! * **fingerprint collision** — some candidate cell is live *and*
+//!   holds the query's fingerprint: `≈ b · load · 2^{−f}`;
+//! * **side-filter collision** — all `k` of its side probes hit live
+//!   stamps: `side_load^k`. The side term is *not* gated by the main
+//!   load: a querier cannot know whether an element overflowed, so it
+//!   always consults the side filter when the side filter is live.
+//!
+//! ```text
+//! FP = b · load · 2^{−f}  +  side_load^k
+//! side_load = 1 − exp(−k · load^b · N / m_side)
+//! ```
+//!
+//! where `load = min(1, N / cells)` is the steady-state occupancy of
+//! the main dictionary and `k · load^b · N` the expected live side
+//! stamps (each overflow writes `k` stamps, overflow probability
+//! `load^b`).
+
+/// Steady-state FP estimate for an SWBF with `cells` main dictionary
+/// slots, `side_cells` side-filter slots, `fingerprint_bits`-bit
+/// fingerprints, `candidates` main probes, and `side_probes` side
+/// probes, over a sliding window of `n` elements.
+///
+/// Take the structural parameters from a built config:
+/// `SwbfConfig::cells()`, `::side_cells()`, `.fingerprint_bits`, and
+/// `Swbf::effective_candidates()` (the blocked layout may cap the
+/// candidate count).
+///
+/// ```rust
+/// use cfd_analysis::swbf::fp_sliding;
+/// // 64 Ki window, 4-way dictionary at quarter load, 12-bit prints.
+/// let f = fp_sliding(1 << 16, 1 << 18, 1 << 14, 12, 4, 4);
+/// assert!(f > 0.0 && f < 1e-3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `cells`, `side_cells`, `candidates`, or `side_probes` is
+/// zero.
+#[must_use]
+pub fn fp_sliding(
+    n: usize,
+    cells: usize,
+    side_cells: usize,
+    fingerprint_bits: u32,
+    candidates: usize,
+    side_probes: usize,
+) -> f64 {
+    let load = load(n, cells);
+    let side = side_load(n, cells, side_cells, candidates, side_probes);
+    fp_at_loads(load, side, fingerprint_bits, candidates, side_probes)
+}
+
+/// Steady-state main-dictionary occupancy `min(1, N / cells)`.
+///
+/// # Panics
+///
+/// Panics if `cells` is zero.
+#[must_use]
+pub fn load(n: usize, cells: usize) -> f64 {
+    assert!(cells > 0, "cells must be positive");
+    (n as f64 / cells as f64).min(1.0)
+}
+
+/// Steady-state side-filter occupancy: `k · load^b · N` expected live
+/// stamps Poisson-scattered over `side_cells` slots.
+///
+/// # Panics
+///
+/// Panics if `cells`, `side_cells`, `candidates`, or `side_probes` is
+/// zero.
+#[must_use]
+pub fn side_load(
+    n: usize,
+    cells: usize,
+    side_cells: usize,
+    candidates: usize,
+    side_probes: usize,
+) -> f64 {
+    assert!(side_cells > 0, "side_cells must be positive");
+    assert!(candidates > 0, "candidates must be positive");
+    assert!(side_probes > 0, "side_probes must be positive");
+    let stamps = side_probes as f64 * load(n, cells).powi(candidates as i32) * n as f64;
+    1.0 - (-stamps / side_cells as f64).exp()
+}
+
+/// The FP at explicit loads — the analytic counterpart of the
+/// detector's own `estimated_fp` health stat, split out so measured
+/// loads can be plugged in directly.
+#[must_use]
+pub fn fp_at_loads(
+    load: f64,
+    side_load: f64,
+    fingerprint_bits: u32,
+    candidates: usize,
+    side_probes: usize,
+) -> f64 {
+    let collision = candidates as f64 * load * 0.5f64.powi(fingerprint_bits as i32);
+    collision + side_load.powi(side_probes as i32)
+}
+
+/// Overflow probability per insert in the *blocked* layout: all `b`
+/// candidate cells confined to one `slots`-cell cache-line block.
+///
+/// The uniform model's `load^b` undershoots because block occupancy
+/// fluctuates and `P(all b candidates live | j live in block) =
+/// C(j,b)/C(slots,b)` is convex in `j`: crowded blocks overflow far
+/// more than the average block. Mixing over `J ~ Poisson(slots·load)`
+/// (uncapped, which over-weights crowded blocks — the bound direction):
+///
+/// ```text
+/// overflow = E_J [ C(min(J, slots), b) / C(slots, b) ]
+/// ```
+///
+/// # Panics
+///
+/// Panics if `slots` or `candidates` is zero, or `candidates > slots`.
+#[must_use]
+pub fn overflow_blocked(load: f64, slots: usize, candidates: usize) -> f64 {
+    assert!(slots > 0, "slots must be positive");
+    assert!(candidates > 0, "candidates must be positive");
+    assert!(candidates <= slots, "more candidates than block slots");
+    let choose =
+        |n: usize, k: usize| -> f64 { (0..k).map(|i| (n - i) as f64 / (k - i) as f64).product() };
+    let denom = choose(slots, candidates);
+    let lambda = slots as f64 * load.min(1.0);
+    let hi = (lambda + 8.0 * lambda.sqrt()).ceil() as usize + 1;
+    let mut p = (-lambda).exp();
+    let mut overflow = 0.0;
+    for j in 0..=hi {
+        if j > 0 {
+            p *= lambda / j as f64;
+        }
+        let live = j.min(slots);
+        if live >= candidates {
+            overflow += p * (choose(live, candidates) / denom).min(1.0);
+        }
+    }
+    overflow.min(1.0)
+}
+
+/// Steady-state FP estimate for the *blocked* layout: the fingerprint
+/// collision term is unchanged (linear in load, so the block mixture
+/// preserves its mean), but the side-filter term routes through
+/// [`overflow_blocked`] — crowded blocks spill far more stamps than the
+/// uniform `load^b` predicts.
+///
+/// `slots` is the cells-per-block of the realized geometry: the largest
+/// power of two `≤ 512 / cell_bits`.
+///
+/// # Panics
+///
+/// Panics as [`overflow_blocked`] and [`fp_sliding`] do.
+#[must_use]
+pub fn fp_sliding_blocked(
+    n: usize,
+    cells: usize,
+    side_cells: usize,
+    fingerprint_bits: u32,
+    slots: usize,
+    candidates: usize,
+    side_probes: usize,
+) -> f64 {
+    assert!(side_cells > 0, "side_cells must be positive");
+    assert!(side_probes > 0, "side_probes must be positive");
+    let load = load(n, cells);
+    let overflow = overflow_blocked(load, slots, candidates);
+    let stamps = side_probes as f64 * overflow * n as f64;
+    let side = 1.0 - (-stamps / side_cells as f64).exp();
+    fp_at_loads(load, side, fingerprint_bits, candidates, side_probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_core::config::ProbeLayout;
+    use cfd_core::{Swbf, SwbfConfig};
+    use cfd_windows::{DuplicateDetector, Verdict};
+
+    #[test]
+    fn fp_is_monotone_in_load_and_fingerprint() {
+        let base = fp_sliding(1 << 14, 1 << 15, 1 << 10, 12, 4, 4);
+        assert!(fp_sliding(1 << 15, 1 << 15, 1 << 10, 12, 4, 4) > base);
+        assert!(fp_sliding(1 << 14, 1 << 15, 1 << 10, 16, 4, 4) < base);
+    }
+
+    #[test]
+    fn side_term_is_not_gated_by_main_load() {
+        // Even a near-empty main dictionary must keep the side term: a
+        // querier cannot tell whether an element overflowed.
+        let f = fp_at_loads(1e-6, 0.9, 12, 4, 4);
+        assert!(f > 0.9f64.powi(4) * 0.99);
+    }
+
+    #[test]
+    fn model_bounds_simulated_fp_both_layouts() {
+        // Steady-state distinct stream, then probe fresh keys: the
+        // measured FP must sit at or below the model (with sampling
+        // slack), and the model must not be vacuous.
+        let n = 1 << 12;
+        for probe in [ProbeLayout::Scattered, ProbeLayout::Blocked] {
+            let cfg = SwbfConfig::for_budget(n, n * 128, 7, probe).expect("cfg");
+            let mut d = Swbf::new(cfg).expect("detector");
+            for i in 0..8 * n as u64 {
+                d.observe(&i.to_le_bytes());
+            }
+            let trials = 400_000u64;
+            let fp = (0..trials)
+                .filter(|i| d.observe(&(u64::MAX - i).to_le_bytes()) == Verdict::Duplicate)
+                .count() as f64;
+            let measured = fp / trials as f64;
+            // Blocked candidates share a cache-line block, so overflow
+            // (and through it the side term) needs the block mixture.
+            let bound = match probe {
+                ProbeLayout::Scattered => fp_sliding(
+                    n,
+                    cfg.cells(),
+                    cfg.side_cells(),
+                    cfg.fingerprint_bits,
+                    d.effective_candidates(),
+                    4,
+                ),
+                ProbeLayout::Blocked => {
+                    let slots = 1 << (512usize / cfg.cell_bits() as usize).ilog2();
+                    fp_sliding_blocked(
+                        n,
+                        cfg.cells(),
+                        cfg.side_cells(),
+                        cfg.fingerprint_bits,
+                        slots,
+                        d.effective_candidates(),
+                        4,
+                    )
+                }
+            };
+            // Sampling slack: at these rates a handful of collisions
+            // decides the estimate, so gate at bound + 3σ.
+            let sigma = (bound * trials as f64).sqrt().max(3.0) / trials as f64;
+            assert!(
+                measured <= bound + 3.0 * sigma,
+                "{probe:?}: measured {measured:.3e} above bound {bound:.3e}"
+            );
+            assert!(bound < 1e-3, "{probe:?}: bound {bound:.3e} vacuous");
+        }
+    }
+
+    #[test]
+    fn crowded_filter_routes_fp_through_the_side_term() {
+        // A deliberately starved SWBF saturates: the model must still
+        // bound the (now large) measured rate.
+        let n = 1 << 10;
+        let cfg = SwbfConfig::for_budget(n, n * 24, 7, ProbeLayout::Scattered).expect("cfg");
+        let mut d = Swbf::new(cfg).expect("detector");
+        for i in 0..8 * n as u64 {
+            d.observe(&i.to_le_bytes());
+        }
+        assert!(d.side_inserted(), "starved filter should overflow");
+        let trials = 100_000u64;
+        let fp = (0..trials)
+            .filter(|i| d.observe(&(u64::MAX - i).to_le_bytes()) == Verdict::Duplicate)
+            .count() as f64;
+        let measured = fp / trials as f64;
+        let bound = fp_sliding(
+            n,
+            cfg.cells(),
+            cfg.side_cells(),
+            cfg.fingerprint_bits,
+            d.effective_candidates(),
+            4,
+        );
+        let sigma = (bound * trials as f64).sqrt().max(3.0) / trials as f64;
+        assert!(
+            measured <= bound + 3.0 * sigma,
+            "measured {measured:.3e} above bound {bound:.3e}"
+        );
+    }
+}

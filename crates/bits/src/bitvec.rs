@@ -106,6 +106,65 @@ impl BitVec {
         self.words[word_start..word_end].fill(0);
     }
 
+    /// Clears the arbitrary bit range `[start, start + len)`.
+    ///
+    /// The bit-granular companion of [`BitVec::clear_word_range`], for
+    /// incremental wipes whose stripes are narrower than a word (e.g.
+    /// the per-line slice lanes of a blocked age-partitioned filter).
+    /// Interior whole words are wiped with word stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` exceeds the bit length.
+    pub fn clear_range(&mut self, start: usize, len: usize) {
+        let end = start + len;
+        assert!(end <= self.len, "bit range {start}..{end} out of range");
+        if len == 0 {
+            return;
+        }
+        let (first_w, first_b) = split_index(start);
+        let (last_w, last_b) = split_index(end - 1);
+        if first_w == last_w {
+            self.words[first_w] &= low_mask(first_b) | !low_mask(last_b + 1);
+            return;
+        }
+        self.words[first_w] &= low_mask(first_b);
+        self.words[first_w + 1..last_w].fill(0);
+        self.words[last_w] &= !low_mask(last_b + 1);
+    }
+
+    /// Hints the CPU to pull bit `i`'s cache line early; a no-op when
+    /// the index is out of range (see [`crate::words::prefetch`]).
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        if i < self.len {
+            crate::words::prefetch(&self.words[i / WORD_BITS]);
+        }
+    }
+
+    /// The raw backing words (checkpoint serialization).
+    #[inline]
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a vector from raw words, or `None` if the word count
+    /// does not match `len` or trailing bits beyond `len` are set.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<Self> {
+        if words.len() != words_for_bits(len) {
+            return None;
+        }
+        if !len.is_multiple_of(WORD_BITS) && !words.is_empty() {
+            let used = (len % WORD_BITS) as u32;
+            if words[words.len() - 1] & !low_mask(used) != 0 {
+                return None;
+            }
+        }
+        Some(Self { words, len })
+    }
+
     /// Number of words backing this vector.
     #[inline]
     #[must_use]
@@ -249,6 +308,69 @@ mod tests {
         for i in 0..256 {
             assert_eq!(v.get(i), !(64..192).contains(&i), "bit {i}");
         }
+    }
+
+    #[test]
+    fn clear_range_within_one_word() {
+        let mut v = BitVec::new(128);
+        for i in 0..128 {
+            v.set(i);
+        }
+        v.clear_range(70, 10); // bits 70..80, inside word 1
+        for i in 0..128 {
+            assert_eq!(v.get(i), !(70..80).contains(&i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn clear_range_straddles_words() {
+        let mut v = BitVec::new(256);
+        for i in 0..256 {
+            v.set(i);
+        }
+        v.clear_range(60, 140); // bits 60..200 across four words
+        for i in 0..256 {
+            assert_eq!(v.get(i), !(60..200).contains(&i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn clear_range_word_aligned_and_edges() {
+        let mut v = BitVec::new(192);
+        for i in 0..192 {
+            v.set(i);
+        }
+        v.clear_range(64, 64); // exactly word 1
+        for i in 0..192 {
+            assert_eq!(v.get(i), !(64..128).contains(&i), "bit {i}");
+        }
+        v.clear_range(0, 0); // empty range is a no-op
+        assert_eq!(v.count_ones(), 128);
+        v.clear_range(191, 1); // final bit
+        assert!(!v.get(191));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn clear_range_out_of_range_panics() {
+        let mut v = BitVec::new(100);
+        v.clear_range(90, 11);
+    }
+
+    #[test]
+    fn from_words_roundtrip_and_rejection() {
+        let mut v = BitVec::new(130);
+        v.set(0);
+        v.set(64);
+        v.set(129);
+        let restored = BitVec::from_words(v.as_words().to_vec(), 130).unwrap();
+        assert_eq!(restored, v);
+        // Wrong word count.
+        assert!(BitVec::from_words(vec![0; 2], 130).is_none());
+        // Trailing bit beyond len set.
+        let mut words = v.as_words().to_vec();
+        words[2] |= 1 << 10;
+        assert!(BitVec::from_words(words, 130).is_none());
     }
 
     #[test]

@@ -19,21 +19,41 @@
 //! expires exactly what a quiet gap of the same wall-clock length would
 //! have — duplicates spanning the restart are still caught.
 
+use crate::apbf::{Apbf, ApbfConfig, ApbfState};
 use crate::config::{GbfConfig, GbfLayout, ProbeLayout, TbfConfig};
 use crate::gbf::Gbf;
 use crate::gbf_time::{TimeGbf, TimeGbfConfig, TimeGbfState};
 use crate::sharded::ShardedDetector;
+use crate::swbf::{Swbf, SwbfConfig, SwbfState};
 use crate::tbf::Tbf;
+use crate::tbf_jumping::{JumpingTbf, JumpingTbfConfig, JumpingTbfState};
 use crate::tbf_time::{TimeTbf, TimeTbfConfig, TimeTbfState};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"CFDS";
 const VERSION: u16 = 1;
-const KIND_TBF: u8 = 1;
-const KIND_GBF: u8 = 2;
-const KIND_SHARDED: u8 = 3;
-const KIND_TIME_TBF: u8 = 4;
-const KIND_TIME_GBF: u8 = 5;
+pub(crate) const KIND_TBF: u8 = 1;
+pub(crate) const KIND_GBF: u8 = 2;
+pub(crate) const KIND_SHARDED: u8 = 3;
+pub(crate) const KIND_TIME_TBF: u8 = 4;
+pub(crate) const KIND_TIME_GBF: u8 = 5;
+pub(crate) const KIND_APBF: u8 = 6;
+pub(crate) const KIND_SWBF: u8 = 7;
+pub(crate) const KIND_JUMPING_TBF: u8 = 8;
+
+/// Reads the kind byte of a `CFDS` buffer after validating the magic
+/// and version — the registry's dispatch key for backend-agnostic
+/// restores.
+pub(crate) fn peek_kind(buf: &[u8]) -> Result<u8, CheckpointError> {
+    if buf.len() < 7 || &buf[..4] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    Ok(buf[6])
+}
 
 /// Upper bound on the shard count accepted when restoring a sharded
 /// checkpoint; rejects absurd headers before any allocation.
@@ -70,6 +90,14 @@ pub enum CheckpointError {
     },
     /// The buffer ended early or a field was out of range.
     Corrupt(&'static str),
+    /// The kind tag names no backend this build knows — e.g. a
+    /// checkpoint written by a newer binary with additional backends.
+    /// Distinct from [`CheckpointError::WrongKind`], where the kind is
+    /// known but the caller asked for a different one.
+    UnknownBackend {
+        /// Kind tag found in the buffer.
+        found: u8,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -81,6 +109,9 @@ impl fmt::Display for CheckpointError {
                 write!(f, "checkpoint holds kind {found}, expected {expected}")
             }
             CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            CheckpointError::UnknownBackend { found } => {
+                write!(f, "checkpoint holds unknown backend kind {found}")
+            }
         }
     }
 }
@@ -429,6 +460,118 @@ impl TimeGbf {
     }
 }
 
+impl Apbf {
+    /// Serializes the complete detector state, including the rotation
+    /// phase and the in-flight spare-slice wipe cursor.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let (cfg, state) = self.checkpoint_parts();
+        let mut w = Writer::new(KIND_APBF);
+        w.usize(cfg.n);
+        w.usize(cfg.k);
+        w.usize(cfg.l);
+        w.usize(cfg.total_bits);
+        w.u64(cfg.seed);
+        w.u8(probe_tag(cfg.probe));
+        w.usize(state.base);
+        w.usize(state.in_gen);
+        w.u8(u8::from(state.wipe.is_some()));
+        let (slice, cursor) = state.wipe.unwrap_or((0, 0));
+        w.usize(slice);
+        w.usize(cursor);
+        w.words(&state.bit_words);
+        w.0
+    }
+
+    /// Restores a detector from an [`Apbf::checkpoint`] buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on malformed input.
+    pub fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::open(buf, KIND_APBF)?;
+        let cfg = ApbfConfig {
+            n: r.usize()?,
+            k: r.usize()?,
+            l: r.usize()?,
+            total_bits: r.usize()?,
+            seed: r.u64()?,
+            probe: probe_from_tag(r.u8()?)?,
+        };
+        let base = r.usize()?;
+        let in_gen = r.usize()?;
+        let wipe_flag = r.u8()?;
+        let slice = r.usize()?;
+        let cursor = r.usize()?;
+        let wipe = match wipe_flag {
+            0 => None,
+            1 => Some((slice, cursor)),
+            _ => return Err(CheckpointError::Corrupt("bad wipe flag")),
+        };
+        let state = ApbfState {
+            base,
+            in_gen,
+            wipe,
+            bit_words: r.words()?,
+        };
+        r.finish()?;
+        Self::from_checkpoint_parts(cfg, state)
+            .ok_or(CheckpointError::Corrupt("inconsistent APBF state"))
+    }
+}
+
+impl Swbf {
+    /// Serializes the complete detector state, including both sweep
+    /// cursors and the side-filter liveness bookkeeping.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let (cfg, state) = self.checkpoint_parts();
+        let mut w = Writer::new(KIND_SWBF);
+        w.usize(cfg.n);
+        w.usize(cfg.total_bits);
+        w.u64(u64::from(cfg.fingerprint_bits));
+        w.u64(cfg.seed);
+        w.u8(probe_tag(cfg.probe));
+        w.u64(state.now);
+        w.u64(state.arrivals);
+        w.opt_u64(state.last_side_insert);
+        w.usize(state.clean_next);
+        w.usize(state.side_clean_next);
+        w.words(&state.cell_words);
+        w.words(&state.side_words);
+        w.0
+    }
+
+    /// Restores a detector from a [`Swbf::checkpoint`] buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on malformed input.
+    pub fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::open(buf, KIND_SWBF)?;
+        let cfg = SwbfConfig {
+            n: r.usize()?,
+            total_bits: r.usize()?,
+            fingerprint_bits: u32::try_from(r.u64()?)
+                .map_err(|_| CheckpointError::Corrupt("fingerprint bits"))?,
+            seed: r.u64()?,
+            probe: probe_from_tag(r.u8()?)?,
+        };
+        let state = SwbfState {
+            now: r.u64()?,
+            arrivals: r.u64()?,
+            last_side_insert: r.opt_u64()?,
+            clean_next: r.usize()?,
+            side_clean_next: r.usize()?,
+            cell_words: r.words()?,
+            side_words: r.words()?,
+        };
+        r.finish()?;
+        Self::from_checkpoint_parts(cfg, state)
+            .ok_or(CheckpointError::Corrupt("inconsistent SWBF state"))
+    }
+}
+
 /// Detectors whose complete state round-trips through the `CFDS` binary
 /// format.
 ///
@@ -482,6 +625,86 @@ impl CheckpointState for TimeGbf {
     }
     fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
         TimeGbf::restore(buf)
+    }
+}
+
+impl JumpingTbf {
+    /// Serializes the complete detector state, including the sub-window
+    /// clock position and sweep cursor.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let (cfg, state) = self.checkpoint_parts();
+        let mut w = Writer::new(KIND_JUMPING_TBF);
+        w.usize(cfg.n);
+        w.usize(cfg.q);
+        w.usize(cfg.m);
+        w.usize(cfg.k);
+        w.usize(cfg.c_q);
+        w.u64(cfg.seed);
+        w.u8(probe_tag(cfg.probe));
+        w.u64(state.sub_now);
+        w.usize(state.slot);
+        w.usize(state.filled);
+        w.u64(state.completed_subwindows);
+        w.usize(state.clean_next);
+        w.words(&state.entry_words);
+        w.0
+    }
+
+    /// Restores a detector from a [`JumpingTbf::checkpoint`] buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on malformed input.
+    pub fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::open(buf, KIND_JUMPING_TBF)?;
+        let cfg = JumpingTbfConfig {
+            n: r.usize()?,
+            q: r.usize()?,
+            m: r.usize()?,
+            k: r.usize()?,
+            c_q: r.usize()?,
+            seed: r.u64()?,
+            probe: probe_from_tag(r.u8()?)?,
+        };
+        let state = JumpingTbfState {
+            sub_now: r.u64()?,
+            slot: r.usize()?,
+            filled: r.usize()?,
+            completed_subwindows: r.u64()?,
+            clean_next: r.usize()?,
+            entry_words: r.words()?,
+        };
+        r.finish()?;
+        Self::from_checkpoint_parts(cfg, state)
+            .ok_or(CheckpointError::Corrupt("inconsistent jumping-TBF state"))
+    }
+}
+
+impl CheckpointState for JumpingTbf {
+    fn checkpoint(&self) -> Vec<u8> {
+        JumpingTbf::checkpoint(self)
+    }
+    fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        JumpingTbf::restore(buf)
+    }
+}
+
+impl CheckpointState for Apbf {
+    fn checkpoint(&self) -> Vec<u8> {
+        Apbf::checkpoint(self)
+    }
+    fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        Apbf::restore(buf)
+    }
+}
+
+impl CheckpointState for Swbf {
+    fn checkpoint(&self) -> Vec<u8> {
+        Swbf::checkpoint(self)
+    }
+    fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        Swbf::restore(buf)
     }
 }
 
@@ -952,6 +1175,182 @@ mod tests {
         assert!(matches!(
             <Sharded as CheckpointState>::restore(&bad_count),
             Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn jumping_tbf_roundtrip_preserves_every_future_verdict() {
+        for probe in [ProbeLayout::Scattered, ProbeLayout::Blocked] {
+            let cfg = crate::tbf_jumping::JumpingTbfConfig::new(512, 64, 8_192, 5, 7)
+                .and_then(|c| c.with_probe(probe))
+                .expect("cfg");
+            let mut original = JumpingTbf::new(cfg).expect("detector");
+            // Stop mid-sub-window so the clock phase is non-trivial.
+            for i in 0..5_003u64 {
+                original.observe(&(i % 700).to_le_bytes());
+            }
+            let buf = original.checkpoint();
+            let mut restored = JumpingTbf::restore(&buf).expect("valid checkpoint");
+            assert_eq!(restored.config().probe, probe);
+            for i in 5_003..15_000u64 {
+                let key = (i % 700).to_le_bytes();
+                assert_eq!(
+                    original.observe(&key),
+                    restored.observe(&key),
+                    "probe {probe:?}, i={i}"
+                );
+            }
+            // Truncations fail cleanly.
+            for cut in (0..buf.len()).step_by(97) {
+                assert!(
+                    JumpingTbf::restore(&buf[..cut]).is_err(),
+                    "truncation at {cut} accepted"
+                );
+            }
+        }
+    }
+
+    // ---- APBF / SWBF ---------------------------------------------------
+
+    fn apbf(probe: ProbeLayout) -> Apbf {
+        Apbf::new(ApbfConfig::for_budget(512, 512 * 24, 7, probe).expect("cfg")).expect("detector")
+    }
+
+    fn swbf(probe: ProbeLayout) -> Swbf {
+        Swbf::new(SwbfConfig::for_budget(512, 512 * 48, 7, probe).expect("cfg")).expect("detector")
+    }
+
+    #[test]
+    fn apbf_roundtrip_preserves_every_future_verdict() {
+        for probe in [ProbeLayout::Scattered, ProbeLayout::Blocked] {
+            let mut original = apbf(probe);
+            // Stop mid-generation so base/in_gen/wipe are all non-trivial.
+            for i in 0..5_003u64 {
+                original.observe(&(i % 700).to_le_bytes());
+            }
+            let buf = original.checkpoint();
+            let mut restored = Apbf::restore(&buf).expect("valid checkpoint");
+            assert_eq!(restored.config().probe, probe);
+            for i in 5_003..15_000u64 {
+                let key = (i % 700).to_le_bytes();
+                assert_eq!(
+                    original.observe(&key),
+                    restored.observe(&key),
+                    "probe {probe:?}, i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swbf_roundtrip_preserves_every_future_verdict() {
+        for probe in [ProbeLayout::Scattered, ProbeLayout::Blocked] {
+            let mut original = swbf(probe);
+            for i in 0..5_003u64 {
+                original.observe(&(i % 700).to_le_bytes());
+            }
+            let buf = original.checkpoint();
+            let mut restored = Swbf::restore(&buf).expect("valid checkpoint");
+            assert_eq!(restored.config().probe, probe);
+            for i in 5_003..15_000u64 {
+                let key = (i % 700).to_le_bytes();
+                assert_eq!(
+                    original.observe(&key),
+                    restored.observe(&key),
+                    "probe {probe:?}, i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swbf_roundtrip_preserves_side_filter_state() {
+        // Crowd a tiny filter until inserts spill into the side filter,
+        // then checkpoint: side table and liveness stamp must survive.
+        let mut original =
+            Swbf::new(SwbfConfig::for_budget(128, 2_048, 7, ProbeLayout::Scattered).expect("cfg"))
+                .expect("detector");
+        for i in 0..2_000u64 {
+            original.observe(&i.to_le_bytes());
+        }
+        assert!(
+            original.side_inserted(),
+            "crowding should hit the side path"
+        );
+        let buf = original.checkpoint();
+        let mut restored = Swbf::restore(&buf).expect("valid checkpoint");
+        for i in 2_000..6_000u64 {
+            let key = (i % 160).to_le_bytes();
+            assert_eq!(original.observe(&key), restored.observe(&key), "i={i}");
+        }
+    }
+
+    #[test]
+    fn apbf_swbf_reject_malformed_buffers() {
+        // Kind confusion between the two new backends is rejected.
+        assert!(matches!(
+            Swbf::restore(&apbf(ProbeLayout::Scattered).checkpoint()),
+            Err(CheckpointError::WrongKind {
+                found: 6,
+                expected: 7
+            })
+        ));
+        assert!(matches!(
+            Apbf::restore(&swbf(ProbeLayout::Scattered).checkpoint()),
+            Err(CheckpointError::WrongKind {
+                found: 7,
+                expected: 6
+            })
+        ));
+        // Every truncation must fail cleanly, never panic or OOM.
+        let mut a = apbf(ProbeLayout::Scattered);
+        let mut s = swbf(ProbeLayout::Scattered);
+        for i in 0..1_000u64 {
+            a.observe(&i.to_le_bytes());
+            s.observe(&i.to_le_bytes());
+        }
+        let full = a.checkpoint();
+        for cut in (0..full.len()).step_by(97) {
+            assert!(
+                Apbf::restore(&full[..cut]).is_err(),
+                "apbf truncation at {cut} accepted"
+            );
+        }
+        let full = s.checkpoint();
+        for cut in (0..full.len()).step_by(97) {
+            assert!(
+                Swbf::restore(&full[..cut]).is_err(),
+                "swbf truncation at {cut} accepted"
+            );
+        }
+        // A corrupt wipe flag is rejected (flag byte sits after the
+        // 7-byte header, 4 usize config fields + seed + probe byte, and
+        // base/in_gen).
+        let mut bad_flag = a.checkpoint();
+        bad_flag[7 + 4 * 8 + 8 + 1 + 2 * 8] = 3;
+        assert!(matches!(
+            Apbf::restore(&bad_flag),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn peek_kind_reads_the_backend_tag() {
+        assert_eq!(peek_kind(&tbf().checkpoint()), Ok(KIND_TBF));
+        assert_eq!(
+            peek_kind(&apbf(ProbeLayout::Scattered).checkpoint()),
+            Ok(KIND_APBF)
+        );
+        assert_eq!(
+            peek_kind(&swbf(ProbeLayout::Scattered).checkpoint()),
+            Ok(KIND_SWBF)
+        );
+        assert_eq!(peek_kind(b"junk"), Err(CheckpointError::BadMagic));
+        let mut buf = tbf().checkpoint();
+        buf[5] = 0xEE;
+        assert!(matches!(
+            peek_kind(&buf),
+            Err(CheckpointError::BadVersion(_))
         ));
     }
 }

@@ -19,6 +19,7 @@
 //! `Q`-filter union, and `O((Q/D) · (M/N))`-ish per-element cost in D-bit
 //! word operations.
 
+use crate::backend::{self, BatchBufs, CountCore, ProbeCore};
 use crate::config::{ConfigError, GbfConfig, GbfLayout, ProbeLayout};
 use crate::ops::OpCounters;
 use cfd_bits::{InterleavedBitMatrix, TightBitMatrix};
@@ -128,9 +129,7 @@ pub struct Gbf {
     clean_next: usize,
     clean_quota: usize,
     ops: OpCounters,
-    probe_buf: Vec<usize>,
-    batch_buf: Vec<usize>,
-    plan_buf: Vec<ProbePlan>,
+    bufs: BatchBufs,
     acc: Vec<u64>,
     /// Blocked-probe geometry; `None` in scattered mode.
     geo: Option<BlockGeometry>,
@@ -168,10 +167,7 @@ impl Gbf {
                 m: cfg.m,
             });
         }
-        let k_eff = match &geo {
-            Some(g) => cfg.k.min(g.slots() / 2).max(1),
-            None => cfg.k,
-        };
+        let k_eff = backend::effective_k(cfg.k, geo.as_ref());
         let matrix = GroupMatrix::new(cfg.m, cfg.q + 1, cfg.layout);
         let mut active_mask = vec![0u64; matrix.lane_words()];
         active_mask[0] |= 1; // slot 0 is current at stream start
@@ -183,9 +179,7 @@ impl Gbf {
             clean_next: 0,
             clean_quota: cfg.clean_quota(),
             ops: OpCounters::new(),
-            probe_buf: vec![0; k_eff],
-            batch_buf: Vec::new(),
-            plan_buf: Vec::new(),
+            bufs: BatchBufs::default(),
             acc: vec![0; matrix.lane_words()],
             geo,
             k_eff,
@@ -369,10 +363,9 @@ impl Gbf {
     /// one hash evaluation is accounted to this element regardless of
     /// where it was computed, keeping Theorem 1's per-element op counts.
     pub fn apply(&mut self, plan: ProbePlan) -> Verdict {
-        let mut probes = std::mem::take(&mut self.probe_buf);
-        Self::fill_probes(self.geo.as_ref(), self.cfg.m, plan, &mut probes);
-        let verdict = self.apply_at(&probes);
-        self.probe_buf = probes;
+        let mut bufs = std::mem::take(&mut self.bufs);
+        let verdict = backend::apply_plan(self, &mut bufs, plan);
+        self.bufs = bufs;
         verdict
     }
 
@@ -388,60 +381,9 @@ impl Gbf {
     /// Allocation-free [`Gbf::apply_batch`]: verdicts go into `out`
     /// (cleared first, capacity reused).
     pub fn apply_batch_into(&mut self, plans: &[ProbePlan], out: &mut Vec<Verdict>) {
-        let probes = self.expand_plans(plans);
-        self.replay_into(probes, out);
-    }
-
-    /// Expands every plan's probe groups into the recycled flat
-    /// `batch_buf` (`k_eff` groups per element); the buffer is handed
-    /// back by [`Gbf::replay_into`].
-    fn expand_plans(&mut self, plans: &[ProbePlan]) -> Vec<usize> {
-        let k = self.k_eff;
-        let mut probes = std::mem::take(&mut self.batch_buf);
-        probes.clear();
-        probes.resize(plans.len() * k, 0);
-        for (plan, slot) in plans.iter().zip(probes.chunks_exact_mut(k)) {
-            Self::fill_probes(self.geo.as_ref(), self.cfg.m, *plan, slot);
-        }
-        probes
-    }
-
-    /// Applies a flat buffer of expanded probe groups (`k_eff` per
-    /// element), prefetching element `i + PREFETCH_AHEAD`'s cache lines
-    /// while element `i` is processed. In blocked mode all of an
-    /// element's probes share one line, so one prefetch per future
-    /// element suffices. Returns the buffer to `batch_buf`; verdicts go
-    /// into `out` (cleared first, capacity reused).
-    fn replay_into(&mut self, probes: Vec<usize>, out: &mut Vec<Verdict>) {
-        const PREFETCH_AHEAD: usize = 8;
-        let k = self.k_eff;
-        let blocked = self.geo.is_some();
-        out.clear();
-        let mut ahead = probes.chunks_exact(k).skip(PREFETCH_AHEAD);
-        for slot in probes.chunks_exact(k) {
-            if let Some(next) = ahead.next() {
-                if blocked {
-                    self.matrix.prefetch(next[0]);
-                } else {
-                    for &g in next {
-                        self.matrix.prefetch(g);
-                    }
-                }
-            }
-            out.push(self.apply_at(slot));
-        }
-        self.batch_buf = probes;
-    }
-
-    /// Expands a plan into probe groups under the configured
-    /// [`ProbeLayout`]: scattered enhanced double hashing over all `m`
-    /// groups, or a cache-line block walk.
-    #[inline]
-    fn fill_probes(geo: Option<&BlockGeometry>, m: usize, plan: ProbePlan, out: &mut [usize]) {
-        match geo {
-            Some(g) => plan.fill_blocked(g, out),
-            None => plan.fill(m, out),
-        }
+        let mut bufs = std::mem::take(&mut self.bufs);
+        backend::apply_batch_into(self, &mut bufs, plans, out);
+        self.bufs = bufs;
     }
 
     /// [`Gbf::apply`] with the plan's probe groups already expanded —
@@ -500,6 +442,35 @@ impl Gbf {
     }
 }
 
+impl ProbeCore for Gbf {
+    #[inline]
+    fn table_len(&self) -> usize {
+        self.cfg.m
+    }
+
+    #[inline]
+    fn probe_width(&self) -> usize {
+        self.k_eff
+    }
+
+    #[inline]
+    fn block_geo(&self) -> Option<&BlockGeometry> {
+        self.geo.as_ref()
+    }
+
+    #[inline]
+    fn prefetch(&self, idx: usize) {
+        self.matrix.prefetch(idx);
+    }
+}
+
+impl CountCore for Gbf {
+    #[inline]
+    fn apply_probes(&mut self, _plan: ProbePlan, probes: &[usize]) -> Verdict {
+        self.apply_at(probes)
+    }
+}
+
 impl DuplicateDetector for Gbf {
     fn observe(&mut self, id: &[u8]) -> Verdict {
         let plan = self.plan(id);
@@ -520,19 +491,17 @@ impl DuplicateDetector for Gbf {
         // latency-hiding replay as `Tbf::observe_batch`. In blocked mode
         // all of an element's probes share one line, so a single
         // prefetch per future element suffices.
-        let mut plans = std::mem::take(&mut self.plan_buf);
-        self.planner().plan_refs_into(ids, &mut plans);
-        let probes = self.expand_plans(&plans);
-        self.plan_buf = plans;
-        self.replay_into(probes, out);
+        let mut bufs = std::mem::take(&mut self.bufs);
+        let planner = self.planner();
+        backend::observe_refs_into(self, &mut bufs, planner, ids, out);
+        self.bufs = bufs;
     }
 
     fn observe_flat_into(&mut self, keys: &[u8], key_len: usize, out: &mut Vec<Verdict>) {
-        let mut plans = std::mem::take(&mut self.plan_buf);
-        self.planner().plan_flat_into(keys, key_len, &mut plans);
-        let probes = self.expand_plans(&plans);
-        self.plan_buf = plans;
-        self.replay_into(probes, out);
+        let mut bufs = std::mem::take(&mut self.bufs);
+        let planner = self.planner();
+        backend::observe_flat_into(self, &mut bufs, planner, keys, key_len, out);
+        self.bufs = bufs;
     }
 
     fn window(&self) -> WindowSpec {

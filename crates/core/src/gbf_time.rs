@@ -33,6 +33,7 @@
 //! active sub-window, so late duplicates are flagged; a late distinct
 //! click is simply remembered as if it arrived now.
 
+use crate::backend::{self, BatchBufs, ProbeCore, TimedCore};
 use crate::config::{ConfigError, ProbeLayout};
 use crate::ops::OpCounters;
 use cfd_bits::InterleavedBitMatrix;
@@ -236,9 +237,7 @@ pub struct TimeGbf {
     clean_next: usize,
     clean_chunk: usize,
     ops: OpCounters,
-    probe_buf: Vec<usize>,
-    batch_buf: Vec<usize>,
-    plan_buf: Vec<ProbePlan>,
+    bufs: BatchBufs,
     acc: Vec<u64>,
     /// Blocked-probe geometry; `None` in scattered mode.
     geo: Option<BlockGeometry>,
@@ -266,10 +265,7 @@ impl TimeGbf {
                 },
             )?),
         };
-        let k_eff = match &geo {
-            Some(g) => cfg.k.min(g.slots() / 2).max(1),
-            None => cfg.k,
-        };
+        let k_eff = backend::effective_k(cfg.k, geo.as_ref());
         let matrix = InterleavedBitMatrix::new(cfg.m, cfg.q + 1);
         let mut active_mask = vec![0u64; matrix.lane_words()];
         active_mask[0] |= 1;
@@ -284,9 +280,7 @@ impl TimeGbf {
             clean_next: 0,
             clean_chunk: cfg.clean_chunk(),
             ops: OpCounters::new(),
-            probe_buf: vec![0; k_eff],
-            batch_buf: Vec::new(),
-            plan_buf: Vec::new(),
+            bufs: BatchBufs::default(),
             acc: vec![0; matrix.lane_words()],
             geo,
             k_eff,
@@ -486,24 +480,13 @@ impl TimeGbf {
         ProbePlan::from_pair(self.family.pair(id))
     }
 
-    /// Expands a plan into probe groups under the configured layout.
-    #[inline]
-    fn fill_probes(geo: Option<&BlockGeometry>, m: usize, plan: ProbePlan, out: &mut [usize]) {
-        match geo {
-            Some(g) => plan.fill_blocked(g, out),
-            None => plan.fill(m, out),
-        }
-    }
-
     /// The stateful half of a timed observation; `observe_at(id, tick)` ≡
     /// `apply_at(plan(id), tick)`. The hash evaluation is accounted to
     /// this element regardless of where it was computed.
     pub fn apply_at(&mut self, plan: ProbePlan, tick: u64) -> Verdict {
-        let mut probes = std::mem::take(&mut self.probe_buf);
-        Self::fill_probes(self.geo.as_ref(), self.cfg.m, plan, &mut probes);
-        self.advance_to(self.units.unit_of(tick));
-        let verdict = self.probe_insert(&probes);
-        self.probe_buf = probes;
+        let mut bufs = std::mem::take(&mut self.bufs);
+        let verdict = backend::apply_plan_at(self, &mut bufs, plan, tick);
+        self.bufs = bufs;
         verdict
     }
 
@@ -530,68 +513,9 @@ impl TimeGbf {
         ticks: &[u64],
         out: &mut Vec<Verdict>,
     ) {
-        assert_eq!(plans.len(), ticks.len(), "one tick per plan");
-        let probes = self.expand_plans(plans);
-        self.replay_at_into(probes, ticks, out);
-    }
-
-    /// Expands every plan's probe groups into the recycled flat
-    /// `batch_buf` (`k_eff` groups per element); the buffer is handed
-    /// back by [`TimeGbf::replay_at_into`].
-    fn expand_plans(&mut self, plans: &[ProbePlan]) -> Vec<usize> {
-        let k = self.k_eff;
-        let mut probes = std::mem::take(&mut self.batch_buf);
-        probes.clear();
-        probes.resize(plans.len() * k, 0);
-        for (plan, slot) in plans.iter().zip(probes.chunks_exact_mut(k)) {
-            Self::fill_probes(self.geo.as_ref(), self.cfg.m, *plan, slot);
-        }
-        probes
-    }
-
-    /// Applies a flat buffer of expanded probe groups (`k_eff` per
-    /// element) with the elements' ticks, prefetching element
-    /// `i + PREFETCH_AHEAD`'s cache lines while element `i` is
-    /// processed. Clock work — cleaning replay and rotations — runs only
-    /// when an element's unit differs from its predecessor's. Returns
-    /// the buffer to `batch_buf`; verdicts go into `out` (cleared first).
-    fn replay_at_into(&mut self, probes: Vec<usize>, ticks: &[u64], out: &mut Vec<Verdict>) {
-        const PREFETCH_AHEAD: usize = 8;
-        let k = self.k_eff;
-        let blocked = self.geo.is_some();
-        out.clear();
-        // Per-run clock cache: (raw unit, whether the run is clamped).
-        // `advance_to` runs only when the raw unit changes; clamped runs
-        // still count one regression per element to match the
-        // sequential path.
-        let mut run: Option<(u64, bool)> = None;
-        let mut ahead = probes.chunks_exact(k).skip(PREFETCH_AHEAD);
-        for (slot, &tick) in probes.chunks_exact(k).zip(ticks) {
-            if let Some(next) = ahead.next() {
-                if blocked {
-                    self.matrix.prefetch(next[0]);
-                } else {
-                    for &g in next {
-                        self.matrix.prefetch(g);
-                    }
-                }
-            }
-            let raw = self.units.unit_of(tick);
-            match run {
-                Some((r, clamped)) if r == raw => {
-                    if clamped {
-                        self.ops.clock_regressions += 1;
-                    }
-                }
-                _ => {
-                    let high_water = self.cur_unit;
-                    self.advance_to(raw);
-                    run = Some((raw, high_water.is_some_and(|h| raw < h)));
-                }
-            }
-            out.push(self.probe_insert(slot));
-        }
-        self.batch_buf = probes;
+        let mut bufs = std::mem::take(&mut self.bufs);
+        backend::apply_batch_at_into(self, &mut bufs, plans, ticks, out);
+        self.bufs = bufs;
     }
 
     /// [`TimeGbf::apply_at`] with the probe groups already expanded and
@@ -620,6 +544,63 @@ impl TimeGbf {
     }
 }
 
+impl ProbeCore for TimeGbf {
+    #[inline]
+    fn table_len(&self) -> usize {
+        self.cfg.m
+    }
+
+    #[inline]
+    fn probe_width(&self) -> usize {
+        self.k_eff
+    }
+
+    #[inline]
+    fn block_geo(&self) -> Option<&BlockGeometry> {
+        self.geo.as_ref()
+    }
+
+    #[inline]
+    fn prefetch(&self, idx: usize) {
+        self.matrix.prefetch(idx);
+    }
+}
+
+impl TimedCore for TimeGbf {
+    #[inline]
+    fn unit_of(&self, tick: u64) -> u64 {
+        self.units.unit_of(tick)
+    }
+
+    #[inline]
+    fn high_water(&self) -> Option<u64> {
+        self.cur_unit
+    }
+
+    #[inline]
+    fn advance_to(&mut self, unit: u64) -> u64 {
+        Self::advance_to(self, unit);
+        self.cur_unit.unwrap_or(unit)
+    }
+
+    /// The GBF matrix stores lane bits, not stamps; the replay's cached
+    /// stamp is unused.
+    #[inline]
+    fn stamp_of(&self, _unit: u64) -> u64 {
+        0
+    }
+
+    #[inline]
+    fn note_regression(&mut self) {
+        self.ops.clock_regressions += 1;
+    }
+
+    #[inline]
+    fn apply_probes_at(&mut self, _plan: ProbePlan, probes: &[usize], _stamp_now: u64) -> Verdict {
+        self.probe_insert(probes)
+    }
+}
+
 impl TimedDuplicateDetector for TimeGbf {
     fn observe_at(&mut self, id: &[u8], tick: u64) -> Verdict {
         let plan = self.plan(id);
@@ -627,16 +608,14 @@ impl TimedDuplicateDetector for TimeGbf {
     }
 
     fn observe_batch_at_into(&mut self, ids: &[&[u8]], ticks: &[u64], out: &mut Vec<Verdict>) {
-        assert_eq!(ids.len(), ticks.len(), "one tick per id");
         // Hash the whole batch first (pure, multi-lane over equal-length
         // runs), expand to one flat probe buffer, then replay against
         // matrix state with lookahead prefetch — the same latency-hiding
         // schedule as `Gbf::observe_batch`.
-        let mut plans = std::mem::take(&mut self.plan_buf);
-        self.planner().plan_refs_into(ids, &mut plans);
-        let probes = self.expand_plans(&plans);
-        self.plan_buf = plans;
-        self.replay_at_into(probes, ticks, out);
+        let mut bufs = std::mem::take(&mut self.bufs);
+        let planner = self.planner();
+        backend::observe_refs_at_into(self, &mut bufs, planner, ids, ticks, out);
+        self.bufs = bufs;
     }
 
     fn observe_flat_at_into(
@@ -646,13 +625,10 @@ impl TimedDuplicateDetector for TimeGbf {
         ticks: &[u64],
         out: &mut Vec<Verdict>,
     ) {
-        assert!(key_len > 0, "key_len must be non-zero");
-        assert_eq!(keys.len() / key_len.max(1), ticks.len(), "one tick per key");
-        let mut plans = std::mem::take(&mut self.plan_buf);
-        self.planner().plan_flat_into(keys, key_len, &mut plans);
-        let probes = self.expand_plans(&plans);
-        self.plan_buf = plans;
-        self.replay_at_into(probes, ticks, out);
+        let mut bufs = std::mem::take(&mut self.bufs);
+        let planner = self.planner();
+        backend::observe_flat_at_into(self, &mut bufs, planner, keys, key_len, ticks, out);
+        self.bufs = bufs;
     }
 
     fn window(&self) -> WindowSpec {

@@ -51,16 +51,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod apbf;
+mod backend;
 pub mod checkpoint;
 pub mod config;
 pub mod gbf;
 pub mod gbf_time;
 pub mod ops;
+pub mod registry;
 pub mod sharded;
+pub mod swbf;
 pub mod tbf;
 pub mod tbf_jumping;
 pub mod tbf_time;
 
+pub use apbf::{Apbf, ApbfConfig};
 pub use checkpoint::{CheckpointError, CheckpointState};
 pub use config::{
     ConfigError, GbfConfig, GbfConfigBuilder, GbfLayout, ProbeLayout, TbfConfig, TbfConfigBuilder,
@@ -68,7 +73,9 @@ pub use config::{
 pub use gbf::Gbf;
 pub use gbf_time::{TimeGbf, TimeGbfConfig};
 pub use ops::OpCounters;
+pub use registry::{BackendGeometry, DetectorBackend, MemorySpec};
 pub use sharded::{PlannedDetector, ShardRouter, ShardedDetector, TimedPlannedDetector};
+pub use swbf::{Swbf, SwbfConfig};
 pub use tbf::Tbf;
 pub use tbf_jumping::JumpingTbf;
 pub use tbf_time::{TimeTbf, TimeTbfConfig};

@@ -176,6 +176,36 @@ impl PlannedDetector for crate::Gbf {
     }
 }
 
+impl PlannedDetector for crate::Apbf {
+    fn probe_planner(&self) -> Planner {
+        self.planner()
+    }
+    fn apply_plan(&mut self, plan: ProbePlan) -> Verdict {
+        self.apply(plan)
+    }
+    fn apply_plan_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
+        self.apply_batch(plans)
+    }
+    fn apply_plan_batch_into(&mut self, plans: &[ProbePlan], out: &mut Vec<Verdict>) {
+        self.apply_batch_into(plans, out);
+    }
+}
+
+impl PlannedDetector for crate::Swbf {
+    fn probe_planner(&self) -> Planner {
+        self.planner()
+    }
+    fn apply_plan(&mut self, plan: ProbePlan) -> Verdict {
+        self.apply(plan)
+    }
+    fn apply_plan_batch(&mut self, plans: &[ProbePlan]) -> Vec<Verdict> {
+        self.apply_batch(plans)
+    }
+    fn apply_plan_batch_into(&mut self, plans: &[ProbePlan], out: &mut Vec<Verdict>) {
+        self.apply_batch_into(plans, out);
+    }
+}
+
 impl PlannedDetector for crate::tbf_jumping::JumpingTbf {
     fn probe_planner(&self) -> Planner {
         self.planner()

@@ -17,6 +17,7 @@
 //! Per Theorem 2: zero false negatives, classical-Bloom false-positive
 //! rate at `n = N`, and `O(M / (N log N))` entry operations per element.
 
+use crate::backend::{self, BatchBufs, CountCore, ProbeCore};
 use crate::config::{ConfigError, TbfConfig};
 use crate::ops::OpCounters;
 use cfd_bits::PackedIntVec;
@@ -57,9 +58,7 @@ pub struct Tbf {
     clean_quota: usize,
     empty: u64,
     ops: OpCounters,
-    probe_buf: Vec<usize>,
-    batch_buf: Vec<usize>,
-    plan_buf: Vec<ProbePlan>,
+    bufs: BatchBufs,
     /// Blocked-probe geometry; `None` in scattered mode.
     geo: Option<BlockGeometry>,
     /// Probes actually issued per element: `k` scattered, capped at
@@ -97,10 +96,7 @@ impl Tbf {
                 },
             )?),
         };
-        let k_eff = match &geo {
-            Some(g) => cfg.k.min(g.slots() / 2).max(1),
-            None => cfg.k,
-        };
+        let k_eff = backend::effective_k(cfg.k, geo.as_ref());
         let entries = PackedIntVec::new_all_ones(cfg.m, cfg.entry_bits());
         let empty = entries.max_value();
         Ok(Self {
@@ -110,9 +106,7 @@ impl Tbf {
             clean_quota: cfg.clean_quota(),
             empty,
             ops: OpCounters::new(),
-            probe_buf: vec![0; k_eff],
-            batch_buf: Vec::new(),
-            plan_buf: Vec::new(),
+            bufs: BatchBufs::default(),
             geo,
             k_eff,
             scans: Cell::new(0),
@@ -126,15 +120,6 @@ impl Tbf {
     #[must_use]
     pub fn effective_hash_count(&self) -> usize {
         self.k_eff
-    }
-
-    /// Expands a plan into probe indices under the configured layout.
-    #[inline]
-    fn fill_probes(geo: Option<&BlockGeometry>, m: usize, plan: ProbePlan, out: &mut [usize]) {
-        match geo {
-            Some(g) => plan.fill_blocked(g, out),
-            None => plan.fill(m, out),
-        }
     }
 
     /// The configuration.
@@ -260,10 +245,9 @@ impl Tbf {
     /// one hash evaluation is accounted to this element regardless of
     /// where it was computed, keeping Theorem 2's per-element op counts.
     pub fn apply(&mut self, plan: ProbePlan) -> Verdict {
-        let mut probes = std::mem::take(&mut self.probe_buf);
-        Self::fill_probes(self.geo.as_ref(), self.cfg.m, plan, &mut probes);
-        let verdict = self.apply_at(&probes);
-        self.probe_buf = probes;
+        let mut bufs = std::mem::take(&mut self.bufs);
+        let verdict = backend::apply_plan(self, &mut bufs, plan);
+        self.bufs = bufs;
         verdict
     }
 
@@ -279,49 +263,9 @@ impl Tbf {
     /// Allocation-free [`Tbf::apply_batch`]: verdicts go into `out`
     /// (cleared first, capacity reused).
     pub fn apply_batch_into(&mut self, plans: &[ProbePlan], out: &mut Vec<Verdict>) {
-        let probes = self.expand_plans(plans);
-        self.replay_into(probes, out);
-    }
-
-    /// Expands every plan's probe indices into the recycled flat
-    /// `batch_buf` (`k_eff` indices per element); the buffer is handed
-    /// back by [`Tbf::replay_into`].
-    fn expand_plans(&mut self, plans: &[ProbePlan]) -> Vec<usize> {
-        let k = self.k_eff;
-        let mut probes = std::mem::take(&mut self.batch_buf);
-        probes.clear();
-        probes.resize(plans.len() * k, 0);
-        for (plan, slot) in plans.iter().zip(probes.chunks_exact_mut(k)) {
-            Self::fill_probes(self.geo.as_ref(), self.cfg.m, *plan, slot);
-        }
-        probes
-    }
-
-    /// Applies a flat buffer of expanded probe indices (`k_eff` per
-    /// element), prefetching element `i + PREFETCH_AHEAD`'s cache lines
-    /// while element `i` is processed. In blocked mode all of an
-    /// element's probes share one line, so one prefetch per future
-    /// element suffices. Returns the buffer to `batch_buf`; verdicts go
-    /// into `out` (cleared first, capacity reused).
-    fn replay_into(&mut self, probes: Vec<usize>, out: &mut Vec<Verdict>) {
-        const PREFETCH_AHEAD: usize = 8;
-        let k = self.k_eff;
-        let blocked = self.geo.is_some();
-        out.clear();
-        let mut ahead = probes.chunks_exact(k).skip(PREFETCH_AHEAD);
-        for slot in probes.chunks_exact(k) {
-            if let Some(next) = ahead.next() {
-                if blocked {
-                    self.entries.prefetch(next[0]);
-                } else {
-                    for &j in next {
-                        self.entries.prefetch(j);
-                    }
-                }
-            }
-            out.push(self.apply_at(slot));
-        }
-        self.batch_buf = probes;
+        let mut bufs = std::mem::take(&mut self.bufs);
+        backend::apply_batch_into(self, &mut bufs, plans, out);
+        self.bufs = bufs;
     }
 
     /// [`Tbf::apply`] with the plan's probe indices already expanded —
@@ -362,6 +306,35 @@ impl Tbf {
     }
 }
 
+impl ProbeCore for Tbf {
+    #[inline]
+    fn table_len(&self) -> usize {
+        self.cfg.m
+    }
+
+    #[inline]
+    fn probe_width(&self) -> usize {
+        self.k_eff
+    }
+
+    #[inline]
+    fn block_geo(&self) -> Option<&BlockGeometry> {
+        self.geo.as_ref()
+    }
+
+    #[inline]
+    fn prefetch(&self, idx: usize) {
+        self.entries.prefetch(idx);
+    }
+}
+
+impl CountCore for Tbf {
+    #[inline]
+    fn apply_probes(&mut self, _plan: ProbePlan, probes: &[usize]) -> Verdict {
+        self.apply_at(probes)
+    }
+}
+
 impl DuplicateDetector for Tbf {
     fn observe(&mut self, id: &[u8]) -> Verdict {
         let plan = self.plan(id);
@@ -382,19 +355,17 @@ impl DuplicateDetector for Tbf {
         // applied, element `i + PREFETCH_AHEAD`'s cache lines are
         // already being pulled, hiding the random-access latency of a
         // table much larger than L1/L2.
-        let mut plans = std::mem::take(&mut self.plan_buf);
-        self.planner().plan_refs_into(ids, &mut plans);
-        let probes = self.expand_plans(&plans);
-        self.plan_buf = plans;
-        self.replay_into(probes, out);
+        let mut bufs = std::mem::take(&mut self.bufs);
+        let planner = self.planner();
+        backend::observe_refs_into(self, &mut bufs, planner, ids, out);
+        self.bufs = bufs;
     }
 
     fn observe_flat_into(&mut self, keys: &[u8], key_len: usize, out: &mut Vec<Verdict>) {
-        let mut plans = std::mem::take(&mut self.plan_buf);
-        self.planner().plan_flat_into(keys, key_len, &mut plans);
-        let probes = self.expand_plans(&plans);
-        self.plan_buf = plans;
-        self.replay_into(probes, out);
+        let mut bufs = std::mem::take(&mut self.bufs);
+        let planner = self.planner();
+        backend::observe_flat_into(self, &mut bufs, planner, keys, key_len, out);
+        self.bufs = bufs;
     }
 
     fn window(&self) -> WindowSpec {

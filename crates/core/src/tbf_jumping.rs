@@ -12,6 +12,7 @@
 //! below the sliding TBF's `O(log N)` — and the probe is `k` entry reads
 //! regardless of `Q`, where GBF would need `k × ⌈(Q+1)/64⌉` word reads.
 
+use crate::backend::{self, BatchBufs, CountCore, ProbeCore};
 use crate::config::{ConfigError, ProbeLayout};
 use crate::ops::OpCounters;
 use cfd_bits::words::bits_for_value;
@@ -131,6 +132,17 @@ impl JumpingTbfConfig {
     }
 }
 
+/// Mutable-state snapshot carried by a checkpoint (the configuration
+/// travels separately).
+pub(crate) struct JumpingTbfState {
+    pub sub_now: u64,
+    pub slot: usize,
+    pub filled: usize,
+    pub completed_subwindows: u64,
+    pub clean_next: usize,
+    pub entry_words: Vec<u64>,
+}
+
 /// Timing-Bloom-filter duplicate detector over count-based jumping
 /// windows (the large-`Q` regime where [`crate::Gbf`] is too slow).
 ///
@@ -159,9 +171,7 @@ pub struct JumpingTbf {
     clean_quota: usize,
     empty: u64,
     ops: OpCounters,
-    probe_buf: Vec<usize>,
-    batch_buf: Vec<usize>,
-    plan_buf: Vec<ProbePlan>,
+    bufs: BatchBufs,
     /// Blocked-probe geometry; `None` in scattered mode.
     geo: Option<BlockGeometry>,
     /// Probes per element: `k` scattered, `min(k, slots/2)` blocked
@@ -188,10 +198,7 @@ impl JumpingTbf {
                 },
             )?),
         };
-        let k_eff = match &geo {
-            Some(g) => cfg.k.min(g.slots() / 2).max(1),
-            None => cfg.k,
-        };
+        let k_eff = backend::effective_k(cfg.k, geo.as_ref());
         let entries = PackedIntVec::new_all_ones(cfg.m, cfg.entry_bits());
         let empty = entries.max_value();
         Ok(Self {
@@ -202,9 +209,7 @@ impl JumpingTbf {
             clean_quota: cfg.clean_quota(),
             empty,
             ops: OpCounters::new(),
-            probe_buf: vec![0; k_eff],
-            batch_buf: Vec::new(),
-            plan_buf: Vec::new(),
+            bufs: BatchBufs::default(),
             geo,
             k_eff,
             scans: Cell::new(0),
@@ -220,15 +225,6 @@ impl JumpingTbf {
         self.k_eff
     }
 
-    /// Expands a plan into probe indices under the configured layout.
-    #[inline]
-    fn fill_probes(geo: Option<&BlockGeometry>, m: usize, plan: ProbePlan, out: &mut [usize]) {
-        match geo {
-            Some(g) => plan.fill_blocked(g, out),
-            None => plan.fill(m, out),
-        }
-    }
-
     /// The configuration.
     #[must_use]
     pub fn config(&self) -> JumpingTbfConfig {
@@ -239,6 +235,46 @@ impl JumpingTbf {
     #[must_use]
     pub fn ops(&self) -> OpCounters {
         self.ops
+    }
+
+    /// Internal state snapshot for checkpointing.
+    pub(crate) fn checkpoint_parts(&self) -> (JumpingTbfConfig, JumpingTbfState) {
+        (
+            self.cfg,
+            JumpingTbfState {
+                sub_now: self.sub.now(),
+                slot: self.clock.slot(),
+                filled: self.clock.filled(),
+                completed_subwindows: self.clock.completed_subwindows(),
+                clean_next: self.clean_next,
+                entry_words: self.entries.as_words().to_vec(),
+            },
+        )
+    }
+
+    /// Rebuilds a detector from checkpoint parts; `None` if inconsistent.
+    pub(crate) fn from_checkpoint_parts(
+        cfg: JumpingTbfConfig,
+        state: JumpingTbfState,
+    ) -> Option<Self> {
+        // Size-check against the provided payload BEFORE allocating: a
+        // corrupt header could otherwise request an absurd table.
+        let expected_words = cfg.m.checked_mul(cfg.entry_bits() as usize)?.div_ceil(64);
+        if state.entry_words.len() != expected_words || state.clean_next >= cfg.m {
+            return None;
+        }
+        let mut d = Self::new(cfg).ok()?;
+        d.sub = WrapCounter::from_parts(cfg.range(), state.sub_now)?;
+        d.clock = JumpingClock::from_parts(
+            cfg.q,
+            cfg.n.div_ceil(cfg.q),
+            state.slot,
+            state.filled,
+            state.completed_subwindows,
+        )?;
+        d.clean_next = state.clean_next;
+        d.entries = cfd_bits::PackedIntVec::from_words(state.entry_words, cfg.m, cfg.entry_bits())?;
+        Some(d)
     }
 
     /// Number of entries holding an *active* sub-window index — the
@@ -305,10 +341,9 @@ impl JumpingTbf {
     /// `apply(plan(id))`. The hash evaluation is accounted to this
     /// element regardless of where it was computed.
     pub fn apply(&mut self, plan: ProbePlan) -> Verdict {
-        let mut probes = std::mem::take(&mut self.probe_buf);
-        Self::fill_probes(self.geo.as_ref(), self.cfg.m, plan, &mut probes);
-        let verdict = self.apply_at(&probes);
-        self.probe_buf = probes;
+        let mut bufs = std::mem::take(&mut self.bufs);
+        let verdict = backend::apply_plan(self, &mut bufs, plan);
+        self.bufs = bufs;
         verdict
     }
 
@@ -324,46 +359,9 @@ impl JumpingTbf {
     /// Allocation-free [`JumpingTbf::apply_batch`]: verdicts go into
     /// `out` (cleared first, capacity reused).
     pub fn apply_batch_into(&mut self, plans: &[ProbePlan], out: &mut Vec<Verdict>) {
-        let probes = self.expand_plans(plans);
-        self.replay_into(probes, out);
-    }
-
-    /// Expands every plan's probe indices into the recycled flat
-    /// `batch_buf`; the buffer is handed back by
-    /// [`JumpingTbf::replay_into`].
-    fn expand_plans(&mut self, plans: &[ProbePlan]) -> Vec<usize> {
-        let k = self.k_eff;
-        let mut probes = std::mem::take(&mut self.batch_buf);
-        probes.clear();
-        probes.resize(plans.len() * k, 0);
-        for (plan, slot) in plans.iter().zip(probes.chunks_exact_mut(k)) {
-            Self::fill_probes(self.geo.as_ref(), self.cfg.m, *plan, slot);
-        }
-        probes
-    }
-
-    /// Applies a flat buffer of expanded probe indices (`k_eff` per
-    /// element) with `PREFETCH_AHEAD` lookahead (see `Tbf::replay_into`);
-    /// verdicts go into `out` (cleared first, capacity reused).
-    fn replay_into(&mut self, probes: Vec<usize>, out: &mut Vec<Verdict>) {
-        const PREFETCH_AHEAD: usize = 8;
-        let k = self.k_eff;
-        let blocked = self.geo.is_some();
-        out.clear();
-        let mut ahead = probes.chunks_exact(k).skip(PREFETCH_AHEAD);
-        for slot in probes.chunks_exact(k) {
-            if let Some(next) = ahead.next() {
-                if blocked {
-                    self.entries.prefetch(next[0]);
-                } else {
-                    for &j in next {
-                        self.entries.prefetch(j);
-                    }
-                }
-            }
-            out.push(self.apply_at(slot));
-        }
-        self.batch_buf = probes;
+        let mut bufs = std::mem::take(&mut self.bufs);
+        backend::apply_batch_into(self, &mut bufs, plans, out);
+        self.bufs = bufs;
     }
 
     /// [`JumpingTbf::apply`] with the probe indices already expanded —
@@ -403,6 +401,35 @@ impl JumpingTbf {
     }
 }
 
+impl ProbeCore for JumpingTbf {
+    #[inline]
+    fn table_len(&self) -> usize {
+        self.cfg.m
+    }
+
+    #[inline]
+    fn probe_width(&self) -> usize {
+        self.k_eff
+    }
+
+    #[inline]
+    fn block_geo(&self) -> Option<&BlockGeometry> {
+        self.geo.as_ref()
+    }
+
+    #[inline]
+    fn prefetch(&self, idx: usize) {
+        self.entries.prefetch(idx);
+    }
+}
+
+impl CountCore for JumpingTbf {
+    #[inline]
+    fn apply_probes(&mut self, _plan: ProbePlan, probes: &[usize]) -> Verdict {
+        self.apply_at(probes)
+    }
+}
+
 impl DuplicateDetector for JumpingTbf {
     fn observe(&mut self, id: &[u8]) -> Verdict {
         let plan = self.plan(id);
@@ -418,19 +445,17 @@ impl DuplicateDetector for JumpingTbf {
     fn observe_batch_into(&mut self, ids: &[&[u8]], out: &mut Vec<Verdict>) {
         // Hash up front (multi-lane over equal-length runs) and replay
         // with lookahead prefetch — same pattern as `Tbf`.
-        let mut plans = std::mem::take(&mut self.plan_buf);
-        self.planner().plan_refs_into(ids, &mut plans);
-        let probes = self.expand_plans(&plans);
-        self.plan_buf = plans;
-        self.replay_into(probes, out);
+        let mut bufs = std::mem::take(&mut self.bufs);
+        let planner = self.planner();
+        backend::observe_refs_into(self, &mut bufs, planner, ids, out);
+        self.bufs = bufs;
     }
 
     fn observe_flat_into(&mut self, keys: &[u8], key_len: usize, out: &mut Vec<Verdict>) {
-        let mut plans = std::mem::take(&mut self.plan_buf);
-        self.planner().plan_flat_into(keys, key_len, &mut plans);
-        let probes = self.expand_plans(&plans);
-        self.plan_buf = plans;
-        self.replay_into(probes, out);
+        let mut bufs = std::mem::take(&mut self.bufs);
+        let planner = self.planner();
+        backend::observe_flat_into(self, &mut bufs, planner, keys, key_len, out);
+        self.bufs = bufs;
     }
 
     fn window(&self) -> WindowSpec {

@@ -19,9 +19,9 @@ use cfd_adnet::{
     PipelineConfig, PipelineTelemetry, Transport,
 };
 use cfd_core::config::ProbeLayout;
+use cfd_core::registry::{BackendGeometry, MemorySpec};
 use cfd_core::sharded::{per_shard_window, ShardedDetector};
-use cfd_core::tbf_jumping::{JumpingTbf, JumpingTbfConfig};
-use cfd_core::{Gbf, GbfConfig, Tbf, TbfConfig, TimeGbf, TimeGbfConfig, TimeTbf, TimeTbfConfig};
+use cfd_core::{TimeGbf, TimeGbfConfig, TimeTbf, TimeTbfConfig};
 use cfd_stream::{
     read_trace, write_trace, BotnetConfig, BotnetStream, Click, CoalitionConfig, CoalitionStream,
     CrawlerStream, DuplicateInjector, FlashCrowdConfig, FlashCrowdStream, UniqueClickStream,
@@ -43,13 +43,19 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();
-            eprintln!("{USAGE}");
+            eprintln!("{}", usage());
             ExitCode::FAILURE
         }
     }
 }
 
-const USAGE: &str = "\
+/// The usage text with the `--algo` list spliced in from the backend
+/// registry, so help can never drift from the registered backends.
+fn usage() -> String {
+    USAGE_TEMPLATE.replace("{algos}", &cfd_core::registry::algo_list())
+}
+
+const USAGE_TEMPLATE: &str = "\
 usage: cfd <command> [options]
 
 commands:
@@ -57,7 +63,7 @@ commands:
              --kind unique|duplicates|botnet|coalition|crawler|flashcrowd
              --count <clicks> [--seed <u64>] --out <file>
   detect     run a duplicate detector over a trace
-             --algo tbf|gbf|jumping-tbf|time-tbf|time-gbf|exact
+             --algo {algos}|time-tbf|time-gbf|exact
              --window <N> [--sub-windows <Q>] [--cells-per-element <c>]
              [--k <hashes>] [--seed <u64>] --trace <file>
              [--shards <S>] [--batch <B>] [--layout scattered|blocked]
@@ -74,7 +80,7 @@ commands:
               expected clicks per window, and shards keep the full time
               window since they share one clock)
   run        drive the concurrent billing pipeline end to end
-             --algo tbf|gbf|jumping-tbf|time-tbf|time-gbf|exact
+             --algo {algos}|time-tbf|time-gbf|exact
              [--window <N>]
              [--sub-windows <Q>] [--cells-per-element <c>] [--k <hashes>]
              [--seed <u64>] [--shards <S>] [--batch <B>] [--queue <Q>]
@@ -96,6 +102,8 @@ commands:
   size       memory required for a target false-positive rate
              --algo gbf|tbf|metwally --window <N> [--sub-windows <Q>]
              --target-fp <rate>
+  algos      list the registered detector backends (markdown table;
+             README.md's algorithm table is generated from this)
   help       print this message";
 
 /// Minimal `--name value` argument map (flags take `true`).
@@ -150,8 +158,12 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("detect") => cmd_detect(&Opts::parse(&args[1..])?),
         Some("run") => cmd_run(&Opts::parse(&args[1..])?),
         Some("size") => cmd_size(&Opts::parse(&args[1..])?),
+        Some("algos") => {
+            print!("{}", cfd_core::registry::markdown_table());
+            Ok(())
+        }
         Some("help") | None => {
-            println!("{USAGE}");
+            println!("{}", usage());
             Ok(())
         }
         Some(other) => Err(format!("unknown command `{other}`")),
@@ -271,59 +283,28 @@ impl TimedParams {
 /// `cmd_run` (the caller passes the per-shard window when sharding).
 /// The boxed trait object carries [`ObservableDetector`] so the
 /// instrumented pipeline can also poll detector health through it.
+///
+/// Every Bloom-style backend resolves through the registry
+/// (`cfd_core::registry`); only the `exact` oracle — which needs raw
+/// ids, not hashes — is built here directly.
 fn build_detector(
     spec: &DetectorSpec,
     window: usize,
 ) -> Result<Box<dyn ObservableDetector + Send>, String> {
-    let &DetectorSpec {
-        q,
-        cells_per_element,
-        k,
-        seed,
-        layout,
-        ..
-    } = spec;
-    Ok(match spec.algo.as_str() {
-        "tbf" => Box::new(
-            Tbf::new(
-                TbfConfig::builder(window)
-                    .entries(window * cells_per_element)
-                    .hash_count(k)
-                    .seed(seed)
-                    .probe(layout)
-                    .build()
-                    .map_err(|e| e.to_string())?,
-            )
-            .map_err(|e| e.to_string())?,
-        ),
-        "gbf" => Box::new(
-            Gbf::new(
-                GbfConfig::builder(window, q)
-                    .filter_bits(window.div_ceil(q) * cells_per_element)
-                    .hash_count(k)
-                    .seed(seed)
-                    .probe(layout)
-                    .build()
-                    .map_err(|e| e.to_string())?,
-            )
-            .map_err(|e| e.to_string())?,
-        ),
-        "jumping-tbf" => Box::new(
-            JumpingTbf::new(
-                JumpingTbfConfig::new(window, q, window * cells_per_element, k, seed)
-                    .and_then(|c| c.with_probe(layout))
-                    .map_err(|e| e.to_string())?,
-            )
-            .map_err(|e| e.to_string())?,
-        ),
-        "exact" => {
-            if layout == ProbeLayout::Blocked {
-                return Err("--layout blocked needs a Bloom-style detector, not `exact`".into());
-            }
-            Box::new(ExactSlidingDedup::new(window))
+    if spec.algo == "exact" {
+        if spec.layout == ProbeLayout::Blocked {
+            return Err("--layout blocked needs a Bloom-style detector, not `exact`".into());
         }
-        other => return Err(format!("--algo: unknown detector `{other}`")),
-    })
+        return Ok(Box::new(ExactSlidingDedup::new(window)));
+    }
+    let geo = BackendGeometry::new(window, MemorySpec::CellsPerElement(spec.cells_per_element))
+        .with_sub_windows(spec.q)
+        .with_hash_count(spec.k)
+        .with_seed(spec.seed)
+        .with_probe(spec.layout);
+    let backend =
+        cfd_core::registry::build(&spec.algo, &geo).map_err(|e| format!("--algo: {e}"))?;
+    Ok(Box::new(backend))
 }
 
 /// Builds one time-based detector. `window` is the *capacity* (expected

@@ -1,0 +1,230 @@
+//! Backend-agnostic differential property harness.
+//!
+//! Earlier PRs grew one property file per detector; this harness runs
+//! the whole matrix from a single parameterized loop over
+//! [`cfd_core::registry::backends`], so a backend registered there is
+//! automatically held to the full contract:
+//!
+//! 1. **Zero false negatives** under its own window model (sliding or
+//!    jumping, chosen from `window()`), in the self-consistent
+//!    Definition-1 sense of `tests/common`.
+//! 2. **Batch ≡ sequential**: `observe_batch` under arbitrary chunking
+//!    and the flat-key `observe_flat_into` path are verdict-for-verdict
+//!    identical to per-click `observe`.
+//! 3. **Layout differential**: the blocked layout is a probe-placement
+//!    change, not a semantic one — verdicts may differ from scattered
+//!    only through one-sided false positives, so both layouts stay
+//!    zero-FN (property 1 covers each) and their verdict streams agree
+//!    on all but a small FP-explainable fraction.
+//! 4. **Checkpoint round-trip**: `checkpoint_bytes` →
+//!    [`cfd_core::registry::restore_any`] (and the entry's own
+//!    `restore`) resumes a detector that continues verdict-for-verdict
+//!    identically to the original.
+
+mod common;
+
+use cfd_core::config::ProbeLayout;
+use cfd_core::registry::{self, BackendGeometry, MemorySpec};
+use cfd_stream::{BotnetConfig, BotnetStream, DuplicateInjector, UniqueClickStream};
+use cfd_windows::{DuplicateDetector, WindowSpec};
+use proptest::prelude::*;
+
+/// Window length shared by every property: small enough that a few
+/// thousand keys cross many window turnovers.
+const N: usize = 512;
+
+/// Both probe layouts, the inner axis of every loop.
+const LAYOUTS: [ProbeLayout; 2] = [ProbeLayout::Scattered, ProbeLayout::Blocked];
+
+/// The shared equal-budget geometry. 64 bits per window element funds
+/// every registered backend's minimum shape (and leaves FPs frequent —
+/// the stress the zero-FN property wants); the layout differential
+/// instead passes a budget where FPs are rare, so disagreement stays a
+/// sliver.
+fn geometry(seed: u64, layout: ProbeLayout, bits_per_element: usize) -> BackendGeometry {
+    BackendGeometry::new(N, MemorySpec::TotalBits(N * bits_per_element))
+        .with_sub_windows(4)
+        .with_hash_count(4)
+        .with_seed(seed)
+        .with_probe(layout)
+}
+
+/// Duplicate-heavy keys: 40% re-clicks within a short gap, so every
+/// window sees genuine duplicates.
+fn injected_keys(seed: u64, count: usize) -> Vec<Vec<u8>> {
+    DuplicateInjector::new(UniqueClickStream::new(seed, 4, 32), 0.4, 300, seed ^ 5)
+        .take(count)
+        .map(|c| c.key().to_vec())
+        .collect()
+}
+
+/// Botnet keys: few identities, extreme repetition.
+fn botnet_keys(seed: u64, count: usize) -> Vec<Vec<u8>> {
+    BotnetStream::new(
+        BotnetConfig {
+            bots: 48,
+            attack_fraction: 0.5,
+            seed,
+            ..BotnetConfig::default()
+        },
+        4,
+        16,
+    )
+    .take(count)
+    .map(|c| c.click.key().to_vec())
+    .collect()
+}
+
+/// Fixed-stride 8-byte keys with forced repeats (`space` distinct ids),
+/// packed flat for the `observe_flat_into` parity check.
+fn flat_keys(seed: u64, count: usize, space: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    let mut out = Vec::with_capacity(count * 8);
+    for _ in 0..count {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.extend_from_slice(&((x >> 16) % space).to_le_bytes());
+    }
+    out
+}
+
+/// Runs the self-consistent false-negative oracle matching the
+/// detector's own window model.
+fn false_negatives<D: DuplicateDetector>(d: &mut D, keys: impl Iterator<Item = Vec<u8>>) -> u64 {
+    match d.window() {
+        WindowSpec::Sliding { n } | WindowSpec::Landmark { n } => {
+            common::sliding_false_negatives(d, n, keys)
+        }
+        WindowSpec::Jumping { n, q } => common::jumping_false_negatives(d, n, q, keys),
+        other => unreachable!("registry backends are count-window detectors, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property 1: every backend, in both layouts, never contradicts
+    /// its own prior "valid" verdicts within its window model.
+    #[test]
+    fn every_backend_zero_false_negatives(seed in 0u64..1_000) {
+        let mut keys = injected_keys(seed, 3_000);
+        keys.extend(botnet_keys(seed, 3_000));
+        for entry in registry::backends() {
+            for layout in LAYOUTS {
+                let mut d = entry
+                    .build(&geometry(seed, layout, 64))
+                    .expect("registered backend builds at the shared budget");
+                let fns = false_negatives(&mut d, keys.iter().cloned());
+                prop_assert_eq!(
+                    fns, 0,
+                    "{} ({layout:?}): {} false negatives", entry.name, fns
+                );
+            }
+        }
+    }
+
+    /// Property 2: batching — ref-slice chunks of arbitrary size and
+    /// the flat fixed-stride path — is a pure throughput knob.
+    #[test]
+    fn every_backend_batch_matches_observe(
+        seed in 0u64..1_000,
+        chunk in 1usize..300,
+    ) {
+        let flat = flat_keys(seed, 4_000, 700);
+        let keys: Vec<Vec<u8>> = flat.chunks_exact(8).map(<[u8]>::to_vec).collect();
+        for entry in registry::backends() {
+            for layout in LAYOUTS {
+                let geo = geometry(seed, layout, 64);
+                let mut seq = entry.build(&geo).expect("build");
+                let mut by_refs = entry.build(&geo).expect("build");
+                let mut by_flat = entry.build(&geo).expect("build");
+
+                let sequential: Vec<_> = keys.iter().map(|k| seq.observe(k)).collect();
+
+                let mut via_refs = Vec::with_capacity(keys.len());
+                for group in keys.chunks(chunk) {
+                    let refs: Vec<&[u8]> = group.iter().map(Vec::as_slice).collect();
+                    via_refs.extend(by_refs.observe_batch(&refs));
+                }
+                prop_assert_eq!(
+                    &sequential, &via_refs,
+                    "{} ({layout:?}): observe_batch diverged", entry.name
+                );
+
+                let mut via_flat = Vec::with_capacity(keys.len());
+                let mut out = Vec::new();
+                for group in flat.chunks(chunk * 8) {
+                    by_flat.observe_flat_into(group, 8, &mut out);
+                    via_flat.extend_from_slice(&out);
+                }
+                prop_assert_eq!(
+                    &sequential, &via_flat,
+                    "{} ({layout:?}): observe_flat_into diverged", entry.name
+                );
+            }
+        }
+    }
+
+    /// Property 3: blocked vs scattered is FP-placement only. At 512
+    /// bits per element the FP rate is small, so the two verdict streams
+    /// must agree on all but a sliver of the stream (each layout's
+    /// zero-FN guarantee is property 1; a disagreement is therefore
+    /// always some side's one-sided false positive).
+    #[test]
+    fn every_backend_layouts_agree_modulo_false_positives(seed in 0u64..1_000) {
+        let keys = injected_keys(seed, 4_000);
+        for entry in registry::backends() {
+            let mut scattered = entry
+                .build(&geometry(seed, ProbeLayout::Scattered, 512))
+                .expect("build");
+            let mut blocked = entry
+                .build(&geometry(seed, ProbeLayout::Blocked, 512))
+                .expect("build");
+            let disagreements = keys
+                .iter()
+                .filter(|k| scattered.observe(k) != blocked.observe(k))
+                .count();
+            prop_assert!(
+                disagreements <= keys.len() / 20,
+                "{}: layouts disagree on {disagreements}/{} verdicts",
+                entry.name,
+                keys.len()
+            );
+        }
+    }
+
+    /// Property 4: a checkpoint taken mid-stream restores — through the
+    /// backend-agnostic `restore_any` and the entry's own `restore` —
+    /// into a detector that continues identically.
+    #[test]
+    fn every_backend_checkpoint_roundtrips_midstream(seed in 0u64..1_000) {
+        let keys = injected_keys(seed, 3_000);
+        let (prefix, suffix) = keys.split_at(keys.len() / 2);
+        for entry in registry::backends() {
+            for layout in LAYOUTS {
+                let mut original = entry.build(&geometry(seed, layout, 64)).expect("build");
+                for k in prefix {
+                    original.observe(k);
+                }
+                let buf = original.checkpoint_bytes();
+                let mut restored = registry::restore_any(&buf)
+                    .expect("checkpoint restores through the registry");
+                let mut via_entry = entry.restore(&buf).expect("entry restore");
+                prop_assert_eq!(restored.window(), original.window());
+                prop_assert_eq!(restored.memory_bits(), original.memory_bits());
+                for k in suffix {
+                    let want = original.observe(k);
+                    prop_assert_eq!(
+                        restored.observe(k), want,
+                        "{} ({layout:?}): restore_any diverged", entry.name
+                    );
+                    prop_assert_eq!(
+                        via_entry.observe(k), want,
+                        "{} ({layout:?}): entry restore diverged", entry.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Keeps the hand-committed docs in sync with the generated sources.
+//!
+//! The README's algorithm table is the output of
+//! [`cfd_core::registry::markdown_table`]; if a backend is added,
+//! renamed, or its summary edited, this test fails until the README
+//! section is regenerated (`cfd algos` prints the current table).
+
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn readme_algorithm_table_matches_registry() {
+    let readme = fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("README.md"))
+        .expect("README.md is readable");
+    let table = cfd_core::registry::markdown_table();
+    assert!(
+        readme.contains(&table),
+        "README.md's algorithm table is stale — replace it with the \
+         output of `cfd algos`:\n\n{table}"
+    );
+}
+
+#[test]
+fn readme_names_every_registered_backend() {
+    let readme = fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("README.md"))
+        .expect("README.md is readable");
+    for entry in cfd_core::registry::backends() {
+        assert!(
+            readme.contains(&format!("`{}`", entry.name)),
+            "README.md never mentions registered backend `{}`",
+            entry.name
+        );
+    }
+}

@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Validate committed BENCH_*.json artifacts against per-schema manifests.
+
+Usage:  python3 tools/check_bench.py FILE [FILE ...]
+
+Each file's ``schema`` field selects a manifest entry describing the
+required top-level keys, the required per-config keys, and the gate
+checks (correctness gates bind at every scale; speedup gates only bind
+on ``"scale": "full"`` runs — quick CI boxes are too noisy to gate).
+Exits non-zero with a message naming the file and the failed gate.
+"""
+
+import json
+import math
+import sys
+
+
+def fail(name, msg):
+    print(f"FAIL {name}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require_keys(name, obj, keys, where):
+    missing = set(keys) - obj.keys()
+    if missing:
+        fail(name, f"{where} missing keys {sorted(missing)}")
+
+
+def require_rounds(name, cfg, label, rows, rounds):
+    if len(rows) != rounds:
+        fail(name, f"{label}: {len(rows)} round samples, expected {rounds}")
+
+
+def three_sigma(model, clicks):
+    return 3 * math.sqrt(max(model * (1 - model), 0.0) / clicks)
+
+
+# ---------------------------------------------------------------------
+# Per-schema gate functions. Each receives the parsed document and the
+# file name, and either returns a one-line summary or calls fail().
+# ---------------------------------------------------------------------
+
+
+def gates_throughput(d, name):
+    layouts = set()
+    for c in d["configs"]:
+        require_keys(name, c, MANIFEST["cfd-bench-throughput/1"]["config"], c.get("name", "?"))
+        require_rounds(name, c, c["name"], c["clicks_per_sec_rounds"], d["rounds"])
+        layouts.add(c["layout"])
+        if c["layout"] == "blocked":
+            model, fp = c["fp_model"], c["fp_measured"]
+            if fp > model * 1.1 + three_sigma(model, d["clicks"]):
+                fail(name, f'{c["name"]}: measured FP {fp} exceeds model {model} by >10%')
+    if layouts != {"scattered", "blocked"}:
+        fail(name, f"layouts {sorted(layouts)}, expected scattered+blocked")
+    if d["scale"] == "full":
+        if not all(d["checks"].values()):
+            fail(name, f'checks {d["checks"]}')
+        if min(d["speedups"]["tbf"], d["speedups"]["gbf"]) < 1.3:
+            fail(name, f'speedups {d["speedups"]}')
+    return f'{d["scale"]} scale, {len(d["configs"])} configs, blocked FP within model'
+
+
+def gates_pipeline(d, name):
+    h, p = d["hash"], d["pipeline"]
+    if h["lanes"] not in (4, 8):
+        fail(name, f'unexpected lane count {h["lanes"]}')
+    for label, rows in (
+        ("hash.scalar_rounds", h["scalar_rounds"]),
+        ("hash.lanes_rounds", h["lanes_rounds"]),
+        ("pipeline.channel_rounds", p["channel_rounds"]),
+        ("pipeline.ring_rounds", p["ring_rounds"]),
+    ):
+        require_rounds(name, d, label, rows, d["rounds"])
+    if not d["checks"]["transports_agree"]:
+        fail(name, "ring and channel reports diverged")
+    if not d["checks"]["checksums_agree"]:
+        fail(name, "lanes/scalar hash checksums diverged")
+    if d["scale"] == "full":
+        if not (d["checks"]["hash_speedup_ok"] and h["speedup"] >= 1.3):
+            fail(name, f'hash speedup {h["speedup"]}')
+        if not (d["checks"]["ring_speedup_ok"] and p["speedup"] >= 1.2):
+            fail(name, f'ring speedup {p["speedup"]}')
+    return f'{d["scale"]} scale, hash x{h["speedup"]:.2f}, ring x{p["speedup"]:.2f}'
+
+
+def gates_timed(d, name):
+    rows = {}
+    for c in d["configs"]:
+        require_keys(name, c, MANIFEST["cfd-bench-timed/1"]["config"], c.get("name", "?"))
+        require_rounds(name, c, c["name"], c["clicks_per_sec_rounds"], d["rounds"])
+        rows[(c["family"], c["layout"], c["mode"])] = c
+    expected = {
+        (f, l, m)
+        for f in ("time-tbf", "time-gbf")
+        for l in ("scattered", "blocked")
+        for m in ("sequential", "batch")
+    }
+    if set(rows) != expected:
+        fail(name, f"rows {sorted(set(rows) - expected) or sorted(expected - set(rows))}")
+    for fam in ("time-tbf", "time-gbf"):
+        for lay in ("scattered", "blocked"):
+            seq, bat = rows[(fam, lay, "sequential")], rows[(fam, lay, "batch")]
+            if seq["duplicates"] != bat["duplicates"]:
+                fail(name, f"{fam} ({lay}) batch and sequential verdicts disagree")
+    if not d["checks"]["paths_agree"]:
+        fail(name, "batch and sequential verdicts diverged")
+    if not d["checks"]["no_occupancy_scans"]:
+        fail(name, "O(m) scan rode the timed hot loop")
+    if d["scale"] == "full":
+        for fam, s in d["speedups"].items():
+            if s["batch"] < 1.3 or s["blocked"] < 1.3:
+                fail(name, f"{fam} speedups {s}")
+        if not (d["checks"]["batch_speedup_ok"] and d["checks"]["blocked_speedup_ok"]):
+            fail(name, f'checks {d["checks"]}')
+    return f'{d["scale"]} scale, ' + ", ".join(
+        f'{f} batch x{s["batch"]:.2f} blocked x{s["blocked"]:.2f}'
+        for f, s in d["speedups"].items()
+    )
+
+
+# Per-cell FP-gate slack in the shootout, mirroring the bench: blocked
+# TBF/GBF models are tight, scattered ones are first-order (gate 2.5x),
+# APBF/SWBF models are documented upper bounds (gate 1.5x).
+def shootout_fp_slack(algo, layout):
+    if algo in ("tbf", "gbf"):
+        return 1.1 if layout == "blocked" else 2.5
+    return 1.5
+
+
+def gates_shootout(d, name):
+    rows = {}
+    for c in d["configs"]:
+        require_keys(name, c, MANIFEST["cfd-bench-shootout/1"]["config"], c.get("algo", "?"))
+        label = f'{c["algo"]}-{c["layout"]}-{c["mode"]}'
+        require_rounds(name, c, label, c["clicks_per_sec_rounds"], d["rounds"])
+        rows[(c["algo"], c["layout"], c["mode"])] = c
+    expected = {
+        (a, l, m)
+        for a in ("tbf", "gbf", "apbf", "swbf")
+        for l in ("scattered", "blocked")
+        for m in ("sequential", "batch")
+    }
+    if set(rows) != expected:
+        fail(name, f"rows {sorted(set(rows) ^ expected)}")
+    budget = d["memory_bits_budget"]
+    for (algo, layout, mode), c in sorted(rows.items()):
+        label = f"{algo}-{layout}-{mode}"
+        used = c["memory_bits"] / budget
+        if not 0.88 <= used <= 1.12:
+            fail(name, f"{label}: spent {used:.3f} of the {budget}-bit budget")
+        bound = c["fp_model"] * shootout_fp_slack(algo, layout)
+        if c["fp_measured"] > bound + three_sigma(c["fp_model"], d["clicks"]):
+            fail(name, f'{label}: measured FP {c["fp_measured"]} exceeds model {c["fp_model"]}')
+        if mode == "batch":
+            seq = rows[(algo, layout, "sequential")]
+            if c["fp_measured"] != seq["fp_measured"]:
+                fail(name, f"{algo} ({layout}) batch and sequential verdicts disagree")
+    for key in ("fp_within_model", "memory_within_budget", "paths_agree", "no_occupancy_scans"):
+        if not d["checks"][key]:
+            fail(name, f"check {key} failed")
+    if d["scale"] == "full":
+        if not d["checks"]["batch_speedup_ok"]:
+            fail(name, f'checks {d["checks"]}')
+        for algo in ("apbf", "swbf"):
+            s = d["speedups"][algo]["batch"]
+            if s < 1.3:
+                fail(name, f"{algo} batch speedup {s:.2f} < 1.3x")
+    return f'{d["scale"]} scale, ' + ", ".join(
+        f'{a} batch x{d["speedups"][a]["batch"]:.2f}' for a in ("tbf", "gbf", "apbf", "swbf")
+    )
+
+
+# ---------------------------------------------------------------------
+# Schema manifest: required keys + gate function per artifact family.
+# ---------------------------------------------------------------------
+
+MANIFEST = {
+    "cfd-bench-throughput/1": {
+        "top": {"scale", "clicks", "rounds", "configs", "speedups", "checks"},
+        "config": {
+            "name",
+            "family",
+            "layout",
+            "clicks_per_sec_median",
+            "clicks_per_sec_rounds",
+            "fp_measured",
+            "fp_model",
+        },
+        "gates": gates_throughput,
+    },
+    "cfd-bench-pipeline/1": {
+        "top": {"scale", "clicks", "rounds", "shards", "batch", "hash", "pipeline", "checks"},
+        "config": set(),
+        "gates": gates_pipeline,
+    },
+    "cfd-bench-timed/1": {
+        "top": {"scale", "clicks", "rounds", "batch", "configs", "speedups", "checks"},
+        "config": {
+            "name",
+            "family",
+            "layout",
+            "mode",
+            "clicks_per_sec_median",
+            "clicks_per_sec_rounds",
+            "duplicates",
+        },
+        "gates": gates_timed,
+    },
+    "cfd-bench-shootout/1": {
+        "top": {
+            "scale",
+            "clicks",
+            "rounds",
+            "window",
+            "memory_bits_budget",
+            "batch",
+            "configs",
+            "speedups",
+            "pareto",
+            "checks",
+        },
+        "config": {
+            "algo",
+            "layout",
+            "mode",
+            "clicks_per_sec_median",
+            "clicks_per_sec_rounds",
+            "fp_measured",
+            "fp_model",
+            "memory_bits",
+        },
+        "gates": gates_shootout,
+    },
+}
+
+
+def check(path):
+    with open(path) as f:
+        d = json.load(f)
+    schema = d.get("schema")
+    entry = MANIFEST.get(schema)
+    if entry is None:
+        fail(path, f"unknown schema {schema!r} (known: {sorted(MANIFEST)})")
+    require_keys(path, d, entry["top"], "document")
+    summary = entry["gates"](d, path)
+    print(f"   {path}: {summary}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
