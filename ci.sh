@@ -103,4 +103,33 @@ if [[ "${1:-}" != "quick" ]]; then
     python3 tools/check_bench.py target/BENCH_shootout_quick.json BENCH_pr6.json
 fi
 
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> serve smoke: socket replay, kill -9 mid-stream, checkpoint resume"
+    rm -f /tmp/cfd_serve.sock /tmp/cfd_serve.cfdg /tmp/cfd_serve_run.json /tmp/cfd_serve.json
+    ./target/release/cfd generate --kind botnet --count 200000 --seed 11 \
+        --out /tmp/cfd_serve.cfdt >/dev/null
+    ./target/release/cfd run --trace /tmp/cfd_serve.cfdt --window 8192 --ads 64 \
+        --report-json /tmp/cfd_serve_run.json >/dev/null
+    ./target/release/cfd serve --listen unix:/tmp/cfd_serve.sock --window 8192 --ads 64 \
+        --checkpoint /tmp/cfd_serve.cfdg --checkpoint-every 20000 \
+        --report-json /tmp/cfd_serve.json >/dev/null 2>&1 &
+    SERVE_PID=$!
+    ./target/release/cfd replay-client --connect unix:/tmp/cfd_serve.sock \
+        --trace /tmp/cfd_serve.cfdt --limit 100000 --retries 200 >/dev/null
+    # Wait for at least one complete checkpoint (tmp+rename is atomic),
+    # then SIGKILL the gateway mid-stream: no drain, no goodbye.
+    while [[ ! -f /tmp/cfd_serve.cfdg ]]; do sleep 0.1; done
+    kill -9 "$SERVE_PID"
+    wait "$SERVE_PID" 2>/dev/null || true
+    ./target/release/cfd serve --listen unix:/tmp/cfd_serve.sock --window 8192 --ads 64 \
+        --checkpoint /tmp/cfd_serve.cfdg --resume \
+        --report-json /tmp/cfd_serve.json >/dev/null 2>&1 &
+    SERVE_PID=$!
+    ./target/release/cfd replay-client --connect unix:/tmp/cfd_serve.sock \
+        --trace /tmp/cfd_serve.cfdt --drain --retries 200 >/dev/null
+    wait "$SERVE_PID"
+    cmp /tmp/cfd_serve_run.json /tmp/cfd_serve.json
+    echo "   kill -9 + --resume replay matches the in-process run byte for byte"
+fi
+
 echo "CI OK"

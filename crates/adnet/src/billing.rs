@@ -82,6 +82,17 @@ impl<D> BillingEngine<D> {
         }
     }
 
+    /// Creates an engine that resumes from a carried ledger.
+    ///
+    /// The serve path runs the pipeline in checkpoint-delimited
+    /// segments; each segment's billing stage picks up the ledger the
+    /// previous segment (or a restored checkpoint) left off with, so
+    /// the tallies across segments equal one continuous run.
+    #[must_use]
+    pub fn with_ledger(detector: D, ledger: Ledger) -> Self {
+        Self { detector, ledger }
+    }
+
     /// Settles one click whose fraud verdict was already computed
     /// elsewhere (e.g. by the pipeline's detector stage), charging
     /// budgets and crediting publisher revenue.

@@ -136,6 +136,12 @@ impl Registry {
     pub fn advertisers(&self) -> impl Iterator<Item = &Advertiser> {
         self.advertisers.values()
     }
+
+    /// Iterates campaigns in unspecified order — the serve checkpoint
+    /// writer sorts them itself for a deterministic encoding.
+    pub fn campaigns(&self) -> impl Iterator<Item = &Campaign> {
+        self.campaigns.values()
+    }
 }
 
 #[cfg(test)]

@@ -79,6 +79,21 @@ impl FraudScorer {
         }
     }
 
+    /// Iterates the raw `(publisher, clicks, blocked)` tallies in
+    /// unspecified order — the serve checkpoint writer sorts them
+    /// itself for a deterministic encoding.
+    pub fn tallies(&self) -> impl Iterator<Item = (u32, u64, u64)> + '_ {
+        self.per_publisher
+            .iter()
+            .map(|(&p, &(clicks, blocked))| (p, clicks, blocked))
+    }
+
+    /// Sets one publisher's raw tally, replacing any previous value
+    /// (checkpoint restore).
+    pub fn set_tally(&mut self, publisher: u32, clicks: u64, blocked: u64) {
+        self.per_publisher.insert(publisher, (clicks, blocked));
+    }
+
     /// Total clicks recorded.
     #[must_use]
     pub fn total_clicks(&self) -> u64 {

@@ -27,6 +27,10 @@
 //!   depths, per-stage latency histograms, resequencer stalls, and
 //!   on-request detector health (see `docs/OBSERVABILITY.md`).
 //! * [`report`] — serde-serializable reports for the benches/examples.
+//! * [`mod@serve`] — the long-running gateway: socket/file-tail ingest of
+//!   [`cfd_stream::wire`] frames with reconnect + resume, hub
+//!   backpressure propagated to the socket, checkpoint-delimited
+//!   pipeline segments, and graceful drain (see `docs/OPERATIONS.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +43,7 @@ pub mod network;
 pub mod pipeline;
 pub mod report;
 pub mod ring;
+pub mod serve;
 pub mod telemetry;
 
 pub use audit::{run_dual_audit, AuditOutcome};
@@ -48,10 +53,15 @@ pub use fraud::{FraudScorer, PublisherScore};
 pub use network::AdNetwork;
 pub use pipeline::{
     run_pipeline, run_pipeline_instrumented, run_sharded_pipeline,
-    run_sharded_pipeline_instrumented, run_timed_pipeline, run_timed_pipeline_instrumented,
-    run_timed_sharded_pipeline, run_timed_sharded_pipeline_instrumented, PipelineConfig,
-    PipelineOutcome, PipelineProgress, Transport,
+    run_sharded_pipeline_instrumented, run_sharded_segment, run_timed_pipeline,
+    run_timed_pipeline_instrumented, run_timed_sharded_pipeline,
+    run_timed_sharded_pipeline_instrumented, PipelineConfig, PipelineOutcome, PipelineProgress,
+    SegmentOutcome, SegmentState, Transport,
 };
 pub use report::NetworkReport;
 pub use ring::{Pool, RingStats};
+pub use serve::{
+    replay_client, serve, ClientConfig, ClientStats, DrainControl, Endpoint, ServeConfig,
+    ServeError, ServeInstruments, ServeOutcome, ServeTelemetry, ServerState,
+};
 pub use telemetry::PipelineTelemetry;

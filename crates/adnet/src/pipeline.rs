@@ -68,7 +68,7 @@
 //! global stream order and advances its unit clock exactly as a
 //! sequential run of the same [`ShardedDetector`] would.
 
-use crate::billing::{BillingEngine, ClickOutcome};
+use crate::billing::{BillingEngine, ClickOutcome, Ledger};
 use crate::entities::Registry;
 use crate::fraud::FraudScorer;
 use crate::report::NetworkReport;
@@ -240,6 +240,168 @@ pub struct PipelineOutcome {
     /// [`run_pipeline`] / [`run_sharded_pipeline`]), which place no
     /// [`DetectorStats`] bound on the detector.
     pub health: Vec<DetectorHealth>,
+}
+
+/// Billing state a fan-out run starts from. Fresh (default) for the
+/// one-shot entry points; carried forward between checkpoint-delimited
+/// segments by [`run_sharded_segment`].
+#[derive(Default)]
+struct FanoutSeed {
+    registry: Registry,
+    ledger: Ledger,
+    savings: u64,
+}
+
+/// Everything a fan-out run hands back: the final report inputs *plus*
+/// the detectors themselves, so a segmented caller can reassemble the
+/// [`ShardedDetector`] and keep streaming where this run stopped.
+struct FanoutResult<D> {
+    workers: Vec<D>,
+    scorer: FraudScorer,
+    memory_bits: usize,
+    health: Vec<DetectorHealth>,
+    ledger: Ledger,
+    savings: u64,
+    registry: Registry,
+}
+
+/// Cross-segment pipeline state for [`run_sharded_segment`]: what must
+/// persist between two segments (and inside a serve checkpoint) for the
+/// concatenation of segments to equal one continuous run.
+#[derive(Debug, Default)]
+pub struct SegmentState {
+    /// Advertiser budgets and campaigns, with spend carried forward.
+    pub registry: Registry,
+    /// The billing ledger so far.
+    pub ledger: Ledger,
+    /// Fraud savings (micro-units) so far.
+    pub savings_micros: u64,
+    /// Per-publisher fraud tallies so far.
+    pub scorer: FraudScorer,
+}
+
+impl SegmentState {
+    /// Fresh state for a stream's first segment.
+    #[must_use]
+    pub fn new(registry: Registry) -> Self {
+        Self {
+            registry,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of one [`run_sharded_segment`] call.
+#[derive(Debug)]
+pub struct SegmentOutcome<D> {
+    /// The detector, reassembled with its window state advanced by this
+    /// segment's clicks — feed it to the next segment.
+    pub detector: ShardedDetector<D>,
+    /// Billing state including this segment — feed it to the next
+    /// segment, or build the final [`NetworkReport`] from it.
+    pub state: SegmentState,
+    /// Final per-shard health samples (empty when `telemetry` is
+    /// `None`).
+    pub health: Vec<DetectorHealth>,
+    /// Total detector memory, bits (for the report).
+    pub memory_bits: usize,
+    /// Detector name (for the report).
+    pub name: &'static str,
+}
+
+impl<D> SegmentOutcome<D> {
+    /// The report a run ending at this segment would print.
+    #[must_use]
+    pub fn report(&self) -> NetworkReport {
+        NetworkReport::from_ledger(
+            self.name,
+            self.memory_bits,
+            &self.state.ledger,
+            self.state.savings_micros,
+        )
+    }
+}
+
+/// Runs one *segment* of a longer stream through the sharded fan-out
+/// pipeline, carrying detector and billing state across calls.
+///
+/// This is the engine under `cfd serve`'s periodic checkpointing: the
+/// serve loop pulls a bounded span of clicks from its sources, runs it
+/// as one segment, persists the returned state, and repeats. Because
+/// the detector shards, router seed, ledger, budgets, savings, and
+/// fraud tallies all carry over — and each segment preserves per-shard
+/// observation order and reseqenced billing order — the concatenation
+/// of segments is verdict-for-verdict and micro-for-micro identical to
+/// one [`run_sharded_pipeline`] call over the whole stream (asserted by
+/// the `serve_equivalence` integration test).
+///
+/// `telemetry` (optional) attaches the same instrument bundle as
+/// [`run_sharded_pipeline_instrumented`]; pass the *same* bundle every
+/// segment so counters accumulate across the run.
+///
+/// # Panics
+///
+/// Panics if a pipeline stage panics, or if `telemetry` was built for a
+/// different shard count.
+pub fn run_sharded_segment<D, I>(
+    detector: ShardedDetector<D>,
+    state: SegmentState,
+    clicks: I,
+    config: PipelineConfig,
+    progress: Option<Arc<PipelineProgress>>,
+    telemetry: Option<Arc<PipelineTelemetry>>,
+) -> SegmentOutcome<D>
+where
+    D: DuplicateDetector + DetectorStats + Send,
+    I: IntoIterator<Item = Click>,
+{
+    let name = DuplicateDetector::name(&detector);
+    let router_seed = detector.router_seed();
+    let router = detector.router();
+    let workers = detector.into_shards();
+    if let Some(t) = &telemetry {
+        assert_eq!(
+            t.shard_count(),
+            workers.len(),
+            "telemetry bundle sized for a different shard count"
+        );
+    }
+    let instr = match telemetry {
+        Some(t) => Instrumentation {
+            telemetry: Some(t),
+            health_of: |d: &D| Some(d.health()),
+        },
+        None => Instrumentation::off(),
+    };
+    let seed = FanoutSeed {
+        registry: state.registry,
+        ledger: state.ledger,
+        savings: state.savings_micros,
+    };
+    let r = match config.transport {
+        Transport::Channel => {
+            run_fanout_channels(workers, Some(router), seed, clicks, config, progress, instr)
+        }
+        Transport::Ring => {
+            run_fanout_rings(workers, Some(router), seed, clicks, config, progress, instr)
+        }
+    };
+    let mut scorer = state.scorer;
+    scorer.merge(r.scorer);
+    let detector = ShardedDetector::new(router_seed, r.workers)
+        .expect("shards returned by the fan-out reassemble");
+    SegmentOutcome {
+        detector,
+        state: SegmentState {
+            registry: r.registry,
+            ledger: r.ledger,
+            savings_micros: r.savings,
+            scorer,
+        },
+        health: r.health,
+        memory_bits: r.memory_bits,
+        name,
+    }
 }
 
 /// Instrumentation plumbing for [`run_fanout`]: the optional metric
@@ -745,13 +907,21 @@ where
             "telemetry bundle sized for a different shard count"
         );
     }
-    match config.transport {
-        Transport::Channel => run_fanout_channels(
-            workers, router, name, registry, clicks, config, progress, instr,
-        ),
-        Transport::Ring => run_fanout_rings(
-            workers, router, name, registry, clicks, config, progress, instr,
-        ),
+    let seed = FanoutSeed {
+        registry,
+        ..FanoutSeed::default()
+    };
+    let r = match config.transport {
+        Transport::Channel => {
+            run_fanout_channels(workers, router, seed, clicks, config, progress, instr)
+        }
+        Transport::Ring => run_fanout_rings(workers, router, seed, clicks, config, progress, instr),
+    };
+    PipelineOutcome {
+        report: NetworkReport::from_ledger(name, r.memory_bits, &r.ledger, r.savings),
+        scorer: r.scorer,
+        registry: r.registry,
+        health: r.health,
     }
 }
 
@@ -766,13 +936,12 @@ where
 fn run_fanout_channels<D, I>(
     workers: Vec<D>,
     router: Option<ShardRouter>,
-    name: &'static str,
-    registry: Registry,
+    seed: FanoutSeed,
     clicks: I,
     config: PipelineConfig,
     progress: Option<Arc<PipelineProgress>>,
     instr: Instrumentation<D>,
-) -> PipelineOutcome
+) -> FanoutResult<D>
 where
     D: BatchJudge + Send,
     I: IntoIterator<Item = Click>,
@@ -780,6 +949,11 @@ where
     let batch = config.batch.max(1);
     let queue = config.queue.max(1);
     let shard_count = workers.len();
+    let FanoutSeed {
+        registry,
+        ledger: seed_ledger,
+        savings: seed_savings,
+    } = seed;
 
     thread::scope(|s| {
         // Workers fan in to one judged channel; capacity scales with the
@@ -855,7 +1029,8 @@ where
                 if let Some((t, h)) = telem.zip(health.as_ref()) {
                     t.publish_health(idx, h);
                 }
-                (scorer, detector.memory_bits(), health)
+                let bits = detector.memory_bits();
+                (detector, scorer, bits, health)
             }));
         }
         drop(tx_judged); // workers hold the remaining clones
@@ -870,8 +1045,8 @@ where
         let billing = s.spawn(move || {
             let telem = telemetry_bill.as_deref();
             let mut registry = registry;
-            let mut engine = BillingEngine::new(());
-            let mut savings = 0u64;
+            let mut engine = BillingEngine::with_ledger((), seed_ledger);
+            let mut savings = seed_savings;
             let mut next_seq = 0u64;
             let mut pending: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
             // Clicks released in order this round; reused across
@@ -957,21 +1132,27 @@ where
         }
         drop(raw_txs);
 
+        let mut workers = Vec::with_capacity(shard_count);
         let mut scorer = FraudScorer::new();
         let mut memory_bits = 0usize;
         let mut health = Vec::new();
         for handle in handles {
-            let (partial, bits, shard_health) = handle.join().expect("detector worker panicked");
+            let (detector, partial, bits, shard_health) =
+                handle.join().expect("detector worker panicked");
+            workers.push(detector);
             scorer.merge(partial);
             memory_bits += bits;
             health.extend(shard_health);
         }
         let (ledger, savings, registry) = billing.join().expect("billing stage panicked");
-        PipelineOutcome {
-            report: NetworkReport::from_ledger(name, memory_bits, &ledger, savings),
+        FanoutResult {
+            workers,
             scorer,
-            registry,
+            memory_bits,
             health,
+            ledger,
+            savings,
+            registry,
         }
     })
 }
@@ -996,13 +1177,12 @@ where
 fn run_fanout_rings<D, I>(
     workers: Vec<D>,
     router: Option<ShardRouter>,
-    name: &'static str,
-    registry: Registry,
+    seed: FanoutSeed,
     clicks: I,
     config: PipelineConfig,
     progress: Option<Arc<PipelineProgress>>,
     instr: Instrumentation<D>,
-) -> PipelineOutcome
+) -> FanoutResult<D>
 where
     D: BatchJudge + Send,
     I: IntoIterator<Item = Click>,
@@ -1010,6 +1190,11 @@ where
     let batch = config.batch.max(1);
     let queue = config.queue.max(1);
     let shard_count = workers.len();
+    let FanoutSeed {
+        registry,
+        ledger: seed_ledger,
+        savings: seed_savings,
+    } = seed;
     let raw_pool = Arc::new(Pool::<ClickBatch>::new());
     let judged_pool = Arc::new(Pool::<JudgedBatch>::new());
 
@@ -1090,7 +1275,8 @@ where
                     t.shard_judged_full_waits(idx)
                         .add(judged_tx.stats().full_waits);
                 }
-                (scorer, detector.memory_bits(), health)
+                let bits = detector.memory_bits();
+                (detector, scorer, bits, health)
             }));
         }
 
@@ -1104,8 +1290,8 @@ where
         let billing = s.spawn(move || {
             let telem = telemetry_bill.as_deref();
             let mut registry = registry;
-            let mut engine = BillingEngine::new(());
-            let mut savings = 0u64;
+            let mut engine = BillingEngine::with_ledger((), seed_ledger);
+            let mut savings = seed_savings;
             let mut next_seq = 0u64;
             let mut pending: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
             let mut ready: Vec<JudgedClick> = Vec::new();
@@ -1260,11 +1446,14 @@ where
         }
         drop(raw_producers);
 
+        let mut workers = Vec::with_capacity(shard_count);
         let mut scorer = FraudScorer::new();
         let mut memory_bits = 0usize;
         let mut health = Vec::new();
         for handle in handles {
-            let (partial, bits, shard_health) = handle.join().expect("detector worker panicked");
+            let (detector, partial, bits, shard_health) =
+                handle.join().expect("detector worker panicked");
+            workers.push(detector);
             scorer.merge(partial);
             memory_bits += bits;
             health.extend(shard_health);
@@ -1274,11 +1463,14 @@ where
             t.pool_raw_misses().add(raw_pool.misses());
             t.pool_judged_misses().add(judged_pool.misses());
         }
-        PipelineOutcome {
-            report: NetworkReport::from_ledger(name, memory_bits, &ledger, savings),
+        FanoutResult {
+            workers,
             scorer,
-            registry,
+            memory_bits,
             health,
+            ledger,
+            savings,
+            registry,
         }
     })
 }

@@ -4,7 +4,7 @@ use crate::billing::Ledger;
 use serde::{Deserialize, Serialize};
 
 /// Summary of one ad-network run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetworkReport {
     /// Name of the duplicate detector that guarded billing.
     pub detector: String,
@@ -59,6 +59,40 @@ impl NetworkReport {
         }
     }
 
+    /// Serializes the report as one line of JSON with a fixed field
+    /// order, so two identical reports are byte-identical — the CI
+    /// serve smoke compares the socket-streamed and in-process reports
+    /// with a plain binary diff.
+    ///
+    /// Hand-rolled (the workspace's serde is derive-only); the detector
+    /// name is escaped as a JSON string, every other field is an
+    /// unsigned integer.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut name = String::with_capacity(self.detector.len());
+        for c in self.detector.chars() {
+            match c {
+                '"' => name.push_str("\\\""),
+                '\\' => name.push_str("\\\\"),
+                c if (c as u32) < 0x20 => name.push_str(&format!("\\u{:04x}", c as u32)),
+                c => name.push(c),
+            }
+        }
+        format!(
+            "{{\"detector\":\"{name}\",\"detector_memory_bits\":{},\"clicks\":{},\
+             \"charged\":{},\"duplicates_blocked\":{},\"budget_rejections\":{},\
+             \"unknown_ads\":{},\"revenue_micros\":{},\"savings_micros\":{}}}",
+            self.detector_memory_bits,
+            self.clicks,
+            self.charged,
+            self.duplicates_blocked,
+            self.budget_rejections,
+            self.unknown_ads,
+            self.revenue_micros,
+            self.savings_micros
+        )
+    }
+
     /// A compact human-readable table row.
     #[must_use]
     pub fn row(&self) -> String {
@@ -100,6 +134,27 @@ mod tests {
         assert!((r.blocked_rate() - 0.2).abs() < 1e-12);
         assert!(r.row().contains("tbf"));
         assert_eq!(NetworkReport::header().split_whitespace().count(), 6);
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let ledger = Ledger {
+            clicks: 3,
+            charged: 2,
+            duplicates_blocked: 1,
+            revenue_micros: 200,
+            ..Ledger::default()
+        };
+        let r = NetworkReport::from_ledger("t\"b\\f", 64, &ledger, 100);
+        let json = r.to_json();
+        assert_eq!(
+            json,
+            "{\"detector\":\"t\\\"b\\\\f\",\"detector_memory_bits\":64,\"clicks\":3,\
+             \"charged\":2,\"duplicates_blocked\":1,\"budget_rejections\":0,\
+             \"unknown_ads\":0,\"revenue_micros\":200,\"savings_micros\":100}"
+        );
+        // Identical reports serialize byte-identically.
+        assert_eq!(json, r.clone().to_json());
     }
 
     #[test]

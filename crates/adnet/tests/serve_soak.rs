@@ -1,0 +1,252 @@
+//! Multi-client soak for `cfd serve`: zero steady-state allocations
+//! and telemetry-visible backpressure instead of drops.
+//!
+//! Three clients stream framed clicks into one gateway over a Unix
+//! socket. A counting [`GlobalAlloc`] wrapper tallies every allocation
+//! in the process; after a warm-up span is fully billed the counter is
+//! snapshotted, a measured span streams through all three connections,
+//! and the delta is asserted to be **exactly zero** allocations — the
+//! socket readers, frame decoder, hub, buffer pool, and ring pipeline
+//! all reuse memory acquired during warm-up.
+//!
+//! The hub is deliberately sized at one batch so the producers outrun
+//! the pipeline: the soak asserts `serve.hub.full_waits > 0` (readers
+//! blocked, sockets pushed back) while **every** click still arrives —
+//! backpressure, never loss.
+
+use cfd_adnet::{
+    serve, Advertiser, AdvertiserId, Campaign, DrainControl, Endpoint, PipelineConfig,
+    PipelineProgress, Registry, ServeConfig, ServeInstruments, ServeTelemetry, ServerState,
+    Transport,
+};
+use cfd_core::sharded::{per_shard_window, ShardedDetector};
+use cfd_core::{Tbf, TbfConfig};
+use cfd_stream::wire;
+use cfd_stream::{AdId, BotnetConfig, BotnetStream, Click};
+use cfd_telemetry::Registry as MetricsRegistry;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+/// Counts allocation events; delegates to the system allocator.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const CLIENTS: usize = 3;
+const WARMUP_PER_CLIENT: usize = 2_000;
+const MEASURED_PER_CLIENT: usize = 2_000;
+const PER_CLIENT: usize = WARMUP_PER_CLIENT + MEASURED_PER_CLIENT;
+const FRAME_CLICKS: usize = 64;
+const SHARDS: usize = 4;
+
+fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.add_advertiser(Advertiser::new(AdvertiserId(1), "acme", u64::MAX / 4));
+    for ad in 0..64 {
+        r.add_campaign(Campaign {
+            ad: AdId(ad),
+            advertiser: AdvertiserId(1),
+            cpc_micros: 100,
+        })
+        .expect("advertiser registered");
+    }
+    r
+}
+
+fn sharded_tbf() -> ShardedDetector<Tbf> {
+    ShardedDetector::from_fn(7, SHARDS, |_| {
+        let n_s = per_shard_window(2_048, SHARDS);
+        Tbf::new(
+            TbfConfig::builder(n_s)
+                .entries(n_s * 16)
+                .seed(4)
+                .build()
+                .expect("cfg"),
+        )
+    })
+    .expect("sharded detector")
+}
+
+/// All frames for `clicks` concatenated into one writable buffer.
+fn encode_span(clicks: &[Click]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(clicks.len() * wire::CLICK_RECORD_BYTES + 1024);
+    for chunk in clicks.chunks(FRAME_CLICKS) {
+        wire::encode_clicks(&mut buf, chunk);
+    }
+    buf
+}
+
+/// Spin until `progress.billed()` reaches `target`; neither `billed()`
+/// nor `yield_now` allocates.
+fn wait_billed(progress: &PipelineProgress, target: u64) {
+    while progress.billed() < target {
+        thread::yield_now();
+    }
+}
+
+#[test]
+fn multi_client_soak_is_zero_alloc_with_backpressure() {
+    let total = (CLIENTS * PER_CLIENT) as u64;
+    let warm_total = (CLIENTS * WARMUP_PER_CLIENT) as u64;
+
+    // Bounded key space (8 publishers × 64 ads) so every ledger and
+    // scorer map reaches its working size during warm-up.
+    let clicks: Vec<Click> = BotnetStream::new(BotnetConfig::default(), 8, 64)
+        .take(CLIENTS * PER_CLIENT)
+        .map(|c| c.click)
+        .collect();
+
+    // Pre-encode every frame each client will write, so the measured
+    // phase on the client side is nothing but `write_all` of a slice.
+    let warm_bufs: Vec<Vec<u8>> = (0..CLIENTS)
+        .map(|i| encode_span(&clicks[i * PER_CLIENT..i * PER_CLIENT + WARMUP_PER_CLIENT]))
+        .collect();
+    let meas_bufs: Vec<Vec<u8>> = (0..CLIENTS)
+        .map(|i| encode_span(&clicks[i * PER_CLIENT + WARMUP_PER_CLIENT..(i + 1) * PER_CLIENT]))
+        .collect();
+    let mut drain_buf = Vec::new();
+    wire::encode_drain(&mut drain_buf);
+    let hello_len = {
+        let mut v = Vec::new();
+        wire::encode_hello(&mut v, 0);
+        v.len()
+    };
+
+    let sock = std::env::temp_dir().join(format!("cfd-serve-soak-{}.sock", std::process::id()));
+    let endpoint = Endpoint::Unix(sock.clone());
+    let control = DrainControl::new();
+    let metrics = Arc::new(MetricsRegistry::new());
+    let progress = Arc::new(PipelineProgress::new());
+    let instruments = ServeInstruments {
+        serve: Some(Arc::new(ServeTelemetry::new(&metrics))),
+        pipeline: None,
+        progress: Some(Arc::clone(&progress)),
+    };
+    let config = ServeConfig {
+        pipeline: PipelineConfig {
+            batch: 1,
+            queue: 8,
+            transport: Transport::Ring,
+            pin_workers: false,
+        },
+        checkpoint_path: None,
+        checkpoint_every: 0,
+        // One-batch hub: three eager producers against a per-click
+        // consumer guarantees blocked sends — visible backpressure.
+        hub_batches: 1,
+        // Pin the buffer population at startup: hub depth + one batch
+        // in flight per connection + one being drained, with room for
+        // the largest frame — the steady state never creates a buffer.
+        pool_buffers: CLIENTS + 4,
+        pool_clicks: FRAME_CLICKS,
+    };
+
+    let barrier = Barrier::new(CLIENTS + 1);
+    let (start_calls, end_calls) = (AtomicU64::new(0), AtomicU64::new(0));
+    let (start_bytes, end_bytes) = (AtomicU64::new(0), AtomicU64::new(0));
+
+    let outcome = thread::scope(|s| {
+        let server = s.spawn(|| {
+            serve(
+                ServerState::new(sharded_tbf(), registry()),
+                &endpoint,
+                &config,
+                &control,
+                &instruments,
+            )
+            .expect("serve")
+        });
+
+        for i in 0..CLIENTS {
+            let (warm, meas) = (&warm_bufs[i], &meas_bufs[i]);
+            let (sock, barrier, drain) = (&sock, &barrier, &drain_buf);
+            s.spawn(move || {
+                let mut stream = loop {
+                    match UnixStream::connect(sock) {
+                        Ok(s) => break s,
+                        Err(_) => thread::sleep(Duration::from_millis(5)),
+                    }
+                };
+                let mut hello = vec![0u8; hello_len];
+                stream.read_exact(&mut hello).expect("hello");
+                stream.write_all(warm).expect("warm-up span");
+                barrier.wait(); // warm-up written
+                barrier.wait(); // counters snapshotted; go
+                stream.write_all(meas).expect("measured span");
+                barrier.wait(); // measured billed + snapshotted
+                if i == 0 {
+                    stream.write_all(drain).expect("drain frame");
+                }
+            });
+        }
+
+        barrier.wait(); // all warm-up frames written
+        wait_billed(&progress, warm_total);
+        start_calls.store(ALLOC_CALLS.load(Ordering::Relaxed), Ordering::Relaxed);
+        start_bytes.store(ALLOC_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+        barrier.wait(); // release the measured span
+        wait_billed(&progress, total);
+        end_calls.store(ALLOC_CALLS.load(Ordering::Relaxed), Ordering::Relaxed);
+        end_bytes.store(ALLOC_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+        barrier.wait(); // release the drain
+        server.join().expect("server thread")
+    });
+
+    // No drops anywhere: every click of every client was accepted,
+    // detected, and billed.
+    assert_eq!(outcome.report.clicks, total);
+    assert_eq!(outcome.state.position, total);
+    let snap = metrics.snapshot();
+    assert_eq!(snap.get_counter("serve.clicks_received"), Some(total));
+    assert_eq!(snap.get_counter("serve.connections"), Some(CLIENTS as u64));
+
+    // Backpressure was real and visible: readers blocked on the
+    // one-batch hub instead of dropping.
+    let full_waits = snap.get_counter("serve.hub.full_waits").expect("counter");
+    assert!(
+        full_waits > 0,
+        "three eager producers against a one-batch hub must block at least once"
+    );
+
+    let calls = end_calls.load(Ordering::Relaxed) - start_calls.load(Ordering::Relaxed);
+    let bytes = end_bytes.load(Ordering::Relaxed) - start_bytes.load(Ordering::Relaxed);
+    assert_eq!(
+        calls,
+        0,
+        "steady state allocated {calls} times ({bytes} bytes) over {} clicks",
+        total - warm_total
+    );
+}

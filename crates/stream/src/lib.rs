@@ -15,6 +15,9 @@
 //!   arrival timing for time-based windows.
 //! * [`trace`] — a compact binary trace format (plus serde-derived
 //!   structures) so experiments are replayable byte-for-byte.
+//! * [`wire`] — the CRC-framed streaming protocol `cfd serve` speaks
+//!   over TCP/Unix sockets and tailed files: HELLO/CLICKS/DRAIN frames
+//!   with an allocation-recycling incremental [`wire::FrameReader`].
 //!
 //! Real PPC feeds are proprietary; these generators are the DESIGN.md §4
 //! substitution and exercise exactly the same detector code paths.
@@ -25,6 +28,7 @@
 pub mod click;
 pub mod gen;
 pub mod trace;
+pub mod wire;
 
 pub use click::{AdId, Click, ClickId, PublisherId};
 pub use gen::botnet::{BotnetConfig, BotnetStream};
@@ -36,3 +40,4 @@ pub use gen::timing::PoissonArrivals;
 pub use gen::unique::{UniqueClickStream, UniqueIdStream};
 pub use gen::zipf::ZipfSampler;
 pub use trace::{read_trace, write_trace, TraceError};
+pub use wire::{FrameReader, WireError};

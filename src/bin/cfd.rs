@@ -14,26 +14,32 @@
 //! `docs/OBSERVABILITY.md`).
 
 use cfd_adnet::{
-    run_sharded_pipeline, run_sharded_pipeline_instrumented, run_timed_sharded_pipeline,
-    run_timed_sharded_pipeline_instrumented, Advertiser, AdvertiserId, Campaign, FraudScorer,
-    PipelineConfig, PipelineTelemetry, Transport,
+    replay_client, run_sharded_pipeline, run_sharded_pipeline_instrumented,
+    run_timed_sharded_pipeline, run_timed_sharded_pipeline_instrumented, serve, Advertiser,
+    AdvertiserId, Campaign, ClientConfig, DrainControl, Endpoint, FraudScorer, PipelineConfig,
+    PipelineTelemetry, ServeConfig, ServeInstruments, ServeTelemetry, ServerState, Transport,
 };
 use cfd_core::config::ProbeLayout;
-use cfd_core::registry::{BackendGeometry, MemorySpec};
+use cfd_core::registry::{BackendGeometry, DetectorBackend, MemorySpec};
 use cfd_core::sharded::{per_shard_window, ShardedDetector};
 use cfd_core::{TimeGbf, TimeGbfConfig, TimeTbf, TimeTbfConfig};
 use cfd_stream::{
-    read_trace, write_trace, BotnetConfig, BotnetStream, Click, CoalitionConfig, CoalitionStream,
-    CrawlerStream, DuplicateInjector, FlashCrowdConfig, FlashCrowdStream, UniqueClickStream,
+    read_trace, write_trace, AdId, BotnetConfig, BotnetStream, Click, CoalitionConfig,
+    CoalitionStream, CrawlerStream, DuplicateInjector, FlashCrowdConfig, FlashCrowdStream,
+    UniqueClickStream,
 };
 use cfd_telemetry::{Registry as TelemetryRegistry, Reporter, SnapshotFormat};
 use cfd_windows::{
     DuplicateDetector, ExactSlidingDedup, ObservableDetector, StreamSummary,
     TimedDuplicateDetector, TimedObservableDetector,
 };
+use click_fraud_detection::cli;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread;
 use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
@@ -50,9 +56,14 @@ fn main() -> ExitCode {
 }
 
 /// The usage text with the `--algo` list spliced in from the backend
-/// registry, so help can never drift from the registered backends.
+/// registry (so help can never drift from the registered backends) and
+/// the gateway blocks spliced from [`cli`] (so help can never drift
+/// from `README.md`, which embeds the same constants verbatim).
 fn usage() -> String {
-    USAGE_TEMPLATE.replace("{algos}", &cfd_core::registry::algo_list())
+    USAGE_TEMPLATE
+        .replace("{algos}", &cfd_core::registry::algo_list())
+        .replace("{serve}", cli::SERVE_USAGE)
+        .replace("{replay}", cli::REPLAY_USAGE)
 }
 
 const USAGE_TEMPLATE: &str = "\
@@ -94,11 +105,17 @@ commands:
               --ring-capacity overrides --queue as the per-worker ring
               size in batches, rounded up to a power of two;
               --pin-workers pins shard worker i to CPU i, best-effort)
+             [--ads <N>] [--report-json <file>]
              [--metrics[=millis]] [--metrics-json]
              (--metrics prints periodic telemetry snapshots to stderr:
               per-shard queue depth, per-stage latency, detector fill +
               online FP estimate; --metrics-json emits JSON lines
-              instead of tables; see docs/OBSERVABILITY.md)
+              instead of tables; see docs/OBSERVABILITY.md;
+              --ads N bills against a fixed registry of N campaigns —
+              the same one `cfd serve --ads N` uses — and --report-json
+              writes the final report for byte-for-byte comparison)
+{serve}
+{replay}
   size       memory required for a target false-positive rate
              --algo gbf|tbf|metwally --window <N> [--sub-windows <Q>]
              --target-fp <rate>
@@ -157,6 +174,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("generate") => cmd_generate(&Opts::parse(&args[1..])?),
         Some("detect") => cmd_detect(&Opts::parse(&args[1..])?),
         Some("run") => cmd_run(&Opts::parse(&args[1..])?),
+        Some("serve") => cmd_serve(&Opts::parse(&args[1..])?),
+        Some("replay-client") => cmd_replay_client(&Opts::parse(&args[1..])?),
         Some("size") => cmd_size(&Opts::parse(&args[1..])?),
         Some("algos") => {
             print!("{}", cfd_core::registry::markdown_table());
@@ -530,6 +549,34 @@ fn print_stream_report(opts: &Opts, summary: &StreamSummary, scorer: &FraudScore
     }
 }
 
+/// Parses `--transport ring|channel` (default ring).
+fn parse_transport(opts: &Opts) -> Result<Transport, String> {
+    match opts.get("transport").unwrap_or("ring") {
+        "ring" => Ok(Transport::Ring),
+        "channel" => Ok(Transport::Channel),
+        other => Err(format!("--transport: `{other}` (accepted: ring, channel)")),
+    }
+}
+
+/// The fixed billing registry behind `--ads N`: one advertiser with an
+/// effectively unlimited budget and campaigns `0..N` at a flat CPC.
+/// `cfd run --ads N` and `cfd serve --ads N` build this identically, so
+/// their `--report-json` outputs are comparable byte for byte.
+fn fixed_registry(ads: u32) -> cfd_adnet::Registry {
+    let mut registry = cfd_adnet::Registry::new();
+    registry.add_advertiser(Advertiser::new(AdvertiserId(1), "advertiser", u64::MAX / 4));
+    for ad in 0..ads {
+        registry
+            .add_campaign(Campaign {
+                ad: AdId(ad),
+                advertiser: AdvertiserId(1),
+                cpc_micros: 100,
+            })
+            .expect("advertiser just registered");
+    }
+    registry
+}
+
 /// A billing registry covering every ad that appears in `clicks`: one
 /// advertiser with an effectively unlimited budget, one campaign per
 /// distinct ad at a flat CPC.
@@ -558,11 +605,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     let shards: usize = opts.parse_num("shards", 4)?;
     let batch: usize = opts.parse_num("batch", 512)?;
     let queue: usize = opts.parse_num("queue", 16)?;
-    let transport = match opts.get("transport").unwrap_or("ring") {
-        "ring" => Transport::Ring,
-        "channel" => Transport::Channel,
-        other => return Err(format!("--transport: `{other}` (accepted: ring, channel)")),
-    };
+    let transport = parse_transport(opts)?;
     let ring_capacity: usize = opts.parse_num("ring-capacity", queue)?;
     let pin_workers = opts.flag("pin-workers");
     if shards == 0 || batch == 0 || queue == 0 || ring_capacity == 0 {
@@ -622,7 +665,10 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         }
         Runner::Count(ShardedDetector::new(seed, inner).map_err(|e| e.to_string())?)
     };
-    let registry = billing_registry(&clicks);
+    let registry = match opts.get("ads") {
+        Some(_) => fixed_registry(opts.parse_num("ads", 64)?),
+        None => billing_registry(&clicks),
+    };
     let config = PipelineConfig {
         batch,
         queue: match transport {
@@ -701,6 +747,221 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             h.observed_elements
         );
     }
+    if let Some(path) = opts.get("report-json") {
+        std::fs::write(path, outcome.report.to_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Set by the `SIGTERM`/`SIGINT` handler; a watcher thread inside
+/// `cmd_serve` turns it into a [`DrainControl`] drain request.
+static SIG_DRAIN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_drain_signal(_sig: i32) {
+    SIG_DRAIN.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let endpoint = Endpoint::parse(opts.required("listen")?).map_err(|e| e.to_string())?;
+    let algo = opts.get("algo").unwrap_or("tbf").to_owned();
+    let spec = DetectorSpec::parse(opts, &algo)?;
+    if spec.is_timed() || algo == "exact" {
+        return Err(
+            "cfd serve checkpoints its detector; pick a registry backend (`cfd algos`)".into(),
+        );
+    }
+    let shards: usize = opts.parse_num("shards", 4)?;
+    let batch: usize = opts.parse_num("batch", 512)?;
+    let queue: usize = opts.parse_num("queue", 16)?;
+    let transport = parse_transport(opts)?;
+    let ads: u32 = opts.parse_num("ads", 64)?;
+    let hub_batches: usize = opts.parse_num("hub-batches", 64)?;
+    if shards == 0 || batch == 0 || queue == 0 || hub_batches == 0 {
+        return Err("--shards, --batch, --queue, and --hub-batches must be at least 1".into());
+    }
+    let checkpoint = opts.get("checkpoint").map(PathBuf::from);
+    let checkpoint_every: u64 = opts.parse_num("checkpoint-every", 0)?;
+
+    // A restart has only the checkpoint file: detector tables, billing
+    // ledger, scorer tallies, and the resume position all come from it.
+    let state: ServerState<Box<dyn DetectorBackend>> = if opts.flag("resume") {
+        let path = checkpoint.as_deref().ok_or("--resume needs --checkpoint")?;
+        let state = ServerState::read_checkpoint(path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "resumed from {} at position {}",
+            path.display(),
+            state.position
+        );
+        state
+    } else {
+        let n_s = per_shard_window(spec.window, shards);
+        let geo = BackendGeometry::new(n_s, MemorySpec::CellsPerElement(spec.cells_per_element))
+            .with_sub_windows(spec.q)
+            .with_hash_count(spec.k)
+            .with_seed(spec.seed)
+            .with_probe(spec.layout);
+        let detector = ShardedDetector::from_fn(spec.seed, shards, |_| {
+            cfd_core::registry::build(&algo, &geo)
+        })
+        .map_err(|e| format!("--algo: {e}"))?;
+        ServerState::new(detector, fixed_registry(ads))
+    };
+
+    let interval_ms: u64 = match opts.get("metrics") {
+        None | Some("true") => 1_000,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--metrics: bad interval `{v}`"))?,
+    };
+    let metrics_on = opts.flag("metrics") || opts.flag("metrics-json");
+    let format = if opts.flag("metrics-json") {
+        SnapshotFormat::JsonLines
+    } else {
+        SnapshotFormat::Table
+    };
+    let metrics = Arc::new(TelemetryRegistry::new());
+    let pipeline_t = metrics_on.then(|| Arc::new(PipelineTelemetry::new(&metrics, shards)));
+    let instruments = ServeInstruments {
+        serve: Some(Arc::new(ServeTelemetry::new(&metrics))),
+        pipeline: pipeline_t.clone(),
+        progress: None,
+    };
+    let reporter = metrics_on.then(|| {
+        let on_tick = {
+            let pipeline_t = pipeline_t.clone();
+            move || {
+                if let Some(t) = &pipeline_t {
+                    t.request_detector_health();
+                }
+            }
+        };
+        Reporter::spawn(
+            Arc::clone(&metrics),
+            Duration::from_millis(interval_ms.max(1)),
+            format,
+            on_tick,
+        )
+    });
+
+    let config = ServeConfig {
+        pipeline: PipelineConfig {
+            batch,
+            queue,
+            transport,
+            pin_workers: opts.flag("pin-workers"),
+        },
+        checkpoint_path: checkpoint,
+        checkpoint_every,
+        hub_batches,
+        ..ServeConfig::default()
+    };
+
+    // SIGTERM/SIGINT request a graceful drain: stop accepting, finish
+    // what is in flight, write a final checkpoint and report.
+    unsafe {
+        signal(SIGTERM, on_drain_signal);
+        signal(SIGINT, on_drain_signal);
+    }
+    let control = DrainControl::new();
+    let done = AtomicBool::new(false);
+    eprintln!("serving on {endpoint} (SIGTERM drains gracefully)");
+    let started = Instant::now();
+    let outcome = thread::scope(|s| {
+        s.spawn(|| {
+            while !done.load(Ordering::Acquire) {
+                if SIG_DRAIN.load(Ordering::SeqCst) {
+                    control.request_drain();
+                    break;
+                }
+                thread::sleep(Duration::from_millis(50));
+            }
+        });
+        let outcome = serve(state, &endpoint, &config, &control, &instruments);
+        done.store(true, Ordering::Release);
+        outcome
+    })
+    .map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+    if let Some(r) = reporter {
+        r.stop();
+    }
+
+    let r = &outcome.report;
+    println!("gateway  : {} on {endpoint} ({shards} shards)", r.detector);
+    println!("position : {} clicks accepted", outcome.state.position);
+    println!(
+        "clicks   : {} in {:.2}s ({:.0} clicks/s)",
+        r.clicks,
+        elapsed.as_secs_f64(),
+        r.clicks as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!("charged  : {}", r.charged);
+    println!(
+        "blocked  : {} duplicates ({} micros saved)",
+        r.duplicates_blocked, r.savings_micros
+    );
+    println!("revenue  : {} micros", r.revenue_micros);
+    for (i, h) in outcome.health.iter().enumerate() {
+        println!(
+            "shard {i}  : fill={:.4} est_fp={:.2e} dup_rate={:.4} elements={}",
+            h.mean_fill(),
+            h.estimated_fp,
+            h.duplicate_rate(),
+            h.observed_elements
+        );
+    }
+    if let Some(path) = opts.get("report-json") {
+        std::fs::write(path, r.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn cmd_replay_client(opts: &Opts) -> Result<(), String> {
+    let endpoint = Endpoint::parse(opts.required("connect")?).map_err(|e| e.to_string())?;
+    let path = opts.required("trace")?.to_owned();
+    let buf = std::fs::read(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let clicks = read_trace(&buf).map_err(|e| e.to_string())?;
+
+    let limit = match opts.get("limit") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("--limit: bad value `{v}`"))?),
+    };
+    let throttle = match opts.get("throttle-ms") {
+        None => None,
+        Some(v) => Some(Duration::from_millis(
+            v.parse()
+                .map_err(|_| format!("--throttle-ms: bad value `{v}`"))?,
+        )),
+    };
+    let config = ClientConfig {
+        frame_clicks: opts.parse_num("frame-clicks", 256)?,
+        limit,
+        drain: opts.flag("drain"),
+        connect_attempts: opts.parse_num("retries", 50)?,
+        throttle,
+        ..ClientConfig::default()
+    };
+    let stats = replay_client(&endpoint, &clicks, &config).map_err(|e| e.to_string())?;
+    println!(
+        "connected : {endpoint} (server position {})",
+        stats.server_position
+    );
+    println!(
+        "sent      : {} clicks ({} skipped as already processed)",
+        stats.sent_clicks, stats.skipped_clicks
+    );
+    println!(
+        "retries   : {} connect retries, {} mid-stream reconnects",
+        stats.connect_retries, stats.reconnects
+    );
     Ok(())
 }
 

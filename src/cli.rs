@@ -1,0 +1,43 @@
+//! Canonical usage text for the `cfd` gateway subcommands.
+//!
+//! These constants are the **single source** of the `cfd serve` /
+//! `cfd replay-client` help: the binary splices them into its usage
+//! template, and `tests/readme_sync.rs` asserts `README.md` embeds them
+//! verbatim — so the CLI help and the README can never drift apart.
+
+/// The `cfd serve` usage block. Spliced into the binary's help text
+/// and asserted verbatim in `README.md`.
+pub const SERVE_USAGE: &str = "\
+  serve      run the long-lived billing gateway over a socket or file
+             --listen unix:PATH|tcp:ADDR|tail:FILE
+             [--algo <backend>] [--window <N>] [--shards <S>]
+             [--sub-windows <Q>] [--cells-per-element <c>] [--k <hashes>]
+             [--seed <u64>] [--layout scattered|blocked] [--batch <B>]
+             [--queue <Q>] [--transport ring|channel] [--pin-workers]
+             [--ads <N>] [--hub-batches <batches>] [--checkpoint <file>]
+             [--checkpoint-every <clicks>] [--resume]
+             [--report-json <file>] [--metrics[=millis]] [--metrics-json]
+             (any `cfd algos` backend; clicks arrive as CFDW wire frames,
+              flow through a bounded hub into checkpoint-delimited
+              pipeline segments, and the complete billing state is
+              persisted after every segment; SIGTERM/SIGINT or a client
+              DRAIN frame drains gracefully -- final segment, final
+              checkpoint, final report; --resume restarts from
+              --checkpoint, and the HELLO position makes clients skip
+              everything the checkpoint already covers; --ads N bills
+              against the same fixed registry as `cfd run --ads N`, so
+              the two reports are comparable byte for byte)";
+
+/// The `cfd replay-client` usage block. Spliced into the binary's help
+/// text and asserted verbatim in `README.md`.
+pub const REPLAY_USAGE: &str = "\
+  replay-client
+             stream a recorded trace to a running gateway
+             --connect unix:PATH|tcp:ADDR|tail:FILE --trace <file>
+             [--frame-clicks <N>] [--limit <clicks>] [--drain]
+             [--throttle-ms <millis>] [--retries <attempts>]
+             (dials with capped exponential backoff until the server is
+              up; every (re)connect reads the server HELLO position and
+              resumes from it, so a crashed-and-restarted server never
+              double-bills and never misses a click; --drain asks the
+              server to shut down once this trace is fully processed)";

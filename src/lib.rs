@@ -43,6 +43,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
 pub use cfd_adnet as adnet;
 pub use cfd_analysis as analysis;
 pub use cfd_bits as bits;

@@ -21,6 +21,27 @@ fn readme_algorithm_table_matches_registry() {
 }
 
 #[test]
+fn readme_embeds_gateway_cli_usage_verbatim() {
+    let readme = fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("README.md"))
+        .expect("README.md is readable");
+    // The binary splices these same constants into `cfd help`, so a
+    // README that contains them verbatim cannot drift from the CLI.
+    for (name, block) in [
+        ("cfd serve", click_fraud_detection::cli::SERVE_USAGE),
+        (
+            "cfd replay-client",
+            click_fraud_detection::cli::REPLAY_USAGE,
+        ),
+    ] {
+        assert!(
+            readme.contains(block),
+            "README.md's `{name}` usage block is stale — paste \
+             `click_fraud_detection::cli` verbatim:\n\n{block}"
+        );
+    }
+}
+
+#[test]
 fn readme_names_every_registered_backend() {
     let readme = fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("README.md"))
         .expect("README.md is readable");
