@@ -28,6 +28,9 @@ cargo test -q
 echo "==> workspace tests (all crates)"
 cargo test -q --workspace
 
+echo "==> workspace tests again, SIMD kernels forced scalar (CFD_FORCE_SCALAR=1)"
+CFD_FORCE_SCALAR=1 cargo test -q --workspace
+
 echo "==> telemetry tests"
 cargo test -q -p cfd-telemetry
 
@@ -101,6 +104,17 @@ if [[ "${1:-}" != "quick" ]]; then
     tail -n 8 /tmp/cfd_shootout.txt | sed 's/^/   /'
     echo "==> BENCH shootout json schema + Pareto/FP/speedup gates (full scale only)"
     python3 tools/check_bench.py target/BENCH_shootout_quick.json BENCH_pr6.json
+fi
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> simd smoke: wide vs forced-scalar dispatch, verdicts must agree (quick scale)"
+    # Quick scale writes its own file; the committed full-scale
+    # BENCH_pr8.json is regenerated only by a manual full run.
+    ./target/release/throughput --simd --quick --out target/BENCH_simd_quick.json \
+        >/tmp/cfd_simd.txt
+    tail -n 6 /tmp/cfd_simd.txt | sed 's/^/   /'
+    echo "==> BENCH simd json schema + wide-speedup gates (full scale only)"
+    python3 tools/check_bench.py target/BENCH_simd_quick.json BENCH_pr8.json
 fi
 
 if [[ "${1:-}" != "quick" ]]; then

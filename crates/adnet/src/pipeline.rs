@@ -1048,11 +1048,21 @@ where
             let mut engine = BillingEngine::with_ledger((), seed_ledger);
             let mut savings = seed_savings;
             let mut next_seq = 0u64;
-            let mut pending: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
+            // Pre-reserve the resequencer heap to its structural bound:
+            // every pending item was admitted through a bounded judged
+            // channel (queue * shard_count batches), plus one batch per
+            // worker in flight and the batch being drained here. Lazily
+            // grown (`BinaryHeap::new()`) the backlog high-water is
+            // timing-dependent, so the heap would occasionally realloc
+            // mid-run and break the zero-steady-state-allocation
+            // invariant the soak test asserts.
+            let mut pending: BinaryHeap<Reverse<Pending>> =
+                BinaryHeap::with_capacity(shard_count * (queue + 2) * batch);
             // Clicks released in order this round; reused across
             // batches so the split into resequence/settle phases costs
-            // no steady-state allocation.
-            let mut ready: Vec<JudgedClick> = Vec::new();
+            // no steady-state allocation. One round can release the
+            // whole backlog, so it shares the heap's bound.
+            let mut ready: Vec<JudgedClick> = Vec::with_capacity(shard_count * (queue + 2) * batch);
             for JudgedBatch { items } in rx_judged {
                 let t0 = telem.map(|_| Instant::now());
                 for (seq, judged) in items {
@@ -1197,6 +1207,22 @@ where
     } = seed;
     let raw_pool = Arc::new(Pool::<ClickBatch>::new());
     let judged_pool = Arc::new(Pool::<JudgedBatch>::new());
+    // Pre-populate both pools to their structural in-flight bounds with
+    // capacity-reserved buffers: per shard, `queue` batches can sit in a
+    // ring plus one in the producer's hand and one in the consumer's.
+    // An empty pool hands out `T::default()` (capacity-0 vectors) on a
+    // miss, so lazily-grown pools reach their working population at a
+    // timing-dependent point — occasionally *after* a steady-state
+    // allocation watcher has started counting.
+    for _ in 0..shard_count * (queue + 2) {
+        raw_pool.put(ClickBatch {
+            items: Vec::with_capacity(batch),
+            keys: Vec::with_capacity(batch * KEY_LEN),
+        });
+        judged_pool.put(JudgedBatch {
+            items: Vec::with_capacity(batch),
+        });
+    }
 
     thread::scope(|s| {
         // Shard workers: exclusive detector ownership, private scorer,
@@ -1222,7 +1248,7 @@ where
                 }
                 let telem = telemetry.as_deref();
                 let mut scorer = FraudScorer::new();
-                let mut verdicts: Vec<Verdict> = Vec::new();
+                let mut verdicts: Vec<Verdict> = Vec::with_capacity(batch);
                 while let Some(mut b) = raw_rx.pop() {
                     let t0 = telem.map(|t| {
                         t.shard_queue_depth(idx).sub(1);
@@ -1293,8 +1319,15 @@ where
             let mut engine = BillingEngine::with_ledger((), seed_ledger);
             let mut savings = seed_savings;
             let mut next_seq = 0u64;
-            let mut pending: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
-            let mut ready: Vec<JudgedClick> = Vec::new();
+            // Same structural bound as the channel-transport resequencer:
+            // per-shard judged rings hold at most `queue` batches each,
+            // plus one in flight per worker and the one drained here.
+            // Pre-reserving keeps the heap from reallocating when the
+            // out-of-order backlog spikes mid-run (zero-steady-state-
+            // allocation invariant).
+            let mut pending: BinaryHeap<Reverse<Pending>> =
+                BinaryHeap::with_capacity(shard_count * (queue + 2) * batch);
+            let mut ready: Vec<JudgedClick> = Vec::with_capacity(shard_count * (queue + 2) * batch);
             let mut consumers = judged_consumers;
             let mut open = vec![true; consumers.len()];
             let mut live = consumers.len();
@@ -1720,15 +1753,15 @@ mod tests {
                 assert_eq!(e.value, cfd_telemetry::MetricValue::Gauge(0), "{}", e.name);
             }
         }
-        // Ring-transport extras: warm-up misses are bounded by the
-        // number of buffers in flight, far below the batch count.
+        // Ring-transport extras: the pools are pre-populated to their
+        // structural in-flight bound, so no `get` ever finds them empty
+        // — zero misses means zero mid-run buffer creation.
         let raw_misses = snap
             .get_counter("pipeline.pool.raw_misses")
             .expect("registered");
-        assert!(raw_misses > 0, "first gets must miss the empty pool");
-        assert!(
-            raw_misses <= (shards * (PipelineConfig::default().queue + 2) + 2) as u64,
-            "pool recycling failed: {raw_misses} raw-batch allocations"
+        assert_eq!(
+            raw_misses, 0,
+            "pre-populated pool ran dry: {raw_misses} raw-batch allocations"
         );
     }
 

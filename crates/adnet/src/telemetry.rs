@@ -152,7 +152,7 @@ impl PipelineTelemetry {
                 ),
             })
             .collect();
-        Self {
+        let telemetry = Self {
             registry: Arc::clone(registry),
             ingest_clicks: registry.counter(
                 "pipeline.ingest.clicks",
@@ -205,7 +205,20 @@ impl PipelineTelemetry {
                 "judged-batch pool gets that had to allocate a fresh buffer",
             ),
             shards,
-        }
+        };
+        // Snapshot of the probe-kernel dispatch at construction: 8 when
+        // the AVX2 wide path is active, 1 when scalar is forced
+        // (`CFD_FORCE_SCALAR`) or unavailable. A dashboard comparing two
+        // deployments' throughput reads this first.
+        telemetry
+            .registry
+            .gauge(
+                "pipeline.simd_lanes",
+                "lanes",
+                "probe-kernel SIMD lane width (1 = scalar dispatch)",
+            )
+            .set(cfd_core::simd::active_lanes() as i64);
+        telemetry
     }
 
     /// The registry all instruments were registered into.
@@ -322,9 +335,14 @@ mod tests {
         let t = PipelineTelemetry::new(&registry, 3);
         assert_eq!(t.shard_count(), 3);
         let snap = registry.snapshot();
-        // 10 global metrics + 9 per shard.
-        assert_eq!(snap.entries.len(), 10 + 3 * 9);
+        // 11 global metrics + 9 per shard.
+        assert_eq!(snap.entries.len(), 11 + 3 * 9);
         assert!(snap.get_counter("pipeline.ingest.clicks").is_some());
+        let lanes = snap.get_gauge("pipeline.simd_lanes");
+        assert!(
+            lanes == Some(1) || lanes == Some(cfd_core::simd::LANES_WIDE as i64),
+            "simd_lanes gauge must report the dispatch width, got {lanes:?}"
+        );
         assert!(snap.get_histogram("pipeline.stage.probe_ns").is_some());
         assert!(snap.get_counter("pipeline.shard2.batches").is_some());
         assert!(snap.get_counter("pipeline.shard2.raw_full_waits").is_some());

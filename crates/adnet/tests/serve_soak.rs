@@ -22,7 +22,7 @@ use cfd_adnet::{
 use cfd_core::sharded::{per_shard_window, ShardedDetector};
 use cfd_core::{Tbf, TbfConfig};
 use cfd_stream::wire;
-use cfd_stream::{AdId, BotnetConfig, BotnetStream, Click};
+use cfd_stream::{AdId, BotnetConfig, BotnetStream, Click, ClickId, PublisherId};
 use cfd_telemetry::Registry as MetricsRegistry;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::{Read, Write};
@@ -33,27 +33,50 @@ use std::thread;
 use std::time::Duration;
 
 /// Counts allocation events; delegates to the system allocator.
+///
+/// While `TRACE_SIZES` is set (the measured span), the first few
+/// allocation sizes are also recorded so a nonzero delta names its
+/// culprits in the failure message instead of just counting them.
 struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static TRACE_SIZES: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+static TRACED: [AtomicU64; 8] = [const { AtomicU64::new(0) }; 8];
+static TRACED_AT: AtomicU64 = AtomicU64::new(0);
+
+fn count(size: usize) {
+    ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    if TRACE_SIZES.load(Ordering::Relaxed) {
+        let at = TRACED_AT.fetch_add(1, Ordering::Relaxed) as usize;
+        if let Some(slot) = TRACED.get(at) {
+            slot.store(size as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+fn traced_sizes() -> Vec<u64> {
+    let n = (TRACED_AT.load(Ordering::Relaxed) as usize).min(TRACED.len());
+    TRACED[..n]
+        .iter()
+        .map(|s| s.load(Ordering::Relaxed))
+        .collect()
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        count(layout.size());
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        count(layout.size());
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        count(new_size);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -71,6 +94,30 @@ const MEASURED_PER_CLIENT: usize = 2_000;
 const PER_CLIENT: usize = WARMUP_PER_CLIENT + MEASURED_PER_CLIENT;
 const FRAME_CLICKS: usize = 64;
 const SHARDS: usize = 4;
+const PUBLISHERS: usize = 8;
+const ADS: usize = 64;
+
+/// One click for every (publisher, ad) pair, prepended to the warm-up
+/// span so every publisher-keyed billing/scorer map reaches its final
+/// bucket count before the allocation counters are snapshotted.
+///
+/// Relying on the random stream for coverage is a latent flake: a
+/// publisher or ad whose first click lands in the *measured* span
+/// would grow a ledger/scorer hash table mid-soak. (The intermittent
+/// 224-byte allocation this soak used to catch turned out to be the
+/// ring pipeline's lazily-populated batch pools, fixed at the source
+/// by pre-populating them — but deterministic key coverage keeps the
+/// map-growth hazard closed regardless of stream seed.)
+fn coverage_sweep() -> Vec<Click> {
+    (0..PUBLISHERS)
+        .flat_map(|p| {
+            (0..ADS).map(move |ad| {
+                let id = ClickId::new(0xC0A8_0000 + (p * ADS + ad) as u32, 0, AdId(ad as u32));
+                Click::new(id, 0, PublisherId(p as u32), 100)
+            })
+        })
+        .collect()
+}
 
 fn registry() -> Registry {
     let mut r = Registry::new();
@@ -119,11 +166,13 @@ fn wait_billed(progress: &PipelineProgress, target: u64) {
 
 #[test]
 fn multi_client_soak_is_zero_alloc_with_backpressure() {
-    let total = (CLIENTS * PER_CLIENT) as u64;
-    let warm_total = (CLIENTS * WARMUP_PER_CLIENT) as u64;
+    let sweep = coverage_sweep();
+    let total = (CLIENTS * PER_CLIENT + sweep.len()) as u64;
+    let warm_total = (CLIENTS * WARMUP_PER_CLIENT + sweep.len()) as u64;
 
-    // Bounded key space (8 publishers × 64 ads) so every ledger and
-    // scorer map reaches its working size during warm-up.
+    // Bounded key space (8 publishers × 64 ads), and client 0's warm-up
+    // opens with the deterministic sweep over all of it, so every ledger
+    // and scorer map reaches its working size during warm-up.
     let clicks: Vec<Click> = BotnetStream::new(BotnetConfig::default(), 8, 64)
         .take(CLIENTS * PER_CLIENT)
         .map(|c| c.click)
@@ -132,7 +181,16 @@ fn multi_client_soak_is_zero_alloc_with_backpressure() {
     // Pre-encode every frame each client will write, so the measured
     // phase on the client side is nothing but `write_all` of a slice.
     let warm_bufs: Vec<Vec<u8>> = (0..CLIENTS)
-        .map(|i| encode_span(&clicks[i * PER_CLIENT..i * PER_CLIENT + WARMUP_PER_CLIENT]))
+        .map(|i| {
+            let span = &clicks[i * PER_CLIENT..i * PER_CLIENT + WARMUP_PER_CLIENT];
+            if i == 0 {
+                let mut with_sweep = sweep.clone();
+                with_sweep.extend_from_slice(span);
+                encode_span(&with_sweep)
+            } else {
+                encode_span(span)
+            }
+        })
         .collect();
     let meas_bufs: Vec<Vec<u8>> = (0..CLIENTS)
         .map(|i| encode_span(&clicks[i * PER_CLIENT + WARMUP_PER_CLIENT..(i + 1) * PER_CLIENT]))
@@ -217,8 +275,10 @@ fn multi_client_soak_is_zero_alloc_with_backpressure() {
         wait_billed(&progress, warm_total);
         start_calls.store(ALLOC_CALLS.load(Ordering::Relaxed), Ordering::Relaxed);
         start_bytes.store(ALLOC_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+        TRACE_SIZES.store(true, Ordering::Relaxed);
         barrier.wait(); // release the measured span
         wait_billed(&progress, total);
+        TRACE_SIZES.store(false, Ordering::Relaxed);
         end_calls.store(ALLOC_CALLS.load(Ordering::Relaxed), Ordering::Relaxed);
         end_bytes.store(ALLOC_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
         barrier.wait(); // release the drain
@@ -246,7 +306,8 @@ fn multi_client_soak_is_zero_alloc_with_backpressure() {
     assert_eq!(
         calls,
         0,
-        "steady state allocated {calls} times ({bytes} bytes) over {} clicks",
+        "steady state allocated {calls} times ({bytes} bytes, sizes {:?}) over {} clicks",
+        traced_sizes(),
         total - warm_total
     );
 }

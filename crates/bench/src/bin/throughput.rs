@@ -1497,11 +1497,256 @@ fn run_shootout_scenario(quick: bool, out_path: &str) {
     }
 }
 
+// ---------------------------------------------------------------------
+// PR 8 scenario: SIMD vs forced-scalar dispatch on the blocked batch
+// path — same stream, same backends, only the kernel dispatch differs.
+// ---------------------------------------------------------------------
+
+/// One (backend, dispatch) cell of the SIMD shootout.
+struct SimdBench {
+    algo: &'static str,
+    /// `"scalar"` forces the portable kernels; `"wide"` allows AVX2.
+    dispatch: &'static str,
+    rates: Vec<f64>,
+    false_positives: u64,
+}
+
+/// Blocked-layout batch throughput for every registry count backend,
+/// with the probe/clean kernels forced scalar vs allowed wide. Both
+/// sides replay the identical distinct-id stream, so any verdict
+/// difference or occupancy scan is a correctness failure, and the
+/// wide/scalar rate ratio isolates exactly the SIMD contribution
+/// (hash lanes, batch schedule, and memory budget are shared).
+fn run_simd_scenario(quick: bool, out_path: &str) {
+    let (label, clicks, rounds, n) = if quick {
+        ("quick", 1usize << 18, 3usize, 1usize << 14)
+    } else {
+        ("full", 1usize << 22, 10usize, 1usize << 20)
+    };
+    let total = n * SHOOT_BITS_PER_ELEMENT;
+    // Lane width the "wide" rows will actually get on this machine
+    // (1 on non-AVX2 hosts, where both rows dispatch scalar and the
+    // speedup gates are vacuous).
+    cfd_core::simd::set_scalar_override(Some(false));
+    let lanes = cfd_core::simd::active_lanes();
+    cfd_core::simd::set_scalar_override(None);
+    println!(
+        "# throughput --simd — {label} scale: {clicks} clicks/round, {rounds} measured \
+         rounds (+1 warm-up), window {n}, {total} bits/backend, batch {BATCH}, \
+         wide lanes {lanes}"
+    );
+
+    // Distinct id stream: every Duplicate verdict is a false positive,
+    // and both dispatch rows must report the same count.
+    let keys: Vec<u8> = (0..clicks as u64).flat_map(u64::to_le_bytes).collect();
+
+    let mut benches: Vec<SimdBench> = SHOOT_ALGOS
+        .iter()
+        .flat_map(|&algo| {
+            ["scalar", "wide"].map(|dispatch| SimdBench {
+                algo,
+                dispatch,
+                rates: Vec::new(),
+                false_positives: 0,
+            })
+        })
+        .collect();
+
+    let mut violations = 0u32;
+    for round in 0..=rounds {
+        // Alternate the visit order so slow drift (thermal, cache)
+        // cannot systematically favor one dispatch.
+        let order: Vec<usize> = if round % 2 == 0 {
+            (0..benches.len()).collect()
+        } else {
+            (0..benches.len()).rev().collect()
+        };
+        for idx in order {
+            let b = &mut benches[idx];
+            cfd_core::simd::set_scalar_override(Some(b.dispatch == "scalar"));
+            let mut d = shoot_build(b.algo, ProbeLayout::Blocked, n, total);
+            let (rate, dups, scans) = drive_shoot_batch(&mut d, &keys);
+            if scans != 0 {
+                violations += 1;
+                eprintln!(
+                    "FAIL: {}-{} performed {scans} occupancy scans in the hot loop",
+                    b.algo, b.dispatch
+                );
+            }
+            if round == 0 {
+                b.false_positives = dups;
+            } else {
+                if dups != b.false_positives {
+                    violations += 1;
+                    eprintln!(
+                        "FAIL: {}-{} verdicts drifted across rounds ({dups} vs {})",
+                        b.algo, b.dispatch, b.false_positives
+                    );
+                }
+                b.rates.push(rate);
+            }
+        }
+        if round == 0 {
+            println!("# warm-up complete");
+        }
+    }
+    cfd_core::simd::set_scalar_override(None);
+
+    let cell = |algo: &str, dispatch: &str| {
+        benches
+            .iter()
+            .find(|b| b.algo == algo && b.dispatch == dispatch)
+            .expect("all cells present")
+    };
+
+    // Dispatch must never change a verdict.
+    let mut verdicts_agree = true;
+    for algo in SHOOT_ALGOS {
+        let (s, w) = (
+            cell(algo, "scalar").false_positives,
+            cell(algo, "wide").false_positives,
+        );
+        if s != w {
+            verdicts_agree = false;
+            eprintln!("FAIL: {algo} wide and scalar verdicts disagree ({w} vs {s})");
+        }
+    }
+
+    // ---- Human table ------------------------------------------------
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "# throughput --simd — blocked batch, wide vs forced-scalar kernels \
+         ({label} scale, {clicks} clicks, median of {rounds} rounds, {total} bits/backend, \
+         wide lanes {lanes})"
+    );
+    let _ = writeln!(
+        table,
+        "{:<20} {:>12} {:>14}",
+        "config", "Mclicks/s", "false-positives"
+    );
+    for b in &benches {
+        let _ = writeln!(
+            table,
+            "{:<20} {:>12.2} {:>14}",
+            format!("{}-{}", b.algo, b.dispatch),
+            median(&b.rates) / 1e6,
+            b.false_positives
+        );
+    }
+    let mut speedups: Vec<(&str, f64)> = Vec::new();
+    for algo in SHOOT_ALGOS {
+        let s = median(&cell(algo, "wide").rates) / median(&cell(algo, "scalar").rates);
+        let _ = writeln!(table, "# {algo}: wide/scalar = {s:.2}x");
+        speedups.push((algo, s));
+    }
+    print!("{table}");
+
+    // ---- Gates ------------------------------------------------------
+    // GBF's hot path is word-granular lane cleaning (~34 word RMWs per
+    // click), which the wide dispatch turns into contiguous AND-store
+    // sweeps — the one backend where SIMD buys a whole-pipeline win
+    // (isolated sweep kernel ~1.9x; end-to-end 1.22–1.35x across runs,
+    // median ~1.26x on the reference one-core host). The gate floor
+    // sits at 1.2x — below the measured band, not at its midpoint — so
+    // a rerun on a noisy host reproduces PASS instead of coin-flipping
+    // around the point estimate. The probe-dominated backends are
+    // early-exit branch-bound (see docs/PERFORMANCE.md "SIMD probe
+    // path"): there the wide kernels are bit-identical rewrites gated
+    // only against regression, with a floor loose enough for one-core
+    // VM noise (APBF shares every instruction across both rows yet
+    // still wobbles ~10% between runs). Full scale, AVX2 hosts only —
+    // with one lane both rows run the same kernels.
+    let speedup_ok = speedups.iter().all(|&(algo, s)| {
+        let floor = if algo == "gbf" { 1.2 } else { 0.85 };
+        s >= floor
+    });
+    let gates_apply = !quick && lanes > 1;
+    let scans_ok = violations == 0;
+    println!(
+        "# gates: gbf wide>=1.2x + no backend <0.85x {} | verdicts-agree {} | no-hot-scans {}",
+        if speedup_ok {
+            "PASS"
+        } else if gates_apply {
+            "FAIL"
+        } else {
+            "SKIP (quick)"
+        },
+        if verdicts_agree { "PASS" } else { "FAIL" },
+        if scans_ok { "PASS" } else { "FAIL" },
+    );
+
+    // ---- Machine-readable JSON --------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"cfd-bench-simd/1\",");
+    let _ = writeln!(json, "  \"scale\": \"{label}\",");
+    let _ = writeln!(json, "  \"clicks\": {clicks},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"window\": {n},");
+    let _ = writeln!(json, "  \"memory_bits_budget\": {total},");
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    let _ = writeln!(json, "  \"lanes\": {lanes},");
+    let _ = writeln!(json, "  \"configs\": [");
+    for (i, b) in benches.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"algo\": \"{}\",", b.algo);
+        let _ = writeln!(json, "      \"dispatch\": \"{}\",", b.dispatch);
+        let _ = writeln!(
+            json,
+            "      \"clicks_per_sec_median\": {},",
+            json_f64(median(&b.rates))
+        );
+        let rs: Vec<String> = b.rates.iter().map(|&r| json_f64(r)).collect();
+        let _ = writeln!(
+            json,
+            "      \"clicks_per_sec_rounds\": [{}],",
+            rs.join(", ")
+        );
+        let _ = writeln!(json, "      \"false_positives\": {}", b.false_positives);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < benches.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedups\": {{");
+    for (i, (algo, s)) in speedups.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{algo}\": {{ \"wide\": {} }}{}",
+            json_f64(*s),
+            if i + 1 < speedups.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"checks\": {{");
+    let _ = writeln!(json, "    \"simd_speedup_ok\": {speedup_ok},");
+    let _ = writeln!(json, "    \"verdicts_agree\": {verdicts_agree},");
+    let _ = writeln!(json, "    \"no_occupancy_scans\": {scans_ok}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    std::fs::write(out_path, &json).expect("write json");
+    println!("# wrote {out_path}");
+
+    let table_path = format!("results/throughput_simd_{label}.txt");
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write(&table_path, &table);
+        println!("# wrote {table_path}");
+    }
+
+    let speedup_gate_ok = !gates_apply || speedup_ok;
+    if !verdicts_agree || !scans_ok || !speedup_gate_ok {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut quick = false;
     let mut pipeline = false;
     let mut timed = false;
     let mut shootout = false;
+    let mut simd = false;
     let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -1511,6 +1756,7 @@ fn main() {
             "--pipeline" => pipeline = true,
             "--timed" => timed = true,
             "--shootout" => shootout = true,
+            "--simd" => simd = true,
             "--out" => match args.next() {
                 Some(p) => out_path = Some(p),
                 None => {
@@ -1521,7 +1767,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unrecognized argument `{other}` \
-                     (accepted: --pipeline --timed --shootout --quick --full --out PATH)"
+                     (accepted: --pipeline --timed --shootout --simd --quick --full --out PATH)"
                 );
                 std::process::exit(2);
             }
@@ -1540,6 +1786,11 @@ fn main() {
     if shootout {
         let out = out_path.unwrap_or_else(|| "BENCH_pr6.json".to_owned());
         run_shootout_scenario(quick, &out);
+        return;
+    }
+    if simd {
+        let out = out_path.unwrap_or_else(|| "BENCH_pr8.json".to_owned());
+        run_simd_scenario(quick, &out);
         return;
     }
     let out_path = out_path.unwrap_or_else(|| "BENCH_pr3.json".to_owned());

@@ -174,10 +174,14 @@ impl InterleavedBitMatrix {
         assert!(group < self.groups, "group {group} out of range");
         assert_eq!(acc.len(), self.lane_words, "accumulator width mismatch");
         let base = self.base(group);
-        for (a, w) in acc
-            .iter_mut()
-            .zip(&self.words[base..base + self.lane_words])
-        {
+        let src = &self.words[base..base + self.lane_words];
+        if self.lane_words >= 4 {
+            // Wide-lane matrices (> 192 sub-windows) reduce four words
+            // per step on AVX2; identical to the scalar loop below.
+            crate::simd::and_words(acc, src);
+            return;
+        }
+        for (a, w) in acc.iter_mut().zip(src) {
             *a &= w;
         }
     }
@@ -239,6 +243,18 @@ impl InterleavedBitMatrix {
         );
         let lw = lane / WORD_BITS;
         let mask = !(1u64 << (lane % WORD_BITS));
+        if self.lane_words == 1 && crate::simd::wide_enabled() {
+            // One word per group: the swept span is a contiguous word
+            // slice, which compiles to a wide AND-store loop — the
+            // cleaning daemon touches whole cache lines per step. Kept
+            // behind the wide dispatch so forcing scalar
+            // (`CFD_FORCE_SCALAR=1`) measures the original per-group
+            // read-modify-write path.
+            for w in &mut self.words[group_start..group_start + count] {
+                *w &= mask;
+            }
+            return count;
+        }
         for g in group_start..group_start + count {
             let w = g * self.lane_words + lw;
             self.words[w] &= mask;

@@ -17,10 +17,12 @@
 //! All structures are safe Rust, fixed-capacity after construction, and
 //! expose explicit word-operation accounting hooks so the benchmark
 //! harness can reproduce the paper's running-time claims (Theorems 1
-//! and 2) in *memory operations*, not just wall-clock time. The single
-//! `unsafe` block in the crate is the architectural cache-prefetch hint
-//! in [`words::prefetch`] — an instruction with no architectural effect
-//! beyond cache state that cannot fault.
+//! and 2) in *memory operations*, not just wall-clock time. `unsafe` is
+//! confined to two places: the architectural cache-prefetch hint in
+//! [`words::prefetch`] (no architectural effect beyond cache state,
+//! cannot fault) and the runtime-dispatched AVX2 kernels in [`simd`],
+//! where every intrinsic call sits behind runtime feature detection and
+//! a bounds check, each documented by a `SAFETY` comment.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +31,7 @@ pub mod bitvec;
 pub mod counters;
 pub mod interleave;
 pub mod packed;
+pub mod simd;
 pub mod tight;
 pub mod words;
 

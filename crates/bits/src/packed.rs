@@ -218,6 +218,182 @@ impl PackedIntVec {
         changed
     }
 
+    /// Wide compare-and-store expiry sweep over `count` consecutive
+    /// entries starting at `start` — the cleaning primitive shared by
+    /// every wraparound-timestamp table (TBF entries, SWBF cells and
+    /// side stamps, TimeTbf units).
+    ///
+    /// For each entry `v`: the timestamp field is `v & ts_mask` with
+    /// all-ones meaning empty; an occupied entry whose wraparound age
+    /// from `now` (clock period `range`) falls **outside**
+    /// `[active_lo, active_hi]` is expired and rewritten to `empty`.
+    /// Returns the number of entries rewritten.
+    ///
+    /// On the wide dispatch every entry is decoded from an independent
+    /// two-word window and classified with branch-free flag arithmetic
+    /// (the same compare set [`crate::simd::classify_stamps`] applies
+    /// lane-wise); only expired entries pay a store. The scalar
+    /// dispatch is the original register-cached per-entry branch chain
+    /// ([`PackedIntVec::update_range`]), so `CFD_FORCE_SCALAR=1`
+    /// measures the pre-SIMD code path. Both are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count > len` or `empty` does not fit in the
+    /// entry width.
+    #[allow(clippy::too_many_arguments)]
+    pub fn expire_timestamps(
+        &mut self,
+        start: usize,
+        count: usize,
+        ts_mask: u64,
+        empty: u64,
+        now: u64,
+        range: u64,
+        active_lo: u64,
+        active_hi: u64,
+    ) -> usize {
+        let end = start
+            .checked_add(count)
+            .expect("entry range overflows usize");
+        assert!(
+            end <= self.len,
+            "entry range {start}+{count} exceeds {}",
+            self.len
+        );
+        assert!(empty <= self.max, "value {empty} exceeds entry width");
+        const LANES: usize = 8;
+        if !crate::simd::wide_enabled() || count < LANES {
+            // Scalar dispatch reproduces the pre-SIMD sweep exactly:
+            // the register-cached per-entry loop with one branch chain
+            // per entry, so forcing scalar (`CFD_FORCE_SCALAR=1`)
+            // measures and behaves like the original code path. Short
+            // segments (deep range extensions shrink the cleaning quota
+            // to a handful of entries) take it too: the shift-register
+            // setup costs more than it saves under one block.
+            return self.update_range(start, count, |e| {
+                let ts = e & ts_mask;
+                if ts == ts_mask {
+                    return None;
+                }
+                let age = if now >= ts {
+                    now - ts
+                } else {
+                    range - ts + now
+                };
+                (!(active_lo..=active_hi).contains(&age)).then_some(empty)
+            });
+        }
+        let bits = self.bits as usize;
+        let max = self.max;
+        let words = &mut self.words[..];
+        let last = words.len() - 1;
+        let mut changed = 0usize;
+        // Branchless per-entry classification. The scalar sweep's branch
+        // chain (empty? wrapped? active?) predicts perfectly in a tight
+        // benchmark loop but mispredicts heavily once the sweep is
+        // interleaved with probe/insert traffic in the real pipeline —
+        // the predictor cannot hold per-entry history across thousands
+        // of intervening branches, and that misprediction tax (not
+        // memory) is the dominant in-situ sweep cost. Here every entry
+        // is decoded with an independent two-word window (no serial
+        // shift-register dependency, so decodes overlap across entries)
+        // and classified with flag arithmetic; the only data-dependent
+        // branch left is the rewrite itself, which is rare (few entries
+        // expire per call) and therefore predicts well.
+        for i in start..end {
+            let bit = i * bits;
+            let (w, off) = (bit / WORD_BITS, (bit % WORD_BITS) as u32);
+            // `w + 1` is clamped, not checked: the second word only
+            // contributes when the entry straddles, and a straddling
+            // entry always has a real successor word.
+            let pair = (u128::from(words[(w + 1).min(last)]) << WORD_BITS) | u128::from(words[w]);
+            let v = (pair >> off) as u64 & max;
+            let ts = v & ts_mask;
+            let occupied = ts != ts_mask;
+            let wrapped = ts > now;
+            let age = now
+                .wrapping_sub(ts)
+                .wrapping_add(range & (wrapped as u64).wrapping_neg());
+            let active = age >= active_lo && age <= active_hi;
+            if occupied & !active {
+                words[w] = (words[w] & !(max << off)) | (empty << off);
+                let have = WORD_BITS as u32 - off;
+                if (have as usize) < bits {
+                    let hi_mask = low_mask(bits as u32 - have);
+                    words[w + 1] = (words[w + 1] & !hi_mask) | (empty >> have);
+                }
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Writes `value` into every entry listed in `idxs` — the insert
+    /// primitive of the blocked probe layout, where all `k` probes land
+    /// in one cache line.
+    ///
+    /// On the wide dispatch the writes are merged in registers: the
+    /// (mask, pattern) pair of every entry is OR-accumulated into a
+    /// small word window that is stored once per word, replacing `k`
+    /// read-modify-write round trips with one pass over the line. The
+    /// scalar dispatch (and any index spread wider than the window) is
+    /// the plain per-entry [`PackedIntVec::set`] loop. Both orders
+    /// write identical words: the per-entry bit ranges are disjoint
+    /// (or identical, for repeated indices), so OR-merging cannot mix
+    /// two entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `value` does not fit in
+    /// the entry width.
+    pub fn set_all(&mut self, idxs: &[usize], value: u64) {
+        const WINDOW: usize = 16;
+        let bits = self.bits as usize;
+        let entry_bits = self.bits;
+        let max = self.max;
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for &i in idxs {
+            lo = lo.min(i);
+            hi = hi.max(i);
+        }
+        if !crate::simd::wide_enabled()
+            || idxs.len() < 3
+            || hi >= self.len
+            || (hi * bits + bits - 1) / WORD_BITS - lo * bits / WORD_BITS >= WINDOW
+        {
+            // Scalar dispatch, tiny batches, and spreads wider than the
+            // merge window take the plain per-entry store loop (it also
+            // carries the out-of-range panic).
+            for &i in idxs {
+                self.set(i, value);
+            }
+            return;
+        }
+        assert!(value <= max, "value {value} exceeds {entry_bits}-bit entry");
+        let base = lo * bits / WORD_BITS;
+        let mut mask = [0u64; WINDOW];
+        let mut pat = [0u64; WINDOW];
+        let mut hi_w = 0usize;
+        for &i in idxs {
+            let bit = i * bits;
+            let (w, off) = (bit / WORD_BITS - base, (bit % WORD_BITS) as u32);
+            mask[w] |= max << off;
+            pat[w] |= value << off;
+            let have = WORD_BITS as u32 - off;
+            let mut top = w;
+            if have < entry_bits {
+                mask[w + 1] |= low_mask(entry_bits - have);
+                pat[w + 1] |= value >> have;
+                top = w + 1;
+            }
+            hi_w = hi_w.max(top);
+        }
+        for (j, wd) in self.words[base..=base + hi_w].iter_mut().enumerate() {
+            *wd = (*wd & !mask[j]) | pat[j];
+        }
+    }
+
     /// Sets every entry to `value`.
     ///
     /// # Panics
@@ -402,6 +578,54 @@ mod tests {
             for item in model.iter_mut().take(start + count).skip(start) {
                 if *item > th {
                     *item /= 2;
+                    expect_changed += 1;
+                }
+            }
+            prop_assert_eq!(changed, expect_changed);
+            for (i, want) in model.iter().enumerate() {
+                prop_assert_eq!(v.get(i), *want, "i={}", i);
+            }
+        }
+
+        #[test]
+        fn expire_timestamps_matches_get_set_model(
+            bits in 4u32..=24,
+            ts_bits in 2u32..=24,
+            start in 0usize..150,
+            count in 0usize..150,
+            now_seed in any::<u64>(),
+            lo in 0u64..=1,
+        ) {
+            let ts_bits = ts_bits.min(bits);
+            let ts_mask = (1u64 << ts_bits) - 1;
+            let range = ts_mask.max(2); // all-ones stays reserved for "empty"
+            let now = now_seed % range;
+            let hi = (range / 2).max(lo);
+            let count = count.min(200 - start);
+            let mask = low_mask(bits);
+            let empty = mask; // whole-entry all-ones, the TBF/SWBF idiom
+            let mut v = PackedIntVec::new(200, bits);
+            for i in 0..200 {
+                // Mix of empty markers and stamps all over the clock.
+                let raw = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let val = if raw.is_multiple_of(5) {
+                    empty
+                } else {
+                    ((raw >> 8) % range) | (raw & !ts_mask & mask)
+                };
+                v.set(i, val);
+            }
+            let mut model: Vec<u64> = (0..200).map(|i| v.get(i)).collect();
+            let changed = v.expire_timestamps(start, count, ts_mask, empty, now, range, lo, hi);
+            let mut expect_changed = 0;
+            for item in model.iter_mut().take(start + count).skip(start) {
+                let ts = *item & ts_mask;
+                if ts == ts_mask {
+                    continue;
+                }
+                let age = if now >= ts { now - ts } else { range - ts + now };
+                if !(lo..=hi).contains(&age) {
+                    *item = empty;
                     expect_changed += 1;
                 }
             }

@@ -76,6 +76,25 @@ pub(crate) trait ProbeCore {
     fn probes_share_line(&self) -> bool {
         self.block_geo().is_some()
     }
+
+    /// Number of consecutive elements the backend classifies together
+    /// in its wide (SIMD) probe path; 1 means element-at-a-time.
+    ///
+    /// Backends that override this must make
+    /// [`CountCore::apply_probes_grouped`] bit-identical to the
+    /// sequential loop — the replay only changes how many rows are
+    /// handed over per call, never their order.
+    ///
+    /// No in-tree backend overrides it today: the gather-based grouped
+    /// probe was built for TBF/GBF and measured ~20× *slower* than the
+    /// early-exit scalar probe on blocked layouts (the probe reads ~2–3
+    /// of its words on a distinct-heavy stream; a gather always pays for
+    /// all of them — see docs/PERFORMANCE.md, "SIMD probe path"). The
+    /// hook stays for cores whose per-element work is unconditional.
+    #[inline]
+    fn wide_group(&self) -> usize {
+        1
+    }
 }
 
 /// The stateful half of a count-window backend: one observation given
@@ -86,6 +105,28 @@ pub(crate) trait CountCore: ProbeCore {
     /// derive extra per-element material from the hash pair
     /// (fingerprints, side-table probes); Bloom-style backends ignore it.
     fn apply_probes(&mut self, plan: ProbePlan, probes: &[usize]) -> Verdict;
+
+    /// Applies a group of consecutive plans whose probe rows are
+    /// already expanded (`probe_width` indices per plan, concatenated
+    /// in `rows`), pushing one verdict per plan in order.
+    ///
+    /// The default is the sequential loop; backends with a wide probe
+    /// path (see [`ProbeCore::wide_group`]) override this to classify
+    /// several elements per hardware iteration. Any override must stay
+    /// bit-identical to this default — verdicts *and* op counters.
+    #[inline]
+    fn apply_probes_grouped(
+        &mut self,
+        plans: &[ProbePlan],
+        rows: &[usize],
+        out: &mut Vec<Verdict>,
+    ) {
+        let w = self.probe_width();
+        debug_assert_eq!(rows.len(), plans.len() * w);
+        for (plan, row) in plans.iter().zip(rows.chunks_exact(w)) {
+            out.push(self.apply_probes(*plan, row));
+        }
+    }
 }
 
 /// The stateful half of a time-window backend. Split so the batch
@@ -172,10 +213,17 @@ pub(crate) fn replay_into<C: CountCore + ?Sized>(
     // use. (Deeper one-line rings were measured slower: at 32 the
     // blocked APBF batch path lost ~10%.)
     let lines_per_element = if one_line { 1 } else { w };
-    let depth = (4 * PREFETCH_AHEAD)
+    let group = core.wide_group().max(1);
+    let mut depth = (4 * PREFETCH_AHEAD)
         .div_ceil(lines_per_element)
         .min(2 * PREFETCH_AHEAD)
         .min(plans.len());
+    if group > 1 {
+        // Wide cores consume whole groups of consecutive rows per
+        // call; rounding the ring depth up to a group multiple keeps
+        // every group contiguous in the ring (no mid-group wrap).
+        depth = depth.div_ceil(group) * group;
+    }
     ring.clear();
     ring.resize(depth * w, 0);
     // Prime the ring: expand + prefetch the first `depth` elements.
@@ -189,21 +237,27 @@ pub(crate) fn replay_into<C: CountCore + ?Sized>(
             }
         }
     }
-    for i in 0..plans.len() {
+    let mut i = 0;
+    while i < plans.len() {
+        let g = group.min(plans.len() - i);
         let at = (i % depth) * w;
-        out.push(core.apply_probes(plans[i], &ring[at..at + w]));
-        // Recycle the row just applied for element `i + depth`.
-        if let Some(plan) = plans.get(i + depth) {
-            let row = &mut ring[at..at + w];
-            core.fill_probes(*plan, row);
-            if one_line {
-                core.prefetch(row[0]);
-            } else {
-                for &j in row.iter() {
-                    core.prefetch(j);
+        core.apply_probes_grouped(&plans[i..i + g], &ring[at..at + g * w], out);
+        // Recycle the rows just applied for elements `i + depth` on.
+        for j in i..i + g {
+            if let Some(plan) = plans.get(j + depth) {
+                let row_at = (j % depth) * w;
+                let row = &mut ring[row_at..row_at + w];
+                core.fill_probes(*plan, row);
+                if one_line {
+                    core.prefetch(row[0]);
+                } else {
+                    for &p in row.iter() {
+                        core.prefetch(p);
+                    }
                 }
             }
         }
+        i += g;
     }
 }
 

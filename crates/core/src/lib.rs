@@ -66,6 +66,10 @@ pub mod tbf_jumping;
 pub mod tbf_time;
 
 pub use apbf::{Apbf, ApbfConfig};
+/// Runtime scalar/SIMD dispatch shared by every backend's probe and
+/// cleaning kernels (re-exported so frontends — telemetry, benches,
+/// the CLI — can read and steer it without a `cfd-bits` dependency).
+pub use cfd_bits::simd;
 pub use checkpoint::{CheckpointError, CheckpointState};
 pub use config::{
     ConfigError, GbfConfig, GbfConfigBuilder, GbfLayout, ProbeLayout, TbfConfig, TbfConfigBuilder,

@@ -405,34 +405,57 @@ impl Swbf {
     /// Incremental expiry sweep over both tables: `⌈m/N⌉` cells per
     /// arrival each, so expired timestamps are erased before their
     /// wraparound values can alias fresh ones (the TBF schedule).
+    ///
+    /// Both sweeps run through [`PackedIntVec::expire_timestamps`] — the
+    /// wide compare-and-store the TBF sweep uses — split at each table's
+    /// boundary so every segment is a contiguous cell range.
     fn clean_step(&mut self) {
+        let now = self.wrap.now();
+        let range = self.cfg.range();
+        let hi = self.cfg.n as u64 - 1;
         let m = self.cells.len();
-        for _ in 0..self.quota {
-            let i = self.clean_next;
-            self.clean_next += 1;
+        let mut remaining = self.quota;
+        while remaining > 0 {
+            let seg = remaining.min(m - self.clean_next);
+            let cleaned = self.cells.expire_timestamps(
+                self.clean_next,
+                seg,
+                self.ts_mask,
+                self.empty_cell,
+                now,
+                range,
+                1,
+                hi,
+            );
+            self.ops.clean_reads += seg as u64;
+            self.ops.clean_writes += cleaned as u64;
+            self.clean_next += seg;
             if self.clean_next == m {
                 self.clean_next = 0;
             }
-            let ts = self.cells.get(i) & self.ts_mask;
-            self.ops.clean_reads += 1;
-            if ts != self.ts_mask && !self.is_active(ts) {
-                self.cells.set(i, self.empty_cell);
-                self.ops.clean_writes += 1;
-            }
+            remaining -= seg;
         }
         let ms = self.side.len();
-        for _ in 0..self.side_quota {
-            let i = self.side_clean_next;
-            self.side_clean_next += 1;
+        let mut remaining = self.side_quota;
+        while remaining > 0 {
+            let seg = remaining.min(ms - self.side_clean_next);
+            let cleaned = self.side.expire_timestamps(
+                self.side_clean_next,
+                seg,
+                self.side_empty,
+                self.side_empty,
+                now,
+                range,
+                1,
+                hi,
+            );
+            self.ops.clean_reads += seg as u64;
+            self.ops.clean_writes += cleaned as u64;
+            self.side_clean_next += seg;
             if self.side_clean_next == ms {
                 self.side_clean_next = 0;
             }
-            let ts = self.side.get(i);
-            self.ops.clean_reads += 1;
-            if ts != self.side_empty && !self.is_active(ts) {
-                self.side.set(i, self.side_empty);
-                self.ops.clean_writes += 1;
-            }
+            remaining -= seg;
         }
     }
 
@@ -544,17 +567,54 @@ impl CountCore for Swbf {
         // Query the candidates; remember the first claimable cell.
         let mut dup = false;
         let mut open: Option<usize> = None;
-        for &i in probes {
-            let cell = self.cells.get(i);
-            self.ops.probe_reads += 1;
-            let ts = cell & self.ts_mask;
-            if ts == self.ts_mask || !self.is_active(ts) {
-                if open.is_none() {
-                    open = Some(i);
-                }
-            } else if cell >> self.ts_bits == fp {
+        if cfd_bits::simd::wide_enabled() && (4..=31).contains(&probes.len()) {
+            // Wide path: decode every candidate, then one activity
+            // classify plus one shifted-compare give the duplicate and
+            // claimable lanes as bitmasks. Bit-identical to the loop
+            // below, including early-exit `probe_reads` accounting (a
+            // duplicate at lane `d` counts `d + 1` reads).
+            let mut vals = [0u64; 32];
+            for (slot, &i) in probes.iter().enumerate() {
+                vals[slot] = self.cells.get(i);
+            }
+            let b = probes.len();
+            let masks = cfd_bits::simd::classify_stamps(
+                &vals[..b],
+                self.ts_mask,
+                now,
+                self.cfg.range(),
+                1,
+                self.cfg.n as u64 - 1,
+                0,
+            );
+            let fpm = cfd_bits::simd::eq_shifted_mask(&vals[..b], self.ts_bits, fp) & masks.active;
+            let claimable = !masks.active & ((1u32 << b) - 1);
+            if fpm != 0 {
                 dup = true;
-                break;
+                let scanned = fpm.trailing_zeros();
+                self.ops.probe_reads += u64::from(scanned) + 1;
+                if claimable & ((1u32 << scanned) - 1) != 0 {
+                    open = Some(probes[(claimable.trailing_zeros()) as usize]);
+                }
+            } else {
+                self.ops.probe_reads += b as u64;
+                if claimable != 0 {
+                    open = Some(probes[claimable.trailing_zeros() as usize]);
+                }
+            }
+        } else {
+            for &i in probes {
+                let cell = self.cells.get(i);
+                self.ops.probe_reads += 1;
+                let ts = cell & self.ts_mask;
+                if ts == self.ts_mask || !self.is_active(ts) {
+                    if open.is_none() {
+                        open = Some(i);
+                    }
+                } else if cell >> self.ts_bits == fp {
+                    dup = true;
+                    break;
+                }
             }
         }
 

@@ -204,20 +204,39 @@ impl Tbf {
 
     /// Step 1 (§4.1): sweep the next `⌈m/(C+1)⌉` entries, erasing expired
     /// timestamps (age 0 — an alias about to be reused — or age ≥ N).
+    ///
+    /// The sweep is the TBF's per-element cost center (the quota is
+    /// typically an order of magnitude larger than `k`), so it runs
+    /// through [`PackedIntVec::expire_timestamps`] — a wide
+    /// compare-and-store that classifies eight entries per flush on
+    /// AVX2 and falls back to the identical scalar predicate otherwise.
+    /// The quota is split at the table boundary so each segment is a
+    /// contiguous entry range.
     fn clean_step(&mut self) {
         let m = self.cfg.m;
-        for _ in 0..self.clean_quota {
-            let i = self.clean_next;
-            self.clean_next += 1;
+        let now = self.wrap.now();
+        let range = self.cfg.range();
+        let hi = self.cfg.n as u64 - 1;
+        let mut remaining = self.clean_quota;
+        while remaining > 0 {
+            let seg = remaining.min(m - self.clean_next);
+            let cleaned = self.entries.expire_timestamps(
+                self.clean_next,
+                seg,
+                self.empty,
+                self.empty,
+                now,
+                range,
+                1,
+                hi,
+            );
+            self.ops.clean_reads += seg as u64;
+            self.ops.clean_writes += cleaned as u64;
+            self.clean_next += seg;
             if self.clean_next == m {
                 self.clean_next = 0;
             }
-            let e = self.entries.get(i);
-            self.ops.clean_reads += 1;
-            if e != self.empty && !self.is_active(e) {
-                self.entries.set(i, self.empty);
-                self.ops.clean_writes += 1;
-            }
+            remaining -= seg;
         }
     }
 
@@ -294,10 +313,11 @@ impl Tbf {
             // not refresh the stored timestamps.
             Verdict::Duplicate
         } else {
-            let t = self.wrap.now();
-            for &i in probes {
-                self.entries.set(i, t);
-            }
+            // In blocked mode all k probes share one cache line, so the
+            // wide dispatch merges the writes in registers and stores
+            // each word once (`set_all`); scalar dispatch is the plain
+            // per-entry loop. Identical resulting words either way.
+            self.entries.set_all(probes, self.wrap.now());
             self.ops.insert_writes += probes.len() as u64;
             Verdict::Distinct
         };

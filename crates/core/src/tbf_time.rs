@@ -352,32 +352,33 @@ impl TimeTbf {
     }
 
     /// One unit's worth of the cleaning daemon, evaluated at virtual unit
-    /// `abs_unit`. Runs on the word-cached
-    /// [`PackedIntVec::update_range`] fast path with the wraparound
-    /// clock position computed once per sweep — at production sizings
-    /// the sweep visits several entries per arriving click, so its
-    /// per-entry cost bounds detector throughput.
+    /// `abs_unit`. Runs on the wide
+    /// [`PackedIntVec::expire_timestamps`] compare-and-store (eight
+    /// stamps per classify on AVX2) with the wraparound clock position
+    /// computed once per sweep — at production sizings the sweep visits
+    /// several entries per arriving click, so its per-entry cost bounds
+    /// detector throughput. The timed predicate differs from the
+    /// count-based TBF's only in its activity interval: age 0 (written
+    /// this unit) is still live, so it is `[0, window - 1]`.
     fn sweep_one_unit(&mut self, abs_unit: u64) {
         let m = self.cfg.m;
         let range = self.cfg.range();
         let window = self.cfg.window_units;
         let now_mod = abs_unit % range;
-        let empty = self.empty;
         let mut remaining = self.clean_chunk;
         while remaining > 0 {
             let start = self.clean_next;
             let seg = remaining.min(m - start);
-            let cleaned = self.entries.update_range(start, seg, |e| {
-                if e == empty {
-                    return None;
-                }
-                let age = if now_mod >= e {
-                    now_mod - e
-                } else {
-                    range - e + now_mod
-                };
-                (age >= window).then_some(empty)
-            });
+            let cleaned = self.entries.expire_timestamps(
+                start,
+                seg,
+                self.empty,
+                self.empty,
+                now_mod,
+                range,
+                0,
+                window - 1,
+            );
             self.ops.clean_reads += seg as u64;
             self.ops.clean_writes += cleaned as u64;
             self.clean_next += seg;

@@ -42,14 +42,25 @@ pub const LANES_NARROW: usize = 4;
 pub const LANES_WIDE: usize = 8;
 
 /// Returns the lane width the batch entry points will use on this machine.
+///
+/// `CFD_FORCE_SCALAR` (any non-empty value other than `0`, read once
+/// per process) pins the narrow width even when AVX2 is available —
+/// the same fallback override honored by `cfd_bits::simd`, so one
+/// environment knob exercises every portable path at once.
 #[must_use]
 pub fn preferred_lanes() -> usize {
+    use std::sync::OnceLock;
+    static FORCE_NARROW: OnceLock<bool> = OnceLock::new();
+    let forced = *FORCE_NARROW
+        .get_or_init(|| std::env::var("CFD_FORCE_SCALAR").is_ok_and(|v| !v.is_empty() && v != "0"));
     #[cfg(target_arch = "x86_64")]
     {
-        if std::arch::is_x86_feature_detected!("avx2") {
+        if !forced && std::arch::is_x86_feature_detected!("avx2") {
             return LANES_WIDE;
         }
     }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = forced;
     LANES_NARROW
 }
 

@@ -227,6 +227,18 @@ impl Snapshot {
         })
     }
 
+    /// Looks up an integer gauge level by name.
+    #[must_use]
+    pub fn get_gauge(&self, name: &str) -> Option<i64> {
+        self.entries.iter().find(|e| e.name == name).and_then(|e| {
+            if let MetricValue::Gauge(v) = e.value {
+                Some(v)
+            } else {
+                None
+            }
+        })
+    }
+
     /// Looks up a histogram snapshot by name.
     #[must_use]
     pub fn get_histogram(&self, name: &str) -> Option<&HistogramSnapshot> {

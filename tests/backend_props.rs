@@ -20,6 +20,10 @@
 //!    [`cfd_core::registry::restore_any`] (and the entry's own
 //!    `restore`) resumes a detector that continues verdict-for-verdict
 //!    identically to the original.
+//! 5. **SIMD ≡ scalar**: the AVX2 probe/clean kernels are a dispatch
+//!    decision, not a semantic one — the same stream judged with the
+//!    wide kernels forced off and on is verdict-for-verdict identical
+//!    for every backend in both layouts.
 
 mod common;
 
@@ -28,6 +32,7 @@ use cfd_core::registry::{self, BackendGeometry, MemorySpec};
 use cfd_stream::{BotnetConfig, BotnetStream, DuplicateInjector, UniqueClickStream};
 use cfd_windows::{DuplicateDetector, WindowSpec};
 use proptest::prelude::*;
+use std::sync::Mutex;
 
 /// Window length shared by every property: small enough that a few
 /// thousand keys cross many window turnovers.
@@ -191,6 +196,58 @@ proptest! {
                 entry.name,
                 keys.len()
             );
+        }
+    }
+
+    /// Property 5: forcing the scalar kernels changes nothing but
+    /// speed. Two fresh detectors judge the same duplicate-heavy stream
+    /// (batched, so the grouped speculative replay actually engages),
+    /// one with the wide kernels forced off and one with them allowed,
+    /// and the verdict streams must be identical. On machines without
+    /// AVX2 both runs dispatch scalar and the property is trivially
+    /// true.
+    #[test]
+    fn every_backend_simd_matches_scalar(seed in 0u64..1_000, chunk in 1usize..300) {
+        // The dispatch override is process-global state: hold a lock so
+        // concurrent properties in this binary never race it.
+        static DISPATCH: Mutex<()> = Mutex::new(());
+        let _guard = DISPATCH.lock().unwrap_or_else(|e| e.into_inner());
+
+        let mut keys = injected_keys(seed, 3_000);
+        keys.extend(botnet_keys(seed, 2_000));
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let result = std::panic::catch_unwind(|| {
+            for entry in registry::backends() {
+                for layout in LAYOUTS {
+                    let geo = geometry(seed, layout, 64);
+                    let mut forced = entry.build(&geo).expect("build");
+                    let mut wide = entry.build(&geo).expect("build");
+
+                    cfd_core::simd::set_scalar_override(Some(true));
+                    let mut scalar_verdicts = Vec::with_capacity(keys.len());
+                    for group in refs.chunks(chunk) {
+                        scalar_verdicts.extend(forced.observe_batch(group));
+                    }
+
+                    cfd_core::simd::set_scalar_override(Some(false));
+                    let mut wide_verdicts = Vec::with_capacity(keys.len());
+                    for group in refs.chunks(chunk) {
+                        wide_verdicts.extend(wide.observe_batch(group));
+                    }
+
+                    assert_eq!(
+                        scalar_verdicts, wide_verdicts,
+                        "{} ({layout:?}): wide kernels changed a verdict",
+                        entry.name
+                    );
+                }
+            }
+        });
+        // Restore the default dispatch even when the body panicked, so
+        // a failure here cannot bleed into later properties.
+        cfd_core::simd::set_scalar_override(None);
+        if let Err(panic) = result {
+            std::panic::resume_unwind(panic);
         }
     }
 

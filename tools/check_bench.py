@@ -128,6 +128,52 @@ def shootout_fp_slack(algo, layout):
     return 1.5
 
 
+# Per-backend wide-dispatch speedup floors for full-scale AVX2 runs.
+# GBF's hot path is word-granular lane cleaning, which the wide
+# dispatch rewrites as contiguous AND-store sweeps — a whole-pipeline
+# win measured at 1.22–1.35x across runs (median ~1.26x; the isolated
+# sweep kernel is ~1.9x). The floor sits at 1.2x, below the measured
+# band rather than at its midpoint, so reruns on a noisy one-core host
+# reproduce PASS instead of coin-flipping around the point estimate.
+# The probe-dominated backends are early-exit branch-bound
+# (docs/PERFORMANCE.md "SIMD probe path"), so their bit-identical wide
+# kernels gate only against regression, with the floor sized for
+# one-core VM noise (APBF runs identical instructions on both rows and
+# still wobbles ~10% between runs).
+SIMD_SPEEDUP_FLOORS = {"tbf": 0.85, "gbf": 1.2, "apbf": 0.85, "swbf": 0.85}
+
+
+def gates_simd(d, name):
+    rows = {}
+    for c in d["configs"]:
+        require_keys(name, c, MANIFEST["cfd-bench-simd/1"]["config"], c.get("algo", "?"))
+        label = f'{c["algo"]}-{c["dispatch"]}'
+        require_rounds(name, c, label, c["clicks_per_sec_rounds"], d["rounds"])
+        rows[(c["algo"], c["dispatch"])] = c
+    expected = {(a, dsp) for a in ("tbf", "gbf", "apbf", "swbf") for dsp in ("scalar", "wide")}
+    if set(rows) != expected:
+        fail(name, f"rows {sorted(set(rows) ^ expected)}")
+    for algo in ("tbf", "gbf", "apbf", "swbf"):
+        s, w = rows[(algo, "scalar")], rows[(algo, "wide")]
+        if s["false_positives"] != w["false_positives"]:
+            fail(name, f"{algo}: wide and scalar verdicts disagree")
+    for key in ("verdicts_agree", "no_occupancy_scans"):
+        if not d["checks"][key]:
+            fail(name, f"check {key} failed")
+    # Speedup gates bind only on full-scale AVX2 runs: with one lane the
+    # wide rows dispatch the same scalar kernels and the ratio is noise.
+    if d["scale"] == "full" and d["lanes"] > 1:
+        if not d["checks"]["simd_speedup_ok"]:
+            fail(name, f'checks {d["checks"]}')
+        for algo, floor in SIMD_SPEEDUP_FLOORS.items():
+            s = d["speedups"][algo]["wide"]
+            if s < floor:
+                fail(name, f"{algo} wide speedup {s:.2f} < {floor}x")
+    return f'{d["scale"]} scale, lanes {d["lanes"]}, ' + ", ".join(
+        f'{a} wide x{d["speedups"][a]["wide"]:.2f}' for a in ("tbf", "gbf", "apbf", "swbf")
+    )
+
+
 def gates_shootout(d, name):
     rows = {}
     for c in d["configs"]:
@@ -231,6 +277,28 @@ MANIFEST = {
             "memory_bits",
         },
         "gates": gates_shootout,
+    },
+    "cfd-bench-simd/1": {
+        "top": {
+            "scale",
+            "clicks",
+            "rounds",
+            "window",
+            "memory_bits_budget",
+            "batch",
+            "lanes",
+            "configs",
+            "speedups",
+            "checks",
+        },
+        "config": {
+            "algo",
+            "dispatch",
+            "clicks_per_sec_median",
+            "clicks_per_sec_rounds",
+            "false_positives",
+        },
+        "gates": gates_simd,
     },
 }
 
