@@ -118,6 +118,17 @@ if [[ "${1:-}" != "quick" ]]; then
 fi
 
 if [[ "${1:-}" != "quick" ]]; then
+    echo "==> tenants smoke: multi-tenant arena vs single detector, isolation asserts (quick scale)"
+    # Quick scale writes its own file; the committed full-scale
+    # BENCH_pr9.json is regenerated only by a manual full run.
+    ./target/release/throughput --tenants --quick --out target/BENCH_tenants_quick.json \
+        >/tmp/cfd_tenants.txt
+    tail -n 8 /tmp/cfd_tenants.txt | sed 's/^/   /'
+    echo "==> BENCH tenants json schema + bytes/tenant + isolation gates (throughput full scale only)"
+    python3 tools/check_bench.py target/BENCH_tenants_quick.json BENCH_pr9.json
+fi
+
+if [[ "${1:-}" != "quick" ]]; then
     echo "==> serve smoke: socket replay, kill -9 mid-stream, checkpoint resume"
     rm -f /tmp/cfd_serve.sock /tmp/cfd_serve.cfdg /tmp/cfd_serve_run.json /tmp/cfd_serve.json
     ./target/release/cfd generate --kind botnet --count 200000 --seed 11 \

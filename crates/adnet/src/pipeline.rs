@@ -76,7 +76,7 @@ use crate::ring::{self, Backoff, Pool, TryPopError};
 use crate::telemetry::PipelineTelemetry;
 use cfd_core::sharded::{ShardRouter, ShardedDetector};
 use cfd_stream::Click;
-use cfd_telemetry::{DetectorHealth, DetectorStats};
+use cfd_telemetry::{DetectorHealth, DetectorStats, TenantHealth};
 use cfd_windows::{DuplicateDetector, TimedDuplicateDetector, Verdict};
 use crossbeam::channel;
 use std::cmp::Reverse;
@@ -370,6 +370,7 @@ where
         Some(t) => Instrumentation {
             telemetry: Some(t),
             health_of: |d: &D| Some(d.health()),
+            tenant_health_of: |d: &D| d.tenant_health(),
         },
         None => Instrumentation::off(),
     };
@@ -412,6 +413,7 @@ where
 struct Instrumentation<D> {
     telemetry: Option<Arc<PipelineTelemetry>>,
     health_of: fn(&D) -> Option<DetectorHealth>,
+    tenant_health_of: fn(&D) -> Option<TenantHealth>,
 }
 
 impl<D> Instrumentation<D> {
@@ -419,6 +421,7 @@ impl<D> Instrumentation<D> {
         Self {
             telemetry: None,
             health_of: |_| None,
+            tenant_health_of: |_| None,
         }
     }
 }
@@ -586,6 +589,7 @@ where
         Instrumentation {
             telemetry: Some(telemetry),
             health_of: |d| Some(d.health()),
+            tenant_health_of: |d| d.tenant_health(),
         },
     )
 }
@@ -668,6 +672,7 @@ where
         Instrumentation {
             telemetry: Some(telemetry),
             health_of: |d| Some(d.health()),
+            tenant_health_of: |d| d.tenant_health(),
         },
     )
 }
@@ -755,6 +760,7 @@ where
         Instrumentation {
             telemetry: Some(telemetry),
             health_of: |j| Some(j.inner.health()),
+            tenant_health_of: |j| j.inner.tenant_health(),
         },
     )
 }
@@ -834,6 +840,7 @@ where
         Instrumentation {
             telemetry: Some(telemetry),
             health_of: |j| Some(j.inner.health()),
+            tenant_health_of: |j| j.inner.tenant_health(),
         },
     )
 }
@@ -970,6 +977,7 @@ where
             let progress = progress.clone();
             let telemetry = instr.telemetry.clone();
             let health_of = instr.health_of;
+            let tenant_health_of = instr.tenant_health_of;
             let pin = config.pin_workers;
             handles.push(s.spawn(move || {
                 if pin {
@@ -1017,6 +1025,9 @@ where
                             if let Some(h) = health_of(&detector) {
                                 t.publish_health(idx, &h);
                             }
+                            if let Some(th) = tenant_health_of(&detector) {
+                                t.publish_tenant_health(idx, &th);
+                            }
                         }
                     }
                     if tx_judged.send(JudgedBatch { items: judged }).is_err() {
@@ -1028,6 +1039,9 @@ where
                 let health = health_of(&detector);
                 if let Some((t, h)) = telem.zip(health.as_ref()) {
                     t.publish_health(idx, h);
+                }
+                if let Some((t, th)) = telem.zip(tenant_health_of(&detector)) {
+                    t.publish_tenant_health(idx, &th);
                 }
                 let bits = detector.memory_bits();
                 (detector, scorer, bits, health)
@@ -1239,6 +1253,7 @@ where
             let progress = progress.clone();
             let telemetry = instr.telemetry.clone();
             let health_of = instr.health_of;
+            let tenant_health_of = instr.tenant_health_of;
             let raw_pool = Arc::clone(&raw_pool);
             let judged_pool = Arc::clone(&judged_pool);
             let pin = config.pin_workers;
@@ -1283,6 +1298,9 @@ where
                             if let Some(h) = health_of(&detector) {
                                 t.publish_health(idx, &h);
                             }
+                            if let Some(th) = tenant_health_of(&detector) {
+                                t.publish_tenant_health(idx, &th);
+                            }
                         }
                     }
                     if judged_tx.push(judged).is_err() {
@@ -1292,6 +1310,9 @@ where
                 let health = health_of(&detector);
                 if let Some((t, h)) = telem.zip(health.as_ref()) {
                     t.publish_health(idx, h);
+                }
+                if let Some((t, th)) = telem.zip(tenant_health_of(&detector)) {
+                    t.publish_tenant_health(idx, &th);
                 }
                 if let Some(t) = telem {
                     // Backpressure totals for both of this shard's

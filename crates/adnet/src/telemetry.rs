@@ -30,9 +30,9 @@
 //! path costs one relaxed atomic swap per *batch*, not per click.
 
 use cfd_telemetry::Registry as MetricsRegistry;
-use cfd_telemetry::{Counter, DetectorHealth, FloatGauge, Gauge, Histogram};
+use cfd_telemetry::{Counter, DetectorHealth, FloatGauge, Gauge, Histogram, TenantHealth};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Per-shard instrument handles (one set per detector worker).
 struct ShardInstruments {
@@ -59,6 +59,20 @@ struct ShardInstruments {
     /// Ring transport: worker pushes onto this shard's judged ring that
     /// found it full and had to wait (0 on the channel transport).
     judged_full_waits: Arc<Counter>,
+    /// Multi-tenant slot-economy gauges (`arena.*`), registered lazily
+    /// on the first [`TenantHealth`] sample so single-tenant runs never
+    /// carry them.
+    arena: OnceLock<ArenaInstruments>,
+}
+
+/// The `arena.shard{i}.*` gauge set, present only when the shard's
+/// detector reports [`TenantHealth`] (i.e. is a tenant arena).
+struct ArenaInstruments {
+    slots: Arc<Gauge>,
+    live_tenants: Arc<Gauge>,
+    evictions: Arc<Gauge>,
+    occupancy: Arc<FloatGauge>,
+    bytes_per_tenant: Arc<FloatGauge>,
 }
 
 /// Lock-free instrument bundle for one pipeline run.
@@ -150,6 +164,7 @@ impl PipelineTelemetry {
                     "waits",
                     "worker pushes that found this shard's judged ring full",
                 ),
+                arena: OnceLock::new(),
             })
             .collect();
         let telemetry = Self {
@@ -260,6 +275,46 @@ impl PipelineTelemetry {
         s.sweep_position.set(health.sweep_position);
     }
 
+    /// Publishes a multi-tenant slot-economy sample into shard `idx`'s
+    /// `arena.*` gauges, registering them on first use — so the gauge
+    /// family only exists for runs whose detector actually is a tenant
+    /// arena.
+    pub fn publish_tenant_health(&self, idx: usize, tenant: &TenantHealth) {
+        let a = self.shards[idx].arena.get_or_init(|| ArenaInstruments {
+            slots: self.registry.gauge(
+                &format!("arena.shard{idx}.slots"),
+                "slots",
+                "tenant slots allocated (live + free)",
+            ),
+            live_tenants: self.registry.gauge(
+                &format!("arena.shard{idx}.live_tenants"),
+                "tenants",
+                "tenants currently materialized in the slab",
+            ),
+            evictions: self.registry.gauge(
+                &format!("arena.shard{idx}.evictions"),
+                "tenants",
+                "tenants decayed by idle eviction since start",
+            ),
+            occupancy: self.registry.float_gauge(
+                &format!("arena.shard{idx}.occupancy"),
+                "ratio",
+                "live tenants / allocated slots",
+            ),
+            bytes_per_tenant: self.registry.float_gauge(
+                &format!("arena.shard{idx}.bytes_per_tenant"),
+                "bytes",
+                "amortized slab bytes per live tenant",
+            ),
+        });
+        a.slots.set(tenant.slots as i64);
+        a.live_tenants.set(tenant.live_tenants as i64);
+        a.evictions
+            .set(i64::try_from(tenant.evictions).unwrap_or(i64::MAX));
+        a.occupancy.set(tenant.occupancy);
+        a.bytes_per_tenant.set(tenant.bytes_per_live_tenant);
+    }
+
     /// Consumes shard `idx`'s health-request flag (true at most once
     /// per [`request_detector_health`](Self::request_detector_health)).
     pub(crate) fn take_health_request(&self, idx: usize) -> bool {
@@ -348,6 +403,39 @@ mod tests {
         assert!(snap.get_counter("pipeline.shard2.raw_full_waits").is_some());
         assert!(snap.get_counter("pipeline.pool.raw_misses").is_some());
         assert!(snap.get_counter("pipeline.reseq.empty_polls").is_some());
+    }
+
+    #[test]
+    fn arena_gauges_register_lazily_and_update() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let t = PipelineTelemetry::new(&registry, 2);
+        let before = registry.snapshot().entries.len();
+        let sample = TenantHealth {
+            slots: 64,
+            live_tenants: 48,
+            evictions: 3,
+            occupancy: 0.75,
+            bytes_per_live_tenant: 256.0,
+        };
+        t.publish_tenant_health(1, &sample);
+        let snap = registry.snapshot();
+        // Only shard 1 grew the five arena.* gauges; shard 0 stays bare.
+        assert_eq!(snap.entries.len(), before + 5);
+        assert_eq!(snap.get_gauge("arena.shard1.slots"), Some(64));
+        assert_eq!(snap.get_gauge("arena.shard1.live_tenants"), Some(48));
+        assert_eq!(snap.get_gauge("arena.shard1.evictions"), Some(3));
+        assert!(snap.get_gauge("arena.shard0.slots").is_none());
+        // Re-publishing updates in place, no re-registration.
+        t.publish_tenant_health(
+            1,
+            &TenantHealth {
+                live_tenants: 50,
+                ..sample
+            },
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.entries.len(), before + 5);
+        assert_eq!(snap.get_gauge("arena.shard1.live_tenants"), Some(50));
     }
 
     #[test]

@@ -113,6 +113,45 @@ pub fn counting_scheme_sizing(n: usize, q: usize, target_fp: f64) -> Sizing {
     }
 }
 
+/// A per-tenant memory budget for the multi-tenant arena.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantBudget {
+    /// TBF entries per tenant region (`m_t`).
+    pub entries: usize,
+    /// Recommended hash count.
+    pub k: usize,
+    /// Predicted per-tenant FP rate when the tenant's window is full.
+    pub predicted_fp: f64,
+    /// Payload bits of one region (`m_t · entry_bits`).
+    pub payload_bits: usize,
+    /// Budgeted bytes per tenant: the payload rounded up to whole
+    /// 64-byte cache lines — the slab stride the arena actually pays.
+    pub bytes_per_tenant: usize,
+}
+
+/// Sizes one arena tenant: the smallest sliding-window TBF region over
+/// a per-tenant window of `n` that stays at or below `target_fp`, plus
+/// the cache-line-rounded stride the arena's slab charges for it. This
+/// is the budget the `cfd-bench-tenants` gate holds the measured
+/// amortized bytes/tenant against.
+///
+/// # Panics
+///
+/// Panics if `target_fp` is not in `(0, 1)` or `n < 2`.
+#[must_use]
+pub fn arena_tenant_budget(n: usize, target_fp: f64) -> TenantBudget {
+    let sizing = tbf_sizing(n, target_fp);
+    let bytes_per_line = 64;
+    let lines = sizing.total_bits.div_ceil(8 * bytes_per_line);
+    TenantBudget {
+        entries: sizing.m,
+        k: sizing.k,
+        predicted_fp: sizing.predicted_fp,
+        payload_bits: sizing.total_bits,
+        bytes_per_tenant: lines.max(1) * bytes_per_line,
+    }
+}
+
 /// Doubling + bisection search for the smallest `m` with
 /// `fp(m) <= target`.
 fn binary_search_m(fp: impl Fn(usize) -> f64, target: f64) -> usize {
@@ -182,5 +221,19 @@ mod tests {
     #[should_panic(expected = "bad target")]
     fn bad_target_panics() {
         let _ = tbf_sizing(100, 0.0);
+    }
+
+    #[test]
+    fn arena_tenant_budget_rounds_to_cache_lines() {
+        let b = arena_tenant_budget(32, 0.01);
+        assert!(b.predicted_fp <= 0.01);
+        assert_eq!(b.bytes_per_tenant % 64, 0);
+        assert!(b.bytes_per_tenant * 8 >= b.payload_bits);
+        assert!(
+            b.bytes_per_tenant * 8 < b.payload_bits + 512,
+            "at most one spare line"
+        );
+        // Wider windows cost more bytes per tenant.
+        assert!(arena_tenant_budget(1 << 10, 0.01).bytes_per_tenant > b.bytes_per_tenant);
     }
 }

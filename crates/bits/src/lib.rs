@@ -32,6 +32,7 @@ pub mod counters;
 pub mod interleave;
 pub mod packed;
 pub mod simd;
+pub mod slab;
 pub mod tight;
 pub mod words;
 

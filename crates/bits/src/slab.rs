@@ -1,0 +1,528 @@
+//! Shared-slab storage for multi-tenant detector arenas.
+//!
+//! One logical filter per (advertiser, campaign) at millions of tenants
+//! cannot afford millions of allocations: [`WordSlab`] packs every
+//! tenant's table into a single `Vec<u64>` of fixed-stride regions, and
+//! [`PackedView`] / [`PackedRef`] give a region the same `b`-bit-entry
+//! semantics as [`crate::PackedIntVec`] without owning storage. A tenant
+//! is then nothing but a (slot index, geometry) pair over shared words —
+//! cheap to create, cheap to recycle, and contiguous for prefetching.
+//!
+//! The stride is rounded up to eight words (one 64-byte cache line), so
+//! every region starts line-aligned and the blocked probe layout keeps
+//! its one-line guarantee inside a region.
+
+use crate::words::{low_mask, WORD_BITS};
+
+/// Words per cache line; region strides round up to this so every
+/// region starts on a line boundary.
+pub const LINE_WORDS: usize = 8;
+
+/// A growable arena of fixed-stride word regions.
+///
+/// ```rust
+/// use cfd_bits::slab::{PackedView, WordSlab};
+/// let mut slab = WordSlab::new(4, 70);
+/// let mut view = PackedView::new(slab.region_mut(2), 409, 11);
+/// view.set(3, 42);
+/// assert_eq!(view.get(3), 42);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordSlab {
+    words: Vec<u64>,
+    stride: usize,
+    slots: usize,
+}
+
+impl WordSlab {
+    /// Creates a slab of `slots` zeroed regions of at least
+    /// `stride_words` words each (rounded up to [`LINE_WORDS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride_words` is 0 or the total size overflows.
+    #[must_use]
+    pub fn new(slots: usize, stride_words: usize) -> Self {
+        assert!(stride_words > 0, "region stride must be non-zero");
+        let stride = stride_words.div_ceil(LINE_WORDS) * LINE_WORDS;
+        let total = slots
+            .checked_mul(stride)
+            .expect("slab size overflows usize");
+        Self {
+            words: vec![0; total],
+            stride,
+            slots,
+        }
+    }
+
+    /// Number of regions.
+    #[inline]
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Words per region (after line rounding).
+    #[inline]
+    #[must_use]
+    pub fn stride_words(&self) -> usize {
+        self.stride
+    }
+
+    /// Memory footprint of the whole slab in bits.
+    #[inline]
+    #[must_use]
+    pub fn memory_bits(&self) -> usize {
+        self.words.len() * WORD_BITS
+    }
+
+    /// Appends `additional` zeroed regions (amortized O(1) per word).
+    pub fn grow(&mut self, additional: usize) {
+        let add = additional
+            .checked_mul(self.stride)
+            .expect("slab growth overflows usize");
+        self.words.resize(self.words.len() + add, 0);
+        self.slots += additional;
+    }
+
+    /// Read-only view of region `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= slots`.
+    #[inline]
+    #[must_use]
+    pub fn region(&self, slot: usize) -> &[u64] {
+        assert!(slot < self.slots, "slot {slot} out of range {}", self.slots);
+        &self.words[slot * self.stride..(slot + 1) * self.stride]
+    }
+
+    /// Mutable view of region `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= slots`.
+    #[inline]
+    #[must_use]
+    pub fn region_mut(&mut self, slot: usize) -> &mut [u64] {
+        assert!(slot < self.slots, "slot {slot} out of range {}", self.slots);
+        &mut self.words[slot * self.stride..(slot + 1) * self.stride]
+    }
+
+    /// Fills region `slot` with `word` (tenant reset / recycle).
+    pub fn fill_region(&mut self, slot: usize, word: u64) {
+        self.region_mut(slot).fill(word);
+    }
+
+    /// Hints the CPU to pull the first line of region `slot` early; a
+    /// no-op when the slot is out of range.
+    #[inline]
+    pub fn prefetch(&self, slot: usize) {
+        if slot < self.slots {
+            crate::words::prefetch(&self.words[slot * self.stride]);
+        }
+    }
+
+    /// The raw backing words (checkpointing).
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a slab from checkpointed words; `None` when the word
+    /// count does not match `(slots, stride_words)` after line rounding.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, slots: usize, stride_words: usize) -> Option<Self> {
+        if stride_words == 0 {
+            return None;
+        }
+        let stride = stride_words.div_ceil(LINE_WORDS) * LINE_WORDS;
+        if words.len() != slots.checked_mul(stride)? {
+            return None;
+        }
+        Some(Self {
+            words,
+            stride,
+            slots,
+        })
+    }
+}
+
+#[inline]
+fn decode(words: &[u64], bits: u32, max: u64, i: usize) -> u64 {
+    let bit = i * bits as usize;
+    let (w, off) = (bit / WORD_BITS, (bit % WORD_BITS) as u32);
+    let lo = words[w] >> off;
+    let have = WORD_BITS as u32 - off;
+    let val = if have >= bits {
+        lo
+    } else {
+        lo | (words[w + 1] << have)
+    };
+    val & max
+}
+
+/// Read-only `b`-bit-entry view over a borrowed word region.
+///
+/// The decoding is identical to [`crate::PackedIntVec::get`]
+/// (differential-tested in this module), so a region written through
+/// [`PackedView`] reads back exactly like the owning vector would.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedRef<'a> {
+    words: &'a [u64],
+    len: usize,
+    bits: u32,
+    max: u64,
+}
+
+impl<'a> PackedRef<'a> {
+    /// Views `len` entries of `bits` width over `words`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=64` or `words` is too short.
+    #[must_use]
+    pub fn new(words: &'a [u64], len: usize, bits: u32) -> Self {
+        assert!((1..=64).contains(&bits), "entry width must be 1..=64 bits");
+        let need = len
+            .checked_mul(bits as usize)
+            .expect("view size overflows usize")
+            .div_ceil(WORD_BITS);
+        assert!(
+            words.len() >= need,
+            "region of {} words cannot hold {len} x {bits}-bit entries",
+            words.len()
+        );
+        Self {
+            words,
+            len,
+            bits,
+            max: low_mask(bits),
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the view has zero entries.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Largest storable value (the all-ones pattern).
+    #[inline]
+    #[must_use]
+    pub fn max_value(&self) -> u64 {
+        self.max
+    }
+
+    /// Reads entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "entry index {i} out of range {}", self.len);
+        decode(self.words, self.bits, self.max, i)
+    }
+
+    /// Number of entries equal to `value` (O(len); stats cadence only).
+    #[must_use]
+    pub fn count_eq(&self, value: u64) -> usize {
+        (0..self.len).filter(|&i| self.get(i) == value).count()
+    }
+}
+
+/// Mutable `b`-bit-entry view over a borrowed word region — the
+/// [`crate::PackedIntVec`] contract without owned storage, so one
+/// [`WordSlab`] region can act as a tenant's timestamp table.
+#[derive(Debug)]
+pub struct PackedView<'a> {
+    words: &'a mut [u64],
+    len: usize,
+    bits: u32,
+    max: u64,
+}
+
+impl<'a> PackedView<'a> {
+    /// Views `len` entries of `bits` width over `words`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=64` or `words` is too short.
+    #[must_use]
+    pub fn new(words: &'a mut [u64], len: usize, bits: u32) -> Self {
+        assert!((1..=64).contains(&bits), "entry width must be 1..=64 bits");
+        let need = len
+            .checked_mul(bits as usize)
+            .expect("view size overflows usize")
+            .div_ceil(WORD_BITS);
+        assert!(
+            words.len() >= need,
+            "region of {} words cannot hold {len} x {bits}-bit entries",
+            words.len()
+        );
+        Self {
+            words,
+            len,
+            bits,
+            max: low_mask(bits),
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the view has zero entries.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Largest storable value (the all-ones pattern).
+    #[inline]
+    #[must_use]
+    pub fn max_value(&self) -> u64 {
+        self.max
+    }
+
+    /// Reads entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "entry index {i} out of range {}", self.len);
+        decode(self.words, self.bits, self.max, i)
+    }
+
+    /// Writes entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` or `value` does not fit the entry width.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: u64) {
+        assert!(i < self.len, "entry index {i} out of range {}", self.len);
+        assert!(
+            value <= self.max,
+            "value {value} exceeds {}-bit entry",
+            self.bits
+        );
+        let bit = i * self.bits as usize;
+        let (w, off) = (bit / WORD_BITS, (bit % WORD_BITS) as u32);
+        self.words[w] = (self.words[w] & !(self.max << off)) | (value << off);
+        let have = WORD_BITS as u32 - off;
+        if have < self.bits {
+            let hi_mask = low_mask(self.bits - have);
+            self.words[w + 1] = (self.words[w + 1] & !hi_mask) | (value >> have);
+        }
+    }
+
+    /// Sets every entry to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit the entry width.
+    pub fn fill(&mut self, value: u64) {
+        for i in 0..self.len {
+            self.set(i, value);
+        }
+    }
+
+    /// Wraparound-timestamp expiry over `count` entries from `start`:
+    /// the tenant-arena sweep, scalar by design. A tenant's per-arrival
+    /// quota is a handful of entries (`⌈m_t/n_t⌉`), far below the
+    /// break-even batch of the wide kernels, so the scalar predicate —
+    /// the exact one [`crate::PackedIntVec::expire_timestamps`] uses on
+    /// its scalar dispatch — is also the fast path here, and forced
+    /// scalar runs (`CFD_FORCE_SCALAR=1`) are bit-identical for free.
+    ///
+    /// An entry is the all-ones `empty` marker or a stamp on a clock of
+    /// period `range`; occupied entries whose age from `now` falls
+    /// outside `[active_lo, active_hi]` are rewritten to `empty`.
+    /// Returns the number of entries rewritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count > len`.
+    pub fn expire_range(
+        &mut self,
+        start: usize,
+        count: usize,
+        now: u64,
+        range: u64,
+        active_lo: u64,
+        active_hi: u64,
+    ) -> usize {
+        let end = start
+            .checked_add(count)
+            .expect("entry range overflows usize");
+        assert!(
+            end <= self.len,
+            "entry range {start}+{count} exceeds {}",
+            self.len
+        );
+        let empty = self.max;
+        let mut changed = 0;
+        for i in start..end {
+            let ts = self.get(i);
+            if ts == empty {
+                continue;
+            }
+            let age = if now >= ts {
+                now - ts
+            } else {
+                range - ts + now
+            };
+            if !(active_lo..=active_hi).contains(&age) {
+                self.set(i, empty);
+                changed += 1;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PackedIntVec;
+    use proptest::prelude::*;
+
+    #[test]
+    fn slab_rounds_stride_to_cache_lines() {
+        let slab = WordSlab::new(3, 9);
+        assert_eq!(slab.stride_words(), 16);
+        assert_eq!(slab.slots(), 3);
+        assert_eq!(slab.memory_bits(), 3 * 16 * 64);
+        assert!(slab.as_words().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_recyclable() {
+        let mut slab = WordSlab::new(4, 8);
+        slab.fill_region(1, u64::MAX);
+        slab.region_mut(2)[0] = 7;
+        assert!(slab.region(0).iter().all(|&w| w == 0));
+        assert!(slab.region(1).iter().all(|&w| w == u64::MAX));
+        assert_eq!(slab.region(2)[0], 7);
+        slab.fill_region(1, 0);
+        assert!(slab.region(1).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn grow_appends_zeroed_slots() {
+        let mut slab = WordSlab::new(1, 8);
+        slab.fill_region(0, 3);
+        slab.grow(2);
+        assert_eq!(slab.slots(), 3);
+        assert!(slab.region(0).iter().all(|&w| w == 3));
+        assert!(slab.region(2).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn slab_words_roundtrip() {
+        let mut slab = WordSlab::new(2, 10);
+        slab.region_mut(1)[3] = 99;
+        let back = WordSlab::from_words(slab.as_words().to_vec(), 2, 10).expect("roundtrip");
+        assert_eq!(back, slab);
+        assert!(WordSlab::from_words(vec![0; 7], 2, 10).is_none());
+        assert!(WordSlab::from_words(vec![], 0, 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slot_panics() {
+        let slab = WordSlab::new(2, 8);
+        let _ = slab.region(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn undersized_region_panics() {
+        let mut words = vec![0u64; 2];
+        let _ = PackedView::new(&mut words, 100, 13);
+    }
+
+    proptest! {
+        /// Differential: a PackedView over a raw word region behaves
+        /// exactly like the owning PackedIntVec for every interleaving
+        /// of writes and reads.
+        #[test]
+        fn view_matches_packed_int_vec(
+            bits in 1u32..=64,
+            writes in prop::collection::vec((0usize..150, any::<u64>()), 0..200),
+        ) {
+            let len = 150usize;
+            let mut owned = PackedIntVec::new(len, bits);
+            let mut words = vec![0u64; (len * bits as usize).div_ceil(64)];
+            let mask = low_mask(bits);
+            {
+                let mut view = PackedView::new(&mut words, len, bits);
+                for &(i, raw) in &writes {
+                    owned.set(i, raw & mask);
+                    view.set(i, raw & mask);
+                }
+                for i in 0..len {
+                    prop_assert_eq!(view.get(i), owned.get(i), "i={}", i);
+                }
+            }
+            prop_assert_eq!(&words[..], owned.as_words());
+            let read = PackedRef::new(&words, len, bits);
+            for i in 0..len {
+                prop_assert_eq!(read.get(i), owned.get(i), "i={}", i);
+            }
+            prop_assert_eq!(read.count_eq(0), owned.count_eq(0));
+        }
+
+        /// Differential: the scalar expiry sweep matches
+        /// PackedIntVec::expire_timestamps over the whole-entry
+        /// timestamp idiom the arena uses.
+        #[test]
+        fn expire_range_matches_expire_timestamps(
+            bits in 2u32..=24,
+            start in 0usize..100,
+            count in 0usize..100,
+            now_seed in any::<u64>(),
+        ) {
+            let len = 150usize;
+            let count = count.min(len - start);
+            let mask = low_mask(bits);
+            let range = mask.max(2);
+            let now = now_seed % range;
+            let (lo, hi) = (1u64, range / 2);
+            let mut owned = PackedIntVec::new(len, bits);
+            let mut words = vec![0u64; (len * bits as usize).div_ceil(64)];
+            {
+                let mut view = PackedView::new(&mut words, len, bits);
+                for i in 0..len {
+                    let raw = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let val = if raw.is_multiple_of(5) { mask } else { (raw >> 8) % range };
+                    owned.set(i, val);
+                    view.set(i, val);
+                }
+                let changed_view = view.expire_range(start, count, now, range, lo, hi);
+                let changed_owned =
+                    owned.expire_timestamps(start, count, mask, mask, now, range, lo, hi);
+                prop_assert_eq!(changed_view, changed_owned);
+            }
+            prop_assert_eq!(&words[..], owned.as_words());
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! have — duplicates spanning the restart are still caught.
 
 use crate::apbf::{Apbf, ApbfConfig, ApbfState};
+use crate::arena::{ArenaConfig, ArenaState, TenantArena};
 use crate::config::{GbfConfig, GbfLayout, ProbeLayout, TbfConfig};
 use crate::gbf::Gbf;
 use crate::gbf_time::{TimeGbf, TimeGbfConfig, TimeGbfState};
@@ -40,6 +41,7 @@ pub(crate) const KIND_TIME_GBF: u8 = 5;
 pub(crate) const KIND_APBF: u8 = 6;
 pub(crate) const KIND_SWBF: u8 = 7;
 pub(crate) const KIND_JUMPING_TBF: u8 = 8;
+pub(crate) const KIND_ARENA: u8 = 9;
 
 /// Reads the kind byte of a `CFDS` buffer after validating the magic
 /// and version — the registry's dispatch key for backend-agnostic
@@ -708,6 +710,90 @@ impl CheckpointState for Swbf {
     }
 }
 
+impl TenantArena {
+    /// Serializes the whole arena: shared tenant geometry, global decay
+    /// clock, every live tenant's meta, the free-slot stack, and the
+    /// slab words. The prefix→slot map is *not* serialized — restore
+    /// re-derives it from the metas.
+    #[must_use]
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let (cfg, state) = self.checkpoint_parts();
+        let mut w = Writer::new(KIND_ARENA);
+        w.usize(cfg.tenant_window);
+        w.usize(cfg.tenant_entries);
+        w.usize(cfg.hash_count);
+        w.u64(cfg.seed);
+        w.usize(cfg.initial_slots);
+        w.opt_u64(cfg.idle_eviction);
+        w.u8(probe_tag(cfg.probe));
+        w.u64(state.arrivals);
+        w.u64(state.scan_cursor);
+        w.u64(state.evictions);
+        w.u64(state.slots);
+        for meta in &state.metas {
+            match meta {
+                None => w.u8(0),
+                Some((prefix, now, clean_next, last_touch)) => {
+                    w.u8(1);
+                    w.u64(*prefix);
+                    w.u64(*now);
+                    w.u64(*clean_next);
+                    w.u64(*last_touch);
+                }
+            }
+        }
+        w.words(&state.free);
+        w.words(&state.words);
+        w.0
+    }
+
+    /// Restores an arena from a [`TenantArena::checkpoint`] buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on malformed input.
+    pub fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::open(buf, KIND_ARENA)?;
+        let mut cfg = ArenaConfig::new(r.usize()?, r.usize()?, r.usize()?, r.u64()?)
+            .with_initial_slots(r.usize()?);
+        cfg.idle_eviction = r.opt_u64()?;
+        cfg.probe = probe_from_tag(r.u8()?)?;
+        let arrivals = r.u64()?;
+        let scan_cursor = r.u64()?;
+        let evictions = r.u64()?;
+        let slots = r.u64()?;
+        let mut metas = Vec::new();
+        for _ in 0..slots {
+            metas.push(match r.u8()? {
+                0 => None,
+                1 => Some((r.u64()?, r.u64()?, r.u64()?, r.u64()?)),
+                _ => return Err(CheckpointError::Corrupt("bad tenant liveness flag")),
+            });
+        }
+        let state = ArenaState {
+            arrivals,
+            scan_cursor,
+            evictions,
+            slots,
+            metas,
+            free: r.words()?,
+            words: r.words()?,
+        };
+        r.finish()?;
+        Self::from_checkpoint_parts(cfg, state)
+            .ok_or(CheckpointError::Corrupt("inconsistent arena state"))
+    }
+}
+
+impl CheckpointState for TenantArena {
+    fn checkpoint(&self) -> Vec<u8> {
+        TenantArena::checkpoint(self)
+    }
+    fn restore(buf: &[u8]) -> Result<Self, CheckpointError> {
+        TenantArena::restore(buf)
+    }
+}
+
 impl<D: CheckpointState> CheckpointState for ShardedDetector<D> {
     /// Format: header (kind 3) | router seed | shard count |
     /// length-prefixed per-shard `CFDS` blobs, in router order.
@@ -1331,6 +1417,69 @@ mod tests {
         assert!(matches!(
             Apbf::restore(&bad_flag),
             Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn arena_roundtrip_preserves_every_future_verdict() {
+        use crate::arena::{ArenaConfig, TenantArena};
+        let mut original = TenantArena::new(
+            ArenaConfig::new(64, 512, 4, 7)
+                .with_initial_slots(2)
+                .with_idle_eviction(4_096),
+        )
+        .expect("arena");
+        let key = |i: u64| {
+            let mut k = (i % 37).to_le_bytes().to_vec();
+            k.extend_from_slice(&(i % 300).to_le_bytes());
+            k
+        };
+        for i in 0..5_000u64 {
+            original.observe(&key(i));
+        }
+        let buf = original.checkpoint();
+        assert_eq!(peek_kind(&buf), Ok(KIND_ARENA));
+        let mut restored = TenantArena::restore(&buf).expect("valid checkpoint");
+        assert_eq!(original.memory_bits(), restored.memory_bits());
+        assert_eq!(original.live_tenants(), restored.live_tenants());
+        for i in 5_000..15_000u64 {
+            assert_eq!(
+                original.observe(&key(i)),
+                restored.observe(&key(i)),
+                "i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn arena_restore_rejects_malformed_buffers() {
+        use crate::arena::{ArenaConfig, TenantArena};
+        let mut a = TenantArena::new(ArenaConfig::new(64, 512, 4, 7)).expect("arena");
+        for i in 0..2_000u64 {
+            a.observe(&(i % 90).to_le_bytes());
+        }
+        let full = a.checkpoint();
+        for cut in (0..full.len()).step_by(97) {
+            assert!(
+                TenantArena::restore(&full[..cut]).is_err(),
+                "arena truncation at {cut} accepted"
+            );
+        }
+        // A corrupt tenant liveness flag is rejected (first flag byte
+        // sits after the 7-byte header, 4 usize + seed config fields,
+        // the idle option, the probe byte, and 4 u64 globals).
+        let mut bad_flag = full.clone();
+        bad_flag[7 + 4 * 8 + 8 + 9 + 1 + 4 * 8] = 9;
+        assert!(matches!(
+            TenantArena::restore(&bad_flag),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Tbf::restore(&full),
+            Err(CheckpointError::WrongKind {
+                found: KIND_ARENA,
+                expected: KIND_TBF
+            })
         ));
     }
 

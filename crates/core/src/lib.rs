@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod apbf;
+pub mod arena;
 mod backend;
 pub mod checkpoint;
 pub mod config;
@@ -66,6 +67,7 @@ pub mod tbf_jumping;
 pub mod tbf_time;
 
 pub use apbf::{Apbf, ApbfConfig};
+pub use arena::{ArenaConfig, ArenaStats, TenantArena};
 /// Runtime scalar/SIMD dispatch shared by every backend's probe and
 /// cleaning kernels (re-exported so frontends — telemetry, benches,
 /// the CLI — can read and steer it without a `cfd-bits` dependency).

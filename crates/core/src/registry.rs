@@ -30,9 +30,10 @@
 //! # }
 //! ```
 
+use crate::arena::{ArenaConfig, TenantArena};
 use crate::checkpoint::{
-    self, CheckpointError, CheckpointState, KIND_APBF, KIND_GBF, KIND_JUMPING_TBF, KIND_SWBF,
-    KIND_TBF,
+    self, CheckpointError, CheckpointState, KIND_APBF, KIND_ARENA, KIND_GBF, KIND_JUMPING_TBF,
+    KIND_SWBF, KIND_TBF,
 };
 use crate::config::{ConfigError, ProbeLayout};
 use crate::sharded::PlannedDetector;
@@ -337,6 +338,27 @@ static BACKENDS: &[BackendEntry] = &[
             Ok(Box::new(Swbf::new(cfg)?))
         },
         restore: |buf| Ok(Box::new(Swbf::restore(buf)?)),
+    },
+    BackendEntry {
+        name: "arena",
+        kind: KIND_ARENA,
+        window_model: "sliding, count-based, per tenant",
+        summary: "multi-tenant arena: one TBF region per key prefix (advertiser, campaign) in a shared slab, hash-once routing",
+        build: |geo| {
+            let total = match geo.memory {
+                MemorySpec::TotalBits(total) => total,
+                MemorySpec::CellsPerElement(c) => {
+                    let eb = bits_for_value(2 * geo.window.max(1) as u64 - 1) as usize;
+                    // c cells per element for each initially funded
+                    // tenant region.
+                    geo.window * c * eb * crate::arena::DEFAULT_INITIAL_SLOTS
+                }
+            };
+            let cfg = ArenaConfig::for_budget(geo.window, total, geo.hash_count, geo.seed)?
+                .with_probe(geo.probe);
+            Ok(Box::new(TenantArena::new(cfg)?))
+        },
+        restore: |buf| Ok(Box::new(TenantArena::restore(buf)?)),
     },
 ];
 

@@ -23,7 +23,7 @@
 
 use crate::config::ConfigError;
 use cfd_hash::{DoubleHashFamily, HashFamily, HashPair, Planner, ProbePlan};
-use cfd_telemetry::{DetectorHealth, DetectorStats};
+use cfd_telemetry::{DetectorHealth, DetectorStats, TenantHealth};
 use cfd_windows::{DuplicateDetector, TimedDuplicateDetector, Verdict, WindowSpec};
 
 /// Routes ids to shards by the high bits of an independent hash.
@@ -114,6 +114,18 @@ impl ShardRouter {
         cfd_hash::lanes::fill_flat_pairs(keys, key_len, self.family.seed(), out, |pair| {
             self.route_pair(pair)
         });
+    }
+
+    /// The shard of a *tenant* routing prefix ([`cfd_hash::tenant_prefix`]:
+    /// the first eight key bytes). Unlike [`ShardRouter::route`], every id
+    /// sharing a prefix lands on the same shard, which is what partitions
+    /// the tenants of a `TenantArena` across shards without splitting any
+    /// tenant's window. Costs one `splitmix64` — no key hash at all.
+    #[inline]
+    #[must_use]
+    pub fn route_prefix(&self, prefix: u64) -> usize {
+        let mixed = cfd_hash::mix::splitmix64(prefix ^ self.family.seed());
+        ((u128::from(mixed) * self.shards as u128) >> 64) as usize
     }
 }
 
@@ -429,6 +441,58 @@ impl<D: PlannedDetector> ShardedDetector<D> {
             })
             .collect()
     }
+
+    /// [`ShardedDetector::observe_batch_hash_once`] routed by *tenant
+    /// prefix* instead of key hash: every id whose first eight bytes
+    /// match goes to the same shard ([`ShardRouter::route_prefix`]).
+    /// This is the sharded driving mode for tenant arenas — a tenant's
+    /// whole window lives in exactly one shard, so per-tenant duplicate
+    /// detection across shards equals a single arena's. Still hash-once:
+    /// the plan's routing prefix is a byte copy, not a second hash.
+    /// Falls back to per-id `observe` (same routing) on shards not built
+    /// with [`ShardRouter::probe_seed`].
+    pub fn observe_batch_tenant_routed(&mut self, ids: &[&[u8]]) -> Vec<Verdict> {
+        if !self.hash_once_aligned() {
+            let routes: Vec<usize> = ids
+                .iter()
+                .map(|id| self.router.route_prefix(cfd_hash::tenant_prefix(id)))
+                .collect();
+            return ids
+                .iter()
+                .zip(routes)
+                .map(|(id, shard)| self.shards[shard].observe(id))
+                .collect();
+        }
+        let planner = self.router.planner();
+        let shard_count = self.shards.len();
+        if shard_count == 1 {
+            let plans: Vec<ProbePlan> = ids.iter().map(|id| planner.plan(id)).collect();
+            return self.shards[0].apply_plan_batch(&plans);
+        }
+        let cap = ids.len() / shard_count + 1;
+        let mut buckets: Vec<Vec<ProbePlan>> = vec![Vec::with_capacity(cap); shard_count];
+        let mut routes = Vec::with_capacity(ids.len());
+        for id in ids {
+            let plan = planner.plan(id);
+            let shard = self.router.route_prefix(plan.prefix());
+            buckets[shard].push(plan);
+            routes.push(shard);
+        }
+        let verdicts: Vec<Vec<Verdict>> = buckets
+            .iter()
+            .zip(&mut self.shards)
+            .map(|(bucket, shard)| shard.apply_plan_batch(bucket))
+            .collect();
+        let mut cursor = vec![0usize; shard_count];
+        routes
+            .into_iter()
+            .map(|shard| {
+                let v = verdicts[shard][cursor[shard]];
+                cursor[shard] += 1;
+                v
+            })
+            .collect()
+    }
 }
 
 impl<D: TimedPlannedDetector> ShardedDetector<D> {
@@ -682,6 +746,34 @@ impl<D: DetectorStats> DetectorStats for ShardedDetector<D> {
 
     fn occupancy_scans(&self) -> u64 {
         self.shards.iter().map(DetectorStats::occupancy_scans).sum()
+    }
+
+    fn tenant_health(&self) -> Option<TenantHealth> {
+        let samples: Vec<TenantHealth> = self
+            .shards
+            .iter()
+            .filter_map(DetectorStats::tenant_health)
+            .collect();
+        if samples.is_empty() {
+            return None;
+        }
+        let slots: usize = samples.iter().map(|s| s.slots).sum();
+        let live: usize = samples.iter().map(|s| s.live_tenants).sum();
+        let slab_bytes: f64 = samples
+            .iter()
+            .map(|s| s.bytes_per_live_tenant * s.live_tenants as f64)
+            .sum();
+        Some(TenantHealth {
+            slots,
+            live_tenants: live,
+            evictions: samples.iter().map(|s| s.evictions).sum(),
+            occupancy: live as f64 / slots.max(1) as f64,
+            bytes_per_live_tenant: if live == 0 {
+                0.0
+            } else {
+                slab_bytes / live as f64
+            },
+        })
     }
 
     fn health(&self) -> DetectorHealth {
@@ -992,6 +1084,95 @@ mod tests {
         let id_slices: Vec<&[u8]> = ids.iter().map(Vec::as_slice).collect();
         let want = a.observe_batch_at(&id_slices, &ticks);
         let got = b.observe_batch_hash_once_at(&id_slices, &ticks);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn route_prefix_is_deterministic_and_in_range() {
+        let router = ShardRouter::new(9, 7).unwrap();
+        for prefix in 0..10_000u64 {
+            let shard = router.route_prefix(prefix);
+            assert!(shard < 7);
+            assert_eq!(shard, router.route_prefix(prefix), "stable");
+        }
+        // All ids sharing a tenant prefix land on one shard.
+        let mut key = 42u64.to_le_bytes().to_vec();
+        key.extend_from_slice(b"click-a");
+        assert_eq!(
+            router.route_prefix(cfd_hash::tenant_prefix(&key)),
+            router.route_prefix(42)
+        );
+        // And the mapping actually spreads tenants around.
+        let hits: std::collections::HashSet<usize> =
+            (0..100u64).map(|p| router.route_prefix(p)).collect();
+        assert!(hits.len() > 1);
+    }
+
+    #[test]
+    fn tenant_routed_batch_matches_one_arena_per_tenant_stream() {
+        use crate::arena::{ArenaConfig, TenantArena};
+        // Sharded arenas driven tenant-routed must give each tenant the
+        // same verdicts as ONE arena seeing the whole stream: a tenant
+        // never splits across shards, and within a shard the arena is
+        // order-preserving.
+        let router_seed = 11;
+        let router = ShardRouter::new(router_seed, 4).unwrap();
+        let cfg = ArenaConfig::new(32, 307, 4, router.probe_seed()).with_initial_slots(2);
+        let mut sharded =
+            ShardedDetector::from_fn(router_seed, 4, |_| TenantArena::new(cfg)).unwrap();
+        assert!(sharded.hash_once_aligned());
+        let mut reference = TenantArena::new(cfg).unwrap();
+        let mut rng = 77u64;
+        let keys: Vec<Vec<u8>> = (0..4_000)
+            .map(|_| {
+                rng = cfd_hash::mix::splitmix64(rng);
+                let mut k = (rng % 23).to_le_bytes().to_vec();
+                k.extend_from_slice(&(rng % 31).to_le_bytes());
+                k
+            })
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let want: Vec<Verdict> = refs.iter().map(|id| reference.observe(id)).collect();
+        let got = sharded.observe_batch_tenant_routed(&refs);
+        assert_eq!(got, want);
+        let live: usize = sharded.shards().iter().map(TenantArena::live_tenants).sum();
+        assert_eq!(live, reference.live_tenants(), "tenants partitioned");
+        assert!(
+            sharded
+                .shards()
+                .iter()
+                .filter(|s| s.live_tenants() > 0)
+                .count()
+                > 1,
+            "tenants actually spread across shards"
+        );
+    }
+
+    #[test]
+    fn tenant_routed_fallback_matches_on_misaligned_shards() {
+        use crate::arena::{ArenaConfig, TenantArena};
+        let cfg = ArenaConfig::new(32, 307, 4, 0xDECAF).with_initial_slots(2);
+        let mut fast = ShardedDetector::from_fn(5, 3, |_| TenantArena::new(cfg)).unwrap();
+        let mut slow = ShardedDetector::from_fn(5, 3, |_| TenantArena::new(cfg)).unwrap();
+        assert!(!fast.hash_once_aligned());
+        let keys: Vec<Vec<u8>> = (0..900u64)
+            .map(|i| {
+                let mut k = (i % 13).to_le_bytes().to_vec();
+                k.extend_from_slice(&(i % 17).to_le_bytes());
+                k
+            })
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let want = fast.observe_batch_tenant_routed(&refs);
+        // Reference: per-id routing through the same prefix router.
+        let router = ShardRouter::new(5, 3).unwrap();
+        let got: Vec<Verdict> = refs
+            .iter()
+            .map(|id| {
+                let shard = router.route_prefix(cfd_hash::tenant_prefix(id));
+                slow.shard_mut(shard).observe(id)
+            })
+            .collect();
         assert_eq!(got, want);
     }
 

@@ -60,5 +60,5 @@ pub use block::{fill_blocked_indices, BlockGeometry, BlockPlan};
 pub use family::{DoubleHashFamily, HashFamily, IndependentHashFamily};
 pub use indices::IndexSequence;
 pub use pair::{HashPair, PairHasher};
-pub use plan::{Planner, ProbePlan};
+pub use plan::{tenant_prefix, Planner, ProbePlan};
 pub use sip::{siphash24, SipHashFamily};

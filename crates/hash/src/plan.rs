@@ -27,17 +27,46 @@ use crate::pair::HashPair;
 /// Wraps the Kirsch–Mitzenmacher [`HashPair`]; expansion to `k` probe
 /// indices in `[0, m)` happens at [`ProbePlan::fill`] time, so one plan
 /// serves any table geometry.
+///
+/// Plans produced by a [`Planner`] also carry the id's *routing prefix*
+/// ([`tenant_prefix`]): the first eight key bytes, little-endian. Tenant
+/// frontends (`cfd-core`'s arena) encode the (advertiser, campaign) id
+/// there, so routing a click to its tenant costs zero extra hash work —
+/// the one 128-bit hash of the plan covers probing *and* routing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProbePlan {
     pair: HashPair,
+    prefix: u64,
+}
+
+/// The routing prefix of an id: its first `min(8, len)` bytes read
+/// little-endian, zero-padded. Ids sharing an 8-byte prefix share the
+/// value, which is what makes `[tenant_id ‖ click_id]` keys route
+/// exactly by tenant.
+#[inline]
+#[must_use]
+pub fn tenant_prefix(id: &[u8]) -> u64 {
+    let take = id.len().min(8);
+    let mut bytes = [0u8; 8];
+    bytes[..take].copy_from_slice(&id[..take]);
+    u64::from_le_bytes(bytes)
 }
 
 impl ProbePlan {
-    /// Wraps an already-computed hash pair.
+    /// Wraps an already-computed hash pair. The routing prefix is zero;
+    /// use [`ProbePlan::with_prefix`] (or a [`Planner`] frontend, which
+    /// fills it from the id) when tenant routing matters.
     #[inline]
     #[must_use]
     pub fn from_pair(pair: HashPair) -> Self {
-        Self { pair }
+        Self { pair, prefix: 0 }
+    }
+
+    /// The same plan with its routing prefix replaced.
+    #[inline]
+    #[must_use]
+    pub fn with_prefix(self, prefix: u64) -> Self {
+        Self { prefix, ..self }
     }
 
     /// The underlying double-hashing pair.
@@ -45,6 +74,14 @@ impl ProbePlan {
     #[must_use]
     pub fn pair(&self) -> HashPair {
         self.pair
+    }
+
+    /// The id's routing prefix (see [`tenant_prefix`]); 0 for plans
+    /// built directly from a pair.
+    #[inline]
+    #[must_use]
+    pub fn prefix(&self) -> u64 {
+        self.prefix
     }
 
     /// Expands the plan into `out.len()` probe indices in `[0, m)`.
@@ -107,7 +144,7 @@ impl Planner {
     #[must_use]
     pub fn plan(&self, id: &[u8]) -> ProbePlan {
         use crate::family::HashFamily;
-        ProbePlan::from_pair(self.family.pair(id))
+        ProbePlan::from_pair(self.family.pair(id)).with_prefix(tenant_prefix(id))
     }
 
     /// Hashes a flat buffer of fixed-stride ids (`key_len` bytes each,
@@ -128,6 +165,11 @@ impl Planner {
             ProbePlan::from_pair(HashPair::new(0, 0)),
         );
         crate::lanes::fill_flat_pairs(keys, key_len, self.seed(), out, ProbePlan::from_pair);
+        // Second pass for the routing prefixes: a plain byte copy per id,
+        // kept out of the lockstep lanes (which only know hash state).
+        for (plan, key) in out.iter_mut().zip(keys.chunks_exact(key_len)) {
+            *plan = plan.with_prefix(tenant_prefix(key));
+        }
     }
 
     /// Hashes a batch of independent ids into `out`, one plan per id in
@@ -139,6 +181,9 @@ impl Planner {
         crate::lanes::hash_refs_with(ids, self.seed(), |pair| {
             out.push(ProbePlan::from_pair(pair));
         });
+        for (plan, id) in out.iter_mut().zip(ids) {
+            *plan = plan.with_prefix(tenant_prefix(id));
+        }
     }
 }
 
@@ -176,5 +221,37 @@ mod tests {
     #[test]
     fn planner_seed_round_trips() {
         assert_eq!(Planner::new(42).seed(), 42);
+    }
+
+    #[test]
+    fn tenant_prefix_reads_first_eight_bytes_le() {
+        assert_eq!(tenant_prefix(b""), 0);
+        assert_eq!(tenant_prefix(&[1]), 1);
+        assert_eq!(tenant_prefix(&7u64.to_le_bytes()), 7);
+        let mut long = 0xDEAD_BEEFu64.to_le_bytes().to_vec();
+        long.extend_from_slice(b"trailing-click-id");
+        assert_eq!(tenant_prefix(&long), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn batch_paths_fill_the_same_prefix_as_plan() {
+        let planner = Planner::new(9);
+        let keys: Vec<Vec<u8>> = (0..64u64)
+            .map(|t| {
+                let mut k = t.to_le_bytes().to_vec();
+                k.extend_from_slice(&(t * 31).to_le_bytes());
+                k
+            })
+            .collect();
+        let flat: Vec<u8> = keys.iter().flatten().copied().collect();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let scalar: Vec<ProbePlan> = keys.iter().map(|k| planner.plan(k)).collect();
+        let mut by_flat = Vec::new();
+        planner.plan_flat_into(&flat, 16, &mut by_flat);
+        let mut by_refs = Vec::new();
+        planner.plan_refs_into(&refs, &mut by_refs);
+        assert_eq!(scalar, by_flat);
+        assert_eq!(scalar, by_refs);
+        assert_eq!(scalar[3].prefix(), 3);
     }
 }

@@ -36,6 +36,7 @@ pub use gen::coalition::{CoalitionConfig, CoalitionStream};
 pub use gen::crawler::CrawlerStream;
 pub use gen::duplicate::DuplicateInjector;
 pub use gen::flashcrowd::{FlashCrowdConfig, FlashCrowdStream};
+pub use gen::tenants::{TenantTraffic, TenantTrafficConfig, TENANT_KEY_LEN};
 pub use gen::timing::PoissonArrivals;
 pub use gen::unique::{UniqueClickStream, UniqueIdStream};
 pub use gen::zipf::ZipfSampler;

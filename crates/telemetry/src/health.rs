@@ -92,6 +92,26 @@ impl DetectorHealth {
     }
 }
 
+/// A point-in-time sample of a multi-tenant detector's slot economy.
+///
+/// Produced by [`DetectorStats::tenant_health`] for backends that pack
+/// many logical per-tenant windows into one shared slab (the arena);
+/// single-tenant detectors return `None` and the pipeline skips the
+/// `arena.*` gauges entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantHealth {
+    /// Slots currently allocated (live + free).
+    pub slots: usize,
+    /// Tenants currently materialized.
+    pub live_tenants: usize,
+    /// Tenants decayed by idle eviction since construction.
+    pub evictions: u64,
+    /// `live_tenants / slots` in `[0, 1]`.
+    pub occupancy: f64,
+    /// Amortized slab bytes per live tenant (0 when no tenant is live).
+    pub bytes_per_live_tenant: f64,
+}
+
 /// Health introspection implemented by every detector in the workspace.
 ///
 /// The accessors are allowed to be `O(m)` in the filter size — callers
@@ -148,6 +168,14 @@ pub trait DetectorStats {
         0
     }
 
+    /// The slot-economy sample for multi-tenant backends, `None` for
+    /// single-tenant detectors. The pipeline publishes a `Some` as the
+    /// per-shard `arena.*` gauges at the same request-flag cadence as
+    /// [`DetectorStats::health`].
+    fn tenant_health(&self) -> Option<TenantHealth> {
+        None
+    }
+
     /// Assembles the full [`DetectorHealth`] sample.
     fn health(&self) -> DetectorHealth {
         DetectorHealth {
@@ -190,6 +218,9 @@ impl<D: DetectorStats + ?Sized> DetectorStats for Box<D> {
     }
     fn occupancy_scans(&self) -> u64 {
         (**self).occupancy_scans()
+    }
+    fn tenant_health(&self) -> Option<TenantHealth> {
+        (**self).tenant_health()
     }
     fn health(&self) -> DetectorHealth {
         (**self).health()

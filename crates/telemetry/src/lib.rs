@@ -64,7 +64,7 @@ pub mod reporter;
 
 pub use counter::Counter;
 pub use gauge::{FloatGauge, Gauge};
-pub use health::{DetectorHealth, DetectorStats};
+pub use health::{DetectorHealth, DetectorStats, TenantHealth};
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{MetricValue, Registry, Snapshot, SnapshotEntry};
 pub use reporter::{Reporter, SnapshotFormat};

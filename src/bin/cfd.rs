@@ -167,6 +167,17 @@ impl Opts {
     fn flag(&self, name: &str) -> bool {
         self.get(name).is_some()
     }
+
+    /// Parses a count option that must be at least 1, rejecting zero
+    /// (and garbage) with the typed [`cli::UsageError`] instead of
+    /// letting a zero-shard router or zero-bit detector budget panic
+    /// deeper in the stack.
+    fn positive(&self, name: &'static str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => cli::parse_positive(name, raw).map_err(|e| e.to_string()),
+        }
+    }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -258,9 +269,12 @@ impl DetectorSpec {
     fn parse(opts: &Opts, algo: &str) -> Result<Self, String> {
         Ok(Self {
             algo: algo.to_owned(),
-            window: opts.parse_num("window", 1 << 16)?,
+            // A zero window or zero cells-per-element would hand the
+            // registry a zero-bit memory budget (for the arena backend,
+            // a zero budget for every tenant) — reject it up front.
+            window: opts.positive("window", 1 << 16)?,
             q: opts.parse_num("sub-windows", 8)?,
-            cells_per_element: opts.parse_num("cells-per-element", 14)?,
+            cells_per_element: opts.positive("cells-per-element", 14)?,
             k: opts.parse_num("k", 10)?,
             seed: opts.parse_num("seed", 0)?,
             layout: parse_layout(opts)?,
@@ -408,11 +422,8 @@ fn parse_layout(opts: &Opts) -> Result<ProbeLayout, String> {
 fn cmd_detect(opts: &Opts) -> Result<(), String> {
     let algo = opts.required("algo")?.to_owned();
     let spec = DetectorSpec::parse(opts, &algo)?;
-    let shards: usize = opts.parse_num("shards", 1)?;
-    let batch: usize = opts.parse_num("batch", 512)?;
-    if shards == 0 || batch == 0 {
-        return Err("--shards and --batch must be at least 1".into());
-    }
+    let shards: usize = opts.positive("shards", 1)?;
+    let batch: usize = opts.positive("batch", 512)?;
     let trace_path = opts.required("trace")?.to_owned();
 
     let buf = std::fs::read(&trace_path).map_err(|e| format!("reading {trace_path}: {e}"))?;
@@ -602,15 +613,12 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     let algo = opts.get("algo").unwrap_or("tbf").to_owned();
     let spec = DetectorSpec::parse(opts, &algo)?;
     let seed = spec.seed;
-    let shards: usize = opts.parse_num("shards", 4)?;
-    let batch: usize = opts.parse_num("batch", 512)?;
-    let queue: usize = opts.parse_num("queue", 16)?;
+    let shards: usize = opts.positive("shards", 4)?;
+    let batch: usize = opts.positive("batch", 512)?;
+    let queue: usize = opts.positive("queue", 16)?;
     let transport = parse_transport(opts)?;
-    let ring_capacity: usize = opts.parse_num("ring-capacity", queue)?;
+    let ring_capacity: usize = opts.positive("ring-capacity", queue)?;
     let pin_workers = opts.flag("pin-workers");
-    if shards == 0 || batch == 0 || queue == 0 || ring_capacity == 0 {
-        return Err("--shards, --batch, --queue, and --ring-capacity must be at least 1".into());
-    }
 
     let clicks: Vec<Click> = match opts.get("trace") {
         Some(path) => {
@@ -778,15 +786,12 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             "cfd serve checkpoints its detector; pick a registry backend (`cfd algos`)".into(),
         );
     }
-    let shards: usize = opts.parse_num("shards", 4)?;
-    let batch: usize = opts.parse_num("batch", 512)?;
-    let queue: usize = opts.parse_num("queue", 16)?;
+    let shards: usize = opts.positive("shards", 4)?;
+    let batch: usize = opts.positive("batch", 512)?;
+    let queue: usize = opts.positive("queue", 16)?;
     let transport = parse_transport(opts)?;
     let ads: u32 = opts.parse_num("ads", 64)?;
-    let hub_batches: usize = opts.parse_num("hub-batches", 64)?;
-    if shards == 0 || batch == 0 || queue == 0 || hub_batches == 0 {
-        return Err("--shards, --batch, --queue, and --hub-batches must be at least 1".into());
-    }
+    let hub_batches: usize = opts.positive("hub-batches", 64)?;
     let checkpoint = opts.get("checkpoint").map(PathBuf::from);
     let checkpoint_every: u64 = opts.parse_num("checkpoint-every", 0)?;
 

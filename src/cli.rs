@@ -1,9 +1,73 @@
-//! Canonical usage text for the `cfd` gateway subcommands.
+//! Canonical usage text and typed usage errors for the `cfd` binary.
 //!
-//! These constants are the **single source** of the `cfd serve` /
+//! The usage constants are the **single source** of the `cfd serve` /
 //! `cfd replay-client` help: the binary splices them into its usage
 //! template, and `tests/readme_sync.rs` asserts `README.md` embeds them
 //! verbatim — so the CLI help and the README can never drift apart.
+//!
+//! [`UsageError`] is the typed rejection for malformed option values
+//! (`--shards 0`, `--batch 0`, a zero tenant memory budget, unparsable
+//! numbers): the binary maps it to its usage-printing error path, and
+//! the variants are unit-tested here so a refactor can't silently turn
+//! a clean rejection back into a panic.
+
+use std::fmt;
+
+/// A rejected command-line option, with enough structure to test the
+/// error paths without string-matching free-form prose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UsageError {
+    /// An option that must be at least 1 was zero (`--shards 0`,
+    /// `--batch 0`, `--window 0`, `--cells-per-element 0` — the last
+    /// two would size a detector, or every tenant of an arena, at a
+    /// zero-bit memory budget).
+    Zero(&'static str),
+    /// An option's value failed to parse.
+    Bad {
+        /// The option name, without the `--` prefix.
+        option: &'static str,
+        /// The rejected raw value.
+        value: String,
+    },
+}
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Zero(option) => write!(f, "--{option} must be at least 1"),
+            Self::Bad { option, value } => write!(f, "--{option}: bad value `{value}`"),
+        }
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Validates that an already-parsed count option is at least 1.
+///
+/// # Errors
+///
+/// Returns [`UsageError::Zero`] when `value == 0`.
+pub fn positive(option: &'static str, value: usize) -> Result<usize, UsageError> {
+    if value == 0 {
+        Err(UsageError::Zero(option))
+    } else {
+        Ok(value)
+    }
+}
+
+/// Parses a count option that must be at least 1.
+///
+/// # Errors
+///
+/// Returns [`UsageError::Bad`] when `raw` is not a number and
+/// [`UsageError::Zero`] when it parses to 0.
+pub fn parse_positive(option: &'static str, raw: &str) -> Result<usize, UsageError> {
+    let value: usize = raw.parse().map_err(|_| UsageError::Bad {
+        option,
+        value: raw.to_owned(),
+    })?;
+    positive(option, value)
+}
 
 /// The `cfd serve` usage block. Spliced into the binary's help text
 /// and asserted verbatim in `README.md`.
@@ -41,3 +105,48 @@ pub const REPLAY_USAGE: &str = "\
               resumes from it, so a crashed-and-restarted server never
               double-bills and never misses a click; --drain asks the
               server to shut down once this trace is fully processed)";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_counts_are_rejected_not_panicked() {
+        for option in ["shards", "batch", "queue", "window", "cells-per-element"] {
+            let err = positive(option, 0).unwrap_err();
+            assert_eq!(err, UsageError::Zero(option));
+            assert_eq!(err.to_string(), format!("--{option} must be at least 1"));
+        }
+    }
+
+    #[test]
+    fn positive_counts_pass_through() {
+        assert_eq!(positive("shards", 4), Ok(4));
+        assert_eq!(parse_positive("batch", "512"), Ok(512));
+    }
+
+    #[test]
+    fn unparsable_values_name_the_option_and_value() {
+        let err = parse_positive("shards", "four").unwrap_err();
+        assert_eq!(
+            err,
+            UsageError::Bad {
+                option: "shards",
+                value: "four".to_owned(),
+            }
+        );
+        assert_eq!(err.to_string(), "--shards: bad value `four`");
+        assert_eq!(
+            parse_positive("batch", "0"),
+            Err(UsageError::Zero("batch")),
+            "`0` parses, then fails the at-least-1 check"
+        );
+        assert_eq!(
+            parse_positive("window", "-3"),
+            Err(UsageError::Bad {
+                option: "window",
+                value: "-3".to_owned(),
+            })
+        );
+    }
+}

@@ -29,7 +29,11 @@ mod common;
 
 use cfd_core::config::ProbeLayout;
 use cfd_core::registry::{self, BackendGeometry, MemorySpec};
-use cfd_stream::{BotnetConfig, BotnetStream, DuplicateInjector, UniqueClickStream};
+use cfd_core::{ArenaConfig, TenantArena};
+use cfd_stream::{
+    BotnetConfig, BotnetStream, DuplicateInjector, TenantTraffic, TenantTrafficConfig,
+    UniqueClickStream, TENANT_KEY_LEN,
+};
 use cfd_windows::{DuplicateDetector, WindowSpec};
 use proptest::prelude::*;
 use std::sync::Mutex;
@@ -92,6 +96,46 @@ fn flat_keys(seed: u64, count: usize, space: u64) -> Vec<u8> {
         out.extend_from_slice(&((x >> 16) % space).to_le_bytes());
     }
     out
+}
+
+/// Shared tenant geometry for the arena properties: a 32-element
+/// window per tenant at the same 299-entry/6-bit region shape the
+/// bench budgets, deliberately under-provisioned at 8 initial slots so
+/// a 64-tenant stream forces the slab through several growth doublings
+/// mid-property.
+fn arena_config(seed: u64, layout: ProbeLayout) -> ArenaConfig {
+    ArenaConfig::new(32, 299, 4, seed)
+        .with_initial_slots(8)
+        .with_probe(layout)
+}
+
+/// Both layouts that the shared tenant geometry supports (blocked is
+/// skipped if no cache-line block shape exists for the entry shape).
+fn arena_layouts(seed: u64) -> Vec<ArenaConfig> {
+    LAYOUTS
+        .iter()
+        .map(|&layout| arena_config(seed, layout))
+        .filter(|cfg| cfg.probe == ProbeLayout::Scattered || cfg.block_geometry().is_some())
+        .collect()
+}
+
+/// A Zipf-skewed multi-tenant key stream: 64 tenants, bursty runs,
+/// 20% injected adjacent duplicates.
+fn tenant_keys(seed: u64, count: usize) -> Vec<[u8; TENANT_KEY_LEN]> {
+    TenantTraffic::new(TenantTrafficConfig {
+        tenants: 64,
+        skew: 1.0,
+        duplicate_rate: 0.2,
+        run_len: 3,
+        seed,
+    })
+    .take(count)
+    .collect()
+}
+
+/// The tenant prefix (first eight key bytes) as a sort key.
+fn tenant_of(key: &[u8; TENANT_KEY_LEN]) -> u64 {
+    u64::from_le_bytes(key[..8].try_into().unwrap())
 }
 
 /// Runs the self-consistent false-negative oracle matching the
@@ -281,6 +325,111 @@ proptest! {
                         "{} ({layout:?}): entry restore diverged", entry.name
                     );
                 }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tenant property 1: **isolation is exact**, not statistical. A
+    /// tenant is a disjoint stride of the shared slab, so the verdicts a
+    /// tenant receives inside a 64-tenant interleaved stream must be
+    /// byte-for-byte the verdicts a fresh arena produces when fed that
+    /// tenant's subsequence alone — other tenants' traffic contributes
+    /// nothing, not even false positives.
+    #[test]
+    fn arena_tenants_are_exactly_isolated(seed in 0u64..1_000) {
+        let keys = tenant_keys(seed, 4_000);
+        for cfg in arena_layouts(seed) {
+            let mut shared = TenantArena::new(cfg).expect("arena builds");
+            let mixed: Vec<_> = keys.iter().map(|k| (tenant_of(k), shared.observe(k))).collect();
+            prop_assert!(shared.live_tenants() > 8, "stream materializes past the initial slots");
+            for tenant in 0..64u64 {
+                let mut solo = TenantArena::new(cfg).expect("arena builds");
+                let alone: Vec<_> = keys
+                    .iter()
+                    .filter(|k| tenant_of(k) == tenant)
+                    .map(|k| solo.observe(k))
+                    .collect();
+                let in_mix: Vec<_> = mixed
+                    .iter()
+                    .filter(|(t, _)| *t == tenant)
+                    .map(|(_, v)| *v)
+                    .collect();
+                prop_assert_eq!(
+                    alone, in_mix,
+                    "tenant {} verdicts changed under interleaving ({:?})", tenant, cfg.probe
+                );
+            }
+        }
+    }
+
+    /// Tenant property 2: the arena's grouped batch replay (ref-slice
+    /// and flat-key, arbitrary chunking, run-grouped prefetch engaged)
+    /// is verdict-for-verdict the per-click sequential stream.
+    #[test]
+    fn arena_batch_matches_per_tenant_sequential(
+        seed in 0u64..1_000,
+        chunk in 1usize..300,
+    ) {
+        let keys = tenant_keys(seed, 4_000);
+        let flat: Vec<u8> = keys.iter().flatten().copied().collect();
+        for cfg in arena_layouts(seed) {
+            let mut seq = TenantArena::new(cfg).expect("arena builds");
+            let mut by_refs = TenantArena::new(cfg).expect("arena builds");
+            let mut by_flat = TenantArena::new(cfg).expect("arena builds");
+
+            let sequential: Vec<_> = keys.iter().map(|k| seq.observe(k)).collect();
+
+            let mut via_refs = Vec::with_capacity(keys.len());
+            for group in keys.chunks(chunk) {
+                let refs: Vec<&[u8]> = group.iter().map(<[u8; TENANT_KEY_LEN]>::as_slice).collect();
+                via_refs.extend(by_refs.observe_batch(&refs));
+            }
+            prop_assert_eq!(
+                &sequential, &via_refs,
+                "observe_batch diverged ({:?})", cfg.probe
+            );
+
+            let mut via_flat = Vec::with_capacity(keys.len());
+            let mut out = Vec::new();
+            for group in flat.chunks(chunk * TENANT_KEY_LEN) {
+                by_flat.observe_flat_into(group, TENANT_KEY_LEN, &mut out);
+                via_flat.extend_from_slice(&out);
+            }
+            prop_assert_eq!(
+                &sequential, &via_flat,
+                "observe_flat_into diverged ({:?})", cfg.probe
+            );
+        }
+    }
+
+    /// Tenant property 3: a checkpoint taken with a grown, multi-tenant
+    /// slab restores through the backend-agnostic `restore_any` into an
+    /// arena that continues verdict-for-verdict identically — tenant
+    /// routing map, per-tenant clocks, and free-slot stack included.
+    #[test]
+    fn arena_checkpoint_roundtrips_multi_tenant_state(seed in 0u64..1_000) {
+        let keys = tenant_keys(seed, 4_000);
+        let (prefix, suffix) = keys.split_at(keys.len() / 2);
+        for cfg in arena_layouts(seed) {
+            let mut original = TenantArena::new(cfg).expect("arena builds");
+            for k in prefix {
+                original.observe(k);
+            }
+            prop_assert!(original.live_tenants() > 8, "checkpoint covers a grown slab");
+            let buf = original.checkpoint();
+            let mut restored = registry::restore_any(&buf)
+                .expect("arena checkpoint restores through the registry");
+            prop_assert_eq!(restored.window(), original.window());
+            prop_assert_eq!(restored.memory_bits(), original.memory_bits());
+            for k in suffix {
+                prop_assert_eq!(
+                    restored.observe(k), original.observe(k),
+                    "restored arena diverged ({:?})", cfg.probe
+                );
             }
         }
     }

@@ -12,6 +12,7 @@ Exits non-zero with a message naming the file and the failed gate.
 
 import json
 import math
+import os
 import sys
 
 
@@ -217,6 +218,56 @@ def gates_shootout(d, name):
     )
 
 
+def gates_tenants(d, name):
+    rows = {}
+    for c in d["configs"]:
+        require_keys(name, c, MANIFEST["cfd-bench-tenants/1"]["config"], c.get("name", "?"))
+        require_rounds(name, c, c["name"], c["clicks_per_sec_rounds"], d["rounds"])
+        rows[c["name"]] = c
+    expected = {"arena-seq", "arena-batch", "arena-sharded", "single-tbf"}
+    if set(rows) != expected:
+        fail(name, f"rows {sorted(set(rows) ^ expected)}")
+    require_keys(
+        name, d["budget"], {"entries", "hash_count", "predicted_fp", "bytes_per_tenant"}, "budget"
+    )
+    # Verdict isolation: every arena row must flag at least the injected
+    # duplicates (zero false negatives — a miss means a tenant's window
+    # lost state) and at most the per-tenant FP bound beyond them (an
+    # excess means cross-tenant contamination).
+    injected = d["duplicates_injected"]
+    fp_bound = d["budget"]["predicted_fp"]
+    for row in ("arena-seq", "arena-batch", "arena-sharded"):
+        dups = rows[row]["duplicates"]
+        if dups < injected:
+            fail(name, f"{row}: missed injected duplicates ({dups} < {injected})")
+        excess = (dups - injected) / d["clicks"]
+        if excess > fp_bound + three_sigma(fp_bound, d["clicks"]):
+            fail(name, f"{row}: excess duplicate rate {excess:.3e} exceeds FP bound {fp_bound}")
+    # Memory gate (binds at every scale — the slab layout is
+    # deterministic): amortized slab bytes per live tenant within 1.25x
+    # of the cfd-analysis per-tenant budget.
+    ratio = d["bytes_per_tenant_measured"] / d["budget"]["bytes_per_tenant"]
+    if ratio > 1.25:
+        fail(
+            name,
+            f'bytes/live-tenant {d["bytes_per_tenant_measured"]:.1f} is {ratio:.3f}x '
+            f'the {d["budget"]["bytes_per_tenant"]}-byte budget (limit 1.25x)',
+        )
+    for key in ("isolation_ok", "bytes_per_tenant_ok", "no_occupancy_scans"):
+        if not d["checks"][key]:
+            fail(name, f"check {key} failed")
+    # Throughput gate (full scale only): the arena's flat-batch path
+    # must hold >= 0.7x of the one-big-TBF baseline at equal memory.
+    if d["scale"] == "full":
+        if d["baseline_ratio"] < 0.7 or not d["checks"]["throughput_ok"]:
+            fail(name, f'baseline ratio {d["baseline_ratio"]:.2f} < 0.7x')
+    return (
+        f'{d["scale"]} scale, {d["live_tenants"]} live tenants, '
+        f'arena x{d["baseline_ratio"]:.2f} of baseline, '
+        f'{d["bytes_per_tenant_measured"]:.0f} B/tenant ({ratio:.2f}x budget)'
+    )
+
+
 # ---------------------------------------------------------------------
 # Schema manifest: required keys + gate function per artifact family.
 # ---------------------------------------------------------------------
@@ -300,6 +351,32 @@ MANIFEST = {
         },
         "gates": gates_simd,
     },
+    "cfd-bench-tenants/1": {
+        "top": {
+            "scale",
+            "clicks",
+            "rounds",
+            "batch",
+            "tenant_universe",
+            "live_tenants",
+            "tenant_window",
+            "duplicates_injected",
+            "memory_bits_per_side",
+            "budget",
+            "configs",
+            "bytes_per_tenant_measured",
+            "baseline_ratio",
+            "batch_speedup",
+            "checks",
+        },
+        "config": {
+            "name",
+            "clicks_per_sec_median",
+            "clicks_per_sec_rounds",
+            "duplicates",
+        },
+        "gates": gates_tenants,
+    },
 }
 
 
@@ -319,6 +396,16 @@ def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
+    missing = [path for path in argv[1:] if not os.path.exists(path)]
+    if missing:
+        print(
+            "FAIL: missing benchmark artifacts: "
+            + ", ".join(missing)
+            + " — run the matching `cargo run --release -p cfd-bench --bin throughput` "
+            "scenario(s) to regenerate them",
+            file=sys.stderr,
+        )
+        return 1
     for path in argv[1:]:
         check(path)
     return 0
