@@ -129,6 +129,25 @@ if [[ "${1:-}" != "quick" ]]; then
 fi
 
 if [[ "${1:-}" != "quick" ]]; then
+    echo "==> scenario sweep smoke: committed spec end-to-end via cfd sweep (quick scale)"
+    ./target/release/cfd sweep --scenario scenarios/ci_smoke.toml --quick \
+        --out target/BENCH_sweep_quick.json >/tmp/cfd_sweep.txt
+    tail -n 6 /tmp/cfd_sweep.txt | sed 's/^/   /'
+    echo "==> BENCH sweep json schema + grid-coverage/fn<=fp gates"
+    python3 tools/check_bench.py target/BENCH_sweep_quick.json
+    echo "==> scenario sweep smoke: same spec through throughput --scenario"
+    ./target/release/throughput --scenario scenarios/ci_smoke.toml --quick \
+        --out target/BENCH_sweep_tp_quick.json >/dev/null
+    python3 tools/check_bench.py target/BENCH_sweep_tp_quick.json
+    echo "==> throughput --scenario rejects a missing spec with a named-option error"
+    if ./target/release/throughput --scenario /nonexistent.toml 2>/tmp/cfd_sweep_err.txt; then
+        echo "FAIL: missing scenario file was not rejected"; exit 1
+    fi
+    grep -q -- '--scenario' /tmp/cfd_sweep_err.txt
+    echo "   rejected with: $(head -n 1 /tmp/cfd_sweep_err.txt)"
+fi
+
+if [[ "${1:-}" != "quick" ]]; then
     echo "==> serve smoke: socket replay, kill -9 mid-stream, checkpoint resume"
     rm -f /tmp/cfd_serve.sock /tmp/cfd_serve.cfdg /tmp/cfd_serve_run.json /tmp/cfd_serve.json
     ./target/release/cfd generate --kind botnet --count 200000 --seed 11 \

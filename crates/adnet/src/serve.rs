@@ -350,6 +350,21 @@ struct Hub {
 }
 
 impl Hub {
+    /// Locks the hub, recovering the guard from a poisoned mutex.
+    ///
+    /// A reader thread that panics mid-send (a malformed frame, a bug
+    /// in decode) poisons this mutex; `.lock().expect(..)` here would
+    /// then cascade the panic into every other reader, the segment
+    /// runner, and the drain path — one bad connection would wedge the
+    /// whole gateway with work still queued. The inner state (queue +
+    /// producer count) is consistent at every unlock point, so the
+    /// recovered guard is safe to keep serving with.
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, HubInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn new(capacity: usize, position: u64) -> Self {
         Self {
             inner: Mutex::new(HubInner {
@@ -366,7 +381,7 @@ impl Hub {
 
     /// Attaches a producer; the hub closes when the last one detaches.
     fn producer(&self) -> HubProducer<'_> {
-        self.inner.lock().expect("hub lock").producers += 1;
+        self.lock_inner().producers += 1;
         HubProducer { hub: self }
     }
 
@@ -384,7 +399,7 @@ impl Hub {
     /// least one producer is attached. `None` once the hub is closed
     /// (no producers) and drained.
     fn recv(&self) -> Option<Vec<Click>> {
-        let mut inner = self.inner.lock().expect("hub lock");
+        let mut inner = self.lock_inner();
         loop {
             if let Some(b) = inner.queue.pop_front() {
                 drop(inner);
@@ -394,7 +409,10 @@ impl Hub {
             if inner.producers == 0 {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("hub lock");
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -415,11 +433,15 @@ impl HubProducer<'_> {
         self.hub
             .received
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        let mut inner = self.hub.inner.lock().expect("hub lock");
+        let mut inner = self.hub.lock_inner();
         if inner.queue.len() >= self.hub.capacity {
             self.hub.full_waits.fetch_add(1, Ordering::Relaxed);
             while inner.queue.len() >= self.hub.capacity {
-                inner = self.hub.not_full.wait(inner).expect("hub lock");
+                inner = self
+                    .hub
+                    .not_full
+                    .wait(inner)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         }
         inner.queue.push_back(batch);
@@ -430,7 +452,7 @@ impl HubProducer<'_> {
 
 impl Drop for HubProducer<'_> {
     fn drop(&mut self) {
-        let mut inner = self.hub.inner.lock().expect("hub lock");
+        let mut inner = self.hub.lock_inner();
         inner.producers -= 1;
         let last = inner.producers == 0;
         drop(inner);
@@ -1672,6 +1694,35 @@ mod tests {
         assert_eq!(hub.received(), 2);
         drop(p);
         assert!(hub.recv().is_none(), "closed and empty");
+    }
+
+    #[test]
+    fn hub_survives_a_reader_panicking_under_the_lock() {
+        // Regression: every Hub lock site used `.expect("hub lock")`,
+        // so one reader thread panicking while holding the mutex
+        // poisoned it and cascaded the panic into every other reader,
+        // the segment runner, and the drain path — a wedged gateway
+        // with work still queued. The sites now recover the guard via
+        // `PoisonError::into_inner`.
+        let hub = Arc::new(Hub::new(4, 0));
+        let h = Arc::clone(&hub);
+        thread::spawn(move || {
+            let _guard = h.inner.lock().expect("first lock is clean");
+            panic!("reader crashed while holding the hub lock");
+        })
+        .join()
+        .expect_err("the reader thread must have panicked");
+        assert!(hub.inner.is_poisoned(), "the panic poisoned the mutex");
+
+        // The hub must keep serving: attach, send, recv, and drain all
+        // cross the poisoned lock.
+        let p = hub.producer();
+        p.send(vec![mk_click(1)]);
+        let batch = hub.recv().expect("queued batch survives the poison");
+        assert_eq!(batch[0].id.ip, 1);
+        assert_eq!(hub.received(), 1);
+        drop(p);
+        assert!(hub.recv().is_none(), "hub still drains cleanly to None");
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   backend (`Σ` over the `l + 1` possible `k`-slice runs).
 //! * [`swbf`] — fingerprint-collision + side-filter model of the
 //!   sliding-window Bloom filter backend.
+//! * [`select`] — spec-driven backend selection: resolving the sweep
+//!   harness's `algo = "auto"` from the closed forms plus the measured
+//!   throughput ranking.
 //! * [`sharding`] — coverage and FP model of the keyspace-sharded layer
 //!   (`cfd-core::sharded`): binomial probability that a global-window
 //!   duplicate survives per-shard window slide-out.
@@ -38,6 +41,7 @@ pub mod blocked;
 pub mod cost;
 pub mod counting_scheme;
 pub mod gbf;
+pub mod select;
 pub mod sharding;
 pub mod sizing;
 pub mod stats;

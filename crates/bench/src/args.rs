@@ -1,0 +1,159 @@
+//! Typed command-line parsing for the benchmark binaries.
+//!
+//! Every `cfd-bench` bin used to hand-roll its argument loop (or warn
+//! and continue on junk); this module routes them all through the
+//! typed [`UsageError`] path the `cfd` binary already uses, so a
+//! mistyped flag or an unreadable `--scenario` file is a named-option
+//! rejection with exit code 2, never a panic with a backtrace.
+
+use crate::scale::Scale;
+use click_fraud_detection::cli::UsageError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The scale-selection flags the figure/table binaries share.
+pub const SCALE_FLAGS: &[&str] = &["quick", "paper", "smoke"];
+
+/// A parsed command line: which flags were set, which options carry
+/// values.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    flags: BTreeSet<&'static str>,
+    options: BTreeMap<&'static str, String>,
+}
+
+impl Parsed {
+    /// Whether `--name` was given.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.contains(name)
+    }
+
+    /// The value of `--name value` (or `--name=value`), if given.
+    #[must_use]
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Resolves the shared `--quick`/`--paper`/`--smoke` scale flags
+    /// (default: quick; the last one given wins is not needed — they
+    /// are mutually exclusive in spirit, priority paper > smoke >
+    /// quick keeps a doubled-up line deterministic).
+    #[must_use]
+    pub fn scale(&self) -> Scale {
+        if self.flag("paper") {
+            Scale::Paper
+        } else if self.flag("smoke") {
+            Scale::Smoke
+        } else {
+            Scale::Quick
+        }
+    }
+}
+
+/// Parses `args` against the accepted `flags` (bare `--name`) and
+/// `options` (`--name value` or `--name=value`).
+///
+/// # Errors
+///
+/// [`UsageError::Unknown`] for an argument in neither list,
+/// [`UsageError::MissingValue`] for a value option given last with no
+/// value.
+pub fn parse<I>(
+    args: I,
+    flags: &[&'static str],
+    options: &[&'static str],
+) -> Result<Parsed, UsageError>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut parsed = Parsed::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(UsageError::Unknown(arg));
+        };
+        if let Some((name, value)) = name.split_once('=') {
+            let Some(&opt) = options.iter().find(|&&o| o == name) else {
+                return Err(UsageError::Unknown(arg.clone()));
+            };
+            parsed.options.insert(opt, value.to_owned());
+        } else if let Some(&flag) = flags.iter().find(|&&f| f == name) {
+            parsed.flags.insert(flag);
+        } else if let Some(&opt) = options.iter().find(|&&o| o == name) {
+            let value = it.next().ok_or(UsageError::MissingValue(opt))?;
+            parsed.options.insert(opt, value);
+        } else {
+            return Err(UsageError::Unknown(arg));
+        }
+    }
+    Ok(parsed)
+}
+
+/// Parses the process arguments, printing the error and the accepted
+/// argument list to stderr and exiting with status 2 on rejection.
+#[must_use]
+pub fn parse_or_exit(flags: &[&'static str], options: &[&'static str]) -> Parsed {
+    parse(std::env::args().skip(1), flags, options).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        let mut accepted: Vec<String> = flags.iter().map(|f| format!("--{f}")).collect();
+        accepted.extend(options.iter().map(|o| format!("--{o} <value>")));
+        eprintln!("accepted: {}", accepted.join(" "));
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn flags_and_options_parse() {
+        let p = parse(
+            sv(&["--quick", "--out", "x.json", "--scenario=s.toml"]),
+            &["quick"],
+            &["out", "scenario"],
+        )
+        .unwrap();
+        assert!(p.flag("quick"));
+        assert_eq!(p.option("out"), Some("x.json"));
+        assert_eq!(p.option("scenario"), Some("s.toml"));
+        assert_eq!(p.scale(), Scale::Quick);
+    }
+
+    #[test]
+    fn unknown_arguments_are_typed_rejections_not_warnings() {
+        // Regression: Scale::from_args used to *warn* and continue on
+        // junk, so `fig1 --smok` silently ran at the wrong scale.
+        let err = parse(sv(&["--smok"]), SCALE_FLAGS, &[]).unwrap_err();
+        assert_eq!(err, UsageError::Unknown("--smok".to_owned()));
+        let err = parse(sv(&["paper"]), SCALE_FLAGS, &[]).unwrap_err();
+        assert_eq!(err, UsageError::Unknown("paper".to_owned()));
+    }
+
+    #[test]
+    fn trailing_value_option_is_a_missing_value() {
+        let err = parse(sv(&["--out"]), &[], &["out"]).unwrap_err();
+        assert_eq!(err, UsageError::MissingValue("out"));
+        assert_eq!(err.to_string(), "--out requires a value");
+    }
+
+    #[test]
+    fn scale_flags_resolve() {
+        assert_eq!(
+            parse(sv(&["--paper"]), SCALE_FLAGS, &[]).unwrap().scale(),
+            Scale::Paper
+        );
+        assert_eq!(
+            parse(sv(&["--smoke"]), SCALE_FLAGS, &[]).unwrap().scale(),
+            Scale::Smoke
+        );
+        assert_eq!(
+            parse(sv(&[]), SCALE_FLAGS, &[]).unwrap().scale(),
+            Scale::Quick
+        );
+    }
+}

@@ -26,7 +26,7 @@ const Q: usize = 31;
 const K: usize = 10;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = cfd_bench::args::parse_or_exit(cfd_bench::args::SCALE_FLAGS, &[]).scale();
 
     // ---- Analytic curves at the paper's exact sizes -------------------
     let m_paper = 1usize << 20;

@@ -10,12 +10,12 @@
 //! cargo run --release -p cfd-bench --bin fig2a [--paper|--smoke]
 //! ```
 
-use cfd_bench::{measure_fp, Scale};
+use cfd_bench::measure_fp;
 use cfd_core::{Gbf, GbfConfig};
 use cfd_windows::DetectorStats;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = cfd_bench::args::parse_or_exit(cfd_bench::args::SCALE_FLAGS, &[]).scale();
     let n = scale.n();
     let q = 8usize;
     let m = scale.scaled(1_876_246);

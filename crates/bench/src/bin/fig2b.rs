@@ -8,12 +8,12 @@
 //! cargo run --release -p cfd-bench --bin fig2b [--paper|--smoke]
 //! ```
 
-use cfd_bench::{measure_fp, Scale};
+use cfd_bench::measure_fp;
 use cfd_core::{Tbf, TbfConfig};
 use cfd_windows::DetectorStats;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = cfd_bench::args::parse_or_exit(cfd_bench::args::SCALE_FLAGS, &[]).scale();
     let n = scale.n();
     let m = scale.scaled(15_112_980);
 

@@ -11,13 +11,12 @@
 //! cargo run --release -p cfd-bench --bin fig_warmup [--paper|--smoke]
 //! ```
 
-use cfd_bench::Scale;
 use cfd_core::{Gbf, GbfConfig, Tbf, TbfConfig};
 use cfd_stream::UniqueIdStream;
 use cfd_windows::DuplicateDetector;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = cfd_bench::args::parse_or_exit(cfd_bench::args::SCALE_FLAGS, &[]).scale();
     let n = scale.n() / 4;
     let q = 8usize;
     let k = 10usize;

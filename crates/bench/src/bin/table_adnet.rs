@@ -11,7 +11,6 @@
 //! ```
 
 use cfd_adnet::{AdNetwork, Advertiser, AdvertiserId, Campaign, NetworkReport};
-use cfd_bench::Scale;
 use cfd_core::{Gbf, GbfConfig, Tbf, TbfConfig};
 use cfd_stream::{AdId, BotnetConfig, BotnetStream, Click};
 use cfd_windows::{DuplicateDetector, ExactLandmarkDedup, ExactSlidingDedup};
@@ -36,7 +35,7 @@ fn build_network<D: DuplicateDetector>(detector: D) -> AdNetwork<D> {
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = cfd_bench::args::parse_or_exit(cfd_bench::args::SCALE_FLAGS, &[]).scale();
     let window = scale.n() / 32;
     let clicks_total = window * 40;
 

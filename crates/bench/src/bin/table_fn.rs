@@ -12,7 +12,6 @@
 //! cargo run --release -p cfd-bench --bin table_fn [--paper|--smoke]
 //! ```
 
-use cfd_bench::Scale;
 use cfd_bloom::stable::{StableBloomFilter, StableConfig};
 use cfd_core::tbf_jumping::{JumpingTbf, JumpingTbfConfig};
 use cfd_core::{Gbf, GbfConfig, Tbf, TbfConfig};
@@ -84,7 +83,7 @@ fn run_check<D: DuplicateDetector + ?Sized>(
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = cfd_bench::args::parse_or_exit(cfd_bench::args::SCALE_FLAGS, &[]).scale();
     let n = scale.n() / 16;
     let q = 8usize;
     let clicks = 40 * n;

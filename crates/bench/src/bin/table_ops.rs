@@ -15,7 +15,7 @@
 //! cargo run --release -p cfd-bench --bin table_ops [--paper|--smoke]
 //! ```
 
-use cfd_bench::{NaiveJumpingBloom, Scale};
+use cfd_bench::NaiveJumpingBloom;
 use cfd_bloom::metwally::{MetwallyConfig, MetwallyJumping};
 use cfd_bloom::stable::{StableBloomFilter, StableConfig};
 use cfd_core::tbf_jumping::{JumpingTbf, JumpingTbfConfig};
@@ -57,7 +57,7 @@ fn row(
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = cfd_bench::args::parse_or_exit(cfd_bench::args::SCALE_FLAGS, &[]).scale();
     let n = scale.n() / 4; // cost table does not need the full figure N
     let count = (n * 12) as u64;
     let bits_per_elem = 14usize;

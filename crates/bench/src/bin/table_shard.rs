@@ -36,7 +36,6 @@ use cfd_adnet::{
     BillingEngine, Campaign, ClickOutcome, FraudScorer, PipelineConfig, PipelineTelemetry,
     Registry,
 };
-use cfd_bench::Scale;
 use cfd_core::sharded::{per_shard_window, ShardedDetector};
 use cfd_core::{Tbf, TbfConfig};
 use cfd_stream::{AdId, Click, DuplicateInjector, UniqueClickStream};
@@ -160,7 +159,7 @@ fn registry() -> Registry {
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = cfd_bench::args::parse_or_exit(cfd_bench::args::SCALE_FLAGS, &[]).scale();
     // 4x the figure window: the batched path's up-front hashing +
     // prefetch pays off in proportion to how badly the probe reads miss
     // cache, so the filter must comfortably exceed L1/L2.

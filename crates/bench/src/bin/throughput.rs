@@ -104,6 +104,16 @@
 //! bytes/live-tenant within 1.25× of [`arena_tenant_budget`],
 //! arena-batch clicks/s ≥ 0.7× the baseline (full scale), isolation
 //! every round, zero occupancy scans in the hot loops.
+//!
+//! ## PR 10 scenario: `--scenario <file.toml>`
+//!
+//! ```text
+//! cargo run --release -p cfd-bench --bin throughput -- --scenario scenarios/mixed_fraud.toml [--quick] [--out PATH]
+//! ```
+//!
+//! Compiles a declarative scenario spec (`cfd_stream::scenario`) and
+//! brute-forces its `[sweep]` grid with the same driver as `cfd sweep`,
+//! writing a `cfd-bench-sweep/1` report (default `BENCH_sweep.json`).
 
 use cfd_adnet::{
     run_sharded_pipeline, Advertiser, AdvertiserId, Campaign, NetworkReport, PipelineConfig,
@@ -2176,39 +2186,63 @@ fn run_tenants_scenario(quick: bool, out_path: &str) {
     }
 }
 
+/// PR 10 scenario: `--scenario <file.toml>` — compile a declarative
+/// scenario spec and brute-force its sweep grid, writing the
+/// `cfd-bench-sweep/1` artifact (same driver as `cfd sweep`).
+fn run_scenario_sweep(path: &str, quick: bool, out: &str) {
+    use click_fraud_detection::cli::UsageError;
+    use click_fraud_detection::sweep;
+
+    let spec = cfd_stream::scenario::ScenarioSpec::from_path(path.as_ref()).unwrap_or_else(|e| {
+        let err = UsageError::Invalid {
+            option: "scenario",
+            reason: e.to_string(),
+        };
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    });
+    let opts = if quick {
+        sweep::SweepOptions::quick()
+    } else {
+        sweep::SweepOptions::full()
+    };
+    eprintln!(
+        "sweeping `{}`: {} grid points over {} clicks{}",
+        spec.name,
+        spec.grid().len(),
+        spec.clicks,
+        if opts.quick { " [quick]" } else { "" }
+    );
+    let report = sweep::run(&spec, &opts).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", sweep::render_table(&report));
+    std::fs::write(out, sweep::report_json(&report)).unwrap_or_else(|e| {
+        eprintln!("error: writing {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}
+
 fn main() {
-    let mut quick = false;
-    let mut pipeline = false;
-    let mut timed = false;
-    let mut shootout = false;
-    let mut simd = false;
-    let mut tenants = false;
-    let mut out_path: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--full" => quick = false,
-            "--pipeline" => pipeline = true,
-            "--timed" => timed = true,
-            "--shootout" => shootout = true,
-            "--simd" => simd = true,
-            "--tenants" => tenants = true,
-            "--out" => match args.next() {
-                Some(p) => out_path = Some(p),
-                None => {
-                    eprintln!("--out requires a path");
-                    std::process::exit(2);
-                }
-            },
-            other => {
-                eprintln!(
-                    "unrecognized argument `{other}` (accepted: --pipeline --timed --shootout \
-                     --simd --tenants --quick --full --out PATH)"
-                );
-                std::process::exit(2);
-            }
-        }
+    let parsed = cfd_bench::args::parse_or_exit(
+        &[
+            "quick", "full", "pipeline", "timed", "shootout", "simd", "tenants",
+        ],
+        &["out", "scenario"],
+    );
+    let quick = parsed.flag("quick") && !parsed.flag("full");
+    let pipeline = parsed.flag("pipeline");
+    let timed = parsed.flag("timed");
+    let shootout = parsed.flag("shootout");
+    let simd = parsed.flag("simd");
+    let tenants = parsed.flag("tenants");
+    let out_path: Option<String> = parsed.option("out").map(ToOwned::to_owned);
+    if let Some(path) = parsed.option("scenario") {
+        let out = out_path.unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+        run_scenario_sweep(path, quick, &out);
+        return;
     }
     if pipeline {
         let out = out_path.unwrap_or_else(|| "BENCH_pr4.json".to_owned());

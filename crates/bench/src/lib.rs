@@ -19,10 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod fp;
 pub mod naive;
 pub mod scale;
 
+pub use args::{parse as parse_args, parse_or_exit as parse_args_or_exit, Parsed as ParsedArgs};
 pub use fp::{measure_fp, FpMeasurement};
 pub use naive::NaiveJumpingBloom;
 pub use scale::Scale;

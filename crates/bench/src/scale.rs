@@ -12,23 +12,10 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `--paper` / `--smoke` from the process arguments
-    /// (default: quick).
-    #[must_use]
-    pub fn from_args() -> Self {
-        let mut scale = Scale::Quick;
-        for arg in std::env::args().skip(1) {
-            match arg.as_str() {
-                "--paper" => scale = Scale::Paper,
-                "--smoke" => scale = Scale::Smoke,
-                "--quick" => scale = Scale::Quick,
-                other => {
-                    eprintln!("warning: unrecognized argument `{other}` (accepted: --quick --paper --smoke)");
-                }
-            }
-        }
-        scale
-    }
+    // Scale selection from the command line lives in `crate::args`
+    // (`Parsed::scale`), which rejects unknown arguments with a typed
+    // `UsageError` instead of the warn-and-continue this module's old
+    // `from_args` did.
 
     /// The window size `N` at this scale.
     #[must_use]

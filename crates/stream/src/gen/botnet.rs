@@ -7,6 +7,7 @@
 //! end-to-end fraud experiments (table T3) exact ground truth.
 
 use crate::click::{AdId, Click, ClickId, PublisherId};
+use crate::gen::ids::{tag_cookie, NS_BOT};
 use crate::gen::unique::UniqueClickStream;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -69,6 +70,7 @@ pub struct BotnetStream {
     organic: UniqueClickStream,
     rng: SmallRng,
     tick: u64,
+    ns_bot: u8,
 }
 
 impl BotnetStream {
@@ -90,7 +92,18 @@ impl BotnetStream {
             rng: SmallRng::seed_from_u64(cfg.seed),
             cfg,
             tick: 0,
+            ns_bot: NS_BOT,
         }
+    }
+
+    /// Moves the bot and organic sides onto explicit cookie namespaces
+    /// (see [`crate::gen::ids`]) so a composed scenario can keep this
+    /// instance's id space disjoint from every other sub-stream's.
+    #[must_use]
+    pub fn with_namespaces(mut self, bot: u8, organic: u8) -> Self {
+        self.ns_bot = bot;
+        self.organic = self.organic.with_namespace(organic);
+        self
     }
 
     /// The identity of bot `b` (stable across the stream).
@@ -98,7 +111,7 @@ impl BotnetStream {
     pub fn bot_identity(&self, b: u32) -> ClickId {
         // 10.x.y.z-style botnet address space + per-bot cookie.
         let ip = 0x0A00_0000 | (b & 0x00FF_FFFF);
-        let cookie = u64::from(b).wrapping_mul(0x9E37_79B9) | 1;
+        let cookie = tag_cookie(self.ns_bot, u64::from(b).wrapping_mul(0x9E37_79B9) | 1);
         ClickId::new(ip, cookie, self.cfg.target_ad)
     }
 }

@@ -7,6 +7,7 @@
 //! window boundary.
 
 use crate::click::{AdId, Click, ClickId, PublisherId};
+use crate::gen::ids::{tag_cookie, NS_CRAWLER};
 use crate::gen::unique::UniqueClickStream;
 
 /// A crawler fleet interleaved with organic traffic.
@@ -31,6 +32,7 @@ pub struct CrawlerStream {
     organic: UniqueClickStream,
     position: u64,
     crawl_step: u64,
+    ns: u8,
 }
 
 impl CrawlerStream {
@@ -39,12 +41,18 @@ impl CrawlerStream {
     ///
     /// # Panics
     ///
-    /// Panics if any parameter is zero.
+    /// Panics if any parameter is zero, or if `crawlers` exceeds the
+    /// `2^24 - 1` agents the address block can hold (ORing a wider id
+    /// into the `0x2E` prefix would alias two crawlers onto one IP).
     #[must_use]
     pub fn new(crawlers: u32, ads: u32, period: u64, seed: u64) -> Self {
         assert!(
             crawlers > 0 && ads > 0 && period > 0,
             "parameters must be positive"
+        );
+        assert!(
+            crawlers <= 0x00FF_FFFF,
+            "at most 2^24 - 1 crawlers fit the address block"
         );
         Self {
             crawlers,
@@ -53,14 +61,36 @@ impl CrawlerStream {
             organic: UniqueClickStream::new(seed ^ 0xC4A3_11E4, 8, ads),
             position: 0,
             crawl_step: 0,
+            ns: NS_CRAWLER,
         }
+    }
+
+    /// Moves the crawler and organic sides onto explicit cookie
+    /// namespaces (see [`crate::gen::ids`]).
+    #[must_use]
+    pub fn with_namespaces(mut self, crawler: u8, organic: u8) -> Self {
+        self.ns = crawler;
+        self.organic = self.organic.with_namespace(organic);
+        self
     }
 
     /// The identity of crawler `c` visiting ad `a`.
     #[must_use]
     pub fn crawler_identity(&self, c: u32, a: u32) -> ClickId {
-        // Crawlers come from well-known address blocks and send no cookie.
-        ClickId::new(0x2E00_0000 | c, 0, AdId(a % self.ads))
+        // Crawlers come from a well-known address block and send no
+        // cookie payload — the cookie is just the namespace stamp, which
+        // keeps the fleet disjoint from every other sub-stream.
+        ClickId::new(
+            0x2E00_0000 | (c & 0x00FF_FFFF),
+            tag_cookie(self.ns, u64::from(c)),
+            AdId(a % self.ads),
+        )
+    }
+
+    /// Whether a click was produced by the crawler fleet (vs organic).
+    #[must_use]
+    pub fn is_crawler_click(&self, click: &Click) -> bool {
+        crate::gen::ids::namespace_of(click.id.cookie) == self.ns
     }
 
     /// Number of stream positions between two visits of the *same*
@@ -105,11 +135,12 @@ mod tests {
     fn crawler_clicks_repeat_at_exactly_the_revisit_lag() {
         let s = CrawlerStream::new(3, 4, 5, 1);
         let lag = s.revisit_lag();
+        let probe = CrawlerStream::new(3, 4, 5, 1);
         let clicks: Vec<Click> = s.take(3 * lag as usize).collect();
         let mut last_pos: HashMap<[u8; 16], u64> = HashMap::new();
         let mut repeats = 0u64;
         for c in &clicks {
-            if c.id.cookie == 0 {
+            if probe.is_crawler_click(c) {
                 // crawler click
                 if let Some(&prev) = last_pos.get(&c.key()) {
                     assert_eq!(c.tick - prev, lag, "wrong revisit period");
@@ -123,9 +154,18 @@ mod tests {
 
     #[test]
     fn organic_share_matches_period() {
+        let probe = CrawlerStream::new(2, 8, 10, 2);
         let clicks: Vec<Click> = CrawlerStream::new(2, 8, 10, 2).take(10_000).collect();
-        let crawler = clicks.iter().filter(|c| c.id.cookie == 0).count();
+        let crawler = clicks.iter().filter(|c| probe.is_crawler_click(c)).count();
         assert_eq!(crawler, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "address block")]
+    fn too_many_crawlers_panic_instead_of_aliasing() {
+        // Pre-fix, crawler ids above 2^24 - 1 OR'd into the 0x2E prefix
+        // and aliased onto lower agents' IPs.
+        let _ = CrawlerStream::new(0x0100_0000, 1, 1, 0);
     }
 
     #[test]

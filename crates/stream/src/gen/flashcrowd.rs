@@ -9,6 +9,7 @@
 //! same ad id.
 
 use crate::click::{AdId, Click, ClickId, PublisherId};
+use crate::gen::ids::{tag_cookie, NS_CROWD, NS_FLASH_BG};
 use crate::gen::unique::UniqueIdStream;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -60,6 +61,8 @@ pub struct FlashCrowdStream {
     tick: u64,
     /// A recent crowd identity eligible for a second click.
     pending_second: Option<ClickId>,
+    ns_crowd: u8,
+    ns_background: u8,
 }
 
 impl FlashCrowdStream {
@@ -86,7 +89,45 @@ impl FlashCrowdStream {
             cfg,
             tick: 0,
             pending_second: None,
+            ns_crowd: NS_CROWD,
+            ns_background: NS_FLASH_BG,
         }
+    }
+
+    /// Moves the crowd and background sides onto explicit cookie
+    /// namespaces (see [`crate::gen::ids`]).
+    #[must_use]
+    pub fn with_namespaces(mut self, crowd: u8, background: u8) -> Self {
+        self.ns_crowd = crowd;
+        self.ns_background = background;
+        self
+    }
+
+    /// The crowd-member identity minted from permutation output `raw`.
+    ///
+    /// Each draw of the underlying [`UniqueIdStream`] yields one crowd
+    /// member; distinct raws must map to distinct identities or a pair
+    /// of *first* clicks would read as a duplicate, corrupting ground
+    /// truth. (The pre-fix construction folded `raw` and `raw | 1` onto
+    /// one cookie.)
+    #[must_use]
+    pub fn crowd_identity(&self, raw: u64) -> ClickId {
+        ClickId::new(
+            (raw >> 32) as u32,
+            tag_cookie(self.ns_crowd, raw),
+            self.cfg.hot_ad,
+        )
+    }
+
+    /// The background identity minted from permutation output `raw`.
+    ///
+    /// Lives in its own cookie namespace, so a background click can
+    /// never collide with a crowd click even when `hot_ad` falls inside
+    /// the background ad range.
+    #[must_use]
+    pub fn background_identity(&self, raw: u64) -> ClickId {
+        let ad = AdId(1 + (raw as u32 % self.cfg.background_ads));
+        ClickId::new((raw >> 32) as u32, tag_cookie(self.ns_background, raw), ad)
     }
 }
 
@@ -109,17 +150,11 @@ impl Iterator for FlashCrowdStream {
 
         let raw = self.fresh.next().expect("infinite stream");
         let click = if self.rng.gen_bool(self.cfg.crowd_fraction) {
-            let id = ClickId::new((raw >> 32) as u32, raw | 1, self.cfg.hot_ad);
+            let id = self.crowd_identity(raw);
             self.pending_second = Some(id);
             Click::new(id, tick, PublisherId(1), 400_000)
         } else {
-            let ad = AdId(1 + (raw as u32 % self.cfg.background_ads));
-            Click::new(
-                ClickId::new((raw >> 32) as u32, raw | 1, ad),
-                tick,
-                PublisherId(2),
-                100_000,
-            )
+            Click::new(self.background_identity(raw), tick, PublisherId(2), 100_000)
         };
         Some(FlashClick {
             click,
@@ -174,6 +209,38 @@ mod tests {
         let s = FlashCrowdStream::new(cfg);
         let hot = s.take(20_000).filter(|c| c.click.id.ad == AdId(7)).count();
         assert!(hot > 17_000, "hot-ad share too low: {hot}");
+    }
+
+    #[test]
+    fn adjacent_raws_mint_distinct_crowd_identities() {
+        // Regression: the pre-fix construction used `raw | 1` as the
+        // cookie, so the distinct permutation outputs `x` and `x | 1`
+        // folded onto one identity and a pair of *first* clicks could
+        // read as a duplicate.
+        let s = FlashCrowdStream::new(FlashCrowdConfig::default());
+        for raw in [0u64, 2, 0x1234_5678_9ABC_DEF0 & !1] {
+            assert_ne!(s.crowd_identity(raw), s.crowd_identity(raw | 1));
+            assert_ne!(s.background_identity(raw), s.background_identity(raw | 1));
+        }
+    }
+
+    #[test]
+    fn crowd_and_background_id_spaces_are_disjoint() {
+        // Regression: pre-fix, both sides shared the same (ip, cookie)
+        // construction, so when `hot_ad` fell inside the background ad
+        // range a background click could equal a crowd click exactly —
+        // a phantom cross-sub-stream duplicate.
+        let s = FlashCrowdStream::new(FlashCrowdConfig {
+            hot_ad: AdId(5),
+            ..FlashCrowdConfig::default()
+        });
+        for raw in 0..1_000u64 {
+            assert_ne!(
+                s.crowd_identity(raw),
+                s.background_identity(raw),
+                "raw={raw}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Per-sub-stream ID-space partitioning.
+//!
+//! Composed workloads (botnet + flash crowd + crawler + organic in one
+//! scenario) need *exact* duplicate ground truth: a click is a true
+//! duplicate iff the same sub-generator deliberately re-emitted it. That
+//! only holds if no two sub-generators can ever mint the same
+//! `(ip, cookie, ad)` triple by accident. Historically they could — the
+//! flash-crowd generator built both its crowd and background identities
+//! from the same permutation output with `raw | 1`, folding adjacent
+//! raws onto one cookie and sharing the background's `(ip, cookie)`
+//! plane with the hot ad.
+//!
+//! This module fixes that structurally: every generator stamps an 8-bit
+//! **namespace** into the top byte of the cookie via [`tag_cookie`].
+//! Distinct namespaces give disjoint key spaces, no matter which seeds
+//! or permutations the sub-streams run. Pairing the remaining 56 cookie
+//! bits with `ip = (raw >> 32) as u32` keeps the map from a 64-bit
+//! permutation output to `(ip, cookie)` injective: the cookie carries
+//! raw bits `0..56`, the ip carries bits `32..64`, so all 64 bits are
+//! recoverable and two distinct raws can never collide.
+
+/// Number of cookie bits carrying the generator payload; the byte above
+/// them is the namespace.
+pub const NS_SHIFT: u32 = 56;
+
+/// Mask selecting the payload (non-namespace) cookie bits.
+pub const NS_PAYLOAD_MASK: u64 = (1 << NS_SHIFT) - 1;
+
+/// Organic / unique-id traffic ([`crate::UniqueClickStream`]).
+pub const NS_ORGANIC: u8 = 0x01;
+/// Zipf-popular repeat traffic ([`crate::ZipfClickStream`]).
+pub const NS_ZIPF: u8 = 0x02;
+/// Botnet bot identities ([`crate::BotnetStream`]).
+pub const NS_BOT: u8 = 0x0B;
+/// Coalition shared fraud identities ([`crate::CoalitionStream`]).
+pub const NS_COALITION: u8 = 0x0C;
+/// Crawler agents ([`crate::CrawlerStream`]).
+pub const NS_CRAWLER: u8 = 0x0E;
+/// Flash-crowd members ([`crate::FlashCrowdStream`]).
+pub const NS_CROWD: u8 = 0x0F;
+/// Flash-crowd background traffic.
+pub const NS_FLASH_BG: u8 = 0x10;
+/// First namespace handed out dynamically to scenario mix entries
+/// (each entry gets a primary + organic pair above this base, so a
+/// composed scenario never reuses the static defaults either).
+pub const NS_SCENARIO_BASE: u8 = 0x20;
+
+/// Stamps namespace `ns` into the top byte of a cookie, keeping the low
+/// 56 bits of `raw` as payload.
+#[must_use]
+#[inline]
+pub fn tag_cookie(ns: u8, raw: u64) -> u64 {
+    (u64::from(ns) << NS_SHIFT) | (raw & NS_PAYLOAD_MASK)
+}
+
+/// The namespace byte a cookie was stamped with.
+#[must_use]
+#[inline]
+pub fn namespace_of(cookie: u64) -> u8 {
+    (cookie >> NS_SHIFT) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_preserves_low_bits_and_sets_namespace() {
+        let cookie = tag_cookie(NS_BOT, 0xFFFF_FFFF_FFFF_FFFF);
+        assert_eq!(namespace_of(cookie), NS_BOT);
+        assert_eq!(cookie & NS_PAYLOAD_MASK, NS_PAYLOAD_MASK);
+    }
+
+    #[test]
+    fn distinct_namespaces_never_collide() {
+        // Same raw, different namespaces: cookies must differ.
+        for raw in [0u64, 1, u64::MAX, 0x1234_5678_9ABC_DEF0] {
+            assert_ne!(tag_cookie(NS_ORGANIC, raw), tag_cookie(NS_BOT, raw));
+        }
+    }
+
+    #[test]
+    fn adjacent_raws_stay_distinct() {
+        // The pre-fix flash-crowd construction (`raw | 1`) folded raw and
+        // raw|1 onto one cookie; tagging keeps bit 0 intact.
+        for raw in [0u64, 2, 0xABCD_EF00] {
+            assert_ne!(tag_cookie(NS_CROWD, raw), tag_cookie(NS_CROWD, raw | 1));
+        }
+    }
+
+    #[test]
+    fn namespaces_are_pairwise_distinct() {
+        let all = [
+            NS_ORGANIC,
+            NS_ZIPF,
+            NS_BOT,
+            NS_COALITION,
+            NS_CRAWLER,
+            NS_CROWD,
+            NS_FLASH_BG,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+            assert!(*a < NS_SCENARIO_BASE, "static namespaces sit below base");
+        }
+    }
+}

@@ -9,6 +9,7 @@ pub mod coalition;
 pub mod crawler;
 pub mod duplicate;
 pub mod flashcrowd;
+pub mod ids;
 pub mod tenants;
 pub mod timing;
 pub mod unique;

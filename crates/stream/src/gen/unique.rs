@@ -7,6 +7,7 @@
 //! to a counter, so the ids look hash-random but can never repeat.
 
 use crate::click::{AdId, Click, ClickId, PublisherId};
+use crate::gen::ids::{tag_cookie, NS_ORGANIC};
 use cfd_hash::mix::splitmix64;
 
 /// An infinite stream of distinct pseudo-random 64-bit identifiers.
@@ -65,6 +66,7 @@ pub struct UniqueClickStream {
     publishers: u32,
     ads: u32,
     tick: u64,
+    ns: u8,
 }
 
 impl UniqueClickStream {
@@ -83,7 +85,17 @@ impl UniqueClickStream {
             publishers,
             ads,
             tick: 0,
+            ns: NS_ORGANIC,
         }
+    }
+
+    /// Re-stamps the stream's cookie namespace (see [`crate::gen::ids`]),
+    /// so composed scenarios can give each sub-stream a disjoint id
+    /// space even when two of them are organic.
+    #[must_use]
+    pub fn with_namespace(mut self, ns: u8) -> Self {
+        self.ns = ns;
+        self
     }
 }
 
@@ -93,9 +105,14 @@ impl Iterator for UniqueClickStream {
     fn next(&mut self) -> Option<Click> {
         let raw = self.ids.next().expect("infinite stream");
         let n = self.ids.produced();
-        // Distinctness lives in (ip, cookie); ad cycles deterministically
-        // so the *triple* is still unique per element.
-        let id = ClickId::new((raw >> 32) as u32, raw, AdId(n as u32 % self.ads));
+        // Distinctness lives in (ip, cookie): the cookie keeps raw bits
+        // 0..56 under the namespace tag and the ip keeps bits 32..64, so
+        // the pair is injective in `raw` (the triple is then unique too).
+        let id = ClickId::new(
+            (raw >> 32) as u32,
+            tag_cookie(self.ns, raw),
+            AdId(n as u32 % self.ads),
+        );
         let click = Click::new(
             id,
             self.tick,

@@ -7,6 +7,9 @@
 //! `O(n)` memory (fine at the ≤ 2^22 universes used here; documented
 //! trade-off vs. rejection-inversion).
 
+use crate::click::{AdId, Click, ClickId, PublisherId};
+use crate::gen::ids::{tag_cookie, NS_ZIPF};
+use cfd_hash::mix::splitmix64;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -90,6 +93,84 @@ impl Iterator for ZipfSampler {
     }
 }
 
+/// Organic traffic with *natural* repeats: each click's identity is a
+/// Zipf-sampled rank, so popular users re-click within the window at the
+/// skew-controlled rate. This is the "organic with repeats" side of a
+/// composed scenario, as opposed to the guaranteed-distinct
+/// [`crate::UniqueClickStream`].
+///
+/// Rank `r` always maps to the same identity (a seeded bijection of the
+/// rank, namespaced per [`crate::gen::ids`]), publisher, and ad — so a
+/// repeat of the rank is a repeat of the full key.
+#[derive(Debug, Clone)]
+pub struct ZipfClickStream {
+    sampler: ZipfSampler,
+    mult: u64,
+    publishers: u32,
+    ads: u32,
+    tick: u64,
+    ns: u8,
+}
+
+impl ZipfClickStream {
+    /// Creates the stream over `universe` identities with exponent
+    /// `skew`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`ZipfSampler::new`] would (empty universe, bad
+    /// exponent) or when `publishers`/`ads` is zero.
+    #[must_use]
+    pub fn new(universe: usize, skew: f64, seed: u64, publishers: u32, ads: u32) -> Self {
+        assert!(publishers > 0, "need at least one publisher");
+        assert!(ads > 0, "need at least one ad");
+        Self {
+            sampler: ZipfSampler::new(universe, skew, seed),
+            mult: splitmix64(seed ^ 0x51BF_0000) | 1,
+            publishers,
+            ads,
+            tick: 0,
+            ns: NS_ZIPF,
+        }
+    }
+
+    /// Re-stamps the cookie namespace (see [`crate::gen::ids`]).
+    #[must_use]
+    pub fn with_namespace(mut self, ns: u8) -> Self {
+        self.ns = ns;
+        self
+    }
+
+    /// The stable identity of rank `r`.
+    #[must_use]
+    pub fn identity(&self, rank: usize) -> ClickId {
+        // A bijection of the rank, so distinct ranks can never collide;
+        // ip keeps bits 32..64 and the tagged cookie bits 0..56.
+        let raw = splitmix64((rank as u64).wrapping_mul(self.mult));
+        ClickId::new(
+            (raw >> 32) as u32,
+            tag_cookie(self.ns, raw),
+            AdId(rank as u32 % self.ads),
+        )
+    }
+}
+
+impl Iterator for ZipfClickStream {
+    type Item = Click;
+
+    fn next(&mut self) -> Option<Click> {
+        let rank = self.sampler.sample();
+        let click = Click::new(
+            self.identity(rank),
+            self.tick,
+            PublisherId(rank as u32 % self.publishers),
+            100_000,
+        );
+        self.tick += 1;
+        Some(click)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +235,35 @@ mod tests {
     #[should_panic(expected = "universe")]
     fn empty_universe_panics() {
         let _ = ZipfSampler::new(0, 1.0, 0);
+    }
+
+    #[test]
+    fn click_stream_rank_identities_are_stable_and_distinct() {
+        let s = ZipfClickStream::new(1 << 12, 1.0, 7, 4, 16);
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..(1usize << 12) {
+            assert_eq!(s.identity(rank), s.identity(rank), "identity not stable");
+            assert!(seen.insert(s.identity(rank)), "rank collision at {rank}");
+        }
+    }
+
+    #[test]
+    fn click_stream_repeats_popular_identities() {
+        let clicks: Vec<Click> = ZipfClickStream::new(1 << 10, 1.2, 3, 4, 16)
+            .take(20_000)
+            .collect();
+        let distinct: std::collections::HashSet<[u8; 16]> = clicks.iter().map(Click::key).collect();
+        assert!(
+            distinct.len() < clicks.len() / 2,
+            "skewed stream should repeat heavily: {} distinct",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn click_stream_deterministic_per_seed() {
+        let a: Vec<Click> = ZipfClickStream::new(100, 1.0, 9, 2, 8).take(500).collect();
+        let b: Vec<Click> = ZipfClickStream::new(100, 1.0, 9, 2, 8).take(500).collect();
+        assert_eq!(a, b);
     }
 }

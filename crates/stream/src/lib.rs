@@ -27,6 +27,7 @@
 
 pub mod click;
 pub mod gen;
+pub mod scenario;
 pub mod trace;
 pub mod wire;
 
@@ -39,6 +40,10 @@ pub use gen::flashcrowd::{FlashCrowdConfig, FlashCrowdStream};
 pub use gen::tenants::{TenantTraffic, TenantTrafficConfig, TENANT_KEY_LEN};
 pub use gen::timing::PoissonArrivals;
 pub use gen::unique::{UniqueClickStream, UniqueIdStream};
-pub use gen::zipf::ZipfSampler;
+pub use gen::zipf::{ZipfClickStream, ZipfSampler};
+pub use scenario::{
+    MixEntry, MixKind, ScenarioClick, ScenarioError, ScenarioSpec, ScenarioStream, ScenarioWindow,
+    SweepGrid, SweepPoint,
+};
 pub use trace::{read_trace, write_trace, TraceError};
 pub use wire::{FrameReader, WireError};

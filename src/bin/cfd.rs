@@ -33,7 +33,7 @@ use cfd_windows::{
     DuplicateDetector, ExactSlidingDedup, ObservableDetector, StreamSummary,
     TimedDuplicateDetector, TimedObservableDetector,
 };
-use click_fraud_detection::cli;
+use click_fraud_detection::{cli, sweep};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -64,6 +64,7 @@ fn usage() -> String {
         .replace("{algos}", &cfd_core::registry::algo_list())
         .replace("{serve}", cli::SERVE_USAGE)
         .replace("{replay}", cli::REPLAY_USAGE)
+        .replace("{sweep}", cli::SWEEP_USAGE)
 }
 
 const USAGE_TEMPLATE: &str = "\
@@ -116,6 +117,7 @@ commands:
               writes the final report for byte-for-byte comparison)
 {serve}
 {replay}
+{sweep}
   size       memory required for a target false-positive rate
              --algo gbf|tbf|metwally --window <N> [--sub-windows <Q>]
              --target-fp <rate>
@@ -188,6 +190,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("serve") => cmd_serve(&Opts::parse(&args[1..])?),
         Some("replay-client") => cmd_replay_client(&Opts::parse(&args[1..])?),
         Some("size") => cmd_size(&Opts::parse(&args[1..])?),
+        Some("sweep") => cmd_sweep(&Opts::parse(&args[1..])?),
         Some("algos") => {
             print!("{}", cfd_core::registry::markdown_table());
             Ok(())
@@ -998,5 +1001,40 @@ fn cmd_size(opts: &Opts) -> Result<(), String> {
         "total memory : {:.1} KiB",
         sizing.total_bits as f64 / 8.0 / 1024.0
     );
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Opts) -> Result<(), String> {
+    let path = opts
+        .get("scenario")
+        .ok_or_else(|| cli::UsageError::Missing("scenario").to_string())?;
+    let spec = cfd_stream::scenario::ScenarioSpec::from_path(path.as_ref()).map_err(|e| {
+        cli::UsageError::Invalid {
+            option: "scenario",
+            reason: e.to_string(),
+        }
+        .to_string()
+    })?;
+    let sweep_opts = if opts.flag("quick") {
+        sweep::SweepOptions::quick()
+    } else {
+        sweep::SweepOptions::full()
+    };
+    eprintln!(
+        "sweeping `{}`: {} grid points over {} clicks{}",
+        spec.name,
+        spec.grid().len(),
+        spec.clicks,
+        if sweep_opts.quick { " [quick]" } else { "" }
+    );
+    let report = sweep::run(&spec, &sweep_opts)?;
+    if opts.flag("table") || !opts.flag("out") {
+        print!("{}", sweep::render_table(&report));
+    }
+    if let Some(out) = opts.get("out") {
+        std::fs::write(out, sweep::report_json(&report))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
     Ok(())
 }

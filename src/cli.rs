@@ -29,6 +29,21 @@ pub enum UsageError {
         /// The rejected raw value.
         value: String,
     },
+    /// A required option was not given.
+    Missing(&'static str),
+    /// An option's value parsed but was rejected for a stated reason
+    /// (an unreadable scenario file, a malformed spec, an unknown
+    /// enum value).
+    Invalid {
+        /// The option name, without the `--` prefix.
+        option: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// An argument no command recognizes.
+    Unknown(String),
+    /// An option that requires a value was the last argument.
+    MissingValue(&'static str),
 }
 
 impl fmt::Display for UsageError {
@@ -36,6 +51,10 @@ impl fmt::Display for UsageError {
         match self {
             Self::Zero(option) => write!(f, "--{option} must be at least 1"),
             Self::Bad { option, value } => write!(f, "--{option}: bad value `{value}`"),
+            Self::Missing(option) => write!(f, "--{option} is required"),
+            Self::Invalid { option, reason } => write!(f, "--{option}: {reason}"),
+            Self::Unknown(arg) => write!(f, "unrecognized argument `{arg}`"),
+            Self::MissingValue(option) => write!(f, "--{option} requires a value"),
         }
     }
 }
@@ -106,6 +125,21 @@ pub const REPLAY_USAGE: &str = "\
               double-bills and never misses a click; --drain asks the
               server to shut down once this trace is fully processed)";
 
+/// The `cfd sweep` usage block. Spliced into the binary's help text
+/// and asserted verbatim in `README.md`.
+pub const SWEEP_USAGE: &str = "\
+  sweep      brute-force a scenario's declared detector grid
+             --scenario <file.toml> [--quick] [--out <report.json>]
+             [--table]
+             (compiles the spec's traffic mix into one click stream,
+              runs every (algo, cells, k, Q, layout, shards, batch)
+              grid point against it -- `algo = \"auto\"` resolves from
+              the closed-form FP models -- and writes a
+              `cfd-bench-sweep/1` report with per-config accuracy,
+              memory, and median throughput plus compare-groups rows;
+              `tools/check_bench.py` validates the artifact; --quick
+              caps the stream for CI smoke runs)";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +181,30 @@ mod tests {
                 option: "window",
                 value: "-3".to_owned(),
             })
+        );
+    }
+
+    #[test]
+    fn structured_variants_render_their_option_names() {
+        assert_eq!(
+            UsageError::Missing("scenario").to_string(),
+            "--scenario is required"
+        );
+        assert_eq!(
+            UsageError::Invalid {
+                option: "scenario",
+                reason: "nosuch.toml: No such file or directory (os error 2)".to_owned(),
+            }
+            .to_string(),
+            "--scenario: nosuch.toml: No such file or directory (os error 2)"
+        );
+        assert_eq!(
+            UsageError::Unknown("--bogus".to_owned()).to_string(),
+            "unrecognized argument `--bogus`"
+        );
+        assert_eq!(
+            UsageError::MissingValue("out").to_string(),
+            "--out requires a value"
         );
     }
 }

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod sweep;
 
 pub use cfd_adnet as adnet;
 pub use cfd_analysis as analysis;

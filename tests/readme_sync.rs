@@ -32,6 +32,7 @@ fn readme_embeds_gateway_cli_usage_verbatim() {
             "cfd replay-client",
             click_fraud_detection::cli::REPLAY_USAGE,
         ),
+        ("cfd sweep", click_fraud_detection::cli::SWEEP_USAGE),
     ] {
         assert!(
             readme.contains(block),

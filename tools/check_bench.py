@@ -268,6 +268,54 @@ def gates_tenants(d, name):
     )
 
 
+def gates_sweep(d, name):
+    grid = d["grid"]
+    axes = ("algo", "cells_per_element", "k", "sub_windows", "layout", "shards", "batch")
+    want = 1
+    for axis in axes:
+        if not grid[axis]:
+            fail(name, f"grid.{axis} is empty")
+        want *= len(grid[axis])
+    if len(d["configs"]) != want:
+        fail(name, f'{len(d["configs"])} configs, grid declares {want}')
+    if d["group_by"] not in axes:
+        fail(name, f'group_by {d["group_by"]!r} is not a grid axis')
+    for c in d["configs"]:
+        require_keys(name, c, MANIFEST["cfd-bench-sweep/1"]["config"], c.get("algo", "?"))
+        label = f'{c["algo"]}-{c["layout"]}-s{c["shards"]}-b{c["batch"]}'
+        require_rounds(name, c, label, c["clicks_per_sec_rounds"], d["rounds"])
+        if c["clicks_per_sec_median"] <= 0 or c["memory_bits"] <= 0:
+            fail(name, f"{label}: non-positive throughput or memory")
+        if not 0 <= c["fp_rate"] <= 1:
+            fail(name, f'{label}: fp_rate {c["fp_rate"]} outside [0, 1]')
+        if c["detected"] != c["duplicates"] - c["false_negatives"] + c["false_positives"]:
+            fail(name, f"{label}: detected != duplicates - fn + fp")
+        # A false negative needs a prior false positive on the same id
+        # to suppress the stamp (FP propagation), so unsharded windows
+        # are bounded by fn <= fp; sharded ones can also miss via
+        # per-shard slide-out and are not gated.
+        if c["shards"] == 1 and c["false_negatives"] > c["false_positives"]:
+            fail(name, f'{label}: {c["false_negatives"]} misses > {c["false_positives"]} FPs')
+        if c["fp_model"] is not None:
+            bound = c["fp_model"] * 2.5 + three_sigma(c["fp_model"], d["clicks"])
+            if c["fp_rate"] > bound:
+                fail(name, f'{label}: measured FP {c["fp_rate"]} exceeds model {c["fp_model"]}')
+    want_groups = {str(c[d["group_by"]]) for c in d["configs"]}
+    got_groups = {g["value"] for g in d["groups"]}
+    if got_groups != want_groups:
+        fail(name, f"group values {sorted(got_groups)} != axis values {sorted(want_groups)}")
+    if sum(g["configs"] for g in d["groups"]) != len(d["configs"]):
+        fail(name, "group config counts do not partition the grid")
+    for g in d["groups"]:
+        require_keys(name, g, MANIFEST["cfd-bench-sweep/1"]["group"], f'group {g["value"]}')
+        if g["min_fp_rate"] > g["max_fp_rate"]:
+            fail(name, f'group {g["value"]}: min_fp_rate > max_fp_rate')
+    return (
+        f'{d["scale"]} scale, {len(d["configs"])} configs over '
+        f'{len(d["groups"])} {d["group_by"]} groups, fn bounded by fp'
+    )
+
+
 # ---------------------------------------------------------------------
 # Schema manifest: required keys + gate function per artifact family.
 # ---------------------------------------------------------------------
@@ -376,6 +424,52 @@ MANIFEST = {
             "duplicates",
         },
         "gates": gates_tenants,
+    },
+    "cfd-bench-sweep/1": {
+        "top": {
+            "scale",
+            "clicks",
+            "rounds",
+            "injected_duplicates",
+            "scenario",
+            "group_by",
+            "grid",
+            "configs",
+            "groups",
+        },
+        "config": {
+            "algo",
+            "resolved_algo",
+            "cells_per_element",
+            "k",
+            "sub_windows",
+            "layout",
+            "shards",
+            "batch",
+            "distinct",
+            "duplicates",
+            "detected",
+            "false_positives",
+            "false_negatives",
+            "fp_rate",
+            "fp_model",
+            "auto_predicted_fp",
+            "auto_meets_target",
+            "memory_bits",
+            "clicks_per_sec_median",
+            "clicks_per_sec_rounds",
+        },
+        "group": {
+            "value",
+            "configs",
+            "best_clicks_per_sec",
+            "best_config",
+            "min_fp_rate",
+            "max_fp_rate",
+            "min_memory_bits",
+            "fn_within_fp_bound",
+        },
+        "gates": gates_sweep,
     },
 }
 
